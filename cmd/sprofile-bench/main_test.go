@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "figure3") || !strings.Contains(out.String(), "figure6") {
+		t.Fatalf("-list output missing figures:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "figure99"}, &out); err == nil {
+		t.Fatalf("unknown experiment accepted")
+	}
+}
+
+// TestRunSingleExperimentWithCSV exercises the full path (experiment run,
+// table rendering, speedup line, CSV output) on the smallest real experiment.
+// It uses the default scale, so keep the experiment cheap: the block-hint
+// ablation runs a single method.
+func TestRunSingleExperimentWithCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (small) measurement sweep")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-experiment", "sliding-window", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "sliding-window") {
+		t.Fatalf("output missing experiment id:\n%s", text)
+	}
+	if !strings.Contains(text, "speedup") {
+		t.Fatalf("output missing speedup summary:\n%s", text)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatalf("no CSV files written")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "x,") {
+		t.Fatalf("CSV missing header: %q", string(data)[:20])
+	}
+}

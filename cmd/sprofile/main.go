@@ -1,0 +1,229 @@
+// Command sprofile replays a log stream through the S-Profile data structure
+// and prints the requested statistics. The stream either comes from a file
+// written by streamgen (binary or CSV) or is generated on the fly from one of
+// the named workloads.
+//
+// Usage:
+//
+//	sprofile -input stream1.bin -top 10
+//	sprofile -workload stream2 -m 100000 -n 1000000 -stats mode,median,distribution
+//
+// After replaying the stream the tool prints one section per requested
+// statistic; -json switches the output to a single JSON document.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sprofile"
+	"sprofile/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sprofile:", err)
+		os.Exit(1)
+	}
+}
+
+type outputDoc struct {
+	Tuples       uint64               `json:"tuples"`
+	Capacity     int                  `json:"capacity"`
+	Mode         *entryDoc            `json:"mode,omitempty"`
+	Min          *entryDoc            `json:"min,omitempty"`
+	Median       *entryDoc            `json:"median,omitempty"`
+	Top          []entryDoc           `json:"top,omitempty"`
+	Distribution []sprofile.FreqCount `json:"distribution,omitempty"`
+	Summary      *sprofile.Summary    `json:"summary,omitempty"`
+}
+
+type entryDoc struct {
+	Object    int   `json:"object"`
+	Frequency int64 `json:"frequency"`
+	Ties      int   `json:"ties,omitempty"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sprofile", flag.ContinueOnError)
+	var (
+		input    = fs.String("input", "", "stream file produced by streamgen (binary or CSV)")
+		workload = fs.String("workload", "stream1", "generated workload when no -input is given")
+		m        = fs.Int("m", 100_000, "number of distinct object ids for generated workloads")
+		n        = fs.Int("n", 1_000_000, "number of tuples for generated workloads")
+		seed     = fs.Uint64("seed", 1, "random seed for generated workloads")
+		topK     = fs.Int("top", 10, "number of entries for the top statistic")
+		stats    = fs.String("stats", "mode,top,median,summary", "comma-separated statistics: mode,min,median,top,distribution,summary")
+		strict   = fs.Bool("strict", false, "reject removals that would drive a frequency below zero")
+		asJSON   = fs.Bool("json", false, "emit a single JSON document instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		profile *sprofile.Profile
+		applied uint64
+		err     error
+	)
+	if *input != "" {
+		profile, applied, err = replayFile(*input, *strict)
+	} else {
+		profile, applied, err = replayGenerated(*workload, *m, *n, *seed, *strict)
+	}
+	if err != nil {
+		return err
+	}
+
+	requested := map[string]bool{}
+	for _, s := range strings.Split(*stats, ",") {
+		requested[strings.TrimSpace(s)] = true
+	}
+
+	doc := outputDoc{Tuples: applied, Capacity: profile.Cap()}
+	if requested["mode"] {
+		if e, ties, err := profile.Mode(); err == nil {
+			doc.Mode = &entryDoc{Object: e.Object, Frequency: e.Frequency, Ties: ties}
+		}
+	}
+	if requested["min"] {
+		if e, ties, err := profile.Min(); err == nil {
+			doc.Min = &entryDoc{Object: e.Object, Frequency: e.Frequency, Ties: ties}
+		}
+	}
+	if requested["median"] {
+		if e, err := profile.Median(); err == nil {
+			doc.Median = &entryDoc{Object: e.Object, Frequency: e.Frequency}
+		}
+	}
+	if requested["top"] {
+		for _, e := range profile.TopK(*topK) {
+			doc.Top = append(doc.Top, entryDoc{Object: e.Object, Frequency: e.Frequency})
+		}
+	}
+	if requested["distribution"] {
+		doc.Distribution = profile.Distribution()
+	}
+	if requested["summary"] {
+		s := profile.Summarize()
+		doc.Summary = &s
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	return writeText(stdout, doc)
+}
+
+func writeText(w io.Writer, doc outputDoc) error {
+	fmt.Fprintf(w, "processed %d tuples over %d object slots\n", doc.Tuples, doc.Capacity)
+	if doc.Mode != nil {
+		fmt.Fprintf(w, "mode:    object %d with frequency %d (%d object(s) tie)\n",
+			doc.Mode.Object, doc.Mode.Frequency, doc.Mode.Ties)
+	}
+	if doc.Min != nil {
+		fmt.Fprintf(w, "min:     object %d with frequency %d (%d object(s) tie)\n",
+			doc.Min.Object, doc.Min.Frequency, doc.Min.Ties)
+	}
+	if doc.Median != nil {
+		fmt.Fprintf(w, "median:  frequency %d (object %d)\n", doc.Median.Frequency, doc.Median.Object)
+	}
+	if len(doc.Top) > 0 {
+		fmt.Fprintln(w, "top objects:")
+		for i, e := range doc.Top {
+			fmt.Fprintf(w, "  %2d. object %-10d frequency %d\n", i+1, e.Object, e.Frequency)
+		}
+	}
+	if len(doc.Distribution) > 0 {
+		fmt.Fprintln(w, "frequency distribution (ascending):")
+		for _, fc := range doc.Distribution {
+			fmt.Fprintf(w, "  frequency %-10d objects %d\n", fc.Freq, fc.Count)
+		}
+	}
+	if doc.Summary != nil {
+		s := doc.Summary
+		fmt.Fprintf(w, "summary: total=%d active=%d negative=%d distinct-frequencies=%d max=%d min=%d adds=%d removes=%d\n",
+			s.Total, s.Active, s.Negative, s.DistinctFrequencies, s.MaxFrequency, s.MinFrequency, s.Adds, s.Removes)
+	}
+	return nil
+}
+
+// replayFile loads a stream file and applies every tuple to a fresh profile.
+func replayFile(path string, strict bool) (*sprofile.Profile, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+
+	if strings.HasSuffix(path, ".csv") {
+		m, tuples, err := stream.DecodeCSV(f)
+		if err != nil {
+			return nil, 0, err
+		}
+		p, err := newProfile(m, strict)
+		if err != nil {
+			return nil, 0, err
+		}
+		applied, err := p.ApplyAll(tuples)
+		return p, uint64(applied), err
+	}
+
+	br, err := stream.NewBinaryReader(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	p, err := newProfile(br.M(), strict)
+	if err != nil {
+		return nil, 0, err
+	}
+	var applied uint64
+	for {
+		t, err := br.Read()
+		if errors.Is(err, io.EOF) {
+			return p, applied, nil
+		}
+		if err != nil {
+			return nil, applied, err
+		}
+		if err := p.Apply(t); err != nil {
+			return nil, applied, err
+		}
+		applied++
+	}
+}
+
+// replayGenerated generates n tuples of the named workload and applies them.
+func replayGenerated(workload string, m, n int, seed uint64, strict bool) (*sprofile.Profile, uint64, error) {
+	if n <= 0 || m <= 0 {
+		return nil, 0, fmt.Errorf("n and m must be positive (n=%d, m=%d)", n, m)
+	}
+	w, err := stream.NamedWorkload(workload, m, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	p, err := newProfile(m, strict)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := 0; i < n; i++ {
+		if err := p.Apply(w.Next()); err != nil {
+			return nil, uint64(i), err
+		}
+	}
+	return p, uint64(n), nil
+}
+
+func newProfile(m int, strict bool) (*sprofile.Profile, error) {
+	if strict {
+		return sprofile.New(m, sprofile.WithStrictNonNegative())
+	}
+	return sprofile.New(m)
+}

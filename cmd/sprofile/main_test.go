@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sprofile/internal/core"
+	"sprofile/internal/stream"
+)
+
+func writeBinaryStream(t *testing.T, path string, m int, tuples []core.Tuple) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := stream.EncodeBinary(f, m, tuples); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGeneratedWorkloadText(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-workload", "stream1", "-m", "200", "-n", "5000", "-stats", "mode,median,top,summary", "-top", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"processed 5000 tuples", "mode:", "median:", "top objects:", "summary:"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunGeneratedWorkloadJSON(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-workload", "stream2", "-m", "100", "-n", "2000", "-json", "-stats", "mode,min,distribution"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc outputDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, out.String())
+	}
+	if doc.Tuples != 2000 || doc.Capacity != 100 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Mode == nil || doc.Min == nil || len(doc.Distribution) == 0 {
+		t.Fatalf("missing requested sections: %+v", doc)
+	}
+	if doc.Median != nil {
+		t.Fatalf("median present although not requested")
+	}
+}
+
+func TestRunBinaryInputFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.bin")
+	tuples := []core.Tuple{
+		{Object: 0, Action: core.ActionAdd},
+		{Object: 0, Action: core.ActionAdd},
+		{Object: 1, Action: core.ActionAdd},
+		{Object: 2, Action: core.ActionRemove},
+	}
+	writeBinaryStream(t, path, 5, tuples)
+
+	var out bytes.Buffer
+	if err := run([]string{"-input", path, "-json", "-stats", "mode,summary"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc outputDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Tuples != 4 || doc.Mode == nil || doc.Mode.Object != 0 || doc.Mode.Frequency != 2 {
+		t.Fatalf("doc = %+v mode %+v", doc, doc.Mode)
+	}
+}
+
+func TestRunCSVInputFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	content := "# m=3\n0,add\n0,add\n1,add\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-input", path, "-json", "-stats", "mode"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc outputDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Tuples != 3 || doc.Mode == nil || doc.Mode.Frequency != 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+}
+
+func TestRunStrictModeRejectsUnderflow(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.bin")
+	writeBinaryStream(t, path, 3, []core.Tuple{{Object: 1, Action: core.ActionRemove}})
+	var out bytes.Buffer
+	if err := run([]string{"-input", path, "-strict"}, &out); err == nil {
+		t.Fatalf("strict replay of a remove-first stream succeeded")
+	}
+	// The same stream is fine without -strict.
+	if err := run([]string{"-input", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "unknown"}, &out); err == nil {
+		t.Fatalf("unknown workload accepted")
+	}
+	if err := run([]string{"-n", "0"}, &out); err == nil {
+		t.Fatalf("n=0 accepted")
+	}
+	if err := run([]string{"-input", "/does/not/exist.bin"}, &out); err == nil {
+		t.Fatalf("missing input file accepted")
+	}
+}

@@ -1,0 +1,85 @@
+// Command sprofiled runs the HTTP ingest/query server: producers POST
+// (object, action) events and consumers GET the statistics of the profiled
+// stream (mode, top-K, quantiles, distribution) at any time.
+//
+// Usage:
+//
+//	sprofiled -addr :8080 -capacity 1000000
+//
+// See internal/server for the API surface.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sprofile/internal/server"
+)
+
+func main() {
+	fs := flag.NewFlagSet("sprofiled", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		capacity = fs.Int("capacity", 1_000_000, "maximum number of concurrently tracked objects")
+		maxBatch = fs.Int("max-batch", 10_000, "maximum number of events per POST")
+		walPath  = fs.String("wal", "", "write-ahead log path; events are replayed from it on startup")
+		walSync  = fs.Int("wal-sync-every", 0, "fsync the WAL after this many events (0 = once per batch)")
+	)
+	fs.Parse(os.Args[1:])
+
+	srv, err := server.New(server.Config{
+		Capacity:     *capacity,
+		MaxBatch:     *maxBatch,
+		WALPath:      *walPath,
+		WALSyncEvery: *walSync,
+	})
+	if err != nil {
+		log.Fatalf("sprofiled: %v", err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			log.Printf("sprofiled: closing WAL: %v", err)
+		}
+	}()
+	if *walPath != "" {
+		log.Printf("sprofiled: replayed %d events from %s", srv.Replayed(), *walPath)
+	}
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("sprofiled: listening on %s (capacity %d)", *addr, *capacity)
+		errCh <- httpServer.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(shutdownCtx); err != nil {
+			log.Printf("sprofiled: shutdown: %v", err)
+		}
+		log.Println("sprofiled: stopped")
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("sprofiled: %v", err)
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,95 @@
+// Command streamgen generates synthetic log streams — the paper's Stream1/2/3
+// and the additional workloads used by the ablation benchmarks — and writes
+// them to a file in the binary or CSV stream format understood by the other
+// tools in this repository.
+//
+// Usage:
+//
+//	streamgen -workload stream1 -m 1000000 -n 10000000 -o stream1.bin
+//	streamgen -workload zipf -m 100000 -n 1000000 -format csv -o zipf.csv
+//
+// The available workloads are listed with -list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sprofile/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "streamgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("streamgen", flag.ContinueOnError)
+	var (
+		workload = fs.String("workload", "stream1", "workload name (see -list)")
+		m        = fs.Int("m", 1_000_000, "number of distinct object ids")
+		n        = fs.Int("n", 1_000_000, "number of tuples to generate")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		format   = fs.String("format", "binary", "output format: binary or csv")
+		out      = fs.String("o", "", "output file (defaults to <workload>.<ext>)")
+		list     = fs.Bool("list", false, "list available workloads and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Fprintln(stdout, strings.Join(stream.WorkloadNames(), "\n"))
+		return nil
+	}
+	if *n <= 0 || *m <= 0 {
+		return fmt.Errorf("n and m must be positive (n=%d, m=%d)", *n, *m)
+	}
+
+	w, err := stream.NamedWorkload(*workload, *m, *seed)
+	if err != nil {
+		return err
+	}
+
+	path := *out
+	if path == "" {
+		ext := "bin"
+		if *format == "csv" {
+			ext = "csv"
+		}
+		path = fmt.Sprintf("%s.%s", *workload, ext)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	switch *format {
+	case "binary":
+		bw, err := stream.NewBinaryWriter(f, *m)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < *n; i++ {
+			if err := bw.Write(w.Next()); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	case "csv":
+		tuples := stream.Take(w, *n)
+		if err := stream.EncodeCSV(f, *m, tuples); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want binary or csv)", *format)
+	}
+	fmt.Fprintf(stdout, "wrote %d tuples of %s (m=%d) to %s\n", *n, *workload, *m, path)
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sprofile/internal/stream"
+)
+
+func TestRunGeneratesBinaryStream(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "s1.bin")
+	err := run([]string{"-workload", "stream1", "-m", "100", "-n", "500", "-o", out}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, tuples, err := stream.DecodeBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 100 || len(tuples) != 500 {
+		t.Fatalf("decoded m=%d, %d tuples", m, len(tuples))
+	}
+}
+
+func TestRunGeneratesCSVStream(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "z.csv")
+	err := run([]string{"-workload", "zipf", "-m", "50", "-n", "200", "-format", "csv", "-o", out}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, tuples, err := stream.DecodeCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 50 || len(tuples) != 200 {
+		t.Fatalf("decoded m=%d, %d tuples", m, len(tuples))
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-n", "0"}, os.Stdout); err == nil {
+		t.Fatalf("accepted n=0")
+	}
+	if err := run([]string{"-workload", "nope"}, os.Stdout); err == nil {
+		t.Fatalf("accepted unknown workload")
+	}
+	if err := run([]string{"-format", "xml", "-n", "10", "-m", "10", "-o", filepath.Join(t.TempDir(), "x")}, os.Stdout); err == nil {
+		t.Fatalf("accepted unknown format")
+	}
+}

@@ -1,0 +1,166 @@
+package sprofile
+
+import (
+	"sync"
+
+	"sprofile/internal/core"
+)
+
+// Concurrent wraps a Profile with a read-write mutex so that multiple
+// goroutines can update and query it. Updates take the write lock; queries
+// take the read lock, so concurrent readers do not serialise each other.
+//
+// The O(1) update bound of the underlying structure is preserved; the mutex
+// adds a constant overhead per call. For very high ingest rates prefer
+// sharding by object id and merging distributions at query time.
+type Concurrent struct {
+	mu sync.RWMutex
+	p  *core.Profile
+}
+
+// NewConcurrent returns a mutex-protected S-Profile over m dense object ids.
+func NewConcurrent(m int, opts ...Option) (*Concurrent, error) {
+	p, err := core.New(m, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Concurrent{p: p}, nil
+}
+
+// MustNewConcurrent is NewConcurrent for callers with a known-good capacity;
+// it panics on error.
+func MustNewConcurrent(m int, opts ...Option) *Concurrent {
+	c, err := NewConcurrent(m, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// WrapConcurrent protects an existing profile. The caller must stop using the
+// profile directly afterwards.
+func WrapConcurrent(p *Profile) *Concurrent { return &Concurrent{p: p} }
+
+// Add increments the frequency of object x.
+func (c *Concurrent) Add(x int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.p.Add(x)
+}
+
+// Remove decrements the frequency of object x.
+func (c *Concurrent) Remove(x int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.p.Remove(x)
+}
+
+// Apply applies one log tuple.
+func (c *Concurrent) Apply(t Tuple) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.p.Apply(t)
+}
+
+// ApplyAll applies tuples in order, holding the write lock once for the whole
+// batch; it returns the number applied and the first error.
+func (c *Concurrent) ApplyAll(tuples []Tuple) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.p.ApplyAll(tuples)
+}
+
+// Count returns the current frequency of object x.
+func (c *Concurrent) Count(x int) (int64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.p.Count(x)
+}
+
+// Mode returns an object with maximum frequency, the frequency, and the
+// number of objects sharing it.
+func (c *Concurrent) Mode() (Entry, int, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.p.Mode()
+}
+
+// Min returns an object with minimum frequency, the frequency, and the number
+// of objects sharing it.
+func (c *Concurrent) Min() (Entry, int, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.p.Min()
+}
+
+// TopK returns the k most frequent entries in non-increasing frequency order.
+func (c *Concurrent) TopK(k int) []Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.p.TopK(k)
+}
+
+// KthLargest returns the entry holding the k-th largest frequency (1-based).
+func (c *Concurrent) KthLargest(k int) (Entry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.p.KthLargest(k)
+}
+
+// Median returns the lower-median entry of the frequency multiset.
+func (c *Concurrent) Median() (Entry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.p.Median()
+}
+
+// Quantile returns the entry at quantile q in [0, 1].
+func (c *Concurrent) Quantile(q float64) (Entry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.p.Quantile(q)
+}
+
+// Majority returns the object holding a strict majority of the total count,
+// if one exists.
+func (c *Concurrent) Majority() (Entry, bool, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.p.Majority()
+}
+
+// Distribution returns the frequency histogram in ascending frequency order.
+func (c *Concurrent) Distribution() []FreqCount {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.p.Distribution()
+}
+
+// Summarize returns aggregate statistics of the profile.
+func (c *Concurrent) Summarize() Summary {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.p.Summarize()
+}
+
+// Cap returns the number of object slots.
+func (c *Concurrent) Cap() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.p.Cap()
+}
+
+// Total returns the sum of all frequencies.
+func (c *Concurrent) Total() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.p.Total()
+}
+
+// Snapshot returns a point-in-time deep copy of the profile that can be
+// queried without any further locking.
+func (c *Concurrent) Snapshot() *Profile {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.p.Clone()
+}

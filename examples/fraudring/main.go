@@ -1,0 +1,120 @@
+// Fraud-ring detection by graph shaving.
+//
+// Run with:
+//
+//	go run ./examples/fraudring
+//
+// Paper §2.3 points out that heuristic "shaving" algorithms for fraud
+// detection in big graphs (FRAUDAR-style greedy peeling) spend their inner
+// loop repeatedly finding a node of minimum degree while degrees drop by one
+// as neighbours are removed — exactly the ±1 update pattern S-Profile serves
+// in O(1).
+//
+// This example builds a synthetic "users rate products" interaction graph:
+// mostly sparse organic traffic, plus a small ring of colluding accounts that
+// all rate the same handful of products many times. Greedy peeling with the
+// S-Profile-backed minimum-degree tracker recovers the injected ring as the
+// densest remaining subgraph.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"sprofile/internal/graph"
+)
+
+const (
+	organicNodes = 3_000 // legitimate users + products
+	organicEdges = 9_000 // sparse organic ratings
+	ringUsers    = 25    // colluding accounts
+	ringProducts = 8     // products they boost
+	ringRepeats  = 6     // how many times each account hits each product
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	totalNodes := organicNodes + ringUsers + ringProducts
+	g, err := graph.NewGraph(totalNodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Organic background traffic: sparse random ratings.
+	for i := 0; i < organicEdges; i++ {
+		u := rng.Intn(organicNodes)
+		v := rng.Intn(organicNodes)
+		if u == v {
+			v = (v + 1) % organicNodes
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The fraud ring: ringUsers accounts each rate ringProducts products
+	// ringRepeats times. Parallel edges model repeated ratings and make the
+	// block disproportionately dense.
+	ringStart := organicNodes
+	for u := 0; u < ringUsers; u++ {
+		for p := 0; p < ringProducts; p++ {
+			for r := 0; r < ringRepeats; r++ {
+				if err := g.AddEdge(ringStart+u, ringStart+ringUsers+p); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	fmt.Printf("graph: %d nodes, %d edges (%d injected ring edges)\n",
+		g.NumNodes(), g.NumEdges(), ringUsers*ringProducts*ringRepeats)
+
+	// Greedy peeling driven by the S-Profile minimum-degree tracker.
+	result, err := graph.Peel(g, graph.EngineSProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("densest subgraph found by peeling: %d nodes, density %.2f edges/node\n",
+		len(result.BestSubgraph), result.BestDensity)
+
+	// How much of the injected ring did the densest subgraph recover?
+	inRing := func(v int) bool { return v >= ringStart }
+	recovered, falsePositives := 0, 0
+	for _, v := range result.BestSubgraph {
+		if inRing(v) {
+			recovered++
+		} else {
+			falsePositives++
+		}
+	}
+	fmt.Printf("ring recovery: %d/%d ring nodes in the densest subgraph, %d organic nodes included\n",
+		recovered, ringUsers+ringProducts, falsePositives)
+
+	// Show the first few suspicious accounts (ring user ids sorted).
+	var suspects []int
+	for _, v := range result.BestSubgraph {
+		if inRing(v) && v < ringStart+ringUsers {
+			suspects = append(suspects, v)
+		}
+	}
+	sort.Ints(suspects)
+	if len(suspects) > 5 {
+		suspects = suspects[:5]
+	}
+	fmt.Printf("first flagged accounts: %v\n", suspects)
+
+	// All three min-degree engines produce a valid peel; compare their best
+	// densities to show the answer does not depend on the engine.
+	for _, engine := range graph.Engines() {
+		res, err := graph.Peel(g, engine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("engine %-10s best density %.2f over %d nodes\n",
+			engine, res.BestDensity, len(res.BestSubgraph))
+	}
+}

@@ -1,0 +1,97 @@
+// Live dashboard: concurrent ingestion with periodic statistics snapshots.
+//
+// Run with:
+//
+//	go run ./examples/livedashboard
+//
+// Several producer goroutines ingest (object, add|remove) events into one
+// shared Concurrent profile — think one goroutine per Kafka partition of a
+// click stream — while a reporter goroutine periodically reads the mode, the
+// quantiles of the popularity distribution and the distribution histogram.
+// Queries never block each other (read lock) and updates stay O(1) under the
+// write lock, so the dashboard stays responsive at high ingest rates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"sprofile"
+)
+
+const (
+	objects          = 10_000
+	producers        = 4
+	eventsPerBatch   = 50_000
+	batchesPerWorker = 4
+)
+
+func main() {
+	profile, err := sprofile.NewConcurrent(objects)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	batchDone := make(chan int, producers*batchesPerWorker)
+
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(worker + 1)))
+			for batch := 0; batch < batchesPerWorker; batch++ {
+				for i := 0; i < eventsPerBatch; i++ {
+					// Skewed popularity: a small hot set plus a uniform tail.
+					var x int
+					if rng.Float64() < 0.3 {
+						x = rng.Intn(objects / 100)
+					} else {
+						x = rng.Intn(objects)
+					}
+					if rng.Float64() < 0.75 {
+						_ = profile.Add(x)
+					} else {
+						_ = profile.Remove(x)
+					}
+				}
+				batchDone <- worker
+			}
+		}(w)
+	}
+
+	// Reporter: after every completed batch, print a dashboard line. Queries
+	// run concurrently with the producers' updates.
+	reporterDone := make(chan struct{})
+	go func() {
+		defer close(reporterDone)
+		for i := 0; i < producers*batchesPerWorker; i++ {
+			worker := <-batchDone
+			mode, ties, err := profile.Mode()
+			if err != nil {
+				log.Fatal(err)
+			}
+			p50, _ := profile.Quantile(0.50)
+			p99, _ := profile.Quantile(0.99)
+			summary := profile.Summarize()
+			fmt.Printf("batch %2d (worker %d): events=%d mode=obj%-5d freq=%-6d ties=%-4d p50=%-4d p99=%-5d distinct-freqs=%d\n",
+				i+1, worker, summary.Adds+summary.Removes, mode.Object, mode.Frequency, ties,
+				p50.Frequency, p99.Frequency, summary.DistinctFrequencies)
+		}
+	}()
+
+	wg.Wait()
+	<-reporterDone
+
+	// Final consistent snapshot for the end-of-run report.
+	snapshot := profile.Snapshot()
+	fmt.Println("\nfinal top 10 objects:")
+	for rank, e := range snapshot.TopK(10) {
+		fmt.Printf("  #%2d object %-6d net count %d\n", rank+1, e.Object, e.Frequency)
+	}
+	dist := snapshot.Distribution()
+	fmt.Printf("\nfinal distribution spans %d distinct frequencies (min %d, max %d)\n",
+		len(dist), dist[0].Freq, dist[len(dist)-1].Freq)
+}

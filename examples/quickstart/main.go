@@ -1,0 +1,68 @@
+// Quickstart: profile a small log stream and query its statistics.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+//
+// The example follows the paper's setting directly: a stream of (object,
+// add|remove) tuples arrives one by one, and after every update the profile
+// can answer "what is the most popular object right now?", "what are the
+// top-K?", "what does the frequency distribution look like?" — each in
+// constant time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sprofile"
+)
+
+func main() {
+	// Track up to 8 distinct objects (dense ids 0..7).
+	profile, err := sprofile.New(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A tiny log stream: objects are "liked" (add) and "disliked" (remove).
+	events := []sprofile.Tuple{
+		{Object: 3, Action: sprofile.ActionAdd},
+		{Object: 1, Action: sprofile.ActionAdd},
+		{Object: 3, Action: sprofile.ActionAdd},
+		{Object: 5, Action: sprofile.ActionAdd},
+		{Object: 3, Action: sprofile.ActionAdd},
+		{Object: 1, Action: sprofile.ActionAdd},
+		{Object: 5, Action: sprofile.ActionRemove},
+		{Object: 2, Action: sprofile.ActionAdd},
+	}
+	for _, e := range events {
+		if err := profile.Apply(e); err != nil {
+			log.Fatal(err)
+		}
+		// The mode is available after every single update at O(1) cost.
+		mode, ties, _ := profile.Mode()
+		fmt.Printf("after %-6s of object %d: mode is object %d with frequency %d (%d tied)\n",
+			e.Action, e.Object, mode.Object, mode.Frequency, ties)
+	}
+
+	fmt.Println()
+	fmt.Println("top 3 objects:")
+	for rank, entry := range profile.TopK(3) {
+		fmt.Printf("  #%d object %d, frequency %d\n", rank+1, entry.Object, entry.Frequency)
+	}
+
+	median, _ := profile.Median()
+	fmt.Printf("\nmedian frequency over all %d slots: %d\n", profile.Cap(), median.Frequency)
+
+	fmt.Println("\nfrequency distribution (ascending):")
+	for _, fc := range profile.Distribution() {
+		fmt.Printf("  frequency %d: %d object(s)\n", fc.Freq, fc.Count)
+	}
+
+	if majority, ok, _ := profile.Majority(); ok {
+		fmt.Printf("\nobject %d holds a strict majority of all %d events\n", majority.Object, profile.Total())
+	} else {
+		fmt.Printf("\nno object holds a strict majority (total count %d)\n", profile.Total())
+	}
+}

@@ -1,0 +1,206 @@
+package bstprof
+
+import (
+	"fmt"
+
+	"sprofile/internal/core"
+	"sprofile/internal/profiler"
+)
+
+// Kind selects the balanced-tree engine behind a Profiler.
+type Kind int
+
+const (
+	// Treap uses the randomised size-augmented treap engine.
+	Treap Kind = iota
+	// RedBlack uses the deterministic size-augmented red-black tree engine,
+	// the closest analogue of the GNU PBDS baseline in the paper.
+	RedBlack
+	// SkipList uses an indexable skip list (spans on forward pointers), the
+	// probabilistic alternative to balanced trees with the same O(log m)
+	// bounds.
+	SkipList
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case RedBlack:
+		return "red-black"
+	case SkipList:
+		return "skip-list"
+	default:
+		return "treap"
+	}
+}
+
+// Profiler is the order-statistic balanced-tree baseline. Every update costs
+// O(log m) (one delete plus one insert); every rank query costs O(log m).
+// It is not safe for concurrent use.
+type Profiler struct {
+	kind Kind
+	tree orderedTree
+	freq []int64
+
+	total int64
+}
+
+var _ profiler.Profiler = (*Profiler)(nil)
+
+// New returns a tree profiler with m object slots, all at frequency zero.
+func New(m int, kind Kind) (*Profiler, error) {
+	if m < 0 || m > core.MaxCapacity {
+		return nil, fmt.Errorf("bstprof: invalid capacity %d", m)
+	}
+	p := &Profiler{kind: kind, freq: make([]int64, m)}
+	switch kind {
+	case Treap:
+		p.tree = newTreap(m, 0x5b5ad4)
+	case RedBlack:
+		p.tree = newRBTree()
+	case SkipList:
+		p.tree = newSkipList(0x9d2c56)
+	default:
+		return nil, fmt.Errorf("bstprof: unknown tree kind %d", kind)
+	}
+	for x := 0; x < m; x++ {
+		p.tree.insert(key{freq: 0, obj: int32(x)})
+	}
+	return p, nil
+}
+
+// MustNew is New for callers with a known-good capacity; it panics on error.
+func MustNew(m int, kind Kind) *Profiler {
+	p, err := New(m, kind)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Cap returns the number of object slots.
+func (p *Profiler) Cap() int { return len(p.freq) }
+
+// Total returns the sum of all frequencies.
+func (p *Profiler) Total() int64 { return p.total }
+
+// Kind returns the tree engine in use.
+func (p *Profiler) Kind() Kind { return p.kind }
+
+func (p *Profiler) checkID(x int) error {
+	if x < 0 || x >= len(p.freq) {
+		return fmt.Errorf("%w: id %d, capacity %d", core.ErrObjectRange, x, len(p.freq))
+	}
+	return nil
+}
+
+// update re-keys object x from its old frequency to old+delta.
+func (p *Profiler) update(x int, delta int64) error {
+	old := p.freq[x]
+	if !p.tree.delete(key{freq: old, obj: int32(x)}) {
+		return fmt.Errorf("bstprof: internal error: key for object %d missing from tree", x)
+	}
+	p.freq[x] = old + delta
+	p.tree.insert(key{freq: p.freq[x], obj: int32(x)})
+	p.total += delta
+	return nil
+}
+
+// Add applies an "add" event for object x.
+func (p *Profiler) Add(x int) error {
+	if err := p.checkID(x); err != nil {
+		return err
+	}
+	return p.update(x, 1)
+}
+
+// Remove applies a "remove" event for object x.
+func (p *Profiler) Remove(x int) error {
+	if err := p.checkID(x); err != nil {
+		return err
+	}
+	return p.update(x, -1)
+}
+
+// Count returns the current frequency of object x.
+func (p *Profiler) Count(x int) (int64, error) {
+	if err := p.checkID(x); err != nil {
+		return 0, err
+	}
+	return p.freq[x], nil
+}
+
+// Mode returns the object with maximum frequency. The tie count is always
+// reported as 1: counting the ties would need an extra range query.
+func (p *Profiler) Mode() (core.Entry, int, error) {
+	k, ok := p.tree.max()
+	if !ok {
+		return core.Entry{}, 0, core.ErrEmptyProfile
+	}
+	return core.Entry{Object: int(k.obj), Frequency: k.freq}, 1, nil
+}
+
+// Min returns the object with minimum frequency, with the same tie-count
+// caveat as Mode.
+func (p *Profiler) Min() (core.Entry, int, error) {
+	k, ok := p.tree.min()
+	if !ok {
+		return core.Entry{}, 0, core.ErrEmptyProfile
+	}
+	return core.Entry{Object: int(k.obj), Frequency: k.freq}, 1, nil
+}
+
+// KthLargest returns the object holding the k-th largest frequency (1-based).
+func (p *Profiler) KthLargest(k int) (core.Entry, error) {
+	if k < 1 || k > len(p.freq) {
+		return core.Entry{}, fmt.Errorf("%w: k %d, capacity %d", core.ErrBadRank, k, len(p.freq))
+	}
+	kk, ok := p.tree.kth(len(p.freq) - k)
+	if !ok {
+		return core.Entry{}, fmt.Errorf("%w: k %d, capacity %d", core.ErrBadRank, k, len(p.freq))
+	}
+	return core.Entry{Object: int(kk.obj), Frequency: kk.freq}, nil
+}
+
+// Median returns the lower-median entry of the frequency multiset (rank
+// floor((m-1)/2) of the ascending order), matching core.Profile.Median.
+func (p *Profiler) Median() (core.Entry, error) {
+	if len(p.freq) == 0 {
+		return core.Entry{}, core.ErrEmptyProfile
+	}
+	k, ok := p.tree.kth((len(p.freq) - 1) / 2)
+	if !ok {
+		return core.Entry{}, core.ErrEmptyProfile
+	}
+	return core.Entry{Object: int(k.obj), Frequency: k.freq}, nil
+}
+
+// AtRank returns the entry at 0-based ascending rank r, matching
+// core.Profile.AtRank.
+func (p *Profiler) AtRank(r int) (core.Entry, error) {
+	k, ok := p.tree.kth(r)
+	if !ok {
+		return core.Entry{}, fmt.Errorf("%w: rank %d, capacity %d", core.ErrBadRank, r, len(p.freq))
+	}
+	return core.Entry{Object: int(k.obj), Frequency: k.freq}, nil
+}
+
+// CheckInvariants validates the tree engine's structural invariants plus the
+// agreement between the frequency array and the tree contents.
+func (p *Profiler) CheckInvariants() error {
+	if err := p.tree.checkInvariants(); err != nil {
+		return err
+	}
+	if p.tree.size() != len(p.freq) {
+		return fmt.Errorf("bstprof: tree holds %d keys, want %d", p.tree.size(), len(p.freq))
+	}
+	var total int64
+	for x, f := range p.freq {
+		_ = x
+		total += f
+	}
+	if total != p.total {
+		return fmt.Errorf("bstprof: total %d does not match frequency sum %d", p.total, total)
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package bstprof
+
+import (
+	"errors"
+	"testing"
+
+	"sprofile/internal/baseline/bucketprof"
+	"sprofile/internal/core"
+	"sprofile/internal/profiler"
+	"sprofile/internal/stream"
+)
+
+func kinds() []Kind { return []Kind{Treap, RedBlack, SkipList} }
+
+func TestNewRejectsBadCapacity(t *testing.T) {
+	for _, k := range kinds() {
+		if _, err := New(-1, k); err == nil {
+			t.Fatalf("%v: New(-1) succeeded", k)
+		}
+	}
+	if _, err := New(10, Kind(99)); err == nil {
+		t.Fatalf("New with unknown kind succeeded")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Treap.String() != "treap" || RedBlack.String() != "red-black" || SkipList.String() != "skip-list" {
+		t.Fatalf("unexpected kind strings %q %q %q", Treap.String(), RedBlack.String(), SkipList.String())
+	}
+}
+
+func TestOutOfRangeErrors(t *testing.T) {
+	for _, k := range kinds() {
+		p := MustNew(3, k)
+		for _, x := range []int{-1, 3} {
+			if err := p.Add(x); !errors.Is(err, core.ErrObjectRange) {
+				t.Fatalf("%v: Add(%d) error = %v", k, x, err)
+			}
+			if err := p.Remove(x); !errors.Is(err, core.ErrObjectRange) {
+				t.Fatalf("%v: Remove(%d) error = %v", k, x, err)
+			}
+			if _, err := p.Count(x); !errors.Is(err, core.ErrObjectRange) {
+				t.Fatalf("%v: Count(%d) error = %v", k, x, err)
+			}
+		}
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	for _, k := range kinds() {
+		p := MustNew(0, k)
+		if _, _, err := p.Mode(); !errors.Is(err, core.ErrEmptyProfile) {
+			t.Fatalf("%v: Mode on empty profile: %v", k, err)
+		}
+		if _, _, err := p.Min(); !errors.Is(err, core.ErrEmptyProfile) {
+			t.Fatalf("%v: Min on empty profile: %v", k, err)
+		}
+		if _, err := p.Median(); !errors.Is(err, core.ErrEmptyProfile) {
+			t.Fatalf("%v: Median on empty profile: %v", k, err)
+		}
+	}
+}
+
+func TestQueriesMatchOracleOnPaperStreams(t *testing.T) {
+	for _, k := range kinds() {
+		for streamIdx := 1; streamIdx <= 3; streamIdx++ {
+			const m = 60
+			p := MustNew(m, k)
+			oracle := bucketprof.MustNew(m)
+			g, err := stream.PaperStream(streamIdx, m, uint64(streamIdx)*31)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3000; i++ {
+				op := g.Next()
+				if err := profiler.Apply(p, op); err != nil {
+					t.Fatal(err)
+				}
+				if err := profiler.Apply(oracle, op); err != nil {
+					t.Fatal(err)
+				}
+				if i%101 != 0 {
+					continue
+				}
+				gotMode, _, err := p.Mode()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantMode, _, err := oracle.Mode()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotMode.Frequency != wantMode.Frequency {
+					t.Fatalf("%v stream%d op %d: mode %d, oracle %d", k, streamIdx, i, gotMode.Frequency, wantMode.Frequency)
+				}
+				gotMin, _, _ := p.Min()
+				wantMin, _, _ := oracle.Min()
+				if gotMin.Frequency != wantMin.Frequency {
+					t.Fatalf("%v stream%d op %d: min %d, oracle %d", k, streamIdx, i, gotMin.Frequency, wantMin.Frequency)
+				}
+				gotMed, _ := p.Median()
+				wantMed, _ := oracle.Median()
+				if gotMed.Frequency != wantMed.Frequency {
+					t.Fatalf("%v stream%d op %d: median %d, oracle %d", k, streamIdx, i, gotMed.Frequency, wantMed.Frequency)
+				}
+				for _, kth := range []int{1, 2, m / 2, m} {
+					gotK, err := p.KthLargest(kth)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantK, err := oracle.KthLargest(kth)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gotK.Frequency != wantK.Frequency {
+						t.Fatalf("%v stream%d op %d: KthLargest(%d) %d, oracle %d",
+							k, streamIdx, i, kth, gotK.Frequency, wantK.Frequency)
+					}
+				}
+			}
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("%v stream%d: %v", k, streamIdx, err)
+			}
+		}
+	}
+}
+
+func TestKthLargestBounds(t *testing.T) {
+	for _, k := range kinds() {
+		p := MustNew(4, k)
+		if _, err := p.KthLargest(0); !errors.Is(err, core.ErrBadRank) {
+			t.Fatalf("%v: KthLargest(0) error %v", k, err)
+		}
+		if _, err := p.KthLargest(5); !errors.Is(err, core.ErrBadRank) {
+			t.Fatalf("%v: KthLargest(5) error %v", k, err)
+		}
+	}
+}
+
+func TestAtRank(t *testing.T) {
+	for _, k := range kinds() {
+		p := MustNew(3, k)
+		p.Add(2)
+		p.Add(2)
+		p.Add(1)
+		// ascending frequencies: [0 (obj0), 1 (obj1), 2 (obj2)]
+		for r, want := range []int64{0, 1, 2} {
+			e, err := p.AtRank(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Frequency != want {
+				t.Fatalf("%v: AtRank(%d) frequency %d, want %d", k, r, e.Frequency, want)
+			}
+		}
+		if _, err := p.AtRank(3); !errors.Is(err, core.ErrBadRank) {
+			t.Fatalf("%v: AtRank(3) error %v", k, err)
+		}
+	}
+}
+
+func TestCapTotalKind(t *testing.T) {
+	for _, k := range kinds() {
+		p := MustNew(5, k)
+		p.Add(0)
+		p.Add(0)
+		p.Remove(1)
+		if p.Cap() != 5 {
+			t.Fatalf("%v: Cap() = %d", k, p.Cap())
+		}
+		if p.Total() != 1 {
+			t.Fatalf("%v: Total() = %d", k, p.Total())
+		}
+		if p.Kind() != k {
+			t.Fatalf("Kind() = %v, want %v", p.Kind(), k)
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

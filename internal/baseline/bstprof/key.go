@@ -1,0 +1,54 @@
+// Package bstprof implements the order-statistic balanced-tree baseline the
+// paper compares S-Profile against in §3.2 (there realised with the GNU C++
+// policy-based data structures; here with two self-contained Go trees).
+//
+// The tree stores one key per object — the pair (frequency, object id),
+// ordered by frequency first — augmented with subtree sizes, so that rank
+// queries (median, K-th largest, arbitrary order statistics) run in O(log m).
+// Every ±1 update deletes the object's old key and inserts the new one, also
+// O(log m). That logarithmic factor is exactly what the S-Profile block set
+// eliminates.
+//
+// Two interchangeable tree engines are provided:
+//
+//   - Treap: a randomised binary search tree (expected O(log m) height);
+//   - RedBlack: a deterministic red-black tree (worst-case O(log m) height),
+//     the closest stand-in for the GNU PBDS rb_tree the paper measures.
+//
+// The ablation benchmark BenchmarkAblationTreeKind shows the paper's
+// conclusions do not depend on which engine is used.
+package bstprof
+
+// key orders objects by frequency, breaking ties by object id so that every
+// key in the tree is distinct.
+type key struct {
+	freq int64
+	obj  int32
+}
+
+// less reports whether a orders strictly before b.
+func (a key) less(b key) bool {
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	return a.obj < b.obj
+}
+
+// orderedTree is the engine interface shared by the treap and the red-black
+// tree. All methods refer to the ascending (frequency, object) order.
+type orderedTree interface {
+	// insert adds k to the tree. k must not already be present.
+	insert(k key)
+	// delete removes k from the tree and reports whether it was present.
+	delete(k key) bool
+	// kth returns the 0-based k-th smallest key.
+	kth(k int) (key, bool)
+	// min returns the smallest key.
+	min() (key, bool)
+	// max returns the largest key.
+	max() (key, bool)
+	// size returns the number of keys stored.
+	size() int
+	// checkInvariants validates the engine's structural invariants.
+	checkInvariants() error
+}

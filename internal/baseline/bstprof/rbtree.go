@@ -1,0 +1,391 @@
+package bstprof
+
+import "fmt"
+
+// rbTree is a size-augmented red-black tree (CLRS layout with a shared
+// sentinel leaf). It is the closest Go stand-in for the GNU PBDS
+// tree_order_statistics_node_update structure used by the paper's §3.2
+// baseline: deterministic O(log m) insert, delete and order statistics.
+type rbTree struct {
+	root     *rbNode
+	sentinel *rbNode
+	count    int
+}
+
+type rbNode struct {
+	k                   key
+	left, right, parent *rbNode
+	red                 bool
+	size                int32
+}
+
+// newRBTree returns an empty red-black tree.
+func newRBTree() *rbTree {
+	s := &rbNode{red: false, size: 0}
+	s.left, s.right, s.parent = s, s, s
+	return &rbTree{root: s, sentinel: s}
+}
+
+func (t *rbTree) isNil(n *rbNode) bool { return n == t.sentinel }
+
+// leftRotate performs the standard left rotation around x, keeping subtree
+// sizes consistent.
+func (t *rbTree) leftRotate(x *rbNode) {
+	y := x.right
+	x.right = y.left
+	if !t.isNil(y.left) {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case t.isNil(x.parent):
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+	y.size = x.size
+	x.size = x.left.size + x.right.size + 1
+}
+
+// rightRotate is the mirror image of leftRotate.
+func (t *rbTree) rightRotate(x *rbNode) {
+	y := x.left
+	x.left = y.right
+	if !t.isNil(y.right) {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case t.isNil(x.parent):
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+	y.size = x.size
+	x.size = x.left.size + x.right.size + 1
+}
+
+// insert implements orderedTree.
+func (t *rbTree) insert(k key) {
+	z := &rbNode{k: k, red: true, size: 1, left: t.sentinel, right: t.sentinel, parent: t.sentinel}
+	y := t.sentinel
+	x := t.root
+	for !t.isNil(x) {
+		x.size++
+		y = x
+		if k.less(x.k) {
+			x = x.left
+		} else {
+			x = x.right
+		}
+	}
+	z.parent = y
+	switch {
+	case t.isNil(y):
+		t.root = z
+	case k.less(y.k):
+		y.left = z
+	default:
+		y.right = z
+	}
+	t.count++
+	t.insertFixup(z)
+}
+
+func (t *rbTree) insertFixup(z *rbNode) {
+	for z.parent.red {
+		if z.parent == z.parent.parent.left {
+			uncle := z.parent.parent.right
+			if uncle.red {
+				z.parent.red = false
+				uncle.red = false
+				z.parent.parent.red = true
+				z = z.parent.parent
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.leftRotate(z)
+				}
+				z.parent.red = false
+				z.parent.parent.red = true
+				t.rightRotate(z.parent.parent)
+			}
+		} else {
+			uncle := z.parent.parent.left
+			if uncle.red {
+				z.parent.red = false
+				uncle.red = false
+				z.parent.parent.red = true
+				z = z.parent.parent
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rightRotate(z)
+				}
+				z.parent.red = false
+				z.parent.parent.red = true
+				t.leftRotate(z.parent.parent)
+			}
+		}
+	}
+	t.root.red = false
+}
+
+// find returns the node holding k, or the sentinel if absent.
+func (t *rbTree) find(k key) *rbNode {
+	x := t.root
+	for !t.isNil(x) {
+		switch {
+		case k.less(x.k):
+			x = x.left
+		case x.k.less(k):
+			x = x.right
+		default:
+			return x
+		}
+	}
+	return t.sentinel
+}
+
+// transplant replaces the subtree rooted at u with the subtree rooted at v.
+func (t *rbTree) transplant(u, v *rbNode) {
+	switch {
+	case t.isNil(u.parent):
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	v.parent = u.parent
+}
+
+// subtreeMin returns the smallest node of the subtree rooted at x.
+func (t *rbTree) subtreeMin(x *rbNode) *rbNode {
+	for !t.isNil(x.left) {
+		x = x.left
+	}
+	return x
+}
+
+// delete implements orderedTree.
+func (t *rbTree) delete(k key) bool {
+	z := t.find(k)
+	if t.isNil(z) {
+		return false
+	}
+
+	// Identify the node that will be physically spliced out of the tree and
+	// decrement subtree sizes from its parent up to the root before any
+	// structural change; the fix-up rotations recompute sizes locally from
+	// already-correct children.
+	spliced := z
+	if !t.isNil(z.left) && !t.isNil(z.right) {
+		spliced = t.subtreeMin(z.right)
+	}
+	for p := spliced.parent; !t.isNil(p); p = p.parent {
+		p.size--
+	}
+
+	y := z
+	yWasRed := y.red
+	var x *rbNode
+	switch {
+	case t.isNil(z.left):
+		x = z.right
+		t.transplant(z, z.right)
+	case t.isNil(z.right):
+		x = z.left
+		t.transplant(z, z.left)
+	default:
+		y = spliced
+		yWasRed = y.red
+		x = y.right
+		if y.parent == z {
+			x.parent = y
+		} else {
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.red = z.red
+		y.size = z.size
+	}
+	t.count--
+	if !yWasRed {
+		t.deleteFixup(x)
+	}
+	t.sentinel.parent = t.sentinel
+	t.sentinel.size = 0
+	return true
+}
+
+func (t *rbTree) deleteFixup(x *rbNode) {
+	for x != t.root && !x.red {
+		if x == x.parent.left {
+			w := x.parent.right
+			if w.red {
+				w.red = false
+				x.parent.red = true
+				t.leftRotate(x.parent)
+				w = x.parent.right
+			}
+			if !w.left.red && !w.right.red {
+				w.red = true
+				x = x.parent
+			} else {
+				if !w.right.red {
+					w.left.red = false
+					w.red = true
+					t.rightRotate(w)
+					w = x.parent.right
+				}
+				w.red = x.parent.red
+				x.parent.red = false
+				w.right.red = false
+				t.leftRotate(x.parent)
+				x = t.root
+			}
+		} else {
+			w := x.parent.left
+			if w.red {
+				w.red = false
+				x.parent.red = true
+				t.rightRotate(x.parent)
+				w = x.parent.left
+			}
+			if !w.right.red && !w.left.red {
+				w.red = true
+				x = x.parent
+			} else {
+				if !w.left.red {
+					w.right.red = false
+					w.red = true
+					t.leftRotate(w)
+					w = x.parent.left
+				}
+				w.red = x.parent.red
+				x.parent.red = false
+				w.left.red = false
+				t.rightRotate(x.parent)
+				x = t.root
+			}
+		}
+	}
+	x.red = false
+}
+
+// kth implements orderedTree (0-based ascending order statistic).
+func (t *rbTree) kth(k int) (key, bool) {
+	if k < 0 || k >= t.count {
+		return key{}, false
+	}
+	x := t.root
+	for !t.isNil(x) {
+		leftSize := int(x.left.size)
+		switch {
+		case k < leftSize:
+			x = x.left
+		case k == leftSize:
+			return x.k, true
+		default:
+			k -= leftSize + 1
+			x = x.right
+		}
+	}
+	return key{}, false
+}
+
+// min implements orderedTree.
+func (t *rbTree) min() (key, bool) {
+	if t.isNil(t.root) {
+		return key{}, false
+	}
+	return t.subtreeMin(t.root).k, true
+}
+
+// max implements orderedTree.
+func (t *rbTree) max() (key, bool) {
+	if t.isNil(t.root) {
+		return key{}, false
+	}
+	x := t.root
+	for !t.isNil(x.right) {
+		x = x.right
+	}
+	return x.k, true
+}
+
+// size implements orderedTree.
+func (t *rbTree) size() int { return t.count }
+
+// checkInvariants implements orderedTree: BST order, red-black properties
+// (root black, no red node with a red child, equal black height on every
+// root-to-leaf path), size augmentation and node count are all validated.
+func (t *rbTree) checkInvariants() error {
+	if t.red(t.root) {
+		return fmt.Errorf("bstprof: red-black root is red")
+	}
+	if t.sentinel.red {
+		return fmt.Errorf("bstprof: red-black sentinel is red")
+	}
+	seen := 0
+	var walk func(n *rbNode, lo, hi *key) (blackHeight int, size int32, err error)
+	walk = func(n *rbNode, lo, hi *key) (int, int32, error) {
+		if t.isNil(n) {
+			return 1, 0, nil
+		}
+		seen++
+		if lo != nil && n.k.less(*lo) {
+			return 0, 0, fmt.Errorf("bstprof: red-black BST order violated (key below lower bound)")
+		}
+		if hi != nil && hi.less(n.k) {
+			return 0, 0, fmt.Errorf("bstprof: red-black BST order violated (key above upper bound)")
+		}
+		if n.red && (n.left.red || n.right.red) {
+			return 0, 0, fmt.Errorf("bstprof: red node with red child")
+		}
+		lh, ls, err := walk(n.left, lo, &n.k)
+		if err != nil {
+			return 0, 0, err
+		}
+		rh, rs, err := walk(n.right, &n.k, hi)
+		if err != nil {
+			return 0, 0, err
+		}
+		if lh != rh {
+			return 0, 0, fmt.Errorf("bstprof: black height mismatch %d vs %d", lh, rh)
+		}
+		if n.size != ls+rs+1 {
+			return 0, 0, fmt.Errorf("bstprof: red-black size augmentation wrong (%d != %d+%d+1)", n.size, ls, rs)
+		}
+		h := lh
+		if !n.red {
+			h++
+		}
+		return h, n.size, nil
+	}
+	_, total, err := walk(t.root, nil, nil)
+	if err != nil {
+		return err
+	}
+	if int(total) != t.count || seen != t.count {
+		return fmt.Errorf("bstprof: red-black count %d does not match reachable nodes %d", t.count, total)
+	}
+	return nil
+}
+
+func (t *rbTree) red(n *rbNode) bool { return n.red }
+
+var _ orderedTree = (*rbTree)(nil)

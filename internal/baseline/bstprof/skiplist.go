@@ -1,0 +1,211 @@
+package bstprof
+
+import "fmt"
+
+// skipList is an indexable skip list (the structure behind Redis sorted
+// sets): every forward pointer carries the number of level-0 elements it
+// skips, so order statistics run in O(log m) expected time, like insert and
+// delete. It is the third engine behind the §3.2 baseline, included to show
+// that the S-Profile gap is a property of logarithmic ordered indexes in
+// general, not of binary search trees specifically.
+type skipList struct {
+	header *slNode
+	level  int
+	length int
+	rng    uint64
+}
+
+const slMaxLevel = 32
+
+type slNode struct {
+	k       key
+	forward []*slNode
+	span    []int
+}
+
+// newSkipList returns an empty indexable skip list.
+func newSkipList(seed uint64) *skipList {
+	return &skipList{
+		header: &slNode{
+			forward: make([]*slNode, slMaxLevel),
+			span:    make([]int, slMaxLevel),
+		},
+		level: 1,
+		rng:   seed | 1,
+	}
+}
+
+// randomLevel draws a node height with P(level >= L) = 4^-(L-1).
+func (s *skipList) randomLevel() int {
+	level := 1
+	for level < slMaxLevel {
+		s.rng += 0x9e3779b97f4a7c15
+		z := s.rng
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		if z&3 != 0 { // probability 3/4 to stop
+			break
+		}
+		level++
+	}
+	return level
+}
+
+// insert implements orderedTree.
+func (s *skipList) insert(k key) {
+	var update [slMaxLevel]*slNode
+	var rank [slMaxLevel]int
+
+	x := s.header
+	for i := s.level - 1; i >= 0; i-- {
+		if i == s.level-1 {
+			rank[i] = 0
+		} else {
+			rank[i] = rank[i+1]
+		}
+		for x.forward[i] != nil && x.forward[i].k.less(k) {
+			rank[i] += x.span[i]
+			x = x.forward[i]
+		}
+		update[i] = x
+	}
+
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			rank[i] = 0
+			update[i] = s.header
+			update[i].span[i] = s.length
+		}
+		s.level = lvl
+	}
+
+	n := &slNode{k: k, forward: make([]*slNode, lvl), span: make([]int, lvl)}
+	for i := 0; i < lvl; i++ {
+		n.forward[i] = update[i].forward[i]
+		update[i].forward[i] = n
+		n.span[i] = update[i].span[i] - (rank[0] - rank[i])
+		update[i].span[i] = (rank[0] - rank[i]) + 1
+	}
+	for i := lvl; i < s.level; i++ {
+		update[i].span[i]++
+	}
+	s.length++
+}
+
+// delete implements orderedTree.
+func (s *skipList) delete(k key) bool {
+	var update [slMaxLevel]*slNode
+	x := s.header
+	for i := s.level - 1; i >= 0; i-- {
+		for x.forward[i] != nil && x.forward[i].k.less(k) {
+			x = x.forward[i]
+		}
+		update[i] = x
+	}
+	target := update[0].forward[0]
+	if target == nil || target.k != k {
+		return false
+	}
+	for i := 0; i < s.level; i++ {
+		if update[i].forward[i] == target {
+			update[i].span[i] += target.span[i] - 1
+			update[i].forward[i] = target.forward[i]
+		} else {
+			update[i].span[i]--
+		}
+	}
+	for s.level > 1 && s.header.forward[s.level-1] == nil {
+		s.header.span[s.level-1] = 0
+		s.level--
+	}
+	s.length--
+	return true
+}
+
+// kth implements orderedTree (0-based ascending order statistic).
+func (s *skipList) kth(k int) (key, bool) {
+	if k < 0 || k >= s.length {
+		return key{}, false
+	}
+	target := k + 1
+	traversed := 0
+	x := s.header
+	for i := s.level - 1; i >= 0; i-- {
+		for x.forward[i] != nil && traversed+x.span[i] <= target {
+			traversed += x.span[i]
+			x = x.forward[i]
+		}
+		if traversed == target && x != s.header {
+			return x.k, true
+		}
+	}
+	return key{}, false
+}
+
+// min implements orderedTree.
+func (s *skipList) min() (key, bool) {
+	if s.header.forward[0] == nil {
+		return key{}, false
+	}
+	return s.header.forward[0].k, true
+}
+
+// max implements orderedTree.
+func (s *skipList) max() (key, bool) {
+	if s.length == 0 {
+		return key{}, false
+	}
+	x := s.header
+	for i := s.level - 1; i >= 0; i-- {
+		for x.forward[i] != nil {
+			x = x.forward[i]
+		}
+	}
+	return x.k, true
+}
+
+// size implements orderedTree.
+func (s *skipList) size() int { return s.length }
+
+// checkInvariants implements orderedTree: level-0 ordering, length, and the
+// span bookkeeping at every level are validated against the level-0 order.
+func (s *skipList) checkInvariants() error {
+	// Level-0 walk: collect positions and check ordering.
+	pos := make(map[*slNode]int)
+	count := 0
+	prev := (*slNode)(nil)
+	for x := s.header.forward[0]; x != nil; x = x.forward[0] {
+		if prev != nil && !prev.k.less(x.k) {
+			return fmt.Errorf("bstprof: skip list level-0 order violated")
+		}
+		pos[x] = count
+		count++
+		prev = x
+	}
+	if count != s.length {
+		return fmt.Errorf("bstprof: skip list length %d, level-0 walk found %d", s.length, count)
+	}
+	// Span checks on every level: the span of a link must equal the distance
+	// between the positions of its endpoints (header has position -1).
+	for i := 0; i < s.level; i++ {
+		at := -1
+		x := s.header
+		for x.forward[i] != nil {
+			next := x.forward[i]
+			nextPos, ok := pos[next]
+			if !ok {
+				return fmt.Errorf("bstprof: skip list node on level %d missing from level 0", i)
+			}
+			if x.span[i] != nextPos-at {
+				return fmt.Errorf("bstprof: skip list span mismatch on level %d: %d, want %d", i, x.span[i], nextPos-at)
+			}
+			at = nextPos
+			x = next
+		}
+	}
+	return nil
+}
+
+var _ orderedTree = (*skipList)(nil)

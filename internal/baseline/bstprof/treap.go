@@ -1,0 +1,245 @@
+package bstprof
+
+import "fmt"
+
+// treap is a size-augmented randomised binary search tree. Nodes live in a
+// slab indexed by int32 handles with an intrusive free list, so steady-state
+// updates (delete + insert) reuse slots and do not allocate.
+type treap struct {
+	nodes []treapNode
+	root  int32
+	free  int32
+	count int
+	rng   uint64
+}
+
+type treapNode struct {
+	k           key
+	priority    uint64
+	left, right int32
+	size        int32
+}
+
+const nilNode int32 = -1
+
+// newTreap returns an empty treap; hint pre-sizes the node slab.
+func newTreap(hint int, seed uint64) *treap {
+	if hint < 0 {
+		hint = 0
+	}
+	return &treap{
+		nodes: make([]treapNode, 0, hint),
+		root:  nilNode,
+		free:  nilNode,
+		rng:   seed | 1,
+	}
+}
+
+// nextPriority is a splitmix64 step; treap balance only needs the priorities
+// to look random, not to be cryptographically strong.
+func (t *treap) nextPriority() uint64 {
+	t.rng += 0x9e3779b97f4a7c15
+	z := t.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (t *treap) alloc(k key) int32 {
+	if t.free != nilNode {
+		h := t.free
+		t.free = t.nodes[h].left
+		t.nodes[h] = treapNode{k: k, priority: t.nextPriority(), left: nilNode, right: nilNode, size: 1}
+		return h
+	}
+	t.nodes = append(t.nodes, treapNode{k: k, priority: t.nextPriority(), left: nilNode, right: nilNode, size: 1})
+	return int32(len(t.nodes) - 1)
+}
+
+func (t *treap) release(h int32) {
+	t.nodes[h].left = t.free
+	t.free = h
+}
+
+func (t *treap) sizeOf(h int32) int32 {
+	if h == nilNode {
+		return 0
+	}
+	return t.nodes[h].size
+}
+
+func (t *treap) pull(h int32) {
+	n := &t.nodes[h]
+	n.size = 1 + t.sizeOf(n.left) + t.sizeOf(n.right)
+}
+
+// split partitions the subtree h into keys < k and keys >= k.
+func (t *treap) split(h int32, k key) (left, right int32) {
+	if h == nilNode {
+		return nilNode, nilNode
+	}
+	n := &t.nodes[h]
+	if n.k.less(k) {
+		l, r := t.split(n.right, k)
+		n.right = l
+		t.pull(h)
+		return h, r
+	}
+	l, r := t.split(n.left, k)
+	n.left = r
+	t.pull(h)
+	return l, h
+}
+
+// merge joins two subtrees where every key in a precedes every key in b.
+func (t *treap) merge(a, b int32) int32 {
+	if a == nilNode {
+		return b
+	}
+	if b == nilNode {
+		return a
+	}
+	if t.nodes[a].priority >= t.nodes[b].priority {
+		t.nodes[a].right = t.merge(t.nodes[a].right, b)
+		t.pull(a)
+		return a
+	}
+	t.nodes[b].left = t.merge(a, t.nodes[b].left)
+	t.pull(b)
+	return b
+}
+
+// insert implements orderedTree.
+func (t *treap) insert(k key) {
+	h := t.alloc(k)
+	l, r := t.split(t.root, k)
+	t.root = t.merge(t.merge(l, h), r)
+	t.count++
+}
+
+// delete implements orderedTree.
+func (t *treap) delete(k key) bool {
+	var deleted bool
+	t.root = t.deleteRec(t.root, k, &deleted)
+	if deleted {
+		t.count--
+	}
+	return deleted
+}
+
+func (t *treap) deleteRec(h int32, k key, deleted *bool) int32 {
+	if h == nilNode {
+		return nilNode
+	}
+	n := &t.nodes[h]
+	switch {
+	case k.less(n.k):
+		n.left = t.deleteRec(n.left, k, deleted)
+	case n.k.less(k):
+		n.right = t.deleteRec(n.right, k, deleted)
+	default:
+		*deleted = true
+		merged := t.merge(n.left, n.right)
+		t.release(h)
+		return merged
+	}
+	t.pull(h)
+	return h
+}
+
+// kth implements orderedTree (0-based ascending order statistic).
+func (t *treap) kth(k int) (key, bool) {
+	if k < 0 || k >= t.count {
+		return key{}, false
+	}
+	h := t.root
+	for h != nilNode {
+		n := &t.nodes[h]
+		leftSize := int(t.sizeOf(n.left))
+		switch {
+		case k < leftSize:
+			h = n.left
+		case k == leftSize:
+			return n.k, true
+		default:
+			k -= leftSize + 1
+			h = n.right
+		}
+	}
+	return key{}, false
+}
+
+// min implements orderedTree.
+func (t *treap) min() (key, bool) {
+	if t.root == nilNode {
+		return key{}, false
+	}
+	h := t.root
+	for t.nodes[h].left != nilNode {
+		h = t.nodes[h].left
+	}
+	return t.nodes[h].k, true
+}
+
+// max implements orderedTree.
+func (t *treap) max() (key, bool) {
+	if t.root == nilNode {
+		return key{}, false
+	}
+	h := t.root
+	for t.nodes[h].right != nilNode {
+		h = t.nodes[h].right
+	}
+	return t.nodes[h].k, true
+}
+
+// size implements orderedTree.
+func (t *treap) size() int { return t.count }
+
+// checkInvariants implements orderedTree: BST order, heap order on
+// priorities, and size augmentation are all validated.
+func (t *treap) checkInvariants() error {
+	seen := 0
+	var walk func(h int32, lo, hi *key) (int32, error)
+	walk = func(h int32, lo, hi *key) (int32, error) {
+		if h == nilNode {
+			return 0, nil
+		}
+		seen++
+		n := t.nodes[h]
+		if lo != nil && n.k.less(*lo) {
+			return 0, fmt.Errorf("bstprof: treap BST order violated (key below lower bound)")
+		}
+		if hi != nil && hi.less(n.k) {
+			return 0, fmt.Errorf("bstprof: treap BST order violated (key above upper bound)")
+		}
+		if n.left != nilNode && t.nodes[n.left].priority > n.priority {
+			return 0, fmt.Errorf("bstprof: treap heap order violated on left child")
+		}
+		if n.right != nilNode && t.nodes[n.right].priority > n.priority {
+			return 0, fmt.Errorf("bstprof: treap heap order violated on right child")
+		}
+		ls, err := walk(n.left, lo, &n.k)
+		if err != nil {
+			return 0, err
+		}
+		rs, err := walk(n.right, &n.k, hi)
+		if err != nil {
+			return 0, err
+		}
+		if n.size != ls+rs+1 {
+			return 0, fmt.Errorf("bstprof: treap size augmentation wrong (%d != %d+%d+1)", n.size, ls, rs)
+		}
+		return n.size, nil
+	}
+	total, err := walk(t.root, nil, nil)
+	if err != nil {
+		return err
+	}
+	if int(total) != t.count || seen != t.count {
+		return fmt.Errorf("bstprof: treap count %d does not match reachable nodes %d", t.count, total)
+	}
+	return nil
+}
+
+var _ orderedTree = (*treap)(nil)

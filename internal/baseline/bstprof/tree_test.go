@@ -1,0 +1,215 @@
+package bstprof
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sprofile/internal/stream"
+)
+
+// engines returns a fresh instance of every tree engine under test.
+func engines() map[string]orderedTree {
+	return map[string]orderedTree{
+		"treap":     newTreap(0, 1),
+		"red-black": newRBTree(),
+		"skip-list": newSkipList(1),
+	}
+}
+
+func TestTreeInsertDeleteSmall(t *testing.T) {
+	for name, tr := range engines() {
+		keys := []key{
+			{freq: 5, obj: 1},
+			{freq: 3, obj: 2},
+			{freq: 5, obj: 0},
+			{freq: -2, obj: 3},
+			{freq: 0, obj: 4},
+		}
+		for _, k := range keys {
+			tr.insert(k)
+		}
+		if tr.size() != len(keys) {
+			t.Fatalf("%s: size %d, want %d", name, tr.size(), len(keys))
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		min, ok := tr.min()
+		if !ok || min != (key{freq: -2, obj: 3}) {
+			t.Fatalf("%s: min = %+v", name, min)
+		}
+		max, ok := tr.max()
+		if !ok || max != (key{freq: 5, obj: 1}) {
+			t.Fatalf("%s: max = %+v", name, max)
+		}
+		if !tr.delete(key{freq: 3, obj: 2}) {
+			t.Fatalf("%s: delete of present key failed", name)
+		}
+		if tr.delete(key{freq: 3, obj: 2}) {
+			t.Fatalf("%s: delete of absent key succeeded", name)
+		}
+		if tr.size() != len(keys)-1 {
+			t.Fatalf("%s: size %d after delete, want %d", name, tr.size(), len(keys)-1)
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("%s after delete: %v", name, err)
+		}
+	}
+}
+
+func TestTreeEmptyQueries(t *testing.T) {
+	for name, tr := range engines() {
+		if _, ok := tr.min(); ok {
+			t.Fatalf("%s: min on empty tree reported ok", name)
+		}
+		if _, ok := tr.max(); ok {
+			t.Fatalf("%s: max on empty tree reported ok", name)
+		}
+		if _, ok := tr.kth(0); ok {
+			t.Fatalf("%s: kth on empty tree reported ok", name)
+		}
+		if tr.delete(key{freq: 1, obj: 1}) {
+			t.Fatalf("%s: delete on empty tree reported success", name)
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestTreeKthMatchesSortedOrder(t *testing.T) {
+	for name, tr := range engines() {
+		rng := stream.NewRNG(42)
+		var keys []key
+		for i := 0; i < 500; i++ {
+			k := key{freq: int64(rng.Intn(50)) - 25, obj: int32(i)}
+			keys = append(keys, k)
+			tr.insert(k)
+		}
+		sorted := append([]key(nil), keys...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].less(sorted[j]) })
+		for i, want := range sorted {
+			got, ok := tr.kth(i)
+			if !ok || got != want {
+				t.Fatalf("%s: kth(%d) = %+v ok=%v, want %+v", name, i, got, ok, want)
+			}
+		}
+		if _, ok := tr.kth(len(sorted)); ok {
+			t.Fatalf("%s: kth past the end reported ok", name)
+		}
+		if _, ok := tr.kth(-1); ok {
+			t.Fatalf("%s: kth(-1) reported ok", name)
+		}
+	}
+}
+
+func TestTreeRandomisedAgainstSortedSlice(t *testing.T) {
+	for name, tr := range engines() {
+		rng := stream.NewRNG(7)
+		reference := map[key]bool{}
+		for step := 0; step < 4000; step++ {
+			k := key{freq: int64(rng.Intn(30)), obj: int32(rng.Intn(60))}
+			if reference[k] {
+				if !tr.delete(k) {
+					t.Fatalf("%s: step %d: delete of present key %+v failed", name, step, k)
+				}
+				delete(reference, k)
+			} else {
+				tr.insert(k)
+				reference[k] = true
+			}
+			if step%500 == 0 {
+				if err := tr.checkInvariants(); err != nil {
+					t.Fatalf("%s: step %d: %v", name, step, err)
+				}
+			}
+			if tr.size() != len(reference) {
+				t.Fatalf("%s: step %d: size %d, want %d", name, step, tr.size(), len(reference))
+			}
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Final order check.
+		var sorted []key
+		for k := range reference {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].less(sorted[j]) })
+		for i, want := range sorted {
+			got, ok := tr.kth(i)
+			if !ok || got != want {
+				t.Fatalf("%s: kth(%d) = %+v, want %+v", name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestTreeDeleteEveryElement(t *testing.T) {
+	for name, tr := range engines() {
+		const n = 300
+		for i := 0; i < n; i++ {
+			tr.insert(key{freq: int64(i % 7), obj: int32(i)})
+		}
+		perm := stream.NewRNG(9).Perm(n)
+		for _, i := range perm {
+			if !tr.delete(key{freq: int64(i % 7), obj: int32(i)}) {
+				t.Fatalf("%s: delete of key for object %d failed", name, i)
+			}
+		}
+		if tr.size() != 0 {
+			t.Fatalf("%s: size %d after deleting everything", name, tr.size())
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestTreePropertyInsertDeleteMirrorsMap(t *testing.T) {
+	f := func(seed uint64, rawOps uint16) bool {
+		nOps := int(rawOps)%400 + 1
+		rng := stream.NewRNG(seed)
+		for _, tr := range engines() {
+			reference := map[key]bool{}
+			for i := 0; i < nOps; i++ {
+				k := key{freq: int64(rng.Intn(10)), obj: int32(rng.Intn(20))}
+				if reference[k] {
+					if !tr.delete(k) {
+						return false
+					}
+					delete(reference, k)
+				} else {
+					tr.insert(k)
+					reference[k] = true
+				}
+			}
+			if tr.size() != len(reference) {
+				return false
+			}
+			if tr.checkInvariants() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyLess(t *testing.T) {
+	a := key{freq: 1, obj: 5}
+	b := key{freq: 2, obj: 1}
+	c := key{freq: 1, obj: 6}
+	if !a.less(b) || b.less(a) {
+		t.Fatalf("frequency ordering broken")
+	}
+	if !a.less(c) || c.less(a) {
+		t.Fatalf("object tie-break ordering broken")
+	}
+	if a.less(a) {
+		t.Fatalf("key compares less than itself")
+	}
+}

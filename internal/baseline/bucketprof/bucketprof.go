@@ -1,0 +1,193 @@
+// Package bucketprof is the naive reference profiler: it stores one frequency
+// counter per object and answers every query by scanning all m counters.
+//
+// Updates are O(1) (the paper's "m buckets" observation) but every statistical
+// query is O(m) — or O(m log m) for order statistics — which is exactly the
+// cost the S-Profile block set removes. The implementation exists for two
+// reasons:
+//
+//   - it is simple enough to be obviously correct, so the property-based
+//     tests use it as the oracle every other profiler is checked against;
+//   - it quantifies the query-time gap in the ablation benchmarks.
+package bucketprof
+
+import (
+	"fmt"
+	"sort"
+
+	"sprofile/internal/core"
+	"sprofile/internal/profiler"
+)
+
+// Profiler is the bucket-scan baseline. It is not safe for concurrent use.
+type Profiler struct {
+	freq  []int64
+	total int64
+}
+
+var _ profiler.Profiler = (*Profiler)(nil)
+
+// New returns a bucket profiler with m object slots, all at frequency zero.
+func New(m int) (*Profiler, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("bucketprof: negative capacity %d", m)
+	}
+	return &Profiler{freq: make([]int64, m)}, nil
+}
+
+// MustNew is New for callers with a known-good capacity; it panics on error.
+func MustNew(m int) *Profiler {
+	p, err := New(m)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Cap returns the number of object slots.
+func (p *Profiler) Cap() int { return len(p.freq) }
+
+// Total returns the sum of all frequencies.
+func (p *Profiler) Total() int64 { return p.total }
+
+func (p *Profiler) checkID(x int) error {
+	if x < 0 || x >= len(p.freq) {
+		return fmt.Errorf("%w: id %d, capacity %d", core.ErrObjectRange, x, len(p.freq))
+	}
+	return nil
+}
+
+// Add applies an "add" event for object x.
+func (p *Profiler) Add(x int) error {
+	if err := p.checkID(x); err != nil {
+		return err
+	}
+	p.freq[x]++
+	p.total++
+	return nil
+}
+
+// Remove applies a "remove" event for object x.
+func (p *Profiler) Remove(x int) error {
+	if err := p.checkID(x); err != nil {
+		return err
+	}
+	p.freq[x]--
+	p.total--
+	return nil
+}
+
+// Count returns the current frequency of object x.
+func (p *Profiler) Count(x int) (int64, error) {
+	if err := p.checkID(x); err != nil {
+		return 0, err
+	}
+	return p.freq[x], nil
+}
+
+// Mode scans all buckets and returns an object with maximum frequency, the
+// frequency, and how many objects share it. Ties are broken towards the
+// smallest object id; cross-implementation tests compare frequencies and tie
+// counts, not the representative object, because every profiler is free to
+// pick any member of the winning tie.
+func (p *Profiler) Mode() (core.Entry, int, error) {
+	if len(p.freq) == 0 {
+		return core.Entry{}, 0, core.ErrEmptyProfile
+	}
+	best := 0
+	count := 0
+	for x, f := range p.freq {
+		switch {
+		case x == 0 || f > p.freq[best]:
+			best = x
+			count = 1
+		case f == p.freq[best]:
+			count++
+		}
+	}
+	return core.Entry{Object: best, Frequency: p.freq[best]}, count, nil
+}
+
+// Min scans all buckets and returns an object with minimum frequency.
+func (p *Profiler) Min() (core.Entry, int, error) {
+	if len(p.freq) == 0 {
+		return core.Entry{}, 0, core.ErrEmptyProfile
+	}
+	best := 0
+	count := 0
+	for x, f := range p.freq {
+		switch {
+		case x == 0 || f < p.freq[best]:
+			best = x
+			count = 1
+		case f == p.freq[best]:
+			count++
+		}
+	}
+	return core.Entry{Object: best, Frequency: p.freq[best]}, count, nil
+}
+
+// KthLargest sorts a copy of the frequencies and returns the k-th largest
+// (1-based). Cost O(m log m).
+func (p *Profiler) KthLargest(k int) (core.Entry, error) {
+	if k < 1 || k > len(p.freq) {
+		return core.Entry{}, fmt.Errorf("%w: k %d, capacity %d", core.ErrBadRank, k, len(p.freq))
+	}
+	return p.atSortedRank(len(p.freq) - k)
+}
+
+// Median returns the lower-median entry of the frequency multiset (the entry
+// at rank floor((m-1)/2) of the ascending sort).
+func (p *Profiler) Median() (core.Entry, error) {
+	if len(p.freq) == 0 {
+		return core.Entry{}, core.ErrEmptyProfile
+	}
+	return p.atSortedRank((len(p.freq) - 1) / 2)
+}
+
+// atSortedRank returns the entry at 0-based rank r of the frequencies sorted
+// ascending (ties broken by object id, matching how the oracle tests compare
+// frequencies only).
+func (p *Profiler) atSortedRank(r int) (core.Entry, error) {
+	type pair struct {
+		obj int
+		f   int64
+	}
+	pairs := make([]pair, len(p.freq))
+	for x, f := range p.freq {
+		pairs[x] = pair{obj: x, f: f}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].f != pairs[j].f {
+			return pairs[i].f < pairs[j].f
+		}
+		return pairs[i].obj < pairs[j].obj
+	})
+	return core.Entry{Object: pairs[r].obj, Frequency: pairs[r].f}, nil
+}
+
+// Frequencies returns a copy of the raw frequency array; the oracle tests use
+// it to validate other profilers bucket by bucket.
+func (p *Profiler) Frequencies() []int64 {
+	return append([]int64(nil), p.freq...)
+}
+
+// Distribution returns the ascending frequency histogram, mirroring
+// core.Profile.Distribution, in O(m log m).
+func (p *Profiler) Distribution() []core.FreqCount {
+	if len(p.freq) == 0 {
+		return nil
+	}
+	sorted := append([]int64(nil), p.freq...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var out []core.FreqCount
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		out = append(out, core.FreqCount{Freq: sorted[i], Count: j - i})
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package bucketprof
+
+import (
+	"errors"
+	"testing"
+
+	"sprofile/internal/core"
+)
+
+func TestNewRejectsNegativeCapacity(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Fatalf("New(-1) succeeded")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustNew(-1) did not panic")
+		}
+	}()
+	MustNew(-1)
+}
+
+func TestAddRemoveCount(t *testing.T) {
+	p := MustNew(4)
+	if err := p.Add(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Remove(3); err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := p.Count(2); f != 2 {
+		t.Fatalf("Count(2) = %d, want 2", f)
+	}
+	if f, _ := p.Count(3); f != -1 {
+		t.Fatalf("Count(3) = %d, want -1", f)
+	}
+	if p.Total() != 1 {
+		t.Fatalf("Total() = %d, want 1", p.Total())
+	}
+	if p.Cap() != 4 {
+		t.Fatalf("Cap() = %d, want 4", p.Cap())
+	}
+}
+
+func TestOutOfRangeErrors(t *testing.T) {
+	p := MustNew(3)
+	for _, x := range []int{-1, 3, 100} {
+		if err := p.Add(x); !errors.Is(err, core.ErrObjectRange) {
+			t.Fatalf("Add(%d) error = %v, want ErrObjectRange", x, err)
+		}
+		if err := p.Remove(x); !errors.Is(err, core.ErrObjectRange) {
+			t.Fatalf("Remove(%d) error = %v, want ErrObjectRange", x, err)
+		}
+		if _, err := p.Count(x); !errors.Is(err, core.ErrObjectRange) {
+			t.Fatalf("Count(%d) error = %v, want ErrObjectRange", x, err)
+		}
+	}
+}
+
+func TestModeMinTieCounts(t *testing.T) {
+	p := MustNew(5)
+	// freqs: [2, 2, 0, 0, 0]
+	for i := 0; i < 2; i++ {
+		p.Add(0)
+		p.Add(1)
+	}
+	mode, ties, err := p.Mode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode.Frequency != 2 || ties != 2 {
+		t.Fatalf("Mode = %+v ties %d, want frequency 2 ties 2", mode, ties)
+	}
+	min, ties, err := p.Min()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Frequency != 0 || ties != 3 {
+		t.Fatalf("Min = %+v ties %d, want frequency 0 ties 3", min, ties)
+	}
+}
+
+func TestEmptyProfileQueries(t *testing.T) {
+	p := MustNew(0)
+	if _, _, err := p.Mode(); !errors.Is(err, core.ErrEmptyProfile) {
+		t.Fatalf("Mode on empty profile: %v", err)
+	}
+	if _, _, err := p.Min(); !errors.Is(err, core.ErrEmptyProfile) {
+		t.Fatalf("Min on empty profile: %v", err)
+	}
+	if _, err := p.Median(); !errors.Is(err, core.ErrEmptyProfile) {
+		t.Fatalf("Median on empty profile: %v", err)
+	}
+	if p.Distribution() != nil {
+		t.Fatalf("Distribution on empty profile is not nil")
+	}
+}
+
+func TestKthLargestAndMedian(t *testing.T) {
+	p := MustNew(5)
+	// freqs: [5, 3, 1, 0, 0]
+	for i := 0; i < 5; i++ {
+		p.Add(0)
+	}
+	for i := 0; i < 3; i++ {
+		p.Add(1)
+	}
+	p.Add(2)
+
+	wantDesc := []int64{5, 3, 1, 0, 0}
+	for k := 1; k <= 5; k++ {
+		e, err := p.KthLargest(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Frequency != wantDesc[k-1] {
+			t.Fatalf("KthLargest(%d) frequency %d, want %d", k, e.Frequency, wantDesc[k-1])
+		}
+	}
+	med, err := p.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med.Frequency != 1 {
+		t.Fatalf("Median frequency %d, want 1", med.Frequency)
+	}
+	if _, err := p.KthLargest(0); !errors.Is(err, core.ErrBadRank) {
+		t.Fatalf("KthLargest(0) error %v, want ErrBadRank", err)
+	}
+	if _, err := p.KthLargest(6); !errors.Is(err, core.ErrBadRank) {
+		t.Fatalf("KthLargest(6) error %v, want ErrBadRank", err)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	p := MustNew(4)
+	p.Add(0)
+	p.Add(0)
+	p.Add(1)
+	dist := p.Distribution()
+	want := []core.FreqCount{{Freq: 0, Count: 2}, {Freq: 1, Count: 1}, {Freq: 2, Count: 1}}
+	if len(dist) != len(want) {
+		t.Fatalf("Distribution() = %+v, want %+v", dist, want)
+	}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("Distribution()[%d] = %+v, want %+v", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestFrequenciesCopy(t *testing.T) {
+	p := MustNew(3)
+	p.Add(1)
+	fs := p.Frequencies()
+	fs[1] = 99
+	if f, _ := p.Count(1); f != 1 {
+		t.Fatalf("mutating the returned slice changed internal state")
+	}
+}

@@ -1,0 +1,298 @@
+// Package fenwickprof is an extension baseline that indexes the frequency
+// domain with a Fenwick tree (binary indexed tree).
+//
+// Where the balanced-tree baseline keys a tree on (frequency, object) pairs,
+// this profiler counts how many objects currently hold each frequency value
+// and stores those counters in a Fenwick tree, so the k-th order statistic of
+// the frequency multiset is found by a single O(log F) descent, where F is
+// the width of the frequency range seen so far. A per-frequency bucket of
+// member objects provides a representative object for each answer in O(1).
+//
+// Updates are O(log F): two point updates on the Fenwick tree plus O(1)
+// bucket bookkeeping. The structure therefore sits between the balanced tree
+// (O(log m) per update, no dependence on the frequency range) and S-Profile
+// (O(1) per update): the ablation benchmark BenchmarkAblationFenwick shows
+// how close an O(log F) structure can get to the paper's O(1) bound when the
+// frequency range stays small, and how it degrades when frequencies grow.
+package fenwickprof
+
+import (
+	"fmt"
+
+	"sprofile/internal/core"
+	"sprofile/internal/profiler"
+)
+
+// defaultHalfRange is the initial one-sided width of the indexed frequency
+// range [-defaultHalfRange, +defaultHalfRange]; the profiler regrows (and
+// rebuilds in O(F + m)) whenever a frequency steps outside the current range.
+const defaultHalfRange = 1 << 10
+
+// Profiler is the Fenwick-tree-over-frequencies baseline. It is not safe for
+// concurrent use.
+type Profiler struct {
+	freq []int64
+
+	// offset maps a frequency f to the Fenwick index f+offset+1 (1-based).
+	offset    int64
+	halfRange int64
+	bit       []int32 // Fenwick tree over frequency counts
+
+	// buckets[f] lists the objects currently at frequency f; posInBucket[x]
+	// is x's index inside its bucket so that removal is O(1) by swapping
+	// with the last member.
+	buckets     map[int64][]int32
+	posInBucket []int32
+
+	total    int64
+	rebuilds int
+}
+
+var _ profiler.Profiler = (*Profiler)(nil)
+
+// New returns a Fenwick profiler with m object slots, all at frequency zero.
+func New(m int) (*Profiler, error) {
+	if m < 0 || m > core.MaxCapacity {
+		return nil, fmt.Errorf("fenwickprof: invalid capacity %d", m)
+	}
+	p := &Profiler{
+		freq:        make([]int64, m),
+		buckets:     make(map[int64][]int32),
+		posInBucket: make([]int32, m),
+	}
+	if m > 0 {
+		zero := make([]int32, m)
+		for x := 0; x < m; x++ {
+			zero[x] = int32(x)
+			p.posInBucket[x] = int32(x)
+		}
+		p.buckets[0] = zero
+	}
+	p.rebuild(defaultHalfRange)
+	return p, nil
+}
+
+// MustNew is New for callers with a known-good capacity; it panics on error.
+func MustNew(m int) *Profiler {
+	p, err := New(m)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// rebuild resizes the indexed frequency range to [-halfRange, +halfRange] and
+// re-inserts every object's current frequency.
+func (p *Profiler) rebuild(halfRange int64) {
+	p.halfRange = halfRange
+	p.offset = halfRange
+	p.bit = make([]int32, 2*halfRange+2)
+	for _, f := range p.freq {
+		p.bitAdd(f, 1)
+	}
+	p.rebuilds++
+}
+
+// Rebuilds returns how many times the frequency range had to be regrown.
+func (p *Profiler) Rebuilds() int { return p.rebuilds }
+
+// bitIndex converts a frequency value to its 1-based Fenwick index.
+func (p *Profiler) bitIndex(f int64) int { return int(f + p.offset + 1) }
+
+// bitAdd adds delta to the count of frequency f.
+func (p *Profiler) bitAdd(f int64, delta int32) {
+	for i := p.bitIndex(f); i < len(p.bit); i += i & (-i) {
+		p.bit[i] += delta
+	}
+}
+
+// bitSelect returns the smallest frequency f such that the number of objects
+// with frequency <= f is at least k (1-based k).
+func (p *Profiler) bitSelect(k int32) int64 {
+	idx := 0
+	// highest power of two not exceeding len(bit)-1
+	step := 1
+	for step<<1 < len(p.bit) {
+		step <<= 1
+	}
+	for ; step > 0; step >>= 1 {
+		next := idx + step
+		if next < len(p.bit) && p.bit[next] < k {
+			idx = next
+			k -= p.bit[next]
+		}
+	}
+	return int64(idx+1) - p.offset - 1
+}
+
+func (p *Profiler) checkID(x int) error {
+	if x < 0 || x >= len(p.freq) {
+		return fmt.Errorf("%w: id %d, capacity %d", core.ErrObjectRange, x, len(p.freq))
+	}
+	return nil
+}
+
+// bucketRemove takes object x out of the bucket for frequency f.
+func (p *Profiler) bucketRemove(x int32, f int64) {
+	b := p.buckets[f]
+	i := p.posInBucket[x]
+	last := int32(len(b) - 1)
+	if i != last {
+		moved := b[last]
+		b[i] = moved
+		p.posInBucket[moved] = i
+	}
+	b = b[:last]
+	if len(b) == 0 {
+		delete(p.buckets, f)
+	} else {
+		p.buckets[f] = b
+	}
+}
+
+// bucketAdd puts object x into the bucket for frequency f.
+func (p *Profiler) bucketAdd(x int32, f int64) {
+	b := p.buckets[f]
+	p.posInBucket[x] = int32(len(b))
+	p.buckets[f] = append(b, x)
+}
+
+// update changes the frequency of object x by delta.
+func (p *Profiler) update(x int, delta int64) {
+	old := p.freq[x]
+	next := old + delta
+	if next > p.halfRange || next < -p.halfRange {
+		grown := p.halfRange * 2
+		for next > grown || next < -grown {
+			grown *= 2
+		}
+		p.rebuild(grown)
+	}
+	p.bitAdd(old, -1)
+	p.bitAdd(next, 1)
+	p.bucketRemove(int32(x), old)
+	p.bucketAdd(int32(x), next)
+	p.freq[x] = next
+	p.total += delta
+}
+
+// Add applies an "add" event for object x.
+func (p *Profiler) Add(x int) error {
+	if err := p.checkID(x); err != nil {
+		return err
+	}
+	p.update(x, 1)
+	return nil
+}
+
+// Remove applies a "remove" event for object x.
+func (p *Profiler) Remove(x int) error {
+	if err := p.checkID(x); err != nil {
+		return err
+	}
+	p.update(x, -1)
+	return nil
+}
+
+// Count returns the current frequency of object x.
+func (p *Profiler) Count(x int) (int64, error) {
+	if err := p.checkID(x); err != nil {
+		return 0, err
+	}
+	return p.freq[x], nil
+}
+
+// Cap returns the number of object slots.
+func (p *Profiler) Cap() int { return len(p.freq) }
+
+// Total returns the sum of all frequencies.
+func (p *Profiler) Total() int64 { return p.total }
+
+// entryAtAscRank returns the entry holding the k-th smallest frequency
+// (1-based).
+func (p *Profiler) entryAtAscRank(k int) (core.Entry, int, error) {
+	if len(p.freq) == 0 {
+		return core.Entry{}, 0, core.ErrEmptyProfile
+	}
+	if k < 1 || k > len(p.freq) {
+		return core.Entry{}, 0, fmt.Errorf("%w: k %d, capacity %d", core.ErrBadRank, k, len(p.freq))
+	}
+	f := p.bitSelect(int32(k))
+	members := p.buckets[f]
+	if len(members) == 0 {
+		return core.Entry{}, 0, fmt.Errorf("fenwickprof: internal error: empty bucket for frequency %d", f)
+	}
+	return core.Entry{Object: int(members[0]), Frequency: f}, len(members), nil
+}
+
+// Mode returns an object with maximum frequency, that frequency, and how many
+// objects share it.
+func (p *Profiler) Mode() (core.Entry, int, error) {
+	return p.entryAtAscRank(len(p.freq))
+}
+
+// Min returns an object with minimum frequency, that frequency, and how many
+// objects share it.
+func (p *Profiler) Min() (core.Entry, int, error) {
+	return p.entryAtAscRank(1)
+}
+
+// KthLargest returns an object holding the k-th largest frequency (1-based).
+func (p *Profiler) KthLargest(k int) (core.Entry, error) {
+	e, _, err := p.entryAtAscRank(len(p.freq) - k + 1)
+	return e, err
+}
+
+// Median returns the lower-median entry of the frequency multiset, matching
+// core.Profile.Median.
+func (p *Profiler) Median() (core.Entry, error) {
+	e, _, err := p.entryAtAscRank((len(p.freq)-1)/2 + 1)
+	return e, err
+}
+
+// CheckInvariants validates the Fenwick counters and the bucket index against
+// the raw frequency array; tests call it after randomised operation
+// sequences.
+func (p *Profiler) CheckInvariants() error {
+	var total int64
+	counts := make(map[int64]int)
+	for _, f := range p.freq {
+		total += f
+		counts[f]++
+	}
+	if total != p.total {
+		return fmt.Errorf("fenwickprof: total %d does not match frequency sum %d", p.total, total)
+	}
+	for f, want := range counts {
+		if got := len(p.buckets[f]); got != want {
+			return fmt.Errorf("fenwickprof: bucket for frequency %d holds %d objects, want %d", f, got, want)
+		}
+	}
+	for f, members := range p.buckets {
+		for i, x := range members {
+			if p.freq[x] != f {
+				return fmt.Errorf("fenwickprof: object %d in bucket %d has frequency %d", x, f, p.freq[x])
+			}
+			if p.posInBucket[x] != int32(i) {
+				return fmt.Errorf("fenwickprof: object %d bucket position %d, want %d", x, p.posInBucket[x], i)
+			}
+		}
+	}
+	// Validate the Fenwick tree by checking a select for every distinct rank
+	// boundary.
+	if len(p.freq) > 0 {
+		if got, want := p.prefixCount(p.halfRange), int32(len(p.freq)); got != want {
+			return fmt.Errorf("fenwickprof: BIT total %d, want %d", got, want)
+		}
+	}
+	return nil
+}
+
+// prefixCount returns the number of objects with frequency <= f.
+func (p *Profiler) prefixCount(f int64) int32 {
+	var s int32
+	for i := p.bitIndex(f); i > 0; i -= i & (-i) {
+		s += p.bit[i]
+	}
+	return s
+}

@@ -1,0 +1,236 @@
+package fenwickprof
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sprofile/internal/baseline/bucketprof"
+	"sprofile/internal/core"
+	"sprofile/internal/profiler"
+	"sprofile/internal/stream"
+)
+
+func TestNewRejectsBadCapacity(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Fatalf("New(-1) succeeded")
+	}
+}
+
+func TestOutOfRangeErrors(t *testing.T) {
+	p := MustNew(3)
+	for _, x := range []int{-1, 3} {
+		if err := p.Add(x); !errors.Is(err, core.ErrObjectRange) {
+			t.Fatalf("Add(%d) error = %v", x, err)
+		}
+		if err := p.Remove(x); !errors.Is(err, core.ErrObjectRange) {
+			t.Fatalf("Remove(%d) error = %v", x, err)
+		}
+		if _, err := p.Count(x); !errors.Is(err, core.ErrObjectRange) {
+			t.Fatalf("Count(%d) error = %v", x, err)
+		}
+	}
+}
+
+func TestEmptyProfileQueries(t *testing.T) {
+	p := MustNew(0)
+	if _, _, err := p.Mode(); !errors.Is(err, core.ErrEmptyProfile) {
+		t.Fatalf("Mode on empty profile: %v", err)
+	}
+	if _, _, err := p.Min(); !errors.Is(err, core.ErrEmptyProfile) {
+		t.Fatalf("Min on empty profile: %v", err)
+	}
+	if _, err := p.Median(); !errors.Is(err, core.ErrEmptyProfile) {
+		t.Fatalf("Median on empty profile: %v", err)
+	}
+}
+
+func TestBasicCounting(t *testing.T) {
+	p := MustNew(4)
+	p.Add(1)
+	p.Add(1)
+	p.Remove(2)
+	if f, _ := p.Count(1); f != 2 {
+		t.Fatalf("Count(1) = %d, want 2", f)
+	}
+	if f, _ := p.Count(2); f != -1 {
+		t.Fatalf("Count(2) = %d, want -1", f)
+	}
+	if p.Total() != 1 || p.Cap() != 4 {
+		t.Fatalf("Total=%d Cap=%d", p.Total(), p.Cap())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeMinMedianTies(t *testing.T) {
+	p := MustNew(5)
+	// freqs: [3, 3, 1, 0, 0]
+	for i := 0; i < 3; i++ {
+		p.Add(0)
+		p.Add(1)
+	}
+	p.Add(2)
+	mode, ties, err := p.Mode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode.Frequency != 3 || ties != 2 {
+		t.Fatalf("Mode = %+v ties %d, want frequency 3 ties 2", mode, ties)
+	}
+	min, ties, err := p.Min()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Frequency != 0 || ties != 2 {
+		t.Fatalf("Min = %+v ties %d, want frequency 0 ties 2", min, ties)
+	}
+	med, err := p.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med.Frequency != 1 {
+		t.Fatalf("Median frequency %d, want 1", med.Frequency)
+	}
+	if _, err := p.KthLargest(0); err == nil {
+		t.Fatalf("KthLargest(0) succeeded")
+	}
+	if _, err := p.KthLargest(6); err == nil {
+		t.Fatalf("KthLargest(6) succeeded")
+	}
+}
+
+func TestMatchesOracleOnPaperStreams(t *testing.T) {
+	for streamIdx := 1; streamIdx <= 3; streamIdx++ {
+		const m = 80
+		p := MustNew(m)
+		oracle := bucketprof.MustNew(m)
+		g, err := stream.PaperStream(streamIdx, m, uint64(streamIdx)*17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4000; i++ {
+			op := g.Next()
+			if err := profiler.Apply(p, op); err != nil {
+				t.Fatal(err)
+			}
+			if err := profiler.Apply(oracle, op); err != nil {
+				t.Fatal(err)
+			}
+			if i%97 != 0 {
+				continue
+			}
+			gotMode, gotTies, _ := p.Mode()
+			wantMode, wantTies, _ := oracle.Mode()
+			if gotMode.Frequency != wantMode.Frequency || gotTies != wantTies {
+				t.Fatalf("stream%d op %d: mode (%d,%d), oracle (%d,%d)",
+					streamIdx, i, gotMode.Frequency, gotTies, wantMode.Frequency, wantTies)
+			}
+			gotMin, _, _ := p.Min()
+			wantMin, _, _ := oracle.Min()
+			if gotMin.Frequency != wantMin.Frequency {
+				t.Fatalf("stream%d op %d: min %d, oracle %d", streamIdx, i, gotMin.Frequency, wantMin.Frequency)
+			}
+			gotMed, _ := p.Median()
+			wantMed, _ := oracle.Median()
+			if gotMed.Frequency != wantMed.Frequency {
+				t.Fatalf("stream%d op %d: median %d, oracle %d", streamIdx, i, gotMed.Frequency, wantMed.Frequency)
+			}
+			for _, k := range []int{1, m / 3, m} {
+				gotK, err := p.KthLargest(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantK, err := oracle.KthLargest(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotK.Frequency != wantK.Frequency {
+					t.Fatalf("stream%d op %d: KthLargest(%d) %d, oracle %d",
+						streamIdx, i, k, gotK.Frequency, wantK.Frequency)
+				}
+			}
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRangeGrowthRebuild(t *testing.T) {
+	p := MustNew(2)
+	initial := p.Rebuilds()
+	// Push object 0's frequency well past the default indexed range.
+	for i := 0; i < defaultHalfRange+10; i++ {
+		if err := p.Add(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Rebuilds() <= initial {
+		t.Fatalf("frequency grew past the indexed range without a rebuild")
+	}
+	mode, _, err := p.Mode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode.Object != 0 || mode.Frequency != int64(defaultHalfRange+10) {
+		t.Fatalf("Mode = %+v after growth", mode)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the negative direction.
+	for i := 0; i < defaultHalfRange+10; i++ {
+		if err := p.Remove(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	min, _, err := p.Min()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Object != 1 || min.Frequency != -int64(defaultHalfRange+10) {
+		t.Fatalf("Min = %+v after negative growth", min)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMatchesOracleRandomOps(t *testing.T) {
+	f := func(seed uint64, rawM uint8, rawN uint16) bool {
+		m := int(rawM)%40 + 1
+		n := int(rawN) % 600
+		rng := stream.NewRNG(seed)
+		p := MustNew(m)
+		oracle := bucketprof.MustNew(m)
+		for i := 0; i < n; i++ {
+			x := rng.Intn(m)
+			var op core.Tuple
+			if rng.Bernoulli(0.55) {
+				op = core.Tuple{Object: x, Action: core.ActionAdd}
+			} else {
+				op = core.Tuple{Object: x, Action: core.ActionRemove}
+			}
+			if profiler.Apply(p, op) != nil || profiler.Apply(oracle, op) != nil {
+				return false
+			}
+		}
+		if p.CheckInvariants() != nil {
+			return false
+		}
+		gotMode, _, e1 := p.Mode()
+		wantMode, _, e2 := oracle.Mode()
+		gotMed, e3 := p.Median()
+		wantMed, e4 := oracle.Median()
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+			return false
+		}
+		return gotMode.Frequency == wantMode.Frequency && gotMed.Frequency == wantMed.Frequency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package heapprof implements the indexed-binary-heap baseline the paper
+// compares S-Profile against in §3.1.
+//
+// The heap stores one node per object, keyed on the object's current
+// frequency, together with a position index so that the node of any object
+// can be located in O(1) and re-sifted after a ±1 update in O(log m). A
+// max-heap answers the mode query from its root; a min-heap answers the
+// minimum-frequency query. Neither orientation can answer rank queries such
+// as the median or the K-th largest — that is exactly the applicability gap
+// the paper points out — so those methods return profiler.ErrUnsupported.
+package heapprof
+
+import (
+	"fmt"
+
+	"sprofile/internal/core"
+	"sprofile/internal/profiler"
+)
+
+// Orientation selects which extreme the heap keeps at its root.
+type Orientation int
+
+const (
+	// MaxHeap keeps the largest frequency at the root (mode queries).
+	MaxHeap Orientation = iota
+	// MinHeap keeps the smallest frequency at the root (minimum queries,
+	// e.g. the graph-shaving application in §2.3).
+	MinHeap
+)
+
+// String implements fmt.Stringer.
+func (o Orientation) String() string {
+	if o == MinHeap {
+		return "min-heap"
+	}
+	return "max-heap"
+}
+
+// Profiler is the indexed binary heap baseline. It is not safe for concurrent
+// use.
+type Profiler struct {
+	orientation Orientation
+
+	// freq[x] is the current frequency of object x.
+	freq []int64
+	// heap[i] is the object stored at heap slot i; pos[x] is the heap slot
+	// of object x. They are inverse permutations.
+	heap []int32
+	pos  []int32
+
+	total int64
+
+	// comparisons counts key comparisons performed by sift operations; the
+	// ablation benchmarks report it to show where the O(log m) factor goes.
+	comparisons uint64
+}
+
+var _ profiler.Profiler = (*Profiler)(nil)
+
+// New returns a heap profiler with m object slots, all at frequency zero.
+func New(m int, orientation Orientation) (*Profiler, error) {
+	if m < 0 || m > core.MaxCapacity {
+		return nil, fmt.Errorf("heapprof: invalid capacity %d", m)
+	}
+	p := &Profiler{
+		orientation: orientation,
+		freq:        make([]int64, m),
+		heap:        make([]int32, m),
+		pos:         make([]int32, m),
+	}
+	for i := 0; i < m; i++ {
+		p.heap[i] = int32(i)
+		p.pos[i] = int32(i)
+	}
+	return p, nil
+}
+
+// MustNew is New for callers with a known-good capacity; it panics on error.
+func MustNew(m int, orientation Orientation) *Profiler {
+	p, err := New(m, orientation)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Cap returns the number of object slots.
+func (p *Profiler) Cap() int { return len(p.freq) }
+
+// Total returns the sum of all frequencies.
+func (p *Profiler) Total() int64 { return p.total }
+
+// Orientation returns whether this is a max- or min-heap.
+func (p *Profiler) Orientation() Orientation { return p.orientation }
+
+// Comparisons returns the number of key comparisons performed so far.
+func (p *Profiler) Comparisons() uint64 { return p.comparisons }
+
+func (p *Profiler) checkID(x int) error {
+	if x < 0 || x >= len(p.freq) {
+		return fmt.Errorf("%w: id %d, capacity %d", core.ErrObjectRange, x, len(p.freq))
+	}
+	return nil
+}
+
+// before reports whether object a must sit above object b in the heap.
+func (p *Profiler) before(a, b int32) bool {
+	p.comparisons++
+	if p.orientation == MaxHeap {
+		return p.freq[a] > p.freq[b]
+	}
+	return p.freq[a] < p.freq[b]
+}
+
+// swap exchanges the heap slots i and j.
+func (p *Profiler) swap(i, j int32) {
+	p.heap[i], p.heap[j] = p.heap[j], p.heap[i]
+	p.pos[p.heap[i]] = i
+	p.pos[p.heap[j]] = j
+}
+
+// siftUp moves the object at slot i towards the root until the heap property
+// holds again.
+func (p *Profiler) siftUp(i int32) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !p.before(p.heap[i], p.heap[parent]) {
+			return
+		}
+		p.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown moves the object at slot i towards the leaves until the heap
+// property holds again.
+func (p *Profiler) siftDown(i int32) {
+	n := int32(len(p.heap))
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		best := left
+		if right := left + 1; right < n && p.before(p.heap[right], p.heap[left]) {
+			best = right
+		}
+		if !p.before(p.heap[best], p.heap[i]) {
+			return
+		}
+		p.swap(i, best)
+		i = best
+	}
+}
+
+// update changes the frequency of object x by delta and restores the heap.
+func (p *Profiler) update(x int, delta int64) {
+	p.freq[x] += delta
+	p.total += delta
+	i := p.pos[x]
+	increased := delta > 0
+	if (p.orientation == MaxHeap) == increased {
+		p.siftUp(i)
+	} else {
+		p.siftDown(i)
+	}
+}
+
+// Add applies an "add" event for object x.
+func (p *Profiler) Add(x int) error {
+	if err := p.checkID(x); err != nil {
+		return err
+	}
+	p.update(x, 1)
+	return nil
+}
+
+// Remove applies a "remove" event for object x.
+func (p *Profiler) Remove(x int) error {
+	if err := p.checkID(x); err != nil {
+		return err
+	}
+	p.update(x, -1)
+	return nil
+}
+
+// Count returns the current frequency of object x.
+func (p *Profiler) Count(x int) (int64, error) {
+	if err := p.checkID(x); err != nil {
+		return 0, err
+	}
+	return p.freq[x], nil
+}
+
+// Mode returns the object at the root of a max-heap. The tie count is always
+// reported as 1: discovering how many objects share the maximum would require
+// walking the heap, which the baseline cannot do in O(1). Min-heaps return
+// ErrUnsupported.
+func (p *Profiler) Mode() (core.Entry, int, error) {
+	if len(p.freq) == 0 {
+		return core.Entry{}, 0, core.ErrEmptyProfile
+	}
+	if p.orientation != MaxHeap {
+		return core.Entry{}, 0, fmt.Errorf("%w: Mode on a min-heap", profiler.ErrUnsupported)
+	}
+	root := p.heap[0]
+	return core.Entry{Object: int(root), Frequency: p.freq[root]}, 1, nil
+}
+
+// Min returns the object at the root of a min-heap, with the same tie-count
+// caveat as Mode. Max-heaps return ErrUnsupported.
+func (p *Profiler) Min() (core.Entry, int, error) {
+	if len(p.freq) == 0 {
+		return core.Entry{}, 0, core.ErrEmptyProfile
+	}
+	if p.orientation != MinHeap {
+		return core.Entry{}, 0, fmt.Errorf("%w: Min on a max-heap", profiler.ErrUnsupported)
+	}
+	root := p.heap[0]
+	return core.Entry{Object: int(root), Frequency: p.freq[root]}, 1, nil
+}
+
+// KthLargest is not answerable from a binary heap without destroying it;
+// it always returns ErrUnsupported.
+func (p *Profiler) KthLargest(int) (core.Entry, error) {
+	return core.Entry{}, fmt.Errorf("%w: KthLargest on a heap", profiler.ErrUnsupported)
+}
+
+// Median is not answerable from a binary heap; it always returns
+// ErrUnsupported.
+func (p *Profiler) Median() (core.Entry, error) {
+	return core.Entry{}, fmt.Errorf("%w: Median on a heap", profiler.ErrUnsupported)
+}
+
+// CheckInvariants validates the heap property and the position index; tests
+// call it after randomised operation sequences.
+func (p *Profiler) CheckInvariants() error {
+	n := int32(len(p.heap))
+	for x := int32(0); x < n; x++ {
+		if p.heap[p.pos[x]] != x {
+			return fmt.Errorf("heapprof: pos/heap mismatch for object %d", x)
+		}
+	}
+	for i := int32(1); i < n; i++ {
+		parent := (i - 1) / 2
+		a, b := p.heap[parent], p.heap[i]
+		if p.orientation == MaxHeap && p.freq[a] < p.freq[b] {
+			return fmt.Errorf("heapprof: max-heap violation at slot %d (%d < %d)", i, p.freq[a], p.freq[b])
+		}
+		if p.orientation == MinHeap && p.freq[a] > p.freq[b] {
+			return fmt.Errorf("heapprof: min-heap violation at slot %d (%d > %d)", i, p.freq[a], p.freq[b])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package heapprof
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sprofile/internal/baseline/bucketprof"
+	"sprofile/internal/core"
+	"sprofile/internal/profiler"
+	"sprofile/internal/stream"
+)
+
+func TestNewRejectsBadCapacity(t *testing.T) {
+	if _, err := New(-1, MaxHeap); err == nil {
+		t.Fatalf("New(-1) succeeded")
+	}
+}
+
+func TestOrientationString(t *testing.T) {
+	if MaxHeap.String() != "max-heap" || MinHeap.String() != "min-heap" {
+		t.Fatalf("unexpected orientation strings %q %q", MaxHeap.String(), MinHeap.String())
+	}
+}
+
+func TestOutOfRangeErrors(t *testing.T) {
+	p := MustNew(3, MaxHeap)
+	for _, x := range []int{-1, 3} {
+		if err := p.Add(x); !errors.Is(err, core.ErrObjectRange) {
+			t.Fatalf("Add(%d) error = %v, want ErrObjectRange", x, err)
+		}
+		if err := p.Remove(x); !errors.Is(err, core.ErrObjectRange) {
+			t.Fatalf("Remove(%d) error = %v, want ErrObjectRange", x, err)
+		}
+		if _, err := p.Count(x); !errors.Is(err, core.ErrObjectRange) {
+			t.Fatalf("Count(%d) error = %v, want ErrObjectRange", x, err)
+		}
+	}
+}
+
+func TestMaxHeapTracksMode(t *testing.T) {
+	p := MustNew(4, MaxHeap)
+	oracle := bucketprof.MustNew(4)
+	ops := []core.Tuple{
+		{Object: 0, Action: core.ActionAdd},
+		{Object: 1, Action: core.ActionAdd},
+		{Object: 1, Action: core.ActionAdd},
+		{Object: 2, Action: core.ActionAdd},
+		{Object: 1, Action: core.ActionRemove},
+		{Object: 0, Action: core.ActionAdd},
+		{Object: 3, Action: core.ActionRemove},
+	}
+	for i, op := range ops {
+		if err := profiler.Apply(p, op); err != nil {
+			t.Fatal(err)
+		}
+		if err := profiler.Apply(oracle, op); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := p.Mode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := oracle.Mode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Frequency != want.Frequency {
+			t.Fatalf("after op %d: heap mode frequency %d, oracle %d", i, got.Frequency, want.Frequency)
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("after op %d: %v", i, err)
+		}
+	}
+}
+
+func TestMinHeapTracksMinimum(t *testing.T) {
+	p := MustNew(5, MinHeap)
+	oracle := bucketprof.MustNew(5)
+	g, err := stream.Stream1(5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		op := g.Next()
+		if err := profiler.Apply(p, op); err != nil {
+			t.Fatal(err)
+		}
+		if err := profiler.Apply(oracle, op); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := p.Min()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := oracle.Min()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Frequency != want.Frequency {
+			t.Fatalf("after op %d: heap min frequency %d, oracle %d", i, got.Frequency, want.Frequency)
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnsupportedQueries(t *testing.T) {
+	maxp := MustNew(3, MaxHeap)
+	minp := MustNew(3, MinHeap)
+	if _, _, err := maxp.Min(); !errors.Is(err, profiler.ErrUnsupported) {
+		t.Fatalf("Min on max-heap error %v, want ErrUnsupported", err)
+	}
+	if _, _, err := minp.Mode(); !errors.Is(err, profiler.ErrUnsupported) {
+		t.Fatalf("Mode on min-heap error %v, want ErrUnsupported", err)
+	}
+	if _, err := maxp.KthLargest(1); !errors.Is(err, profiler.ErrUnsupported) {
+		t.Fatalf("KthLargest error %v, want ErrUnsupported", err)
+	}
+	if _, err := maxp.Median(); !errors.Is(err, profiler.ErrUnsupported) {
+		t.Fatalf("Median error %v, want ErrUnsupported", err)
+	}
+}
+
+func TestEmptyHeapQueries(t *testing.T) {
+	p := MustNew(0, MaxHeap)
+	if _, _, err := p.Mode(); !errors.Is(err, core.ErrEmptyProfile) {
+		t.Fatalf("Mode on empty heap: %v", err)
+	}
+	if p.Cap() != 0 || p.Total() != 0 {
+		t.Fatalf("empty heap reports Cap=%d Total=%d", p.Cap(), p.Total())
+	}
+}
+
+func TestCountAndTotalBookkeeping(t *testing.T) {
+	p := MustNew(3, MaxHeap)
+	p.Add(0)
+	p.Add(0)
+	p.Remove(1)
+	if f, _ := p.Count(0); f != 2 {
+		t.Fatalf("Count(0) = %d, want 2", f)
+	}
+	if f, _ := p.Count(1); f != -1 {
+		t.Fatalf("Count(1) = %d, want -1", f)
+	}
+	if p.Total() != 1 {
+		t.Fatalf("Total() = %d, want 1", p.Total())
+	}
+	if p.Orientation() != MaxHeap {
+		t.Fatalf("Orientation() = %v, want MaxHeap", p.Orientation())
+	}
+	// Raising a leaf object above the root forces at least one sift
+	// comparison.
+	p.Add(2)
+	p.Add(2)
+	p.Add(2)
+	if p.Comparisons() == 0 {
+		t.Fatalf("Comparisons() = 0 after sifting updates")
+	}
+}
+
+func TestHeapInvariantPropertyRandomOps(t *testing.T) {
+	f := func(seed uint64, rawM uint8, rawN uint16) bool {
+		m := int(rawM)%50 + 1
+		n := int(rawN) % 800
+		rng := stream.NewRNG(seed)
+		p := MustNew(m, MaxHeap)
+		oracle := bucketprof.MustNew(m)
+		for i := 0; i < n; i++ {
+			x := rng.Intn(m)
+			var op core.Tuple
+			if rng.Bernoulli(0.6) {
+				op = core.Tuple{Object: x, Action: core.ActionAdd}
+			} else {
+				op = core.Tuple{Object: x, Action: core.ActionRemove}
+			}
+			if profiler.Apply(p, op) != nil || profiler.Apply(oracle, op) != nil {
+				return false
+			}
+		}
+		if p.CheckInvariants() != nil {
+			return false
+		}
+		got, _, err1 := p.Mode()
+		want, _, err2 := oracle.Mode()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return got.Frequency == want.Frequency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sprofile/internal/core"
+	"sprofile/internal/graph"
+	"sprofile/internal/stream"
+	"sprofile/internal/window"
+)
+
+// AblationTreeKind checks that the §3.2 gap is not an artifact of the chosen
+// balanced tree: both the treap and the red-black tree are measured against
+// S-Profile on the median-maintenance task over the Figure-6 n sweep.
+func AblationTreeKind(scale Scale) (*Result, error) {
+	return runSweep(
+		"ablation-treekind",
+		fmt.Sprintf("median maintenance by ordered-index engine, m=%d, stream1", scale.Figure6M),
+		"n (tuples)",
+		[]Method{MethodTreap, MethodRedBlack, MethodSkipList, MethodSProfile},
+		TaskMedian,
+		scale.Figure6NValues,
+		func(n int) (stream.Workload, int, error) {
+			g, err := stream.Stream1(scale.Figure6M, scale.Seed)
+			return g, n, err
+		},
+	)
+}
+
+// AblationFenwick asks how close an O(log F) frequency-domain index gets to
+// the O(1) bound: the Fenwick profiler joins the median comparison.
+func AblationFenwick(scale Scale) (*Result, error) {
+	return runSweep(
+		"ablation-fenwick",
+		fmt.Sprintf("median maintenance, Fenwick index vs balanced tree vs S-Profile, m=%d, stream1", scale.Figure6M),
+		"n (tuples)",
+		[]Method{MethodFenwick, MethodRedBlack, MethodSProfile},
+		TaskMedian,
+		scale.Figure6NValues,
+		func(n int) (stream.Workload, int, error) {
+			g, err := stream.Stream1(scale.Figure6M, scale.Seed)
+			return g, n, err
+		},
+	)
+}
+
+// AblationBlockHint measures the effect of pre-sizing the block slab: with no
+// hint the slab grows geometrically during the first updates; with a hint the
+// hot path never allocates. The swept variable is the hint size.
+func AblationBlockHint(scale Scale) (*Result, error) {
+	n := scale.Figure4N
+	m := scale.Figure3M
+	hints := []int{0, 16, 256, 4096, 65536}
+	res := &Result{
+		ID:      "ablation-blockhint",
+		Title:   fmt.Sprintf("block slab pre-sizing, n=%d, m=%d, stream1 (update only)", n, m),
+		XLabel:  "block hint",
+		Methods: []Method{MethodSProfile},
+	}
+	buf := make([]core.Tuple, chunkSize)
+	for _, hint := range hints {
+		g, err := stream.Stream1(m, scale.Seed)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		p, err := core.New(m, core.WithBlockHint(hint))
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		remaining := n
+		for remaining > 0 {
+			c := chunkSize
+			if remaining < c {
+				c = remaining
+			}
+			chunk := buf[:c]
+			for i := range chunk {
+				chunk[i] = g.Next()
+			}
+			chunkStart := time.Now()
+			if _, err := p.ApplyAll(chunk); err != nil {
+				return nil, err
+			}
+			elapsed += time.Since(chunkStart)
+			remaining -= c
+		}
+		res.Points = append(res.Points, Point{
+			X:       int64(hint),
+			Seconds: map[Method]float64{MethodSProfile: elapsed.Seconds()},
+		})
+	}
+	sortPoints(res.Points)
+	return res, nil
+}
+
+// AblationWorkloads measures mode maintenance across the full workload suite
+// (the paper's three streams plus Zipfian, burst, sawtooth, drain and
+// round-robin) to show that S-Profile's advantage is not tied to one
+// particular stream shape.
+func AblationWorkloads(scale Scale) (*Result, error) {
+	names := stream.WorkloadNames()
+	m := scale.Figure6M
+	n := scale.Figure6N
+	res := &Result{
+		ID:      "ablation-workloads",
+		Title:   fmt.Sprintf("mode maintenance by workload, n=%d, m=%d", n, m),
+		XLabel:  "workload",
+		Methods: []Method{MethodHeap, MethodSProfile},
+		XNames:  names,
+	}
+	for idx, name := range names {
+		point := Point{X: int64(idx), Seconds: make(map[Method]float64, 2)}
+		for _, method := range res.Methods {
+			w, err := stream.NamedWorkload(name, m, scale.Seed)
+			if err != nil {
+				return nil, err
+			}
+			meas, err := Measure(method, w, n, TaskMode)
+			if err != nil {
+				return nil, err
+			}
+			point.Seconds[method] = meas.Seconds
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+// GraphShaving measures the §2.3 application: greedy peeling of a random
+// graph, driven by each minimum-degree tracker engine. The swept variable is
+// the node count; every graph has an average degree of about 8.
+func GraphShaving(scale Scale) (*Result, error) {
+	sizes := graphShavingSizes(scale)
+	res := &Result{
+		ID:      "graph-shaving",
+		Title:   "greedy peeling (densest subgraph) by min-degree engine, avg degree 8",
+		XLabel:  "nodes",
+		Methods: []Method{Method(graph.EngineHeap.String()), Method(graph.EngineBucket.String()), Method(graph.EngineSProfile.String())},
+	}
+	for _, nodes := range sizes {
+		g, err := randomGraph(nodes, nodes*4, scale.Seed)
+		if err != nil {
+			return nil, err
+		}
+		point := Point{X: int64(nodes), Seconds: make(map[Method]float64, 3)}
+		for _, engine := range graph.Engines() {
+			start := time.Now()
+			if _, err := graph.Peel(g, engine); err != nil {
+				return nil, err
+			}
+			point.Seconds[Method(engine.String())] = time.Since(start).Seconds()
+		}
+		res.Points = append(res.Points, point)
+	}
+	sortPoints(res.Points)
+	return res, nil
+}
+
+// graphShavingSizes derives the node-count sweep from the scale's Figure-6
+// sizes so that -full runs a larger study.
+func graphShavingSizes(scale Scale) []int {
+	base := scale.Figure6M
+	return []int{base / 10, base / 4, base / 2, base}
+}
+
+// randomGraph builds a random multigraph with the given node and edge counts.
+func randomGraph(nodes, edges int, seed uint64) (*graph.Graph, error) {
+	g, err := graph.NewGraph(nodes)
+	if err != nil {
+		return nil, err
+	}
+	rng := stream.NewRNG(seed)
+	for i := 0; i < edges; i++ {
+		u := rng.Intn(nodes)
+		v := rng.Intn(nodes)
+		if u == v {
+			v = (v + 1) % nodes
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// SlidingWindow measures the §2.3 sliding-window adapter: n tuples are pushed
+// through windows of increasing size while the mode is kept up to date, for
+// the heap baseline and for S-Profile. Expiry doubles the number of ±1
+// updates per tuple, so the O(1)-vs-O(log m) gap persists.
+func SlidingWindow(scale Scale) (*Result, error) {
+	m := scale.Figure6M
+	n := scale.Figure6N
+	windowSizes := []int{1_000, 10_000, 50_000}
+	res := &Result{
+		ID:      "sliding-window",
+		Title:   fmt.Sprintf("windowed mode maintenance, n=%d, m=%d, stream1", n, m),
+		XLabel:  "window size",
+		Methods: []Method{MethodHeap, MethodSProfile},
+	}
+	for _, size := range windowSizes {
+		point := Point{X: int64(size), Seconds: make(map[Method]float64, 2)}
+		for _, method := range res.Methods {
+			g, err := stream.Stream1(m, scale.Seed)
+			if err != nil {
+				return nil, err
+			}
+			seconds, err := measureWindow(method, g, n, size)
+			if err != nil {
+				return nil, err
+			}
+			point.Seconds[method] = seconds
+		}
+		res.Points = append(res.Points, point)
+	}
+	sortPoints(res.Points)
+	return res, nil
+}
+
+// measureWindow pushes n tuples of w through a sliding window of the given
+// size over the method's profiler, querying the mode after every push.
+func measureWindow(method Method, w stream.Workload, n, size int) (float64, error) {
+	m := w.M()
+	buf := make([]core.Tuple, chunkSize)
+
+	start := time.Now()
+	p, err := NewProfiler(method, m, TaskMode)
+	if err != nil {
+		return 0, err
+	}
+	win, err := window.New(p, size)
+	if err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+
+	var sink int64
+	remaining := n
+	for remaining > 0 {
+		c := chunkSize
+		if remaining < c {
+			c = remaining
+		}
+		chunk := buf[:c]
+		for i := range chunk {
+			chunk[i] = w.Next()
+		}
+		chunkStart := time.Now()
+		for _, t := range chunk {
+			if err := win.Push(t); err != nil {
+				return 0, err
+			}
+			e, _, err := p.Mode()
+			if err != nil {
+				return 0, err
+			}
+			sink += e.Frequency
+		}
+		elapsed += time.Since(chunkStart)
+		remaining -= c
+	}
+	benchSink += sink
+	return elapsed.Seconds(), nil
+}

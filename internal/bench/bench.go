@@ -1,0 +1,200 @@
+// Package bench is the experiment harness behind EXPERIMENTS.md: it defines
+// one experiment per figure of the paper's evaluation (§3) plus the ablation
+// studies called out in DESIGN.md, runs them at a configurable scale, and
+// renders the results as text tables and CSV so they can be compared with the
+// paper's plots.
+//
+// The paper reports wall-clock CPU seconds for processing n log-stream tuples
+// while keeping a statistic (the mode in §3.1, the median in §3.2) up to
+// date. The harness reproduces that measurement protocol: tuples are
+// generated outside the timed region in chunks, and the timed region applies
+// each tuple to the data structure under test and immediately asks it for the
+// statistic, exactly once per tuple.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sprofile/internal/baseline/bstprof"
+	"sprofile/internal/baseline/bucketprof"
+	"sprofile/internal/baseline/fenwickprof"
+	"sprofile/internal/baseline/heapprof"
+	"sprofile/internal/core"
+	"sprofile/internal/profiler"
+	"sprofile/internal/stream"
+)
+
+// Method names a profiler implementation under measurement.
+type Method string
+
+// The methods the harness can measure.
+const (
+	MethodSProfile Method = "s-profile"
+	MethodHeap     Method = "heap"
+	MethodTreap    Method = "tree-treap"
+	MethodRedBlack Method = "tree-redblack"
+	MethodSkipList Method = "skip-list"
+	MethodFenwick  Method = "fenwick"
+	MethodBucket   Method = "bucket-scan"
+)
+
+// Task is the statistic kept up to date while the stream is applied.
+type Task int
+
+const (
+	// TaskMode queries the most frequent object after every update (§3.1).
+	TaskMode Task = iota
+	// TaskMedian queries the median frequency after every update (§3.2).
+	TaskMedian
+	// TaskMin queries the least frequent object after every update (the
+	// graph-shaving primitive from §2.3).
+	TaskMin
+	// TaskUpdateOnly applies updates without issuing any query; it isolates
+	// pure maintenance cost for the ablation benchmarks.
+	TaskUpdateOnly
+)
+
+// String implements fmt.Stringer.
+func (t Task) String() string {
+	switch t {
+	case TaskMode:
+		return "mode"
+	case TaskMedian:
+		return "median"
+	case TaskMin:
+		return "min"
+	case TaskUpdateOnly:
+		return "update-only"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// NewProfiler constructs the profiler behind a method name. The heap is
+// oriented to serve the requested task (max-heap for mode, min-heap for min).
+func NewProfiler(method Method, m int, task Task) (profiler.Profiler, error) {
+	switch method {
+	case MethodSProfile:
+		return core.New(m)
+	case MethodHeap:
+		orientation := heapprof.MaxHeap
+		if task == TaskMin {
+			orientation = heapprof.MinHeap
+		}
+		return heapprof.New(m, orientation)
+	case MethodTreap:
+		return bstprof.New(m, bstprof.Treap)
+	case MethodRedBlack:
+		return bstprof.New(m, bstprof.RedBlack)
+	case MethodSkipList:
+		return bstprof.New(m, bstprof.SkipList)
+	case MethodFenwick:
+		return fenwickprof.New(m)
+	case MethodBucket:
+		return bucketprof.New(m)
+	default:
+		return nil, fmt.Errorf("bench: unknown method %q", method)
+	}
+}
+
+// Measurement is the outcome of one (method, workload, n, m, task) run.
+type Measurement struct {
+	Method  Method
+	Task    Task
+	N       int
+	M       int
+	Seconds float64
+	// NsPerOp is the average wall-clock nanoseconds per tuple, including the
+	// per-tuple statistic query.
+	NsPerOp float64
+}
+
+// chunkSize bounds the tuple buffer used to keep stream generation outside
+// the timed region without materialising the whole stream.
+const chunkSize = 1 << 16
+
+// Measure processes n tuples of the workload with the given method, keeping
+// the task statistic up to date, and returns the timing. Construction of the
+// data structure is included in the measured time (for m much larger than n
+// the O(m) or O(m log m) setup is a real cost the paper's m-sweeps expose).
+func Measure(method Method, w stream.Workload, n int, task Task) (Measurement, error) {
+	if n <= 0 {
+		return Measurement{}, fmt.Errorf("bench: n must be positive, got %d", n)
+	}
+	m := w.M()
+	buf := make([]core.Tuple, chunkSize)
+
+	start := time.Now()
+	p, err := NewProfiler(method, m, task)
+	if err != nil {
+		return Measurement{}, err
+	}
+	elapsed := time.Since(start)
+
+	remaining := n
+	for remaining > 0 {
+		c := chunkSize
+		if remaining < c {
+			c = remaining
+		}
+		chunk := buf[:c]
+		for i := range chunk {
+			chunk[i] = w.Next()
+		}
+
+		chunkStart := time.Now()
+		if err := applyChunk(p, chunk, task); err != nil {
+			return Measurement{}, err
+		}
+		elapsed += time.Since(chunkStart)
+		remaining -= c
+	}
+
+	seconds := elapsed.Seconds()
+	return Measurement{
+		Method:  method,
+		Task:    task,
+		N:       n,
+		M:       m,
+		Seconds: seconds,
+		NsPerOp: seconds * 1e9 / float64(n),
+	}, nil
+}
+
+// applyChunk applies every tuple and issues the per-tuple query. The query
+// results are accumulated into a sink so the compiler cannot elide them.
+func applyChunk(p profiler.Profiler, chunk []core.Tuple, task Task) error {
+	var sink int64
+	for _, t := range chunk {
+		if err := profiler.Apply(p, t); err != nil {
+			return err
+		}
+		switch task {
+		case TaskMode:
+			e, _, err := p.Mode()
+			if err != nil {
+				return err
+			}
+			sink += e.Frequency
+		case TaskMedian:
+			e, err := p.Median()
+			if err != nil {
+				return err
+			}
+			sink += e.Frequency
+		case TaskMin:
+			e, _, err := p.Min()
+			if err != nil {
+				return err
+			}
+			sink += e.Frequency
+		case TaskUpdateOnly:
+		}
+	}
+	benchSink += sink
+	return nil
+}
+
+// benchSink defeats dead-code elimination of the per-tuple query results.
+var benchSink int64

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Point is one row of an experiment sweep: the swept variable's value and the
+// measured seconds per method.
+type Point struct {
+	X       int64
+	Seconds map[Method]float64
+}
+
+// Result is the outcome of a whole experiment (one figure, or one panel of a
+// figure, or one ablation).
+type Result struct {
+	// ID identifies the experiment ("figure3-stream1", "ablation-treekind").
+	ID string
+	// Title is the human-readable description shown above tables.
+	Title string
+	// XLabel names the swept variable ("n (tuples)", "m (objects)").
+	XLabel string
+	// Methods lists the measured methods in presentation order.
+	Methods []Method
+	// Points holds one entry per swept value, in ascending X order.
+	Points []Point
+	// XNames optionally labels each point for categorical sweeps (for example
+	// the workload-sensitivity ablation, where X is an index into XNames).
+	XNames []string
+}
+
+// xLabelFor renders the X value of point i, using XNames for categorical
+// sweeps.
+func (r *Result) xLabelFor(i int) string {
+	x := r.Points[i].X
+	if len(r.XNames) == len(r.Points) && x >= 0 && int(x) < len(r.XNames) {
+		return r.XNames[x]
+	}
+	return fmt.Sprintf("%d", x)
+}
+
+// Table renders the result as an aligned text table, one row per swept value
+// and one column per method, with a trailing speedup column relative to the
+// first method when exactly two methods are present.
+func (r *Result) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", r.ID, r.Title)
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	header := r.XLabel
+	for _, m := range r.Methods {
+		header += "\t" + string(m) + " (s)"
+	}
+	twoMethods := len(r.Methods) == 2
+	if twoMethods {
+		header += fmt.Sprintf("\t%s/%s", r.Methods[0], r.Methods[1])
+	}
+	fmt.Fprintln(tw, header)
+	for i, p := range r.Points {
+		row := r.xLabelFor(i)
+		for _, m := range r.Methods {
+			row += fmt.Sprintf("\t%.4f", p.Seconds[m])
+		}
+		if twoMethods {
+			row += fmt.Sprintf("\t%.2fx", ratio(p.Seconds[r.Methods[0]], p.Seconds[r.Methods[1]]))
+		}
+		fmt.Fprintln(tw, row)
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+// CSV renders the result as comma-separated values with a header row.
+func (r *Result) CSV() string {
+	var sb strings.Builder
+	cols := []string{"x"}
+	for _, m := range r.Methods {
+		cols = append(cols, string(m))
+	}
+	sb.WriteString(strings.Join(cols, ","))
+	sb.WriteByte('\n')
+	for i, p := range r.Points {
+		row := []string{r.xLabelFor(i)}
+		for _, m := range r.Methods {
+			row = append(row, fmt.Sprintf("%.6f", p.Seconds[m]))
+		}
+		sb.WriteString(strings.Join(row, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Speedup returns the minimum and maximum of seconds(slow)/seconds(fast)
+// across all points — the "at least 2X" / "13X to 452X" numbers the paper
+// quotes.
+func (r *Result) Speedup(slow, fast Method) (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, p := range r.Points {
+		s := ratio(p.Seconds[slow], p.Seconds[fast])
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if len(r.Points) == 0 {
+		return 0, 0
+	}
+	return min, max
+}
+
+// GrowthFactor reports how much the measured time of a method grows from the
+// first point of the sweep to the last. A structure with per-update cost
+// independent of the swept variable shows a factor close to the ratio of the
+// workload sizes (n sweep) or close to 1 (m sweep, time flat in m).
+func (r *Result) GrowthFactor(m Method) float64 {
+	if len(r.Points) < 2 {
+		return 1
+	}
+	first := r.Points[0].Seconds[m]
+	last := r.Points[len(r.Points)-1].Seconds[m]
+	return ratio(last, first)
+}
+
+func ratio(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// sortPoints orders points by their X value; experiments call it before
+// returning a Result.
+func sortPoints(points []Point) {
+	sort.Slice(points, func(i, j int) bool { return points[i].X < points[j].X })
+}

@@ -1,0 +1,77 @@
+package core
+
+// A block describes a maximal run of equal values in the conceptual sorted
+// frequency array T: every rank in [l, r] holds frequency f, the rank l-1 (if
+// any) holds a strictly smaller frequency and the rank r+1 (if any) holds a
+// strictly larger one. Ranks are 0-based.
+type block struct {
+	l, r int32
+	f    int64
+}
+
+// size returns the number of ranks covered by the block.
+func (b block) size() int { return int(b.r-b.l) + 1 }
+
+// noBlock marks an unused ptrB slot or an exhausted free list.
+const noBlock int32 = -1
+
+// blockArena is a slab allocator for blocks. Blocks are referenced by dense
+// int32 handles so that the per-rank pointer array can be 4 bytes per slot.
+// Freed blocks are chained through their l field and reused before the slab
+// grows, which keeps steady-state updates allocation-free.
+type blockArena struct {
+	slab []block
+	free int32 // head of the free list, noBlock if empty
+	live int   // number of live (allocated, not freed) blocks
+}
+
+// newBlockArena returns an arena with room for hint blocks before the first
+// slab growth. A hint of zero is valid.
+func newBlockArena(hint int) *blockArena {
+	if hint < 0 {
+		hint = 0
+	}
+	return &blockArena{
+		slab: make([]block, 0, hint),
+		free: noBlock,
+	}
+}
+
+// alloc returns a handle to a block initialised to (l, r, f).
+func (a *blockArena) alloc(l, r int32, f int64) int32 {
+	a.live++
+	if a.free != noBlock {
+		h := a.free
+		a.free = a.slab[h].l
+		a.slab[h] = block{l: l, r: r, f: f}
+		return h
+	}
+	a.slab = append(a.slab, block{l: l, r: r, f: f})
+	return int32(len(a.slab) - 1)
+}
+
+// release returns the block h to the free list. The block contents become
+// undefined; callers must drop every reference to h first.
+func (a *blockArena) release(h int32) {
+	a.slab[h].l = a.free
+	a.free = h
+	a.live--
+}
+
+// at returns a pointer to the block with handle h. The pointer is valid only
+// until the next alloc call (the slab may be reallocated when it grows).
+func (a *blockArena) at(h int32) *block { return &a.slab[h] }
+
+// liveBlocks returns the number of currently allocated blocks.
+func (a *blockArena) liveBlocks() int { return a.live }
+
+// capBlocks returns the total number of slots the slab can hold before the
+// next growth.
+func (a *blockArena) capBlocks() int { return cap(a.slab) }
+
+// reset discards every block, live or free, without shrinking the slab.
+func (a *blockArena) reset() {
+	a.slab = a.slab[:0]
+	a.free = noBlock
+	a.live = 0
+}

@@ -1,0 +1,102 @@
+package core
+
+import "testing"
+
+func TestBlockSize(t *testing.T) {
+	cases := []struct {
+		b    block
+		want int
+	}{
+		{block{l: 0, r: 0, f: 5}, 1},
+		{block{l: 3, r: 9, f: 0}, 7},
+		{block{l: 7, r: 7, f: -2}, 1},
+	}
+	for _, c := range cases {
+		if got := c.b.size(); got != c.want {
+			t.Errorf("size(%+v) = %d, want %d", c.b, got, c.want)
+		}
+	}
+}
+
+func TestArenaAllocRelease(t *testing.T) {
+	a := newBlockArena(2)
+	h1 := a.alloc(0, 4, 0)
+	h2 := a.alloc(5, 9, 3)
+	if a.liveBlocks() != 2 {
+		t.Fatalf("liveBlocks = %d, want 2", a.liveBlocks())
+	}
+	if got := *a.at(h1); got != (block{0, 4, 0}) {
+		t.Errorf("block h1 = %+v", got)
+	}
+	if got := *a.at(h2); got != (block{5, 9, 3}) {
+		t.Errorf("block h2 = %+v", got)
+	}
+
+	a.release(h1)
+	if a.liveBlocks() != 1 {
+		t.Fatalf("liveBlocks after release = %d, want 1", a.liveBlocks())
+	}
+	// The freed handle must be reused before the slab grows.
+	h3 := a.alloc(1, 1, 7)
+	if h3 != h1 {
+		t.Errorf("alloc after release = handle %d, want reuse of %d", h3, h1)
+	}
+	if got := *a.at(h3); got != (block{1, 1, 7}) {
+		t.Errorf("reused block = %+v", got)
+	}
+	if a.liveBlocks() != 2 {
+		t.Errorf("liveBlocks = %d, want 2", a.liveBlocks())
+	}
+}
+
+func TestArenaFreeListChain(t *testing.T) {
+	a := newBlockArena(0)
+	handles := make([]int32, 10)
+	for i := range handles {
+		handles[i] = a.alloc(int32(i), int32(i), int64(i))
+	}
+	for _, h := range handles {
+		a.release(h)
+	}
+	if a.liveBlocks() != 0 {
+		t.Fatalf("liveBlocks = %d, want 0", a.liveBlocks())
+	}
+	// All ten slots must come back out of the free list without growing.
+	capBefore := a.capBlocks()
+	seen := map[int32]bool{}
+	for i := 0; i < 10; i++ {
+		h := a.alloc(0, 0, 0)
+		if seen[h] {
+			t.Fatalf("handle %d returned twice", h)
+		}
+		seen[h] = true
+	}
+	if a.capBlocks() != capBefore {
+		t.Errorf("slab grew from %d to %d despite free list", capBefore, a.capBlocks())
+	}
+}
+
+func TestArenaReset(t *testing.T) {
+	a := newBlockArena(4)
+	a.alloc(0, 1, 0)
+	a.alloc(2, 3, 1)
+	a.reset()
+	if a.liveBlocks() != 0 {
+		t.Errorf("liveBlocks after reset = %d, want 0", a.liveBlocks())
+	}
+	h := a.alloc(0, 3, 0)
+	if h != 0 {
+		t.Errorf("first handle after reset = %d, want 0", h)
+	}
+}
+
+func TestArenaNegativeHint(t *testing.T) {
+	a := newBlockArena(-5)
+	if a == nil {
+		t.Fatal("newBlockArena(-5) returned nil")
+	}
+	h := a.alloc(0, 0, 1)
+	if got := *a.at(h); got != (block{0, 0, 1}) {
+		t.Errorf("block = %+v", got)
+	}
+}

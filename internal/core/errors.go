@@ -1,0 +1,40 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors returned by Profile operations. They are wrapped with
+// contextual detail; use errors.Is to test for them.
+var (
+	// ErrObjectRange is returned when an object id lies outside [0, m).
+	ErrObjectRange = errors.New("core: object id out of range")
+
+	// ErrNegativeFrequency is returned by Remove in strict mode when the
+	// removal would drive an object's frequency below zero.
+	ErrNegativeFrequency = errors.New("core: frequency would become negative")
+
+	// ErrEmptyProfile is returned when a query needs at least one object
+	// slot but the profile was built with m == 0.
+	ErrEmptyProfile = errors.New("core: profile has no object slots")
+
+	// ErrBadRank is returned when a rank or K parameter is out of range.
+	ErrBadRank = errors.New("core: rank out of range")
+
+	// ErrBadSnapshot is returned when decoding a snapshot that is
+	// truncated, corrupt, or produced by an incompatible version.
+	ErrBadSnapshot = errors.New("core: invalid snapshot")
+
+	// ErrCapacity is returned by New when the requested capacity is
+	// negative or exceeds the addressable limit.
+	ErrCapacity = errors.New("core: invalid capacity")
+)
+
+func errObjectRange(x, m int) error {
+	return fmt.Errorf("%w: id %d, capacity %d", ErrObjectRange, x, m)
+}
+
+func errBadRank(k, m int) error {
+	return fmt.Errorf("%w: k %d, capacity %d", ErrBadRank, k, m)
+}

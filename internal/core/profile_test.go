@@ -1,0 +1,443 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func mustProfile(t *testing.T, m int, opts ...Option) *Profile {
+	t.Helper()
+	p, err := New(m, opts...)
+	if err != nil {
+		t.Fatalf("New(%d): %v", m, err)
+	}
+	return p
+}
+
+func checkCount(t *testing.T, p *Profile, x int, want int64) {
+	t.Helper()
+	got, err := p.Count(x)
+	if err != nil {
+		t.Fatalf("Count(%d): %v", x, err)
+	}
+	if got != want {
+		t.Fatalf("Count(%d) = %d, want %d", x, got, want)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1); !errors.Is(err, ErrCapacity) {
+		t.Errorf("New(-1) error = %v, want ErrCapacity", err)
+	}
+	if _, err := New(0); err != nil {
+		t.Errorf("New(0) error = %v, want nil", err)
+	}
+	if _, err := New(10); err != nil {
+		t.Errorf("New(10) error = %v, want nil", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(-1) did not panic")
+		}
+	}()
+	MustNew(-1)
+}
+
+func TestInitialState(t *testing.T) {
+	p := mustProfile(t, 8)
+	if p.Cap() != 8 {
+		t.Errorf("Cap = %d, want 8", p.Cap())
+	}
+	if p.Total() != 0 || p.Active() != 0 || p.NegativeCount() != 0 {
+		t.Errorf("fresh profile: total=%d active=%d negative=%d, want zeros",
+			p.Total(), p.Active(), p.NegativeCount())
+	}
+	if p.Blocks() != 1 {
+		t.Errorf("fresh profile has %d blocks, want 1", p.Blocks())
+	}
+	for x := 0; x < 8; x++ {
+		checkCount(t, p, x, 0)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaperFigure1 replays the "add" example of Figure 1: starting from
+// frequencies [0 3 1 3 0 0 0 0] an add of object 0 ("1" in the paper's
+// 1-based ids) must move it into its own block with frequency 1.
+func TestPaperFigure1(t *testing.T) {
+	initial := []int64{0, 3, 1, 3, 0, 0, 0, 0}
+	p, err := FromFrequencies(initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Figure 1(c) block set for the sorted array
+	// [0 0 0 0 0 1 3 3] is (1,5,0)(6,6,1)(7,8,3) in 1-based indexing.
+	dist := p.Distribution()
+	wantDist := []FreqCount{{0, 5}, {1, 1}, {3, 2}}
+	if len(dist) != len(wantDist) {
+		t.Fatalf("distribution = %v, want %v", dist, wantDist)
+	}
+	for i := range dist {
+		if dist[i] != wantDist[i] {
+			t.Fatalf("distribution[%d] = %v, want %v", i, dist[i], wantDist[i])
+		}
+	}
+
+	if err := p.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	checkCount(t, p, 0, 1)
+	// Figure 1(d): sorted array [0 0 0 0 1 1 3 3], blocks (1,4,0)(5,6,1)(7,8,3).
+	dist = p.Distribution()
+	wantDist = []FreqCount{{0, 4}, {1, 2}, {3, 2}}
+	for i := range wantDist {
+		if i >= len(dist) || dist[i] != wantDist[i] {
+			t.Fatalf("after add: distribution = %v, want %v", dist, wantDist)
+		}
+	}
+}
+
+// TestPaperFigure2 replays the "remove" example of Figure 2: from
+// frequencies [1 3 1 3 0 0 0 0] removing object 3 ("4" in 1-based ids)
+// splits the top block and creates a new block with frequency 2.
+func TestPaperFigure2(t *testing.T) {
+	p, err := FromFrequencies([]int64{1, 3, 1, 3, 0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Remove(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	checkCount(t, p, 3, 2)
+	// Figure 2(b): sorted array [0 0 0 0 1 1 2 3], blocks (1,4,0)(5,6,1)(7,7,2)(8,8,3).
+	dist := p.Distribution()
+	wantDist := []FreqCount{{0, 4}, {1, 2}, {2, 1}, {3, 1}}
+	if len(dist) != len(wantDist) {
+		t.Fatalf("distribution = %v, want %v", dist, wantDist)
+	}
+	for i := range dist {
+		if dist[i] != wantDist[i] {
+			t.Fatalf("distribution[%d] = %v, want %v", i, dist[i], wantDist[i])
+		}
+	}
+	mode, n, err := p.Mode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode.Object != 1 || mode.Frequency != 3 || n != 1 {
+		t.Errorf("mode = %+v (count %d), want object 1, freq 3, count 1", mode, n)
+	}
+}
+
+func TestAddRemoveRoundTrip(t *testing.T) {
+	p := mustProfile(t, 4)
+	for i := 0; i < 5; i++ {
+		if err := p.Add(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkCount(t, p, 2, 5)
+	for i := 0; i < 5; i++ {
+		if err := p.Remove(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkCount(t, p, 2, 0)
+	if p.Total() != 0 {
+		t.Errorf("Total = %d, want 0", p.Total())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectRangeErrors(t *testing.T) {
+	p := mustProfile(t, 3)
+	for _, x := range []int{-1, 3, 1000} {
+		if err := p.Add(x); !errors.Is(err, ErrObjectRange) {
+			t.Errorf("Add(%d) error = %v, want ErrObjectRange", x, err)
+		}
+		if err := p.Remove(x); !errors.Is(err, ErrObjectRange) {
+			t.Errorf("Remove(%d) error = %v, want ErrObjectRange", x, err)
+		}
+		if _, err := p.Count(x); !errors.Is(err, ErrObjectRange) {
+			t.Errorf("Count(%d) error = %v, want ErrObjectRange", x, err)
+		}
+		if _, err := p.Rank(x); !errors.Is(err, ErrObjectRange) {
+			t.Errorf("Rank(%d) error = %v, want ErrObjectRange", x, err)
+		}
+	}
+}
+
+func TestNegativeFrequenciesAllowedByDefault(t *testing.T) {
+	p := mustProfile(t, 3)
+	if err := p.Remove(1); err != nil {
+		t.Fatalf("Remove on zero frequency: %v", err)
+	}
+	checkCount(t, p, 1, -1)
+	if p.NegativeCount() != 1 {
+		t.Errorf("NegativeCount = %d, want 1", p.NegativeCount())
+	}
+	min, n, err := p.Min()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Object != 1 || min.Frequency != -1 || n != 1 {
+		t.Errorf("Min = %+v count %d, want object 1 freq -1 count 1", min, n)
+	}
+	if err := p.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if p.NegativeCount() != 0 {
+		t.Errorf("NegativeCount after recovery = %d, want 0", p.NegativeCount())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrictNonNegative(t *testing.T) {
+	p := mustProfile(t, 3, WithStrictNonNegative())
+	if err := p.Remove(0); !errors.Is(err, ErrNegativeFrequency) {
+		t.Fatalf("Remove on empty object error = %v, want ErrNegativeFrequency", err)
+	}
+	// The failed remove must not have changed anything.
+	checkCount(t, p, 0, 0)
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Remove(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Remove(0); !errors.Is(err, ErrNegativeFrequency) {
+		t.Errorf("second Remove error = %v, want ErrNegativeFrequency", err)
+	}
+}
+
+func TestApply(t *testing.T) {
+	p := mustProfile(t, 4)
+	if err := p.Apply(Tuple{Object: 1, Action: ActionAdd}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Apply(Tuple{Object: 1, Action: ActionRemove}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Apply(Tuple{Object: 1, Action: Action(9)}); err == nil {
+		t.Error("Apply with invalid action did not fail")
+	}
+	adds, removes := p.Events()
+	if adds != 1 || removes != 1 {
+		t.Errorf("Events = (%d, %d), want (1, 1)", adds, removes)
+	}
+}
+
+func TestApplyAllStopsAtError(t *testing.T) {
+	p := mustProfile(t, 2)
+	tuples := []Tuple{
+		{Object: 0, Action: ActionAdd},
+		{Object: 5, Action: ActionAdd}, // out of range
+		{Object: 1, Action: ActionAdd},
+	}
+	n, err := p.ApplyAll(tuples)
+	if err == nil {
+		t.Fatal("ApplyAll did not return an error")
+	}
+	if n != 1 {
+		t.Errorf("ApplyAll applied %d tuples, want 1", n)
+	}
+	checkCount(t, p, 0, 1)
+	checkCount(t, p, 1, 0)
+}
+
+func TestReset(t *testing.T) {
+	p := mustProfile(t, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j <= i; j++ {
+			if err := p.Add(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	p.Reset()
+	if p.Total() != 0 || p.Active() != 0 || p.Blocks() != 1 {
+		t.Errorf("after Reset: total=%d active=%d blocks=%d", p.Total(), p.Active(), p.Blocks())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 5; x++ {
+		checkCount(t, p, x, 0)
+	}
+}
+
+func TestZeroCapacityProfile(t *testing.T) {
+	p := mustProfile(t, 0)
+	if err := p.Add(0); !errors.Is(err, ErrObjectRange) {
+		t.Errorf("Add on empty profile error = %v, want ErrObjectRange", err)
+	}
+	if _, _, err := p.Mode(); !errors.Is(err, ErrEmptyProfile) {
+		t.Errorf("Mode on empty profile error = %v, want ErrEmptyProfile", err)
+	}
+	if _, _, err := p.Min(); !errors.Is(err, ErrEmptyProfile) {
+		t.Errorf("Min on empty profile error = %v, want ErrEmptyProfile", err)
+	}
+	if _, err := p.Median(); !errors.Is(err, ErrEmptyProfile) {
+		t.Errorf("Median on empty profile error = %v, want ErrEmptyProfile", err)
+	}
+	if d := p.Distribution(); d != nil {
+		t.Errorf("Distribution on empty profile = %v, want nil", d)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleObjectProfile(t *testing.T) {
+	p := mustProfile(t, 1)
+	for i := 1; i <= 100; i++ {
+		if err := p.Add(0); err != nil {
+			t.Fatal(err)
+		}
+		mode, n, err := p.Mode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode.Object != 0 || mode.Frequency != int64(i) || n != 1 {
+			t.Fatalf("after %d adds: mode=%+v count=%d", i, mode, n)
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActionHelpers(t *testing.T) {
+	if ActionAdd.Opposite() != ActionRemove || ActionRemove.Opposite() != ActionAdd {
+		t.Error("Opposite is not an involution on the defined actions")
+	}
+	if got := Action(7).Opposite(); got != Action(7) {
+		t.Errorf("Opposite of invalid action = %v, want unchanged", got)
+	}
+	if ActionAdd.String() != "add" || ActionRemove.String() != "remove" {
+		t.Errorf("String() = %q/%q", ActionAdd.String(), ActionRemove.String())
+	}
+	if Action(7).String() == "" {
+		t.Error("String of invalid action is empty")
+	}
+	if !ActionAdd.Valid() || !ActionRemove.Valid() || Action(0).Valid() {
+		t.Error("Valid() misclassifies actions")
+	}
+}
+
+func TestEventCountersAndMemoryFootprint(t *testing.T) {
+	p := mustProfile(t, 100)
+	rng := rand.New(rand.NewSource(1))
+	wantAdds, wantRemoves := uint64(0), uint64(0)
+	for i := 0; i < 1000; i++ {
+		x := rng.Intn(100)
+		if rng.Intn(2) == 0 {
+			if err := p.Add(x); err != nil {
+				t.Fatal(err)
+			}
+			wantAdds++
+		} else {
+			if err := p.Remove(x); err != nil {
+				t.Fatal(err)
+			}
+			wantRemoves++
+		}
+	}
+	adds, removes := p.Events()
+	if adds != wantAdds || removes != wantRemoves {
+		t.Errorf("Events = (%d,%d), want (%d,%d)", adds, removes, wantAdds, wantRemoves)
+	}
+	if p.Total() != int64(wantAdds)-int64(wantRemoves) {
+		t.Errorf("Total = %d, want %d", p.Total(), int64(wantAdds)-int64(wantRemoves))
+	}
+	if p.MemoryFootprint() <= 0 {
+		t.Errorf("MemoryFootprint = %d, want > 0", p.MemoryFootprint())
+	}
+}
+
+func TestBlockCountNeverExceedsCapacity(t *testing.T) {
+	const m = 64
+	p := mustProfile(t, m)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		x := rng.Intn(m)
+		if rng.Float64() < 0.7 {
+			_ = p.Add(x)
+		} else {
+			_ = p.Remove(x)
+		}
+		if p.Blocks() > m {
+			t.Fatalf("step %d: %d blocks exceed capacity %d", i, p.Blocks(), m)
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankConsistency(t *testing.T) {
+	p := mustProfile(t, 10)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		_ = p.Add(rng.Intn(10))
+	}
+	for x := 0; x < 10; x++ {
+		r, err := p.Rank(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := p.AtRank(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Object != x {
+			t.Errorf("AtRank(Rank(%d)) = object %d", x, e.Object)
+		}
+		c, _ := p.Count(x)
+		if e.Frequency != c {
+			t.Errorf("AtRank(Rank(%d)).Frequency = %d, Count = %d", x, e.Frequency, c)
+		}
+	}
+}
+
+func TestWithBlockHint(t *testing.T) {
+	p := mustProfile(t, 16, WithBlockHint(64))
+	if got := p.arena.capBlocks(); got < 64 {
+		t.Errorf("block slab capacity = %d, want >= 64", got)
+	}
+	for i := 0; i < 16; i++ {
+		for j := 0; j <= i; j++ {
+			if err := p.Add(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Blocks() != 16 {
+		t.Errorf("Blocks = %d, want 16 (all distinct frequencies)", p.Blocks())
+	}
+}

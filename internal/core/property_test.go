@@ -1,0 +1,326 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// refProfile is a deliberately naive reference implementation: a plain
+// frequency array whose statistics are recomputed by sorting on demand.
+// Property tests drive it and the real Profile with the same operations and
+// compare every observable.
+type refProfile struct {
+	freqs []int64
+}
+
+func newRef(m int) *refProfile { return &refProfile{freqs: make([]int64, m)} }
+
+func (r *refProfile) apply(x int, add bool) {
+	if add {
+		r.freqs[x]++
+	} else {
+		r.freqs[x]--
+	}
+}
+
+func (r *refProfile) sorted() []int64 {
+	s := append([]int64(nil), r.freqs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+func (r *refProfile) mode() (int64, int) {
+	s := r.sorted()
+	maxF := s[len(s)-1]
+	n := 0
+	for _, f := range s {
+		if f == maxF {
+			n++
+		}
+	}
+	return maxF, n
+}
+
+func (r *refProfile) min() (int64, int) {
+	s := r.sorted()
+	minF := s[0]
+	n := 0
+	for _, f := range s {
+		if f == minF {
+			n++
+		}
+	}
+	return minF, n
+}
+
+func (r *refProfile) total() int64 {
+	var t int64
+	for _, f := range r.freqs {
+		t += f
+	}
+	return t
+}
+
+func (r *refProfile) active() int {
+	n := 0
+	for _, f := range r.freqs {
+		if f > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *refProfile) distribution() []FreqCount {
+	hist := map[int64]int{}
+	for _, f := range r.freqs {
+		hist[f]++
+	}
+	keys := make([]int64, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]FreqCount, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, FreqCount{Freq: k, Count: hist[k]})
+	}
+	return out
+}
+
+// op is a randomly generated profile operation for property tests.
+type op struct {
+	Object uint16
+	Add    bool
+}
+
+// compareAgainstReference drives both implementations with the same
+// operations and cross-checks every query after every step.
+func compareAgainstReference(t *testing.T, m int, ops []op, checkEvery int) {
+	t.Helper()
+	p := mustProfile(t, m)
+	ref := newRef(m)
+	for i, o := range ops {
+		x := int(o.Object) % m
+		if o.Add {
+			if err := p.Add(x); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		} else {
+			if err := p.Remove(x); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+		ref.apply(x, o.Add)
+
+		if checkEvery > 0 && i%checkEvery != 0 && i != len(ops)-1 {
+			continue
+		}
+
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("op %d: invariants: %v", i, err)
+		}
+		wantMode, wantModeN := ref.mode()
+		gotMode, gotModeN, err := p.Mode()
+		if err != nil {
+			t.Fatalf("op %d: Mode: %v", i, err)
+		}
+		if gotMode.Frequency != wantMode || gotModeN != wantModeN {
+			t.Fatalf("op %d: Mode = (%d, %d), want (%d, %d)",
+				i, gotMode.Frequency, gotModeN, wantMode, wantModeN)
+		}
+		wantMin, wantMinN := ref.min()
+		gotMin, gotMinN, err := p.Min()
+		if err != nil {
+			t.Fatalf("op %d: Min: %v", i, err)
+		}
+		if gotMin.Frequency != wantMin || gotMinN != wantMinN {
+			t.Fatalf("op %d: Min = (%d, %d), want (%d, %d)",
+				i, gotMin.Frequency, gotMinN, wantMin, wantMinN)
+		}
+		if p.Total() != ref.total() {
+			t.Fatalf("op %d: Total = %d, want %d", i, p.Total(), ref.total())
+		}
+		if p.Active() != ref.active() {
+			t.Fatalf("op %d: Active = %d, want %d", i, p.Active(), ref.active())
+		}
+		// Spot-check per-object counts and the sorted array via ranks.
+		sorted := ref.sorted()
+		for k := 1; k <= m; k++ {
+			e, err := p.KthSmallest(k)
+			if err != nil {
+				t.Fatalf("op %d: KthSmallest(%d): %v", i, k, err)
+			}
+			if e.Frequency != sorted[k-1] {
+				t.Fatalf("op %d: KthSmallest(%d) = %d, want %d", i, k, e.Frequency, sorted[k-1])
+			}
+		}
+		for x := 0; x < m; x++ {
+			c, err := p.Count(x)
+			if err != nil {
+				t.Fatalf("op %d: Count(%d): %v", i, x, err)
+			}
+			if c != ref.freqs[x] {
+				t.Fatalf("op %d: Count(%d) = %d, want %d", i, x, c, ref.freqs[x])
+			}
+		}
+		wantDist := ref.distribution()
+		gotDist := p.Distribution()
+		if len(wantDist) != len(gotDist) {
+			t.Fatalf("op %d: distribution length %d, want %d", i, len(gotDist), len(wantDist))
+		}
+		for j := range wantDist {
+			if wantDist[j] != gotDist[j] {
+				t.Fatalf("op %d: distribution[%d] = %+v, want %+v", i, j, gotDist[j], wantDist[j])
+			}
+		}
+	}
+}
+
+func TestQuickMatchesReferenceSmall(t *testing.T) {
+	f := func(ops []op) bool {
+		if len(ops) > 400 {
+			ops = ops[:400]
+		}
+		compareAgainstReference(t, 7, ops, 1)
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMatchesReferenceMedium(t *testing.T) {
+	f := func(ops []op, mSeed uint8) bool {
+		m := int(mSeed)%50 + 2
+		if len(ops) > 600 {
+			ops = ops[:600]
+		}
+		compareAgainstReference(t, m, ops, 25)
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFromFrequenciesMatchesIncremental(t *testing.T) {
+	// Building a profile from a frequency vector must be indistinguishable
+	// from applying the equivalent add/remove events one at a time.
+	f := func(raw []int8) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		freqs := make([]int64, len(raw))
+		for i, v := range raw {
+			freqs[i] = int64(v % 16)
+		}
+		direct, err := FromFrequencies(freqs)
+		if err != nil {
+			t.Fatalf("FromFrequencies: %v", err)
+		}
+		incremental := mustProfile(t, len(freqs))
+		for x, fr := range freqs {
+			for ; fr > 0; fr-- {
+				_ = incremental.Add(x)
+			}
+			for ; fr < 0; fr++ {
+				_ = incremental.Remove(x)
+			}
+		}
+		if err := direct.CheckInvariants(); err != nil {
+			t.Fatalf("direct invariants: %v", err)
+		}
+		if err := incremental.CheckInvariants(); err != nil {
+			t.Fatalf("incremental invariants: %v", err)
+		}
+		dd, di := direct.Distribution(), incremental.Distribution()
+		if len(dd) != len(di) {
+			return false
+		}
+		for i := range dd {
+			if dd[i] != di[i] {
+				return false
+			}
+		}
+		for x := range freqs {
+			cd, _ := direct.Count(x)
+			ci, _ := incremental.Count(x)
+			if cd != ci {
+				return false
+			}
+		}
+		return direct.Total() == incremental.Total() && direct.Active() == incremental.Active()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongRandomRunInvariants(t *testing.T) {
+	const m = 128
+	p := mustProfile(t, m)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 100000; i++ {
+		x := rng.Intn(m)
+		if rng.Float64() < 0.7 {
+			_ = p.Add(x)
+		} else {
+			_ = p.Remove(x)
+		}
+		if i%10000 == 0 {
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewedWorkloadInvariants(t *testing.T) {
+	// Heavily skewed stream: a handful of hot objects, long tails of cold
+	// ones, plus bursts of removals that drive frequencies negative.
+	const m = 64
+	p := mustProfile(t, m)
+	rng := rand.New(rand.NewSource(3))
+	zipf := rand.NewZipf(rng, 1.3, 1, m-1)
+	for i := 0; i < 50000; i++ {
+		x := int(zipf.Uint64())
+		switch {
+		case rng.Float64() < 0.6:
+			_ = p.Add(x)
+		case rng.Float64() < 0.9:
+			_ = p.Remove(x)
+		default:
+			// burst: remove a cold object repeatedly
+			cold := rng.Intn(m)
+			for j := 0; j < 5; j++ {
+				_ = p.Remove(cold)
+			}
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Mode must match a full recomputation.
+	freqs := p.Frequencies(nil)
+	want := freqs[0]
+	for _, f := range freqs {
+		if f > want {
+			want = f
+		}
+	}
+	got, err := p.Max()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Max = %d, recomputed %d", got, want)
+	}
+}

@@ -1,0 +1,293 @@
+package core
+
+// Entry pairs an object id with its frequency; query results are reported as
+// entries.
+type Entry struct {
+	Object    int
+	Frequency int64
+}
+
+// FreqCount is one point of the frequency distribution: Count objects
+// currently have frequency Freq.
+type FreqCount struct {
+	Freq  int64
+	Count int
+}
+
+// Mode returns one object with the maximum frequency, that frequency, and
+// the number of objects sharing it. The representative is the object at the
+// highest rank; ModeAll returns all of them.
+func (p *Profile) Mode() (Entry, int, error) {
+	if p.m == 0 {
+		return Entry{}, 0, ErrEmptyProfile
+	}
+	b := p.arena.at(p.ptrB[p.m-1])
+	return Entry{Object: int(p.tToF[p.m-1]), Frequency: b.f}, b.size(), nil
+}
+
+// ModeAll returns every object whose frequency equals the maximum, along
+// with that frequency. The cost is proportional to the number of modes.
+func (p *Profile) ModeAll() ([]int, int64, error) {
+	if p.m == 0 {
+		return nil, 0, ErrEmptyProfile
+	}
+	b := p.arena.at(p.ptrB[p.m-1])
+	objs := make([]int, 0, b.size())
+	for r := b.l; r <= b.r; r++ {
+		objs = append(objs, int(p.tToF[r]))
+	}
+	return objs, b.f, nil
+}
+
+// Min returns one object with the minimum frequency, that frequency, and the
+// number of objects sharing it (paper steps 29a/30a).
+func (p *Profile) Min() (Entry, int, error) {
+	if p.m == 0 {
+		return Entry{}, 0, ErrEmptyProfile
+	}
+	b := p.arena.at(p.ptrB[0])
+	return Entry{Object: int(p.tToF[0]), Frequency: b.f}, b.size(), nil
+}
+
+// MinAll returns every object whose frequency equals the minimum, along with
+// that frequency.
+func (p *Profile) MinAll() ([]int, int64, error) {
+	if p.m == 0 {
+		return nil, 0, ErrEmptyProfile
+	}
+	b := p.arena.at(p.ptrB[0])
+	objs := make([]int, 0, b.size())
+	for r := b.l; r <= b.r; r++ {
+		objs = append(objs, int(p.tToF[r]))
+	}
+	return objs, b.f, nil
+}
+
+// Max is an alias for Mode's frequency: the largest frequency currently held
+// by any object.
+func (p *Profile) Max() (int64, error) {
+	if p.m == 0 {
+		return 0, ErrEmptyProfile
+	}
+	return p.arena.at(p.ptrB[p.m-1]).f, nil
+}
+
+// KthLargest returns the object holding the k-th largest frequency
+// (1-based: k=1 is the mode representative). Ties within a block are broken
+// by block position.
+func (p *Profile) KthLargest(k int) (Entry, error) {
+	if k < 1 || int32(k) > p.m {
+		return Entry{}, errBadRank(k, int(p.m))
+	}
+	r := p.m - int32(k)
+	return Entry{Object: int(p.tToF[r]), Frequency: p.arena.at(p.ptrB[r]).f}, nil
+}
+
+// KthSmallest returns the object holding the k-th smallest frequency
+// (1-based: k=1 is the minimum representative).
+func (p *Profile) KthSmallest(k int) (Entry, error) {
+	if k < 1 || int32(k) > p.m {
+		return Entry{}, errBadRank(k, int(p.m))
+	}
+	r := int32(k) - 1
+	return Entry{Object: int(p.tToF[r]), Frequency: p.arena.at(p.ptrB[r]).f}, nil
+}
+
+// AtRank returns the entry at 0-based rank r of the ascending-sorted
+// frequency array (rank 0 is the minimum, rank m-1 the maximum).
+func (p *Profile) AtRank(r int) (Entry, error) {
+	if r < 0 || int32(r) >= p.m {
+		return Entry{}, errBadRank(r, int(p.m))
+	}
+	return Entry{Object: int(p.tToF[r]), Frequency: p.arena.at(p.ptrB[int32(r)]).f}, nil
+}
+
+// TopK returns the k objects with the largest frequencies in non-increasing
+// frequency order. If k exceeds m every object is returned. Cost O(k).
+func (p *Profile) TopK(k int) []Entry {
+	if k <= 0 || p.m == 0 {
+		return nil
+	}
+	if int32(k) > p.m {
+		k = int(p.m)
+	}
+	out := make([]Entry, 0, k)
+	for i := 0; i < k; i++ {
+		r := p.m - 1 - int32(i)
+		out = append(out, Entry{Object: int(p.tToF[r]), Frequency: p.arena.at(p.ptrB[r]).f})
+	}
+	return out
+}
+
+// BottomK returns the k objects with the smallest frequencies in
+// non-decreasing frequency order.
+func (p *Profile) BottomK(k int) []Entry {
+	if k <= 0 || p.m == 0 {
+		return nil
+	}
+	if int32(k) > p.m {
+		k = int(p.m)
+	}
+	out := make([]Entry, 0, k)
+	for i := int32(0); i < int32(k); i++ {
+		out = append(out, Entry{Object: int(p.tToF[i]), Frequency: p.arena.at(p.ptrB[i]).f})
+	}
+	return out
+}
+
+// Median returns the lower-median entry of the frequency multiset over all m
+// object slots: the element at rank floor((m-1)/2) of the sorted array.
+func (p *Profile) Median() (Entry, error) {
+	if p.m == 0 {
+		return Entry{}, ErrEmptyProfile
+	}
+	return p.AtRank(int((p.m - 1) / 2))
+}
+
+// Quantile returns the entry at quantile q in [0, 1] of the frequency
+// multiset (q=0 minimum, q=0.5 median, q=1 maximum), using the
+// nearest-rank definition.
+func (p *Profile) Quantile(q float64) (Entry, error) {
+	if p.m == 0 {
+		return Entry{}, ErrEmptyProfile
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	r := int32(q * float64(p.m-1))
+	return p.AtRank(int(r))
+}
+
+// Majority returns the object whose frequency exceeds half of the total
+// count, if one exists. Following Boyer–Moore semantics the total is the sum
+// of all frequencies; only meaningful when all frequencies are non-negative.
+func (p *Profile) Majority() (Entry, bool, error) {
+	if p.m == 0 {
+		return Entry{}, false, ErrEmptyProfile
+	}
+	e, _, err := p.Mode()
+	if err != nil {
+		return Entry{}, false, err
+	}
+	if p.total > 0 && e.Frequency*2 > p.total {
+		return e, true, nil
+	}
+	return Entry{}, false, nil
+}
+
+// Distribution returns the frequency histogram in ascending frequency order:
+// one FreqCount per distinct frequency currently present. Cost O(#blocks).
+func (p *Profile) Distribution() []FreqCount {
+	if p.m == 0 {
+		return nil
+	}
+	out := make([]FreqCount, 0, p.arena.liveBlocks())
+	for r := int32(0); r < p.m; {
+		b := p.arena.at(p.ptrB[r])
+		out = append(out, FreqCount{Freq: b.f, Count: b.size()})
+		r = b.r + 1
+	}
+	return out
+}
+
+// CountWithFrequencyAtLeast returns how many objects currently have
+// frequency >= f. Cost O(#blocks) via a scan of the block chain from the top.
+func (p *Profile) CountWithFrequencyAtLeast(f int64) int {
+	if p.m == 0 {
+		return 0
+	}
+	n := 0
+	for r := p.m - 1; r >= 0; {
+		b := p.arena.at(p.ptrB[r])
+		if b.f < f {
+			break
+		}
+		n += b.size()
+		r = b.l - 1
+	}
+	return n
+}
+
+// CountWithFrequencyAtMost returns how many objects currently have
+// frequency <= f. Cost O(#blocks) via a scan of the block chain from the
+// bottom.
+func (p *Profile) CountWithFrequencyAtMost(f int64) int {
+	if p.m == 0 {
+		return 0
+	}
+	n := 0
+	for r := int32(0); r < p.m; {
+		b := p.arena.at(p.ptrB[r])
+		if b.f > f {
+			break
+		}
+		n += b.size()
+		r = b.r + 1
+	}
+	return n
+}
+
+// CountWithFrequencyInRange returns how many objects currently have a
+// frequency in the inclusive range [lo, hi]. Cost O(#blocks).
+func (p *Profile) CountWithFrequencyInRange(lo, hi int64) int {
+	if hi < lo {
+		return 0
+	}
+	return p.CountWithFrequencyAtMost(hi) - p.CountWithFrequencyAtMost(lo-1)
+}
+
+// DistinctFrequencies returns the number of distinct frequency values
+// currently present (equal to the number of live blocks).
+func (p *Profile) DistinctFrequencies() int { return p.arena.liveBlocks() }
+
+// Snapshot of summary statistics; cheap to produce and useful for logging.
+type Summary struct {
+	Capacity            int
+	Total               int64
+	Active              int
+	Negative            int
+	DistinctFrequencies int
+	MaxFrequency        int64
+	MinFrequency        int64
+	Adds                uint64
+	Removes             uint64
+}
+
+// Summarize returns the current summary statistics of the profile.
+func (p *Profile) Summarize() Summary {
+	s := Summary{
+		Capacity:            int(p.m),
+		Total:               p.total,
+		Active:              int(p.active),
+		Negative:            int(p.negative),
+		DistinctFrequencies: p.arena.liveBlocks(),
+		Adds:                p.adds,
+		Removes:             p.removes,
+	}
+	if p.m > 0 {
+		s.MaxFrequency = p.arena.at(p.ptrB[p.m-1]).f
+		s.MinFrequency = p.arena.at(p.ptrB[0]).f
+	}
+	return s
+}
+
+// Frequencies copies every object's current frequency into dst (which must
+// have length >= m) and returns the slice of length m. Passing nil allocates.
+// Cost O(m); intended for debugging, testing and snapshots, not hot paths.
+func (p *Profile) Frequencies(dst []int64) []int64 {
+	if dst == nil || len(dst) < int(p.m) {
+		dst = make([]int64, p.m)
+	}
+	dst = dst[:p.m]
+	for r := int32(0); r < p.m; {
+		b := p.arena.at(p.ptrB[r])
+		for i := b.l; i <= b.r; i++ {
+			dst[p.tToF[i]] = b.f
+		}
+		r = b.r + 1
+	}
+	return dst
+}

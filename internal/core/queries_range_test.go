@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// buildFromFreqs returns a profile whose object x starts at freqs[x],
+// failing the test on error.
+func buildFromFreqs(t *testing.T, freqs []int64) *Profile {
+	t.Helper()
+	p, err := FromFrequencies(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCountWithFrequencyAtMost(t *testing.T) {
+	p := buildFromFreqs(t, []int64{0, 3, 3, -1, 7, 0})
+	cases := []struct {
+		f    int64
+		want int
+	}{
+		{-2, 0},
+		{-1, 1},
+		{0, 3},
+		{2, 3},
+		{3, 5},
+		{7, 6},
+		{100, 6},
+	}
+	for _, c := range cases {
+		if got := p.CountWithFrequencyAtMost(c.f); got != c.want {
+			t.Fatalf("CountWithFrequencyAtMost(%d) = %d, want %d", c.f, got, c.want)
+		}
+	}
+}
+
+func TestCountWithFrequencyInRange(t *testing.T) {
+	p := buildFromFreqs(t, []int64{0, 3, 3, -1, 7, 0})
+	cases := []struct {
+		lo, hi int64
+		want   int
+	}{
+		{0, 0, 2},
+		{-1, 0, 3},
+		{3, 3, 2},
+		{0, 7, 5},
+		{-10, 10, 6},
+		{4, 6, 0},
+		{5, 2, 0}, // inverted range
+	}
+	for _, c := range cases {
+		if got := p.CountWithFrequencyInRange(c.lo, c.hi); got != c.want {
+			t.Fatalf("CountWithFrequencyInRange(%d, %d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestRangeCountsEmptyProfile(t *testing.T) {
+	p := MustNew(0)
+	if p.CountWithFrequencyAtMost(10) != 0 {
+		t.Fatalf("CountWithFrequencyAtMost on empty profile != 0")
+	}
+	if p.CountWithFrequencyInRange(-5, 5) != 0 {
+		t.Fatalf("CountWithFrequencyInRange on empty profile != 0")
+	}
+}
+
+func TestRangeCountsConsistencyProperty(t *testing.T) {
+	// For any operation sequence, AtLeast(f) + AtMost(f-1) == m, and the
+	// range count must match a brute-force count over Frequencies().
+	f := func(seed uint64, rawM uint8, rawN uint16, probe int8) bool {
+		m := int(rawM)%30 + 1
+		n := int(rawN) % 400
+		p := MustNew(m)
+		rng := newTestRNG(seed)
+		for i := 0; i < n; i++ {
+			x := int(rng.next() % uint64(m))
+			if rng.next()%10 < 6 {
+				if p.Add(x) != nil {
+					return false
+				}
+			} else if p.Remove(x) != nil {
+				return false
+			}
+		}
+		threshold := int64(probe)
+		if p.CountWithFrequencyAtLeast(threshold)+p.CountWithFrequencyAtMost(threshold-1) != m {
+			return false
+		}
+		lo, hi := int64(probe)-2, int64(probe)+2
+		want := 0
+		for _, fr := range p.Frequencies(nil) {
+			if fr >= lo && fr <= hi {
+				want++
+			}
+		}
+		return p.CountWithFrequencyInRange(lo, hi) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newTestRNG is a tiny splitmix64 used only by this test file, to avoid a
+// dependency from the core package's tests on the stream package.
+type testRNG struct{ s uint64 }
+
+func newTestRNG(seed uint64) *testRNG { return &testRNG{s: seed} }
+
+func (r *testRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// buildFrom applies adds so that object x ends with frequency freqs[x],
+// using only the public Add/Remove API (unlike FromFrequencies).
+func buildFrom(t *testing.T, freqs []int64) *Profile {
+	t.Helper()
+	p := mustProfile(t, len(freqs))
+	for x, f := range freqs {
+		for ; f > 0; f-- {
+			if err := p.Add(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for ; f < 0; f++ {
+			if err := p.Remove(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestModeAndMin(t *testing.T) {
+	p := buildFrom(t, []int64{5, 2, 5, 0, 1})
+	mode, n, err := p.Mode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode.Frequency != 5 || n != 2 {
+		t.Errorf("Mode = %+v count %d, want freq 5 count 2", mode, n)
+	}
+	objs, f, err := p.ModeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(objs)
+	if f != 5 || len(objs) != 2 || objs[0] != 0 || objs[1] != 2 {
+		t.Errorf("ModeAll = %v freq %d, want [0 2] freq 5", objs, f)
+	}
+
+	min, n, err := p.Min()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Object != 3 || min.Frequency != 0 || n != 1 {
+		t.Errorf("Min = %+v count %d, want object 3 freq 0 count 1", min, n)
+	}
+	minObjs, minF, err := p.MinAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minF != 0 || len(minObjs) != 1 || minObjs[0] != 3 {
+		t.Errorf("MinAll = %v freq %d, want [3] freq 0", minObjs, minF)
+	}
+
+	max, err := p.Max()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max != 5 {
+		t.Errorf("Max = %d, want 5", max)
+	}
+}
+
+func TestKthLargestAndSmallest(t *testing.T) {
+	freqs := []int64{5, 2, 5, 0, 1}
+	p := buildFrom(t, freqs)
+	sorted := append([]int64(nil), freqs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	for k := 1; k <= len(freqs); k++ {
+		e, err := p.KthLargest(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := sorted[len(sorted)-k]; e.Frequency != want {
+			t.Errorf("KthLargest(%d).Frequency = %d, want %d", k, e.Frequency, want)
+		}
+		s, err := p.KthSmallest(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := sorted[k-1]; s.Frequency != want {
+			t.Errorf("KthSmallest(%d).Frequency = %d, want %d", k, s.Frequency, want)
+		}
+	}
+	for _, k := range []int{0, -1, 6} {
+		if _, err := p.KthLargest(k); !errors.Is(err, ErrBadRank) {
+			t.Errorf("KthLargest(%d) error = %v, want ErrBadRank", k, err)
+		}
+		if _, err := p.KthSmallest(k); !errors.Is(err, ErrBadRank) {
+			t.Errorf("KthSmallest(%d) error = %v, want ErrBadRank", k, err)
+		}
+	}
+}
+
+func TestAtRankBounds(t *testing.T) {
+	p := buildFrom(t, []int64{1, 2, 3})
+	if _, err := p.AtRank(-1); !errors.Is(err, ErrBadRank) {
+		t.Errorf("AtRank(-1) error = %v, want ErrBadRank", err)
+	}
+	if _, err := p.AtRank(3); !errors.Is(err, ErrBadRank) {
+		t.Errorf("AtRank(3) error = %v, want ErrBadRank", err)
+	}
+	e, err := p.AtRank(0)
+	if err != nil || e.Frequency != 1 {
+		t.Errorf("AtRank(0) = %+v, %v; want freq 1", e, err)
+	}
+	e, err = p.AtRank(2)
+	if err != nil || e.Frequency != 3 {
+		t.Errorf("AtRank(2) = %+v, %v; want freq 3", e, err)
+	}
+}
+
+func TestTopKAndBottomK(t *testing.T) {
+	freqs := []int64{7, 1, 4, 4, 9, 0}
+	p := buildFrom(t, freqs)
+
+	top := p.TopK(3)
+	if len(top) != 3 {
+		t.Fatalf("TopK(3) returned %d entries", len(top))
+	}
+	wantTop := []int64{9, 7, 4}
+	for i, e := range top {
+		if e.Frequency != wantTop[i] {
+			t.Errorf("TopK[%d].Frequency = %d, want %d", i, e.Frequency, wantTop[i])
+		}
+	}
+
+	bottom := p.BottomK(2)
+	wantBottom := []int64{0, 1}
+	for i, e := range bottom {
+		if e.Frequency != wantBottom[i] {
+			t.Errorf("BottomK[%d].Frequency = %d, want %d", i, e.Frequency, wantBottom[i])
+		}
+	}
+
+	if got := p.TopK(0); got != nil {
+		t.Errorf("TopK(0) = %v, want nil", got)
+	}
+	if got := p.BottomK(-1); got != nil {
+		t.Errorf("BottomK(-1) = %v, want nil", got)
+	}
+	if got := p.TopK(100); len(got) != len(freqs) {
+		t.Errorf("TopK(100) returned %d entries, want %d", len(got), len(freqs))
+	}
+	if got := p.BottomK(100); len(got) != len(freqs) {
+		t.Errorf("BottomK(100) returned %d entries, want %d", len(got), len(freqs))
+	}
+}
+
+func TestMedianAndQuantile(t *testing.T) {
+	freqs := []int64{10, 20, 30, 40, 50}
+	p := buildFrom(t, freqs)
+	med, err := p.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med.Frequency != 30 {
+		t.Errorf("Median.Frequency = %d, want 30", med.Frequency)
+	}
+
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 10}, {0.25, 20}, {0.5, 30}, {0.75, 40}, {1, 50},
+		{-0.5, 10}, {1.5, 50}, // clamped
+	}
+	for _, c := range cases {
+		e, err := p.Quantile(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Frequency != c.want {
+			t.Errorf("Quantile(%v).Frequency = %d, want %d", c.q, e.Frequency, c.want)
+		}
+	}
+
+	// Even number of slots: lower median.
+	p2 := buildFrom(t, []int64{1, 2, 3, 4})
+	med2, err := p2.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med2.Frequency != 2 {
+		t.Errorf("lower median of {1,2,3,4} = %d, want 2", med2.Frequency)
+	}
+}
+
+func TestMajority(t *testing.T) {
+	p := buildFrom(t, []int64{8, 1, 1, 1})
+	e, ok, err := p.Majority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || e.Object != 0 {
+		t.Errorf("Majority = %+v ok=%v, want object 0", e, ok)
+	}
+
+	p2 := buildFrom(t, []int64{3, 3, 3})
+	if _, ok, _ := p2.Majority(); ok {
+		t.Error("Majority reported on a stream with no majority element")
+	}
+
+	p3 := mustProfile(t, 3)
+	if _, ok, _ := p3.Majority(); ok {
+		t.Error("Majority reported on an empty stream")
+	}
+}
+
+func TestDistributionMatchesFrequencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	freqs := make([]int64, 50)
+	for i := range freqs {
+		freqs[i] = int64(rng.Intn(8)) - 2
+	}
+	p, err := FromFrequencies(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := p.Distribution()
+	// Rebuild a histogram from raw frequencies and compare.
+	hist := map[int64]int{}
+	for _, f := range freqs {
+		hist[f]++
+	}
+	if len(dist) != len(hist) {
+		t.Fatalf("distribution has %d buckets, want %d", len(dist), len(hist))
+	}
+	var prev int64
+	for i, fc := range dist {
+		if i > 0 && fc.Freq <= prev {
+			t.Errorf("distribution not strictly ascending at index %d", i)
+		}
+		prev = fc.Freq
+		if hist[fc.Freq] != fc.Count {
+			t.Errorf("distribution[%d] = %+v, want count %d", i, fc, hist[fc.Freq])
+		}
+	}
+
+	total := 0
+	for _, fc := range dist {
+		total += fc.Count
+	}
+	if total != len(freqs) {
+		t.Errorf("distribution counts sum to %d, want %d", total, len(freqs))
+	}
+}
+
+func TestCountWithFrequencyAtLeast(t *testing.T) {
+	freqs := []int64{0, 1, 2, 3, 4, 5, 5, 5}
+	p, err := FromFrequencies(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		f    int64
+		want int
+	}{
+		{0, 8}, {1, 7}, {3, 5}, {5, 3}, {6, 0}, {-10, 8},
+	}
+	for _, c := range cases {
+		if got := p.CountWithFrequencyAtLeast(c.f); got != c.want {
+			t.Errorf("CountWithFrequencyAtLeast(%d) = %d, want %d", c.f, got, c.want)
+		}
+	}
+	empty := mustProfile(t, 0)
+	if got := empty.CountWithFrequencyAtLeast(0); got != 0 {
+		t.Errorf("empty profile CountWithFrequencyAtLeast = %d, want 0", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	p := buildFrom(t, []int64{3, 0, -1, 7})
+	s := p.Summarize()
+	if s.Capacity != 4 || s.Total != 9 || s.Active != 2 || s.Negative != 1 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.MaxFrequency != 7 || s.MinFrequency != -1 {
+		t.Errorf("Summary extremes = %d/%d, want 7/-1", s.MaxFrequency, s.MinFrequency)
+	}
+	if s.DistinctFrequencies != 4 {
+		t.Errorf("DistinctFrequencies = %d, want 4", s.DistinctFrequencies)
+	}
+
+	empty := mustProfile(t, 0)
+	es := empty.Summarize()
+	if es.Capacity != 0 || es.MaxFrequency != 0 || es.MinFrequency != 0 {
+		t.Errorf("empty Summary = %+v", es)
+	}
+}
+
+func TestFrequenciesExport(t *testing.T) {
+	want := []int64{4, -2, 0, 9, 9}
+	p, err := FromFrequencies(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Frequencies(nil)
+	if len(got) != len(want) {
+		t.Fatalf("Frequencies returned %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Frequencies[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Reuse a destination buffer.
+	buf := make([]int64, 10)
+	got2 := p.Frequencies(buf)
+	if len(got2) != len(want) {
+		t.Fatalf("Frequencies with buffer returned %d values, want %d", len(got2), len(want))
+	}
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Errorf("Frequencies(buf)[%d] = %d, want %d", i, got2[i], want[i])
+		}
+	}
+}
+
+func TestDistinctFrequencies(t *testing.T) {
+	p := buildFrom(t, []int64{0, 0, 1, 1, 2})
+	if got := p.DistinctFrequencies(); got != 3 {
+		t.Errorf("DistinctFrequencies = %d, want 3", got)
+	}
+}
+
+func TestTopKOrderIsNonIncreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := mustProfile(t, 200)
+	for i := 0; i < 5000; i++ {
+		_ = p.Add(rng.Intn(200))
+	}
+	top := p.TopK(200)
+	for i := 1; i < len(top); i++ {
+		if top[i].Frequency > top[i-1].Frequency {
+			t.Fatalf("TopK not sorted at %d: %d > %d", i, top[i].Frequency, top[i-1].Frequency)
+		}
+	}
+	bottom := p.BottomK(200)
+	for i := 1; i < len(bottom); i++ {
+		if bottom[i].Frequency < bottom[i-1].Frequency {
+			t.Fatalf("BottomK not sorted at %d", i)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot format:
+//
+//	magic   [4]byte  "SPF1"
+//	flags   uint8    bit0 = StrictNonNegative
+//	m       uvarint
+//	adds    uvarint
+//	removes uvarint
+//	freqs   m × svarint (zigzag), in object-id order
+//
+// The block structure is not serialised; WriteSnapshot stores only the
+// frequencies and ReadSnapshot rebuilds the sorted profile, which costs
+// O(m log m) once rather than complicating the O(1) hot path.
+
+var snapshotMagic = [4]byte{'S', 'P', 'F', '1'}
+
+// WriteSnapshot serialises the profile to w.
+func (p *Profile) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	var flags byte
+	if p.opts.StrictNonNegative {
+		flags |= 1
+	}
+	if err := bw.WriteByte(flags); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	writeVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(p.m)); err != nil {
+		return err
+	}
+	if err := writeUvarint(p.adds); err != nil {
+		return err
+	}
+	if err := writeUvarint(p.removes); err != nil {
+		return err
+	}
+	freqs := p.Frequencies(nil)
+	for _, f := range freqs {
+		if err := writeVarint(f); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot reconstructs a profile previously written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*Profile, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadSnapshot, magic[:])
+	}
+	flags, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	mu, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if mu > MaxCapacity {
+		return nil, fmt.Errorf("%w: capacity %d exceeds limit", ErrBadSnapshot, mu)
+	}
+	adds, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	removes, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	freqs := make([]int64, mu)
+	for i := range freqs {
+		f, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: frequency %d: %v", ErrBadSnapshot, i, err)
+		}
+		freqs[i] = f
+	}
+	var opts Options
+	if flags&1 != 0 {
+		opts.StrictNonNegative = true
+	}
+	p := newProfile(int32(mu), opts)
+	p.loadFrequencies(freqs)
+	p.adds = adds
+	p.removes = removes
+	return p, nil
+}
+
+// FromFrequencies builds a profile whose object x starts at frequency
+// freqs[x]. It is equivalent to applying |freqs[x]| add/remove events per
+// object but costs O(m log m) regardless of the magnitudes.
+func FromFrequencies(freqs []int64, opts ...Option) (*Profile, error) {
+	if len(freqs) > MaxCapacity {
+		return nil, fmt.Errorf("%w: %d", ErrCapacity, len(freqs))
+	}
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.StrictNonNegative {
+		for x, f := range freqs {
+			if f < 0 {
+				return nil, fmt.Errorf("%w: object %d has frequency %d", ErrNegativeFrequency, x, f)
+			}
+		}
+	}
+	p := newProfile(int32(len(freqs)), o)
+	p.loadFrequencies(freqs)
+	// Attribute the initial state to synthetic events for bookkeeping.
+	for _, f := range freqs {
+		if f > 0 {
+			p.adds += uint64(f)
+		} else {
+			p.removes += uint64(-f)
+		}
+	}
+	return p, nil
+}
+
+// loadFrequencies overwrites the profile's state so that object x has
+// frequency freqs[x]; len(freqs) must equal p.m.
+func (p *Profile) loadFrequencies(freqs []int64) {
+	m := int(p.m)
+	order := make([]int32, m)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		fi, fj := freqs[order[i]], freqs[order[j]]
+		if fi != fj {
+			return fi < fj
+		}
+		return order[i] < order[j]
+	})
+
+	p.arena.reset()
+	p.total = 0
+	p.active = 0
+	p.negative = 0
+	for r := 0; r < m; r++ {
+		x := order[r]
+		p.tToF[r] = x
+		p.fToT[x] = int32(r)
+	}
+	for r := 0; r < m; {
+		f := freqs[order[r]]
+		end := r
+		for end+1 < m && freqs[order[end+1]] == f {
+			end++
+		}
+		h := p.arena.alloc(int32(r), int32(end), f)
+		for i := r; i <= end; i++ {
+			p.ptrB[i] = h
+		}
+		count := int64(end - r + 1)
+		p.total += f * count
+		if f > 0 {
+			p.active += int32(count)
+		}
+		if f < 0 {
+			p.negative += int32(count)
+		}
+		r = end + 1
+	}
+}
+
+// Clone returns a deep copy of the profile.
+func (p *Profile) Clone() *Profile {
+	q := &Profile{
+		m:        p.m,
+		opts:     p.opts,
+		fToT:     append([]int32(nil), p.fToT...),
+		tToF:     append([]int32(nil), p.tToF...),
+		ptrB:     append([]int32(nil), p.ptrB...),
+		arena:    &blockArena{slab: append([]block(nil), p.arena.slab...), free: p.arena.free, live: p.arena.live},
+		total:    p.total,
+		active:   p.active,
+		negative: p.negative,
+		adds:     p.adds,
+		removes:  p.removes,
+	}
+	return q
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	p := mustProfile(t, 32)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 2000; i++ {
+		x := rng.Intn(32)
+		if rng.Float64() < 0.7 {
+			_ = p.Add(x)
+		} else {
+			_ = p.Remove(x)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := p.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	q, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatalf("restored profile invariants: %v", err)
+	}
+
+	if q.Cap() != p.Cap() || q.Total() != p.Total() || q.Active() != p.Active() {
+		t.Errorf("restored summary mismatch: %+v vs %+v", q.Summarize(), p.Summarize())
+	}
+	pa, pr := p.Events()
+	qa, qr := q.Events()
+	if pa != qa || pr != qr {
+		t.Errorf("restored event counters (%d,%d), want (%d,%d)", qa, qr, pa, pr)
+	}
+	for x := 0; x < 32; x++ {
+		cp, _ := p.Count(x)
+		cq, _ := q.Count(x)
+		if cp != cq {
+			t.Errorf("Count(%d): restored %d, want %d", x, cq, cp)
+		}
+	}
+	// The restored profile must remain updatable.
+	if err := q.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotPreservesStrictMode(t *testing.T) {
+	p := mustProfile(t, 4, WithStrictNonNegative())
+	_ = p.Add(1)
+	var buf bytes.Buffer
+	if err := p.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Remove(0); !errors.Is(err, ErrNegativeFrequency) {
+		t.Errorf("restored profile lost strict mode: Remove error = %v", err)
+	}
+}
+
+func TestSnapshotEmptyProfile(t *testing.T) {
+	p := mustProfile(t, 0)
+	var buf bytes.Buffer
+	if err := p.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() != 0 {
+		t.Errorf("restored capacity = %d, want 0", q.Cap())
+	}
+}
+
+func TestReadSnapshotRejectsCorruptInput(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"short magic": []byte("SP"),
+		"bad magic":   []byte("XXXX\x00\x00\x00\x00"),
+		"truncated":   append([]byte("SPF1\x00"), 0xFF), // uvarint cut short
+	}
+	for name, data := range cases {
+		if _, err := ReadSnapshot(bytes.NewReader(data)); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: error = %v, want ErrBadSnapshot", name, err)
+		}
+	}
+
+	// A valid header that promises more frequencies than it carries.
+	p := mustProfile(t, 8)
+	var buf bytes.Buffer
+	if err := p.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadSnapshot(bytes.NewReader(data[:len(data)-3])); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("truncated body: error = %v, want ErrBadSnapshot", err)
+	}
+}
+
+func TestFromFrequenciesValidation(t *testing.T) {
+	if _, err := FromFrequencies([]int64{1, -1}, WithStrictNonNegative()); !errors.Is(err, ErrNegativeFrequency) {
+		t.Errorf("strict FromFrequencies with negative input error = %v, want ErrNegativeFrequency", err)
+	}
+	p, err := FromFrequencies(nil)
+	if err != nil {
+		t.Fatalf("FromFrequencies(nil): %v", err)
+	}
+	if p.Cap() != 0 {
+		t.Errorf("Cap = %d, want 0", p.Cap())
+	}
+}
+
+func TestFromFrequenciesEventAttribution(t *testing.T) {
+	p, err := FromFrequencies([]int64{3, -2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adds, removes := p.Events()
+	if adds != 3 || removes != 2 {
+		t.Errorf("Events = (%d,%d), want (3,2)", adds, removes)
+	}
+	if p.Total() != 1 {
+		t.Errorf("Total = %d, want 1", p.Total())
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := mustProfile(t, 16)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 500; i++ {
+		_ = p.Add(rng.Intn(16))
+	}
+	q := p.Clone()
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatalf("clone invariants: %v", err)
+	}
+	// Mutating the clone must not affect the original.
+	before, _ := p.Count(3)
+	for i := 0; i < 10; i++ {
+		_ = q.Add(3)
+	}
+	after, _ := p.Count(3)
+	if before != after {
+		t.Errorf("mutating clone changed original: %d -> %d", before, after)
+	}
+	qc, _ := q.Count(3)
+	if qc != before+10 {
+		t.Errorf("clone Count(3) = %d, want %d", qc, before+10)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,386 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"sprofile/internal/stream"
+)
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := NewGraph(-1); err == nil {
+		t.Fatalf("NewGraph(-1) succeeded")
+	}
+	g := MustNewGraph(3)
+	if g.NumNodes() != 3 || g.NumEdges() != 0 {
+		t.Fatalf("fresh graph reports %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestMustNewGraphPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustNewGraph(-1) did not panic")
+		}
+	}()
+	MustNewGraph(-1)
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := MustNewGraph(3)
+	if err := g.AddEdge(0, 3); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("AddEdge(0,3) error %v", err)
+	}
+	if err := g.AddEdge(-1, 0); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("AddEdge(-1,0) error %v", err)
+	}
+	if err := g.AddEdge(1, 1); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("AddEdge(1,1) error %v", err)
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatalf("AddEdge(0,1) failed: %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges() = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestDegreesAndNeighbors(t *testing.T) {
+	g := MustNewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 1) // parallel edge
+	wantDeg := []int64{3, 2, 1, 0}
+	for v, want := range wantDeg {
+		d, err := g.Degree(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(d) != want {
+			t.Fatalf("Degree(%d) = %d, want %d", v, d, want)
+		}
+	}
+	degs := g.Degrees()
+	for v, want := range wantDeg {
+		if degs[v] != want {
+			t.Fatalf("Degrees()[%d] = %d, want %d", v, degs[v], want)
+		}
+	}
+	if _, err := g.Degree(9); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("Degree(9) error %v", err)
+	}
+	nb, err := g.Neighbors(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nb) != 3 {
+		t.Fatalf("Neighbors(0) has %d entries, want 3", len(nb))
+	}
+	if _, err := g.Neighbors(-1); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("Neighbors(-1) error %v", err)
+	}
+}
+
+// buildCliqueWithTail returns a graph consisting of a k-clique (nodes 0..k-1)
+// plus a path of tail nodes hanging off node 0.
+func buildCliqueWithTail(k, tail int) *Graph {
+	g := MustNewGraph(k + tail)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	prev := 0
+	for i := 0; i < tail; i++ {
+		g.AddEdge(prev, k+i)
+		prev = k + i
+	}
+	return g
+}
+
+func TestPeelFindsCliqueAsDensestSubgraph(t *testing.T) {
+	const k, tail = 6, 10
+	g := buildCliqueWithTail(k, tail)
+	for _, engine := range Engines() {
+		res, err := Peel(g, engine)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if len(res.Order) != g.NumNodes() {
+			t.Fatalf("%s: peel order has %d nodes, want %d", engine, len(res.Order), g.NumNodes())
+		}
+		// The densest subgraph of a k-clique with a pendant path is the
+		// clique itself, density (k-1)/2.
+		wantDensity := float64(k-1) / 2
+		if res.BestDensity != wantDensity {
+			t.Fatalf("%s: BestDensity = %g, want %g", engine, res.BestDensity, wantDensity)
+		}
+		if len(res.BestSubgraph) != k {
+			t.Fatalf("%s: BestSubgraph has %d nodes, want %d (%v)", engine, len(res.BestSubgraph), k, res.BestSubgraph)
+		}
+		for _, v := range res.BestSubgraph {
+			if v >= k {
+				t.Fatalf("%s: tail node %d in best subgraph", engine, v)
+			}
+		}
+		// Cross-check the reported density from first principles.
+		d, err := g.SubgraphDensity(res.BestSubgraph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != res.BestDensity {
+			t.Fatalf("%s: SubgraphDensity = %g, reported %g", engine, d, res.BestDensity)
+		}
+	}
+}
+
+func TestPeelOrderIsPermutation(t *testing.T) {
+	g := buildCliqueWithTail(5, 7)
+	for _, engine := range Engines() {
+		res, err := Peel(g, engine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, g.NumNodes())
+		for _, v := range res.Order {
+			if v < 0 || v >= g.NumNodes() || seen[v] {
+				t.Fatalf("%s: peel order %v is not a permutation", engine, res.Order)
+			}
+			seen[v] = true
+		}
+		if len(res.Densities) != g.NumNodes() {
+			t.Fatalf("%s: %d density samples, want %d", engine, len(res.Densities), g.NumNodes())
+		}
+		if res.Densities[len(res.Densities)-1] != 0 {
+			t.Fatalf("%s: final density %g, want 0", engine, res.Densities[len(res.Densities)-1])
+		}
+	}
+}
+
+func TestPeelEmptyAndEdgelessGraphs(t *testing.T) {
+	for _, engine := range Engines() {
+		empty := MustNewGraph(0)
+		res, err := Peel(empty, engine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Order) != 0 || res.BestDensity != 0 {
+			t.Fatalf("%s: peel of empty graph = %+v", engine, res)
+		}
+
+		edgeless := MustNewGraph(5)
+		res, err = Peel(edgeless, engine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Order) != 5 || res.BestDensity != 0 {
+			t.Fatalf("%s: peel of edgeless graph: order %d best %g", engine, len(res.Order), res.BestDensity)
+		}
+	}
+}
+
+func TestPeelUnknownEngine(t *testing.T) {
+	g := MustNewGraph(2)
+	g.AddEdge(0, 1)
+	if _, err := Peel(g, Engine(42)); err == nil {
+		t.Fatalf("Peel accepted unknown engine")
+	}
+	if Engine(42).String() == "" {
+		t.Fatalf("unknown engine has empty string form")
+	}
+}
+
+// randomGraph builds a random multigraph with the given node and edge counts.
+func randomGraph(n, edges int, seed uint64) *Graph {
+	g := MustNewGraph(n)
+	rng := stream.NewRNG(seed)
+	for i := 0; i < edges; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			v = (v + 1) % n
+		}
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+func TestEnginesProduceValidMinDegreePeels(t *testing.T) {
+	// With degree ties, different engines may legitimately pick different
+	// nodes and end up with slightly different best densities (all are valid
+	// greedy 2-approximations). The invariant every engine must satisfy is
+	// that each peeled node has the minimum remaining degree at its step and
+	// that the reported densities and best subgraph are self-consistent.
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + trial*3
+		g := randomGraph(n, n*3, uint64(trial))
+		for _, engine := range Engines() {
+			res, err := Peel(g, engine)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, engine, err)
+			}
+			verifyDensitySequence(t, g, res)
+			verifyMinDegreeOrder(t, g, res)
+
+			// BestDensity must equal the maximum over the initial density and
+			// the per-step densities, and match the reported subgraph.
+			best := float64(g.NumEdges()) / float64(g.NumNodes())
+			for _, d := range res.Densities {
+				if d > best {
+					best = d
+				}
+			}
+			if res.BestDensity != best {
+				t.Fatalf("trial %d %s: BestDensity %g, want %g", trial, engine, res.BestDensity, best)
+			}
+			d, err := g.SubgraphDensity(res.BestSubgraph)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != res.BestDensity {
+				t.Fatalf("trial %d %s: SubgraphDensity(best) = %g, reported %g", trial, engine, d, res.BestDensity)
+			}
+		}
+	}
+}
+
+// verifyMinDegreeOrder replays the peel and checks that every peeled node had
+// the minimum degree among the still-active nodes at its step.
+func verifyMinDegreeOrder(t *testing.T, g *Graph, res *PeelResult) {
+	t.Helper()
+	n := g.NumNodes()
+	deg := g.Degrees()
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	for step, v := range res.Order {
+		minDeg := int64(-1)
+		for u := 0; u < n; u++ {
+			if active[u] && (minDeg < 0 || deg[u] < minDeg) {
+				minDeg = deg[u]
+			}
+		}
+		if deg[v] != minDeg {
+			t.Fatalf("%s: step %d peeled node %d with degree %d, minimum active degree is %d",
+				res.Engine, step, v, deg[v], minDeg)
+		}
+		for _, u := range g.adj[v] {
+			if active[u] {
+				deg[u]--
+			}
+		}
+		active[v] = false
+	}
+}
+
+// verifyDensitySequence recomputes the density after each peel step from
+// first principles and compares with the reported sequence.
+func verifyDensitySequence(t *testing.T, g *Graph, res *PeelResult) {
+	t.Helper()
+	n := g.NumNodes()
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	remainingEdges := g.NumEdges()
+	remainingNodes := n
+	for step, v := range res.Order {
+		for _, u := range g.adj[v] {
+			if active[u] {
+				remainingEdges--
+			}
+		}
+		active[v] = false
+		remainingNodes--
+		var want float64
+		if remainingNodes > 0 {
+			want = float64(remainingEdges) / float64(remainingNodes)
+		}
+		if res.Densities[step] != want {
+			t.Fatalf("%s: density after step %d = %g, recomputed %g", res.Engine, step, res.Densities[step], want)
+		}
+	}
+}
+
+func TestSubgraphDensity(t *testing.T) {
+	g := MustNewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(0, 3)
+	d, err := g.SubgraphDensity([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1.0 {
+		t.Fatalf("triangle density %g, want 1", d)
+	}
+	d, err = g.SubgraphDensity(nil)
+	if err != nil || d != 0 {
+		t.Fatalf("empty subgraph density %g, %v", d, err)
+	}
+	if _, err := g.SubgraphDensity([]int{9}); err == nil {
+		t.Fatalf("SubgraphDensity accepted out-of-range node")
+	}
+}
+
+func TestKCore(t *testing.T) {
+	// A 4-clique (nodes 0-3) with pendant node 4 attached to node 0.
+	g := MustNewGraph(5)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	g.AddEdge(0, 4)
+	for _, engine := range Engines() {
+		core3, err := KCore(g, 3, engine)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if len(core3) != 4 {
+			t.Fatalf("%s: 3-core has %d nodes (%v), want 4", engine, len(core3), core3)
+		}
+		for _, v := range core3 {
+			if v > 3 {
+				t.Fatalf("%s: pendant node %d in 3-core", engine, v)
+			}
+		}
+		core5, err := KCore(g, 5, engine)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if core5 != nil {
+			t.Fatalf("%s: 5-core should be empty, got %v", engine, core5)
+		}
+		core0, err := KCore(g, 0, engine)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if len(core0) != 5 {
+			t.Fatalf("%s: 0-core has %d nodes, want all 5", engine, len(core0))
+		}
+	}
+	if _, err := KCore(g, -1, EngineSProfile); err == nil {
+		t.Fatalf("KCore accepted negative k")
+	}
+	if nodes, err := KCore(MustNewGraph(0), 1, EngineSProfile); err != nil || nodes != nil {
+		t.Fatalf("KCore on empty graph = %v, %v", nodes, err)
+	}
+}
+
+func TestEngineStrings(t *testing.T) {
+	if EngineSProfile.String() != "s-profile" || EngineHeap.String() != "heap" || EngineBucket.String() != "bucket" {
+		t.Fatalf("unexpected engine strings")
+	}
+	if len(Engines()) != 3 {
+		t.Fatalf("Engines() lists %d engines, want 3", len(Engines()))
+	}
+}
+
+func TestSProfileTrackerRejectsNegativeDegrees(t *testing.T) {
+	if _, err := newSProfileTracker([]int64{1, -2}); err == nil {
+		t.Fatalf("sprofile tracker accepted negative degree")
+	}
+}

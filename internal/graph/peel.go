@@ -1,0 +1,179 @@
+package graph
+
+import "fmt"
+
+// PeelResult records the outcome of a greedy peel.
+type PeelResult struct {
+	// Order lists the nodes in the order they were peeled (first element is
+	// the first node removed).
+	Order []int
+
+	// Densities[i] is the density (edges / nodes) of the subgraph remaining
+	// after peeling Order[0..i]; the final entry is always 0 because the last
+	// remaining node has no edges left.
+	Densities []float64
+
+	// BestDensity is the maximum density seen over all prefixes, including
+	// the density of the full graph before any node was peeled.
+	BestDensity float64
+
+	// BestSubgraph lists the nodes of the densest remaining subgraph (the
+	// nodes not yet peeled at the step achieving BestDensity).
+	BestSubgraph []int
+
+	// Engine is the tracker used for the minimum-degree queries.
+	Engine Engine
+}
+
+// Peel runs the greedy minimum-degree peel over the whole graph using the
+// requested engine and returns the peeling order plus the densest-subgraph
+// bookkeeping.
+//
+// At every step the node with the (currently) smallest degree is removed and
+// the degrees of its still-active neighbours drop by one. The density of the
+// remaining subgraph is tracked after every removal; the best prefix is the
+// classic 2-approximation of the densest subgraph.
+func Peel(g *Graph, engine Engine) (*PeelResult, error) {
+	n := g.NumNodes()
+	res := &PeelResult{
+		Order:     make([]int, 0, n),
+		Densities: make([]float64, 0, n),
+		Engine:    engine,
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	tracker, err := newTracker(engine, g.Degrees())
+	if err != nil {
+		return nil, err
+	}
+
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	remainingNodes := n
+	remainingEdges := g.NumEdges()
+
+	density := func() float64 {
+		if remainingNodes == 0 {
+			return 0
+		}
+		return float64(remainingEdges) / float64(remainingNodes)
+	}
+
+	res.BestDensity = density()
+	bestStep := -1 // -1 means "before any node was peeled"
+
+	for step := 0; step < n; step++ {
+		v, _ := tracker.popMin()
+		if v < 0 || v >= n || !active[v] {
+			return nil, fmt.Errorf("graph: %s tracker returned invalid node %d at step %d", engine, v, step)
+		}
+		for _, u := range g.adj[v] {
+			if active[u] {
+				tracker.decrement(int(u))
+				remainingEdges--
+			}
+		}
+		active[v] = false
+		remainingNodes--
+		res.Order = append(res.Order, v)
+
+		d := density()
+		res.Densities = append(res.Densities, d)
+		if d > res.BestDensity {
+			res.BestDensity = d
+			bestStep = step
+		}
+	}
+
+	if remainingEdges != 0 {
+		return nil, fmt.Errorf("graph: %d edges unaccounted for after peeling", remainingEdges)
+	}
+
+	// Reconstruct the densest remaining subgraph: the nodes not peeled in
+	// Order[0..bestStep].
+	peeledAtBest := make([]bool, n)
+	for i := 0; i <= bestStep; i++ {
+		peeledAtBest[res.Order[i]] = true
+	}
+	for v := 0; v < n; v++ {
+		if !peeledAtBest[v] {
+			res.BestSubgraph = append(res.BestSubgraph, v)
+		}
+	}
+	return res, nil
+}
+
+// SubgraphDensity returns edges/nodes of the subgraph induced by nodes
+// (parallel edges counted). It is used by tests to validate PeelResult
+// densities from first principles.
+func (g *Graph) SubgraphDensity(nodes []int) (float64, error) {
+	if len(nodes) == 0 {
+		return 0, nil
+	}
+	in := make([]bool, g.n)
+	for _, v := range nodes {
+		if err := g.checkNode(v); err != nil {
+			return 0, err
+		}
+		in[v] = true
+	}
+	edges := 0
+	for _, v := range nodes {
+		for _, u := range g.adj[v] {
+			if in[u] {
+				edges++
+			}
+		}
+	}
+	// every edge with both endpoints inside is counted twice
+	return float64(edges) / 2 / float64(len(nodes)), nil
+}
+
+// KCore returns the maximal subgraph in which every node has degree >= k,
+// computed by peeling nodes of degree < k. It reuses the same tracker
+// machinery as Peel and is a second standard "shaving" application.
+func KCore(g *Graph, k int, engine Engine) ([]int, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("graph: negative core order %d", k)
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, nil
+	}
+	tracker, err := newTracker(engine, g.Degrees())
+	if err != nil {
+		return nil, err
+	}
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	remaining := n
+	for remaining > 0 {
+		v, d := tracker.popMin()
+		if d >= int64(k) {
+			// The minimum active degree already satisfies k: everything still
+			// active (including v, which popMin retired from the tracker) is
+			// in the k-core.
+			var coreNodes []int
+			for u := 0; u < n; u++ {
+				if active[u] {
+					coreNodes = append(coreNodes, u)
+				}
+			}
+			return coreNodes, nil
+		}
+		for _, u := range g.adj[v] {
+			if active[u] {
+				tracker.decrement(int(u))
+			}
+		}
+		active[v] = false
+		remaining--
+	}
+	return nil, nil
+}

@@ -1,0 +1,282 @@
+package graph
+
+import (
+	"fmt"
+
+	"sprofile/internal/core"
+)
+
+// Engine selects the data structure driving the minimum-degree queries of the
+// peeling loop.
+type Engine int
+
+const (
+	// EngineSProfile tracks degrees with the S-Profile block set: O(1) per
+	// degree change and O(1) per extract-min.
+	EngineSProfile Engine = iota
+	// EngineHeap tracks degrees with a lazy binary min-heap: O(log n) per
+	// degree change (a stale entry is left behind and skipped later).
+	EngineHeap
+	// EngineBucket tracks degrees with the classic bucket queue used by
+	// textbook k-core peeling: O(1) amortised per change, but it needs the
+	// maximum degree up front and a monotonically advancing minimum pointer.
+	EngineBucket
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineSProfile:
+		return "s-profile"
+	case EngineHeap:
+		return "heap"
+	case EngineBucket:
+		return "bucket"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Engines lists every available peeling engine.
+func Engines() []Engine { return []Engine{EngineSProfile, EngineHeap, EngineBucket} }
+
+// minTracker is the interface the peeling loop uses: it hands out a
+// minimum-degree active node, lets the loop decrement degrees of active
+// nodes, and retires peeled nodes.
+type minTracker interface {
+	// popMin removes a currently-minimum-degree active node and returns it
+	// with its degree at removal time.
+	popMin() (node int, degree int64)
+	// decrement lowers the degree of an active node by one.
+	decrement(node int)
+}
+
+// newTracker builds a tracker for the given engine from the initial degrees.
+func newTracker(engine Engine, degrees []int64) (minTracker, error) {
+	switch engine {
+	case EngineSProfile:
+		return newSProfileTracker(degrees)
+	case EngineHeap:
+		return newHeapTracker(degrees), nil
+	case EngineBucket:
+		return newBucketTracker(degrees), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown engine %d", engine)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// S-Profile tracker
+// ---------------------------------------------------------------------------
+
+// sprofileTracker keeps node degrees in a core.Profile (degree = frequency).
+// Peeled nodes are driven to frequency -1, strictly below every active degree
+// (degrees never go negative), so the minimum active node is always the
+// (removed+1)-th smallest frequency — an O(1) query. Retiring a node of
+// degree d costs d+1 constant-time removals, which telescopes to O(V + E)
+// over a whole peel, preserving the linear total cost.
+type sprofileTracker struct {
+	p       *core.Profile
+	removed int
+	degrees []int64
+}
+
+func newSProfileTracker(degrees []int64) (*sprofileTracker, error) {
+	for v, d := range degrees {
+		if d < 0 {
+			return nil, fmt.Errorf("graph: node %d has negative degree %d", v, d)
+		}
+	}
+	p, err := core.FromFrequencies(degrees)
+	if err != nil {
+		return nil, err
+	}
+	return &sprofileTracker{p: p, degrees: append([]int64(nil), degrees...)}, nil
+}
+
+func (t *sprofileTracker) popMin() (int, int64) {
+	e, err := t.p.KthSmallest(t.removed + 1)
+	if err != nil {
+		panic(fmt.Sprintf("graph: sprofile tracker popMin on exhausted tracker: %v", err))
+	}
+	node, degree := e.Object, e.Frequency
+	// Sink the node below every active degree so later popMin calls skip it.
+	for i := degree; i >= 0; i-- {
+		if err := t.p.Remove(node); err != nil {
+			panic(fmt.Sprintf("graph: sprofile tracker remove: %v", err))
+		}
+	}
+	t.removed++
+	t.degrees[node] = -1
+	return node, degree
+}
+
+func (t *sprofileTracker) decrement(node int) {
+	if err := t.p.Remove(node); err != nil {
+		panic(fmt.Sprintf("graph: sprofile tracker decrement: %v", err))
+	}
+	t.degrees[node]--
+}
+
+// ---------------------------------------------------------------------------
+// Lazy min-heap tracker
+// ---------------------------------------------------------------------------
+
+// heapTracker is a lazy binary min-heap of (degree, node) pairs. Every
+// decrement pushes a fresh pair; popMin discards pairs that are stale (their
+// recorded degree no longer matches the node's current degree) or whose node
+// was already peeled.
+type heapTracker struct {
+	entries []heapEntry
+	degrees []int64
+	peeled  []bool
+}
+
+type heapEntry struct {
+	degree int64
+	node   int32
+}
+
+func newHeapTracker(degrees []int64) *heapTracker {
+	t := &heapTracker{
+		entries: make([]heapEntry, 0, len(degrees)),
+		degrees: append([]int64(nil), degrees...),
+		peeled:  make([]bool, len(degrees)),
+	}
+	for v, d := range degrees {
+		t.push(heapEntry{degree: d, node: int32(v)})
+	}
+	return t
+}
+
+func (t *heapTracker) push(e heapEntry) {
+	t.entries = append(t.entries, e)
+	i := len(t.entries) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.entries[parent].degree <= t.entries[i].degree {
+			break
+		}
+		t.entries[parent], t.entries[i] = t.entries[i], t.entries[parent]
+		i = parent
+	}
+}
+
+func (t *heapTracker) pop() heapEntry {
+	top := t.entries[0]
+	last := len(t.entries) - 1
+	t.entries[0] = t.entries[last]
+	t.entries = t.entries[:last]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= len(t.entries) {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < len(t.entries) && t.entries[right].degree < t.entries[left].degree {
+			smallest = right
+		}
+		if t.entries[i].degree <= t.entries[smallest].degree {
+			break
+		}
+		t.entries[i], t.entries[smallest] = t.entries[smallest], t.entries[i]
+		i = smallest
+	}
+	return top
+}
+
+func (t *heapTracker) popMin() (int, int64) {
+	for {
+		e := t.pop()
+		node := int(e.node)
+		if t.peeled[node] || e.degree != t.degrees[node] {
+			continue // stale entry
+		}
+		t.peeled[node] = true
+		return node, e.degree
+	}
+}
+
+func (t *heapTracker) decrement(node int) {
+	t.degrees[node]--
+	t.push(heapEntry{degree: t.degrees[node], node: int32(node)})
+}
+
+// ---------------------------------------------------------------------------
+// Bucket-queue tracker
+// ---------------------------------------------------------------------------
+
+// bucketTracker is the classic k-core peeling structure: nodes grouped into
+// buckets by degree, with a cursor that only moves forward by more than one
+// when a bucket empties. Because a peeled node's neighbours lose one degree,
+// the minimum can drop by at most one per step, so rewinding the cursor by
+// one per extraction keeps the scan amortised linear.
+type bucketTracker struct {
+	buckets [][]int32
+	pos     []int32
+	degrees []int64
+	peeled  []bool
+	cursor  int64
+}
+
+func newBucketTracker(degrees []int64) *bucketTracker {
+	var maxDeg int64
+	for _, d := range degrees {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	t := &bucketTracker{
+		buckets: make([][]int32, maxDeg+1),
+		pos:     make([]int32, len(degrees)),
+		degrees: append([]int64(nil), degrees...),
+		peeled:  make([]bool, len(degrees)),
+	}
+	for v, d := range degrees {
+		t.pos[v] = int32(len(t.buckets[d]))
+		t.buckets[d] = append(t.buckets[d], int32(v))
+	}
+	return t
+}
+
+func (t *bucketTracker) removeFromBucket(node int) {
+	d := t.degrees[node]
+	b := t.buckets[d]
+	i := t.pos[node]
+	last := int32(len(b) - 1)
+	if i != last {
+		moved := b[last]
+		b[i] = moved
+		t.pos[moved] = i
+	}
+	t.buckets[d] = b[:last]
+}
+
+func (t *bucketTracker) popMin() (int, int64) {
+	for {
+		if t.cursor >= int64(len(t.buckets)) {
+			panic("graph: bucket tracker popMin on exhausted tracker")
+		}
+		b := t.buckets[t.cursor]
+		if len(b) == 0 {
+			t.cursor++
+			continue
+		}
+		node := int(b[len(b)-1])
+		t.buckets[t.cursor] = b[:len(b)-1]
+		t.peeled[node] = true
+		return node, t.cursor
+	}
+}
+
+func (t *bucketTracker) decrement(node int) {
+	t.removeFromBucket(node)
+	t.degrees[node]--
+	d := t.degrees[node]
+	t.pos[node] = int32(len(t.buckets[d]))
+	t.buckets[d] = append(t.buckets[d], int32(node))
+	if d < t.cursor {
+		t.cursor = d
+	}
+}

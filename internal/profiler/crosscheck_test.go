@@ -1,0 +1,224 @@
+// Package profiler_test cross-checks every profiler implementation in the
+// repository against the bucket-scan oracle on the paper's three evaluation
+// streams and on adversarial workloads. This is the integration test that
+// ties the core data structure and all baselines together: they must agree
+// on every supported query after every prefix of the same log stream.
+package profiler_test
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sprofile/internal/baseline/bstprof"
+	"sprofile/internal/baseline/bucketprof"
+	"sprofile/internal/baseline/fenwickprof"
+	"sprofile/internal/baseline/heapprof"
+	"sprofile/internal/core"
+	"sprofile/internal/profiler"
+	"sprofile/internal/stream"
+)
+
+// implementations returns one instance of every Profiler implementation with
+// m object slots, keyed by a label used in failure messages.
+func implementations(m int) map[string]profiler.Profiler {
+	return map[string]profiler.Profiler{
+		"s-profile":      core.MustNew(m),
+		"heap-max":       heapprof.MustNew(m, heapprof.MaxHeap),
+		"heap-min":       heapprof.MustNew(m, heapprof.MinHeap),
+		"tree-treap":     bstprof.MustNew(m, bstprof.Treap),
+		"tree-red-black": bstprof.MustNew(m, bstprof.RedBlack),
+		"skip-list":      bstprof.MustNew(m, bstprof.SkipList),
+		"fenwick":        fenwickprof.MustNew(m),
+	}
+}
+
+// checkAgainstOracle compares every supported query of p against the oracle.
+// Unsupported queries (profiler.ErrUnsupported) are skipped; any other error
+// or mismatch fails the test.
+func checkAgainstOracle(t *testing.T, label string, p profiler.Profiler, oracle *bucketprof.Profiler, step int) {
+	t.Helper()
+	m := oracle.Cap()
+
+	if got, want := p.Total(), oracle.Total(); got != want {
+		t.Fatalf("%s step %d: Total %d, oracle %d", label, step, got, want)
+	}
+	for _, x := range []int{0, m / 2, m - 1} {
+		got, err := p.Count(x)
+		if err != nil {
+			t.Fatalf("%s step %d: Count(%d): %v", label, step, x, err)
+		}
+		want, _ := oracle.Count(x)
+		if got != want {
+			t.Fatalf("%s step %d: Count(%d) = %d, oracle %d", label, step, x, got, want)
+		}
+	}
+
+	if mode, _, err := p.Mode(); err == nil {
+		want, _, _ := oracle.Mode()
+		if mode.Frequency != want.Frequency {
+			t.Fatalf("%s step %d: Mode frequency %d, oracle %d", label, step, mode.Frequency, want.Frequency)
+		}
+		// The reported representative must actually hold the reported frequency.
+		if f, _ := oracle.Count(mode.Object); f != mode.Frequency {
+			t.Fatalf("%s step %d: Mode representative %d has frequency %d, reported %d",
+				label, step, mode.Object, f, mode.Frequency)
+		}
+	} else if !errors.Is(err, profiler.ErrUnsupported) {
+		t.Fatalf("%s step %d: Mode: %v", label, step, err)
+	}
+
+	if min, _, err := p.Min(); err == nil {
+		want, _, _ := oracle.Min()
+		if min.Frequency != want.Frequency {
+			t.Fatalf("%s step %d: Min frequency %d, oracle %d", label, step, min.Frequency, want.Frequency)
+		}
+		if f, _ := oracle.Count(min.Object); f != min.Frequency {
+			t.Fatalf("%s step %d: Min representative %d has frequency %d, reported %d",
+				label, step, min.Object, f, min.Frequency)
+		}
+	} else if !errors.Is(err, profiler.ErrUnsupported) {
+		t.Fatalf("%s step %d: Min: %v", label, step, err)
+	}
+
+	if med, err := p.Median(); err == nil {
+		want, _ := oracle.Median()
+		if med.Frequency != want.Frequency {
+			t.Fatalf("%s step %d: Median frequency %d, oracle %d", label, step, med.Frequency, want.Frequency)
+		}
+	} else if !errors.Is(err, profiler.ErrUnsupported) {
+		t.Fatalf("%s step %d: Median: %v", label, step, err)
+	}
+
+	for _, k := range []int{1, m / 4, m/2 + 1, m} {
+		if k < 1 || k > m {
+			continue
+		}
+		got, err := p.KthLargest(k)
+		if errors.Is(err, profiler.ErrUnsupported) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("%s step %d: KthLargest(%d): %v", label, step, k, err)
+		}
+		want, _ := oracle.KthLargest(k)
+		if got.Frequency != want.Frequency {
+			t.Fatalf("%s step %d: KthLargest(%d) frequency %d, oracle %d",
+				label, step, k, got.Frequency, want.Frequency)
+		}
+	}
+}
+
+func TestAllImplementationsAgreeOnPaperStreams(t *testing.T) {
+	const m = 48
+	const n = 2500
+	for streamIdx := 1; streamIdx <= 3; streamIdx++ {
+		impls := implementations(m)
+		oracle := bucketprof.MustNew(m)
+		g, err := stream.PaperStream(streamIdx, m, uint64(streamIdx)*101)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			op := g.Next()
+			if err := profiler.Apply(oracle, op); err != nil {
+				t.Fatal(err)
+			}
+			for label, p := range impls {
+				if err := profiler.Apply(p, op); err != nil {
+					t.Fatalf("%s stream%d step %d: %v", label, streamIdx, i, err)
+				}
+			}
+			if i%83 == 0 || i == n-1 {
+				for label, p := range impls {
+					checkAgainstOracle(t, label, p, oracle, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAllImplementationsAgreeOnAdversarialWorkloads(t *testing.T) {
+	const m = 32
+	const n = 2000
+	for _, name := range []string{"zipf", "burst", "sawtooth", "drain", "roundrobin"} {
+		w, err := stream.NamedWorkload(name, m, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		impls := implementations(m)
+		oracle := bucketprof.MustNew(m)
+		for i := 0; i < n; i++ {
+			op := w.Next()
+			if err := profiler.Apply(oracle, op); err != nil {
+				t.Fatal(err)
+			}
+			for label, p := range impls {
+				if err := profiler.Apply(p, op); err != nil {
+					t.Fatalf("%s %s step %d: %v", label, name, i, err)
+				}
+			}
+			if i%59 == 0 || i == n-1 {
+				for label, p := range impls {
+					checkAgainstOracle(t, label, p, oracle, i)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyRejectsInvalidAction(t *testing.T) {
+	p := core.MustNew(4)
+	if err := profiler.Apply(p, core.Tuple{Object: 1, Action: 0}); err == nil {
+		t.Fatalf("Apply accepted an invalid action")
+	}
+}
+
+func TestPropertyRandomOpSequencesAgree(t *testing.T) {
+	f := func(seed uint64, rawM uint8, rawN uint16) bool {
+		m := int(rawM)%30 + 2
+		n := int(rawN) % 400
+		rng := stream.NewRNG(seed)
+		impls := implementations(m)
+		oracle := bucketprof.MustNew(m)
+		for i := 0; i < n; i++ {
+			x := rng.Intn(m)
+			action := core.ActionAdd
+			if rng.Bernoulli(0.45) {
+				action = core.ActionRemove
+			}
+			op := core.Tuple{Object: x, Action: action}
+			if profiler.Apply(oracle, op) != nil {
+				return false
+			}
+			for _, p := range impls {
+				if profiler.Apply(p, op) != nil {
+					return false
+				}
+			}
+		}
+		wantMode, _, _ := oracle.Mode()
+		wantMed, _ := oracle.Median()
+		for label, p := range impls {
+			if mode, _, err := p.Mode(); err == nil {
+				if mode.Frequency != wantMode.Frequency {
+					return false
+				}
+			} else if !errors.Is(err, profiler.ErrUnsupported) {
+				return false
+			}
+			if med, err := p.Median(); err == nil {
+				if med.Frequency != wantMed.Frequency {
+					return false
+				}
+			} else if !errors.Is(err, profiler.ErrUnsupported) {
+				return false
+			}
+			_ = label
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

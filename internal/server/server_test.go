@@ -1,0 +1,295 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T, capacity int) *httptest.Server {
+	t.Helper()
+	s, err := New(Config{Capacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postEvents(t *testing.T, ts *httptest.Server, body string) (*http.Response, eventsResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/events", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out eventsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp, out
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{Capacity: 0}); err == nil {
+		t.Fatalf("New accepted zero capacity")
+	}
+	if _, err := New(Config{Capacity: -5}); err == nil {
+		t.Fatalf("New accepted negative capacity")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, 10)
+	var out map[string]string
+	resp := getJSON(t, ts, "/healthz", &out)
+	if resp.StatusCode != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("healthz = %d %+v", resp.StatusCode, out)
+	}
+}
+
+func TestIngestAndStats(t *testing.T) {
+	ts := newTestServer(t, 100)
+	events := `[
+		{"object":"video-1","action":"add"},
+		{"object":"video-1","action":"add"},
+		{"object":"video-1","action":"add"},
+		{"object":"video-2","action":"add"},
+		{"object":"video-2","action":"add"},
+		{"object":"video-3","action":"add"},
+		{"object":"video-3","action":"remove"}
+	]`
+	resp, out := postEvents(t, ts, events)
+	if resp.StatusCode != http.StatusOK || out.Applied != 7 {
+		t.Fatalf("events: %d, %+v", resp.StatusCode, out)
+	}
+
+	var mode entryResponse
+	resp = getJSON(t, ts, "/v1/stats/mode", &mode)
+	if resp.StatusCode != http.StatusOK || mode.Object != "video-1" || mode.Frequency != 3 {
+		t.Fatalf("mode = %d %+v", resp.StatusCode, mode)
+	}
+
+	var top []entryResponse
+	resp = getJSON(t, ts, "/v1/stats/top?k=2", &top)
+	if resp.StatusCode != http.StatusOK || len(top) != 2 {
+		t.Fatalf("top = %d %+v", resp.StatusCode, top)
+	}
+	if top[0].Object != "video-1" || top[0].Frequency != 3 {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	if top[1].Object != "video-2" || top[1].Frequency != 2 {
+		t.Fatalf("top[1] = %+v", top[1])
+	}
+
+	var count entryResponse
+	resp = getJSON(t, ts, "/v1/stats/count?object=video-2", &count)
+	if resp.StatusCode != http.StatusOK || count.Frequency != 2 {
+		t.Fatalf("count = %d %+v", resp.StatusCode, count)
+	}
+	resp = getJSON(t, ts, "/v1/stats/count?object=never-seen", &count)
+	if resp.StatusCode != http.StatusOK || count.Frequency != 0 {
+		t.Fatalf("count of unknown object = %d %+v", resp.StatusCode, count)
+	}
+
+	var median entryResponse
+	resp = getJSON(t, ts, "/v1/stats/median", &median)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("median = %d", resp.StatusCode)
+	}
+
+	var quantile entryResponse
+	resp = getJSON(t, ts, "/v1/stats/quantile?q=1", &quantile)
+	if resp.StatusCode != http.StatusOK || quantile.Frequency != 3 {
+		t.Fatalf("quantile(1) = %d %+v", resp.StatusCode, quantile)
+	}
+
+	var dist []map[string]any
+	resp = getJSON(t, ts, "/v1/stats/distribution", &dist)
+	if resp.StatusCode != http.StatusOK || len(dist) == 0 {
+		t.Fatalf("distribution = %d %+v", resp.StatusCode, dist)
+	}
+
+	var summary map[string]any
+	resp = getJSON(t, ts, "/v1/stats/summary", &summary)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("summary = %d", resp.StatusCode)
+	}
+	if summary["tracked"].(float64) != 3 {
+		t.Fatalf("summary tracked = %v, want 3", summary["tracked"])
+	}
+	if summary["total"].(float64) != 5 {
+		t.Fatalf("summary total = %v, want 5", summary["total"])
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	ts := newTestServer(t, 10)
+
+	resp, _ := postEvents(t, ts, `not json`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid JSON accepted: %d", resp.StatusCode)
+	}
+
+	resp, out := postEvents(t, ts, `[{"object":"","action":"add"}]`)
+	if resp.StatusCode != http.StatusBadRequest || out.Applied != 0 {
+		t.Fatalf("empty object accepted: %d %+v", resp.StatusCode, out)
+	}
+
+	resp, out = postEvents(t, ts, `[{"object":"a","action":"maybe"}]`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad action accepted: %d %+v", resp.StatusCode, out)
+	}
+
+	// Removing an object that was never added is a strict-mode violation.
+	resp, out = postEvents(t, ts, `[{"object":"ghost","action":"remove"}]`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("remove of unknown object: %d %+v", resp.StatusCode, out)
+	}
+
+	// Partial batches report how many events were applied before the error.
+	resp, out = postEvents(t, ts, `[
+		{"object":"a","action":"add"},
+		{"object":"b","action":"add"},
+		{"object":"c","action":"nope"}
+	]`)
+	if resp.StatusCode != http.StatusBadRequest || out.Applied != 2 {
+		t.Fatalf("partial batch: %d %+v", resp.StatusCode, out)
+	}
+}
+
+func TestCapacityExhaustion(t *testing.T) {
+	ts := newTestServer(t, 2)
+	postEvents(t, ts, `[{"object":"a","action":"add"},{"object":"b","action":"add"}]`)
+	resp, out := postEvents(t, ts, `[{"object":"c","action":"add"}]`)
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("over-capacity add: %d %+v", resp.StatusCode, out)
+	}
+}
+
+func TestBatchLimit(t *testing.T) {
+	s, err := New(Config{Capacity: 10, MaxBatch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	body := `[
+		{"object":"a","action":"add"},
+		{"object":"b","action":"add"},
+		{"object":"c","action":"add"}
+	]`
+	resp, err := http.Post(ts.URL+"/v1/events", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t, 10)
+	paths := []string{
+		"/v1/stats/mode", "/v1/stats/top", "/v1/stats/count", "/v1/stats/median",
+		"/v1/stats/quantile", "/v1/stats/distribution", "/v1/stats/summary", "/healthz",
+	}
+	for _, path := range paths {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s = %d, want 405", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/events = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestQueryParamValidation(t *testing.T) {
+	ts := newTestServer(t, 10)
+	postEvents(t, ts, `[{"object":"a","action":"add"}]`)
+	for _, path := range []string{
+		"/v1/stats/top?k=0",
+		"/v1/stats/top?k=-1",
+		"/v1/stats/top?k=abc",
+		"/v1/stats/count",
+		"/v1/stats/quantile?q=2",
+		"/v1/stats/quantile?q=abc",
+		"/v1/stats/quantile",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s = %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	ts := newTestServer(t, 1000)
+	const clients = 8
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func(id int) {
+			for i := 0; i < 50; i++ {
+				body := fmt.Sprintf(`[{"object":"user-%d-%d","action":"add"}]`, id, i%20)
+				resp, err := http.Post(ts.URL+"/v1/events", "application/json", strings.NewReader(body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				resp.Body.Close()
+				if i%10 == 0 {
+					r, err := http.Get(ts.URL + "/v1/stats/mode")
+					if err != nil {
+						errCh <- err
+						return
+					}
+					r.Body.Close()
+				}
+			}
+			errCh <- nil
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var summary map[string]any
+	getJSON(t, ts, "/v1/stats/summary", &summary)
+	if got := summary["adds"].(float64); got != clients*50 {
+		t.Fatalf("adds = %v, want %d", got, clients*50)
+	}
+}

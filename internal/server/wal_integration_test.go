@@ -1,0 +1,123 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestServerWALRecovery(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "events.wal")
+
+	// First server lifetime: ingest a handful of events.
+	s1, err := New(Config{Capacity: 100, WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1)
+	resp, out := postEvents(t, ts1, `[
+		{"object":"video-1","action":"add"},
+		{"object":"video-1","action":"add"},
+		{"object":"video-2","action":"add"},
+		{"object":"video-2","action":"remove"}
+	]`)
+	if resp.StatusCode != http.StatusOK || out.Applied != 4 {
+		t.Fatalf("ingest = %d %+v", resp.StatusCode, out)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Replayed() != 0 {
+		t.Fatalf("first lifetime replayed %d records", s1.Replayed())
+	}
+
+	// Second lifetime: the profile must be rebuilt from the log.
+	s2, err := New(Config{Capacity: 100, WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Replayed() != 4 {
+		t.Fatalf("second lifetime replayed %d records, want 4", s2.Replayed())
+	}
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+
+	var mode entryResponse
+	getJSON(t, ts2, "/v1/stats/mode", &mode)
+	if mode.Object != "video-1" || mode.Frequency != 2 {
+		t.Fatalf("mode after recovery = %+v", mode)
+	}
+	var count entryResponse
+	getJSON(t, ts2, "/v1/stats/count?object=video-2", &count)
+	if count.Frequency != 0 {
+		t.Fatalf("count(video-2) after recovery = %+v", count)
+	}
+
+	// New events after recovery keep appending to the same log.
+	postEvents(t, ts2, `[{"object":"video-3","action":"add"}]`)
+	ts2.Close()
+	s2.Close()
+
+	s3, err := New(Config{Capacity: 100, WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Replayed() != 5 {
+		t.Fatalf("third lifetime replayed %d records, want 5", s3.Replayed())
+	}
+}
+
+func TestServerWALRejectedEventsNotLogged(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "events.wal")
+	s, err := New(Config{Capacity: 100, WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	// The remove of an unknown object is rejected; the preceding add in the
+	// same batch is applied and must be logged.
+	postEvents(t, ts, `[
+		{"object":"kept","action":"add"},
+		{"object":"ghost","action":"remove"}
+	]`)
+	ts.Close()
+	s.Close()
+
+	s2, err := New(Config{Capacity: 100, WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Replayed() != 1 {
+		t.Fatalf("replayed %d records, want 1 (only the accepted event)", s2.Replayed())
+	}
+}
+
+func TestServerWithoutWALHasNoLog(t *testing.T) {
+	s, err := New(Config{Capacity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Replayed() != 0 {
+		t.Fatalf("Replayed() = %d without a WAL", s.Replayed())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close without WAL: %v", err)
+	}
+}
+
+func TestServerWALCorruptLogFailsStartup(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "corrupt.wal")
+	if err := os.WriteFile(walPath, []byte("not a wal file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Capacity: 10, WALPath: walPath}); err == nil {
+		t.Fatalf("startup succeeded with a corrupt WAL")
+	}
+}

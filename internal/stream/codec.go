@@ -1,0 +1,289 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sprofile/internal/core"
+)
+
+// The binary stream format is a compact append-only log:
+//
+//	magic   [4]byte  "SLG1"
+//	m       uvarint  id-space size
+//	tuples  repeated:
+//	          header uvarint  (object<<1 | actionBit), actionBit 0=add 1=remove
+//
+// The CSV format is one "object,action" line per tuple with a header line
+// "# m=<m>", where action is "add" or "remove". It is meant for small traces
+// and interoperability with external tooling; the binary format is what the
+// benchmark harness uses.
+
+// ErrBadStream is returned when decoding a malformed stream file.
+var ErrBadStream = errors.New("stream: invalid stream encoding")
+
+var binaryMagic = [4]byte{'S', 'L', 'G', '1'}
+
+// BinaryWriter encodes tuples into the binary stream format.
+type BinaryWriter struct {
+	w       *bufio.Writer
+	m       int
+	count   uint64
+	started bool
+	buf     [binary.MaxVarintLen64]byte
+}
+
+// NewBinaryWriter returns a writer that emits a stream over m object ids to w.
+func NewBinaryWriter(w io.Writer, m int) (*BinaryWriter, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("stream: binary writer needs m > 0, got %d", m)
+	}
+	return &BinaryWriter{w: bufio.NewWriter(w), m: m}, nil
+}
+
+func (bw *BinaryWriter) writeHeader() error {
+	if bw.started {
+		return nil
+	}
+	bw.started = true
+	if _, err := bw.w.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(bw.buf[:], uint64(bw.m))
+	_, err := bw.w.Write(bw.buf[:n])
+	return err
+}
+
+// Write appends one tuple to the stream.
+func (bw *BinaryWriter) Write(t core.Tuple) error {
+	if err := bw.writeHeader(); err != nil {
+		return err
+	}
+	if t.Object < 0 || t.Object >= bw.m {
+		return fmt.Errorf("stream: tuple object %d outside [0,%d)", t.Object, bw.m)
+	}
+	var bit uint64
+	switch t.Action {
+	case core.ActionAdd:
+		bit = 0
+	case core.ActionRemove:
+		bit = 1
+	default:
+		return fmt.Errorf("stream: tuple has invalid action %d", t.Action)
+	}
+	n := binary.PutUvarint(bw.buf[:], uint64(t.Object)<<1|bit)
+	if _, err := bw.w.Write(bw.buf[:n]); err != nil {
+		return err
+	}
+	bw.count++
+	return nil
+}
+
+// WriteAll appends every tuple in order, stopping at the first error.
+func (bw *BinaryWriter) WriteAll(tuples []core.Tuple) error {
+	for _, t := range tuples {
+		if err := bw.Write(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of tuples written so far.
+func (bw *BinaryWriter) Count() uint64 { return bw.count }
+
+// Flush writes any buffered data to the underlying writer. An empty stream
+// still gets its header so that readers can learn m.
+func (bw *BinaryWriter) Flush() error {
+	if err := bw.writeHeader(); err != nil {
+		return err
+	}
+	return bw.w.Flush()
+}
+
+// BinaryReader decodes tuples from the binary stream format.
+type BinaryReader struct {
+	r     *bufio.Reader
+	m     int
+	count uint64
+}
+
+// NewBinaryReader reads the stream header from r and returns a reader for the
+// remaining tuples.
+func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadStream, err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadStream, magic[:])
+	}
+	m, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadStream, err)
+	}
+	if m == 0 || m > uint64(core.MaxCapacity) {
+		return nil, fmt.Errorf("%w: id space %d out of range", ErrBadStream, m)
+	}
+	return &BinaryReader{r: br, m: int(m)}, nil
+}
+
+// M returns the id-space size recorded in the stream header.
+func (br *BinaryReader) M() int { return br.m }
+
+// Count returns the number of tuples decoded so far.
+func (br *BinaryReader) Count() uint64 { return br.count }
+
+// Read returns the next tuple, or io.EOF after the last one.
+func (br *BinaryReader) Read() (core.Tuple, error) {
+	header, err := binary.ReadUvarint(br.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return core.Tuple{}, io.EOF
+		}
+		return core.Tuple{}, fmt.Errorf("%w: %v", ErrBadStream, err)
+	}
+	obj := int(header >> 1)
+	if obj >= br.m {
+		return core.Tuple{}, fmt.Errorf("%w: object %d outside [0,%d)", ErrBadStream, obj, br.m)
+	}
+	action := core.ActionAdd
+	if header&1 == 1 {
+		action = core.ActionRemove
+	}
+	br.count++
+	return core.Tuple{Object: obj, Action: action}, nil
+}
+
+// ReadAll decodes every remaining tuple.
+func (br *BinaryReader) ReadAll() ([]core.Tuple, error) {
+	var out []core.Tuple
+	for {
+		t, err := br.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+// EncodeBinary writes the whole tuple slice to w in the binary format.
+func EncodeBinary(w io.Writer, m int, tuples []core.Tuple) error {
+	bw, err := NewBinaryWriter(w, m)
+	if err != nil {
+		return err
+	}
+	if err := bw.WriteAll(tuples); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DecodeBinary reads a whole binary stream from r.
+func DecodeBinary(r io.Reader) (m int, tuples []core.Tuple, err error) {
+	br, err := NewBinaryReader(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	tuples, err = br.ReadAll()
+	return br.M(), tuples, err
+}
+
+// ---------------------------------------------------------------------------
+// CSV codec
+// ---------------------------------------------------------------------------
+
+// EncodeCSV writes the tuples as "# m=<m>" followed by one "object,action"
+// line per tuple.
+func EncodeCSV(w io.Writer, m int, tuples []core.Tuple) error {
+	if m <= 0 {
+		return fmt.Errorf("stream: CSV encoder needs m > 0, got %d", m)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# m=%d\n", m); err != nil {
+		return err
+	}
+	for i, t := range tuples {
+		if t.Object < 0 || t.Object >= m {
+			return fmt.Errorf("stream: tuple %d object %d outside [0,%d)", i, t.Object, m)
+		}
+		if !t.Action.Valid() {
+			return fmt.Errorf("stream: tuple %d has invalid action %d", i, t.Action)
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%s\n", t.Object, t.Action); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeCSV reads a CSV stream produced by EncodeCSV. Blank lines and lines
+// starting with '#' (other than the mandatory m header) are ignored.
+func DecodeCSV(r io.Reader) (m int, tuples []core.Tuple, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if idx := strings.Index(line, "m="); idx >= 0 && m == 0 {
+				v, convErr := strconv.Atoi(strings.TrimSpace(line[idx+2:]))
+				if convErr != nil || v <= 0 {
+					return 0, nil, fmt.Errorf("%w: line %d: bad m header %q", ErrBadStream, lineNo, line)
+				}
+				m = v
+			}
+			continue
+		}
+		if m == 0 {
+			return 0, nil, fmt.Errorf("%w: tuple line %d before \"# m=\" header", ErrBadStream, lineNo)
+		}
+		obj, action, parseErr := parseCSVLine(line)
+		if parseErr != nil {
+			return 0, nil, fmt.Errorf("%w: line %d: %v", ErrBadStream, lineNo, parseErr)
+		}
+		if obj < 0 || obj >= m {
+			return 0, nil, fmt.Errorf("%w: line %d: object %d outside [0,%d)", ErrBadStream, lineNo, obj, m)
+		}
+		tuples = append(tuples, core.Tuple{Object: obj, Action: action})
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrBadStream, err)
+	}
+	if m == 0 {
+		return 0, nil, fmt.Errorf("%w: missing \"# m=\" header", ErrBadStream)
+	}
+	return m, tuples, nil
+}
+
+func parseCSVLine(line string) (int, core.Action, error) {
+	comma := strings.IndexByte(line, ',')
+	if comma < 0 {
+		return 0, 0, fmt.Errorf("missing comma in %q", line)
+	}
+	obj, err := strconv.Atoi(strings.TrimSpace(line[:comma]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad object id in %q: %v", line, err)
+	}
+	switch strings.TrimSpace(line[comma+1:]) {
+	case "add", "+", "1":
+		return obj, core.ActionAdd, nil
+	case "remove", "-", "-1":
+		return obj, core.ActionRemove, nil
+	default:
+		return 0, 0, fmt.Errorf("bad action in %q", line)
+	}
+}

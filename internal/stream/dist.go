@@ -1,0 +1,433 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Distribution draws object ids from [0, m). The paper parameterises its
+// streams by a posPDF (object chosen on "add") and a negPDF (object chosen on
+// "remove"); any Distribution can play either role.
+//
+// Implementations clamp or redraw out-of-range samples so that every returned
+// id is a valid dense object id.
+type Distribution interface {
+	// Sample draws one object id in [0, m) using rng.
+	Sample(rng *RNG) int
+	// M returns the object-id space size the distribution was built for.
+	M() int
+	// Name returns a short human-readable description, used in benchmark
+	// labels and EXPERIMENTS.md.
+	Name() string
+}
+
+// Rewinder is implemented by stateful distributions (such as RoundRobin) that
+// must be rewound when the enclosing generator is reset.
+type Rewinder interface {
+	// Rewind restores the distribution to its initial state.
+	Rewind()
+}
+
+// ---------------------------------------------------------------------------
+// Uniform
+// ---------------------------------------------------------------------------
+
+// Uniform draws ids uniformly from [0, m) — the paper's Stream1 PDFs.
+type Uniform struct{ m int }
+
+// NewUniform returns a uniform distribution over [0, m).
+func NewUniform(m int) (*Uniform, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("stream: uniform distribution needs m > 0, got %d", m)
+	}
+	return &Uniform{m: m}, nil
+}
+
+// Sample implements Distribution.
+func (u *Uniform) Sample(rng *RNG) int { return rng.Intn(u.m) }
+
+// M implements Distribution.
+func (u *Uniform) M() int { return u.m }
+
+// Name implements Distribution.
+func (u *Uniform) Name() string { return fmt.Sprintf("uniform[0,%d)", u.m) }
+
+// ---------------------------------------------------------------------------
+// Normal (truncated to the id range by clamping, as the paper's generator
+// implicitly does when a draw lands outside [1, m]).
+// ---------------------------------------------------------------------------
+
+// Normal draws ids from a normal distribution with the given mean and
+// standard deviation, clamped to [0, m). Stream2 uses two of these; Stream3
+// uses one for its posPDF.
+type Normal struct {
+	m     int
+	mu    float64
+	sigma float64
+}
+
+// NewNormal returns a clamped normal distribution over [0, m).
+func NewNormal(m int, mu, sigma float64) (*Normal, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("stream: normal distribution needs m > 0, got %d", m)
+	}
+	if sigma < 0 {
+		return nil, fmt.Errorf("stream: normal distribution needs sigma >= 0, got %g", sigma)
+	}
+	return &Normal{m: m, mu: mu, sigma: sigma}, nil
+}
+
+// Sample implements Distribution.
+func (n *Normal) Sample(rng *RNG) int {
+	v := n.mu + n.sigma*rng.NormFloat64()
+	return clampID(v, n.m)
+}
+
+// M implements Distribution.
+func (n *Normal) M() int { return n.m }
+
+// Name implements Distribution.
+func (n *Normal) Name() string {
+	return fmt.Sprintf("normal(mu=%.3g,sigma=%.3g)[0,%d)", n.mu, n.sigma, n.m)
+}
+
+// ---------------------------------------------------------------------------
+// LogNormal (Stream3's negPDF)
+// ---------------------------------------------------------------------------
+
+// LogNormal draws ids whose logarithm is normally distributed, scaled so that
+// the location parameter is expressed directly in id units (matching the
+// paper's "lognormal(µ=3m/5, σ=m)" phrasing), then clamped to [0, m).
+type LogNormal struct {
+	m     int
+	mu    float64
+	sigma float64
+}
+
+// NewLogNormal returns a clamped lognormal distribution over [0, m). mu and
+// sigma are expressed in id units: a sample is
+// exp(normal(ln(max(mu,1)), sigma/max(mu,1))) clamped to the range.
+func NewLogNormal(m int, mu, sigma float64) (*LogNormal, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("stream: lognormal distribution needs m > 0, got %d", m)
+	}
+	if sigma < 0 {
+		return nil, fmt.Errorf("stream: lognormal distribution needs sigma >= 0, got %g", sigma)
+	}
+	return &LogNormal{m: m, mu: mu, sigma: sigma}, nil
+}
+
+// Sample implements Distribution.
+func (l *LogNormal) Sample(rng *RNG) int {
+	scale := l.mu
+	if scale < 1 {
+		scale = 1
+	}
+	logMu := math.Log(scale)
+	logSigma := l.sigma / scale
+	v := math.Exp(logMu + logSigma*rng.NormFloat64())
+	return clampID(v, l.m)
+}
+
+// M implements Distribution.
+func (l *LogNormal) M() int { return l.m }
+
+// Name implements Distribution.
+func (l *LogNormal) Name() string {
+	return fmt.Sprintf("lognormal(mu=%.3g,sigma=%.3g)[0,%d)", l.mu, l.sigma, l.m)
+}
+
+// ---------------------------------------------------------------------------
+// Zipf
+// ---------------------------------------------------------------------------
+
+// Zipf draws ids with a Zipfian (power-law) popularity: id k has probability
+// proportional to 1/(k+1)^s. It models the heavy-tailed object popularity of
+// real social-network log streams and is used by the workload-sensitivity
+// ablation.
+//
+// Sampling uses rejection-inversion (Hörmann & Derflinger), giving O(1)
+// expected time per draw without a per-id table, so m can be 10^8 and beyond.
+type Zipf struct {
+	m int
+	s float64
+
+	// precomputed constants for rejection-inversion
+	hIntegralX1    float64
+	hIntegralN     float64
+	sDiv           float64
+	oneMinusS      float64
+	oneDivOneMinus float64
+}
+
+// NewZipf returns a Zipf distribution over [0, m) with exponent s > 0,
+// s != 1 handled exactly and s == 1 handled via the limit form.
+func NewZipf(m int, s float64) (*Zipf, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("stream: zipf distribution needs m > 0, got %d", m)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("stream: zipf distribution needs s > 0, got %g", s)
+	}
+	z := &Zipf{m: m, s: s}
+	z.oneMinusS = 1 - s
+	if z.oneMinusS != 0 {
+		z.oneDivOneMinus = 1 / z.oneMinusS
+	}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralN = z.hIntegral(float64(m) + 0.5)
+	z.sDiv = 2 - z.hIntegralInv(z.hIntegral(2.5)-z.h(2))
+	return z, nil
+}
+
+// h is the Zipf density kernel x^-s.
+func (z *Zipf) h(x float64) float64 { return math.Exp(-z.s * math.Log(x)) }
+
+// hIntegral is the antiderivative of h.
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	if z.oneMinusS == 0 {
+		return logX
+	}
+	return helperExpM1(z.oneMinusS*logX) * z.oneDivOneMinus
+}
+
+// hIntegralInv is the inverse of hIntegral.
+func (z *Zipf) hIntegralInv(x float64) float64 {
+	if z.oneMinusS == 0 {
+		return math.Exp(x)
+	}
+	t := x * z.oneMinusS
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helperLog1p(t) * z.oneDivOneMinus)
+}
+
+// helperExpM1 computes (exp(x)-1)/x with care near zero.
+func helperExpM1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x)
+	}
+	return x * (1 + x/2*(1+x/3))
+}
+
+// helperLog1p is log(1+x).
+func helperLog1p(x float64) float64 { return math.Log1p(x) }
+
+// Sample implements Distribution.
+func (z *Zipf) Sample(rng *RNG) int {
+	for {
+		u := z.hIntegralN + rng.Float64()*(z.hIntegralX1-z.hIntegralN)
+		x := z.hIntegralInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > float64(z.m) {
+			k = float64(z.m)
+		}
+		if k-x <= z.sDiv || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return int(k) - 1
+		}
+	}
+}
+
+// M implements Distribution.
+func (z *Zipf) M() int { return z.m }
+
+// Name implements Distribution.
+func (z *Zipf) Name() string { return fmt.Sprintf("zipf(s=%.3g)[0,%d)", z.s, z.m) }
+
+// ---------------------------------------------------------------------------
+// HotSet
+// ---------------------------------------------------------------------------
+
+// HotSet draws from a small "hot" subset of ids with probability hotProb and
+// from the full range otherwise. It models flash-crowd behaviour (one live
+// video channel absorbing most of the traffic) and stresses the block set
+// with very tall, narrow frequency peaks.
+type HotSet struct {
+	m       int
+	hot     int
+	hotProb float64
+}
+
+// NewHotSet returns a hot-set distribution: hot ids are [0, hot), chosen with
+// probability hotProb; otherwise the id is uniform over [0, m).
+func NewHotSet(m, hot int, hotProb float64) (*HotSet, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("stream: hotset distribution needs m > 0, got %d", m)
+	}
+	if hot <= 0 || hot > m {
+		return nil, fmt.Errorf("stream: hotset size %d out of range (m=%d)", hot, m)
+	}
+	if hotProb < 0 || hotProb > 1 {
+		return nil, fmt.Errorf("stream: hotset probability %g out of [0,1]", hotProb)
+	}
+	return &HotSet{m: m, hot: hot, hotProb: hotProb}, nil
+}
+
+// Sample implements Distribution.
+func (h *HotSet) Sample(rng *RNG) int {
+	if rng.Bernoulli(h.hotProb) {
+		return rng.Intn(h.hot)
+	}
+	return rng.Intn(h.m)
+}
+
+// M implements Distribution.
+func (h *HotSet) M() int { return h.m }
+
+// Name implements Distribution.
+func (h *HotSet) Name() string {
+	return fmt.Sprintf("hotset(hot=%d,p=%.2f)[0,%d)", h.hot, h.hotProb, h.m)
+}
+
+// ---------------------------------------------------------------------------
+// Constant
+// ---------------------------------------------------------------------------
+
+// Constant always returns the same id. It is the worst case for structures
+// keyed on frequency collisions (one object racing ahead of the pack) and is
+// used by edge-case tests.
+type Constant struct {
+	m  int
+	id int
+}
+
+// NewConstant returns a distribution that always yields id.
+func NewConstant(m, id int) (*Constant, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("stream: constant distribution needs m > 0, got %d", m)
+	}
+	if id < 0 || id >= m {
+		return nil, fmt.Errorf("stream: constant id %d out of range [0,%d)", id, m)
+	}
+	return &Constant{m: m, id: id}, nil
+}
+
+// Sample implements Distribution.
+func (c *Constant) Sample(*RNG) int { return c.id }
+
+// M implements Distribution.
+func (c *Constant) M() int { return c.m }
+
+// Name implements Distribution.
+func (c *Constant) Name() string { return fmt.Sprintf("constant(%d)[0,%d)", c.id, c.m) }
+
+// ---------------------------------------------------------------------------
+// RoundRobin
+// ---------------------------------------------------------------------------
+
+// RoundRobin cycles through every id in order. Feeding a profiler a
+// round-robin "add" stream keeps all frequencies within one of each other,
+// which maximises block merging/splitting churn — the structural worst case
+// for the block set.
+type RoundRobin struct {
+	m    int
+	next int
+}
+
+// NewRoundRobin returns a distribution cycling 0, 1, ..., m-1, 0, 1, ...
+func NewRoundRobin(m int) (*RoundRobin, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("stream: round-robin distribution needs m > 0, got %d", m)
+	}
+	return &RoundRobin{m: m}, nil
+}
+
+// Sample implements Distribution.
+func (rr *RoundRobin) Sample(*RNG) int {
+	id := rr.next
+	rr.next++
+	if rr.next == rr.m {
+		rr.next = 0
+	}
+	return id
+}
+
+// Rewind resets the cycle back to id 0; Generator.Reset calls it so that
+// round-robin streams replay identically.
+func (rr *RoundRobin) Rewind() { rr.next = 0 }
+
+// M implements Distribution.
+func (rr *RoundRobin) M() int { return rr.m }
+
+// Name implements Distribution.
+func (rr *RoundRobin) Name() string { return fmt.Sprintf("roundrobin[0,%d)", rr.m) }
+
+// ---------------------------------------------------------------------------
+// Mixture
+// ---------------------------------------------------------------------------
+
+// Mixture draws from one of several component distributions according to
+// fixed weights. It composes the primitives above into richer workloads
+// (e.g. 90% Zipf over the catalogue + 10% uniform exploration).
+type Mixture struct {
+	m          int
+	components []Distribution
+	cumWeights []float64
+}
+
+// NewMixture returns a mixture of components with the given weights. All
+// components must share the same id-space size. Weights must be positive; they
+// are normalised internally.
+func NewMixture(components []Distribution, weights []float64) (*Mixture, error) {
+	if len(components) == 0 {
+		return nil, fmt.Errorf("stream: mixture needs at least one component")
+	}
+	if len(components) != len(weights) {
+		return nil, fmt.Errorf("stream: mixture has %d components but %d weights",
+			len(components), len(weights))
+	}
+	m := components[0].M()
+	var total float64
+	for i, c := range components {
+		if c.M() != m {
+			return nil, fmt.Errorf("stream: mixture component %d has m=%d, want %d", i, c.M(), m)
+		}
+		if weights[i] <= 0 {
+			return nil, fmt.Errorf("stream: mixture weight %d is %g, must be > 0", i, weights[i])
+		}
+		total += weights[i]
+	}
+	cum := make([]float64, len(weights))
+	var acc float64
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1 // guard against rounding
+	return &Mixture{m: m, components: components, cumWeights: cum}, nil
+}
+
+// Sample implements Distribution.
+func (mx *Mixture) Sample(rng *RNG) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(mx.cumWeights, u)
+	if i >= len(mx.components) {
+		i = len(mx.components) - 1
+	}
+	return mx.components[i].Sample(rng)
+}
+
+// M implements Distribution.
+func (mx *Mixture) M() int { return mx.m }
+
+// Name implements Distribution.
+func (mx *Mixture) Name() string {
+	return fmt.Sprintf("mixture(%d components)[0,%d)", len(mx.components), mx.m)
+}
+
+// clampID converts a continuous draw to a valid dense id in [0, m).
+func clampID(v float64, m int) int {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v >= float64(m) {
+		return m - 1
+	}
+	return int(v)
+}

@@ -1,0 +1,385 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sampleMany draws n samples and returns them plus basic statistics.
+func sampleMany(t *testing.T, d Distribution, n int, seed uint64) (samples []int, mean float64) {
+	t.Helper()
+	rng := NewRNG(seed)
+	samples = make([]int, n)
+	var sum float64
+	for i := range samples {
+		v := d.Sample(rng)
+		if v < 0 || v >= d.M() {
+			t.Fatalf("%s: sample %d out of [0,%d)", d.Name(), v, d.M())
+		}
+		samples[i] = v
+		sum += float64(v)
+	}
+	return samples, sum / float64(n)
+}
+
+func TestUniformRangeAndMean(t *testing.T) {
+	const m = 1000
+	u, err := NewUniform(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mean := sampleMany(t, u, 100_000, 1)
+	want := float64(m-1) / 2
+	if math.Abs(mean-want) > 10 {
+		t.Fatalf("uniform mean %.1f, want ~%.1f", mean, want)
+	}
+}
+
+func TestUniformRejectsBadM(t *testing.T) {
+	for _, m := range []int{0, -1} {
+		if _, err := NewUniform(m); err == nil {
+			t.Fatalf("NewUniform(%d) accepted invalid m", m)
+		}
+	}
+}
+
+func TestUniformCoversAllIDs(t *testing.T) {
+	const m = 16
+	u, _ := NewUniform(m)
+	samples, _ := sampleMany(t, u, 5000, 2)
+	seen := make([]bool, m)
+	for _, s := range samples {
+		seen[s] = true
+	}
+	for id, ok := range seen {
+		if !ok {
+			t.Fatalf("uniform over %d ids never drew id %d in 5000 samples", m, id)
+		}
+	}
+}
+
+func TestNormalMeanTracksMu(t *testing.T) {
+	const m = 100_000
+	n, err := NewNormal(m, 2*float64(m)/3, float64(m)/6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mean := sampleMany(t, n, 100_000, 3)
+	want := 2 * float64(m) / 3
+	if math.Abs(mean-want) > float64(m)/100 {
+		t.Fatalf("normal mean %.0f, want ~%.0f", mean, want)
+	}
+}
+
+func TestNormalClampsToRange(t *testing.T) {
+	// Mean far outside the range: every sample must clamp into [0, m).
+	n, err := NewNormal(100, 1e9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, _ := sampleMany(t, n, 1000, 4)
+	for _, s := range samples {
+		if s != 99 {
+			t.Fatalf("sample %d, want clamped 99", s)
+		}
+	}
+	n2, _ := NewNormal(100, -1e9, 10)
+	samples, _ = sampleMany(t, n2, 1000, 5)
+	for _, s := range samples {
+		if s != 0 {
+			t.Fatalf("sample %d, want clamped 0", s)
+		}
+	}
+}
+
+func TestNormalRejectsBadParams(t *testing.T) {
+	if _, err := NewNormal(0, 0, 1); err == nil {
+		t.Fatalf("NewNormal accepted m=0")
+	}
+	if _, err := NewNormal(10, 0, -1); err == nil {
+		t.Fatalf("NewNormal accepted negative sigma")
+	}
+}
+
+func TestLogNormalRangeAndSkew(t *testing.T) {
+	// Moderate spread so that clamping at the top of the id range is rare and
+	// the right skew of the lognormal is visible in the samples.
+	const m = 100_000
+	l, err := NewLogNormal(m, float64(m)/10, float64(m)/20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, _ := sampleMany(t, l, 50_000, 6)
+	// A lognormal is right-skewed: clearly more than half of the samples fall
+	// below the sample mean.
+	var sum float64
+	for _, s := range samples {
+		sum += float64(s)
+	}
+	mean := sum / float64(len(samples))
+	below := 0
+	for _, s := range samples {
+		if float64(s) < mean {
+			below++
+		}
+	}
+	if float64(below) < 0.52*float64(len(samples)) {
+		t.Fatalf("lognormal not right-skewed: %d/%d samples below mean", below, len(samples))
+	}
+}
+
+func TestLogNormalPaperParamsInRange(t *testing.T) {
+	// The paper's Stream3 negPDF uses mu=3m/5, sigma=m; with that much spread
+	// most draws clamp, but every sample must still be a valid id.
+	const m = 10_000
+	l, err := NewLogNormal(m, 3*float64(m)/5, float64(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampleMany(t, l, 20_000, 12)
+}
+
+func TestLogNormalRejectsBadParams(t *testing.T) {
+	if _, err := NewLogNormal(0, 1, 1); err == nil {
+		t.Fatalf("NewLogNormal accepted m=0")
+	}
+	if _, err := NewLogNormal(10, 1, -1); err == nil {
+		t.Fatalf("NewLogNormal accepted negative sigma")
+	}
+}
+
+func TestZipfHeadHeavierThanTail(t *testing.T) {
+	const m = 10_000
+	z, err := NewZipf(m, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, _ := sampleMany(t, z, 100_000, 7)
+	head, tail := 0, 0
+	for _, s := range samples {
+		if s < m/100 {
+			head++
+		}
+		if s >= m/2 {
+			tail++
+		}
+	}
+	if head <= tail {
+		t.Fatalf("zipf head (%d) not heavier than tail (%d)", head, tail)
+	}
+	if head < len(samples)/4 {
+		t.Fatalf("zipf head only %d/%d samples; expected a heavy head", head, len(samples))
+	}
+}
+
+func TestZipfRankOrdering(t *testing.T) {
+	const m = 100
+	z, err := NewZipf(m, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, _ := sampleMany(t, z, 200_000, 8)
+	counts := make([]int, m)
+	for _, s := range samples {
+		counts[s]++
+	}
+	// Popularity must broadly decrease with id; compare id 0 against id 10
+	// and id 10 against id 90 with generous slack.
+	if counts[0] <= counts[10] {
+		t.Fatalf("zipf counts not decreasing: id0=%d id10=%d", counts[0], counts[10])
+	}
+	if counts[10] <= counts[90] {
+		t.Fatalf("zipf counts not decreasing: id10=%d id90=%d", counts[10], counts[90])
+	}
+}
+
+func TestZipfSingleID(t *testing.T) {
+	z, err := NewZipf(1, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if v := z.Sample(rng); v != 0 {
+			t.Fatalf("zipf over one id drew %d", v)
+		}
+	}
+}
+
+func TestZipfRejectsBadParams(t *testing.T) {
+	if _, err := NewZipf(0, 1.1); err == nil {
+		t.Fatalf("NewZipf accepted m=0")
+	}
+	if _, err := NewZipf(10, 0); err == nil {
+		t.Fatalf("NewZipf accepted s=0")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Fatalf("NewZipf accepted s<0")
+	}
+}
+
+func TestHotSetConcentration(t *testing.T) {
+	const m = 10_000
+	h, err := NewHotSet(m, 10, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, _ := sampleMany(t, h, 50_000, 9)
+	hot := 0
+	for _, s := range samples {
+		if s < 10 {
+			hot++
+		}
+	}
+	rate := float64(hot) / float64(len(samples))
+	if rate < 0.85 {
+		t.Fatalf("hot-set rate %.3f, want >= 0.85", rate)
+	}
+}
+
+func TestHotSetRejectsBadParams(t *testing.T) {
+	if _, err := NewHotSet(0, 1, 0.5); err == nil {
+		t.Fatalf("NewHotSet accepted m=0")
+	}
+	if _, err := NewHotSet(10, 0, 0.5); err == nil {
+		t.Fatalf("NewHotSet accepted hot=0")
+	}
+	if _, err := NewHotSet(10, 11, 0.5); err == nil {
+		t.Fatalf("NewHotSet accepted hot>m")
+	}
+	if _, err := NewHotSet(10, 5, 1.5); err == nil {
+		t.Fatalf("NewHotSet accepted p>1")
+	}
+}
+
+func TestConstantAlwaysSameID(t *testing.T) {
+	c, err := NewConstant(50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if v := c.Sample(rng); v != 7 {
+			t.Fatalf("constant drew %d, want 7", v)
+		}
+	}
+}
+
+func TestConstantRejectsBadParams(t *testing.T) {
+	if _, err := NewConstant(0, 0); err == nil {
+		t.Fatalf("NewConstant accepted m=0")
+	}
+	if _, err := NewConstant(10, 10); err == nil {
+		t.Fatalf("NewConstant accepted id out of range")
+	}
+	if _, err := NewConstant(10, -1); err == nil {
+		t.Fatalf("NewConstant accepted negative id")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	rr, err := NewRoundRobin(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRNG(1)
+	for cycle := 0; cycle < 3; cycle++ {
+		for want := 0; want < 5; want++ {
+			if got := rr.Sample(rng); got != want {
+				t.Fatalf("cycle %d: round-robin drew %d, want %d", cycle, got, want)
+			}
+		}
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	const m = 1000
+	hot, _ := NewConstant(m, 0)
+	cold, _ := NewConstant(m, m-1)
+	mix, err := NewMixture([]Distribution{hot, cold}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, _ := sampleMany(t, mix, 100_000, 10)
+	hotCount := 0
+	for _, s := range samples {
+		if s == 0 {
+			hotCount++
+		}
+	}
+	rate := float64(hotCount) / float64(len(samples))
+	if math.Abs(rate-0.75) > 0.02 {
+		t.Fatalf("mixture hot rate %.3f, want ~0.75", rate)
+	}
+}
+
+func TestMixtureRejectsBadInputs(t *testing.T) {
+	u10, _ := NewUniform(10)
+	u20, _ := NewUniform(20)
+	if _, err := NewMixture(nil, nil); err == nil {
+		t.Fatalf("NewMixture accepted empty components")
+	}
+	if _, err := NewMixture([]Distribution{u10}, []float64{1, 2}); err == nil {
+		t.Fatalf("NewMixture accepted mismatched weights")
+	}
+	if _, err := NewMixture([]Distribution{u10, u20}, []float64{1, 1}); err == nil {
+		t.Fatalf("NewMixture accepted mismatched id spaces")
+	}
+	if _, err := NewMixture([]Distribution{u10}, []float64{0}); err == nil {
+		t.Fatalf("NewMixture accepted zero weight")
+	}
+}
+
+func TestDistributionsAlwaysInRangeProperty(t *testing.T) {
+	f := func(seed uint64, rawM uint16) bool {
+		m := int(rawM)%500 + 1
+		rng := NewRNG(seed)
+		dists := []Distribution{}
+		if u, err := NewUniform(m); err == nil {
+			dists = append(dists, u)
+		}
+		if n, err := NewNormal(m, float64(m)/2, float64(m)/4); err == nil {
+			dists = append(dists, n)
+		}
+		if l, err := NewLogNormal(m, float64(m)/2, float64(m)); err == nil {
+			dists = append(dists, l)
+		}
+		if z, err := NewZipf(m, 1.2); err == nil {
+			dists = append(dists, z)
+		}
+		for _, d := range dists {
+			for i := 0; i < 20; i++ {
+				v := d.Sample(rng)
+				if v < 0 || v >= m {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClampID(t *testing.T) {
+	cases := []struct {
+		v    float64
+		m    int
+		want int
+	}{
+		{-5, 10, 0},
+		{0, 10, 0},
+		{3.7, 10, 3},
+		{9.99, 10, 9},
+		{10, 10, 9},
+		{1e18, 10, 9},
+		{math.NaN(), 10, 0},
+	}
+	for _, c := range cases {
+		if got := clampID(c.v, c.m); got != c.want {
+			t.Fatalf("clampID(%g, %d) = %d, want %d", c.v, c.m, got, c.want)
+		}
+	}
+}

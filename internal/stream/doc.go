@@ -1,0 +1,25 @@
+// Package stream models the log streams the paper profiles and generates the
+// synthetic workloads used throughout the evaluation.
+//
+// The paper (§3) builds its test streams by flipping a biased coin for the
+// action — "add" with 70% probability, "remove" with 30% — and then drawing
+// the object id from a per-action probability distribution:
+//
+//	Stream1: posPDF and negPDF both uniform on [1, m]
+//	Stream2: posPDF normal(µ=2m/3, σ=m/6), negPDF normal(µ=m/3, σ=m/6)
+//	Stream3: posPDF normal(µ=4m/5, σ=m),   negPDF lognormal(µ=3m/5, σ=m)
+//
+// This package reproduces those three streams exactly (up to the RNG) and
+// adds the adversarial and skewed workloads used by the ablation benchmarks:
+// Zipfian popularity, bursty hot sets, sawtooth add/remove phases, and
+// worst-case block-churn streams.
+//
+// All generators are deterministic for a given seed. The random number
+// generator is a self-contained splitmix64/xoshiro256** implementation so
+// results do not depend on the Go release's math/rand behaviour.
+//
+// Streams can be materialised into []core.Tuple, iterated tuple-by-tuple
+// without allocation, or serialised with the binary and CSV codecs in this
+// package (cmd/streamgen writes files that cmd/sprofile and cmd/sprofiled can
+// replay).
+package stream

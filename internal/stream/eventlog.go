@@ -1,0 +1,180 @@
+package stream
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"sprofile/internal/core"
+	"sprofile/internal/idmap"
+)
+
+// This file implements a small text event-log format for interoperating with
+// real systems: one event per line,
+//
+//	<timestamp>,<object-key>,<action>
+//
+// where <timestamp> is RFC 3339 ("2026-06-16T12:00:00Z") or an integer Unix
+// time in seconds or milliseconds, <object-key> is any string without a
+// comma, and <action> is "add"/"+"/"1" or "remove"/"-"/"-1". Lines starting
+// with '#' and blank lines are ignored. This is the shape most access/audit
+// logs can be transformed into with a one-line awk script, which is what the
+// paper means by "S-Profile can be plugged into most of log streams".
+
+// ErrBadEventLog is returned when parsing a malformed event-log line.
+var ErrBadEventLog = errors.New("stream: invalid event log")
+
+// KeyedEvent is one parsed event-log record: a wall-clock timestamp, a string
+// object key, and an action.
+type KeyedEvent struct {
+	At     time.Time
+	Key    string
+	Action core.Action
+}
+
+// EventLogReader parses the text event-log format from an io.Reader.
+type EventLogReader struct {
+	sc     *bufio.Scanner
+	lineNo int
+}
+
+// NewEventLogReader returns a reader over r.
+func NewEventLogReader(r io.Reader) *EventLogReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &EventLogReader{sc: sc}
+}
+
+// Next returns the next event, or io.EOF after the last one.
+func (r *EventLogReader) Next() (KeyedEvent, error) {
+	for r.sc.Scan() {
+		r.lineNo++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := parseEventLogLine(line)
+		if err != nil {
+			return KeyedEvent{}, fmt.Errorf("%w: line %d: %v", ErrBadEventLog, r.lineNo, err)
+		}
+		return ev, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return KeyedEvent{}, fmt.Errorf("%w: %v", ErrBadEventLog, err)
+	}
+	return KeyedEvent{}, io.EOF
+}
+
+// ReadAll parses every remaining event.
+func (r *EventLogReader) ReadAll() ([]KeyedEvent, error) {
+	var out []KeyedEvent
+	for {
+		ev, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}
+
+// parseEventLogLine splits "timestamp,key,action".
+func parseEventLogLine(line string) (KeyedEvent, error) {
+	first := strings.IndexByte(line, ',')
+	if first < 0 {
+		return KeyedEvent{}, fmt.Errorf("missing fields in %q", line)
+	}
+	last := strings.LastIndexByte(line, ',')
+	if last == first {
+		return KeyedEvent{}, fmt.Errorf("missing action field in %q", line)
+	}
+	tsField := strings.TrimSpace(line[:first])
+	key := strings.TrimSpace(line[first+1 : last])
+	actionField := strings.TrimSpace(line[last+1:])
+
+	if key == "" {
+		return KeyedEvent{}, fmt.Errorf("empty object key in %q", line)
+	}
+	at, err := parseEventTimestamp(tsField)
+	if err != nil {
+		return KeyedEvent{}, err
+	}
+	var action core.Action
+	switch actionField {
+	case "add", "+", "1":
+		action = core.ActionAdd
+	case "remove", "-", "-1":
+		action = core.ActionRemove
+	default:
+		return KeyedEvent{}, fmt.Errorf("unknown action %q", actionField)
+	}
+	return KeyedEvent{At: at, Key: key, Action: action}, nil
+}
+
+// parseEventTimestamp accepts RFC 3339 or integer Unix seconds/milliseconds.
+func parseEventTimestamp(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, fmt.Errorf("empty timestamp")
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t, nil
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("bad timestamp %q (want RFC3339 or unix seconds/millis)", s)
+	}
+	// Heuristic: values above 10^12 are milliseconds (year 2001 in millis is
+	// ~10^12; in seconds that far exceeds any plausible log).
+	if n > 1_000_000_000_000 {
+		return time.UnixMilli(n).UTC(), nil
+	}
+	return time.Unix(n, 0).UTC(), nil
+}
+
+// WriteEventLog writes events in the text format, one per line, with RFC 3339
+// timestamps.
+func WriteEventLog(w io.Writer, events []KeyedEvent) error {
+	bw := bufio.NewWriter(w)
+	for i, ev := range events {
+		if ev.Key == "" {
+			return fmt.Errorf("stream: event %d has an empty key", i)
+		}
+		if strings.ContainsRune(ev.Key, ',') {
+			return fmt.Errorf("stream: event %d key %q contains a comma", i, ev.Key)
+		}
+		if !ev.Action.Valid() {
+			return fmt.Errorf("stream: event %d has invalid action %d", i, ev.Action)
+		}
+		if _, err := fmt.Fprintf(bw, "%s,%s,%s\n", ev.At.UTC().Format(time.RFC3339), ev.Key, ev.Action); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Densify maps the string keys of an event log onto dense object ids so the
+// events can drive a dense-id profiler. It returns the tuple sequence (in the
+// original order) and the mapper used, whose Key method converts dense ids in
+// query answers back to the original keys. capacity bounds the number of
+// distinct keys; idmap.ErrFull is returned when the log contains more.
+func Densify(events []KeyedEvent, capacity int) ([]core.Tuple, *idmap.Mapper[string], error) {
+	mapper, err := idmap.New[string](capacity)
+	if err != nil {
+		return nil, nil, err
+	}
+	tuples := make([]core.Tuple, 0, len(events))
+	for i, ev := range events {
+		id, _, err := mapper.Acquire(ev.Key)
+		if err != nil {
+			return nil, nil, fmt.Errorf("stream: event %d (%q): %w", i, ev.Key, err)
+		}
+		tuples = append(tuples, core.Tuple{Object: id, Action: ev.Action})
+	}
+	return tuples, mapper, nil
+}

@@ -1,0 +1,185 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"sprofile/internal/core"
+	"sprofile/internal/idmap"
+)
+
+func TestEventLogParseFormats(t *testing.T) {
+	input := strings.Join([]string{
+		"# comment line",
+		"",
+		"2026-06-16T12:00:00Z,video-1,add",
+		"1750075200,user:alice,+",
+		"1750075200123,user:bob,remove",
+		"2026-06-16T12:00:03Z,video-1,-",
+	}, "\n")
+	events, err := NewEventLogReader(strings.NewReader(input)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("parsed %d events, want 4", len(events))
+	}
+	if events[0].Key != "video-1" || events[0].Action != core.ActionAdd {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if !events[0].At.Equal(time.Date(2026, 6, 16, 12, 0, 0, 0, time.UTC)) {
+		t.Fatalf("event 0 time = %v", events[0].At)
+	}
+	if events[1].Key != "user:alice" || events[1].Action != core.ActionAdd {
+		t.Fatalf("event 1 = %+v", events[1])
+	}
+	if events[1].At.Unix() != 1750075200 {
+		t.Fatalf("event 1 unix-seconds time = %v", events[1].At)
+	}
+	if events[2].Action != core.ActionRemove {
+		t.Fatalf("event 2 = %+v", events[2])
+	}
+	if events[2].At.UnixMilli() != 1750075200123 {
+		t.Fatalf("event 2 unix-millis time = %v", events[2].At)
+	}
+	if events[3].Action != core.ActionRemove {
+		t.Fatalf("event 3 = %+v", events[3])
+	}
+}
+
+func TestEventLogParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no commas":       "2026-06-16T12:00:00Z video add",
+		"one comma":       "2026-06-16T12:00:00Z,video",
+		"empty key":       "2026-06-16T12:00:00Z,,add",
+		"bad timestamp":   "yesterday,video,add",
+		"empty timestamp": ",video,add",
+		"bad action":      "2026-06-16T12:00:00Z,video,maybe",
+	}
+	for name, line := range cases {
+		_, err := NewEventLogReader(strings.NewReader(line)).ReadAll()
+		if !errors.Is(err, ErrBadEventLog) {
+			t.Fatalf("%s: error %v, want ErrBadEventLog", name, err)
+		}
+	}
+}
+
+func TestEventLogStreamingNext(t *testing.T) {
+	input := "2026-06-16T12:00:00Z,a,add\n2026-06-16T12:00:01Z,b,remove\n"
+	r := NewEventLogReader(strings.NewReader(input))
+	first, err := r.Next()
+	if err != nil || first.Key != "a" {
+		t.Fatalf("first = %+v, %v", first, err)
+	}
+	second, err := r.Next()
+	if err != nil || second.Key != "b" {
+		t.Fatalf("second = %+v, %v", second, err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestEventLogWriteRoundTrip(t *testing.T) {
+	events := []KeyedEvent{
+		{At: time.Date(2026, 6, 16, 10, 0, 0, 0, time.UTC), Key: "x", Action: core.ActionAdd},
+		{At: time.Date(2026, 6, 16, 10, 0, 5, 0, time.UTC), Key: "y", Action: core.ActionRemove},
+		{At: time.Date(2026, 6, 16, 10, 0, 9, 0, time.UTC), Key: "x", Action: core.ActionAdd},
+	}
+	var buf bytes.Buffer
+	if err := WriteEventLog(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := NewEventLogReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(events) {
+		t.Fatalf("decoded %d events", len(decoded))
+	}
+	for i := range events {
+		if !decoded[i].At.Equal(events[i].At) || decoded[i].Key != events[i].Key || decoded[i].Action != events[i].Action {
+			t.Fatalf("event %d = %+v, want %+v", i, decoded[i], events[i])
+		}
+	}
+}
+
+func TestEventLogWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEventLog(&buf, []KeyedEvent{{Key: "", Action: core.ActionAdd}}); err == nil {
+		t.Fatalf("accepted empty key")
+	}
+	if err := WriteEventLog(&buf, []KeyedEvent{{Key: "a,b", Action: core.ActionAdd}}); err == nil {
+		t.Fatalf("accepted key with comma")
+	}
+	if err := WriteEventLog(&buf, []KeyedEvent{{Key: "a", Action: 0}}); err == nil {
+		t.Fatalf("accepted invalid action")
+	}
+}
+
+func TestDensify(t *testing.T) {
+	events := []KeyedEvent{
+		{Key: "alice", Action: core.ActionAdd},
+		{Key: "bob", Action: core.ActionAdd},
+		{Key: "alice", Action: core.ActionAdd},
+		{Key: "bob", Action: core.ActionRemove},
+	}
+	tuples, mapper, err := Densify(events, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 4 {
+		t.Fatalf("densified %d tuples", len(tuples))
+	}
+	if tuples[0].Object != tuples[2].Object {
+		t.Fatalf("same key mapped to different ids: %d vs %d", tuples[0].Object, tuples[2].Object)
+	}
+	if tuples[0].Object == tuples[1].Object {
+		t.Fatalf("different keys mapped to the same id")
+	}
+	if tuples[3].Action != core.ActionRemove {
+		t.Fatalf("action not preserved")
+	}
+	key, ok := mapper.Key(tuples[1].Object)
+	if !ok || key != "bob" {
+		t.Fatalf("mapper.Key = %q, %v", key, ok)
+	}
+
+	// Capacity exhaustion surfaces idmap.ErrFull.
+	if _, _, err := Densify(events, 1); !errors.Is(err, idmap.ErrFull) {
+		t.Fatalf("Densify over capacity: %v", err)
+	}
+}
+
+func TestDensifyDrivesProfile(t *testing.T) {
+	input := strings.Join([]string{
+		"2026-06-16T12:00:00Z,video-7,add",
+		"2026-06-16T12:00:01Z,video-7,add",
+		"2026-06-16T12:00:02Z,video-9,add",
+		"2026-06-16T12:00:03Z,video-9,remove",
+	}, "\n")
+	events, err := NewEventLogReader(strings.NewReader(input)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, mapper, err := Densify(events, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.MustNew(16)
+	if _, err := p.ApplyAll(tuples); err != nil {
+		t.Fatal(err)
+	}
+	mode, _, err := p.Mode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, ok := mapper.Key(mode.Object)
+	if !ok || key != "video-7" || mode.Frequency != 2 {
+		t.Fatalf("mode = %+v (key %q)", mode, key)
+	}
+}

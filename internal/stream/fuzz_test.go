@@ -1,0 +1,130 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"sprofile/internal/core"
+)
+
+// The fuzz targets below run their seed corpus as ordinary regression tests
+// under `go test` and can be expanded with `go test -fuzz=FuzzX`. Each one
+// checks the decoder never panics on arbitrary input and that anything it
+// accepts satisfies the format's documented guarantees (objects in range,
+// valid actions), and that re-encoding accepted input round-trips.
+
+func FuzzDecodeBinary(f *testing.F) {
+	// Seed with a valid stream, an empty stream, and a few corruptions.
+	var valid bytes.Buffer
+	g, _ := Stream1(16, 1)
+	_ = EncodeBinary(&valid, 16, g.Generate(64))
+	f.Add(valid.Bytes())
+	var empty bytes.Buffer
+	_ = EncodeBinary(&empty, 3, nil)
+	f.Add(empty.Bytes())
+	f.Add([]byte("SLG1"))
+	f.Add([]byte("XXXXXXXX"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, tuples, err := DecodeBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if m <= 0 {
+			t.Fatalf("accepted stream with non-positive m=%d", m)
+		}
+		for i, tp := range tuples {
+			if tp.Object < 0 || tp.Object >= m {
+				t.Fatalf("tuple %d object %d outside [0,%d)", i, tp.Object, m)
+			}
+			if !tp.Action.Valid() {
+				t.Fatalf("tuple %d has invalid action %d", i, tp.Action)
+			}
+		}
+		// Round-trip what was accepted.
+		var buf bytes.Buffer
+		if err := EncodeBinary(&buf, m, tuples); err != nil {
+			t.Fatalf("re-encoding accepted stream failed: %v", err)
+		}
+		m2, tuples2, err := DecodeBinary(&buf)
+		if err != nil || m2 != m || len(tuples2) != len(tuples) {
+			t.Fatalf("round-trip mismatch: m %d vs %d, %d vs %d tuples (%v)", m, m2, len(tuples), len(tuples2), err)
+		}
+	})
+}
+
+func FuzzDecodeCSV(f *testing.F) {
+	f.Add("# m=5\n0,add\n1,remove\n")
+	f.Add("# m=1\n")
+	f.Add("0,add\n")
+	f.Add("# m=abc\n")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		m, tuples, err := DecodeCSV(bytes.NewReader([]byte(data)))
+		if err != nil {
+			return
+		}
+		if m <= 0 {
+			t.Fatalf("accepted CSV with non-positive m=%d", m)
+		}
+		for i, tp := range tuples {
+			if tp.Object < 0 || tp.Object >= m {
+				t.Fatalf("tuple %d object %d outside [0,%d)", i, tp.Object, m)
+			}
+			if !tp.Action.Valid() {
+				t.Fatalf("tuple %d has invalid action %d", i, tp.Action)
+			}
+		}
+	})
+}
+
+func FuzzEventLog(f *testing.F) {
+	f.Add("2026-06-16T12:00:00Z,video-1,add\n1750075200,alice,+\n")
+	f.Add("# comment\n\n")
+	f.Add("garbage")
+	f.Add(",,,")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		events, err := NewEventLogReader(bytes.NewReader([]byte(data))).ReadAll()
+		if err != nil {
+			return
+		}
+		for i, ev := range events {
+			if ev.Key == "" {
+				t.Fatalf("event %d accepted with empty key", i)
+			}
+			if !ev.Action.Valid() {
+				t.Fatalf("event %d accepted with invalid action %d", i, ev.Action)
+			}
+		}
+	})
+}
+
+// FuzzProfileOpSequence drives the core profile with an arbitrary operation
+// byte string and checks the structural invariants afterwards: one byte per
+// operation, low bit selects add/remove, remaining bits select the object.
+func FuzzProfileOpSequence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{255, 254, 1, 0, 128})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const m = 64
+		p := core.MustNew(m)
+		for _, op := range ops {
+			obj := int(op>>1) % m
+			if op&1 == 0 {
+				if err := p.Add(obj); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := p.Remove(obj); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("invariants violated after %d ops: %v", len(ops), err)
+		}
+	})
+}

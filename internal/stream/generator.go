@@ -1,0 +1,227 @@
+package stream
+
+import (
+	"fmt"
+
+	"sprofile/internal/core"
+)
+
+// Config describes one synthetic log stream in the paper's terms: a space of
+// m object ids, an action coin with P(add) = AddProb, and two object-id
+// distributions, one consulted on "add" and one on "remove".
+type Config struct {
+	// M is the number of distinct object ids (the paper's m).
+	M int
+	// AddProb is the probability that a tuple is an "add"; the paper uses 0.7.
+	AddProb float64
+	// PosPDF draws the object id for "add" tuples.
+	PosPDF Distribution
+	// NegPDF draws the object id for "remove" tuples.
+	NegPDF Distribution
+	// Seed makes the stream reproducible. Two generators with equal configs
+	// and seeds emit identical tuple sequences.
+	Seed uint64
+	// Name labels the stream in benchmark output; optional.
+	Name string
+}
+
+// Validate reports whether the configuration is complete and consistent.
+func (c Config) Validate() error {
+	if c.M <= 0 {
+		return fmt.Errorf("stream: config needs M > 0, got %d", c.M)
+	}
+	if c.AddProb < 0 || c.AddProb > 1 {
+		return fmt.Errorf("stream: AddProb %g out of [0,1]", c.AddProb)
+	}
+	if c.PosPDF == nil || c.NegPDF == nil {
+		return fmt.Errorf("stream: config needs both PosPDF and NegPDF")
+	}
+	if c.PosPDF.M() != c.M {
+		return fmt.Errorf("stream: PosPDF id space %d does not match M=%d", c.PosPDF.M(), c.M)
+	}
+	if c.NegPDF.M() != c.M {
+		return fmt.Errorf("stream: NegPDF id space %d does not match M=%d", c.NegPDF.M(), c.M)
+	}
+	return nil
+}
+
+// Generator produces tuples of a synthetic log stream one at a time. It is a
+// deterministic function of its Config; it is not safe for concurrent use.
+type Generator struct {
+	cfg Config
+
+	actionRNG *RNG
+	posRNG    *RNG
+	negRNG    *RNG
+
+	emitted uint64
+}
+
+// NewGenerator returns a generator for the given configuration.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := NewRNG(cfg.Seed)
+	return &Generator{
+		cfg:       cfg,
+		actionRNG: root.Split(),
+		posRNG:    root.Split(),
+		negRNG:    root.Split(),
+	}, nil
+}
+
+// MustNewGenerator is NewGenerator for callers with a known-good config.
+func MustNewGenerator(cfg Config) *Generator {
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Name returns the stream's label (or a synthesised one if none was set).
+func (g *Generator) Name() string {
+	if g.cfg.Name != "" {
+		return g.cfg.Name
+	}
+	return fmt.Sprintf("stream(m=%d,addProb=%.2f,pos=%s,neg=%s)",
+		g.cfg.M, g.cfg.AddProb, g.cfg.PosPDF.Name(), g.cfg.NegPDF.Name())
+}
+
+// Emitted returns the number of tuples produced so far.
+func (g *Generator) Emitted() uint64 { return g.emitted }
+
+// Next produces the next tuple of the stream.
+func (g *Generator) Next() core.Tuple {
+	g.emitted++
+	if g.actionRNG.Bernoulli(g.cfg.AddProb) {
+		return core.Tuple{Object: g.cfg.PosPDF.Sample(g.posRNG), Action: core.ActionAdd}
+	}
+	return core.Tuple{Object: g.cfg.NegPDF.Sample(g.negRNG), Action: core.ActionRemove}
+}
+
+// Fill overwrites dst with the next len(dst) tuples and returns dst. Using a
+// caller-provided buffer keeps large benchmark sweeps allocation-free.
+func (g *Generator) Fill(dst []core.Tuple) []core.Tuple {
+	for i := range dst {
+		dst[i] = g.Next()
+	}
+	return dst
+}
+
+// Generate materialises the next n tuples of the stream.
+func (g *Generator) Generate(n int) []core.Tuple {
+	if n <= 0 {
+		return nil
+	}
+	return g.Fill(make([]core.Tuple, n))
+}
+
+// Reset rewinds the generator to the beginning of its sequence. Stateful
+// distributions that implement Rewinder are rewound as well.
+func (g *Generator) Reset() {
+	root := NewRNG(g.cfg.Seed)
+	g.actionRNG = root.Split()
+	g.posRNG = root.Split()
+	g.negRNG = root.Split()
+	g.emitted = 0
+	if rw, ok := g.cfg.PosPDF.(Rewinder); ok {
+		rw.Rewind()
+	}
+	if rw, ok := g.cfg.NegPDF.(Rewinder); ok {
+		rw.Rewind()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The paper's three evaluation streams (§3)
+// ---------------------------------------------------------------------------
+
+// DefaultAddProb is the paper's add probability (70% add, 30% remove).
+const DefaultAddProb = 0.7
+
+// Stream1 reproduces the paper's Stream1: both posPDF and negPDF uniform on
+// the id range.
+func Stream1(m int, seed uint64) (*Generator, error) {
+	pos, err := NewUniform(m)
+	if err != nil {
+		return nil, err
+	}
+	neg, err := NewUniform(m)
+	if err != nil {
+		return nil, err
+	}
+	return NewGenerator(Config{
+		M:       m,
+		AddProb: DefaultAddProb,
+		PosPDF:  pos,
+		NegPDF:  neg,
+		Seed:    seed,
+		Name:    "stream1",
+	})
+}
+
+// Stream2 reproduces the paper's Stream2: posPDF normal(µ=2m/3, σ=m/6),
+// negPDF normal(µ=m/3, σ=m/6).
+func Stream2(m int, seed uint64) (*Generator, error) {
+	fm := float64(m)
+	pos, err := NewNormal(m, 2*fm/3, fm/6)
+	if err != nil {
+		return nil, err
+	}
+	neg, err := NewNormal(m, fm/3, fm/6)
+	if err != nil {
+		return nil, err
+	}
+	return NewGenerator(Config{
+		M:       m,
+		AddProb: DefaultAddProb,
+		PosPDF:  pos,
+		NegPDF:  neg,
+		Seed:    seed,
+		Name:    "stream2",
+	})
+}
+
+// Stream3 reproduces the paper's Stream3: posPDF normal(µ=4m/5, σ=m), negPDF
+// lognormal(µ=3m/5, σ=m).
+func Stream3(m int, seed uint64) (*Generator, error) {
+	fm := float64(m)
+	pos, err := NewNormal(m, 4*fm/5, fm)
+	if err != nil {
+		return nil, err
+	}
+	neg, err := NewLogNormal(m, 3*fm/5, fm)
+	if err != nil {
+		return nil, err
+	}
+	return NewGenerator(Config{
+		M:       m,
+		AddProb: DefaultAddProb,
+		PosPDF:  pos,
+		NegPDF:  neg,
+		Seed:    seed,
+		Name:    "stream3",
+	})
+}
+
+// PaperStream builds one of the paper's three streams by index (1, 2 or 3).
+func PaperStream(index, m int, seed uint64) (*Generator, error) {
+	switch index {
+	case 1:
+		return Stream1(m, seed)
+	case 2:
+		return Stream2(m, seed)
+	case 3:
+		return Stream3(m, seed)
+	default:
+		return nil, fmt.Errorf("stream: paper stream index must be 1, 2 or 3, got %d", index)
+	}
+}
+
+// PaperStreamNames lists the labels of the three evaluation streams in order.
+func PaperStreamNames() []string { return []string{"stream1", "stream2", "stream3"} }

@@ -1,0 +1,204 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"sprofile/internal/core"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a, err := Stream1(1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Stream1(1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta := a.Generate(5000)
+	tb := b.Generate(5000)
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("tuple %d differs between identically-seeded generators: %+v vs %+v", i, ta[i], tb[i])
+		}
+	}
+}
+
+func TestGeneratorSeedSensitivity(t *testing.T) {
+	a, _ := Stream1(1000, 1)
+	b, _ := Stream1(1000, 2)
+	ta := a.Generate(1000)
+	tb := b.Generate(1000)
+	same := 0
+	for i := range ta {
+		if ta[i] == tb[i] {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("different seeds produced %d/1000 identical tuples", same)
+	}
+}
+
+func TestGeneratorResetRewinds(t *testing.T) {
+	g, _ := Stream2(500, 7)
+	first := g.Generate(100)
+	g.Reset()
+	second := g.Generate(100)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("tuple %d differs after Reset: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+	if g.Emitted() != 100 {
+		t.Fatalf("Emitted() = %d after reset + 100 tuples, want 100", g.Emitted())
+	}
+}
+
+func TestGeneratorAddFraction(t *testing.T) {
+	for idx := 1; idx <= 3; idx++ {
+		g, err := PaperStream(idx, 10_000, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 100_000
+		adds := 0
+		for i := 0; i < n; i++ {
+			tp := g.Next()
+			if !tp.Action.Valid() {
+				t.Fatalf("stream%d produced invalid action %d", idx, tp.Action)
+			}
+			if tp.Object < 0 || tp.Object >= 10_000 {
+				t.Fatalf("stream%d produced out-of-range object %d", idx, tp.Object)
+			}
+			if tp.Action == core.ActionAdd {
+				adds++
+			}
+		}
+		rate := float64(adds) / n
+		if math.Abs(rate-DefaultAddProb) > 0.01 {
+			t.Fatalf("stream%d add rate %.4f, want ~%.2f", idx, rate, DefaultAddProb)
+		}
+	}
+}
+
+func TestStream2ObjectBias(t *testing.T) {
+	// Stream2 adds around 2m/3 and removes around m/3, so after many tuples
+	// high ids should have higher net frequency than low ids.
+	const m = 3000
+	g, _ := Stream2(m, 5)
+	freqs := make([]int64, m)
+	for i := 0; i < 300_000; i++ {
+		tp := g.Next()
+		freqs[tp.Object] += int64(tp.Action)
+	}
+	var low, high int64
+	for i := 0; i < m/3; i++ {
+		low += freqs[i]
+	}
+	for i := 2 * m / 3; i < m; i++ {
+		high += freqs[i]
+	}
+	if high <= low {
+		t.Fatalf("stream2 bias missing: net frequency high-third %d <= low-third %d", high, low)
+	}
+}
+
+func TestPaperStreamBadIndex(t *testing.T) {
+	for _, idx := range []int{0, 4, -1} {
+		if _, err := PaperStream(idx, 100, 1); err == nil {
+			t.Fatalf("PaperStream(%d) accepted invalid index", idx)
+		}
+	}
+}
+
+func TestPaperStreamNames(t *testing.T) {
+	names := PaperStreamNames()
+	if len(names) != 3 {
+		t.Fatalf("PaperStreamNames() returned %d names, want 3", len(names))
+	}
+	for i, want := range []string{"stream1", "stream2", "stream3"} {
+		if names[i] != want {
+			t.Fatalf("PaperStreamNames()[%d] = %q, want %q", i, names[i], want)
+		}
+		g, err := PaperStream(i+1, 100, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Name() != want {
+			t.Fatalf("PaperStream(%d).Name() = %q, want %q", i+1, g.Name(), want)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	u, _ := NewUniform(10)
+	u20, _ := NewUniform(20)
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"valid", Config{M: 10, AddProb: 0.7, PosPDF: u, NegPDF: u}, true},
+		{"zero m", Config{M: 0, AddProb: 0.7, PosPDF: u, NegPDF: u}, false},
+		{"bad prob", Config{M: 10, AddProb: 1.5, PosPDF: u, NegPDF: u}, false},
+		{"negative prob", Config{M: 10, AddProb: -0.1, PosPDF: u, NegPDF: u}, false},
+		{"nil pos", Config{M: 10, AddProb: 0.7, NegPDF: u}, false},
+		{"nil neg", Config{M: 10, AddProb: 0.7, PosPDF: u}, false},
+		{"mismatched pos", Config{M: 10, AddProb: 0.7, PosPDF: u20, NegPDF: u}, false},
+		{"mismatched neg", Config{M: 10, AddProb: 0.7, PosPDF: u, NegPDF: u20}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.ok && err != nil {
+			t.Fatalf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("%s: validation passed, want error", c.name)
+		}
+	}
+}
+
+func TestGeneratorName(t *testing.T) {
+	g, _ := Stream1(100, 1)
+	if g.Name() != "stream1" {
+		t.Fatalf("Name() = %q, want stream1", g.Name())
+	}
+	u, _ := NewUniform(100)
+	anon := MustNewGenerator(Config{M: 100, AddProb: 0.5, PosPDF: u, NegPDF: u, Seed: 1})
+	if anon.Name() == "" {
+		t.Fatalf("anonymous generator has empty name")
+	}
+}
+
+func TestGeneratorFillMatchesNext(t *testing.T) {
+	a, _ := Stream3(200, 3)
+	b, _ := Stream3(200, 3)
+	buf := make([]core.Tuple, 64)
+	a.Fill(buf)
+	for i := range buf {
+		if got := b.Next(); got != buf[i] {
+			t.Fatalf("Fill tuple %d = %+v, Next = %+v", i, buf[i], got)
+		}
+	}
+}
+
+func TestGeneratorGenerateZero(t *testing.T) {
+	g, _ := Stream1(10, 1)
+	if got := g.Generate(0); got != nil {
+		t.Fatalf("Generate(0) = %v, want nil", got)
+	}
+	if got := g.Generate(-5); got != nil {
+		t.Fatalf("Generate(-5) = %v, want nil", got)
+	}
+}
+
+func TestMustNewGeneratorPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustNewGenerator did not panic on invalid config")
+		}
+	}()
+	MustNewGenerator(Config{})
+}

@@ -1,0 +1,174 @@
+package stream
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** seeded through splitmix64). It is intentionally independent
+// of math/rand so that workloads are bit-identical across Go releases, which
+// keeps EXPERIMENTS.md reproducible.
+//
+// An RNG is not safe for concurrent use; give each goroutine its own
+// (use Split to derive independent streams).
+type RNG struct {
+	s [4]uint64
+
+	// cached second normal variate from the last Box-Muller draw
+	haveGauss bool
+	gauss     float64
+}
+
+// NewRNG returns a generator seeded from seed. Any seed, including zero, is
+// valid; distinct seeds yield statistically independent sequences.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed re-initialises the generator state from seed.
+func (r *RNG) Seed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s[0] = next()
+	r.s[1] = next()
+	r.s[2] = next()
+	r.s[3] = next()
+	r.haveGauss = false
+}
+
+// Split derives a new generator whose sequence is independent of r's
+// continued output. It is used to give the posPDF and negPDF their own
+// sub-streams so that changing one distribution does not perturb the other.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xa3ec647659359acd)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stream: Intn called with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int63n returns a uniformly distributed int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("stream: Int63n called with non-positive n")
+	}
+	return int64(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly distributed integer in [0, n) using Lemire's
+// nearly-divisionless bounded rejection method.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("stream: Uint64n called with zero bound")
+	}
+	// Lemire's bounded rejection method on the high 64 bits of the 128-bit
+	// product keeps the result unbiased without a modulo in the common case.
+	v := r.Uint64()
+	hi, lo := bits.Mul64(v, n)
+	if lo < n {
+		threshold := -n % n
+		for lo < threshold {
+			v = r.Uint64()
+			hi, lo = bits.Mul64(v, n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (mean 0, stddev 1) using the
+// Box-Muller transform with caching of the second variate.
+func (r *RNG) NormFloat64() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	factor := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * factor
+	r.haveGauss = true
+	return u * factor
+}
+
+// ExpFloat64 returns an exponentially distributed variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n) (Fisher-Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomises the order of n elements using the provided swap
+// function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,219 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: %d != %d for identical seeds", i, got, want)
+		}
+	}
+}
+
+func TestRNGDistinctSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("distinct seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	child := parent.Split()
+	// The child must not merely mirror the parent's continued output.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream mirrors parent in %d/100 draws", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1_000_000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGUint64nSmallBoundCoversAllValues(t *testing.T) {
+	r := NewRNG(11)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		seen[r.Uint64n(4)] = true
+	}
+	for v := uint64(0); v < 4; v++ {
+		if !seen[v] {
+			t.Fatalf("value %d never drawn from Uint64n(4) in 1000 draws", v)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10_000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGBernoulliExtremes(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatalf("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatalf("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestRNGBernoulliFrequency(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200_000
+	const p = 0.7
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-p) > 0.01 {
+		t.Fatalf("Bernoulli(%.1f) empirical rate %.4f, want within 0.01", p, got)
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(17)
+	const n = 200_000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %.4f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %.4f, want ~1", variance)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(19)
+	const n = 200_000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64() = %g negative", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean %.4f, want ~1", mean)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(23)
+	for _, n := range []int{0, 1, 2, 10, 257} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRNGShufflePreservesMultiset(t *testing.T) {
+	r := NewRNG(29)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed element multiset: sum %d -> %d", sum, got)
+	}
+}
+
+func TestRNGUint64nUnbiasedProperty(t *testing.T) {
+	// Property: for any seed and bound, draws stay in range.
+	f := func(seed uint64, bound uint16) bool {
+		n := uint64(bound)%1000 + 1
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			if r.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGSeedResetsSequence(t *testing.T) {
+	r := NewRNG(101)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(101)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("after re-seed, draw %d = %d, want %d", i, got, first[i])
+		}
+	}
+}

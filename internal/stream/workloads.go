@@ -1,0 +1,350 @@
+package stream
+
+import (
+	"fmt"
+
+	"sprofile/internal/core"
+)
+
+// Workload is a named tuple source used by the benchmark harness and the
+// ablation studies. Generator satisfies it; the phase-based workloads below
+// (burst, sawtooth, drain) provide richer temporal structure than a single
+// stationary Config can express.
+type Workload interface {
+	// Next returns the next tuple of the workload.
+	Next() core.Tuple
+	// Name labels the workload in benchmark output.
+	Name() string
+	// M returns the number of distinct object ids.
+	M() int
+	// Reset rewinds the workload to its first tuple.
+	Reset()
+}
+
+// Compile-time checks.
+var (
+	_ Workload = (*Generator)(nil)
+	_ Workload = (*BurstWorkload)(nil)
+	_ Workload = (*SawtoothWorkload)(nil)
+	_ Workload = (*DrainWorkload)(nil)
+	_ Workload = (*ReplayWorkload)(nil)
+)
+
+// M implements Workload for Generator.
+func (g *Generator) M() int { return g.cfg.M }
+
+// ---------------------------------------------------------------------------
+// Burst
+// ---------------------------------------------------------------------------
+
+// BurstWorkload alternates between a calm phase (uniform traffic over the
+// whole id space) and a burst phase in which a small hot set receives almost
+// all the adds — a flash crowd. Burst phases create a tall, thin spike in the
+// sorted frequency array, which is the most lopsided block shape S-Profile
+// encounters in practice.
+type BurstWorkload struct {
+	m           int
+	burstEvery  int
+	burstLength int
+	seed        uint64
+
+	calm  *Generator
+	burst *Generator
+	pos   int
+}
+
+// NewBurstWorkload returns a burst workload over m ids: after every
+// burstEvery calm tuples, burstLength bursty tuples follow.
+func NewBurstWorkload(m, burstEvery, burstLength int, seed uint64) (*BurstWorkload, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("stream: burst workload needs m > 0, got %d", m)
+	}
+	if burstEvery <= 0 || burstLength <= 0 {
+		return nil, fmt.Errorf("stream: burst workload needs positive phase lengths, got %d/%d",
+			burstEvery, burstLength)
+	}
+	w := &BurstWorkload{m: m, burstEvery: burstEvery, burstLength: burstLength, seed: seed}
+	if err := w.build(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *BurstWorkload) build() error {
+	calm, err := Stream1(w.m, w.seed)
+	if err != nil {
+		return err
+	}
+	hot := w.m / 100
+	if hot < 1 {
+		hot = 1
+	}
+	hotDist, err := NewHotSet(w.m, hot, 0.95)
+	if err != nil {
+		return err
+	}
+	negDist, err := NewUniform(w.m)
+	if err != nil {
+		return err
+	}
+	burst, err := NewGenerator(Config{
+		M:       w.m,
+		AddProb: 0.9,
+		PosPDF:  hotDist,
+		NegPDF:  negDist,
+		Seed:    w.seed + 1,
+		Name:    "burst-phase",
+	})
+	if err != nil {
+		return err
+	}
+	w.calm, w.burst = calm, burst
+	w.pos = 0
+	return nil
+}
+
+// Next implements Workload.
+func (w *BurstWorkload) Next() core.Tuple {
+	period := w.burstEvery + w.burstLength
+	phase := w.pos % period
+	w.pos++
+	if phase < w.burstEvery {
+		return w.calm.Next()
+	}
+	return w.burst.Next()
+}
+
+// Name implements Workload.
+func (w *BurstWorkload) Name() string {
+	return fmt.Sprintf("burst(every=%d,len=%d)", w.burstEvery, w.burstLength)
+}
+
+// M implements Workload.
+func (w *BurstWorkload) M() int { return w.m }
+
+// Reset implements Workload.
+func (w *BurstWorkload) Reset() {
+	// build cannot fail once it has succeeded in the constructor.
+	_ = w.build()
+}
+
+// ---------------------------------------------------------------------------
+// Sawtooth
+// ---------------------------------------------------------------------------
+
+// SawtoothWorkload alternates between an all-add phase and an all-remove
+// phase over a uniformly chosen id. Frequencies rise together and fall
+// together, keeping the frequency range narrow and forcing the block set
+// through constant merge/split churn — the structural stress test of the
+// block representation.
+type SawtoothWorkload struct {
+	m      int
+	period int
+	seed   uint64
+
+	rng *RNG
+	pos int
+}
+
+// NewSawtoothWorkload returns a sawtooth workload over m ids: period adds
+// followed by period removes, repeating.
+func NewSawtoothWorkload(m, period int, seed uint64) (*SawtoothWorkload, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("stream: sawtooth workload needs m > 0, got %d", m)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("stream: sawtooth workload needs period > 0, got %d", period)
+	}
+	return &SawtoothWorkload{m: m, period: period, seed: seed, rng: NewRNG(seed)}, nil
+}
+
+// Next implements Workload.
+func (w *SawtoothWorkload) Next() core.Tuple {
+	phase := w.pos % (2 * w.period)
+	w.pos++
+	obj := w.rng.Intn(w.m)
+	if phase < w.period {
+		return core.Tuple{Object: obj, Action: core.ActionAdd}
+	}
+	return core.Tuple{Object: obj, Action: core.ActionRemove}
+}
+
+// Name implements Workload.
+func (w *SawtoothWorkload) Name() string { return fmt.Sprintf("sawtooth(period=%d)", w.period) }
+
+// M implements Workload.
+func (w *SawtoothWorkload) M() int { return w.m }
+
+// Reset implements Workload.
+func (w *SawtoothWorkload) Reset() {
+	w.rng = NewRNG(w.seed)
+	w.pos = 0
+}
+
+// ---------------------------------------------------------------------------
+// Drain
+// ---------------------------------------------------------------------------
+
+// DrainWorkload first adds every id round-robin for warmup tuples, then
+// removes ids round-robin forever. With strict non-negative profiles this is
+// the workload that exercises the error path; with the default (paper)
+// semantics it drives frequencies negative, exercising the part of the
+// frequency domain that heap- and tree-based baselines rarely see.
+type DrainWorkload struct {
+	m      int
+	warmup int
+
+	pos int
+}
+
+// NewDrainWorkload returns a drain workload: warmup adds, then removes only.
+func NewDrainWorkload(m, warmup int) (*DrainWorkload, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("stream: drain workload needs m > 0, got %d", m)
+	}
+	if warmup < 0 {
+		return nil, fmt.Errorf("stream: drain workload needs warmup >= 0, got %d", warmup)
+	}
+	return &DrainWorkload{m: m, warmup: warmup}, nil
+}
+
+// Next implements Workload.
+func (w *DrainWorkload) Next() core.Tuple {
+	obj := w.pos % w.m
+	action := core.ActionRemove
+	if w.pos < w.warmup {
+		action = core.ActionAdd
+	}
+	w.pos++
+	return core.Tuple{Object: obj, Action: action}
+}
+
+// Name implements Workload.
+func (w *DrainWorkload) Name() string { return fmt.Sprintf("drain(warmup=%d)", w.warmup) }
+
+// M implements Workload.
+func (w *DrainWorkload) M() int { return w.m }
+
+// Reset implements Workload.
+func (w *DrainWorkload) Reset() { w.pos = 0 }
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+// ReplayWorkload cycles over a pre-materialised tuple slice. It adapts
+// recorded or decoded streams (see the codecs in this package) to the
+// Workload interface, and lets benchmarks exclude generation cost from the
+// measured loop.
+type ReplayWorkload struct {
+	name   string
+	m      int
+	tuples []core.Tuple
+	pos    int
+}
+
+// NewReplayWorkload wraps tuples as a workload over m ids. The slice is not
+// copied; callers must not mutate it while the workload is in use.
+func NewReplayWorkload(name string, m int, tuples []core.Tuple) (*ReplayWorkload, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("stream: replay workload needs m > 0, got %d", m)
+	}
+	if len(tuples) == 0 {
+		return nil, fmt.Errorf("stream: replay workload needs at least one tuple")
+	}
+	for i, t := range tuples {
+		if t.Object < 0 || t.Object >= m {
+			return nil, fmt.Errorf("stream: replay tuple %d references object %d outside [0,%d)", i, t.Object, m)
+		}
+		if !t.Action.Valid() {
+			return nil, fmt.Errorf("stream: replay tuple %d has invalid action %d", i, t.Action)
+		}
+	}
+	return &ReplayWorkload{name: name, m: m, tuples: tuples}, nil
+}
+
+// Next implements Workload.
+func (w *ReplayWorkload) Next() core.Tuple {
+	t := w.tuples[w.pos]
+	w.pos++
+	if w.pos == len(w.tuples) {
+		w.pos = 0
+	}
+	return t
+}
+
+// Name implements Workload.
+func (w *ReplayWorkload) Name() string { return w.name }
+
+// M implements Workload.
+func (w *ReplayWorkload) M() int { return w.m }
+
+// Reset implements Workload.
+func (w *ReplayWorkload) Reset() { w.pos = 0 }
+
+// Len returns the number of tuples before the replay wraps around.
+func (w *ReplayWorkload) Len() int { return len(w.tuples) }
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+// Take materialises the next n tuples of any workload.
+func Take(w Workload, n int) []core.Tuple {
+	out := make([]core.Tuple, n)
+	for i := range out {
+		out[i] = w.Next()
+	}
+	return out
+}
+
+// NamedWorkload builds one of the named workloads used by the
+// workload-sensitivity ablation: "stream1", "stream2", "stream3", "zipf",
+// "burst", "sawtooth", "drain", "roundrobin".
+func NamedWorkload(name string, m int, seed uint64) (Workload, error) {
+	switch name {
+	case "stream1":
+		return Stream1(m, seed)
+	case "stream2":
+		return Stream2(m, seed)
+	case "stream3":
+		return Stream3(m, seed)
+	case "zipf":
+		pos, err := NewZipf(m, 1.1)
+		if err != nil {
+			return nil, err
+		}
+		neg, err := NewZipf(m, 1.1)
+		if err != nil {
+			return nil, err
+		}
+		return NewGenerator(Config{
+			M: m, AddProb: DefaultAddProb, PosPDF: pos, NegPDF: neg, Seed: seed, Name: "zipf",
+		})
+	case "burst":
+		return NewBurstWorkload(m, 10_000, 2_000, seed)
+	case "sawtooth":
+		return NewSawtoothWorkload(m, 1_000, seed)
+	case "drain":
+		return NewDrainWorkload(m, m)
+	case "roundrobin":
+		pos, err := NewRoundRobin(m)
+		if err != nil {
+			return nil, err
+		}
+		neg, err := NewRoundRobin(m)
+		if err != nil {
+			return nil, err
+		}
+		return NewGenerator(Config{
+			M: m, AddProb: DefaultAddProb, PosPDF: pos, NegPDF: neg, Seed: seed, Name: "roundrobin",
+		})
+	default:
+		return nil, fmt.Errorf("stream: unknown workload %q", name)
+	}
+}
+
+// WorkloadNames lists the names accepted by NamedWorkload.
+func WorkloadNames() []string {
+	return []string{"stream1", "stream2", "stream3", "zipf", "burst", "sawtooth", "drain", "roundrobin"}
+}

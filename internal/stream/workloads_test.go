@@ -1,0 +1,215 @@
+package stream
+
+import (
+	"testing"
+
+	"sprofile/internal/core"
+)
+
+func checkWorkloadBasics(t *testing.T, w Workload, n int) []core.Tuple {
+	t.Helper()
+	m := w.M()
+	if m <= 0 {
+		t.Fatalf("%s: M() = %d", w.Name(), m)
+	}
+	tuples := make([]core.Tuple, n)
+	for i := range tuples {
+		tp := w.Next()
+		if tp.Object < 0 || tp.Object >= m {
+			t.Fatalf("%s: tuple %d object %d outside [0,%d)", w.Name(), i, tp.Object, m)
+		}
+		if !tp.Action.Valid() {
+			t.Fatalf("%s: tuple %d invalid action %d", w.Name(), i, tp.Action)
+		}
+		tuples[i] = tp
+	}
+	return tuples
+}
+
+func TestNamedWorkloadsProduceValidTuples(t *testing.T) {
+	for _, name := range WorkloadNames() {
+		w, err := NamedWorkload(name, 500, 42)
+		if err != nil {
+			t.Fatalf("NamedWorkload(%q): %v", name, err)
+		}
+		if w.Name() == "" {
+			t.Fatalf("workload %q has empty Name()", name)
+		}
+		checkWorkloadBasics(t, w, 5000)
+	}
+}
+
+func TestNamedWorkloadUnknown(t *testing.T) {
+	if _, err := NamedWorkload("nope", 100, 1); err == nil {
+		t.Fatalf("NamedWorkload accepted unknown name")
+	}
+}
+
+func TestNamedWorkloadsResetReproduce(t *testing.T) {
+	for _, name := range WorkloadNames() {
+		w, err := NamedWorkload(name, 300, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := Take(w, 1000)
+		w.Reset()
+		second := Take(w, 1000)
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("workload %q: tuple %d differs after Reset", name, i)
+			}
+		}
+	}
+}
+
+func TestBurstWorkloadConcentratesDuringBursts(t *testing.T) {
+	w, err := NewBurstWorkload(10_000, 1000, 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip the calm phase, then sample the burst phase.
+	for i := 0; i < 1000; i++ {
+		w.Next()
+	}
+	hot := 0
+	const burstSamples = 1000
+	for i := 0; i < burstSamples; i++ {
+		tp := w.Next()
+		if tp.Action == core.ActionAdd && tp.Object < 100 {
+			hot++
+		}
+	}
+	if hot < burstSamples/2 {
+		t.Fatalf("burst phase sent only %d/%d adds to the hot set", hot, burstSamples)
+	}
+}
+
+func TestBurstWorkloadRejectsBadParams(t *testing.T) {
+	if _, err := NewBurstWorkload(0, 10, 10, 1); err == nil {
+		t.Fatalf("accepted m=0")
+	}
+	if _, err := NewBurstWorkload(10, 0, 10, 1); err == nil {
+		t.Fatalf("accepted burstEvery=0")
+	}
+	if _, err := NewBurstWorkload(10, 10, 0, 1); err == nil {
+		t.Fatalf("accepted burstLength=0")
+	}
+}
+
+func TestSawtoothAlternatesPhases(t *testing.T) {
+	w, err := NewSawtoothWorkload(100, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if tp := w.Next(); tp.Action != core.ActionAdd {
+			t.Fatalf("tuple %d in first phase is %v, want add", i, tp.Action)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if tp := w.Next(); tp.Action != core.ActionRemove {
+			t.Fatalf("tuple %d in second phase is %v, want remove", i, tp.Action)
+		}
+	}
+	// Third phase wraps around to adds again.
+	if tp := w.Next(); tp.Action != core.ActionAdd {
+		t.Fatalf("phase did not wrap back to add")
+	}
+}
+
+func TestSawtoothRejectsBadParams(t *testing.T) {
+	if _, err := NewSawtoothWorkload(0, 10, 1); err == nil {
+		t.Fatalf("accepted m=0")
+	}
+	if _, err := NewSawtoothWorkload(10, 0, 1); err == nil {
+		t.Fatalf("accepted period=0")
+	}
+}
+
+func TestDrainWorkloadPhases(t *testing.T) {
+	w, err := NewDrainWorkload(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if tp := w.Next(); tp.Action != core.ActionAdd {
+			t.Fatalf("warmup tuple %d is %v, want add", i, tp.Action)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if tp := w.Next(); tp.Action != core.ActionRemove {
+			t.Fatalf("drain tuple %d is %v, want remove", i, tp.Action)
+		}
+	}
+}
+
+func TestDrainWorkloadNetZeroAfterBalancedRun(t *testing.T) {
+	const m = 8
+	w, _ := NewDrainWorkload(m, m)
+	p := core.MustNew(m)
+	for i := 0; i < 2*m; i++ {
+		if err := p.Apply(w.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Total() != 0 {
+		t.Fatalf("after m adds and m removes round-robin, total = %d, want 0", p.Total())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainWorkloadRejectsBadParams(t *testing.T) {
+	if _, err := NewDrainWorkload(0, 5); err == nil {
+		t.Fatalf("accepted m=0")
+	}
+	if _, err := NewDrainWorkload(5, -1); err == nil {
+		t.Fatalf("accepted negative warmup")
+	}
+}
+
+func TestReplayWorkloadCycles(t *testing.T) {
+	src := []core.Tuple{
+		{Object: 0, Action: core.ActionAdd},
+		{Object: 1, Action: core.ActionAdd},
+		{Object: 0, Action: core.ActionRemove},
+	}
+	w, err := NewReplayWorkload("trace", 2, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", w.Len())
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		for i, want := range src {
+			if got := w.Next(); got != want {
+				t.Fatalf("cycle %d tuple %d = %+v, want %+v", cycle, i, got, want)
+			}
+		}
+	}
+}
+
+func TestReplayWorkloadValidatesInput(t *testing.T) {
+	good := []core.Tuple{{Object: 0, Action: core.ActionAdd}}
+	if _, err := NewReplayWorkload("t", 0, good); err == nil {
+		t.Fatalf("accepted m=0")
+	}
+	if _, err := NewReplayWorkload("t", 1, nil); err == nil {
+		t.Fatalf("accepted empty trace")
+	}
+	if _, err := NewReplayWorkload("t", 1, []core.Tuple{{Object: 5, Action: core.ActionAdd}}); err == nil {
+		t.Fatalf("accepted out-of-range object")
+	}
+	if _, err := NewReplayWorkload("t", 1, []core.Tuple{{Object: 0, Action: 0}}); err == nil {
+		t.Fatalf("accepted invalid action")
+	}
+}
+
+func TestTakeLength(t *testing.T) {
+	g, _ := Stream1(50, 1)
+	if got := len(Take(g, 123)); got != 123 {
+		t.Fatalf("Take returned %d tuples, want 123", got)
+	}
+}

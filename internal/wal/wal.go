@@ -1,0 +1,230 @@
+// Package wal implements a minimal write-ahead log for keyed profiling
+// events, so that an ingest service built on S-Profile (cmd/sprofiled) can
+// recover its profile after a restart by replaying the log.
+//
+// The profile itself is an in-memory structure; what makes it durable is the
+// stream that built it. Because every event is two small fields, the log
+// format is a length-prefixed binary record stream:
+//
+//	magic   [4]byte  "SWL1"                       (file header)
+//	record  repeated:
+//	          keyLen  uvarint
+//	          key     keyLen bytes (UTF-8)
+//	          action  1 byte: 0 = add, 1 = remove
+//
+// Records are buffered and flushed either explicitly (Sync) or every
+// SyncEvery appends. A torn final record — the normal result of a crash mid
+// write — is detected and ignored during replay; everything before it is
+// recovered.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"sprofile/internal/core"
+)
+
+// ErrCorrupt is returned by Replay when the log contains an undecodable
+// record that is not a clean truncation at the tail.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+var fileMagic = [4]byte{'S', 'W', 'L', '1'}
+
+// Record is one durable event: a string object key and an action.
+type Record struct {
+	Key    string
+	Action core.Action
+}
+
+// Options configures a Log.
+type Options struct {
+	// SyncEvery flushes and fsyncs after this many appends; zero means only
+	// explicit Sync/Close calls flush to stable storage.
+	SyncEvery int
+}
+
+// Log is an append-only write-ahead log backed by a single file. It is not
+// safe for concurrent use; serialise access in the caller (the HTTP server
+// already holds its own mutex around profile updates).
+type Log struct {
+	f        *os.File
+	w        *bufio.Writer
+	opts     Options
+	appended uint64
+	sinceSyn int
+	closed   bool
+}
+
+// Open opens (or creates) the log at path for appending. Existing contents
+// are preserved; call Replay first to rebuild state from them.
+func Open(path string, opts Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size() == 0 {
+		if _, err := f.Write(fileMagic[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else {
+		var magic [4]byte
+		if _, err := io.ReadFull(f, magic[:]); err != nil || magic != fileMagic {
+			f.Close()
+			return nil, fmt.Errorf("%w: bad file header", ErrCorrupt)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Log{f: f, w: bufio.NewWriter(f), opts: opts}, nil
+}
+
+// Append adds one record to the log.
+func (l *Log) Append(rec Record) error {
+	if l.closed {
+		return ErrClosed
+	}
+	if rec.Key == "" {
+		return errors.New("wal: empty key")
+	}
+	if !rec.Action.Valid() {
+		return fmt.Errorf("wal: invalid action %d", rec.Action)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(rec.Key)))
+	if _, err := l.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	if _, err := l.w.WriteString(rec.Key); err != nil {
+		return err
+	}
+	actionByte := byte(0)
+	if rec.Action == core.ActionRemove {
+		actionByte = 1
+	}
+	if err := l.w.WriteByte(actionByte); err != nil {
+		return err
+	}
+	l.appended++
+	l.sinceSyn++
+	if l.opts.SyncEvery > 0 && l.sinceSyn >= l.opts.SyncEvery {
+		return l.Sync()
+	}
+	return nil
+}
+
+// Appended returns the number of records appended through this Log handle.
+func (l *Log) Appended() uint64 { return l.appended }
+
+// Sync flushes buffered records and fsyncs the file.
+func (l *Log) Sync() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	l.sinceSyn = 0
+	return l.f.Sync()
+}
+
+// Close flushes, fsyncs and closes the log file.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	if err := l.Sync(); err != nil {
+		l.closed = true
+		l.f.Close()
+		return err
+	}
+	l.closed = true
+	return l.f.Close()
+}
+
+// Replay reads every record of the log at path, invoking fn for each. A
+// truncated final record (crash mid append) stops the replay cleanly; any
+// other malformed data returns ErrCorrupt. It returns the number of records
+// replayed. A missing file replays zero records.
+func Replay(path string, fn func(Record) error) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	br := bufio.NewReader(f)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, fmt.Errorf("%w: missing file header", ErrCorrupt)
+		}
+		return 0, err
+	}
+	if magic != fileMagic {
+		return 0, fmt.Errorf("%w: bad file header", ErrCorrupt)
+	}
+
+	replayed := 0
+	for {
+		keyLen, err := binary.ReadUvarint(br)
+		if errors.Is(err, io.EOF) {
+			return replayed, nil
+		}
+		if err != nil {
+			// A varint cut short by a crash reads as unexpected EOF.
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return replayed, nil
+			}
+			return replayed, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if keyLen == 0 || keyLen > 1<<20 {
+			return replayed, fmt.Errorf("%w: key length %d", ErrCorrupt, keyLen)
+		}
+		key := make([]byte, keyLen)
+		if _, err := io.ReadFull(br, key); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return replayed, nil // torn record at the tail
+			}
+			return replayed, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		actionByte, err := br.ReadByte()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return replayed, nil // torn record at the tail
+			}
+			return replayed, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		var action core.Action
+		switch actionByte {
+		case 0:
+			action = core.ActionAdd
+		case 1:
+			action = core.ActionRemove
+		default:
+			return replayed, fmt.Errorf("%w: action byte %d", ErrCorrupt, actionByte)
+		}
+		if err := fn(Record{Key: string(key), Action: action}); err != nil {
+			return replayed, err
+		}
+		replayed++
+	}
+}

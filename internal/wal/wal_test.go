@@ -1,0 +1,252 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sprofile/internal/core"
+)
+
+func tempLogPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "events.wal")
+}
+
+func TestAppendAndReplay(t *testing.T) {
+	path := tempLogPath(t)
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := []Record{
+		{Key: "video-1", Action: core.ActionAdd},
+		{Key: "video-1", Action: core.ActionAdd},
+		{Key: "user:alice", Action: core.ActionRemove},
+		{Key: "video-2", Action: core.ActionAdd},
+	}
+	for _, r := range records {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Appended() != uint64(len(records)) {
+		t.Fatalf("Appended() = %d", l.Appended())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed []Record
+	n, err := Replay(path, func(r Record) error {
+		replayed = append(replayed, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(records) || len(replayed) != len(records) {
+		t.Fatalf("replayed %d records, want %d", n, len(records))
+	}
+	for i := range records {
+		if replayed[i] != records[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, replayed[i], records[i])
+		}
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	n, err := Replay(filepath.Join(t.TempDir(), "absent.wal"), func(Record) error { return nil })
+	if err != nil || n != 0 {
+		t.Fatalf("Replay of missing file = %d, %v", n, err)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	l, err := Open(tempLogPath(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(Record{Key: "", Action: core.ActionAdd}); err == nil {
+		t.Fatalf("accepted empty key")
+	}
+	if err := l.Append(Record{Key: "x", Action: 0}); err == nil {
+		t.Fatalf("accepted invalid action")
+	}
+}
+
+func TestClosedLogRejectsOperations(t *testing.T) {
+	l, err := Open(tempLogPath(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Key: "x", Action: core.ActionAdd}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append on closed log: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync on closed log: %v", err)
+	}
+	// Closing twice is fine.
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestReopenAppendsAfterExistingRecords(t *testing.T) {
+	path := tempLogPath(t)
+	l, _ := Open(path, Options{})
+	l.Append(Record{Key: "a", Action: core.ActionAdd})
+	l.Close()
+
+	l2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Append(Record{Key: "b", Action: core.ActionRemove})
+	l2.Close()
+
+	var keys []string
+	n, err := Replay(path, func(r Record) error {
+		keys = append(keys, r.Key)
+		return nil
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("replayed %d, %v", n, err)
+	}
+	if keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestTornTailIsIgnored(t *testing.T) {
+	path := tempLogPath(t)
+	l, _ := Open(path, Options{})
+	l.Append(Record{Key: "complete-1", Action: core.ActionAdd})
+	l.Append(Record{Key: "complete-2", Action: core.ActionRemove})
+	l.Close()
+
+	// Simulate a crash mid write: append a record manually and cut it short.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// keyLen=10 but only 3 bytes of key follow, and no action byte.
+	if _, err := f.Write([]byte{10, 'c', 'u', 't'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var keys []string
+	n, err := Replay(path, func(r Record) error {
+		keys = append(keys, r.Key)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("torn tail treated as corruption: %v", err)
+	}
+	if n != 2 || keys[0] != "complete-1" || keys[1] != "complete-2" {
+		t.Fatalf("replayed %d records %v", n, keys)
+	}
+}
+
+func TestCorruptHeaderAndRecords(t *testing.T) {
+	dir := t.TempDir()
+
+	badHeader := filepath.Join(dir, "badheader.wal")
+	os.WriteFile(badHeader, []byte("NOPE"), 0o644)
+	if _, err := Replay(badHeader, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad header error %v", err)
+	}
+
+	truncatedHeader := filepath.Join(dir, "short.wal")
+	os.WriteFile(truncatedHeader, []byte("SW"), 0o644)
+	if _, err := Replay(truncatedHeader, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short header error %v", err)
+	}
+
+	// A record with an absurd key length in the middle is corruption, not a
+	// clean truncation.
+	badRecord := filepath.Join(dir, "badrecord.wal")
+	l, _ := Open(badRecord, Options{})
+	l.Append(Record{Key: "fine", Action: core.ActionAdd})
+	l.Close()
+	f, _ := os.OpenFile(badRecord, os.O_APPEND|os.O_WRONLY, 0o644)
+	// keyLen uvarint = 0 (invalid), followed by junk so it is not EOF.
+	f.Write([]byte{0, 'x', 'y', 'z', 0})
+	f.Close()
+	n, err := Replay(badRecord, func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero key length error %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d records before corruption, want 1", n)
+	}
+}
+
+func TestReplayCallbackErrorStops(t *testing.T) {
+	path := tempLogPath(t)
+	l, _ := Open(path, Options{})
+	l.Append(Record{Key: "a", Action: core.ActionAdd})
+	l.Append(Record{Key: "b", Action: core.ActionAdd})
+	l.Close()
+
+	sentinel := errors.New("stop")
+	n, err := Replay(path, func(r Record) error {
+		if r.Key == "b" {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || n != 1 {
+		t.Fatalf("Replay = %d, %v", n, err)
+	}
+}
+
+func TestSyncEvery(t *testing.T) {
+	path := tempLogPath(t)
+	l, err := Open(path, Options{SyncEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two appends trigger an automatic sync; a crash (no Close) must still
+	// leave both records durable on disk.
+	l.Append(Record{Key: "a", Action: core.ActionAdd})
+	l.Append(Record{Key: "b", Action: core.ActionAdd})
+	// Do not close; replay from the same path.
+	n, err := Replay(path, func(Record) error { return nil })
+	if err != nil || n != 2 {
+		t.Fatalf("replayed %d, %v after auto-sync", n, err)
+	}
+	l.Close()
+}
+
+func TestReplayRebuildsProfileState(t *testing.T) {
+	path := tempLogPath(t)
+	l, _ := Open(path, Options{})
+	events := []Record{
+		{Key: "x", Action: core.ActionAdd},
+		{Key: "x", Action: core.ActionAdd},
+		{Key: "y", Action: core.ActionAdd},
+		{Key: "x", Action: core.ActionRemove},
+	}
+	for _, e := range events {
+		l.Append(e)
+	}
+	l.Close()
+
+	counts := map[string]int{}
+	if _, err := Replay(path, func(r Record) error {
+		counts[r.Key] += int(r.Action)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if counts["x"] != 1 || counts["y"] != 1 {
+		t.Fatalf("rebuilt counts = %v", counts)
+	}
+}

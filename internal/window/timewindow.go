@@ -1,0 +1,172 @@
+package window
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sprofile/internal/core"
+	"sprofile/internal/profiler"
+)
+
+// ErrBadDuration is returned by NewTime when the window length is not
+// positive.
+var ErrBadDuration = errors.New("window: duration must be positive")
+
+// ErrTimeRegression is returned by PushAt when a tuple's timestamp is older
+// than the newest timestamp already pushed; the time window requires
+// monotonically non-decreasing event times.
+var ErrTimeRegression = errors.New("window: event timestamps must be non-decreasing")
+
+// TimeWindow maintains a duration-based sliding window over a log stream: the
+// wrapped profiler always reflects exactly the tuples whose timestamps lie in
+// (now - span, now], where "now" is the timestamp of the most recent push (or
+// an explicit AdvanceTo). Expiry applies the opposite action, as in §2.3 of
+// the paper, so the amortised cost per push stays O(1): every tuple is
+// expired at most once.
+//
+// A TimeWindow is not safe for concurrent use.
+type TimeWindow struct {
+	p    profiler.Profiler
+	span time.Duration
+
+	// entries is a growable circular buffer ordered by timestamp.
+	entries []timedTuple
+	head    int
+	count   int
+
+	now     time.Time
+	haveNow bool
+
+	pushed  uint64
+	expired uint64
+}
+
+type timedTuple struct {
+	tuple core.Tuple
+	at    time.Time
+}
+
+// NewTime returns a sliding window of the given time span over profiler p.
+func NewTime(p profiler.Profiler, span time.Duration) (*TimeWindow, error) {
+	if p == nil {
+		return nil, errors.New("window: nil profiler")
+	}
+	if span <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadDuration, span)
+	}
+	return &TimeWindow{p: p, span: span, entries: make([]timedTuple, 8)}, nil
+}
+
+// MustNewTime is NewTime for callers with known-good arguments; it panics on
+// error.
+func MustNewTime(p profiler.Profiler, span time.Duration) *TimeWindow {
+	w, err := NewTime(p, span)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Profiler returns the wrapped profiler for queries; callers must not update
+// it directly.
+func (w *TimeWindow) Profiler() profiler.Profiler { return w.p }
+
+// Span returns the window length.
+func (w *TimeWindow) Span() time.Duration { return w.span }
+
+// Len returns the number of tuples currently inside the window.
+func (w *TimeWindow) Len() int { return w.count }
+
+// Stats returns how many tuples have been pushed and how many have expired.
+func (w *TimeWindow) Stats() (pushed, expired uint64) { return w.pushed, w.expired }
+
+// Now returns the window's current logical time (the newest timestamp seen).
+func (w *TimeWindow) Now() (time.Time, bool) { return w.now, w.haveNow }
+
+// PushAt applies tuple t stamped with the given event time. Timestamps must
+// be non-decreasing; out-of-order events are rejected with ErrTimeRegression
+// so the caller can decide how to handle them (drop, clamp, or buffer).
+func (w *TimeWindow) PushAt(t core.Tuple, at time.Time) error {
+	if !t.Action.Valid() {
+		return fmt.Errorf("window: invalid action %d", t.Action)
+	}
+	if w.haveNow && at.Before(w.now) {
+		return fmt.Errorf("%w: %v is before %v", ErrTimeRegression, at, w.now)
+	}
+	// Expire first so the profile never momentarily holds both an outdated
+	// tuple and the new one.
+	if err := w.expireBefore(at.Add(-w.span)); err != nil {
+		return err
+	}
+	if err := profiler.Apply(w.p, t); err != nil {
+		return err
+	}
+	w.append(timedTuple{tuple: t, at: at})
+	w.now = at
+	w.haveNow = true
+	w.pushed++
+	return nil
+}
+
+// Push applies tuple t stamped with the current wall-clock time; prefer
+// PushAt in tests and replay pipelines.
+func (w *TimeWindow) Push(t core.Tuple) error { return w.PushAt(t, time.Now()) }
+
+// AdvanceTo moves the window's logical time forward without adding a tuple,
+// expiring everything that falls out of the span. Use it on idle streams so
+// queries do not keep counting stale events.
+func (w *TimeWindow) AdvanceTo(now time.Time) error {
+	if w.haveNow && now.Before(w.now) {
+		return fmt.Errorf("%w: %v is before %v", ErrTimeRegression, now, w.now)
+	}
+	if err := w.expireBefore(now.Add(-w.span)); err != nil {
+		return err
+	}
+	w.now = now
+	w.haveNow = true
+	return nil
+}
+
+// expireBefore replays the opposite action for every buffered tuple whose
+// timestamp is at or before the cutoff.
+func (w *TimeWindow) expireBefore(cutoff time.Time) error {
+	for w.count > 0 {
+		oldest := w.entries[w.head]
+		if oldest.at.After(cutoff) {
+			return nil
+		}
+		opposite := core.Tuple{Object: oldest.tuple.Object, Action: oldest.tuple.Action.Opposite()}
+		if err := profiler.Apply(w.p, opposite); err != nil {
+			return fmt.Errorf("window: expiring tuple: %w", err)
+		}
+		w.head = (w.head + 1) % len(w.entries)
+		w.count--
+		w.expired++
+	}
+	return nil
+}
+
+// append adds an entry to the circular buffer, growing it when full.
+func (w *TimeWindow) append(e timedTuple) {
+	if w.count == len(w.entries) {
+		grown := make([]timedTuple, 2*len(w.entries))
+		for i := 0; i < w.count; i++ {
+			grown[i] = w.entries[(w.head+i)%len(w.entries)]
+		}
+		w.entries = grown
+		w.head = 0
+	}
+	w.entries[(w.head+w.count)%len(w.entries)] = e
+	w.count++
+}
+
+// Contents returns the tuples currently inside the window with their
+// timestamps, oldest first.
+func (w *TimeWindow) Contents() []core.Tuple {
+	out := make([]core.Tuple, 0, w.count)
+	for i := 0; i < w.count; i++ {
+		out = append(out, w.entries[(w.head+i)%len(w.entries)].tuple)
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package window
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sprofile/internal/baseline/bucketprof"
+	"sprofile/internal/core"
+	"sprofile/internal/stream"
+)
+
+var epoch = time.Date(2026, 6, 16, 0, 0, 0, 0, time.UTC)
+
+func TestTimeWindowValidation(t *testing.T) {
+	p := core.MustNew(4)
+	if _, err := NewTime(nil, time.Second); err == nil {
+		t.Fatalf("NewTime(nil) succeeded")
+	}
+	if _, err := NewTime(p, 0); !errors.Is(err, ErrBadDuration) {
+		t.Fatalf("NewTime(p, 0) error %v", err)
+	}
+	if _, err := NewTime(p, -time.Second); !errors.Is(err, ErrBadDuration) {
+		t.Fatalf("NewTime(p, -1s) error %v", err)
+	}
+	w := MustNewTime(p, time.Minute)
+	if w.Span() != time.Minute || w.Len() != 0 {
+		t.Fatalf("fresh time window: Span=%v Len=%d", w.Span(), w.Len())
+	}
+	if w.Profiler() != p {
+		t.Fatalf("Profiler() mismatch")
+	}
+	if _, ok := w.Now(); ok {
+		t.Fatalf("fresh window reports a logical time")
+	}
+}
+
+func TestMustNewTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustNewTime did not panic")
+		}
+	}()
+	MustNewTime(core.MustNew(1), 0)
+}
+
+func TestTimeWindowExpiresOldTuples(t *testing.T) {
+	p := core.MustNew(4)
+	w := MustNewTime(p, 10*time.Second)
+
+	// Three adds of object 0 at t=0, 5s, 20s: by the time the third arrives,
+	// the first two (older than 10s) must have expired.
+	if err := w.PushAt(core.Tuple{Object: 0, Action: core.ActionAdd}, epoch); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PushAt(core.Tuple{Object: 0, Action: core.ActionAdd}, epoch.Add(5*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := p.Count(0); f != 2 {
+		t.Fatalf("Count(0) = %d before expiry, want 2", f)
+	}
+	if err := w.PushAt(core.Tuple{Object: 0, Action: core.ActionAdd}, epoch.Add(20*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := p.Count(0); f != 1 {
+		t.Fatalf("Count(0) = %d after expiry, want 1", f)
+	}
+	if w.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", w.Len())
+	}
+	pushed, expired := w.Stats()
+	if pushed != 3 || expired != 2 {
+		t.Fatalf("Stats = (%d, %d)", pushed, expired)
+	}
+	now, ok := w.Now()
+	if !ok || !now.Equal(epoch.Add(20*time.Second)) {
+		t.Fatalf("Now = %v ok=%v", now, ok)
+	}
+}
+
+func TestTimeWindowBoundaryExactlySpanOld(t *testing.T) {
+	// A tuple exactly `span` old is expired (window is half-open: (now-span, now]).
+	p := core.MustNew(2)
+	w := MustNewTime(p, 10*time.Second)
+	w.PushAt(core.Tuple{Object: 0, Action: core.ActionAdd}, epoch)
+	w.PushAt(core.Tuple{Object: 1, Action: core.ActionAdd}, epoch.Add(10*time.Second))
+	if f, _ := p.Count(0); f != 0 {
+		t.Fatalf("tuple exactly span old not expired: Count(0) = %d", f)
+	}
+	if f, _ := p.Count(1); f != 1 {
+		t.Fatalf("Count(1) = %d", f)
+	}
+}
+
+func TestTimeWindowRejectsTimeRegression(t *testing.T) {
+	p := core.MustNew(2)
+	w := MustNewTime(p, time.Minute)
+	w.PushAt(core.Tuple{Object: 0, Action: core.ActionAdd}, epoch.Add(time.Hour))
+	err := w.PushAt(core.Tuple{Object: 1, Action: core.ActionAdd}, epoch)
+	if !errors.Is(err, ErrTimeRegression) {
+		t.Fatalf("out-of-order push error %v", err)
+	}
+	if err := w.AdvanceTo(epoch); !errors.Is(err, ErrTimeRegression) {
+		t.Fatalf("out-of-order AdvanceTo error %v", err)
+	}
+	// State unchanged by the rejected push.
+	if f, _ := p.Count(1); f != 0 {
+		t.Fatalf("rejected push changed the profile")
+	}
+}
+
+func TestTimeWindowInvalidAction(t *testing.T) {
+	w := MustNewTime(core.MustNew(2), time.Minute)
+	if err := w.PushAt(core.Tuple{Object: 0, Action: 0}, epoch); err == nil {
+		t.Fatalf("invalid action accepted")
+	}
+}
+
+func TestTimeWindowAdvanceToExpiresIdleStream(t *testing.T) {
+	p := core.MustNew(4)
+	w := MustNewTime(p, 30*time.Second)
+	for i := 0; i < 4; i++ {
+		w.PushAt(core.Tuple{Object: i, Action: core.ActionAdd}, epoch.Add(time.Duration(i)*time.Second))
+	}
+	if p.Total() != 4 {
+		t.Fatalf("Total = %d", p.Total())
+	}
+	// No new events arrive; advancing logical time far enough empties the
+	// window.
+	if err := w.AdvanceTo(epoch.Add(5 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Total() != 0 || w.Len() != 0 {
+		t.Fatalf("after AdvanceTo: Total=%d Len=%d", p.Total(), w.Len())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeWindowPushUsesWallClock(t *testing.T) {
+	p := core.MustNew(2)
+	w := MustNewTime(p, time.Hour)
+	if err := w.Push(core.Tuple{Object: 0, Action: core.ActionAdd}); err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := p.Count(0); f != 1 {
+		t.Fatalf("Count(0) = %d", f)
+	}
+}
+
+func TestTimeWindowBufferGrowthAndWraparound(t *testing.T) {
+	// Push far more tuples than the initial buffer capacity within the span,
+	// then let them all expire; contents ordering must survive growth.
+	const m = 16
+	p := core.MustNew(m)
+	w := MustNewTime(p, time.Duration(50)*time.Millisecond)
+	g, _ := stream.Stream1(m, 9)
+
+	type stamped struct {
+		tuple core.Tuple
+		at    time.Time
+	}
+	var history []stamped
+	for i := 0; i < 500; i++ {
+		tp := g.Next()
+		at := epoch.Add(time.Duration(i) * time.Millisecond)
+		if err := w.PushAt(tp, at); err != nil {
+			t.Fatal(err)
+		}
+		history = append(history, stamped{tuple: tp, at: at})
+
+		// Reference: all tuples with timestamp in (at-50ms, at].
+		ref := bucketprof.MustNew(m)
+		cutoff := at.Add(-50 * time.Millisecond)
+		for _, h := range history {
+			if h.at.After(cutoff) {
+				if h.tuple.Action == core.ActionAdd {
+					ref.Add(h.tuple.Object)
+				} else {
+					ref.Remove(h.tuple.Object)
+				}
+			}
+		}
+		if i%50 == 0 || i == 499 {
+			for x := 0; x < m; x++ {
+				got, _ := p.Count(x)
+				want, _ := ref.Count(x)
+				if got != want {
+					t.Fatalf("step %d: Count(%d) = %d, reference %d", i, x, got, want)
+				}
+			}
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Contents()) != w.Len() {
+		t.Fatalf("Contents length %d != Len %d", len(w.Contents()), w.Len())
+	}
+}

@@ -1,0 +1,166 @@
+// Package window implements the sliding-window adapter sketched in §2.3 of
+// the paper: "S-Profile can also deal with a sliding window on a log stream,
+// by letting every tuple (x_i, c_i) outdated from the window be a new
+// incoming tuple (x_i, c̄_i), where c̄_i is the opposite action of c_i."
+//
+// A Window wraps any profiler.Profiler. Every pushed tuple is applied to the
+// profiler and remembered in a ring buffer; once the buffer holds Size
+// tuples, each new push first expires the oldest tuple by applying its
+// opposite action. The profiler therefore always reflects exactly the last
+// Size tuples of the stream, and — because expiry is just one extra ±1 update
+// — the per-tuple cost stays O(1) when the wrapped profiler is S-Profile.
+package window
+
+import (
+	"errors"
+	"fmt"
+
+	"sprofile/internal/core"
+	"sprofile/internal/profiler"
+)
+
+// ErrBadSize is returned by New when the window size is not positive.
+var ErrBadSize = errors.New("window: size must be positive")
+
+// Window maintains a count-based sliding window over a log stream on top of
+// an arbitrary profiler. It is not safe for concurrent use.
+type Window struct {
+	p    profiler.Profiler
+	size int
+
+	ring  []core.Tuple
+	head  int // index of the oldest tuple
+	count int // number of tuples currently in the window
+
+	pushed  uint64
+	expired uint64
+}
+
+// New returns a sliding window of the given size over profiler p.
+func New(p profiler.Profiler, size int) (*Window, error) {
+	if p == nil {
+		return nil, errors.New("window: nil profiler")
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadSize, size)
+	}
+	return &Window{
+		p:    p,
+		size: size,
+		ring: make([]core.Tuple, size),
+	}, nil
+}
+
+// MustNew is New for callers with known-good arguments; it panics on error.
+func MustNew(p profiler.Profiler, size int) *Window {
+	w, err := New(p, size)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Profiler returns the wrapped profiler; use it for queries. The caller must
+// not apply updates to it directly, or the window contents and the profile
+// will diverge.
+func (w *Window) Profiler() profiler.Profiler { return w.p }
+
+// Size returns the window capacity in tuples.
+func (w *Window) Size() int { return w.size }
+
+// Len returns the number of tuples currently inside the window.
+func (w *Window) Len() int { return w.count }
+
+// Full reports whether the window has reached its capacity, i.e. every new
+// push will expire the oldest tuple.
+func (w *Window) Full() bool { return w.count == w.size }
+
+// Stats returns how many tuples have been pushed and how many have expired.
+func (w *Window) Stats() (pushed, expired uint64) { return w.pushed, w.expired }
+
+// Oldest returns the oldest tuple still inside the window.
+func (w *Window) Oldest() (core.Tuple, bool) {
+	if w.count == 0 {
+		return core.Tuple{}, false
+	}
+	return w.ring[w.head], true
+}
+
+// Push applies tuple t to the window: the oldest tuple is expired first if
+// the window is full, then t is applied to the profiler and recorded.
+//
+// If applying t fails (out-of-range object, invalid action, strict-mode
+// violation) the window is left exactly as it was before the call, including
+// any tuple that would have been expired.
+func (w *Window) Push(t core.Tuple) error {
+	if !t.Action.Valid() {
+		return fmt.Errorf("window: invalid action %d", t.Action)
+	}
+
+	var expiredTuple core.Tuple
+	didExpire := false
+	if w.count == w.size {
+		expiredTuple = w.ring[w.head]
+		if err := profiler.Apply(w.p, core.Tuple{Object: expiredTuple.Object, Action: expiredTuple.Action.Opposite()}); err != nil {
+			return fmt.Errorf("window: expiring oldest tuple: %w", err)
+		}
+		didExpire = true
+	}
+
+	if err := profiler.Apply(w.p, t); err != nil {
+		if didExpire {
+			// Roll the expiry back so the window state is unchanged.
+			if rbErr := profiler.Apply(w.p, expiredTuple); rbErr != nil {
+				return fmt.Errorf("window: push failed (%v) and rollback failed: %w", err, rbErr)
+			}
+		}
+		return err
+	}
+
+	if didExpire {
+		w.head = (w.head + 1) % w.size
+		w.count--
+		w.expired++
+	}
+	tail := (w.head + w.count) % w.size
+	w.ring[tail] = t
+	w.count++
+	w.pushed++
+	return nil
+}
+
+// PushAll pushes tuples in order, stopping at the first error; it returns the
+// number of tuples pushed.
+func (w *Window) PushAll(tuples []core.Tuple) (int, error) {
+	for i, t := range tuples {
+		if err := w.Push(t); err != nil {
+			return i, err
+		}
+	}
+	return len(tuples), nil
+}
+
+// Drain expires every tuple still in the window (oldest first), returning the
+// profiler to the state it had before any windowed tuple was applied.
+func (w *Window) Drain() error {
+	for w.count > 0 {
+		t := w.ring[w.head]
+		if err := profiler.Apply(w.p, core.Tuple{Object: t.Object, Action: t.Action.Opposite()}); err != nil {
+			return fmt.Errorf("window: draining tuple: %w", err)
+		}
+		w.head = (w.head + 1) % w.size
+		w.count--
+		w.expired++
+	}
+	w.head = 0
+	return nil
+}
+
+// Contents returns the tuples currently inside the window, oldest first.
+func (w *Window) Contents() []core.Tuple {
+	out := make([]core.Tuple, 0, w.count)
+	for i := 0; i < w.count; i++ {
+		out = append(out, w.ring[(w.head+i)%w.size])
+	}
+	return out
+}

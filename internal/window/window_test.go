@@ -1,0 +1,304 @@
+package window
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sprofile/internal/baseline/bucketprof"
+	"sprofile/internal/core"
+	"sprofile/internal/stream"
+)
+
+func TestNewValidation(t *testing.T) {
+	p := core.MustNew(4)
+	if _, err := New(nil, 5); err == nil {
+		t.Fatalf("New(nil, 5) succeeded")
+	}
+	if _, err := New(p, 0); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("New(p, 0) error %v, want ErrBadSize", err)
+	}
+	if _, err := New(p, -3); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("New(p, -3) error %v, want ErrBadSize", err)
+	}
+	w, err := New(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 3 || w.Len() != 0 || w.Full() {
+		t.Fatalf("fresh window reports Size=%d Len=%d Full=%v", w.Size(), w.Len(), w.Full())
+	}
+	if w.Profiler() != p {
+		t.Fatalf("Profiler() does not return the wrapped profiler")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustNew did not panic")
+		}
+	}()
+	MustNew(core.MustNew(1), 0)
+}
+
+func TestWindowReflectsOnlyLastNTuples(t *testing.T) {
+	const m = 10
+	const size = 5
+	p := core.MustNew(m)
+	w := MustNew(p, size)
+	g, err := stream.Stream1(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history []core.Tuple
+	for i := 0; i < 500; i++ {
+		tp := g.Next()
+		history = append(history, tp)
+		if err := w.Push(tp); err != nil {
+			t.Fatal(err)
+		}
+
+		// Reference: apply only the last `size` tuples to a fresh oracle.
+		oracle := bucketprof.MustNew(m)
+		start := 0
+		if len(history) > size {
+			start = len(history) - size
+		}
+		for _, ht := range history[start:] {
+			if ht.Action == core.ActionAdd {
+				oracle.Add(ht.Object)
+			} else {
+				oracle.Remove(ht.Object)
+			}
+		}
+		for x := 0; x < m; x++ {
+			got, _ := p.Count(x)
+			want, _ := oracle.Count(x)
+			if got != want {
+				t.Fatalf("step %d: Count(%d) = %d, windowed oracle %d", i, x, got, want)
+			}
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	pushed, expired := w.Stats()
+	if pushed != 500 || expired != 500-size {
+		t.Fatalf("Stats() = (%d, %d), want (500, %d)", pushed, expired, 500-size)
+	}
+}
+
+func TestWindowLenAndFull(t *testing.T) {
+	p := core.MustNew(4)
+	w := MustNew(p, 3)
+	for i := 0; i < 3; i++ {
+		if w.Full() {
+			t.Fatalf("window full after %d pushes", i)
+		}
+		if err := w.Push(core.Tuple{Object: i % 4, Action: core.ActionAdd}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !w.Full() || w.Len() != 3 {
+		t.Fatalf("after 3 pushes: Full=%v Len=%d", w.Full(), w.Len())
+	}
+	w.Push(core.Tuple{Object: 3, Action: core.ActionAdd})
+	if !w.Full() || w.Len() != 3 {
+		t.Fatalf("after 4 pushes: Full=%v Len=%d", w.Full(), w.Len())
+	}
+}
+
+func TestWindowOldestAndContents(t *testing.T) {
+	p := core.MustNew(8)
+	w := MustNew(p, 3)
+	if _, ok := w.Oldest(); ok {
+		t.Fatalf("Oldest on empty window reported ok")
+	}
+	tuples := []core.Tuple{
+		{Object: 0, Action: core.ActionAdd},
+		{Object: 1, Action: core.ActionAdd},
+		{Object: 2, Action: core.ActionRemove},
+		{Object: 3, Action: core.ActionAdd},
+	}
+	for _, tp := range tuples {
+		w.Push(tp)
+	}
+	oldest, ok := w.Oldest()
+	if !ok || oldest != tuples[1] {
+		t.Fatalf("Oldest = %+v, want %+v", oldest, tuples[1])
+	}
+	contents := w.Contents()
+	want := tuples[1:]
+	if len(contents) != len(want) {
+		t.Fatalf("Contents has %d tuples, want %d", len(contents), len(want))
+	}
+	for i := range want {
+		if contents[i] != want[i] {
+			t.Fatalf("Contents[%d] = %+v, want %+v", i, contents[i], want[i])
+		}
+	}
+}
+
+func TestWindowPushRejectsInvalidAction(t *testing.T) {
+	p := core.MustNew(2)
+	w := MustNew(p, 2)
+	if err := w.Push(core.Tuple{Object: 0, Action: 0}); err == nil {
+		t.Fatalf("Push accepted invalid action")
+	}
+}
+
+func TestWindowPushErrorLeavesStateUnchanged(t *testing.T) {
+	p := core.MustNew(3)
+	w := MustNew(p, 2)
+	w.Push(core.Tuple{Object: 0, Action: core.ActionAdd})
+	w.Push(core.Tuple{Object: 1, Action: core.ActionAdd})
+	before := w.Contents()
+	freqBefore := p.Frequencies(nil)
+
+	if err := w.Push(core.Tuple{Object: 99, Action: core.ActionAdd}); err == nil {
+		t.Fatalf("Push accepted out-of-range object")
+	}
+	after := w.Contents()
+	freqAfter := p.Frequencies(nil)
+	if len(before) != len(after) {
+		t.Fatalf("window length changed after failed push")
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("window contents changed after failed push")
+		}
+	}
+	for i := range freqBefore {
+		if freqBefore[i] != freqAfter[i] {
+			t.Fatalf("profile changed after failed push")
+		}
+	}
+	if _, expired := w.Stats(); expired != 0 {
+		t.Fatalf("failed push counted an expiry")
+	}
+}
+
+func TestWindowPushAllStopsAtError(t *testing.T) {
+	p := core.MustNew(3)
+	w := MustNew(p, 5)
+	tuples := []core.Tuple{
+		{Object: 0, Action: core.ActionAdd},
+		{Object: 1, Action: core.ActionAdd},
+		{Object: 9, Action: core.ActionAdd},
+		{Object: 2, Action: core.ActionAdd},
+	}
+	n, err := w.PushAll(tuples)
+	if err == nil {
+		t.Fatalf("PushAll accepted out-of-range tuple")
+	}
+	if n != 2 {
+		t.Fatalf("PushAll applied %d tuples before failing, want 2", n)
+	}
+}
+
+func TestWindowDrainRestoresProfile(t *testing.T) {
+	p := core.MustNew(6)
+	w := MustNew(p, 4)
+	g, _ := stream.Stream1(6, 11)
+	for i := 0; i < 50; i++ {
+		if err := w.Push(g.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len() = %d after Drain", w.Len())
+	}
+	if p.Total() != 0 {
+		t.Fatalf("Total() = %d after Drain, want 0", p.Total())
+	}
+	for x := 0; x < 6; x++ {
+		if f, _ := p.Count(x); f != 0 {
+			t.Fatalf("Count(%d) = %d after Drain, want 0", x, f)
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowStrictProfileExpiryErrorIsSurfaced(t *testing.T) {
+	// Over a strict profile the windowed view can require driving a frequency
+	// below zero when the expiring prefix is an "add" whose object has since
+	// been removed inside the window. That expiry must fail loudly and leave
+	// both the window and the profile untouched.
+	p := core.MustNew(4, core.WithStrictNonNegative())
+	w := MustNew(p, 2)
+	if err := w.Push(core.Tuple{Object: 0, Action: core.ActionAdd}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Push(core.Tuple{Object: 0, Action: core.ActionRemove}); err != nil {
+		t.Fatal(err)
+	}
+	// Expiring the oldest tuple (add of object 0) needs Remove(0), but the
+	// strict profile already has object 0 at frequency zero.
+	err := w.Push(core.Tuple{Object: 1, Action: core.ActionAdd})
+	if !errors.Is(err, core.ErrNegativeFrequency) {
+		t.Fatalf("Push error = %v, want ErrNegativeFrequency from expiry", err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("window length changed after failed expiry")
+	}
+	if f, _ := p.Count(0); f != 0 {
+		t.Fatalf("Count(0) = %d after failed expiry, want 0", f)
+	}
+	if f, _ := p.Count(1); f != 0 {
+		t.Fatalf("Count(1) = %d after failed expiry, want 0", f)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowPropertyMatchesSuffixOracle(t *testing.T) {
+	f := func(seed uint64, rawM uint8, rawSize uint8, rawN uint16) bool {
+		m := int(rawM)%20 + 1
+		size := int(rawSize)%30 + 1
+		n := int(rawN) % 300
+		g, err := stream.Stream1(m, seed)
+		if err != nil {
+			return false
+		}
+		p := core.MustNew(m)
+		w := MustNew(p, size)
+		history := make([]core.Tuple, 0, n)
+		for i := 0; i < n; i++ {
+			tp := g.Next()
+			history = append(history, tp)
+			if w.Push(tp) != nil {
+				return false
+			}
+		}
+		oracle := bucketprof.MustNew(m)
+		start := 0
+		if len(history) > size {
+			start = len(history) - size
+		}
+		for _, ht := range history[start:] {
+			if ht.Action == core.ActionAdd {
+				oracle.Add(ht.Object)
+			} else {
+				oracle.Remove(ht.Object)
+			}
+		}
+		for x := 0; x < m; x++ {
+			got, _ := p.Count(x)
+			want, _ := oracle.Count(x)
+			if got != want {
+				return false
+			}
+		}
+		return p.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+package sprofile
+
+import (
+	"errors"
+	"fmt"
+
+	"sprofile/internal/core"
+	"sprofile/internal/idmap"
+)
+
+// ErrKeyedFull is returned by Keyed.Add when every dense id is occupied by a
+// live key and no id can be recycled.
+var ErrKeyedFull = idmap.ErrFull
+
+// ErrUnknownKey is returned by Keyed queries about keys that were never added
+// (or whose id has been recycled).
+var ErrUnknownKey = idmap.ErrUnknownKey
+
+// KeyedEntry pairs a caller key with its frequency.
+type KeyedEntry[K comparable] struct {
+	Key       K
+	Frequency int64
+}
+
+// Keyed profiles objects identified by arbitrary comparable keys (user names,
+// URLs, sparse numeric ids). It combines an id mapper with an S-Profile: the
+// mapper assigns each live key a dense id, the profile tracks the dense ids,
+// and every query is translated back to keys.
+//
+// Capacity semantics: a Keyed profile can track at most m keys at once. With
+// recycling enabled (the default), a key whose frequency returns to zero has
+// its dense id released on its next eviction scan, so m bounds the number of
+// *currently relevant* objects rather than all objects ever seen. Keyed
+// profiles with recycling are always strict non-negative, because a recycled
+// id must start from a clean zero frequency.
+//
+// A Keyed profile is not safe for concurrent use; see NewConcurrent for a
+// locked dense-id profile, or shard by key hash.
+type Keyed[K comparable] struct {
+	profile *core.Profile
+	ids     *idmap.Mapper[K]
+	recycle bool
+}
+
+// KeyedOption configures a Keyed profile.
+type KeyedOption func(*keyedOptions)
+
+type keyedOptions struct {
+	recycle bool
+}
+
+// WithoutRecycling keeps a key's dense id assigned even after its frequency
+// returns to zero. Use it when the key set is closed (e.g. a fixed catalogue)
+// or when negative frequencies are meaningful; without recycling the profile
+// follows the paper's default semantics and allows negative frequencies.
+func WithoutRecycling() KeyedOption {
+	return func(o *keyedOptions) { o.recycle = false }
+}
+
+// NewKeyed returns a Keyed profile able to track up to m concurrent keys.
+func NewKeyed[K comparable](m int, opts ...KeyedOption) (*Keyed[K], error) {
+	o := keyedOptions{recycle: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var coreOpts []Option
+	if o.recycle {
+		coreOpts = append(coreOpts, WithStrictNonNegative())
+	}
+	p, err := core.New(m, coreOpts...)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := idmap.New[K](m)
+	if err != nil {
+		return nil, err
+	}
+	return &Keyed[K]{profile: p, ids: ids, recycle: o.recycle}, nil
+}
+
+// MustNewKeyed is NewKeyed for callers with a known-good capacity; it panics
+// on error.
+func MustNewKeyed[K comparable](m int, opts ...KeyedOption) *Keyed[K] {
+	k, err := NewKeyed[K](m, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Cap returns the maximum number of concurrently tracked keys.
+func (k *Keyed[K]) Cap() int { return k.profile.Cap() }
+
+// Tracked returns the number of keys currently holding a dense id.
+func (k *Keyed[K]) Tracked() int { return k.ids.Len() }
+
+// Total returns the sum of all frequencies.
+func (k *Keyed[K]) Total() int64 { return k.profile.Total() }
+
+// Add increments the frequency of key, assigning it a dense id if needed.
+// When the profile is full, Add first tries to recycle the id of a key whose
+// frequency is zero; if none exists it returns ErrKeyedFull.
+func (k *Keyed[K]) Add(key K) error {
+	id, isNew, err := k.ids.Acquire(key)
+	if errors.Is(err, idmap.ErrFull) && k.recycle {
+		if k.evictOneZero() {
+			id, isNew, err = k.ids.Acquire(key)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	_ = isNew
+	return k.profile.Add(id)
+}
+
+// evictOneZero releases the dense id of one key whose frequency is zero,
+// returning whether an id was freed. Cost O(1): the profile keeps zero
+// frequencies contiguous in its sorted order, so a single rank probe finds a
+// candidate.
+func (k *Keyed[K]) evictOneZero() bool {
+	// The minimum frequency in a strict profile is zero exactly when at least
+	// one tracked key is idle (frequency zero).
+	entry, _, err := k.profile.Min()
+	if err != nil || entry.Frequency != 0 {
+		return false
+	}
+	key, ok := k.ids.Key(entry.Object)
+	if !ok {
+		// The zero-frequency slot is not bound to any key (never used); it is
+		// already available to Acquire.
+		return false
+	}
+	if _, err := k.ids.Release(key); err != nil {
+		return false
+	}
+	return true
+}
+
+// Remove decrements the frequency of key. Removing an unknown key is an
+// error: with recycling enabled frequencies cannot go negative, and without
+// recycling the key must still be added first to receive an id.
+func (k *Keyed[K]) Remove(key K) error {
+	id, err := k.ids.DenseID(key)
+	if err != nil {
+		return err
+	}
+	return k.profile.Remove(id)
+}
+
+// Apply applies one (key, action) event.
+func (k *Keyed[K]) Apply(key K, action Action) error {
+	switch action {
+	case ActionAdd:
+		return k.Add(key)
+	case ActionRemove:
+		return k.Remove(key)
+	default:
+		return fmt.Errorf("sprofile: invalid action %d", action)
+	}
+}
+
+// Count returns the current frequency of key (zero for unknown keys).
+func (k *Keyed[K]) Count(key K) (int64, error) {
+	id, err := k.ids.DenseID(key)
+	if err != nil {
+		if errors.Is(err, idmap.ErrUnknownKey) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return k.profile.Count(id)
+}
+
+// entryToKeyed converts a dense-id entry into a keyed entry; untracked slots
+// report the zero value of K.
+func (k *Keyed[K]) entryToKeyed(e Entry) KeyedEntry[K] {
+	key, _ := k.ids.Key(e.Object)
+	return KeyedEntry[K]{Key: key, Frequency: e.Frequency}
+}
+
+// Mode returns a key with the maximum frequency, the frequency, and the
+// number of objects sharing it.
+func (k *Keyed[K]) Mode() (KeyedEntry[K], int, error) {
+	e, ties, err := k.profile.Mode()
+	if err != nil {
+		return KeyedEntry[K]{}, 0, err
+	}
+	return k.entryToKeyed(e), ties, nil
+}
+
+// TopK returns the k most frequent entries in non-increasing frequency order.
+// Untracked slots (frequency zero, never used) may appear when fewer than
+// length-k keys have been added; their Key field is the zero value.
+func (k *Keyed[K]) TopK(n int) []KeyedEntry[K] {
+	entries := k.profile.TopK(n)
+	out := make([]KeyedEntry[K], len(entries))
+	for i, e := range entries {
+		out[i] = k.entryToKeyed(e)
+	}
+	return out
+}
+
+// Median returns the lower-median keyed entry of the frequency multiset over
+// all m slots.
+func (k *Keyed[K]) Median() (KeyedEntry[K], error) {
+	e, err := k.profile.Median()
+	if err != nil {
+		return KeyedEntry[K]{}, err
+	}
+	return k.entryToKeyed(e), nil
+}
+
+// Majority returns the key holding a strict majority of the total count, if
+// one exists.
+func (k *Keyed[K]) Majority() (KeyedEntry[K], bool, error) {
+	e, ok, err := k.profile.Majority()
+	if err != nil || !ok {
+		return KeyedEntry[K]{}, false, err
+	}
+	return k.entryToKeyed(e), true, nil
+}
+
+// Distribution returns the frequency histogram in ascending frequency order.
+func (k *Keyed[K]) Distribution() []FreqCount { return k.profile.Distribution() }
+
+// Summarize returns aggregate statistics of the underlying profile.
+func (k *Keyed[K]) Summarize() Summary { return k.profile.Summarize() }
+
+// Profile exposes the underlying dense-id profile for advanced queries
+// (quantiles, rank lookups, snapshots). Mutating it directly desynchronises
+// the key mapping and must be avoided.
+func (k *Keyed[K]) Profile() *Profile { return k.profile }
+
+// KeyOf resolves a dense id back to its key, when one is assigned.
+func (k *Keyed[K]) KeyOf(id int) (K, bool) { return k.ids.Key(id) }

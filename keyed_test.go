@@ -1,0 +1,188 @@
+package sprofile_test
+
+import (
+	"errors"
+	"testing"
+
+	"sprofile"
+)
+
+func TestKeyedBasicFlow(t *testing.T) {
+	k := sprofile.MustNewKeyed[string](8)
+	events := []struct {
+		key    string
+		action sprofile.Action
+	}{
+		{"alice", sprofile.ActionAdd},
+		{"bob", sprofile.ActionAdd},
+		{"alice", sprofile.ActionAdd},
+		{"carol", sprofile.ActionAdd},
+		{"bob", sprofile.ActionRemove},
+	}
+	for _, e := range events {
+		if err := k.Apply(e.key, e.action); err != nil {
+			t.Fatalf("Apply(%q, %v): %v", e.key, e.action, err)
+		}
+	}
+	mode, _, err := k.Mode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode.Key != "alice" || mode.Frequency != 2 {
+		t.Fatalf("Mode = %+v", mode)
+	}
+	if f, err := k.Count("bob"); err != nil || f != 0 {
+		t.Fatalf("Count(bob) = %d, %v", f, err)
+	}
+	if f, err := k.Count("never-seen"); err != nil || f != 0 {
+		t.Fatalf("Count(never-seen) = %d, %v", f, err)
+	}
+	if k.Tracked() != 3 {
+		t.Fatalf("Tracked() = %d, want 3", k.Tracked())
+	}
+	if k.Total() != 3 {
+		t.Fatalf("Total() = %d, want 3", k.Total())
+	}
+	if k.Cap() != 8 {
+		t.Fatalf("Cap() = %d, want 8", k.Cap())
+	}
+}
+
+func TestKeyedTopK(t *testing.T) {
+	k := sprofile.MustNewKeyed[string](4)
+	for i := 0; i < 3; i++ {
+		k.Add("x")
+	}
+	for i := 0; i < 2; i++ {
+		k.Add("y")
+	}
+	k.Add("z")
+	top := k.TopK(3)
+	if len(top) != 3 {
+		t.Fatalf("TopK(3) returned %d entries", len(top))
+	}
+	if top[0].Key != "x" || top[0].Frequency != 3 {
+		t.Fatalf("TopK[0] = %+v", top[0])
+	}
+	if top[1].Key != "y" || top[1].Frequency != 2 {
+		t.Fatalf("TopK[1] = %+v", top[1])
+	}
+	if top[2].Key != "z" || top[2].Frequency != 1 {
+		t.Fatalf("TopK[2] = %+v", top[2])
+	}
+}
+
+func TestKeyedRemoveUnknownKey(t *testing.T) {
+	k := sprofile.MustNewKeyed[string](4)
+	if err := k.Remove("ghost"); !errors.Is(err, sprofile.ErrUnknownKey) {
+		t.Fatalf("Remove(ghost) error %v", err)
+	}
+}
+
+func TestKeyedStrictUnderflow(t *testing.T) {
+	k := sprofile.MustNewKeyed[string](4)
+	k.Add("a")
+	if err := k.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Remove("a"); !errors.Is(err, sprofile.ErrNegativeFrequency) {
+		t.Fatalf("second Remove error %v, want ErrNegativeFrequency", err)
+	}
+}
+
+func TestKeyedRecyclingEvictsIdleKeys(t *testing.T) {
+	k := sprofile.MustNewKeyed[string](2)
+	k.Add("a")
+	k.Add("b")
+	// Both slots used; "a" goes idle, so adding "c" must recycle a's id.
+	if err := k.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Add("c"); err != nil {
+		t.Fatalf("Add(c) with an idle key available: %v", err)
+	}
+	if k.Tracked() != 2 {
+		t.Fatalf("Tracked() = %d, want 2", k.Tracked())
+	}
+	if f, _ := k.Count("c"); f != 1 {
+		t.Fatalf("Count(c) = %d, want 1", f)
+	}
+	// With both keys active, a third key cannot be admitted.
+	if err := k.Add("d"); !errors.Is(err, sprofile.ErrKeyedFull) {
+		t.Fatalf("Add(d) error %v, want ErrKeyedFull", err)
+	}
+}
+
+func TestKeyedWithoutRecyclingAllowsNegative(t *testing.T) {
+	k := sprofile.MustNewKeyed[string](2, sprofile.WithoutRecycling())
+	k.Add("a")
+	k.Add("b")
+	if err := k.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	// "a" is idle but recycling is off: a new key must be rejected.
+	if err := k.Add("c"); !errors.Is(err, sprofile.ErrKeyedFull) {
+		t.Fatalf("Add(c) error %v, want ErrKeyedFull", err)
+	}
+	// And frequencies may go negative.
+	if err := k.Remove("a"); err != nil {
+		t.Fatalf("Remove below zero without recycling: %v", err)
+	}
+	if f, _ := k.Count("a"); f != -1 {
+		t.Fatalf("Count(a) = %d, want -1", f)
+	}
+}
+
+func TestKeyedMedianMajorityDistribution(t *testing.T) {
+	k := sprofile.MustNewKeyed[int](3)
+	for i := 0; i < 5; i++ {
+		k.Add(42)
+	}
+	k.Add(7)
+	med, err := k.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med.Frequency != 1 {
+		t.Fatalf("Median frequency %d, want 1", med.Frequency)
+	}
+	maj, ok, err := k.Majority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || maj.Key != 42 {
+		t.Fatalf("Majority = %+v ok=%v", maj, ok)
+	}
+	dist := k.Distribution()
+	if len(dist) != 3 {
+		t.Fatalf("Distribution = %+v", dist)
+	}
+	sum := k.Summarize()
+	if sum.Total != 6 || sum.MaxFrequency != 5 {
+		t.Fatalf("Summarize = %+v", sum)
+	}
+	if k.Profile() == nil {
+		t.Fatalf("Profile() returned nil")
+	}
+	id, err := k.Profile().Rank(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = id
+	if key, ok := k.KeyOf(0); !ok || (key != 42 && key != 7) {
+		t.Fatalf("KeyOf(0) = %v ok=%v", key, ok)
+	}
+}
+
+func TestKeyedInvalidAction(t *testing.T) {
+	k := sprofile.MustNewKeyed[string](2)
+	if err := k.Apply("a", sprofile.Action(0)); err == nil {
+		t.Fatalf("Apply with invalid action succeeded")
+	}
+}
+
+func TestKeyedInvalidCapacity(t *testing.T) {
+	if _, err := sprofile.NewKeyed[string](-1); err == nil {
+		t.Fatalf("NewKeyed(-1) succeeded")
+	}
+}

@@ -1,0 +1,371 @@
+package sprofile
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sprofile/internal/core"
+)
+
+// Sharded splits the object-id space across several independently locked
+// S-Profiles so that concurrent producers on different id ranges do not
+// contend on a single mutex (the bottleneck of Concurrent at high ingest
+// rates).
+//
+// Updates touch exactly one shard: O(1) work under that shard's lock.
+// Extreme queries (Mode, Min) combine the shards' O(1) answers. Rank queries
+// (KthLargest, Median, Quantile) and Distribution merge the shards' frequency
+// histograms, costing O(total number of distinct frequencies) — still far
+// below O(m), but no longer constant; take a Snapshot first if many rank
+// queries must be answered against one consistent state.
+type Sharded struct {
+	shards    []shardedShard
+	shardSize int
+	m         int
+}
+
+type shardedShard struct {
+	mu sync.RWMutex
+	p  *core.Profile
+	// base is the global id of the shard's local object 0.
+	base int
+}
+
+// NewSharded returns a sharded profile over m dense object ids split across
+// numShards shards. Object x lives in shard x / ceil(m/numShards).
+func NewSharded(m, numShards int, opts ...Option) (*Sharded, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("%w: %d", ErrCapacity, m)
+	}
+	if numShards <= 0 {
+		return nil, fmt.Errorf("sprofile: number of shards must be positive, got %d", numShards)
+	}
+	if numShards > m {
+		numShards = m
+	}
+	if numShards == 0 {
+		numShards = 1
+	}
+	shardSize := (m + numShards - 1) / numShards
+	if shardSize == 0 {
+		shardSize = 1
+	}
+	s := &Sharded{shardSize: shardSize, m: m}
+	for base := 0; base < m || (m == 0 && base == 0); base += shardSize {
+		size := shardSize
+		if base+size > m {
+			size = m - base
+		}
+		p, err := core.New(size, opts...)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, shardedShard{p: p, base: base})
+		if m == 0 {
+			break
+		}
+	}
+	return s, nil
+}
+
+// MustNewSharded is NewSharded for callers with known-good arguments; it
+// panics on error.
+func MustNewSharded(m, numShards int, opts ...Option) *Sharded {
+	s, err := NewSharded(m, numShards, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Cap returns the number of object slots.
+func (s *Sharded) Cap() int { return s.m }
+
+// Shards returns the number of shards.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// locate returns the shard holding object x and x's local id within it.
+func (s *Sharded) locate(x int) (*shardedShard, int, error) {
+	if x < 0 || x >= s.m {
+		return nil, 0, fmt.Errorf("%w: id %d, capacity %d", ErrObjectRange, x, s.m)
+	}
+	idx := x / s.shardSize
+	return &s.shards[idx], x - s.shards[idx].base, nil
+}
+
+// Add increments the frequency of object x.
+func (s *Sharded) Add(x int) error {
+	sh, local, err := s.locate(x)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.p.Add(local)
+}
+
+// Remove decrements the frequency of object x.
+func (s *Sharded) Remove(x int) error {
+	sh, local, err := s.locate(x)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.p.Remove(local)
+}
+
+// Apply applies one log tuple.
+func (s *Sharded) Apply(t Tuple) error {
+	switch t.Action {
+	case ActionAdd:
+		return s.Add(t.Object)
+	case ActionRemove:
+		return s.Remove(t.Object)
+	default:
+		return fmt.Errorf("sprofile: invalid action %d", t.Action)
+	}
+}
+
+// Count returns the current frequency of object x.
+func (s *Sharded) Count(x int) (int64, error) {
+	sh, local, err := s.locate(x)
+	if err != nil {
+		return 0, err
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.p.Count(local)
+}
+
+// Total returns the sum of all frequencies.
+func (s *Sharded) Total() int64 {
+	var total int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += sh.p.Total()
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// lockAll takes every shard's read lock (in index order) so that a global
+// query sees one consistent state; the returned function releases them.
+func (s *Sharded) lockAll() func() {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+	return func() {
+		for i := range s.shards {
+			s.shards[i].mu.RUnlock()
+		}
+	}
+}
+
+// Mode returns an object with the maximum frequency, that frequency, and how
+// many objects share it, by combining each shard's O(1) answer.
+func (s *Sharded) Mode() (Entry, int, error) {
+	if s.m == 0 {
+		return Entry{}, 0, ErrEmptyProfile
+	}
+	unlock := s.lockAll()
+	defer unlock()
+
+	var best Entry
+	ties := 0
+	found := false
+	for i := range s.shards {
+		sh := &s.shards[i]
+		e, shardTies, err := sh.p.Mode()
+		if err != nil {
+			continue
+		}
+		globalEntry := Entry{Object: e.Object + sh.base, Frequency: e.Frequency}
+		switch {
+		case !found || globalEntry.Frequency > best.Frequency:
+			best = globalEntry
+			ties = shardTies
+			found = true
+		case globalEntry.Frequency == best.Frequency:
+			ties += shardTies
+		}
+	}
+	if !found {
+		return Entry{}, 0, ErrEmptyProfile
+	}
+	return best, ties, nil
+}
+
+// Min returns an object with the minimum frequency, that frequency, and how
+// many objects share it.
+func (s *Sharded) Min() (Entry, int, error) {
+	if s.m == 0 {
+		return Entry{}, 0, ErrEmptyProfile
+	}
+	unlock := s.lockAll()
+	defer unlock()
+
+	var best Entry
+	ties := 0
+	found := false
+	for i := range s.shards {
+		sh := &s.shards[i]
+		e, shardTies, err := sh.p.Min()
+		if err != nil {
+			continue
+		}
+		globalEntry := Entry{Object: e.Object + sh.base, Frequency: e.Frequency}
+		switch {
+		case !found || globalEntry.Frequency < best.Frequency:
+			best = globalEntry
+			ties = shardTies
+			found = true
+		case globalEntry.Frequency == best.Frequency:
+			ties += shardTies
+		}
+	}
+	if !found {
+		return Entry{}, 0, ErrEmptyProfile
+	}
+	return best, ties, nil
+}
+
+// Distribution returns the global frequency histogram in ascending frequency
+// order, merging the shards' histograms. Cost O(total distinct frequencies).
+func (s *Sharded) Distribution() []FreqCount {
+	unlock := s.lockAll()
+	defer unlock()
+	return s.distributionLocked()
+}
+
+func (s *Sharded) distributionLocked() []FreqCount {
+	merged := make(map[int64]int)
+	for i := range s.shards {
+		for _, fc := range s.shards[i].p.Distribution() {
+			merged[fc.Freq] += fc.Count
+		}
+	}
+	out := make([]FreqCount, 0, len(merged))
+	for f, c := range merged {
+		out = append(out, FreqCount{Freq: f, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Freq < out[j].Freq })
+	return out
+}
+
+// AtRank returns the entry at 0-based rank r of the global ascending-sorted
+// frequency array (rank 0 is a minimum-frequency object, rank m-1 a
+// maximum-frequency object). Cost O(total distinct frequencies).
+func (s *Sharded) AtRank(r int) (Entry, error) {
+	if r < 0 || r >= s.m {
+		return Entry{}, fmt.Errorf("%w: k %d, capacity %d", ErrBadRank, r, s.m)
+	}
+	unlock := s.lockAll()
+	defer unlock()
+
+	// Find the frequency occupying global rank r.
+	dist := s.distributionLocked()
+	remaining := r
+	var targetFreq int64
+	for _, fc := range dist {
+		if remaining < fc.Count {
+			targetFreq = fc.Freq
+			break
+		}
+		remaining -= fc.Count
+	}
+	// Find a shard holding an object with that frequency and return one
+	// representative from it.
+	for i := range s.shards {
+		sh := &s.shards[i]
+		below := sh.p.Cap() - sh.p.CountWithFrequencyAtLeast(targetFreq)
+		if below >= sh.p.Cap() {
+			continue // no object in this shard has frequency >= target
+		}
+		e, err := sh.p.KthSmallest(below + 1)
+		if err != nil || e.Frequency != targetFreq {
+			continue
+		}
+		return Entry{Object: e.Object + sh.base, Frequency: e.Frequency}, nil
+	}
+	return Entry{}, fmt.Errorf("sprofile: internal error: no shard holds rank %d", r)
+}
+
+// KthLargest returns an object holding the k-th largest frequency (1-based).
+func (s *Sharded) KthLargest(k int) (Entry, error) {
+	if k < 1 || k > s.m {
+		return Entry{}, fmt.Errorf("%w: k %d, capacity %d", ErrBadRank, k, s.m)
+	}
+	return s.AtRank(s.m - k)
+}
+
+// Median returns the lower-median entry of the global frequency multiset.
+func (s *Sharded) Median() (Entry, error) {
+	if s.m == 0 {
+		return Entry{}, ErrEmptyProfile
+	}
+	return s.AtRank((s.m - 1) / 2)
+}
+
+// Quantile returns the entry at quantile q in [0, 1] of the global frequency
+// multiset (nearest-rank definition, matching Profile.Quantile).
+func (s *Sharded) Quantile(q float64) (Entry, error) {
+	if s.m == 0 {
+		return Entry{}, ErrEmptyProfile
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return s.AtRank(int(q * float64(s.m-1)))
+}
+
+// TopK returns the k globally most frequent entries in non-increasing
+// frequency order, merging each shard's top-k list. Cost O(shards·k).
+func (s *Sharded) TopK(k int) []Entry {
+	if k <= 0 || s.m == 0 {
+		return nil
+	}
+	if k > s.m {
+		k = s.m
+	}
+	unlock := s.lockAll()
+	defer unlock()
+
+	candidates := make([]Entry, 0, k*len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for _, e := range sh.p.TopK(k) {
+			candidates = append(candidates, Entry{Object: e.Object + sh.base, Frequency: e.Frequency})
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Frequency != candidates[j].Frequency {
+			return candidates[i].Frequency > candidates[j].Frequency
+		}
+		return candidates[i].Object < candidates[j].Object
+	})
+	if len(candidates) > k {
+		candidates = candidates[:k]
+	}
+	return candidates
+}
+
+// Snapshot merges every shard into one consistent standalone Profile (cost
+// O(m log m)); use it when a burst of rank queries must see a single state.
+func (s *Sharded) Snapshot() (*Profile, error) {
+	unlock := s.lockAll()
+	defer unlock()
+
+	freqs := make([]int64, s.m)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		local := sh.p.Frequencies(nil)
+		copy(freqs[sh.base:sh.base+len(local)], local)
+	}
+	return core.FromFrequencies(freqs)
+}

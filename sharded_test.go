@@ -1,0 +1,305 @@
+package sprofile_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"sprofile"
+	"sprofile/internal/stream"
+)
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := sprofile.NewSharded(-1, 4); !errors.Is(err, sprofile.ErrCapacity) {
+		t.Fatalf("NewSharded(-1, 4) error %v", err)
+	}
+	if _, err := sprofile.NewSharded(10, 0); err == nil {
+		t.Fatalf("NewSharded(10, 0) succeeded")
+	}
+	if _, err := sprofile.NewSharded(10, -2); err == nil {
+		t.Fatalf("NewSharded(10, -2) succeeded")
+	}
+	s := sprofile.MustNewSharded(10, 100)
+	if s.Shards() > 10 {
+		t.Fatalf("more shards (%d) than objects", s.Shards())
+	}
+	if s.Cap() != 10 {
+		t.Fatalf("Cap() = %d", s.Cap())
+	}
+}
+
+func TestShardedMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustNewSharded did not panic")
+		}
+	}()
+	sprofile.MustNewSharded(5, 0)
+}
+
+func TestShardedEmptyProfile(t *testing.T) {
+	s := sprofile.MustNewSharded(0, 3)
+	if _, _, err := s.Mode(); !errors.Is(err, sprofile.ErrEmptyProfile) {
+		t.Fatalf("Mode on empty sharded profile: %v", err)
+	}
+	if _, _, err := s.Min(); !errors.Is(err, sprofile.ErrEmptyProfile) {
+		t.Fatalf("Min on empty sharded profile: %v", err)
+	}
+	if _, err := s.Median(); !errors.Is(err, sprofile.ErrEmptyProfile) {
+		t.Fatalf("Median on empty sharded profile: %v", err)
+	}
+	if err := s.Add(0); !errors.Is(err, sprofile.ErrObjectRange) {
+		t.Fatalf("Add(0) on empty sharded profile: %v", err)
+	}
+}
+
+func TestShardedOutOfRange(t *testing.T) {
+	s := sprofile.MustNewSharded(10, 3)
+	for _, x := range []int{-1, 10, 100} {
+		if err := s.Add(x); !errors.Is(err, sprofile.ErrObjectRange) {
+			t.Fatalf("Add(%d) error %v", x, err)
+		}
+		if err := s.Remove(x); !errors.Is(err, sprofile.ErrObjectRange) {
+			t.Fatalf("Remove(%d) error %v", x, err)
+		}
+		if _, err := s.Count(x); !errors.Is(err, sprofile.ErrObjectRange) {
+			t.Fatalf("Count(%d) error %v", x, err)
+		}
+	}
+	if err := s.Apply(sprofile.Tuple{Object: 0, Action: 0}); err == nil {
+		t.Fatalf("Apply accepted invalid action")
+	}
+}
+
+// checkShardedAgainstReference compares every query of the sharded profile
+// against a single (unsharded) reference profile that has seen the same
+// stream.
+func checkShardedAgainstReference(t *testing.T, s *sprofile.Sharded, ref *sprofile.Profile) {
+	t.Helper()
+	m := ref.Cap()
+	if s.Total() != ref.Total() {
+		t.Fatalf("Total: sharded %d, reference %d", s.Total(), ref.Total())
+	}
+	for x := 0; x < m; x++ {
+		a, _ := s.Count(x)
+		b, _ := ref.Count(x)
+		if a != b {
+			t.Fatalf("Count(%d): sharded %d, reference %d", x, a, b)
+		}
+	}
+
+	gotMode, gotTies, err := s.Mode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMode, wantTies, _ := ref.Mode()
+	if gotMode.Frequency != wantMode.Frequency || gotTies != wantTies {
+		t.Fatalf("Mode: sharded (%d,%d), reference (%d,%d)",
+			gotMode.Frequency, gotTies, wantMode.Frequency, wantTies)
+	}
+	if f, _ := ref.Count(gotMode.Object); f != gotMode.Frequency {
+		t.Fatalf("Mode representative %d does not hold frequency %d", gotMode.Object, gotMode.Frequency)
+	}
+
+	gotMin, gotMinTies, err := s.Min()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMin, wantMinTies, _ := ref.Min()
+	if gotMin.Frequency != wantMin.Frequency || gotMinTies != wantMinTies {
+		t.Fatalf("Min: sharded (%d,%d), reference (%d,%d)",
+			gotMin.Frequency, gotMinTies, wantMin.Frequency, wantMinTies)
+	}
+
+	for _, k := range []int{1, m / 3, m/2 + 1, m} {
+		if k < 1 {
+			continue
+		}
+		got, err := s.KthLargest(k)
+		if err != nil {
+			t.Fatalf("KthLargest(%d): %v", k, err)
+		}
+		want, _ := ref.KthLargest(k)
+		if got.Frequency != want.Frequency {
+			t.Fatalf("KthLargest(%d): sharded %d, reference %d", k, got.Frequency, want.Frequency)
+		}
+		if f, _ := ref.Count(got.Object); f != got.Frequency {
+			t.Fatalf("KthLargest(%d) representative %d does not hold frequency %d", k, got.Object, got.Frequency)
+		}
+	}
+
+	gotMed, err := s.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMed, _ := ref.Median()
+	if gotMed.Frequency != wantMed.Frequency {
+		t.Fatalf("Median: sharded %d, reference %d", gotMed.Frequency, wantMed.Frequency)
+	}
+
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		got, err := s.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := ref.Quantile(q)
+		if got.Frequency != want.Frequency {
+			t.Fatalf("Quantile(%g): sharded %d, reference %d", q, got.Frequency, want.Frequency)
+		}
+	}
+
+	gotDist := s.Distribution()
+	wantDist := ref.Distribution()
+	if len(gotDist) != len(wantDist) {
+		t.Fatalf("Distribution length: sharded %d, reference %d", len(gotDist), len(wantDist))
+	}
+	for i := range wantDist {
+		if gotDist[i] != wantDist[i] {
+			t.Fatalf("Distribution[%d]: sharded %+v, reference %+v", i, gotDist[i], wantDist[i])
+		}
+	}
+
+	gotTop := s.TopK(5)
+	wantTop := ref.TopK(5)
+	if len(gotTop) != len(wantTop) {
+		t.Fatalf("TopK length: sharded %d, reference %d", len(gotTop), len(wantTop))
+	}
+	for i := range wantTop {
+		if gotTop[i].Frequency != wantTop[i].Frequency {
+			t.Fatalf("TopK[%d]: sharded freq %d, reference %d", i, gotTop[i].Frequency, wantTop[i].Frequency)
+		}
+	}
+}
+
+func TestShardedMatchesSingleProfileOnPaperStreams(t *testing.T) {
+	const m = 64
+	for _, numShards := range []int{1, 3, 8, 64} {
+		for streamIdx := 1; streamIdx <= 3; streamIdx++ {
+			s := sprofile.MustNewSharded(m, numShards)
+			ref := sprofile.MustNew(m)
+			g, err := stream.PaperStream(streamIdx, m, uint64(streamIdx*numShards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3000; i++ {
+				tp := g.Next()
+				if err := s.Apply(sprofile.Tuple{Object: tp.Object, Action: tp.Action}); err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.Apply(tp); err != nil {
+					t.Fatal(err)
+				}
+			}
+			checkShardedAgainstReference(t, s, ref)
+
+			snap, err := s.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for x := 0; x < m; x++ {
+				a, _ := snap.Count(x)
+				b, _ := ref.Count(x)
+				if a != b {
+					t.Fatalf("snapshot Count(%d) = %d, reference %d", x, a, b)
+				}
+			}
+			if err := snap.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestShardedKthLargestBounds(t *testing.T) {
+	s := sprofile.MustNewSharded(8, 2)
+	if _, err := s.KthLargest(0); !errors.Is(err, sprofile.ErrBadRank) {
+		t.Fatalf("KthLargest(0) error %v", err)
+	}
+	if _, err := s.KthLargest(9); !errors.Is(err, sprofile.ErrBadRank) {
+		t.Fatalf("KthLargest(9) error %v", err)
+	}
+	if got := s.TopK(0); got != nil {
+		t.Fatalf("TopK(0) = %v", got)
+	}
+	if got := s.TopK(100); len(got) != 8 {
+		t.Fatalf("TopK(100) returned %d entries, want 8", len(got))
+	}
+}
+
+func TestShardedConcurrentProducers(t *testing.T) {
+	const m = 1024
+	const workers = 8
+	const opsPerWorker = 20_000
+	s := sprofile.MustNewSharded(m, 16)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := stream.NewRNG(seed)
+			for i := 0; i < opsPerWorker; i++ {
+				x := rng.Intn(m)
+				if rng.Bernoulli(0.7) {
+					_ = s.Add(x)
+				} else {
+					_ = s.Remove(x)
+				}
+				if i%500 == 0 {
+					s.Mode()
+					s.TopK(3)
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The sharded total must equal the snapshot's total, and every applied
+	// event is accounted for (adds - removes = total).
+	if snap.Total() != s.Total() {
+		t.Fatalf("snapshot total %d, sharded total %d", snap.Total(), s.Total())
+	}
+}
+
+func TestShardedPropertyMatchesReference(t *testing.T) {
+	f := func(seed uint64, rawM uint8, rawShards uint8, rawN uint16) bool {
+		m := int(rawM)%40 + 1
+		numShards := int(rawShards)%8 + 1
+		n := int(rawN) % 500
+		s := sprofile.MustNewSharded(m, numShards)
+		ref := sprofile.MustNew(m)
+		rng := stream.NewRNG(seed)
+		for i := 0; i < n; i++ {
+			x := rng.Intn(m)
+			action := sprofile.ActionAdd
+			if rng.Bernoulli(0.4) {
+				action = sprofile.ActionRemove
+			}
+			if s.Apply(sprofile.Tuple{Object: x, Action: action}) != nil {
+				return false
+			}
+			if ref.Apply(sprofile.Tuple{Object: x, Action: action}) != nil {
+				return false
+			}
+		}
+		gotMode, _, e1 := s.Mode()
+		wantMode, _, e2 := ref.Mode()
+		gotMed, e3 := s.Median()
+		wantMed, e4 := ref.Median()
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+			return false
+		}
+		return gotMode.Frequency == wantMode.Frequency && gotMed.Frequency == wantMed.Frequency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Package sprofile is a Go implementation of S-Profile, the O(1)-per-update
+// algorithm for profiling dynamic arrays with finite values from
+//
+//	Dingcheng Yang, Wenjian Yu, Junhui Deng, Shenghua Liu.
+//	"Optimal Algorithm for Profiling Dynamic Arrays with Finite Values."
+//	EDBT 2019 (arXiv:1812.05306).
+//
+// A profile tracks the frequencies of up to m distinct objects under a log
+// stream of (object, add|remove) events — users following each other, likes
+// and dislikes, channel joins and leaves — and keeps the whole frequency
+// multiset sorted at a constant cost per event. Once profiled, the mode
+// (most popular object), the top-K, the median, arbitrary quantiles, the
+// majority element and the full frequency distribution are all available in
+// O(1) (O(K) for top-K, O(#distinct frequencies) for the distribution).
+//
+// Three entry points cover the common usage patterns:
+//
+//   - New gives the raw dense-id profile (object ids are integers in [0, m)),
+//     the thinnest wrapper over the paper's data structure.
+//   - NewKeyed adds an id mapper so that arbitrary comparable keys (user
+//     names, URLs, int64 ids) can be profiled directly.
+//   - NewConcurrent wraps a profile with a mutex for multi-goroutine use.
+//
+// The subdirectories contain the full evaluation apparatus used to reproduce
+// the paper's experiments: baseline profilers (indexed heap, order-statistic
+// trees, Fenwick index, bucket scan), synthetic log-stream generators, a
+// sliding-window adapter, a graph-shaving application and the benchmark
+// harness behind EXPERIMENTS.md.
+package sprofile
+
+import (
+	"io"
+
+	"sprofile/internal/core"
+)
+
+// Action says whether a log tuple adds or removes one occurrence of an
+// object.
+type Action = core.Action
+
+// Re-exported action values.
+const (
+	// ActionAdd increments an object's frequency by one.
+	ActionAdd = core.ActionAdd
+	// ActionRemove decrements an object's frequency by one.
+	ActionRemove = core.ActionRemove
+)
+
+// Tuple is one log-stream event: an object id and an action.
+type Tuple = core.Tuple
+
+// Entry pairs an object id with its frequency in query results.
+type Entry = core.Entry
+
+// FreqCount is one histogram bucket of the frequency distribution.
+type FreqCount = core.FreqCount
+
+// Summary is a snapshot of a profile's aggregate statistics.
+type Summary = core.Summary
+
+// Profile is the S-Profile data structure over dense object ids in [0, m).
+// See the core package for the full method set: Add, Remove, Apply, Mode,
+// ModeAll, Min, TopK, BottomK, KthLargest, KthSmallest, Median, Quantile,
+// Majority, Distribution, Count, Rank, Summarize, snapshots and more.
+type Profile = core.Profile
+
+// Option configures a Profile.
+type Option = core.Option
+
+// WithStrictNonNegative makes Remove fail instead of letting a frequency drop
+// below zero. Use it when objects can only be removed after being added
+// (e.g. unfollow events always follow a follow event).
+func WithStrictNonNegative() Option { return core.WithStrictNonNegative() }
+
+// WithBlockHint pre-sizes the internal block slab; useful when the number of
+// distinct frequency values is roughly known in advance.
+func WithBlockHint(hint int) Option { return core.WithBlockHint(hint) }
+
+// Sentinel errors returned by profiles; test with errors.Is.
+var (
+	// ErrObjectRange reports an object id outside [0, m).
+	ErrObjectRange = core.ErrObjectRange
+	// ErrNegativeFrequency reports a strict-mode removal that would drive a
+	// frequency below zero.
+	ErrNegativeFrequency = core.ErrNegativeFrequency
+	// ErrEmptyProfile reports a statistical query on a profile with no slots.
+	ErrEmptyProfile = core.ErrEmptyProfile
+	// ErrBadRank reports an out-of-range rank or K parameter.
+	ErrBadRank = core.ErrBadRank
+	// ErrBadSnapshot reports a corrupt or incompatible snapshot.
+	ErrBadSnapshot = core.ErrBadSnapshot
+	// ErrCapacity reports an invalid capacity passed to New.
+	ErrCapacity = core.ErrCapacity
+)
+
+// New returns an S-Profile over m dense object ids (0..m-1), all starting at
+// frequency zero. Updates cost O(1) worst case; memory is O(m).
+func New(m int, opts ...Option) (*Profile, error) { return core.New(m, opts...) }
+
+// MustNew is New for callers with a known-good capacity; it panics on error.
+func MustNew(m int, opts ...Option) *Profile { return core.MustNew(m, opts...) }
+
+// FromFrequencies builds a profile whose object x starts with frequency
+// freqs[x]; it costs O(m log m) once instead of replaying every event.
+func FromFrequencies(freqs []int64, opts ...Option) (*Profile, error) {
+	return core.FromFrequencies(freqs, opts...)
+}
+
+// ReadSnapshot restores a profile previously saved with Profile.WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*Profile, error) { return core.ReadSnapshot(r) }

@@ -1,0 +1,161 @@
+package sprofile_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sprofile"
+)
+
+func TestNewAndBasicQueries(t *testing.T) {
+	p, err := sprofile.New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := p.Add(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Add(7)
+	p.Remove(2)
+
+	mode, ties, err := p.Mode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode.Object != 3 || mode.Frequency != 5 || ties != 1 {
+		t.Fatalf("Mode = %+v ties %d", mode, ties)
+	}
+	if f, _ := p.Count(7); f != 1 {
+		t.Fatalf("Count(7) = %d", f)
+	}
+	min, _, err := p.Min()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Object != 2 || min.Frequency != -1 {
+		t.Fatalf("Min = %+v", min)
+	}
+	top := p.TopK(2)
+	if len(top) != 2 || top[0].Frequency != 5 || top[1].Frequency != 1 {
+		t.Fatalf("TopK(2) = %+v", top)
+	}
+}
+
+func TestNewInvalidCapacity(t *testing.T) {
+	if _, err := sprofile.New(-1); !errors.Is(err, sprofile.ErrCapacity) {
+		t.Fatalf("New(-1) error %v", err)
+	}
+}
+
+func TestStrictOption(t *testing.T) {
+	p := sprofile.MustNew(4, sprofile.WithStrictNonNegative())
+	if err := p.Remove(0); !errors.Is(err, sprofile.ErrNegativeFrequency) {
+		t.Fatalf("strict Remove error %v", err)
+	}
+	if err := p.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Remove(0); err != nil {
+		t.Fatalf("Remove after Add failed: %v", err)
+	}
+}
+
+func TestApplyTuples(t *testing.T) {
+	p := sprofile.MustNew(3, sprofile.WithBlockHint(8))
+	tuples := []sprofile.Tuple{
+		{Object: 0, Action: sprofile.ActionAdd},
+		{Object: 1, Action: sprofile.ActionAdd},
+		{Object: 0, Action: sprofile.ActionAdd},
+		{Object: 1, Action: sprofile.ActionRemove},
+	}
+	n, err := p.ApplyAll(tuples)
+	if err != nil || n != len(tuples) {
+		t.Fatalf("ApplyAll = %d, %v", n, err)
+	}
+	if p.Total() != 2 {
+		t.Fatalf("Total = %d, want 2", p.Total())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromFrequenciesAndSnapshot(t *testing.T) {
+	p, err := sprofile.FromFrequencies([]int64{5, 0, -2, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode, _, _ := p.Mode()
+	if mode.Object != 3 || mode.Frequency != 9 {
+		t.Fatalf("Mode = %+v", mode)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := sprofile.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 4; x++ {
+		a, _ := p.Count(x)
+		b, _ := restored.Count(x)
+		if a != b {
+			t.Fatalf("Count(%d) differs after snapshot round-trip: %d vs %d", x, a, b)
+		}
+	}
+	if _, err := sprofile.ReadSnapshot(bytes.NewReader([]byte("junk"))); !errors.Is(err, sprofile.ErrBadSnapshot) {
+		t.Fatalf("ReadSnapshot of junk: %v", err)
+	}
+}
+
+func TestQuantileAndDistribution(t *testing.T) {
+	p := sprofile.MustNew(4)
+	p.Add(0)
+	p.Add(0)
+	p.Add(1)
+	med, err := p.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med.Frequency != 0 {
+		t.Fatalf("Median frequency %d, want 0", med.Frequency)
+	}
+	q, err := p.Quantile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Frequency != 2 {
+		t.Fatalf("Quantile(1) frequency %d, want 2", q.Frequency)
+	}
+	dist := p.Distribution()
+	want := []sprofile.FreqCount{{Freq: 0, Count: 2}, {Freq: 1, Count: 1}, {Freq: 2, Count: 1}}
+	if len(dist) != len(want) {
+		t.Fatalf("Distribution = %+v", dist)
+	}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("Distribution[%d] = %+v, want %+v", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestErrObjectRangeSurfaced(t *testing.T) {
+	p := sprofile.MustNew(2)
+	if err := p.Add(5); !errors.Is(err, sprofile.ErrObjectRange) {
+		t.Fatalf("Add(5) error %v", err)
+	}
+	if _, err := p.KthLargest(3); !errors.Is(err, sprofile.ErrBadRank) {
+		t.Fatalf("KthLargest(3) error %v", err)
+	}
+}
+
+func TestEmptyProfileError(t *testing.T) {
+	p := sprofile.MustNew(0)
+	if _, _, err := p.Mode(); !errors.Is(err, sprofile.ErrEmptyProfile) {
+		t.Fatalf("Mode on empty profile: %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+package sprofile_test
+
+import (
+	"testing"
+	"time"
+
+	"sprofile"
+)
+
+var epoch = time.Date(2026, 6, 16, 12, 0, 0, 0, time.UTC)
+
+func TestPublicTimeWindow(t *testing.T) {
+	p := sprofile.MustNew(4)
+	w, err := sprofile.NewTimeWindow(p, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Span() != 10*time.Second || w.Profile() != p {
+		t.Fatalf("Span=%v Profile mismatch", w.Span())
+	}
+
+	// Object 0 is popular early, object 1 later; after the early events age
+	// out, the windowed mode must be object 1.
+	for i := 0; i < 5; i++ {
+		if err := w.PushAt(sprofile.Tuple{Object: 0, Action: sprofile.ActionAdd},
+			epoch.Add(time.Duration(i)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.PushAt(sprofile.Tuple{Object: 1, Action: sprofile.ActionAdd},
+			epoch.Add(time.Duration(20+i)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mode, _, err := p.Mode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode.Object != 1 || mode.Frequency != 3 {
+		t.Fatalf("windowed mode = %+v, want object 1 freq 3", mode)
+	}
+	if f, _ := p.Count(0); f != 0 {
+		t.Fatalf("Count(0) = %d after aging out, want 0", f)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", w.Len())
+	}
+	pushed, expired := w.Stats()
+	if pushed != 8 || expired != 5 {
+		t.Fatalf("Stats = (%d, %d)", pushed, expired)
+	}
+
+	// Idle expiry via AdvanceTo.
+	if err := w.AdvanceTo(epoch.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Total() != 0 {
+		t.Fatalf("Total = %d after AdvanceTo far future", p.Total())
+	}
+}
+
+func TestPublicTimeWindowValidation(t *testing.T) {
+	if _, err := sprofile.NewTimeWindow(nil, time.Second); err == nil {
+		t.Fatalf("NewTimeWindow(nil) succeeded")
+	}
+	if _, err := sprofile.NewTimeWindow(sprofile.MustNew(1), 0); err == nil {
+		t.Fatalf("NewTimeWindow with zero span succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustNewTimeWindow did not panic")
+		}
+	}()
+	sprofile.MustNewTimeWindow(sprofile.MustNew(1), -time.Second)
+}
+
+func TestPublicTimeWindowWallClockPush(t *testing.T) {
+	p := sprofile.MustNew(2)
+	w := sprofile.MustNewTimeWindow(p, time.Hour)
+	if err := w.Push(sprofile.Tuple{Object: 1, Action: sprofile.ActionAdd}); err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := p.Count(1); f != 1 {
+		t.Fatalf("Count(1) = %d", f)
+	}
+}

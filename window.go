@@ -1,0 +1,128 @@
+package sprofile
+
+import (
+	"errors"
+	"time"
+
+	"sprofile/internal/window"
+)
+
+// Window maintains a count-based sliding window over a log stream on top of a
+// Profile, as sketched in §2.3 of the paper: when a tuple falls out of the
+// window it is replayed with the opposite action, so the profile always
+// reflects exactly the last Size() tuples and every push remains O(1).
+type Window struct {
+	inner *window.Window
+	p     *Profile
+}
+
+// NewWindow returns a sliding window of size tuples over profile p. The
+// profile must not be updated directly while the window is in use.
+func NewWindow(p *Profile, size int) (*Window, error) {
+	if p == nil {
+		return nil, errors.New("sprofile: nil profile")
+	}
+	w, err := window.New(p, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Window{inner: w, p: p}, nil
+}
+
+// MustNewWindow is NewWindow for callers with known-good arguments; it panics
+// on error.
+func MustNewWindow(p *Profile, size int) *Window {
+	w, err := NewWindow(p, size)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Push applies one tuple to the window, expiring the oldest tuple first when
+// the window is full. On error the window and profile are left unchanged.
+func (w *Window) Push(t Tuple) error { return w.inner.Push(t) }
+
+// Add pushes an "add" event for object x.
+func (w *Window) Add(x int) error { return w.Push(Tuple{Object: x, Action: ActionAdd}) }
+
+// Remove pushes a "remove" event for object x.
+func (w *Window) Remove(x int) error { return w.Push(Tuple{Object: x, Action: ActionRemove}) }
+
+// Profile returns the windowed profile for queries (mode, top-K, median, ...).
+func (w *Window) Profile() *Profile { return w.p }
+
+// Size returns the window capacity in tuples.
+func (w *Window) Size() int { return w.inner.Size() }
+
+// Len returns the number of tuples currently inside the window.
+func (w *Window) Len() int { return w.inner.Len() }
+
+// Full reports whether every new push will expire the oldest tuple.
+func (w *Window) Full() bool { return w.inner.Full() }
+
+// Contents returns the tuples currently inside the window, oldest first.
+func (w *Window) Contents() []Tuple { return w.inner.Contents() }
+
+// Drain expires every tuple still in the window, returning the profile to an
+// all-zero state.
+func (w *Window) Drain() error { return w.inner.Drain() }
+
+// Stats returns how many tuples have been pushed and how many have expired.
+func (w *Window) Stats() (pushed, expired uint64) { return w.inner.Stats() }
+
+// TimeWindow maintains a duration-based sliding window over a Profile: the
+// profile always reflects exactly the tuples whose event times lie within the
+// last Span() of logical time (the timestamp of the newest push). Expired
+// tuples are replayed with the opposite action (paper §2.3), so the amortised
+// cost per push stays O(1).
+type TimeWindow struct {
+	inner *window.TimeWindow
+	p     *Profile
+}
+
+// NewTimeWindow returns a sliding window of the given time span over profile
+// p. The profile must not be updated directly while the window is in use.
+func NewTimeWindow(p *Profile, span time.Duration) (*TimeWindow, error) {
+	if p == nil {
+		return nil, errors.New("sprofile: nil profile")
+	}
+	w, err := window.NewTime(p, span)
+	if err != nil {
+		return nil, err
+	}
+	return &TimeWindow{inner: w, p: p}, nil
+}
+
+// MustNewTimeWindow is NewTimeWindow for callers with known-good arguments;
+// it panics on error.
+func MustNewTimeWindow(p *Profile, span time.Duration) *TimeWindow {
+	w, err := NewTimeWindow(p, span)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// PushAt applies one tuple stamped with the given event time. Timestamps must
+// be non-decreasing.
+func (w *TimeWindow) PushAt(t Tuple, at time.Time) error { return w.inner.PushAt(t, at) }
+
+// Push applies one tuple stamped with the current wall-clock time.
+func (w *TimeWindow) Push(t Tuple) error { return w.inner.Push(t) }
+
+// AdvanceTo moves the window's logical time forward without adding a tuple,
+// expiring everything that falls out of the span.
+func (w *TimeWindow) AdvanceTo(now time.Time) error { return w.inner.AdvanceTo(now) }
+
+// Profile returns the windowed profile for queries.
+func (w *TimeWindow) Profile() *Profile { return w.p }
+
+// Span returns the window length.
+func (w *TimeWindow) Span() time.Duration { return w.inner.Span() }
+
+// Len returns the number of tuples currently inside the window.
+func (w *TimeWindow) Len() int { return w.inner.Len() }
+
+// Stats returns how many tuples have been pushed and how many have expired.
+func (w *TimeWindow) Stats() (pushed, expired uint64) { return w.inner.Stats() }

@@ -1,0 +1,113 @@
+package sprofile_test
+
+import (
+	"testing"
+
+	"sprofile"
+)
+
+func TestPublicWindowBasics(t *testing.T) {
+	p := sprofile.MustNew(10)
+	w, err := sprofile.NewWindow(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 3 || w.Len() != 0 || w.Full() {
+		t.Fatalf("fresh window: Size=%d Len=%d Full=%v", w.Size(), w.Len(), w.Full())
+	}
+	if w.Profile() != p {
+		t.Fatalf("Profile() does not return the wrapped profile")
+	}
+
+	// Push four adds of object 1 through a window of three: the profile must
+	// only remember the last three.
+	for i := 0; i < 4; i++ {
+		if err := w.Add(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f, _ := p.Count(1); f != 3 {
+		t.Fatalf("Count(1) = %d, want 3 (window size)", f)
+	}
+	if !w.Full() || w.Len() != 3 {
+		t.Fatalf("window state after 4 pushes: Full=%v Len=%d", w.Full(), w.Len())
+	}
+	pushed, expired := w.Stats()
+	if pushed != 4 || expired != 1 {
+		t.Fatalf("Stats = (%d, %d), want (4, 1)", pushed, expired)
+	}
+
+	// Mixed actions via Push/Remove, then check contents ordering.
+	if err := w.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Push(sprofile.Tuple{Object: 5, Action: sprofile.ActionAdd}); err != nil {
+		t.Fatal(err)
+	}
+	contents := w.Contents()
+	if len(contents) != 3 {
+		t.Fatalf("Contents has %d tuples", len(contents))
+	}
+	last := contents[len(contents)-1]
+	if last.Object != 5 || last.Action != sprofile.ActionAdd {
+		t.Fatalf("newest tuple = %+v", last)
+	}
+
+	if err := w.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Total() != 0 || w.Len() != 0 {
+		t.Fatalf("after Drain: Total=%d Len=%d", p.Total(), w.Len())
+	}
+}
+
+func TestPublicWindowValidation(t *testing.T) {
+	p := sprofile.MustNew(4)
+	if _, err := sprofile.NewWindow(p, 0); err == nil {
+		t.Fatalf("NewWindow accepted size 0")
+	}
+	if _, err := sprofile.NewWindow(nil, 5); err == nil {
+		t.Fatalf("NewWindow accepted nil profile")
+	}
+	w := sprofile.MustNewWindow(p, 2)
+	if err := w.Add(99); err == nil {
+		t.Fatalf("Add of out-of-range object succeeded")
+	}
+}
+
+func TestPublicWindowMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustNewWindow did not panic")
+		}
+	}()
+	sprofile.MustNewWindow(sprofile.MustNew(1), -1)
+}
+
+func TestPublicWindowTrendingScenario(t *testing.T) {
+	// The windowed mode must follow recency: object 0 dominates the first
+	// phase, object 1 the second; once the window has rolled past the first
+	// phase the mode must be object 1.
+	p := sprofile.MustNew(2)
+	w := sprofile.MustNewWindow(p, 50)
+	for i := 0; i < 100; i++ {
+		if err := w.Add(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		if err := w.Add(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mode, _, err := p.Mode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode.Object != 1 {
+		t.Fatalf("windowed mode = %+v, want object 1", mode)
+	}
+	if f, _ := p.Count(0); f != 0 {
+		t.Fatalf("object 0 still has windowed count %d", f)
+	}
+}
