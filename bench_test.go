@@ -1,7 +1,8 @@
-// Benchmarks reproducing the paper's evaluation figures (§3) and the ablation
-// studies listed in DESIGN.md, in idiomatic testing.B form: each benchmark
-// reports nanoseconds per log-stream tuple (including the per-tuple statistic
-// query) for every method, at the sweep points of the corresponding figure.
+// Benchmarks reproducing the paper's evaluation figures (§3) and the
+// harness's additional ablation studies, in idiomatic testing.B form: each
+// benchmark reports nanoseconds per log-stream tuple (including the per-tuple
+// statistic query) for every method, at the sweep points of the corresponding
+// figure.
 //
 // The mapping to the paper:
 //
@@ -15,7 +16,7 @@
 // fixed n, or growing with m), ns/op comparisons across methods and across
 // sweep points reproduce the figures' shapes directly. cmd/sprofile-bench
 // runs the same experiments in wall-clock form and prints the paper-style
-// tables recorded in EXPERIMENTS.md.
+// tables.
 package sprofile_test
 
 import (
@@ -339,6 +340,50 @@ func BenchmarkConcurrentIngestion(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkApplyAll compares batched against per-event ingestion through the
+// unified Profiler interface for the two concurrency wrappers. Concurrent
+// amortises one lock acquisition over the whole batch; Sharded amortises lock
+// round-trips over runs of same-shard tuples, so its batched gain grows with
+// the stream's shard locality.
+func BenchmarkApplyAll(b *testing.B) {
+	const m = 1_000_000
+	const batchSize = 4096
+	variants := []struct {
+		name string
+		make func() sprofile.Profiler
+	}{
+		{"concurrent", func() sprofile.Profiler { return sprofile.MustBuild(m, sprofile.Synchronized()) }},
+		{"sharded-32", func() sprofile.Profiler { return sprofile.MustBuild(m, sprofile.WithSharding(32)) }},
+	}
+	for _, v := range variants {
+		tuples := stream.Take(paperStream(b, 1, m), batchSize)
+		b.Run(v.name+"/per-event", func(b *testing.B) {
+			p := v.make()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.Apply(tuples[i%batchSize]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(v.name+"/batched", func(b *testing.B) {
+			p := v.make()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for applied := 0; applied < b.N; applied += batchSize {
+				batch := tuples
+				if remaining := b.N - applied; remaining < batchSize {
+					batch = tuples[:remaining]
+				}
+				if _, err := p.ApplyAll(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkKeyedIngestion measures the overhead of the string-keyed wrapper

@@ -1,0 +1,329 @@
+package sprofile
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"sprofile/internal/wal"
+)
+
+// ErrBuildConfig is returned by Build when the requested capability
+// combination is invalid or unsupported.
+var ErrBuildConfig = errors.New("sprofile: invalid build configuration")
+
+// buildConfig accumulates the capabilities requested through BuildOptions.
+type buildConfig struct {
+	shards       int
+	shardsSet    bool
+	synchronized bool
+	windowSize   int
+	windowSet    bool
+	windowSpan   time.Duration
+	spanSet      bool
+	walPath      string
+	walSyncEvery int
+	profileOpts  []Option
+}
+
+// BuildOption declares one capability of the profile Build assembles.
+type BuildOption func(*buildConfig)
+
+// WithSharding splits the object-id space across n independently locked
+// shards, removing the single-mutex bottleneck under many concurrent
+// producers. A sharded profile is always safe for concurrent use, so
+// Synchronized is implied.
+func WithSharding(n int) BuildOption {
+	return func(c *buildConfig) { c.shards = n; c.shardsSet = true }
+}
+
+// Synchronized protects the profile with a read-write mutex so multiple
+// goroutines can update and query it. Redundant (and harmless) when
+// WithSharding is also given.
+func Synchronized() BuildOption {
+	return func(c *buildConfig) { c.synchronized = true }
+}
+
+// Windowed maintains a count-based sliding window of the given size: the
+// profile always reflects exactly the last size tuples. Window adapters are
+// single-goroutine; combining Windowed with Synchronized or WithSharding is
+// an error — wrap the built profiler in external locking instead.
+func Windowed(size int) BuildOption {
+	return func(c *buildConfig) { c.windowSize = size; c.windowSet = true }
+}
+
+// TimeWindowed maintains a duration-based sliding window: the profile always
+// reflects the tuples of the last span of logical time. The same composition
+// restrictions as Windowed apply.
+func TimeWindowed(span time.Duration) BuildOption {
+	return func(c *buildConfig) { c.windowSpan = span; c.spanSet = true }
+}
+
+// WithWAL makes ingestion durable: every applied update is appended to a
+// write-ahead log at path, and any events already in the log are replayed
+// into the profile when Build runs. The built profiler is a *Durable; close
+// it (or call Sync) to flush buffered records to stable storage.
+func WithWAL(path string) BuildOption {
+	return func(c *buildConfig) { c.walPath = path }
+}
+
+// WithWALSyncEvery fsyncs the write-ahead log after every n appended records
+// instead of only on ApplyAll batch boundaries, Sync and Close. Only
+// meaningful together with WithWAL.
+func WithWALSyncEvery(n int) BuildOption {
+	return func(c *buildConfig) { c.walSyncEvery = n }
+}
+
+// WithOptions forwards profile options (WithStrictNonNegative,
+// WithBlockHint) to the underlying profile(s) the builder creates.
+func WithOptions(opts ...Option) BuildOption {
+	return func(c *buildConfig) { c.profileOpts = append(c.profileOpts, opts...) }
+}
+
+// Strict is shorthand for WithOptions(WithStrictNonNegative()).
+func Strict() BuildOption {
+	return WithOptions(WithStrictNonNegative())
+}
+
+// Build assembles a profile over m dense object ids from declared
+// capabilities instead of hand-nested wrappers:
+//
+//	p, err := sprofile.Build(1_000_000)                          // plain Profile
+//	p, err := sprofile.Build(m, sprofile.Synchronized())         // mutex-protected
+//	p, err := sprofile.Build(m, sprofile.WithSharding(16))       // 16 lock shards
+//	p, err := sprofile.Build(m, sprofile.Windowed(100_000))      // last 100k tuples
+//	p, err := sprofile.Build(m, sprofile.TimeWindowed(time.Hour))
+//	p, err := sprofile.Build(m, sprofile.WithSharding(16), sprofile.WithWAL("events.wal"))
+//
+// Whatever the combination, the result satisfies Profiler, so ingestion and
+// query code is written once and the representation can be swapped by
+// changing only the Build call.
+func Build(m int, opts ...BuildOption) (Profiler, error) {
+	var cfg buildConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.shardsSet && cfg.shards <= 0 {
+		return nil, fmt.Errorf("%w: shard count must be positive, got %d", ErrBuildConfig, cfg.shards)
+	}
+	if cfg.windowSet && cfg.spanSet {
+		return nil, fmt.Errorf("%w: Windowed and TimeWindowed are mutually exclusive", ErrBuildConfig)
+	}
+	if cfg.windowSet && cfg.windowSize <= 0 {
+		return nil, fmt.Errorf("%w: window size must be positive, got %d", ErrBuildConfig, cfg.windowSize)
+	}
+	if cfg.spanSet && cfg.windowSpan <= 0 {
+		return nil, fmt.Errorf("%w: window span must be positive, got %v", ErrBuildConfig, cfg.windowSpan)
+	}
+	if (cfg.windowSet || cfg.spanSet) && (cfg.shards > 0 || cfg.synchronized) {
+		return nil, fmt.Errorf("%w: window adapters are single-goroutine; they cannot be combined with Synchronized or WithSharding", ErrBuildConfig)
+	}
+	// The WAL stores no timestamps, so replaying into a time window would
+	// restamp every historical event with the replay-time clock and resurrect
+	// long-expired events. Count windows replay correctly (the sequence alone
+	// determines their contents).
+	if cfg.spanSet && cfg.walPath != "" {
+		return nil, fmt.Errorf("%w: WithWAL cannot restore a TimeWindowed profile (the log has no event timestamps)", ErrBuildConfig)
+	}
+
+	var (
+		p   Profiler
+		err error
+	)
+	switch {
+	case cfg.shards > 0:
+		p, err = NewSharded(m, cfg.shards, cfg.profileOpts...)
+	case cfg.synchronized:
+		p, err = NewConcurrent(m, cfg.profileOpts...)
+	case cfg.windowSet:
+		var base *Profile
+		base, err = New(m, cfg.profileOpts...)
+		if err == nil {
+			p, err = NewWindow(base, cfg.windowSize)
+		}
+	case cfg.spanSet:
+		var base *Profile
+		base, err = New(m, cfg.profileOpts...)
+		if err == nil {
+			p, err = NewTimeWindow(base, cfg.windowSpan)
+		}
+	default:
+		p, err = New(m, cfg.profileOpts...)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.walPath != "" {
+		return NewDurable(p, cfg.walPath, cfg.walSyncEvery)
+	}
+	return p, nil
+}
+
+// MustBuild is Build for callers with a known-good configuration; it panics
+// on error.
+func MustBuild(m int, opts ...BuildOption) Profiler {
+	p, err := Build(m, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Durable wraps any Profiler with a write-ahead log: every successful update
+// is appended to the log, and NewDurable replays the log's existing records
+// into the profiler first, so the profile survives process restarts. Queries
+// pass straight through.
+//
+// Records are buffered; they reach stable storage on Sync, Close, at the end
+// of every ApplyAll batch, and every n records when built with
+// WithWALSyncEvery(n). Durable serialises nothing itself — use a Concurrent
+// or Sharded inner profiler behind a single ingesting goroutine, or guard
+// updates externally, when producers are concurrent.
+type Durable struct {
+	inner Profiler
+	log   *wal.Log
+	// replayed is the number of records restored from the log at build time.
+	replayed int
+}
+
+// NewDurable opens (or creates) the write-ahead log at path, replays any
+// existing records into p, and returns the journaling wrapper. syncEvery
+// fsyncs after that many appends; zero syncs only on batch boundaries, Sync
+// and Close.
+func NewDurable(p Profiler, path string, syncEvery int) (*Durable, error) {
+	if p == nil {
+		return nil, errors.New("sprofile: nil profiler")
+	}
+	replayed, err := wal.Replay(path, func(rec wal.Record) error {
+		x, convErr := strconv.Atoi(rec.Key)
+		if convErr != nil {
+			return fmt.Errorf("sprofile: WAL record key %q is not a dense object id: %w", rec.Key, convErr)
+		}
+		return p.Apply(Tuple{Object: x, Action: rec.Action})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sprofile: replaying WAL %s: %w", path, err)
+	}
+	log, err := wal.Open(path, wal.Options{SyncEvery: syncEvery})
+	if err != nil {
+		return nil, fmt.Errorf("sprofile: opening WAL %s: %w", path, err)
+	}
+	return &Durable{inner: p, log: log, replayed: replayed}, nil
+}
+
+// Replayed returns the number of WAL records replayed into the profile when
+// the Durable was built.
+func (d *Durable) Replayed() int { return d.replayed }
+
+// Unwrap returns the journaled inner profiler. Updating it directly bypasses
+// the log and must be avoided.
+func (d *Durable) Unwrap() Profiler { return d.inner }
+
+// Sync flushes buffered log records to stable storage.
+func (d *Durable) Sync() error { return d.log.Sync() }
+
+// Close flushes and closes the write-ahead log. The inner profiler remains
+// usable, but further updates through the Durable will fail.
+func (d *Durable) Close() error { return d.log.Close() }
+
+// append journals one applied tuple.
+func (d *Durable) append(x int, a Action) error {
+	return d.log.Append(wal.Record{Key: strconv.Itoa(x), Action: a})
+}
+
+// Add increments the frequency of object x and journals the event. A
+// journaling failure after a successful update is reported as an error even
+// though the in-memory profile changed (the same write-behind contract the
+// HTTP server uses); Sync/Close errors surface the same divergence.
+func (d *Durable) Add(x int) error {
+	if err := d.inner.Add(x); err != nil {
+		return err
+	}
+	return d.append(x, ActionAdd)
+}
+
+// Remove decrements the frequency of object x and journals the event.
+func (d *Durable) Remove(x int) error {
+	if err := d.inner.Remove(x); err != nil {
+		return err
+	}
+	return d.append(x, ActionRemove)
+}
+
+// Apply applies one log tuple and journals it.
+func (d *Durable) Apply(t Tuple) error {
+	switch t.Action {
+	case ActionAdd:
+		return d.Add(t.Object)
+	case ActionRemove:
+		return d.Remove(t.Object)
+	default:
+		return fmt.Errorf("sprofile: invalid action %d", t.Action)
+	}
+}
+
+// ApplyAll applies tuples through the inner profiler's own batched ApplyAll
+// (keeping its lock amortisation), journals the applied prefix, and flushes
+// the log once at the end; it returns the number applied and the first error.
+// The returned count always reflects the in-memory profile; if journaling
+// fails partway, the error reports how many of the applied tuples reached the
+// log.
+func (d *Durable) ApplyAll(tuples []Tuple) (int, error) {
+	n, applyErr := d.inner.ApplyAll(tuples)
+	for i := 0; i < n; i++ {
+		if err := d.append(tuples[i].Object, tuples[i].Action); err != nil {
+			if syncErr := d.log.Sync(); syncErr != nil {
+				return n, fmt.Errorf("sprofile: %d events applied but only %d journaled: %w (and WAL sync failed: %v)", n, i, err, syncErr)
+			}
+			return n, fmt.Errorf("sprofile: %d events applied but only %d journaled: %w", n, i, err)
+		}
+	}
+	if err := d.log.Sync(); err != nil {
+		return n, fmt.Errorf("sprofile: events applied but WAL sync failed: %w", err)
+	}
+	return n, applyErr
+}
+
+// Count returns the current frequency of object x.
+func (d *Durable) Count(x int) (int64, error) { return d.inner.Count(x) }
+
+// Mode returns an object with maximum frequency, that frequency, and how
+// many objects share it.
+func (d *Durable) Mode() (Entry, int, error) { return d.inner.Mode() }
+
+// Min returns an object with minimum frequency, that frequency, and how many
+// objects share it.
+func (d *Durable) Min() (Entry, int, error) { return d.inner.Min() }
+
+// TopK returns the k most frequent entries.
+func (d *Durable) TopK(k int) []Entry { return d.inner.TopK(k) }
+
+// BottomK returns the k least frequent entries.
+func (d *Durable) BottomK(k int) []Entry { return d.inner.BottomK(k) }
+
+// KthLargest returns the entry holding the k-th largest frequency.
+func (d *Durable) KthLargest(k int) (Entry, error) { return d.inner.KthLargest(k) }
+
+// Median returns the lower-median entry of the frequency multiset.
+func (d *Durable) Median() (Entry, error) { return d.inner.Median() }
+
+// Quantile returns the entry at quantile q in [0, 1].
+func (d *Durable) Quantile(q float64) (Entry, error) { return d.inner.Quantile(q) }
+
+// Majority returns the object holding a strict majority of the total count,
+// if one exists.
+func (d *Durable) Majority() (Entry, bool, error) { return d.inner.Majority() }
+
+// Distribution returns the frequency histogram.
+func (d *Durable) Distribution() []FreqCount { return d.inner.Distribution() }
+
+// Summarize returns aggregate statistics of the profile.
+func (d *Durable) Summarize() Summary { return d.inner.Summarize() }
+
+// Cap returns the number of object slots.
+func (d *Durable) Cap() int { return d.inner.Cap() }
+
+// Total returns the sum of all frequencies.
+func (d *Durable) Total() int64 { return d.inner.Total() }

@@ -1,0 +1,207 @@
+package sprofile_test
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sprofile"
+)
+
+func TestBuildVariantTypes(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []sprofile.BuildOption
+		want string
+	}{
+		{"plain", nil, "*core.Profile"},
+		{"synchronized", []sprofile.BuildOption{sprofile.Synchronized()}, "*sprofile.Concurrent"},
+		{"sharded", []sprofile.BuildOption{sprofile.WithSharding(4)}, "*sprofile.Sharded"},
+		{"sharded-synchronized", []sprofile.BuildOption{sprofile.WithSharding(4), sprofile.Synchronized()}, "*sprofile.Sharded"},
+		{"windowed", []sprofile.BuildOption{sprofile.Windowed(10)}, "*sprofile.Window"},
+		{"time-windowed", []sprofile.BuildOption{sprofile.TimeWindowed(time.Hour)}, "*sprofile.TimeWindow"},
+	}
+	for _, c := range cases {
+		p, err := sprofile.Build(16, c.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		var got string
+		switch p.(type) {
+		case *sprofile.Profile:
+			got = "*core.Profile"
+		case *sprofile.Concurrent:
+			got = "*sprofile.Concurrent"
+		case *sprofile.Sharded:
+			got = "*sprofile.Sharded"
+		case *sprofile.Window:
+			got = "*sprofile.Window"
+		case *sprofile.TimeWindow:
+			got = "*sprofile.TimeWindow"
+		default:
+			got = "unknown"
+		}
+		if got != c.want {
+			t.Errorf("%s: Build produced %s, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBuildRejectsInvalidCombinations(t *testing.T) {
+	invalid := [][]sprofile.BuildOption{
+		{sprofile.Windowed(10), sprofile.TimeWindowed(time.Hour)},
+		{sprofile.Windowed(10), sprofile.Synchronized()},
+		{sprofile.Windowed(10), sprofile.WithSharding(4)},
+		{sprofile.TimeWindowed(time.Hour), sprofile.WithSharding(4)},
+	}
+	for i, opts := range invalid {
+		if _, err := sprofile.Build(16, opts...); !errors.Is(err, sprofile.ErrBuildConfig) {
+			t.Errorf("case %d: Build = %v, want ErrBuildConfig", i, err)
+		}
+	}
+	if _, err := sprofile.Build(-1); !errors.Is(err, sprofile.ErrCapacity) {
+		t.Errorf("Build(-1) = %v, want ErrCapacity", err)
+	}
+	if _, err := sprofile.Build(16, sprofile.Windowed(0)); !errors.Is(err, sprofile.ErrBuildConfig) {
+		t.Errorf("Build(Windowed(0)) = %v, want ErrBuildConfig", err)
+	}
+	if _, err := sprofile.Build(16, sprofile.TimeWindowed(-time.Second)); !errors.Is(err, sprofile.ErrBuildConfig) {
+		t.Errorf("Build(TimeWindowed(-1s)) = %v, want ErrBuildConfig", err)
+	}
+	if _, err := sprofile.Build(16, sprofile.WithSharding(0)); !errors.Is(err, sprofile.ErrBuildConfig) {
+		t.Errorf("Build(WithSharding(0)) = %v, want ErrBuildConfig", err)
+	}
+	if _, err := sprofile.Build(16, sprofile.WithSharding(-3)); !errors.Is(err, sprofile.ErrBuildConfig) {
+		t.Errorf("Build(WithSharding(-3)) = %v, want ErrBuildConfig", err)
+	}
+	// WAL replay cannot restore event timestamps, so durable time windows are
+	// rejected rather than silently resurrecting expired events on restart.
+	if _, err := sprofile.Build(16, sprofile.TimeWindowed(time.Hour), sprofile.WithWAL(filepath.Join(t.TempDir(), "x.wal"))); !errors.Is(err, sprofile.ErrBuildConfig) {
+		t.Errorf("Build(TimeWindowed, WithWAL) = %v, want ErrBuildConfig", err)
+	}
+}
+
+func TestBuildStrictOptionPropagates(t *testing.T) {
+	for _, opts := range [][]sprofile.BuildOption{
+		{sprofile.Strict()},
+		{sprofile.Strict(), sprofile.WithSharding(4)},
+		{sprofile.Strict(), sprofile.Synchronized()},
+		{sprofile.Strict(), sprofile.Windowed(8)},
+	} {
+		p, err := sprofile.Build(4, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Remove(0); !errors.Is(err, sprofile.ErrNegativeFrequency) {
+			t.Errorf("strict build %T: Remove at zero = %v, want ErrNegativeFrequency", p, err)
+		}
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustBuild with invalid config did not panic")
+		}
+	}()
+	sprofile.MustBuild(16, sprofile.Windowed(1), sprofile.TimeWindowed(time.Hour))
+}
+
+// TestDurableRecoversAcrossRestart is the durability round trip: ingest
+// through a WAL-wrapped profiler, close it, rebuild from the same path, and
+// require the recovered profile to answer identically.
+func TestDurableRecoversAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.wal")
+
+	p1, err := sprofile.Build(32, sprofile.WithWAL(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, ok := p1.(*sprofile.Durable)
+	if !ok {
+		t.Fatalf("Build with WithWAL produced %T, want *sprofile.Durable", p1)
+	}
+	if d1.Replayed() != 0 {
+		t.Fatalf("fresh WAL replayed %d records", d1.Replayed())
+	}
+	tuples := []sprofile.Tuple{
+		{Object: 3, Action: sprofile.ActionAdd},
+		{Object: 3, Action: sprofile.ActionAdd},
+		{Object: 7, Action: sprofile.ActionAdd},
+		{Object: 3, Action: sprofile.ActionRemove},
+		{Object: 11, Action: sprofile.ActionAdd},
+	}
+	if n, err := d1.ApplyAll(tuples); err != nil || n != len(tuples) {
+		t.Fatalf("ApplyAll = (%d, %v)", n, err)
+	}
+	if err := d1.Add(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := sprofile.Build(32, sprofile.WithWAL(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := p2.(*sprofile.Durable)
+	defer d2.Close()
+	if d2.Replayed() != len(tuples)+1 {
+		t.Fatalf("Replayed = %d, want %d", d2.Replayed(), len(tuples)+1)
+	}
+	for _, c := range []struct {
+		object int
+		want   int64
+	}{{3, 1}, {7, 2}, {11, 1}, {0, 0}} {
+		got, err := d2.Count(c.object)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("recovered Count(%d) = %d, want %d", c.object, got, c.want)
+		}
+	}
+	if got := d2.Total(); got != 4 {
+		t.Errorf("recovered Total = %d, want 4", got)
+	}
+	mode, _, err := d2.Mode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode.Object != 7 || mode.Frequency != 2 {
+		t.Errorf("recovered Mode = %+v, want object 7 frequency 2", mode)
+	}
+}
+
+// TestDurableComposesWithSharding checks that WAL journaling wraps whatever
+// representation the other options selected.
+func TestDurableComposesWithSharding(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sharded.wal")
+	p, err := sprofile.Build(64, sprofile.WithSharding(8), sprofile.WithWAL(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.(*sprofile.Durable)
+	if _, ok := d.Unwrap().(*sprofile.Sharded); !ok {
+		t.Fatalf("Unwrap() = %T, want *sprofile.Sharded", d.Unwrap())
+	}
+	for i := 0; i < 64; i++ {
+		if err := d.Add(i % 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := sprofile.Build(64, sprofile.WithSharding(8), sprofile.WithWAL(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.(*sprofile.Durable).Close()
+	if got := p2.Total(); got != 64 {
+		t.Fatalf("recovered sharded Total = %d, want 64", got)
+	}
+}

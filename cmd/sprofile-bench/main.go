@@ -1,6 +1,6 @@
 // Command sprofile-bench regenerates the paper's evaluation figures and the
-// additional ablation studies described in DESIGN.md, printing one text table
-// per figure panel and, optionally, writing CSV files for plotting.
+// harness's additional ablation studies, printing one text table per figure
+// panel and, optionally, writing CSV files for plotting.
 //
 // Usage:
 //

@@ -7,6 +7,12 @@
 //
 //	sprofile -input stream1.bin -top 10
 //	sprofile -workload stream2 -m 100000 -n 1000000 -stats mode,median,distribution
+//	sprofile -workload stream1 -shards 16           # sharded representation
+//	sprofile -workload stream1 -window 100000       # only the last 100k tuples
+//
+// The profile representation is assembled with sprofile.Build, so -shards and
+// -window swap in a sharded or sliding-window profile without changing any of
+// the replay or query code.
 //
 // After replaying the stream the tool prints one section per requested
 // statistic; -json switches the output to a single JSON document.
@@ -60,21 +66,24 @@ func run(args []string, stdout io.Writer) error {
 		topK     = fs.Int("top", 10, "number of entries for the top statistic")
 		stats    = fs.String("stats", "mode,top,median,summary", "comma-separated statistics: mode,min,median,top,distribution,summary")
 		strict   = fs.Bool("strict", false, "reject removals that would drive a frequency below zero")
+		shards   = fs.Int("shards", 0, "split the profile across this many lock shards (0 = unsharded)")
+		window   = fs.Int("window", 0, "profile only the last N tuples through a sliding window (0 = whole stream)")
 		asJSON   = fs.Bool("json", false, "emit a single JSON document instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	opts := buildOptions(*strict, *shards, *window)
 	var (
-		profile *sprofile.Profile
+		profile sprofile.Profiler
 		applied uint64
 		err     error
 	)
 	if *input != "" {
-		profile, applied, err = replayFile(*input, *strict)
+		profile, applied, err = replayFile(*input, opts)
 	} else {
-		profile, applied, err = replayGenerated(*workload, *m, *n, *seed, *strict)
+		profile, applied, err = replayGenerated(*workload, *m, *n, *seed, opts)
 	}
 	if err != nil {
 		return err
@@ -155,8 +164,24 @@ func writeText(w io.Writer, doc outputDoc) error {
 	return nil
 }
 
+// buildOptions translates the CLI flags into builder capabilities; the rest
+// of the tool only ever sees the sprofile.Profiler interface.
+func buildOptions(strict bool, shards, window int) []sprofile.BuildOption {
+	var opts []sprofile.BuildOption
+	if strict {
+		opts = append(opts, sprofile.Strict())
+	}
+	if shards != 0 {
+		opts = append(opts, sprofile.WithSharding(shards))
+	}
+	if window != 0 {
+		opts = append(opts, sprofile.Windowed(window))
+	}
+	return opts
+}
+
 // replayFile loads a stream file and applies every tuple to a fresh profile.
-func replayFile(path string, strict bool) (*sprofile.Profile, uint64, error) {
+func replayFile(path string, opts []sprofile.BuildOption) (sprofile.Profiler, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, 0, err
@@ -168,7 +193,7 @@ func replayFile(path string, strict bool) (*sprofile.Profile, uint64, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		p, err := newProfile(m, strict)
+		p, err := sprofile.Build(m, opts...)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -180,7 +205,7 @@ func replayFile(path string, strict bool) (*sprofile.Profile, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	p, err := newProfile(br.M(), strict)
+	p, err := sprofile.Build(br.M(), opts...)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -201,7 +226,7 @@ func replayFile(path string, strict bool) (*sprofile.Profile, uint64, error) {
 }
 
 // replayGenerated generates n tuples of the named workload and applies them.
-func replayGenerated(workload string, m, n int, seed uint64, strict bool) (*sprofile.Profile, uint64, error) {
+func replayGenerated(workload string, m, n int, seed uint64, opts []sprofile.BuildOption) (sprofile.Profiler, uint64, error) {
 	if n <= 0 || m <= 0 {
 		return nil, 0, fmt.Errorf("n and m must be positive (n=%d, m=%d)", n, m)
 	}
@@ -209,7 +234,7 @@ func replayGenerated(workload string, m, n int, seed uint64, strict bool) (*spro
 	if err != nil {
 		return nil, 0, err
 	}
-	p, err := newProfile(m, strict)
+	p, err := sprofile.Build(m, opts...)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -219,11 +244,4 @@ func replayGenerated(workload string, m, n int, seed uint64, strict bool) (*spro
 		}
 	}
 	return p, uint64(n), nil
-}
-
-func newProfile(m int, strict bool) (*sprofile.Profile, error) {
-	if strict {
-		return sprofile.New(m, sprofile.WithStrictNonNegative())
-	}
-	return sprofile.New(m)
 }

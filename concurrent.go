@@ -100,6 +100,14 @@ func (c *Concurrent) TopK(k int) []Entry {
 	return c.p.TopK(k)
 }
 
+// BottomK returns the k least frequent entries in non-decreasing frequency
+// order.
+func (c *Concurrent) BottomK(k int) []Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.p.BottomK(k)
+}
+
 // KthLargest returns the entry holding the k-th largest frequency (1-based).
 func (c *Concurrent) KthLargest(k int) (Entry, error) {
 	c.mu.RLock()
@@ -158,9 +166,10 @@ func (c *Concurrent) Total() int64 {
 }
 
 // Snapshot returns a point-in-time deep copy of the profile that can be
-// queried without any further locking.
-func (c *Concurrent) Snapshot() *Profile {
+// queried without any further locking. The error is always nil; the signature
+// matches the Snapshotter capability shared with Sharded.
+func (c *Concurrent) Snapshot() (*Profile, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.p.Clone()
+	return c.p.Clone(), nil
 }

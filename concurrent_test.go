@@ -90,7 +90,11 @@ func TestConcurrentParallelUpdatesAndQueries(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 200; i++ {
-			snap := c.Snapshot()
+			snap, err := c.Snapshot()
+			if err != nil {
+				t.Errorf("snapshot: %v", err)
+				return
+			}
 			if err := snap.CheckInvariants(); err != nil {
 				t.Errorf("snapshot invariants: %v", err)
 				return
@@ -101,7 +105,10 @@ func TestConcurrentParallelUpdatesAndQueries(t *testing.T) {
 
 	// After all writers finish, the profile must be internally consistent and
 	// its event counters must match the number of operations issued.
-	snap := c.Snapshot()
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := snap.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}

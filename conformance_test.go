@@ -1,0 +1,72 @@
+package sprofile_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sprofile"
+	"sprofile/profilertest"
+)
+
+// TestProfilerConformance runs the shared conformance battery against every
+// sprofile.Profiler implementation in the package, so all variants are held
+// to exactly the same update/query/error semantics. Sharded and Concurrent
+// answers are cross-checked against a plain Profile on the same stream by the
+// suite itself.
+func TestProfilerConformance(t *testing.T) {
+	// Window sizes larger than any stream the suite replays: the windowed
+	// profile then holds the whole stream and must agree with the reference.
+	const conformanceWindow = 1 << 20
+
+	profilertest.Run(t, "Profile", func(m int, opts ...sprofile.Option) (sprofile.Profiler, error) {
+		return sprofile.New(m, opts...)
+	})
+	profilertest.Run(t, "Concurrent", func(m int, opts ...sprofile.Option) (sprofile.Profiler, error) {
+		return sprofile.NewConcurrent(m, opts...)
+	})
+	for _, shards := range []int{1, 3, 16} {
+		profilertest.Run(t, fmt.Sprintf("Sharded-%d", shards), func(m int, opts ...sprofile.Option) (sprofile.Profiler, error) {
+			return sprofile.NewSharded(m, shards, opts...)
+		})
+	}
+	profilertest.Run(t, "Window", func(m int, opts ...sprofile.Option) (sprofile.Profiler, error) {
+		p, err := sprofile.New(m, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return sprofile.NewWindow(p, conformanceWindow)
+	})
+	profilertest.Run(t, "TimeWindow", func(m int, opts ...sprofile.Option) (sprofile.Profiler, error) {
+		p, err := sprofile.New(m, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return sprofile.NewTimeWindow(p, 24*time.Hour)
+	})
+
+	// Builder-assembled variants must behave identically to the hand-built
+	// ones above.
+	profilertest.Run(t, "Build", func(m int, opts ...sprofile.Option) (sprofile.Profiler, error) {
+		return sprofile.Build(m, sprofile.WithOptions(opts...))
+	})
+	profilertest.Run(t, "Build-Sharded", func(m int, opts ...sprofile.Option) (sprofile.Profiler, error) {
+		return sprofile.Build(m, sprofile.WithSharding(4), sprofile.WithOptions(opts...))
+	})
+	profilertest.Run(t, "Build-Windowed", func(m int, opts ...sprofile.Option) (sprofile.Profiler, error) {
+		return sprofile.Build(m, sprofile.Windowed(conformanceWindow), sprofile.WithOptions(opts...))
+	})
+
+	walDir := t.TempDir()
+	walSeq := 0
+	profilertest.Run(t, "Build-WAL", func(m int, opts ...sprofile.Option) (sprofile.Profiler, error) {
+		walSeq++
+		path := filepath.Join(walDir, fmt.Sprintf("conformance-%d.wal", walSeq))
+		if err := os.RemoveAll(path); err != nil {
+			return nil, err
+		}
+		return sprofile.Build(m, sprofile.WithWAL(path), sprofile.WithOptions(opts...))
+	})
+}

@@ -29,7 +29,10 @@ const (
 )
 
 func main() {
-	profile, err := sprofile.NewConcurrent(objects)
+	// One synchronized profile shared by all producers. Swapping the mutex
+	// wrapper for lock shards is a one-line change:
+	// sprofile.Build(objects, sprofile.WithSharding(16)).
+	profile, err := sprofile.Build(objects, sprofile.Synchronized())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,8 +88,12 @@ func main() {
 	wg.Wait()
 	<-reporterDone
 
-	// Final consistent snapshot for the end-of-run report.
-	snapshot := profile.Snapshot()
+	// Final consistent snapshot for the end-of-run report. Snapshots are an
+	// optional capability on top of the Profiler interface.
+	snapshot, err := profile.(sprofile.Snapshotter).Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nfinal top 10 objects:")
 	for rank, e := range snapshot.TopK(10) {
 		fmt.Printf("  #%2d object %-6d net count %d\n", rank+1, e.Object, e.Frequency)

@@ -75,6 +75,9 @@ func parseAndReplay(r io.Reader) error {
 		return err
 	}
 
+	// The concrete TimeWindow is needed for PushAt (replaying historical
+	// timestamps); all the statistics below are answered by the window itself
+	// through the shared Reader surface.
 	profile, err := sprofile.New(services)
 	if err != nil {
 		return err
@@ -90,7 +93,7 @@ func parseAndReplay(r io.Reader) error {
 			return err
 		}
 		if (i+1)%reportEvery == 0 {
-			mode, _, err := profile.Mode()
+			mode, _, err := window.Mode()
 			if err != nil {
 				return err
 			}
@@ -102,7 +105,7 @@ func parseAndReplay(r io.Reader) error {
 
 	// Final per-service request counts inside the last window.
 	fmt.Printf("\nrequests in the final %v window:\n", windowSpan)
-	for _, e := range profile.TopK(services) {
+	for _, e := range window.TopK(services) {
 		name, ok := mapper.Key(e.Object)
 		if !ok || e.Frequency == 0 {
 			continue

@@ -19,8 +19,10 @@ import (
 )
 
 func main() {
-	// Track up to 8 distinct objects (dense ids 0..7).
-	profile, err := sprofile.New(8)
+	// Track up to 8 distinct objects (dense ids 0..7). Build returns the
+	// sprofile.Profiler interface; adding sprofile.Synchronized() or
+	// sprofile.WithSharding(n) here later changes nothing below.
+	profile, err := sprofile.Build(8)
 	if err != nil {
 		log.Fatal(err)
 	}

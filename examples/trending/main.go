@@ -41,13 +41,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Trending = popularity inside a sliding window of recent events, tracked
-	// on a dense-id profile wrapped by the window adapter.
-	recent, err := sprofile.New(channels)
-	if err != nil {
-		log.Fatal(err)
-	}
-	window, err := sprofile.NewWindow(recent, windowSize)
+	// Trending = popularity inside a sliding window of recent events. The
+	// windowed profile is assembled with Build and queried through the same
+	// Profiler interface as any other variant.
+	window, err := sprofile.Build(channels, sprofile.Windowed(windowSize))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,7 +96,7 @@ func pickChannel(rng *rand.Rand, event int) int {
 	return rng.Intn(channels)
 }
 
-func report(event int, allTime *sprofile.Keyed[string], window *sprofile.Window) {
+func report(event int, allTime *sprofile.Keyed[string], window sprofile.Profiler) {
 	fmt.Printf("=== after %d events ===\n", event)
 
 	fmt.Println("all-time top 5:")
@@ -107,12 +104,12 @@ func report(event int, allTime *sprofile.Keyed[string], window *sprofile.Window)
 		fmt.Printf("  #%d %-12s %6d viewers-net\n", rank+1, e.Key, e.Frequency)
 	}
 
-	fmt.Printf("trending top 5 (last %d events):\n", window.Size())
-	for rank, e := range window.Profile().TopK(5) {
+	fmt.Printf("trending top 5 (last %d events):\n", windowSize)
+	for rank, e := range window.TopK(5) {
 		fmt.Printf("  #%d channel-%03d %6d viewers-net\n", rank+1, e.Object, e.Frequency)
 	}
 
-	mode, ties, err := window.Profile().Mode()
+	mode, ties, err := window.Mode()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module sprofile
+
+go 1.24

@@ -1,0 +1,99 @@
+package sprofile
+
+// This file defines the public contract every profile variant in the module
+// satisfies. It is the promotion of the internal evaluation interface
+// (internal/profiler) into the supported API: callers program against
+// Updater/Reader/Profiler and pick a concrete representation — plain,
+// mutex-protected, sharded, windowed, durable — with Build, swapping one for
+// another without touching query code.
+
+// Updater is the ingestion half of a profile: it consumes the (object,
+// add|remove) log stream the paper is built around. Object ids are dense
+// integers in [0, Cap()).
+type Updater interface {
+	// Add applies an "add" event: the frequency of object x rises by one.
+	Add(x int) error
+	// Remove applies a "remove" event: the frequency of object x drops by
+	// one. Profiles built with WithStrictNonNegative reject removals that
+	// would make a frequency negative.
+	Remove(x int) error
+	// Apply applies one log tuple.
+	Apply(t Tuple) error
+	// ApplyAll applies tuples in order, stopping at the first error; it
+	// returns the number of tuples applied. Implementations amortise
+	// per-batch overheads (lock acquisition, WAL syncs) across the batch.
+	ApplyAll(tuples []Tuple) (int, error)
+}
+
+// Reader is the query half of a profile: every statistic the S-Profile
+// structure maintains, each answered from the continuously sorted frequency
+// multiset. On a plain Profile all of these are O(1) (O(k) for TopK/BottomK,
+// O(#distinct frequencies) for Distribution); concurrency wrappers add lock
+// or merge overhead but keep the same semantics.
+type Reader interface {
+	// Count returns the current frequency of object x.
+	Count(x int) (int64, error)
+	// Mode returns an object with maximum frequency, that frequency, and how
+	// many objects share it.
+	Mode() (Entry, int, error)
+	// Min returns an object with minimum frequency, that frequency, and how
+	// many objects share it.
+	Min() (Entry, int, error)
+	// TopK returns the k most frequent entries in non-increasing frequency
+	// order.
+	TopK(k int) []Entry
+	// BottomK returns the k least frequent entries in non-decreasing
+	// frequency order.
+	BottomK(k int) []Entry
+	// KthLargest returns the entry holding the k-th largest frequency
+	// (1-based: k=1 is the mode representative).
+	KthLargest(k int) (Entry, error)
+	// Median returns the lower-median entry of the frequency multiset.
+	Median() (Entry, error)
+	// Quantile returns the entry at quantile q in [0, 1], using the
+	// nearest-rank definition shared by every implementation.
+	Quantile(q float64) (Entry, error)
+	// Majority returns the object holding a strict majority of the total
+	// count, if one exists.
+	Majority() (Entry, bool, error)
+	// Distribution returns the frequency histogram in ascending frequency
+	// order.
+	Distribution() []FreqCount
+	// Summarize returns aggregate statistics of the profile.
+	Summarize() Summary
+	// Cap returns the number of object slots m.
+	Cap() int
+	// Total returns the sum of all frequencies.
+	Total() int64
+}
+
+// Profiler is the full contract: ingestion plus queries. Every profile
+// variant in this package satisfies it — *Profile, *Concurrent, *Sharded,
+// *Window, *TimeWindow and *Durable — as does anything returned by Build.
+type Profiler interface {
+	Updater
+	Reader
+}
+
+// Snapshotter is the optional capability of producing a consistent
+// point-in-time copy of the profile as a standalone *Profile, queryable with
+// no further locking. Callers that hold a Profiler can test for it:
+//
+//	if s, ok := p.(sprofile.Snapshotter); ok { snap, err := s.Snapshot() }
+type Snapshotter interface {
+	Snapshot() (*Profile, error)
+}
+
+// Compile-time checks that every variant honours the contract.
+var (
+	_ Profiler = (*Profile)(nil)
+	_ Profiler = (*Concurrent)(nil)
+	_ Profiler = (*Sharded)(nil)
+	_ Profiler = (*Window)(nil)
+	_ Profiler = (*TimeWindow)(nil)
+	_ Profiler = (*Durable)(nil)
+
+	_ Snapshotter = (*Profile)(nil)
+	_ Snapshotter = (*Concurrent)(nil)
+	_ Snapshotter = (*Sharded)(nil)
+)

@@ -1,8 +1,8 @@
-// Package bench is the experiment harness behind EXPERIMENTS.md: it defines
-// one experiment per figure of the paper's evaluation (§3) plus the ablation
-// studies called out in DESIGN.md, runs them at a configurable scale, and
-// renders the results as text tables and CSV so they can be compared with the
-// paper's plots.
+// Package bench is the experiment harness behind cmd/sprofile-bench: it
+// defines one experiment per figure of the paper's evaluation (§3) plus a set
+// of ablation studies, runs them at a configurable scale, and renders the
+// results as text tables and CSV so they can be compared with the paper's
+// plots.
 //
 // The paper reports wall-clock CPU seconds for processing n log-stream tuples
 // while keeping a statistic (the mode in §3.1, the median in §3.2) up to

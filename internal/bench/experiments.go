@@ -201,7 +201,7 @@ func ExperimentIDs() []string {
 	return []string{
 		"figure3", "figure4", "figure5", "figure6",
 		"ablation-treekind", "ablation-fenwick", "ablation-blockhint",
-		"ablation-workloads", "graph-shaving", "sliding-window",
+		"ablation-workloads", "graph-shaving", "sliding-window", "variants",
 	}
 }
 
@@ -277,6 +277,12 @@ func Run(id string, scale Scale) ([]*Result, error) {
 		return []*Result{r}, nil
 	case "sliding-window":
 		r, err := SlidingWindow(scale)
+		if err != nil {
+			return nil, err
+		}
+		return []*Result{r}, nil
+	case "variants":
+		r, err := Variants(scale)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sprofile"
+	"sprofile/internal/core"
+	"sprofile/internal/stream"
+)
+
+// The public profile variants measured by the "variants" experiment. Unlike
+// the figure experiments, which talk to the internal evaluation interface,
+// these go through the exported sprofile.Profiler contract — the same surface
+// servers and applications embed — so the numbers include any interface and
+// wrapper overhead a real caller pays.
+const (
+	MethodVariantPlain        Method = "profile"
+	MethodVariantSynchronized Method = "concurrent"
+	MethodVariantSharded      Method = "sharded-8"
+)
+
+// variantBuildOptions maps a variant method to its Build capabilities.
+func variantBuildOptions(method Method) ([]sprofile.BuildOption, error) {
+	switch method {
+	case MethodVariantPlain:
+		return nil, nil
+	case MethodVariantSynchronized:
+		return []sprofile.BuildOption{sprofile.Synchronized()}, nil
+	case MethodVariantSharded:
+		return []sprofile.BuildOption{sprofile.WithSharding(8)}, nil
+	default:
+		return nil, fmt.Errorf("bench: unknown variant %q", method)
+	}
+}
+
+// measureVariant processes n tuples through a freshly built variant, asking
+// for the mode after every update, and returns the wall-clock seconds.
+// Construction is included, mirroring Measure's protocol.
+func measureVariant(method Method, w stream.Workload, n int) (float64, error) {
+	opts, err := variantBuildOptions(method)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]core.Tuple, chunkSize)
+
+	start := time.Now()
+	p, err := sprofile.Build(w.M(), opts...)
+	if err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+
+	remaining := n
+	var sink int64
+	for remaining > 0 {
+		c := chunkSize
+		if remaining < c {
+			c = remaining
+		}
+		chunk := buf[:c]
+		for i := range chunk {
+			chunk[i] = w.Next()
+		}
+
+		chunkStart := time.Now()
+		if _, err := p.ApplyAll(chunk); err != nil {
+			return 0, err
+		}
+		e, _, err := p.Mode()
+		if err != nil {
+			return 0, err
+		}
+		sink += e.Frequency
+		elapsed += time.Since(chunkStart)
+		remaining -= c
+	}
+	benchSink += sink
+	return elapsed.Seconds(), nil
+}
+
+// Variants measures single-goroutine ingestion throughput of the public
+// builder variants — plain, mutex-protected and sharded — over the unified
+// sprofile.Profiler interface, with m swept. It quantifies what each
+// capability costs when its concurrency is not needed, the baseline for
+// choosing Build options.
+func Variants(scale Scale) (*Result, error) {
+	methods := []Method{MethodVariantPlain, MethodVariantSynchronized, MethodVariantSharded}
+	res := &Result{
+		ID:      "variants",
+		Title:   fmt.Sprintf("builder variants over the unified Profiler interface, n=%d, stream1", scale.Figure4N),
+		XLabel:  "m (objects)",
+		Methods: methods,
+	}
+	for _, m := range scale.Figure4MValues {
+		point := Point{X: int64(m), Seconds: make(map[Method]float64, len(methods))}
+		for _, method := range methods {
+			w, err := stream.Stream1(m, scale.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("variants: m=%d: %w", m, err)
+			}
+			secs, err := measureVariant(method, w, scale.Figure4N)
+			if err != nil {
+				return nil, fmt.Errorf("variants: m=%d method=%s: %w", m, method, err)
+			}
+			point.Seconds[method] = secs
+		}
+		res.Points = append(res.Points, point)
+	}
+	sortPoints(res.Points)
+	return res, nil
+}

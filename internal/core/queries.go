@@ -1,5 +1,7 @@
 package core
 
+import "math"
+
 // Entry pairs an object id with its frequency; query results are reported as
 // entries.
 type Entry struct {
@@ -144,12 +146,15 @@ func (p *Profile) Median() (Entry, error) {
 	return p.AtRank(int((p.m - 1) / 2))
 }
 
-// Quantile returns the entry at quantile q in [0, 1] of the frequency
-// multiset (q=0 minimum, q=0.5 median, q=1 maximum), using the
-// nearest-rank definition.
-func (p *Profile) Quantile(q float64) (Entry, error) {
-	if p.m == 0 {
-		return Entry{}, ErrEmptyProfile
+// QuantileRank maps quantile q (clamped to [0, 1]) to the 0-based rank of
+// the nearest element of an ascending m-element frequency array: the integer
+// closest to q*(m-1). Every quantile query in the module — single profile or
+// sharded merge — goes through this one function so the implementations can
+// never disagree on rounding (truncating q*(m-1) would, e.g., send q=0.7 over
+// m=11 slots to rank 6 instead of the nearest rank 7).
+func QuantileRank(q float64, m int) int {
+	if m <= 0 {
+		return 0
 	}
 	if q < 0 {
 		q = 0
@@ -157,8 +162,17 @@ func (p *Profile) Quantile(q float64) (Entry, error) {
 	if q > 1 {
 		q = 1
 	}
-	r := int32(q * float64(p.m-1))
-	return p.AtRank(int(r))
+	return int(math.Round(q * float64(m-1)))
+}
+
+// Quantile returns the entry at quantile q in [0, 1] of the frequency
+// multiset (q=0 minimum, q=0.5 median, q=1 maximum), using the
+// nearest-rank definition of QuantileRank.
+func (p *Profile) Quantile(q float64) (Entry, error) {
+	if p.m == 0 {
+		return Entry{}, ErrEmptyProfile
+	}
+	return p.AtRank(QuantileRank(q, int(p.m)))
 }
 
 // Majority returns the object whose frequency exceeds half of the total

@@ -191,6 +191,11 @@ func (p *Profile) loadFrequencies(freqs []int64) {
 	}
 }
 
+// Snapshot returns a point-in-time deep copy of the profile. It exists so
+// that a plain Profile offers the same consistent-snapshot capability as the
+// concurrency wrappers (see sprofile.Snapshotter); the error is always nil.
+func (p *Profile) Snapshot() (*Profile, error) { return p.Clone(), nil }
+
 // Clone returns a deep copy of the profile.
 func (p *Profile) Clone() *Profile {
 	q := &Profile{

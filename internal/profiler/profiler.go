@@ -4,6 +4,12 @@
 // property tests and the experiment harness talk to this interface so every
 // implementation answers exactly the same queries on exactly the same
 // streams.
+//
+// This is deliberately the evaluation subset: baselines only answer what
+// their data structure supports (ErrUnsupported otherwise). The supported
+// public contract — the full query surface plus batch ingestion — is the
+// root package's sprofile.Updater/Reader/Profiler, which every shipped
+// variant satisfies and the profilertest suite enforces.
 package profiler
 
 import (

@@ -126,9 +126,15 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	p := s.profile.Profile()
-	atLeast := p.CountWithFrequencyAtLeast(f)
-	m := p.Cap()
+	// The histogram walk costs O(#distinct frequencies) but works against any
+	// sprofile.Profiler representation, sharded included.
+	atLeast := 0
+	for _, fc := range s.profile.Distribution() {
+		if fc.Freq >= f {
+			atLeast += fc.Count
+		}
+	}
+	m := s.profile.Cap()
 	if m == 0 {
 		writeError(w, http.StatusUnprocessableEntity, "%v", fmt.Errorf("profile has no object slots"))
 		return

@@ -34,6 +34,12 @@ import (
 type Config struct {
 	// Capacity is the maximum number of concurrently tracked objects.
 	Capacity int
+	// Shards, when > 1, splits the dense-id space across that many
+	// independently locked profile shards (see sprofile.WithSharding). The
+	// HTTP layer still serialises updates through one mutex because the key
+	// mapper is shared; sharding pays off once ingestion moves off that
+	// mutex, and is accepted here so deployments can opt in ahead of that.
+	Shards int
 	// MaxBatch bounds how many events one POST may carry; zero selects the
 	// default of 10 000.
 	MaxBatch int
@@ -69,7 +75,17 @@ func New(cfg Config) (*Server, error) {
 	if maxBatch <= 0 {
 		maxBatch = 10_000
 	}
-	keyed, err := sprofile.NewKeyed[string](cfg.Capacity)
+	// Recycling keyed profiles require strict non-negative counts; the rest of
+	// the representation (sharded or not) is declared through Build.
+	buildOpts := []sprofile.BuildOption{sprofile.Strict()}
+	if cfg.Shards > 1 {
+		buildOpts = append(buildOpts, sprofile.WithSharding(cfg.Shards))
+	}
+	inner, err := sprofile.Build(cfg.Capacity, buildOpts...)
+	if err != nil {
+		return nil, err
+	}
+	keyed, err := sprofile.NewKeyedOver[string](inner)
 	if err != nil {
 		return nil, err
 	}
@@ -338,14 +354,13 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	entry, err := s.profile.Profile().Quantile(q)
-	key, _ := s.profile.KeyOf(entry.Object)
+	entry, err := s.profile.Quantile(q)
 	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, entryResponse{Object: key, Frequency: entry.Frequency})
+	writeJSON(w, http.StatusOK, entryResponse{Object: entry.Key, Frequency: entry.Frequency})
 }
 
 func (s *Server) handleDistribution(w http.ResponseWriter, r *http.Request) {

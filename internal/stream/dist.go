@@ -18,7 +18,7 @@ type Distribution interface {
 	// M returns the object-id space size the distribution was built for.
 	M() int
 	// Name returns a short human-readable description, used in benchmark
-	// labels and EXPERIMENTS.md.
+	// labels and experiment tables.
 	Name() string
 }
 

@@ -8,7 +8,7 @@ import (
 // RNG is a small, fast, deterministic pseudo-random generator
 // (xoshiro256** seeded through splitmix64). It is intentionally independent
 // of math/rand so that workloads are bit-identical across Go releases, which
-// keeps EXPERIMENTS.md reproducible.
+// keeps the benchmark results reproducible.
 //
 // An RNG is not safe for concurrent use; give each goroutine its own
 // (use Split to derive independent streams).

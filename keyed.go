@@ -34,10 +34,13 @@ type KeyedEntry[K comparable] struct {
 // profiles with recycling are always strict non-negative, because a recycled
 // id must start from a clean zero frequency.
 //
-// A Keyed profile is not safe for concurrent use; see NewConcurrent for a
-// locked dense-id profile, or shard by key hash.
+// A Keyed profile wraps any dense-id Profiler — a plain Profile by default
+// (NewKeyed), or whatever Build assembled (NewKeyedOver), e.g. a sharded
+// profile for lower lock contention. The id mapper itself is not safe for
+// concurrent use; serialise Keyed access in the caller even when the inner
+// profiler is synchronized.
 type Keyed[K comparable] struct {
-	profile *core.Profile
+	profile Profiler
 	ids     *idmap.Mapper[K]
 	recycle bool
 }
@@ -57,7 +60,8 @@ func WithoutRecycling() KeyedOption {
 	return func(o *keyedOptions) { o.recycle = false }
 }
 
-// NewKeyed returns a Keyed profile able to track up to m concurrent keys.
+// NewKeyed returns a Keyed profile able to track up to m concurrent keys,
+// backed by a plain Profile.
 func NewKeyed[K comparable](m int, opts ...KeyedOption) (*Keyed[K], error) {
 	o := keyedOptions{recycle: true}
 	for _, opt := range opts {
@@ -71,7 +75,28 @@ func NewKeyed[K comparable](m int, opts ...KeyedOption) (*Keyed[K], error) {
 	if err != nil {
 		return nil, err
 	}
-	ids, err := idmap.New[K](m)
+	return newKeyedOver[K](p, o)
+}
+
+// NewKeyedOver returns a Keyed profile backed by an existing dense-id
+// profiler — typically one assembled with Build, so key-addressed callers
+// get sharding or durability by swapping the Build options. With recycling
+// enabled (the default) the profiler must have been built with
+// WithStrictNonNegative, or idle ids cannot be detected reliably. The caller
+// must stop using the profiler directly afterwards.
+func NewKeyedOver[K comparable](p Profiler, opts ...KeyedOption) (*Keyed[K], error) {
+	if p == nil {
+		return nil, errors.New("sprofile: nil profiler")
+	}
+	o := keyedOptions{recycle: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return newKeyedOver[K](p, o)
+}
+
+func newKeyedOver[K comparable](p Profiler, o keyedOptions) (*Keyed[K], error) {
+	ids, err := idmap.New[K](p.Cap())
 	if err != nil {
 		return nil, err
 	}
@@ -211,6 +236,27 @@ func (k *Keyed[K]) Median() (KeyedEntry[K], error) {
 	return k.entryToKeyed(e), nil
 }
 
+// Quantile returns the keyed entry at quantile q in [0, 1] of the frequency
+// multiset over all m slots (nearest-rank definition).
+func (k *Keyed[K]) Quantile(q float64) (KeyedEntry[K], error) {
+	e, err := k.profile.Quantile(q)
+	if err != nil {
+		return KeyedEntry[K]{}, err
+	}
+	return k.entryToKeyed(e), nil
+}
+
+// Min returns a key with the minimum frequency, the frequency, and the
+// number of objects sharing it. Slots not currently bound to a key report the
+// zero value of K.
+func (k *Keyed[K]) Min() (KeyedEntry[K], int, error) {
+	e, ties, err := k.profile.Min()
+	if err != nil {
+		return KeyedEntry[K]{}, 0, err
+	}
+	return k.entryToKeyed(e), ties, nil
+}
+
 // Majority returns the key holding a strict majority of the total count, if
 // one exists.
 func (k *Keyed[K]) Majority() (KeyedEntry[K], bool, error) {
@@ -227,10 +273,10 @@ func (k *Keyed[K]) Distribution() []FreqCount { return k.profile.Distribution() 
 // Summarize returns aggregate statistics of the underlying profile.
 func (k *Keyed[K]) Summarize() Summary { return k.profile.Summarize() }
 
-// Profile exposes the underlying dense-id profile for advanced queries
-// (quantiles, rank lookups, snapshots). Mutating it directly desynchronises
-// the key mapping and must be avoided.
-func (k *Keyed[K]) Profile() *Profile { return k.profile }
+// Profile exposes the underlying dense-id profiler for advanced queries
+// (rank lookups, snapshots via the Snapshotter capability). Mutating it
+// directly desynchronises the key mapping and must be avoided.
+func (k *Keyed[K]) Profile() Profiler { return k.profile }
 
 // KeyOf resolves a dense id back to its key, when one is assigned.
 func (k *Keyed[K]) KeyOf(id int) (K, bool) { return k.ids.Key(id) }

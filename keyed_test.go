@@ -164,7 +164,13 @@ func TestKeyedMedianMajorityDistribution(t *testing.T) {
 	if k.Profile() == nil {
 		t.Fatalf("Profile() returned nil")
 	}
-	id, err := k.Profile().Rank(0)
+	// The inner profiler of a NewKeyed profile is a plain Profile; advanced
+	// per-object queries like Rank stay reachable through a type assertion.
+	inner, ok := k.Profile().(*sprofile.Profile)
+	if !ok {
+		t.Fatalf("Profile() = %T, want *sprofile.Profile", k.Profile())
+	}
+	id, err := inner.Rank(0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,319 @@
+// Package profilertest provides a reusable conformance suite for
+// implementations of the sprofile.Profiler interface, in the spirit of
+// net/http/httptest: the root package runs it against every built-in variant
+// (plain, concurrent, sharded, windowed, durable), and out-of-tree
+// implementations can run it against theirs.
+//
+// The suite checks three things:
+//
+//   - error semantics: out-of-range objects, invalid actions, bad ranks,
+//     empty profiles and strict-mode removals must fail with the package's
+//     sentinel errors;
+//   - query agreement: after a deterministic mixed add/remove stream, every
+//     query must answer exactly what a plain *sprofile.Profile over the same
+//     stream answers — frequencies, ties, ranks, quantiles, histogram and
+//     summary alike;
+//   - batch semantics: ApplyAll must stop at the first failing tuple and
+//     report how many were applied.
+package profilertest
+
+import (
+	"errors"
+	"testing"
+
+	"sprofile"
+	"sprofile/internal/stream"
+)
+
+// Factory builds a fresh profiler over m dense object ids with the given
+// profile options. The conformance suite calls it many times with small m.
+type Factory func(m int, opts ...sprofile.Option) (sprofile.Profiler, error)
+
+// Run executes the full conformance battery against the implementation the
+// factory produces. name labels the subtests.
+func Run(t *testing.T, name string, factory Factory) {
+	t.Helper()
+	t.Run(name+"/ErrorSemantics", func(t *testing.T) { testErrorSemantics(t, factory) })
+	t.Run(name+"/StrictMode", func(t *testing.T) { testStrictMode(t, factory) })
+	t.Run(name+"/MatchesReference", func(t *testing.T) { testMatchesReference(t, factory) })
+	t.Run(name+"/ApplyAll", func(t *testing.T) { testApplyAll(t, factory) })
+}
+
+func testErrorSemantics(t *testing.T, factory Factory) {
+	p, err := factory(8)
+	if err != nil {
+		t.Fatalf("factory(8): %v", err)
+	}
+	for _, x := range []int{-1, 8, 1 << 20} {
+		if err := p.Add(x); !errors.Is(err, sprofile.ErrObjectRange) {
+			t.Errorf("Add(%d) = %v, want ErrObjectRange", x, err)
+		}
+		if err := p.Remove(x); !errors.Is(err, sprofile.ErrObjectRange) {
+			t.Errorf("Remove(%d) = %v, want ErrObjectRange", x, err)
+		}
+		if _, err := p.Count(x); !errors.Is(err, sprofile.ErrObjectRange) {
+			t.Errorf("Count(%d) = %v, want ErrObjectRange", x, err)
+		}
+	}
+	if err := p.Apply(sprofile.Tuple{Object: 0, Action: sprofile.Action(0)}); err == nil {
+		t.Errorf("Apply with invalid action succeeded")
+	}
+	for _, k := range []int{0, -1, 9} {
+		if _, err := p.KthLargest(k); !errors.Is(err, sprofile.ErrBadRank) {
+			t.Errorf("KthLargest(%d) = %v, want ErrBadRank", k, err)
+		}
+	}
+	if got := p.TopK(0); got != nil {
+		t.Errorf("TopK(0) = %v, want nil", got)
+	}
+	if got := p.BottomK(-1); got != nil {
+		t.Errorf("BottomK(-1) = %v, want nil", got)
+	}
+	if got := p.TopK(100); len(got) != 8 {
+		t.Errorf("TopK(100) returned %d entries, want 8", len(got))
+	}
+	if got := p.BottomK(100); len(got) != 8 {
+		t.Errorf("BottomK(100) returned %d entries, want 8", len(got))
+	}
+	if p.Cap() != 8 {
+		t.Errorf("Cap() = %d, want 8", p.Cap())
+	}
+
+	empty, err := factory(0)
+	if err != nil {
+		t.Fatalf("factory(0): %v", err)
+	}
+	if _, _, err := empty.Mode(); !errors.Is(err, sprofile.ErrEmptyProfile) {
+		t.Errorf("Mode on empty profile = %v, want ErrEmptyProfile", err)
+	}
+	if _, _, err := empty.Min(); !errors.Is(err, sprofile.ErrEmptyProfile) {
+		t.Errorf("Min on empty profile = %v, want ErrEmptyProfile", err)
+	}
+	if _, err := empty.Median(); !errors.Is(err, sprofile.ErrEmptyProfile) {
+		t.Errorf("Median on empty profile = %v, want ErrEmptyProfile", err)
+	}
+	if _, err := empty.Quantile(0.5); !errors.Is(err, sprofile.ErrEmptyProfile) {
+		t.Errorf("Quantile on empty profile = %v, want ErrEmptyProfile", err)
+	}
+	if _, _, err := empty.Majority(); !errors.Is(err, sprofile.ErrEmptyProfile) {
+		t.Errorf("Majority on empty profile = %v, want ErrEmptyProfile", err)
+	}
+}
+
+func testStrictMode(t *testing.T, factory Factory) {
+	p, err := factory(4, sprofile.WithStrictNonNegative())
+	if err != nil {
+		t.Fatalf("factory(4, strict): %v", err)
+	}
+	if err := p.Remove(1); !errors.Is(err, sprofile.ErrNegativeFrequency) {
+		t.Fatalf("strict Remove at zero = %v, want ErrNegativeFrequency", err)
+	}
+	if err := p.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Remove(1); err != nil {
+		t.Fatalf("strict Remove at one = %v, want nil", err)
+	}
+	if got := p.Total(); got != 0 {
+		t.Fatalf("Total after add+remove = %d, want 0", got)
+	}
+}
+
+// testMatchesReference replays deterministic mixed streams into the
+// implementation and into a plain reference Profile and requires every query
+// to agree.
+func testMatchesReference(t *testing.T, factory Factory) {
+	// 11 and 40 slots exercise both tiny profiles (many ties) and quantile
+	// rank rounding (q*(m-1) landing on .5 boundaries and above).
+	for _, m := range []int{1, 11, 40} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			p, err := factory(m)
+			if err != nil {
+				t.Fatalf("factory(%d): %v", m, err)
+			}
+			ref := sprofile.MustNew(m)
+			rng := stream.NewRNG(seed)
+			n := 400 + int(seed)*137
+			for i := 0; i < n; i++ {
+				x := rng.Intn(m)
+				action := sprofile.ActionAdd
+				if rng.Bernoulli(0.35) {
+					action = sprofile.ActionRemove
+				}
+				tp := sprofile.Tuple{Object: x, Action: action}
+				if err := p.Apply(tp); err != nil {
+					t.Fatalf("m=%d seed=%d apply %d: %v", m, seed, i, err)
+				}
+				if err := ref.Apply(tp); err != nil {
+					t.Fatal(err)
+				}
+			}
+			compareWithReference(t, p, ref)
+		}
+	}
+}
+
+// compareWithReference checks every Reader query of p against the reference
+// profile. Representatives may differ between implementations (ties are
+// broken arbitrarily), so object identity is validated through the reference
+// profile's Count rather than compared directly.
+func compareWithReference(t *testing.T, p sprofile.Profiler, ref *sprofile.Profile) {
+	t.Helper()
+	m := ref.Cap()
+	if got, want := p.Cap(), ref.Cap(); got != want {
+		t.Fatalf("Cap: got %d, want %d", got, want)
+	}
+	if got, want := p.Total(), ref.Total(); got != want {
+		t.Fatalf("Total: got %d, want %d", got, want)
+	}
+	for x := 0; x < m; x++ {
+		got, err := p.Count(x)
+		if err != nil {
+			t.Fatalf("Count(%d): %v", x, err)
+		}
+		want, _ := ref.Count(x)
+		if got != want {
+			t.Fatalf("Count(%d): got %d, want %d", x, got, want)
+		}
+	}
+
+	gotMode, gotTies, err := p.Mode()
+	if err != nil {
+		t.Fatalf("Mode: %v", err)
+	}
+	wantMode, wantTies, _ := ref.Mode()
+	if gotMode.Frequency != wantMode.Frequency || gotTies != wantTies {
+		t.Fatalf("Mode: got (%d, %d ties), want (%d, %d ties)",
+			gotMode.Frequency, gotTies, wantMode.Frequency, wantTies)
+	}
+	if f, _ := ref.Count(gotMode.Object); f != gotMode.Frequency {
+		t.Fatalf("Mode representative %d does not hold frequency %d", gotMode.Object, gotMode.Frequency)
+	}
+
+	gotMin, gotMinTies, err := p.Min()
+	if err != nil {
+		t.Fatalf("Min: %v", err)
+	}
+	wantMin, wantMinTies, _ := ref.Min()
+	if gotMin.Frequency != wantMin.Frequency || gotMinTies != wantMinTies {
+		t.Fatalf("Min: got (%d, %d ties), want (%d, %d ties)",
+			gotMin.Frequency, gotMinTies, wantMin.Frequency, wantMinTies)
+	}
+
+	for k := 1; k <= m; k++ {
+		got, err := p.KthLargest(k)
+		if err != nil {
+			t.Fatalf("KthLargest(%d): %v", k, err)
+		}
+		want, _ := ref.KthLargest(k)
+		if got.Frequency != want.Frequency {
+			t.Fatalf("KthLargest(%d): got %d, want %d", k, got.Frequency, want.Frequency)
+		}
+		if f, _ := ref.Count(got.Object); f != got.Frequency {
+			t.Fatalf("KthLargest(%d) representative %d does not hold frequency %d", k, got.Object, got.Frequency)
+		}
+	}
+
+	gotMed, err := p.Median()
+	if err != nil {
+		t.Fatalf("Median: %v", err)
+	}
+	wantMed, _ := ref.Median()
+	if gotMed.Frequency != wantMed.Frequency {
+		t.Fatalf("Median: got %d, want %d", gotMed.Frequency, wantMed.Frequency)
+	}
+
+	// 0.7 and 0.65 land q*(m-1) on fractional ranks; truncating instead of
+	// taking the nearest rank fails here.
+	for _, q := range []float64{0, 0.25, 0.5, 0.65, 0.7, 0.75, 0.99, 1, -0.3, 1.7} {
+		got, err := p.Quantile(q)
+		if err != nil {
+			t.Fatalf("Quantile(%g): %v", q, err)
+		}
+		want, _ := ref.Quantile(q)
+		if got.Frequency != want.Frequency {
+			t.Fatalf("Quantile(%g): got %d, want %d", q, got.Frequency, want.Frequency)
+		}
+	}
+
+	gotMaj, gotOK, err := p.Majority()
+	if err != nil {
+		t.Fatalf("Majority: %v", err)
+	}
+	wantMaj, wantOK, _ := ref.Majority()
+	if gotOK != wantOK || (gotOK && gotMaj.Frequency != wantMaj.Frequency) {
+		t.Fatalf("Majority: got (%+v, %v), want (%+v, %v)", gotMaj, gotOK, wantMaj, wantOK)
+	}
+
+	gotDist, wantDist := p.Distribution(), ref.Distribution()
+	if len(gotDist) != len(wantDist) {
+		t.Fatalf("Distribution length: got %d, want %d", len(gotDist), len(wantDist))
+	}
+	for i := range wantDist {
+		if gotDist[i] != wantDist[i] {
+			t.Fatalf("Distribution[%d]: got %+v, want %+v", i, gotDist[i], wantDist[i])
+		}
+	}
+
+	for _, k := range []int{1, 3, m} {
+		gotTop, wantTop := p.TopK(k), ref.TopK(k)
+		if len(gotTop) != len(wantTop) {
+			t.Fatalf("TopK(%d) length: got %d, want %d", k, len(gotTop), len(wantTop))
+		}
+		for i := range wantTop {
+			if gotTop[i].Frequency != wantTop[i].Frequency {
+				t.Fatalf("TopK(%d)[%d]: got %d, want %d", k, i, gotTop[i].Frequency, wantTop[i].Frequency)
+			}
+		}
+		gotBottom, wantBottom := p.BottomK(k), ref.BottomK(k)
+		if len(gotBottom) != len(wantBottom) {
+			t.Fatalf("BottomK(%d) length: got %d, want %d", k, len(gotBottom), len(wantBottom))
+		}
+		for i := range wantBottom {
+			if gotBottom[i].Frequency != wantBottom[i].Frequency {
+				t.Fatalf("BottomK(%d)[%d]: got %d, want %d", k, i, gotBottom[i].Frequency, wantBottom[i].Frequency)
+			}
+		}
+	}
+
+	gotSum, wantSum := p.Summarize(), ref.Summarize()
+	if gotSum != wantSum {
+		t.Fatalf("Summarize: got %+v, want %+v", gotSum, wantSum)
+	}
+}
+
+func testApplyAll(t *testing.T, factory Factory) {
+	p, err := factory(4)
+	if err != nil {
+		t.Fatalf("factory(4): %v", err)
+	}
+	ok := []sprofile.Tuple{
+		{Object: 0, Action: sprofile.ActionAdd},
+		{Object: 3, Action: sprofile.ActionAdd},
+		{Object: 0, Action: sprofile.ActionAdd},
+		{Object: 3, Action: sprofile.ActionRemove},
+	}
+	n, err := p.ApplyAll(ok)
+	if err != nil || n != len(ok) {
+		t.Fatalf("ApplyAll = (%d, %v), want (%d, nil)", n, err, len(ok))
+	}
+	if got := p.Total(); got != 2 {
+		t.Fatalf("Total after batch = %d, want 2", got)
+	}
+
+	bad := []sprofile.Tuple{
+		{Object: 1, Action: sprofile.ActionAdd},
+		{Object: 99, Action: sprofile.ActionAdd}, // out of range
+		{Object: 2, Action: sprofile.ActionAdd},
+	}
+	n, err = p.ApplyAll(bad)
+	if !errors.Is(err, sprofile.ErrObjectRange) {
+		t.Fatalf("ApplyAll with bad tuple: err = %v, want ErrObjectRange", err)
+	}
+	if n != 1 {
+		t.Fatalf("ApplyAll with bad tuple applied %d, want 1", n)
+	}
+	if got := p.Total(); got != 3 {
+		t.Fatalf("Total after failed batch = %d, want 3 (prefix applied)", got)
+	}
+}

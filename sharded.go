@@ -128,6 +128,55 @@ func (s *Sharded) Apply(t Tuple) error {
 	}
 }
 
+// ApplyAll applies tuples in order, stopping at the first error; it returns
+// the number of tuples applied. Runs of consecutive tuples that land in the
+// same shard are applied under a single lock acquisition, so batches with
+// locality pay far fewer lock round-trips than per-event ingestion while the
+// stream-order stop-at-first-error semantics of Profile.ApplyAll are kept.
+func (s *Sharded) ApplyAll(tuples []Tuple) (int, error) {
+	i := 0
+	for i < len(tuples) {
+		t := tuples[i]
+		if !t.Action.Valid() {
+			return i, fmt.Errorf("sprofile: invalid action %d", t.Action)
+		}
+		sh, _, err := s.locate(t.Object)
+		if err != nil {
+			return i, err
+		}
+		// Extend the run while the following tuples stay in this shard.
+		end := i + 1
+		for end < len(tuples) {
+			nt := tuples[end]
+			if !nt.Action.Valid() {
+				break
+			}
+			nsh, _, nerr := s.locate(nt.Object)
+			if nerr != nil || nsh != sh {
+				break
+			}
+			end++
+		}
+		sh.mu.Lock()
+		for ; i < end; i++ {
+			t := tuples[i]
+			local := t.Object - sh.base
+			var err error
+			if t.Action == ActionAdd {
+				err = sh.p.Add(local)
+			} else {
+				err = sh.p.Remove(local)
+			}
+			if err != nil {
+				sh.mu.Unlock()
+				return i, err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return len(tuples), nil
+}
+
 // Count returns the current frequency of object x.
 func (s *Sharded) Count(x int) (int64, error) {
 	sh, local, err := s.locate(x)
@@ -310,18 +359,75 @@ func (s *Sharded) Median() (Entry, error) {
 }
 
 // Quantile returns the entry at quantile q in [0, 1] of the global frequency
-// multiset (nearest-rank definition, matching Profile.Quantile).
+// multiset. The rank is computed by core.QuantileRank, the same nearest-rank
+// mapping Profile.Quantile uses, so a sharded profile and a plain profile
+// over the same stream always answer identically.
 func (s *Sharded) Quantile(q float64) (Entry, error) {
 	if s.m == 0 {
 		return Entry{}, ErrEmptyProfile
 	}
-	if q < 0 {
-		q = 0
+	return s.AtRank(core.QuantileRank(q, s.m))
+}
+
+// Majority returns the object holding a strict majority of the total count,
+// if one exists. The mode and the total are read under one global read lock
+// so the comparison sees a single consistent state.
+func (s *Sharded) Majority() (Entry, bool, error) {
+	if s.m == 0 {
+		return Entry{}, false, ErrEmptyProfile
 	}
-	if q > 1 {
-		q = 1
+	unlock := s.lockAll()
+	defer unlock()
+
+	var best Entry
+	var total int64
+	found := false
+	for i := range s.shards {
+		sh := &s.shards[i]
+		total += sh.p.Total()
+		e, _, err := sh.p.Mode()
+		if err != nil {
+			continue
+		}
+		if !found || e.Frequency > best.Frequency {
+			best = Entry{Object: e.Object + sh.base, Frequency: e.Frequency}
+			found = true
+		}
 	}
-	return s.AtRank(int(q * float64(s.m-1)))
+	if !found {
+		return Entry{}, false, ErrEmptyProfile
+	}
+	if total > 0 && best.Frequency*2 > total {
+		return best, true, nil
+	}
+	return Entry{}, false, nil
+}
+
+// Summarize returns aggregate statistics of the whole profile, merging every
+// shard's summary under one global read lock.
+func (s *Sharded) Summarize() Summary {
+	unlock := s.lockAll()
+	defer unlock()
+
+	sum := Summary{Capacity: s.m}
+	for i := range s.shards {
+		shardSum := s.shards[i].p.Summarize()
+		sum.Total += shardSum.Total
+		sum.Active += shardSum.Active
+		sum.Negative += shardSum.Negative
+		sum.Adds += shardSum.Adds
+		sum.Removes += shardSum.Removes
+		if i == 0 || shardSum.MaxFrequency > sum.MaxFrequency {
+			sum.MaxFrequency = shardSum.MaxFrequency
+		}
+		if i == 0 || shardSum.MinFrequency < sum.MinFrequency {
+			sum.MinFrequency = shardSum.MinFrequency
+		}
+	}
+	// Distinct frequencies must be counted globally: two shards holding the
+	// same frequency contribute one distinct value, not two.
+	sum.DistinctFrequencies = len(s.distributionLocked())
+	return sum
 }
 
 // TopK returns the k globally most frequent entries in non-increasing
@@ -346,6 +452,37 @@ func (s *Sharded) TopK(k int) []Entry {
 	sort.Slice(candidates, func(i, j int) bool {
 		if candidates[i].Frequency != candidates[j].Frequency {
 			return candidates[i].Frequency > candidates[j].Frequency
+		}
+		return candidates[i].Object < candidates[j].Object
+	})
+	if len(candidates) > k {
+		candidates = candidates[:k]
+	}
+	return candidates
+}
+
+// BottomK returns the k globally least frequent entries in non-decreasing
+// frequency order, merging each shard's bottom-k list. Cost O(shards·k).
+func (s *Sharded) BottomK(k int) []Entry {
+	if k <= 0 || s.m == 0 {
+		return nil
+	}
+	if k > s.m {
+		k = s.m
+	}
+	unlock := s.lockAll()
+	defer unlock()
+
+	candidates := make([]Entry, 0, k*len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for _, e := range sh.p.BottomK(k) {
+			candidates = append(candidates, Entry{Object: e.Object + sh.base, Frequency: e.Frequency})
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Frequency != candidates[j].Frequency {
+			return candidates[i].Frequency < candidates[j].Frequency
 		}
 		return candidates[i].Object < candidates[j].Object
 	})

@@ -211,6 +211,49 @@ func TestShardedMatchesSingleProfileOnPaperStreams(t *testing.T) {
 	}
 }
 
+// TestShardedQuantileNearestRank pins the quantile rank definition: both the
+// plain profile and the sharded merge must round q*(m-1) to the nearest rank.
+// With m=11, q=0.7 lands on 6.999999999999999 in float arithmetic; the old
+// truncating implementation answered rank 6 where nearest-rank demands 7.
+func TestShardedQuantileNearestRank(t *testing.T) {
+	const m = 11
+	s := sprofile.MustNewSharded(m, 3)
+	ref := sprofile.MustNew(m)
+	// Distinct frequencies 0..10 so every rank has a unique frequency and any
+	// rank disagreement is visible as a frequency disagreement.
+	for x := 0; x < m; x++ {
+		for i := 0; i < x; i++ {
+			if err := s.Add(x); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Add(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got, err := s.Quantile(q)
+		if err != nil {
+			t.Fatalf("Quantile(%g): %v", q, err)
+		}
+		want, err := ref.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Frequency != want.Frequency {
+			t.Fatalf("Quantile(%g): sharded %d, reference %d", q, got.Frequency, want.Frequency)
+		}
+	}
+	// The regression case itself: q=0.7 must hit the nearest rank 7.
+	e, err := s.Quantile(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Frequency != 7 {
+		t.Fatalf("Quantile(0.7) over frequencies 0..10 = %d, want 7 (nearest rank)", e.Frequency)
+	}
+}
+
 func TestShardedKthLargestBounds(t *testing.T) {
 	s := sprofile.MustNewSharded(8, 2)
 	if _, err := s.KthLargest(0); !errors.Is(err, sprofile.ErrBadRank) {

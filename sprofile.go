@@ -13,19 +13,31 @@
 // majority element and the full frequency distribution are all available in
 // O(1) (O(K) for top-K, O(#distinct frequencies) for the distribution).
 //
-// Three entry points cover the common usage patterns:
+// All profile variants satisfy one exported contract — Updater for
+// ingestion, Reader for queries, Profiler for both — and are assembled from
+// declared capabilities with Build:
 //
-//   - New gives the raw dense-id profile (object ids are integers in [0, m)),
-//     the thinnest wrapper over the paper's data structure.
-//   - NewKeyed adds an id mapper so that arbitrary comparable keys (user
-//     names, URLs, int64 ids) can be profiled directly.
-//   - NewConcurrent wraps a profile with a mutex for multi-goroutine use.
+//	p, err := sprofile.Build(m)                            // plain Profile
+//	p, err := sprofile.Build(m, sprofile.Synchronized())   // mutex-protected
+//	p, err := sprofile.Build(m, sprofile.WithSharding(16)) // per-shard locks
+//	p, err := sprofile.Build(m, sprofile.Windowed(100_000))
+//	p, err := sprofile.Build(m, sprofile.WithWAL("events.wal"))
+//
+// Code written against Profiler never changes when the representation does.
+// The concrete constructors remain for callers that need a variant's extra
+// methods: New for the raw dense-id profile (object ids are integers in
+// [0, m)), NewKeyed for arbitrary comparable keys (user names, URLs, int64
+// ids, optionally over any Build result via NewKeyedOver), NewConcurrent,
+// NewSharded, NewWindow and NewTimeWindow. See README.md for the full
+// interface documentation and the migration table from the constructor-based
+// API.
 //
 // The subdirectories contain the full evaluation apparatus used to reproduce
 // the paper's experiments: baseline profilers (indexed heap, order-statistic
 // trees, Fenwick index, bucket scan), synthetic log-stream generators, a
 // sliding-window adapter, a graph-shaving application and the benchmark
-// harness behind EXPERIMENTS.md.
+// harness behind cmd/sprofile-bench, plus the conformance suite
+// (profilertest) every Profiler implementation is tested against.
 package sprofile
 
 import (

@@ -7,13 +7,67 @@ import (
 	"sprofile/internal/window"
 )
 
+// windowReader supplies the Reader half of the Profiler contract for both
+// window adapters by delegating every query to the windowed profile, so the
+// thirteen-method surface is written once.
+type windowReader struct {
+	p *Profile
+}
+
+// Profile returns the windowed profile for advanced queries (rank lookups,
+// snapshots). The common statistics are available on the adapter directly.
+func (r windowReader) Profile() *Profile { return r.p }
+
+// Count returns the frequency of object x inside the window.
+func (r windowReader) Count(x int) (int64, error) { return r.p.Count(x) }
+
+// Mode returns an object with maximum in-window frequency, that frequency,
+// and how many objects share it.
+func (r windowReader) Mode() (Entry, int, error) { return r.p.Mode() }
+
+// Min returns an object with minimum in-window frequency, that frequency,
+// and how many objects share it.
+func (r windowReader) Min() (Entry, int, error) { return r.p.Min() }
+
+// TopK returns the k most frequent in-window entries.
+func (r windowReader) TopK(k int) []Entry { return r.p.TopK(k) }
+
+// BottomK returns the k least frequent in-window entries.
+func (r windowReader) BottomK(k int) []Entry { return r.p.BottomK(k) }
+
+// KthLargest returns the entry holding the k-th largest in-window frequency.
+func (r windowReader) KthLargest(k int) (Entry, error) { return r.p.KthLargest(k) }
+
+// Median returns the lower-median entry of the in-window frequency multiset.
+func (r windowReader) Median() (Entry, error) { return r.p.Median() }
+
+// Quantile returns the entry at quantile q in [0, 1] of the in-window
+// frequency multiset.
+func (r windowReader) Quantile(q float64) (Entry, error) { return r.p.Quantile(q) }
+
+// Majority returns the object holding a strict majority of the in-window
+// total, if one exists.
+func (r windowReader) Majority() (Entry, bool, error) { return r.p.Majority() }
+
+// Distribution returns the in-window frequency histogram.
+func (r windowReader) Distribution() []FreqCount { return r.p.Distribution() }
+
+// Summarize returns aggregate statistics of the windowed profile.
+func (r windowReader) Summarize() Summary { return r.p.Summarize() }
+
+// Cap returns the number of object slots.
+func (r windowReader) Cap() int { return r.p.Cap() }
+
+// Total returns the sum of all in-window frequencies.
+func (r windowReader) Total() int64 { return r.p.Total() }
+
 // Window maintains a count-based sliding window over a log stream on top of a
 // Profile, as sketched in §2.3 of the paper: when a tuple falls out of the
 // window it is replayed with the opposite action, so the profile always
 // reflects exactly the last Size() tuples and every push remains O(1).
 type Window struct {
 	inner *window.Window
-	p     *Profile
+	windowReader
 }
 
 // NewWindow returns a sliding window of size tuples over profile p. The
@@ -26,7 +80,7 @@ func NewWindow(p *Profile, size int) (*Window, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Window{inner: w, p: p}, nil
+	return &Window{inner: w, windowReader: windowReader{p: p}}, nil
 }
 
 // MustNewWindow is NewWindow for callers with known-good arguments; it panics
@@ -49,8 +103,13 @@ func (w *Window) Add(x int) error { return w.Push(Tuple{Object: x, Action: Actio
 // Remove pushes a "remove" event for object x.
 func (w *Window) Remove(x int) error { return w.Push(Tuple{Object: x, Action: ActionRemove}) }
 
-// Profile returns the windowed profile for queries (mode, top-K, median, ...).
-func (w *Window) Profile() *Profile { return w.p }
+// Apply pushes one log tuple through the window; it is Push under the name
+// the Updater interface requires, so a Window can stand in for any Profiler.
+func (w *Window) Apply(t Tuple) error { return w.Push(t) }
+
+// ApplyAll pushes tuples in order, stopping at the first error; it returns
+// the number of tuples pushed.
+func (w *Window) ApplyAll(tuples []Tuple) (int, error) { return w.inner.PushAll(tuples) }
 
 // Size returns the window capacity in tuples.
 func (w *Window) Size() int { return w.inner.Size() }
@@ -78,7 +137,7 @@ func (w *Window) Stats() (pushed, expired uint64) { return w.inner.Stats() }
 // cost per push stays O(1).
 type TimeWindow struct {
 	inner *window.TimeWindow
-	p     *Profile
+	windowReader
 }
 
 // NewTimeWindow returns a sliding window of the given time span over profile
@@ -91,7 +150,7 @@ func NewTimeWindow(p *Profile, span time.Duration) (*TimeWindow, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &TimeWindow{inner: w, p: p}, nil
+	return &TimeWindow{inner: w, windowReader: windowReader{p: p}}, nil
 }
 
 // MustNewTimeWindow is NewTimeWindow for callers with known-good arguments;
@@ -115,8 +174,27 @@ func (w *TimeWindow) Push(t Tuple) error { return w.inner.Push(t) }
 // expiring everything that falls out of the span.
 func (w *TimeWindow) AdvanceTo(now time.Time) error { return w.inner.AdvanceTo(now) }
 
-// Profile returns the windowed profile for queries.
-func (w *TimeWindow) Profile() *Profile { return w.p }
+// Add pushes an "add" event for object x stamped with the current wall-clock
+// time. Replaying historical logs should use PushAt instead.
+func (w *TimeWindow) Add(x int) error { return w.Push(Tuple{Object: x, Action: ActionAdd}) }
+
+// Remove pushes a "remove" event for object x stamped with the current
+// wall-clock time.
+func (w *TimeWindow) Remove(x int) error { return w.Push(Tuple{Object: x, Action: ActionRemove}) }
+
+// Apply pushes one log tuple stamped with the current wall-clock time.
+func (w *TimeWindow) Apply(t Tuple) error { return w.Push(t) }
+
+// ApplyAll pushes tuples in order stamped with the current wall-clock time,
+// stopping at the first error; it returns the number of tuples pushed.
+func (w *TimeWindow) ApplyAll(tuples []Tuple) (int, error) {
+	for i, t := range tuples {
+		if err := w.Push(t); err != nil {
+			return i, err
+		}
+	}
+	return len(tuples), nil
+}
 
 // Span returns the window length.
 func (w *TimeWindow) Span() time.Duration { return w.inner.Span() }
