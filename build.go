@@ -3,6 +3,7 @@ package sprofile
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -25,6 +26,7 @@ type buildConfig struct {
 	walPath      string
 	walSyncEvery int
 	profileOpts  []Option
+	noKeyRecycle bool
 }
 
 // BuildOption declares one capability of the profile Build assembles.
@@ -86,6 +88,27 @@ func Strict() BuildOption {
 	return WithOptions(WithStrictNonNegative())
 }
 
+// WithoutKeyRecycling keeps a key's dense id assigned even after its
+// frequency returns to zero — BuildKeyed's equivalent of the Keyed option
+// WithoutRecycling. Use it when the key set is closed or when negative
+// frequencies are meaningful; without recycling the profile follows the
+// paper's default semantics and allows negative frequencies. Only meaningful
+// with BuildKeyed; plain Build rejects it.
+func WithoutKeyRecycling() BuildOption {
+	return func(c *buildConfig) { c.noKeyRecycle = true }
+}
+
+// defaultShards is the shard (and mapper stripe) count BuildKeyed uses when
+// WithSharding is not given: one per CPU, the point where parallel ingestion
+// stops gaining from further splitting.
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // Build assembles a profile over m dense object ids from declared
 // capabilities instead of hand-nested wrappers:
 //
@@ -106,6 +129,9 @@ func Build(m int, opts ...BuildOption) (Profiler, error) {
 	}
 	if cfg.shardsSet && cfg.shards <= 0 {
 		return nil, fmt.Errorf("%w: shard count must be positive, got %d", ErrBuildConfig, cfg.shards)
+	}
+	if cfg.noKeyRecycle {
+		return nil, fmt.Errorf("%w: WithoutKeyRecycling configures key recycling and applies only to BuildKeyed", ErrBuildConfig)
 	}
 	if cfg.windowSet && cfg.spanSet {
 		return nil, fmt.Errorf("%w: Windowed and TimeWindowed are mutually exclusive", ErrBuildConfig)
@@ -281,6 +307,11 @@ func (d *Durable) ApplyAll(tuples []Tuple) (int, error) {
 		}
 	}
 	if err := d.log.Sync(); err != nil {
+		if applyErr != nil {
+			// Keep the apply error inspectable (errors.Is still matches it)
+			// alongside the sync failure.
+			return n, fmt.Errorf("sprofile: events applied but WAL sync failed: %v (batch stopped early: %w)", err, applyErr)
+		}
 		return n, fmt.Errorf("sprofile: events applied but WAL sync failed: %w", err)
 	}
 	return n, applyErr

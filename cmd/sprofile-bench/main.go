@@ -8,16 +8,19 @@
 //	sprofile-bench -experiment figure6   # one experiment
 //	sprofile-bench -full                 # paper-scale axes (slow, needs RAM)
 //	sprofile-bench -csv results/         # also write one CSV per panel
+//	sprofile-bench -json results.json    # machine-readable record of the run
 //
 // The experiment identifiers are listed with -list.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"sprofile/internal/bench"
@@ -36,6 +39,7 @@ func run(args []string, stdout io.Writer) error {
 		experiment = fs.String("experiment", "all", "experiment id or \"all\" (see -list)")
 		full       = fs.Bool("full", false, "run the paper-scale sweep (n, m up to 1e8; slow)")
 		csvDir     = fs.String("csv", "", "directory to write one CSV file per result panel")
+		jsonPath   = fs.String("json", "", "file to write every result panel of the run as JSON")
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -62,11 +66,13 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	var all []*bench.Result
 	for _, id := range ids {
 		results, err := bench.Run(id, scale)
 		if err != nil {
 			return err
 		}
+		all = append(all, results...)
 		for _, r := range results {
 			fmt.Fprintln(stdout, r.Table())
 			if len(r.Methods) == 2 {
@@ -84,5 +90,33 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
+	if *jsonPath != "" {
+		doc := jsonDoc{
+			GOOS:    runtime.GOOS,
+			GOARCH:  runtime.GOARCH,
+			CPUs:    runtime.NumCPU(),
+			Full:    *full,
+			Results: all,
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *jsonPath)
+	}
 	return nil
+}
+
+// jsonDoc is the machine-readable record -json writes: the host that
+// produced the numbers plus every result panel of the run, so later PRs can
+// diff throughput against a committed baseline.
+type jsonDoc struct {
+	GOOS    string          `json:"goos"`
+	GOARCH  string          `json:"goarch"`
+	CPUs    int             `json:"cpus"`
+	Full    bool            `json:"full"`
+	Results []*bench.Result `json:"results"`
 }

@@ -29,7 +29,7 @@ func main() {
 	var (
 		addr     = fs.String("addr", ":8080", "listen address")
 		capacity = fs.Int("capacity", 1_000_000, "maximum number of concurrently tracked objects")
-		shards   = fs.Int("shards", 0, "split the profile across this many lock shards (0 = unsharded)")
+		shards   = fs.Int("shards", 0, "split the profile across this many lock shards (0 = one per CPU)")
 		maxBatch = fs.Int("max-batch", 10_000, "maximum number of events per POST")
 		walPath  = fs.String("wal", "", "write-ahead log path; events are replayed from it on startup")
 		walSync  = fs.Int("wal-sync-every", 0, "fsync the WAL after this many events (0 = once per batch)")

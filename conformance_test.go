@@ -69,4 +69,163 @@ func TestProfilerConformance(t *testing.T) {
 		}
 		return sprofile.Build(m, sprofile.WithWAL(path), sprofile.WithOptions(opts...))
 	})
+
+	// The keyed layers — serial Keyed and the lock-striped KeyedConcurrent —
+	// run through the same battery via an adapter that addresses them with
+	// their dense ids as keys, so the whole key→id→profile pipeline is held
+	// to the reference Profile's semantics.
+	profilertest.Run(t, "Keyed", func(m int, opts ...sprofile.Option) (sprofile.Profiler, error) {
+		p, err := sprofile.New(m, opts...)
+		if err != nil {
+			return nil, err
+		}
+		k, err := sprofile.NewKeyedOver[int](p, sprofile.WithoutRecycling())
+		if err != nil {
+			return nil, err
+		}
+		return newKeyedAdapter(k, m)
+	})
+	for _, shards := range []int{1, 4} {
+		profilertest.Run(t, fmt.Sprintf("BuildKeyed-%d", shards), func(m int, opts ...sprofile.Option) (sprofile.Profiler, error) {
+			k, err := sprofile.BuildKeyed[int](m,
+				sprofile.WithSharding(shards),
+				sprofile.WithoutKeyRecycling(),
+				sprofile.WithOptions(opts...))
+			if err != nil {
+				return nil, err
+			}
+			return newKeyedAdapter(k, m)
+		})
+	}
 }
+
+// keyedAdapter exposes a KeyedProfiler keyed by dense ints as a plain
+// Profiler, so the conformance suite can replay its reference streams into
+// the keyed pipeline. Every id is pre-tracked (keys are the ids themselves),
+// which pins the key↔id translation: a query's representative key must be
+// exactly the object the reference profile knows. Recycling is disabled by
+// the factories because the reference semantics allow negative frequencies.
+type keyedAdapter struct {
+	k sprofile.KeyedProfiler[int]
+	m int
+}
+
+func newKeyedAdapter(k sprofile.KeyedProfiler[int], m int) (*keyedAdapter, error) {
+	for x := 0; x < m; x++ {
+		if err := k.Track(x); err != nil {
+			return nil, err
+		}
+	}
+	return &keyedAdapter{k: k, m: m}, nil
+}
+
+func (a *keyedAdapter) check(x int) error {
+	if x < 0 || x >= a.m {
+		return fmt.Errorf("%w: id %d, capacity %d", sprofile.ErrObjectRange, x, a.m)
+	}
+	return nil
+}
+
+func (a *keyedAdapter) Add(x int) error {
+	if err := a.check(x); err != nil {
+		return err
+	}
+	return a.k.Add(x)
+}
+
+func (a *keyedAdapter) Remove(x int) error {
+	if err := a.check(x); err != nil {
+		return err
+	}
+	return a.k.Remove(x)
+}
+
+func (a *keyedAdapter) Apply(t sprofile.Tuple) error {
+	switch t.Action {
+	case sprofile.ActionAdd:
+		return a.Add(t.Object)
+	case sprofile.ActionRemove:
+		return a.Remove(t.Object)
+	default:
+		return fmt.Errorf("sprofile: invalid action %d", t.Action)
+	}
+}
+
+func (a *keyedAdapter) ApplyAll(tuples []sprofile.Tuple) (int, error) {
+	for i, t := range tuples {
+		if err := a.Apply(t); err != nil {
+			return i, err
+		}
+	}
+	return len(tuples), nil
+}
+
+func (a *keyedAdapter) Count(x int) (int64, error) {
+	if err := a.check(x); err != nil {
+		return 0, err
+	}
+	return a.k.Count(x)
+}
+
+func keyedEntryToEntry(e sprofile.KeyedEntry[int]) sprofile.Entry {
+	return sprofile.Entry{Object: e.Key, Frequency: e.Frequency}
+}
+
+func (a *keyedAdapter) Mode() (sprofile.Entry, int, error) {
+	e, ties, err := a.k.Mode()
+	return keyedEntryToEntry(e), ties, err
+}
+
+func (a *keyedAdapter) Min() (sprofile.Entry, int, error) {
+	e, ties, err := a.k.Min()
+	return keyedEntryToEntry(e), ties, err
+}
+
+func (a *keyedAdapter) TopK(k int) []sprofile.Entry {
+	entries := a.k.TopK(k)
+	if entries == nil {
+		return nil
+	}
+	out := make([]sprofile.Entry, len(entries))
+	for i, e := range entries {
+		out[i] = keyedEntryToEntry(e)
+	}
+	return out
+}
+
+func (a *keyedAdapter) BottomK(k int) []sprofile.Entry {
+	entries := a.k.BottomK(k)
+	if entries == nil {
+		return nil
+	}
+	out := make([]sprofile.Entry, len(entries))
+	for i, e := range entries {
+		out[i] = keyedEntryToEntry(e)
+	}
+	return out
+}
+
+func (a *keyedAdapter) KthLargest(k int) (sprofile.Entry, error) {
+	e, err := a.k.KthLargest(k)
+	return keyedEntryToEntry(e), err
+}
+
+func (a *keyedAdapter) Median() (sprofile.Entry, error) {
+	e, err := a.k.Median()
+	return keyedEntryToEntry(e), err
+}
+
+func (a *keyedAdapter) Quantile(q float64) (sprofile.Entry, error) {
+	e, err := a.k.Quantile(q)
+	return keyedEntryToEntry(e), err
+}
+
+func (a *keyedAdapter) Majority() (sprofile.Entry, bool, error) {
+	e, ok, err := a.k.Majority()
+	return keyedEntryToEntry(e), ok, err
+}
+
+func (a *keyedAdapter) Distribution() []sprofile.FreqCount { return a.k.Distribution() }
+func (a *keyedAdapter) Summarize() sprofile.Summary        { return a.k.Summarize() }
+func (a *keyedAdapter) Cap() int                           { return a.k.Cap() }
+func (a *keyedAdapter) Total() int64                       { return a.k.Total() }

@@ -84,6 +84,61 @@ type Snapshotter interface {
 	Snapshot() (*Profile, error)
 }
 
+// KeyedProfiler is the key-addressed counterpart of Profiler: the same
+// ingestion and query surface, addressed by arbitrary comparable keys
+// instead of dense ids. Both Keyed (single-goroutine, global recycling) and
+// KeyedConcurrent (lock-striped, per-stripe recycling, safe for concurrent
+// use) satisfy it, so callers such as the HTTP server can swap one for the
+// other without touching handler code.
+type KeyedProfiler[K comparable] interface {
+	// Add increments the frequency of key, assigning a dense id if needed
+	// and recycling an idle one when the profile is full.
+	Add(key K) error
+	// Remove decrements the frequency of key; unknown keys are an error.
+	Remove(key K) error
+	// Apply applies one (key, action) event.
+	Apply(key K, action Action) error
+	// Track assigns key a dense id without counting anything.
+	Track(key K) error
+
+	// Count returns the current frequency of key (zero for unknown keys).
+	Count(key K) (int64, error)
+	// Mode returns a key with maximum frequency, that frequency, and how
+	// many objects share it.
+	Mode() (KeyedEntry[K], int, error)
+	// Min returns a key with minimum frequency, that frequency, and how
+	// many objects share it.
+	Min() (KeyedEntry[K], int, error)
+	// TopK returns the k most frequent entries.
+	TopK(k int) []KeyedEntry[K]
+	// BottomK returns the k least frequent entries.
+	BottomK(k int) []KeyedEntry[K]
+	// KthLargest returns the entry holding the k-th largest frequency.
+	KthLargest(k int) (KeyedEntry[K], error)
+	// Median returns the lower-median entry of the frequency multiset.
+	Median() (KeyedEntry[K], error)
+	// Quantile returns the entry at quantile q in [0, 1].
+	Quantile(q float64) (KeyedEntry[K], error)
+	// Majority returns the key holding a strict majority of the total
+	// count, if one exists.
+	Majority() (KeyedEntry[K], bool, error)
+	// Distribution returns the frequency histogram.
+	Distribution() []FreqCount
+	// Summarize returns aggregate statistics of the profile.
+	Summarize() Summary
+	// Cap returns the maximum number of concurrently tracked keys.
+	Cap() int
+	// Tracked returns the number of keys currently holding a dense id.
+	Tracked() int
+	// Total returns the sum of all frequencies.
+	Total() int64
+	// KeyOf resolves a dense id back to its key, when one is assigned.
+	KeyOf(id int) (K, bool)
+	// Profile exposes the underlying dense-id profiler for advanced
+	// queries; mutating it directly is not allowed.
+	Profile() Profiler
+}
+
 // Compile-time checks that every variant honours the contract.
 var (
 	_ Profiler = (*Profile)(nil)
@@ -96,4 +151,9 @@ var (
 	_ Snapshotter = (*Profile)(nil)
 	_ Snapshotter = (*Concurrent)(nil)
 	_ Snapshotter = (*Sharded)(nil)
+
+	_ KeyedProfiler[string] = (*Keyed[string])(nil)
+	_ KeyedProfiler[string] = (*KeyedConcurrent[string])(nil)
+	_ KeyedProfiler[int64]  = (*Keyed[int64])(nil)
+	_ KeyedProfiler[int64]  = (*KeyedConcurrent[int64])(nil)
 )

@@ -116,7 +116,7 @@ func TestAblationExperimentsAtTinyScale(t *testing.T) {
 	scale := TinyScale()
 	for _, id := range []string{
 		"ablation-treekind", "ablation-fenwick", "ablation-blockhint",
-		"ablation-workloads", "graph-shaving", "sliding-window",
+		"ablation-workloads", "graph-shaving", "sliding-window", "keyed-parallel",
 	} {
 		results, err := Run(id, scale)
 		if err != nil {

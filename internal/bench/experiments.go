@@ -202,6 +202,7 @@ func ExperimentIDs() []string {
 		"figure3", "figure4", "figure5", "figure6",
 		"ablation-treekind", "ablation-fenwick", "ablation-blockhint",
 		"ablation-workloads", "graph-shaving", "sliding-window", "variants",
+		"keyed-parallel",
 	}
 }
 
@@ -283,6 +284,12 @@ func Run(id string, scale Scale) ([]*Result, error) {
 		return []*Result{r}, nil
 	case "variants":
 		r, err := Variants(scale)
+		if err != nil {
+			return nil, err
+		}
+		return []*Result{r}, nil
+	case "keyed-parallel":
+		r, err := KeyedParallel(scale)
 		if err != nil {
 			return nil, err
 		}

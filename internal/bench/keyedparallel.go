@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sprofile"
+	"sprofile/internal/stream"
+)
+
+// The keyed-parallel experiment's methods: the serial Keyed ingesting from
+// one goroutine (the pure single-threaded baseline), the same Keyed behind
+// one global mutex fed by GOMAXPROCS producers (the HTTP server's hot path
+// before it moved to KeyedConcurrent), and the lock-striped KeyedConcurrent
+// under the same parallel producers. The swept variable is the shard/stripe
+// count; the serial and mutex baselines ignore it, so their rows are the
+// flatlines the striped row is measured against.
+const (
+	MethodKeyedSerial  Method = "keyed-serial"
+	MethodKeyedMutex   Method = "keyed-mutex"
+	MethodKeyedStriped Method = "keyed-striped"
+)
+
+// keyedParallelShards is the shard-count sweep of the keyed-parallel
+// experiment.
+var keyedParallelShards = []int{1, 4, 16}
+
+// keyedAddFunc ingests one key; both methods reduce to this shape.
+type keyedAddFunc func(key string) error
+
+// buildKeyedMethod constructs the profile under test and returns its add
+// path (thread-safe for the parallel methods) plus how many producer
+// goroutines drive it.
+func buildKeyedMethod(method Method, m, shards int) (keyedAddFunc, int, error) {
+	switch method {
+	case MethodKeyedSerial:
+		k, err := sprofile.NewKeyed[string](m)
+		if err != nil {
+			return nil, 0, err
+		}
+		return k.Add, 1, nil
+	case MethodKeyedMutex:
+		k, err := sprofile.NewKeyed[string](m)
+		if err != nil {
+			return nil, 0, err
+		}
+		var mu sync.Mutex
+		return func(key string) error {
+			mu.Lock()
+			defer mu.Unlock()
+			return k.Add(key)
+		}, runtime.GOMAXPROCS(0), nil
+	case MethodKeyedStriped:
+		k, err := sprofile.BuildKeyed[string](m, sprofile.WithSharding(shards))
+		if err != nil {
+			return nil, 0, err
+		}
+		return k.Add, runtime.GOMAXPROCS(0), nil
+	default:
+		return nil, 0, fmt.Errorf("bench: unknown keyed method %q", method)
+	}
+}
+
+// measureKeyedParallel ingests n keyed add events from the method's producer
+// goroutines, each drawing uniformly from a pool of m keys, and returns the
+// wall-clock seconds. Construction is included, mirroring Measure's protocol.
+func measureKeyedParallel(method Method, m, shards, n int, keys []string, seed uint64) (float64, error) {
+	start := time.Now()
+	add, workers, err := buildKeyedMethod(method, m, shards)
+	if err != nil {
+		return 0, err
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	per := n / workers
+	for w := 0; w < workers; w++ {
+		count := per
+		if w == workers-1 {
+			count = n - per*(workers-1)
+		}
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			rng := stream.NewRNG(seed + uint64(w)*2654435761)
+			for i := 0; i < count; i++ {
+				if err := add(keys[rng.Intn(len(keys))]); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, count)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return elapsed.Seconds(), nil
+}
+
+// KeyedParallel measures concurrent keyed ingestion throughput as a function
+// of the shard (and mapper stripe) count: GOMAXPROCS producer goroutines
+// push add events through the full key→id→profile pipeline. The keyed-mutex
+// column is today's single-lock baseline and stays flat; the keyed-striped
+// column is the same workload through KeyedConcurrent, whose time drops as
+// shards give concurrent producers disjoint locks (on a multi-core host;
+// with one CPU the two columns mainly show the striping overhead).
+func KeyedParallel(scale Scale) (*Result, error) {
+	n := scale.Figure4N
+	m := scale.Figure6M
+	keys := make([]string, m)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("object-%08d", i)
+	}
+	methods := []Method{MethodKeyedSerial, MethodKeyedMutex, MethodKeyedStriped}
+	res := &Result{
+		ID: "keyed-parallel",
+		Title: fmt.Sprintf("concurrent keyed ingestion, mutex vs striped, n=%d, m=%d, %d producers",
+			n, m, runtime.GOMAXPROCS(0)),
+		XLabel:  "shards",
+		Methods: methods,
+	}
+	for _, shards := range keyedParallelShards {
+		point := Point{X: int64(shards), Seconds: make(map[Method]float64, len(methods))}
+		for _, method := range methods {
+			secs, err := measureKeyedParallel(method, m, shards, n, keys, scale.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("keyed-parallel: shards=%d method=%s: %w", shards, method, err)
+			}
+			point.Seconds[method] = secs
+		}
+		res.Points = append(res.Points, point)
+	}
+	sortPoints(res.Points)
+	return res, nil
+}

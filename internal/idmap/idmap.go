@@ -9,6 +9,10 @@
 // released and reused by a later object, so the profile capacity m bounds the
 // number of *concurrently tracked* objects rather than the total number of
 // distinct objects ever seen.
+//
+// Two implementations: Mapper is the single-goroutine original; Striped is
+// its concurrent counterpart, hash-striped so acquires and releases on
+// different stripes never share a lock.
 package idmap
 
 import (

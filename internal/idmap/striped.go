@@ -1,0 +1,353 @@
+package idmap
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// Striped is a concurrent Mapper: the key space is partitioned across
+// hash-selected stripes, each guarded by its own mutex, so Acquire, DenseID,
+// Release and Key from different stripes proceed in parallel instead of
+// serialising on one lock.
+//
+// Each stripe owns a contiguous dense-id range with its own free list, sized
+// exactly like the shard ranges of a sharded profile with the same count
+// (ceil(cap/stripes) ids per stripe). A key acquired through stripe i is
+// therefore normally assigned an id from stripe i's range — pairing a Striped
+// mapper with an equally-sized sharded profile makes one keyed update touch
+// one stripe lock plus one shard lock. Only when a stripe's range is
+// exhausted does Acquire borrow an id from another stripe's free range, so
+// the full capacity is always usable regardless of how keys hash.
+//
+// The *Func variants run a caller callback while the key's stripe lock is
+// held. They exist so a caller layering extra per-key state on top of the
+// mapping (a keyed profile pairing ids with frequencies, say) can mutate the
+// mapping and its own state as one atomic step; the callback must not call
+// back into the same Striped or it will self-deadlock.
+type Striped[K comparable] struct {
+	seed       maphash.Seed
+	capacity   int
+	stripeSize int
+	stripes    []mapStripe[K]
+	allocs     []allocStripe
+	// toKey and inUse are indexed by dense id; entry i is guarded by the
+	// alloc-stripe lock owning id i's range.
+	toKey  []K
+	inUse  []bool
+	length atomic.Int64
+}
+
+// mapStripe holds the key→id entries of the keys hashing to one stripe.
+type mapStripe[K comparable] struct {
+	mu      sync.Mutex
+	toDense map[K]int
+}
+
+// allocStripe hands out the dense ids of one contiguous range.
+type allocStripe struct {
+	mu      sync.Mutex
+	base    int
+	size    int
+	freeIDs []int
+	nextID  int // next never-used id, relative offset from base
+}
+
+// NewStriped returns a concurrent mapper over capacity dense ids split across
+// up to stripes lock stripes. The stripe count is clamped to [1, capacity]
+// (one stripe minimum, never more stripes than ids), mirroring how a sharded
+// profile clamps its shard count, so equal requested counts yield identical
+// id-range geometry.
+func NewStriped[K comparable](capacity, stripes int) (*Striped[K], error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("idmap: negative capacity %d", capacity)
+	}
+	if stripes <= 0 {
+		return nil, fmt.Errorf("idmap: stripe count must be positive, got %d", stripes)
+	}
+	if stripes > capacity {
+		stripes = capacity
+	}
+	if stripes == 0 {
+		stripes = 1
+	}
+	stripeSize := (capacity + stripes - 1) / stripes
+	if stripeSize == 0 {
+		stripeSize = 1
+	}
+	// A ceil-sized final range can make the last requested stripe empty (for
+	// example capacity 100 over 16 stripes of 7); a sharded profile materialises
+	// only the non-empty shards, so mirror that to keep the geometries equal.
+	if stripes = (capacity + stripeSize - 1) / stripeSize; stripes == 0 {
+		stripes = 1
+	}
+	s := &Striped[K]{
+		seed:       maphash.MakeSeed(),
+		capacity:   capacity,
+		stripeSize: stripeSize,
+		stripes:    make([]mapStripe[K], stripes),
+		allocs:     make([]allocStripe, stripes),
+		toKey:      make([]K, capacity),
+		inUse:      make([]bool, capacity),
+	}
+	for i := range s.stripes {
+		s.stripes[i].toDense = make(map[K]int)
+		base := i * stripeSize
+		size := stripeSize
+		if base+size > capacity {
+			size = capacity - base
+		}
+		s.allocs[i] = allocStripe{base: base, size: size}
+	}
+	return s, nil
+}
+
+// MustNewStriped is NewStriped for callers with known-good arguments; it
+// panics on error.
+func MustNewStriped[K comparable](capacity, stripes int) *Striped[K] {
+	s, err := NewStriped[K](capacity, stripes)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Cap returns the maximum number of concurrently mapped keys.
+func (s *Striped[K]) Cap() int { return s.capacity }
+
+// Len returns the number of keys currently mapped.
+func (s *Striped[K]) Len() int { return int(s.length.Load()) }
+
+// NumStripes returns the number of lock stripes.
+func (s *Striped[K]) NumStripes() int { return len(s.stripes) }
+
+// StripeOf returns the stripe index key hashes to. All operations on key
+// synchronise on this stripe's lock.
+func (s *Striped[K]) StripeOf(key K) int {
+	if len(s.stripes) == 1 {
+		return 0
+	}
+	return int(maphash.Comparable(s.seed, key) % uint64(len(s.stripes)))
+}
+
+// StripeRange returns the dense-id range [base, base+size) stripe i prefers
+// to allocate from — the range to align with shard i of an equally-sharded
+// profile.
+func (s *Striped[K]) StripeRange(i int) (base, size int) {
+	a := &s.allocs[i]
+	return a.base, a.size
+}
+
+// allocate hands out a free id, preferring the home stripe's range and
+// falling back to the other stripes' ranges in ring order.
+func (s *Striped[K]) allocate(home int, key K) (int, bool) {
+	n := len(s.allocs)
+	for off := 0; off < n; off++ {
+		a := &s.allocs[(home+off)%n]
+		a.mu.Lock()
+		var id int
+		switch {
+		case len(a.freeIDs) > 0:
+			id = a.freeIDs[len(a.freeIDs)-1]
+			a.freeIDs = a.freeIDs[:len(a.freeIDs)-1]
+		case a.nextID < a.size:
+			id = a.base + a.nextID
+			a.nextID++
+		default:
+			a.mu.Unlock()
+			continue
+		}
+		s.toKey[id] = key
+		s.inUse[id] = true
+		a.mu.Unlock()
+		return id, true
+	}
+	return 0, false
+}
+
+// allocOf returns the alloc stripe owning id's range.
+func (s *Striped[K]) allocOf(id int) *allocStripe {
+	return &s.allocs[id/s.stripeSize]
+}
+
+// free returns id to its owning range's free list.
+func (s *Striped[K]) free(id int) {
+	a := s.allocOf(id)
+	a.mu.Lock()
+	var zero K
+	s.toKey[id] = zero
+	s.inUse[id] = false
+	a.freeIDs = append(a.freeIDs, id)
+	a.mu.Unlock()
+}
+
+// reassign hands victim's id straight to key without a free-list round trip,
+// so no other goroutine can claim it in between.
+func (s *Striped[K]) reassign(id int, key K) {
+	a := s.allocOf(id)
+	a.mu.Lock()
+	s.toKey[id] = key
+	a.mu.Unlock()
+}
+
+// Acquire returns the dense id for key, assigning a new one if the key is
+// not yet mapped. isNew reports whether the id was freshly assigned. When
+// every id across all stripes is taken, Acquire returns ErrFull.
+func (s *Striped[K]) Acquire(key K) (id int, isNew bool, err error) {
+	return s.AcquireFunc(key, nil, nil)
+}
+
+// AcquireFunc is Acquire with two extension points that run while the key's
+// stripe lock is held:
+//
+//   - evict, consulted only when every dense id is in use, may name a victim
+//     key in the same stripe (callers typically track idle keys per stripe);
+//     the victim's mapping is removed and its id handed to key atomically.
+//   - fn runs after the id is resolved, still under the stripe lock. If fn
+//     returns an error on a freshly assigned id, the assignment is rolled
+//     back before the error is returned; on an existing id the mapping is
+//     left untouched.
+//
+// Either callback may be nil.
+func (s *Striped[K]) AcquireFunc(key K, evict func(stripe int) (K, bool), fn func(id int, isNew bool) error) (int, bool, error) {
+	si := s.StripeOf(key)
+	ms := &s.stripes[si]
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if id, ok := ms.toDense[key]; ok {
+		if fn != nil {
+			if err := fn(id, false); err != nil {
+				return 0, false, err
+			}
+		}
+		return id, false, nil
+	}
+	id, ok := s.allocate(si, key)
+	if !ok && evict != nil {
+		if victim, vok := evict(si); vok {
+			if vid, mapped := ms.toDense[victim]; mapped {
+				delete(ms.toDense, victim)
+				s.length.Add(-1)
+				s.reassign(vid, key)
+				id, ok = vid, true
+			}
+		}
+	}
+	if !ok {
+		return 0, false, fmt.Errorf("%w: capacity %d", ErrFull, s.capacity)
+	}
+	ms.toDense[key] = id
+	s.length.Add(1)
+	if fn != nil {
+		if err := fn(id, true); err != nil {
+			delete(ms.toDense, key)
+			s.free(id)
+			s.length.Add(-1)
+			return 0, false, err
+		}
+	}
+	return id, true, nil
+}
+
+// DenseID returns the dense id of key without assigning one.
+func (s *Striped[K]) DenseID(key K) (int, error) {
+	return s.DenseIDFunc(key, nil)
+}
+
+// DenseIDFunc is DenseID with a callback that runs while the key's stripe
+// lock is held, so the caller can read or mutate per-key state consistent
+// with the mapping. fn's error is returned alongside the id.
+func (s *Striped[K]) DenseIDFunc(key K, fn func(id int) error) (int, error) {
+	si := s.StripeOf(key)
+	ms := &s.stripes[si]
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	id, ok := ms.toDense[key]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrUnknownKey, key)
+	}
+	if fn != nil {
+		return id, fn(id)
+	}
+	return id, nil
+}
+
+// Contains reports whether key currently has a dense id.
+func (s *Striped[K]) Contains(key K) bool {
+	si := s.StripeOf(key)
+	ms := &s.stripes[si]
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	_, ok := ms.toDense[key]
+	return ok
+}
+
+// Key returns the key mapped to the dense id. Under concurrent mutation the
+// answer is a point-in-time snapshot: the id may be released or reassigned
+// the moment the call returns.
+func (s *Striped[K]) Key(id int) (K, bool) {
+	var zero K
+	if id < 0 || id >= s.capacity {
+		return zero, false
+	}
+	a := s.allocOf(id)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !s.inUse[id] {
+		return zero, false
+	}
+	return s.toKey[id], true
+}
+
+// Release frees the dense id held by key so it can be reused. Callers must
+// ensure any state keyed by the id (a profile frequency, say) is back to its
+// neutral value first, otherwise the recycled id inherits it.
+func (s *Striped[K]) Release(key K) (int, error) {
+	si := s.StripeOf(key)
+	ms := &s.stripes[si]
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	id, ok := ms.toDense[key]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrUnknownKey, key)
+	}
+	delete(ms.toDense, key)
+	s.length.Add(-1)
+	s.free(id)
+	return id, nil
+}
+
+// Keys returns every currently mapped key. Each stripe is read atomically
+// but the stripes are visited one after another, so under concurrent
+// mutation the result is a per-stripe-consistent sample, not a global
+// snapshot.
+func (s *Striped[K]) Keys() []K {
+	out := make([]K, 0, s.Len())
+	for i := range s.stripes {
+		ms := &s.stripes[i]
+		ms.mu.Lock()
+		for k := range ms.toDense {
+			out = append(out, k)
+		}
+		ms.mu.Unlock()
+	}
+	return out
+}
+
+// Range calls fn for every (key, dense id) pair until fn returns false, with
+// the same per-stripe consistency as Keys. fn runs with the current stripe's
+// lock held and must not call back into the Striped.
+func (s *Striped[K]) Range(fn func(key K, id int) bool) {
+	for i := range s.stripes {
+		ms := &s.stripes[i]
+		ms.mu.Lock()
+		for k, id := range ms.toDense {
+			if !fn(k, id) {
+				ms.mu.Unlock()
+				return
+			}
+		}
+		ms.mu.Unlock()
+	}
+}

@@ -1,0 +1,274 @@
+package idmap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestStripedBasics(t *testing.T) {
+	s := MustNewStriped[string](8, 4)
+	if s.Cap() != 8 || s.Len() != 0 || s.NumStripes() != 4 {
+		t.Fatalf("fresh mapper: cap=%d len=%d stripes=%d", s.Cap(), s.Len(), s.NumStripes())
+	}
+
+	ids := map[int]string{}
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		id, isNew, err := s.Acquire(key)
+		if err != nil || !isNew {
+			t.Fatalf("Acquire(%q) = (%d, %v, %v)", key, id, isNew, err)
+		}
+		if id < 0 || id >= 8 {
+			t.Fatalf("Acquire(%q) returned out-of-range id %d", key, id)
+		}
+		if prev, dup := ids[id]; dup {
+			t.Fatalf("id %d assigned to both %q and %q", id, prev, key)
+		}
+		ids[id] = key
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len after 8 acquires = %d", s.Len())
+	}
+
+	// Re-acquiring returns the existing id.
+	id, isNew, err := s.Acquire("key-3")
+	if err != nil || isNew {
+		t.Fatalf("re-Acquire = (%d, %v, %v)", id, isNew, err)
+	}
+	if got, _ := s.DenseID("key-3"); got != id {
+		t.Fatalf("DenseID = %d, want %d", got, id)
+	}
+	if key, ok := s.Key(id); !ok || key != "key-3" {
+		t.Fatalf("Key(%d) = (%q, %v)", id, key, ok)
+	}
+
+	// Full: the ninth distinct key must fail even though keys hash unevenly,
+	// because allocation borrows across stripes before giving up.
+	if _, _, err := s.Acquire("overflow"); !errors.Is(err, ErrFull) {
+		t.Fatalf("Acquire at capacity = %v, want ErrFull", err)
+	}
+
+	// Release recycles the id for the next acquire.
+	released, err := s.Release("key-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Key(released); ok {
+		t.Fatalf("Key(%d) still resolves after release", released)
+	}
+	if _, _, err := s.Acquire("replacement"); err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len after release+reacquire = %d", s.Len())
+	}
+
+	if _, err := s.Release("never-mapped"); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("Release of unknown key = %v, want ErrUnknownKey", err)
+	}
+	if _, err := s.DenseID("never-mapped"); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("DenseID of unknown key = %v, want ErrUnknownKey", err)
+	}
+	if s.Contains("never-mapped") || !s.Contains("key-3") {
+		t.Fatalf("Contains answers wrong")
+	}
+}
+
+func TestStripedGeometryMatchesSharding(t *testing.T) {
+	// Stripe ranges must tile [0, cap) exactly like a sharded profile's
+	// shards: ceil(cap/stripes)-sized contiguous blocks.
+	for _, tc := range []struct{ capacity, stripes int }{
+		{8, 4}, {10, 3}, {1, 4}, {7, 7}, {100, 16},
+	} {
+		s := MustNewStriped[int](tc.capacity, tc.stripes)
+		clamped := tc.stripes
+		if clamped > tc.capacity {
+			clamped = tc.capacity
+		}
+		stripeSize := (tc.capacity + clamped - 1) / clamped
+		want := (tc.capacity + stripeSize - 1) / stripeSize
+		if s.NumStripes() != want {
+			t.Fatalf("cap=%d stripes=%d: NumStripes=%d, want %d", tc.capacity, tc.stripes, s.NumStripes(), want)
+		}
+		covered := 0
+		for i := 0; i < s.NumStripes(); i++ {
+			base, size := s.StripeRange(i)
+			if base != i*stripeSize {
+				t.Fatalf("cap=%d stripes=%d: stripe %d base=%d, want %d", tc.capacity, tc.stripes, i, base, i*stripeSize)
+			}
+			covered += size
+		}
+		if covered != tc.capacity {
+			t.Fatalf("cap=%d stripes=%d: ranges cover %d ids", tc.capacity, tc.stripes, covered)
+		}
+	}
+}
+
+func TestStripedHomeStripeAllocation(t *testing.T) {
+	// With plenty of headroom, a key's id must come from its own stripe's
+	// range — the property shard-aligned keyed profiles rely on.
+	s := MustNewStriped[int](64, 4)
+	for key := 0; key < 16; key++ {
+		id, _, err := s.Acquire(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, size := s.StripeRange(s.StripeOf(key))
+		if id < base || id >= base+size {
+			t.Fatalf("key %d (stripe %d) got id %d outside [%d, %d)", key, s.StripeOf(key), id, base, base+size)
+		}
+	}
+}
+
+func TestStripedAcquireFuncRollback(t *testing.T) {
+	s := MustNewStriped[string](4, 2)
+	boom := errors.New("boom")
+	_, _, err := s.AcquireFunc("k", nil, func(id int, isNew bool) error {
+		if !isNew {
+			t.Fatalf("expected fresh assignment")
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("AcquireFunc = %v, want boom", err)
+	}
+	if s.Contains("k") || s.Len() != 0 {
+		t.Fatalf("failed acquire left the mapping behind")
+	}
+	// The rolled-back id must be reusable.
+	for i := 0; i < 4; i++ {
+		if _, _, err := s.Acquire(fmt.Sprintf("k%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStripedEvictCallback(t *testing.T) {
+	s := MustNewStriped[string](2, 1)
+	idA, _, _ := s.Acquire("a")
+	s.MustAcquire(t, "b")
+	// Evict "a" to make room for "c"; the victim's id must transfer.
+	id, isNew, err := s.AcquireFunc("c", func(stripe int) (string, bool) { return "a", true }, nil)
+	if err != nil || !isNew {
+		t.Fatalf("AcquireFunc with evict = (%d, %v, %v)", id, isNew, err)
+	}
+	if id != idA {
+		t.Fatalf("evicting acquire got id %d, want the victim's id %d", id, idA)
+	}
+	if s.Contains("a") {
+		t.Fatalf("victim still mapped after eviction")
+	}
+	if key, ok := s.Key(id); !ok || key != "c" {
+		t.Fatalf("Key(%d) = (%q, %v) after eviction", id, key, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len after eviction = %d, want 2", s.Len())
+	}
+
+	// An evict callback that declines leaves ErrFull in place.
+	if _, _, err := s.AcquireFunc("d", func(stripe int) (string, bool) { return "", false }, nil); !errors.Is(err, ErrFull) {
+		t.Fatalf("declined eviction = %v, want ErrFull", err)
+	}
+}
+
+// MustAcquire is a test helper; it fails t on error.
+func (s *Striped[K]) MustAcquire(t *testing.T, key K) int {
+	t.Helper()
+	id, _, err := s.Acquire(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestStripedZeroCapacity(t *testing.T) {
+	s := MustNewStriped[string](0, 8)
+	if _, _, err := s.Acquire("x"); !errors.Is(err, ErrFull) {
+		t.Fatalf("Acquire on zero-capacity mapper = %v, want ErrFull", err)
+	}
+	if _, ok := s.Key(0); ok {
+		t.Fatalf("Key(0) resolved on zero-capacity mapper")
+	}
+}
+
+func TestStripedKeysAndRange(t *testing.T) {
+	s := MustNewStriped[int](16, 4)
+	want := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		s.MustAcquire(t, i)
+		want[i] = true
+	}
+	keys := s.Keys()
+	if len(keys) != 10 {
+		t.Fatalf("Keys returned %d entries", len(keys))
+	}
+	for _, k := range keys {
+		if !want[k] {
+			t.Fatalf("Keys returned unexpected key %d", k)
+		}
+	}
+	seen := 0
+	s.Range(func(key, id int) bool {
+		if got, _ := s.DenseIDUnlockedForTest(key); got != id {
+			t.Fatalf("Range pair (%d, %d) disagrees with DenseID %d", key, id, got)
+		}
+		seen++
+		return seen < 5
+	})
+	if seen != 5 {
+		t.Fatalf("Range visited %d pairs after early stop, want 5", seen)
+	}
+}
+
+// DenseIDUnlockedForTest reads the mapping without taking the stripe lock;
+// Range holds it already, so the normal DenseID would self-deadlock.
+func (s *Striped[K]) DenseIDUnlockedForTest(key K) (int, bool) {
+	id, ok := s.stripes[s.StripeOf(key)].toDense[key]
+	return id, ok
+}
+
+func TestStripedConcurrentChurn(t *testing.T) {
+	const capacity = 64
+	const workers = 8
+	const iters = 2000
+	s := MustNewStriped[int](capacity, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := w*1000 + i%32
+				id, _, err := s.Acquire(key)
+				if err != nil {
+					if errors.Is(err, ErrFull) {
+						continue
+					}
+					t.Error(err)
+					return
+				}
+				if got, err := s.DenseID(key); err != nil || got != id {
+					t.Errorf("DenseID(%d) = (%d, %v), want %d", key, got, err, id)
+					return
+				}
+				s.Key(id)
+				if _, err := s.Release(key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 0 {
+		t.Fatalf("Len after churn = %d, want 0", s.Len())
+	}
+	// Every id must be free again.
+	for i := 0; i < capacity; i++ {
+		if _, _, err := s.Acquire(100_000 + i); err != nil {
+			t.Fatalf("Acquire after churn: %v", err)
+		}
+	}
+}

@@ -39,15 +39,26 @@ func (s *Server) registerExportRoutes() {
 }
 
 // handleExport dumps every tracked object and its frequency. The document can
-// be re-imported into a fresh server to warm-start it after a restart.
+// be re-imported into a fresh server to warm-start it after a restart. The
+// frequencies come from one consistent point-in-time snapshot of the sharded
+// profile; the id→key translation happens afterwards, so an object recycled
+// mid-export can (rarely) be skipped — re-export during a quiet moment for
+// an exact backup.
 func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	s.mu.Lock()
 	doc := exportDoc{Capacity: s.profile.Cap()}
-	p := s.profile.Profile()
+	var p sprofile.Reader = s.profile.Profile()
+	if snapper, ok := p.(sprofile.Snapshotter); ok {
+		snap, err := snapper.Snapshot()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "snapshotting profile: %v", err)
+			return
+		}
+		p = snap
+	}
 	// Walk ranks from the most frequent downwards; stop once frequencies hit
 	// zero (idle and unused slots contribute nothing to the export).
 	for rank := 1; rank <= p.Cap(); rank++ {
@@ -61,7 +72,6 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 		}
 		doc.Objects = append(doc.Objects, exportEntry{Object: key, Frequency: entry.Frequency})
 	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, doc)
 }
 
@@ -79,8 +89,6 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid import document: %v", err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	imported := 0
 	for _, e := range doc.Objects {
 		if e.Object == "" {
@@ -119,8 +127,6 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing object parameter")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	f, err := s.profile.Count(object)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)

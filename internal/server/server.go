@@ -10,35 +10,45 @@
 //	POST /v1/events              one event or a batch of events
 //	GET  /v1/stats/mode          most frequent object
 //	GET  /v1/stats/top?k=10      top-K objects
+//	GET  /v1/stats/min           least frequent slot
+//	GET  /v1/stats/bottom?k=10   bottom-K slots
 //	GET  /v1/stats/count?object= frequency of one object
 //	GET  /v1/stats/median        median frequency
 //	GET  /v1/stats/quantile?q=   frequency quantile, q in [0,1]
+//	GET  /v1/stats/majority      strict-majority object, if any
 //	GET  /v1/stats/distribution  full frequency histogram
 //	GET  /v1/stats/summary       aggregate counters
 //	GET  /healthz                liveness probe
+//
+// Concurrency: the server holds no lock of its own. Handlers call a
+// sprofile.KeyedConcurrent directly — ingestion synchronises on the event
+// key's stripe plus its profile shard, queries on the shards they read — so
+// requests for different keys proceed in parallel and readers are never
+// blocked behind a writer's fsync. Events inside one POST batch are applied
+// one by one; a concurrent reader may observe a batch partially applied
+// (each individual statistic is still internally consistent).
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
-	"sync"
 
 	"sprofile"
-	"sprofile/internal/wal"
 )
 
 // Config parameterises a Server.
 type Config struct {
 	// Capacity is the maximum number of concurrently tracked objects.
 	Capacity int
-	// Shards, when > 1, splits the dense-id space across that many
-	// independently locked profile shards (see sprofile.WithSharding). The
-	// HTTP layer still serialises updates through one mutex because the key
-	// mapper is shared; sharding pays off once ingestion moves off that
-	// mutex, and is accepted here so deployments can opt in ahead of that.
+	// Shards sets how many independently locked profile shards (and id-mapper
+	// stripes, kept aligned with them) the dense-id space is split across.
+	// Zero selects one shard per CPU — the right default now that ingestion
+	// runs concurrently; use 1 to force a single lock domain.
 	Shards int
 	// MaxBatch bounds how many events one POST may carry; zero selects the
 	// default of 10 000.
@@ -52,16 +62,14 @@ type Config struct {
 	WALSyncEvery int
 }
 
-// Server is the HTTP facade over a keyed profile. It is safe for concurrent
-// use; a single mutex serialises profile access (updates are O(1), so the
-// critical sections are tiny).
+// Server is the HTTP facade over a concurrent keyed profile. It is safe for
+// concurrent use with no server-level mutex: all synchronisation lives in
+// the profile's stripe and shard locks, so the ingest and query hot paths
+// never serialise on each other.
 type Server struct {
-	mu       sync.Mutex
-	profile  *sprofile.Keyed[string]
+	profile  *sprofile.KeyedConcurrent[string]
 	maxBatch int
 	mux      *http.ServeMux
-	log      *wal.Log
-	replayed int
 }
 
 // New returns a Server with the given configuration. When Config.WALPath is
@@ -75,55 +83,37 @@ func New(cfg Config) (*Server, error) {
 	if maxBatch <= 0 {
 		maxBatch = 10_000
 	}
-	// Recycling keyed profiles require strict non-negative counts; the rest of
-	// the representation (sharded or not) is declared through Build.
-	buildOpts := []sprofile.BuildOption{sprofile.Strict()}
-	if cfg.Shards > 1 {
+	// BuildKeyed enforces strict non-negative counts (recycling keyed
+	// profiles require them) and aligns the mapper stripes with the shards;
+	// its default when WithSharding is absent is one shard per CPU, which is
+	// exactly what Config.Shards <= 0 selects.
+	var buildOpts []sprofile.BuildOption
+	if cfg.Shards > 0 {
 		buildOpts = append(buildOpts, sprofile.WithSharding(cfg.Shards))
 	}
-	inner, err := sprofile.Build(cfg.Capacity, buildOpts...)
-	if err != nil {
-		return nil, err
+	if cfg.WALPath != "" {
+		buildOpts = append(buildOpts,
+			sprofile.WithWAL(cfg.WALPath),
+			sprofile.WithWALSyncEvery(cfg.WALSyncEvery))
 	}
-	keyed, err := sprofile.NewKeyedOver[string](inner)
+	keyed, err := sprofile.BuildKeyed[string](cfg.Capacity, buildOpts...)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("server: %w", err)
 	}
 	s := &Server{
 		profile:  keyed,
 		maxBatch: maxBatch,
 		mux:      http.NewServeMux(),
 	}
-	if cfg.WALPath != "" {
-		replayed, err := wal.Replay(cfg.WALPath, func(rec wal.Record) error {
-			return keyed.Apply(rec.Key, rec.Action)
-		})
-		if err != nil {
-			return nil, fmt.Errorf("server: replaying WAL %s: %w", cfg.WALPath, err)
-		}
-		s.replayed = replayed
-		log, err := wal.Open(cfg.WALPath, wal.Options{SyncEvery: cfg.WALSyncEvery})
-		if err != nil {
-			return nil, fmt.Errorf("server: opening WAL %s: %w", cfg.WALPath, err)
-		}
-		s.log = log
-	}
 	s.routes()
 	return s, nil
 }
 
 // Replayed returns the number of WAL records replayed at startup.
-func (s *Server) Replayed() int { return s.replayed }
+func (s *Server) Replayed() int { return s.profile.Replayed() }
 
 // Close flushes and closes the write-ahead log, if one is configured.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.log == nil {
-		return nil
-	}
-	return s.log.Close()
-}
+func (s *Server) Close() error { return s.profile.Close() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -133,9 +123,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/events", s.handleEvents)
 	s.mux.HandleFunc("/v1/stats/mode", s.handleMode)
 	s.mux.HandleFunc("/v1/stats/top", s.handleTop)
+	s.mux.HandleFunc("/v1/stats/min", s.handleMin)
+	s.mux.HandleFunc("/v1/stats/bottom", s.handleBottom)
 	s.mux.HandleFunc("/v1/stats/count", s.handleCount)
 	s.mux.HandleFunc("/v1/stats/median", s.handleMedian)
 	s.mux.HandleFunc("/v1/stats/quantile", s.handleQuantile)
+	s.mux.HandleFunc("/v1/stats/majority", s.handleMajority)
 	s.mux.HandleFunc("/v1/stats/distribution", s.handleDistribution)
 	s.mux.HandleFunc("/v1/stats/summary", s.handleSummary)
 	s.registerExportRoutes()
@@ -158,6 +151,14 @@ type entryResponse struct {
 	Object    string `json:"object"`
 	Frequency int64  `json:"frequency"`
 	Ties      int    `json:"ties,omitempty"`
+}
+
+// majorityResponse answers GET /v1/stats/majority; Object and Frequency are
+// meaningful only when Majority is true.
+type majorityResponse struct {
+	Object    string `json:"object,omitempty"`
+	Frequency int64  `json:"frequency,omitempty"`
+	Majority  bool   `json:"majority"`
 }
 
 type errorResponse struct {
@@ -184,23 +185,37 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// decodeEvents accepts either a single event object or an array of events.
+// decodeEvents accepts either a single {object, action} event or a JSON
+// array of them, as the package doc promises. The body is buffered first so
+// the two forms can be distinguished by their leading token.
 func decodeEvents(r *http.Request, maxBatch int) ([]Event, error) {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	var batch []Event
-	if err := dec.Decode(&batch); err == nil {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, fmt.Errorf("reading request body: %v", err)
+	}
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var batch []Event
+		if err := strictDecode(trimmed, &batch); err != nil {
+			return nil, fmt.Errorf("invalid event array: %v", err)
+		}
 		if len(batch) > maxBatch {
 			return nil, fmt.Errorf("batch of %d events exceeds limit %d", len(batch), maxBatch)
 		}
 		return batch, nil
 	}
-	// Retry as a single object; the body has been consumed, so re-decode from
-	// the buffered remainder is not possible — decode errors on arrays fall
-	// back by asking the client to resend. To keep the API simple we decode
-	// the single-object form directly on a fresh decoder chained to the
-	// original decoder's buffered data.
-	return nil, errors.New("body must be a JSON array of {object, action} events")
+	var single Event
+	if err := strictDecode(trimmed, &single); err != nil {
+		return nil, fmt.Errorf("body must be one {object, action} event or a JSON array of them: %v", err)
+	}
+	return []Event{single}, nil
+}
+
+// strictDecode unmarshals data into v, rejecting unknown fields.
+func strictDecode(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
 }
 
 func parseAction(s string) (sprofile.Action, error) {
@@ -225,8 +240,6 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	applied := 0
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, e := range events {
 		if e.Object == "" {
 			writeJSON(w, http.StatusBadRequest, eventsResponse{Applied: applied, Error: "event with empty object"})
@@ -238,6 +251,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err := s.profile.Apply(e.Object, action); err != nil {
+			if errors.Is(err, sprofile.ErrWALAppend) {
+				// The update is in the profile but not in the log.
+				writeJSON(w, http.StatusInternalServerError, eventsResponse{
+					Applied: applied + 1,
+					Error:   err.Error(),
+				})
+				return
+			}
 			status := http.StatusUnprocessableEntity
 			if errors.Is(err, sprofile.ErrKeyedFull) {
 				status = http.StatusInsufficientStorage
@@ -245,25 +266,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, status, eventsResponse{Applied: applied, Error: err.Error()})
 			return
 		}
-		if s.log != nil {
-			if err := s.log.Append(wal.Record{Key: e.Object, Action: action}); err != nil {
-				writeJSON(w, http.StatusInternalServerError, eventsResponse{
-					Applied: applied + 1,
-					Error:   fmt.Sprintf("event applied but not logged: %v", err),
-				})
-				return
-			}
-		}
 		applied++
 	}
-	if s.log != nil {
-		if err := s.log.Sync(); err != nil {
-			writeJSON(w, http.StatusInternalServerError, eventsResponse{
-				Applied: applied,
-				Error:   fmt.Sprintf("events applied but log sync failed: %v", err),
-			})
-			return
-		}
+	if err := s.profile.Sync(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, eventsResponse{
+			Applied: applied,
+			Error:   fmt.Sprintf("events applied but log sync failed: %v", err),
+		})
+		return
 	}
 	writeJSON(w, http.StatusOK, eventsResponse{Applied: applied})
 }
@@ -273,9 +283,7 @@ func (s *Server) handleMode(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	s.mu.Lock()
 	entry, ties, err := s.profile.Mode()
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -283,23 +291,62 @@ func (s *Server) handleMode(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, entryResponse{Object: entry.Key, Frequency: entry.Frequency, Ties: ties})
 }
 
-func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMin(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	entry, ties, err := s.profile.Min()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, entryResponse{Object: entry.Key, Frequency: entry.Frequency, Ties: ties})
+}
+
+// parseK reads the ?k= parameter shared by the top and bottom handlers,
+// defaulting to 10. The bool reports whether the value was valid (an error
+// has been written otherwise).
+func parseK(w http.ResponseWriter, r *http.Request) (int, bool) {
 	k := 10
 	if raw := r.URL.Query().Get("k"); raw != "" {
 		v, err := strconv.Atoi(raw)
 		if err != nil || v <= 0 {
 			writeError(w, http.StatusBadRequest, "k must be a positive integer, got %q", raw)
-			return
+			return 0, false
 		}
 		k = v
 	}
-	s.mu.Lock()
+	return k, true
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	k, ok := parseK(w, r)
+	if !ok {
+		return
+	}
 	entries := s.profile.TopK(k)
-	s.mu.Unlock()
+	out := make([]entryResponse, len(entries))
+	for i, e := range entries {
+		out[i] = entryResponse{Object: e.Key, Frequency: e.Frequency}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleBottom(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	k, ok := parseK(w, r)
+	if !ok {
+		return
+	}
+	entries := s.profile.BottomK(k)
 	out := make([]entryResponse, len(entries))
 	for i, e := range entries {
 		out[i] = entryResponse{Object: e.Key, Frequency: e.Frequency}
@@ -317,9 +364,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing object parameter")
 		return
 	}
-	s.mu.Lock()
 	f, err := s.profile.Count(object)
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -332,9 +377,7 @@ func (s *Server) handleMedian(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	s.mu.Lock()
 	entry, err := s.profile.Median()
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -353,9 +396,7 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "q must be a number in [0,1], got %q", raw)
 		return
 	}
-	s.mu.Lock()
 	entry, err := s.profile.Quantile(q)
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -363,15 +404,29 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, entryResponse{Object: entry.Key, Frequency: entry.Frequency})
 }
 
+func (s *Server) handleMajority(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	entry, ok, err := s.profile.Majority()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusOK, majorityResponse{Majority: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, majorityResponse{Object: entry.Key, Frequency: entry.Frequency, Majority: true})
+}
+
 func (s *Server) handleDistribution(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	s.mu.Lock()
-	dist := s.profile.Distribution()
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, dist)
+	writeJSON(w, http.StatusOK, s.profile.Distribution())
 }
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
@@ -379,10 +434,8 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	s.mu.Lock()
 	summary := s.profile.Summarize()
 	tracked := s.profile.Tracked()
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"capacity":             summary.Capacity,
 		"tracked":              tracked,

@@ -176,6 +176,153 @@ func TestIngestValidation(t *testing.T) {
 	}
 }
 
+func TestSingleEventForm(t *testing.T) {
+	ts := newTestServer(t, 10)
+	// The package doc promises "one event or a batch": the single-object
+	// form must be accepted, not bounced with a misleading array error.
+	resp, out := postEvents(t, ts, `{"object":"solo","action":"add"}`)
+	if resp.StatusCode != http.StatusOK || out.Applied != 1 {
+		t.Fatalf("single event = %d %+v", resp.StatusCode, out)
+	}
+	resp, out = postEvents(t, ts, `[{"object":"solo","action":"add"}]`)
+	if resp.StatusCode != http.StatusOK || out.Applied != 1 {
+		t.Fatalf("array event = %d %+v", resp.StatusCode, out)
+	}
+	var count entryResponse
+	getJSON(t, ts, "/v1/stats/count?object=solo", &count)
+	if count.Frequency != 2 {
+		t.Fatalf("count after both forms = %+v", count)
+	}
+	// A single malformed object is still rejected.
+	resp, _ = postEvents(t, ts, `{"object":"solo","action":"add","extra":1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field accepted: %d", resp.StatusCode)
+	}
+	resp, _ = postEvents(t, ts, `{"object":"solo"`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated object accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestMinBottomMajority(t *testing.T) {
+	ts := newTestServer(t, 4)
+	resp, out := postEvents(t, ts, `[
+		{"object":"a","action":"add"},
+		{"object":"a","action":"add"},
+		{"object":"a","action":"add"},
+		{"object":"b","action":"add"}
+	]`)
+	if resp.StatusCode != http.StatusOK || out.Applied != 4 {
+		t.Fatalf("ingest = %d %+v", resp.StatusCode, out)
+	}
+
+	// Two of four slots are untracked, so the minimum frequency is zero with
+	// two ties.
+	var min entryResponse
+	if resp := getJSON(t, ts, "/v1/stats/min", &min); resp.StatusCode != http.StatusOK {
+		t.Fatalf("min = %d", resp.StatusCode)
+	}
+	if min.Frequency != 0 || min.Ties != 2 {
+		t.Fatalf("min = %+v, want frequency 0 with 2 ties", min)
+	}
+
+	var bottom []entryResponse
+	if resp := getJSON(t, ts, "/v1/stats/bottom?k=3", &bottom); resp.StatusCode != http.StatusOK {
+		t.Fatalf("bottom = %d", resp.StatusCode)
+	}
+	if len(bottom) != 3 || bottom[0].Frequency != 0 || bottom[2].Frequency != 1 {
+		t.Fatalf("bottom = %+v", bottom)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/stats/bottom?k=0"); err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bottom with k=0 = %v %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// a holds 3 of 4 counts: a strict majority.
+	var maj majorityResponse
+	if resp := getJSON(t, ts, "/v1/stats/majority", &maj); resp.StatusCode != http.StatusOK {
+		t.Fatalf("majority = %d", resp.StatusCode)
+	}
+	if !maj.Majority || maj.Object != "a" || maj.Frequency != 3 {
+		t.Fatalf("majority = %+v", maj)
+	}
+
+	// Level the counts: no strict majority any more.
+	postEvents(t, ts, `[{"object":"b","action":"add"},{"object":"b","action":"add"}]`)
+	if resp := getJSON(t, ts, "/v1/stats/majority", &maj); resp.StatusCode != http.StatusOK {
+		t.Fatalf("majority after levelling = %d", resp.StatusCode)
+	}
+	if maj.Majority {
+		t.Fatalf("majority after levelling = %+v, want none", maj)
+	}
+}
+
+// TestParallelIngestAndQuery hammers the mutex-free hot path from many
+// goroutines — writers on disjoint keys, readers across every stats route —
+// and then verifies no update was lost. With -race this doubles as the
+// server-layer concurrency conformance test.
+func TestParallelIngestAndQuery(t *testing.T) {
+	ts := newTestServer(t, 1000)
+	const writers = 8
+	const readers = 4
+	const perWriter = 60
+	errCh := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < perWriter; i++ {
+				body := fmt.Sprintf(`{"object":"w%d-%d","action":"add"}`, w, i%10)
+				resp, err := http.Post(ts.URL+"/v1/events", "application/json", strings.NewReader(body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("writer %d: status %d", w, resp.StatusCode)
+					return
+				}
+			}
+			errCh <- nil
+		}(w)
+	}
+	routes := []string{
+		"/v1/stats/mode", "/v1/stats/min", "/v1/stats/top?k=5", "/v1/stats/bottom?k=5",
+		"/v1/stats/median", "/v1/stats/quantile?q=0.9", "/v1/stats/majority",
+		"/v1/stats/distribution", "/v1/stats/summary", "/v1/export",
+	}
+	for rdr := 0; rdr < readers; rdr++ {
+		go func(rdr int) {
+			for i := 0; i < 40; i++ {
+				resp, err := http.Get(ts.URL + routes[(rdr+i)%len(routes)])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("reader: %s -> %d", routes[(rdr+i)%len(routes)], resp.StatusCode)
+					return
+				}
+			}
+			errCh <- nil
+		}(rdr)
+	}
+	for i := 0; i < writers+readers; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	var summary map[string]any
+	getJSON(t, ts, "/v1/stats/summary", &summary)
+	if got := summary["adds"].(float64); got != writers*perWriter {
+		t.Fatalf("adds = %v, want %d", got, writers*perWriter)
+	}
+	if got := summary["total"].(float64); got != writers*perWriter {
+		t.Fatalf("total = %v, want %d", got, writers*perWriter)
+	}
+}
+
 func TestCapacityExhaustion(t *testing.T) {
 	ts := newTestServer(t, 2)
 	postEvents(t, ts, `[{"object":"a","action":"add"},{"object":"b","action":"add"}]`)
@@ -210,7 +357,8 @@ func TestBatchLimit(t *testing.T) {
 func TestMethodNotAllowed(t *testing.T) {
 	ts := newTestServer(t, 10)
 	paths := []string{
-		"/v1/stats/mode", "/v1/stats/top", "/v1/stats/count", "/v1/stats/median",
+		"/v1/stats/mode", "/v1/stats/top", "/v1/stats/min", "/v1/stats/bottom",
+		"/v1/stats/majority", "/v1/stats/count", "/v1/stats/median",
 		"/v1/stats/quantile", "/v1/stats/distribution", "/v1/stats/summary", "/healthz",
 	}
 	for _, path := range paths {

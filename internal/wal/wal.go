@@ -143,6 +143,28 @@ func (l *Log) Sync() error {
 	return l.f.Sync()
 }
 
+// Flush hands buffered records to the operating system without forcing them
+// to stable storage. Pair with SyncFile to persist them.
+func (l *Log) Flush() error {
+	if l.closed {
+		return ErrClosed
+	}
+	return l.w.Flush()
+}
+
+// SyncFile fsyncs the underlying file without touching the record buffer: it
+// persists exactly what earlier Flush calls handed to the OS. Unlike the
+// other methods it may run concurrently with Append and Flush (the kernel
+// serialises the fd operations); callers must still serialise SyncFile with
+// Close. This split lets a concurrent front end keep appending under its own
+// lock while a completed batch fsyncs outside it.
+func (l *Log) SyncFile() error {
+	if l.closed {
+		return ErrClosed
+	}
+	return l.f.Sync()
+}
+
 // Close flushes, fsyncs and closes the log file.
 func (l *Log) Close() error {
 	if l.closed {

@@ -38,12 +38,141 @@ type KeyedEntry[K comparable] struct {
 // (NewKeyed), or whatever Build assembled (NewKeyedOver), e.g. a sharded
 // profile for lower lock contention. The id mapper itself is not safe for
 // concurrent use; serialise Keyed access in the caller even when the inner
-// profiler is synchronized.
+// profiler is synchronized, or use BuildKeyed's KeyedConcurrent, which is
+// safe for concurrent use end to end.
 type Keyed[K comparable] struct {
-	profile Profiler
+	keyedQueries[K]
 	ids     *idmap.Mapper[K]
 	recycle bool
 }
+
+// keyedQueries is the read-side shared by Keyed and KeyedConcurrent: every
+// statistic is answered by the dense profiler and translated back to keys
+// through the resolver. Embedding it keeps the translation logic in one
+// place; the ingestion paths (and their locking disciplines) stay with the
+// concrete types.
+type keyedQueries[K comparable] struct {
+	profile  Profiler
+	resolver keyResolver[K]
+}
+
+// keyResolver resolves a dense id back to its key; both idmap.Mapper and
+// idmap.Striped satisfy it.
+type keyResolver[K comparable] interface {
+	Key(id int) (K, bool)
+}
+
+// Cap returns the maximum number of concurrently tracked keys.
+func (q *keyedQueries[K]) Cap() int { return q.profile.Cap() }
+
+// Total returns the sum of all frequencies.
+func (q *keyedQueries[K]) Total() int64 { return q.profile.Total() }
+
+// entryToKeyed converts a dense-id entry into a keyed entry; slots not bound
+// to a key report the zero value of K.
+func (q *keyedQueries[K]) entryToKeyed(e Entry) KeyedEntry[K] {
+	key, _ := q.resolver.Key(e.Object)
+	return KeyedEntry[K]{Key: key, Frequency: e.Frequency}
+}
+
+// Mode returns a key with the maximum frequency, the frequency, and the
+// number of objects sharing it.
+func (q *keyedQueries[K]) Mode() (KeyedEntry[K], int, error) {
+	e, ties, err := q.profile.Mode()
+	if err != nil {
+		return KeyedEntry[K]{}, 0, err
+	}
+	return q.entryToKeyed(e), ties, nil
+}
+
+// Min returns a key with the minimum frequency, the frequency, and the
+// number of objects sharing it. Slots not currently bound to a key report
+// the zero value of K.
+func (q *keyedQueries[K]) Min() (KeyedEntry[K], int, error) {
+	e, ties, err := q.profile.Min()
+	if err != nil {
+		return KeyedEntry[K]{}, 0, err
+	}
+	return q.entryToKeyed(e), ties, nil
+}
+
+// TopK returns the n most frequent entries in non-increasing frequency
+// order. Untracked slots (frequency zero, never used) may appear when fewer
+// than n keys have been added; their Key field is the zero value.
+func (q *keyedQueries[K]) TopK(n int) []KeyedEntry[K] {
+	return q.translate(q.profile.TopK(n))
+}
+
+// BottomK returns the n least frequent entries in non-decreasing frequency
+// order, with the same untracked-slot caveat as TopK.
+func (q *keyedQueries[K]) BottomK(n int) []KeyedEntry[K] {
+	return q.translate(q.profile.BottomK(n))
+}
+
+func (q *keyedQueries[K]) translate(entries []Entry) []KeyedEntry[K] {
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]KeyedEntry[K], len(entries))
+	for i, e := range entries {
+		out[i] = q.entryToKeyed(e)
+	}
+	return out
+}
+
+// KthLargest returns the keyed entry holding the k-th largest frequency
+// (1-based: k=1 is a mode representative).
+func (q *keyedQueries[K]) KthLargest(n int) (KeyedEntry[K], error) {
+	e, err := q.profile.KthLargest(n)
+	if err != nil {
+		return KeyedEntry[K]{}, err
+	}
+	return q.entryToKeyed(e), nil
+}
+
+// Median returns the lower-median keyed entry of the frequency multiset over
+// all m slots.
+func (q *keyedQueries[K]) Median() (KeyedEntry[K], error) {
+	e, err := q.profile.Median()
+	if err != nil {
+		return KeyedEntry[K]{}, err
+	}
+	return q.entryToKeyed(e), nil
+}
+
+// Quantile returns the keyed entry at quantile q in [0, 1] of the frequency
+// multiset over all m slots (nearest-rank definition).
+func (q *keyedQueries[K]) Quantile(quant float64) (KeyedEntry[K], error) {
+	e, err := q.profile.Quantile(quant)
+	if err != nil {
+		return KeyedEntry[K]{}, err
+	}
+	return q.entryToKeyed(e), nil
+}
+
+// Majority returns the key holding a strict majority of the total count, if
+// one exists.
+func (q *keyedQueries[K]) Majority() (KeyedEntry[K], bool, error) {
+	e, ok, err := q.profile.Majority()
+	if err != nil || !ok {
+		return KeyedEntry[K]{}, false, err
+	}
+	return q.entryToKeyed(e), true, nil
+}
+
+// Distribution returns the frequency histogram in ascending frequency order.
+func (q *keyedQueries[K]) Distribution() []FreqCount { return q.profile.Distribution() }
+
+// Summarize returns aggregate statistics of the underlying profile.
+func (q *keyedQueries[K]) Summarize() Summary { return q.profile.Summarize() }
+
+// Profile exposes the underlying dense-id profiler for advanced queries
+// (rank lookups, snapshots via the Snapshotter capability). Mutating it
+// directly desynchronises the key mapping and must be avoided.
+func (q *keyedQueries[K]) Profile() Profiler { return q.profile }
+
+// KeyOf resolves a dense id back to its key, when one is assigned.
+func (q *keyedQueries[K]) KeyOf(id int) (K, bool) { return q.resolver.Key(id) }
 
 // KeyedOption configures a Keyed profile.
 type KeyedOption func(*keyedOptions)
@@ -100,7 +229,11 @@ func newKeyedOver[K comparable](p Profiler, o keyedOptions) (*Keyed[K], error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Keyed[K]{profile: p, ids: ids, recycle: o.recycle}, nil
+	return &Keyed[K]{
+		keyedQueries: keyedQueries[K]{profile: p, resolver: ids},
+		ids:          ids,
+		recycle:      o.recycle,
+	}, nil
 }
 
 // MustNewKeyed is NewKeyed for callers with a known-good capacity; it panics
@@ -113,14 +246,8 @@ func MustNewKeyed[K comparable](m int, opts ...KeyedOption) *Keyed[K] {
 	return k
 }
 
-// Cap returns the maximum number of concurrently tracked keys.
-func (k *Keyed[K]) Cap() int { return k.profile.Cap() }
-
 // Tracked returns the number of keys currently holding a dense id.
 func (k *Keyed[K]) Tracked() int { return k.ids.Len() }
-
-// Total returns the sum of all frequencies.
-func (k *Keyed[K]) Total() int64 { return k.profile.Total() }
 
 // Add increments the frequency of key, assigning it a dense id if needed.
 // When the profile is full, Add first tries to recycle the id of a key whose
@@ -162,6 +289,18 @@ func (k *Keyed[K]) evictOneZero() bool {
 	return true
 }
 
+// Track assigns key a dense id without counting anything, so a catalogue can
+// be registered ahead of its events. A tracked key sits at frequency zero
+// and, with recycling enabled, remains an eviction candidate until its first
+// Add.
+func (k *Keyed[K]) Track(key K) error {
+	_, _, err := k.ids.Acquire(key)
+	if errors.Is(err, idmap.ErrFull) && k.recycle && k.evictOneZero() {
+		_, _, err = k.ids.Acquire(key)
+	}
+	return err
+}
+
 // Remove decrements the frequency of key. Removing an unknown key is an
 // error: with recycling enabled frequencies cannot go negative, and without
 // recycling the key must still be added first to receive an id.
@@ -196,87 +335,3 @@ func (k *Keyed[K]) Count(key K) (int64, error) {
 	}
 	return k.profile.Count(id)
 }
-
-// entryToKeyed converts a dense-id entry into a keyed entry; untracked slots
-// report the zero value of K.
-func (k *Keyed[K]) entryToKeyed(e Entry) KeyedEntry[K] {
-	key, _ := k.ids.Key(e.Object)
-	return KeyedEntry[K]{Key: key, Frequency: e.Frequency}
-}
-
-// Mode returns a key with the maximum frequency, the frequency, and the
-// number of objects sharing it.
-func (k *Keyed[K]) Mode() (KeyedEntry[K], int, error) {
-	e, ties, err := k.profile.Mode()
-	if err != nil {
-		return KeyedEntry[K]{}, 0, err
-	}
-	return k.entryToKeyed(e), ties, nil
-}
-
-// TopK returns the k most frequent entries in non-increasing frequency order.
-// Untracked slots (frequency zero, never used) may appear when fewer than
-// length-k keys have been added; their Key field is the zero value.
-func (k *Keyed[K]) TopK(n int) []KeyedEntry[K] {
-	entries := k.profile.TopK(n)
-	out := make([]KeyedEntry[K], len(entries))
-	for i, e := range entries {
-		out[i] = k.entryToKeyed(e)
-	}
-	return out
-}
-
-// Median returns the lower-median keyed entry of the frequency multiset over
-// all m slots.
-func (k *Keyed[K]) Median() (KeyedEntry[K], error) {
-	e, err := k.profile.Median()
-	if err != nil {
-		return KeyedEntry[K]{}, err
-	}
-	return k.entryToKeyed(e), nil
-}
-
-// Quantile returns the keyed entry at quantile q in [0, 1] of the frequency
-// multiset over all m slots (nearest-rank definition).
-func (k *Keyed[K]) Quantile(q float64) (KeyedEntry[K], error) {
-	e, err := k.profile.Quantile(q)
-	if err != nil {
-		return KeyedEntry[K]{}, err
-	}
-	return k.entryToKeyed(e), nil
-}
-
-// Min returns a key with the minimum frequency, the frequency, and the
-// number of objects sharing it. Slots not currently bound to a key report the
-// zero value of K.
-func (k *Keyed[K]) Min() (KeyedEntry[K], int, error) {
-	e, ties, err := k.profile.Min()
-	if err != nil {
-		return KeyedEntry[K]{}, 0, err
-	}
-	return k.entryToKeyed(e), ties, nil
-}
-
-// Majority returns the key holding a strict majority of the total count, if
-// one exists.
-func (k *Keyed[K]) Majority() (KeyedEntry[K], bool, error) {
-	e, ok, err := k.profile.Majority()
-	if err != nil || !ok {
-		return KeyedEntry[K]{}, false, err
-	}
-	return k.entryToKeyed(e), true, nil
-}
-
-// Distribution returns the frequency histogram in ascending frequency order.
-func (k *Keyed[K]) Distribution() []FreqCount { return k.profile.Distribution() }
-
-// Summarize returns aggregate statistics of the underlying profile.
-func (k *Keyed[K]) Summarize() Summary { return k.profile.Summarize() }
-
-// Profile exposes the underlying dense-id profiler for advanced queries
-// (rank lookups, snapshots via the Snapshotter capability). Mutating it
-// directly desynchronises the key mapping and must be avoided.
-func (k *Keyed[K]) Profile() Profiler { return k.profile }
-
-// KeyOf resolves a dense id back to its key, when one is assigned.
-func (k *Keyed[K]) KeyOf(id int) (K, bool) { return k.ids.Key(id) }

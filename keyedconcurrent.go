@@ -1,0 +1,491 @@
+package sprofile
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sprofile/internal/idmap"
+	"sprofile/internal/wal"
+)
+
+// ErrWALAppend reports an update that was applied to the in-memory profile
+// but could not be journaled to the write-ahead log. The profile and the log
+// have diverged; the caller decides whether to surface the failure or to
+// retry the sync.
+var ErrWALAppend = errors.New("sprofile: event applied but not journaled")
+
+// KeyedConcurrent is the concurrent counterpart of Keyed: a key-addressed
+// profile safe for many goroutines ingesting and querying at once, with no
+// global lock anywhere on the update path.
+//
+// Concurrency model — three aligned layers:
+//
+//   - the id mapper is striped: keys hash onto stripes, each guarded by its
+//     own mutex, and each stripe prefers dense ids from its own contiguous
+//     range (borrowing from other ranges only when its own is exhausted);
+//   - the dense profile is sharded with the same geometry, so the id a
+//     stripe assigns lands in the matching shard — one Add takes one stripe
+//     lock plus one shard lock, and updates on different stripes never
+//     contend;
+//   - frequency bookkeeping for recycling (which keys are idle) is kept per
+//     stripe and mutated only while that stripe's lock is held, which is what
+//     makes eviction sound under concurrency: a key's frequency cannot move
+//     while its stripe lock serialises both the eviction check and every
+//     update that could change it.
+//
+// Recycling semantics under concurrency (the part that differs from Keyed):
+// when every dense id is in use, Add evicts an idle key — frequency zero —
+// from the new key's own stripe. If that stripe has no idle key, Add returns
+// ErrKeyedFull even if another stripe has one; eviction never crosses a
+// stripe boundary, because that would need two stripe locks and reintroduce
+// cross-stripe contention (and deadlock risk) on the hot path. With
+// hash-distributed keys the stripes stay balanced and the difference from
+// global eviction is marginal.
+//
+// Global queries (Mode, TopK, Median, ...) read the dense profile, which
+// locks its shards internally, and translate ids back to keys afterwards;
+// under concurrent ingestion each answer is a point-in-time snapshot, and a
+// translated key may in rare cases have been recycled between the statistic
+// and the translation. Per-key queries (Count) are stripe-consistent.
+//
+// Construct with BuildKeyed. As with Keyed, mutating the underlying Profile()
+// directly desynchronises the bookkeeping and must be avoided.
+type KeyedConcurrent[K comparable] struct {
+	keyedQueries[K]
+	ids     *idmap.Striped[K]
+	recycle bool
+	// freqs mirrors each id's frequency; entry i is guarded by the stripe
+	// lock of the key currently holding id i (free ids hold zero and are
+	// handed over through the mapper's alloc locks).
+	freqs []int64
+	// zeros tracks the idle (frequency-zero) keys of each stripe, the
+	// eviction candidates; zeros[i] is guarded by stripe i's lock.
+	zeros []zeroSet[K]
+
+	log      *keyedLog
+	replayed int
+}
+
+// zeroSet is an O(1) insert/delete/pop set of idle keys.
+type zeroSet[K comparable] struct {
+	keys []K
+	pos  map[K]int
+}
+
+func (z *zeroSet[K]) add(key K) {
+	if z.pos == nil {
+		z.pos = make(map[K]int)
+	}
+	if _, ok := z.pos[key]; ok {
+		return
+	}
+	z.pos[key] = len(z.keys)
+	z.keys = append(z.keys, key)
+}
+
+func (z *zeroSet[K]) remove(key K) {
+	i, ok := z.pos[key]
+	if !ok {
+		return
+	}
+	last := len(z.keys) - 1
+	z.keys[i] = z.keys[last]
+	z.pos[z.keys[i]] = i
+	z.keys = z.keys[:last]
+	delete(z.pos, key)
+}
+
+func (z *zeroSet[K]) pop() (K, bool) {
+	var zero K
+	if len(z.keys) == 0 {
+		return zero, false
+	}
+	key := z.keys[len(z.keys)-1]
+	z.keys = z.keys[:len(z.keys)-1]
+	delete(z.pos, key)
+	return key, true
+}
+
+// keyedLog is a write-ahead log shared by concurrent appenders: the wal.Log
+// itself is single-writer, so a small mutex serialises appends and syncs.
+// Appends happen while the event's stripe lock is held, which keeps each
+// key's add/remove order in the log identical to its apply order (the
+// property strict replay depends on); events of different keys interleave in
+// whatever order their stripes reach the log, which replay is insensitive to.
+type keyedLog struct {
+	// mu guards appends and buffer flushes (the wal.Log is single-writer).
+	mu sync.Mutex
+	// syncMu serialises fsyncs only: the fsync itself runs without mu, so
+	// appends — and therefore other producers' whole batches — proceed while
+	// the disk works.
+	syncMu sync.Mutex
+	log    *wal.Log
+	// synced is the Appended() watermark covered by the last completed
+	// fsync. A sync request whose records are already covered returns
+	// without touching the disk — group commit: concurrent batches that
+	// queued behind one fsync are persisted by it collectively.
+	synced atomic.Uint64
+	// syncEvery > 0 requests a sync after that many appends (WithWALSyncEvery);
+	// append reports when the threshold is crossed and the caller runs the
+	// lock-free sync path outside the stripe lock.
+	syncEvery int
+	sinceSync int
+}
+
+// append journals one record and reports whether the WithWALSyncEvery
+// threshold asks for a sync. The sync itself is the caller's job, outside
+// every profile lock.
+func (l *keyedLog) append(key string, a Action) (syncDue bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.log.Append(wal.Record{Key: key, Action: a}); err != nil {
+		return false, err
+	}
+	if l.syncEvery > 0 {
+		l.sinceSync++
+		if l.sinceSync >= l.syncEvery {
+			l.sinceSync = 0
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (l *keyedLog) sync() error {
+	l.mu.Lock()
+	target := l.log.Appended()
+	if l.synced.Load() >= target {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.log.Flush()
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.synced.Load() >= target {
+		// Another batch's fsync completed after our flush and covered our
+		// records.
+		return nil
+	}
+	if err := l.log.SyncFile(); err != nil {
+		return err
+	}
+	// Everything flushed before the fsync is durable, which is at least our
+	// own records; claiming only target keeps the watermark conservative.
+	if l.synced.Load() < target {
+		l.synced.Store(target)
+	}
+	return nil
+}
+
+func (l *keyedLog) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	return l.log.Close()
+}
+
+// BuildKeyed assembles a concurrent key-addressed profile able to track up
+// to m keys at once, from the same capability options Build accepts:
+//
+//	k, err := sprofile.BuildKeyed[string](m)                          // sharded per CPU
+//	k, err := sprofile.BuildKeyed[string](m, sprofile.WithSharding(16))
+//	k, err := sprofile.BuildKeyed[string](m, sprofile.WithSharding(16), sprofile.WithWAL("events.wal"))
+//	k, err := sprofile.BuildKeyed[int64](m, sprofile.WithoutKeyRecycling())
+//
+// The result is always safe for concurrent use. WithSharding sets both the
+// profile shard count and the mapper stripe count (they are kept aligned);
+// without it the profile is sharded one shard per CPU. Synchronized selects
+// a single-mutex dense profile instead (the mapper stays striped). Windowed
+// and TimeWindowed are rejected — window adapters are single-goroutine.
+//
+// Id recycling is on by default, which forces WithStrictNonNegative on the
+// dense profile exactly like NewKeyed; WithoutKeyRecycling turns it off and
+// permits negative frequencies. WithWAL makes ingestion durable and is
+// supported for K = string (the log stores string keys); Build-style replay
+// happens before BuildKeyed returns, and Sync/Close flush the log.
+func BuildKeyed[K comparable](m int, opts ...BuildOption) (*KeyedConcurrent[K], error) {
+	var cfg buildConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.windowSet || cfg.spanSet {
+		return nil, fmt.Errorf("%w: window adapters are single-goroutine; BuildKeyed cannot maintain them concurrently", ErrBuildConfig)
+	}
+	if cfg.shardsSet && cfg.shards <= 0 {
+		return nil, fmt.Errorf("%w: shard count must be positive, got %d", ErrBuildConfig, cfg.shards)
+	}
+	if cfg.walPath != "" {
+		var zero K
+		if _, ok := any(zero).(string); !ok {
+			return nil, fmt.Errorf("%w: WithWAL requires string keys (the log stores keys as strings), got %T", ErrBuildConfig, zero)
+		}
+	}
+	recycle := !cfg.noKeyRecycle
+	profileOpts := cfg.profileOpts
+	if recycle {
+		// Recycled ids must start from a clean zero frequency, so the dense
+		// profile has to reject negative frequencies.
+		profileOpts = append(profileOpts, WithStrictNonNegative())
+	}
+
+	shards := cfg.shards
+	if !cfg.shardsSet {
+		shards = defaultShards()
+	}
+	var (
+		inner   Profiler
+		stripes int
+		err     error
+	)
+	if cfg.synchronized && !cfg.shardsSet {
+		inner, err = NewConcurrent(m, profileOpts...)
+		stripes = defaultShards()
+	} else {
+		var sharded *Sharded
+		sharded, err = NewSharded(m, shards, profileOpts...)
+		if err == nil {
+			// Align mapper stripes with the shards actually materialised
+			// (NewSharded clamps the count for small m).
+			inner, stripes = sharded, sharded.Shards()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	ids, err := idmap.NewStriped[K](m, stripes)
+	if err != nil {
+		return nil, err
+	}
+	kc := &KeyedConcurrent[K]{
+		keyedQueries: keyedQueries[K]{profile: inner, resolver: ids},
+		ids:          ids,
+		recycle:      recycle,
+		zeros:        make([]zeroSet[K], ids.NumStripes()),
+	}
+	if recycle {
+		kc.freqs = make([]int64, m)
+	}
+	if cfg.walPath != "" {
+		replayed, err := wal.Replay(cfg.walPath, func(rec wal.Record) error {
+			// Stripe assignment is seeded per process, so the per-stripe
+			// eviction decisions of the writing run cannot be reproduced
+			// here. Replay is single-goroutine, so it may fall back to
+			// evicting an idle key from any stripe: the log guarantees the
+			// live (frequency > 0) key set never exceeded capacity, hence an
+			// idle victim always exists when an Add finds the mapper full.
+			key := any(rec.Key).(K)
+			err := kc.Apply(key, rec.Action)
+			if errors.Is(err, idmap.ErrFull) && kc.evictIdleAny() {
+				err = kc.Apply(key, rec.Action)
+			}
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sprofile: replaying WAL %s: %w", cfg.walPath, err)
+		}
+		// SyncEvery is handled here rather than inside wal.Log: the log's own
+		// per-append syncing would fsync while the append mutex (and the
+		// event's stripe lock) are held, which is exactly what the
+		// group-commit split avoids.
+		log, err := wal.Open(cfg.walPath, wal.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("sprofile: opening WAL %s: %w", cfg.walPath, err)
+		}
+		kc.replayed = replayed
+		kc.log = &keyedLog{log: log, syncEvery: cfg.walSyncEvery}
+	}
+	return kc, nil
+}
+
+// MustBuildKeyed is BuildKeyed for callers with a known-good configuration;
+// it panics on error.
+func MustBuildKeyed[K comparable](m int, opts ...BuildOption) *KeyedConcurrent[K] {
+	k, err := BuildKeyed[K](m, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Tracked returns the number of keys currently holding a dense id.
+func (k *KeyedConcurrent[K]) Tracked() int { return k.ids.Len() }
+
+// Replayed returns the number of WAL records replayed when the profile was
+// built (zero without WithWAL).
+func (k *KeyedConcurrent[K]) Replayed() int { return k.replayed }
+
+// Sync flushes buffered write-ahead-log records to stable storage. Without
+// WithWAL it is a no-op.
+func (k *KeyedConcurrent[K]) Sync() error {
+	if k.log == nil {
+		return nil
+	}
+	return k.log.sync()
+}
+
+// Close flushes and closes the write-ahead log, if one is configured. The
+// profile stays queryable, but further updates will fail to journal.
+func (k *KeyedConcurrent[K]) Close() error {
+	if k.log == nil {
+		return nil
+	}
+	return k.log.close()
+}
+
+// journal appends one applied event to the WAL; key is string by the
+// BuildKeyed construction check. syncDue asks the caller to run Sync once
+// the stripe lock is released.
+func (k *KeyedConcurrent[K]) journal(key K, a Action) (syncDue bool, err error) {
+	syncDue, err = k.log.append(any(key).(string), a)
+	if err != nil {
+		return false, fmt.Errorf("%w: %v", ErrWALAppend, err)
+	}
+	return syncDue, nil
+}
+
+// evictFn returns the per-stripe eviction callback for the mapper: pop one
+// idle key of the acquiring key's stripe. It runs under the stripe lock.
+func (k *KeyedConcurrent[K]) evictFn() func(stripe int) (K, bool) {
+	if !k.recycle {
+		return nil
+	}
+	return func(stripe int) (K, bool) { return k.zeros[stripe].pop() }
+}
+
+// evictIdleAny releases one idle key from any stripe, ignoring the
+// per-stripe eviction boundary. Only WAL replay uses it, where a single
+// goroutine owns the whole profile; under concurrency the unsynchronised
+// zero-set scan would race with the stripes' lock discipline.
+func (k *KeyedConcurrent[K]) evictIdleAny() bool {
+	if !k.recycle {
+		return false
+	}
+	for i := range k.zeros {
+		if victim, ok := k.zeros[i].pop(); ok {
+			if _, err := k.ids.Release(victim); err == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Add increments the frequency of key, assigning it a dense id if needed.
+// When the profile is full, Add recycles the id of an idle key in the same
+// stripe; if the stripe has none it returns ErrKeyedFull.
+func (k *KeyedConcurrent[K]) Add(key K) error {
+	var journalErr error
+	var syncDue bool
+	_, _, err := k.ids.AcquireFunc(key, k.evictFn(), func(id int, isNew bool) error {
+		if err := k.profile.Add(id); err != nil {
+			return err
+		}
+		if k.recycle {
+			k.freqs[id]++
+			if k.freqs[id] == 1 && !isNew {
+				k.zeros[k.ids.StripeOf(key)].remove(key)
+			}
+		}
+		if k.log != nil {
+			// Journal failures must not roll back the applied update (the
+			// mapping and profile would then disagree), so the error is
+			// carried out-of-band and wrapped in ErrWALAppend.
+			syncDue, journalErr = k.journal(key, ActionAdd)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return k.finishJournal(syncDue, journalErr)
+}
+
+// finishJournal runs a WithWALSyncEvery-due sync outside every profile lock
+// and folds its failure into the journal error contract.
+func (k *KeyedConcurrent[K]) finishJournal(syncDue bool, journalErr error) error {
+	if journalErr != nil || !syncDue {
+		return journalErr
+	}
+	if err := k.log.sync(); err != nil {
+		return fmt.Errorf("%w: sync: %v", ErrWALAppend, err)
+	}
+	return nil
+}
+
+// Remove decrements the frequency of key. Removing an unknown key is an
+// error: with recycling enabled frequencies cannot go negative, and without
+// recycling the key must still be added first to receive an id.
+func (k *KeyedConcurrent[K]) Remove(key K) error {
+	var journalErr error
+	var syncDue bool
+	_, err := k.ids.DenseIDFunc(key, func(id int) error {
+		if err := k.profile.Remove(id); err != nil {
+			return err
+		}
+		if k.recycle {
+			k.freqs[id]--
+			if k.freqs[id] == 0 {
+				k.zeros[k.ids.StripeOf(key)].add(key)
+			}
+		}
+		if k.log != nil {
+			syncDue, journalErr = k.journal(key, ActionRemove)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return k.finishJournal(syncDue, journalErr)
+}
+
+// Apply applies one (key, action) event.
+func (k *KeyedConcurrent[K]) Apply(key K, action Action) error {
+	switch action {
+	case ActionAdd:
+		return k.Add(key)
+	case ActionRemove:
+		return k.Remove(key)
+	default:
+		return fmt.Errorf("sprofile: invalid action %d", action)
+	}
+}
+
+// Track assigns key a dense id without counting anything, so a catalogue can
+// be registered ahead of its events. A tracked key sits at frequency zero
+// and is therefore an eviction candidate until its first Add.
+func (k *KeyedConcurrent[K]) Track(key K) error {
+	_, _, err := k.ids.AcquireFunc(key, k.evictFn(), func(id int, isNew bool) error {
+		if k.recycle && isNew {
+			k.zeros[k.ids.StripeOf(key)].add(key)
+		}
+		return nil
+	})
+	return err
+}
+
+// Count returns the current frequency of key (zero for unknown keys). The
+// lookup and the read happen under the key's stripe lock, so the answer is
+// consistent with concurrent updates to the same key.
+func (k *KeyedConcurrent[K]) Count(key K) (int64, error) {
+	var count int64
+	_, err := k.ids.DenseIDFunc(key, func(id int) error {
+		c, err := k.profile.Count(id)
+		count = c
+		return err
+	})
+	if err != nil {
+		if errors.Is(err, idmap.ErrUnknownKey) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return count, nil
+}

@@ -1,0 +1,450 @@
+package sprofile_test
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"sprofile"
+	"sprofile/internal/wal"
+)
+
+func TestBuildKeyedBasics(t *testing.T) {
+	k, err := sprofile.BuildKeyed[string](100, sprofile.WithSharding(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Cap() != 100 || k.Tracked() != 0 || k.Total() != 0 {
+		t.Fatalf("fresh profile: cap=%d tracked=%d total=%d", k.Cap(), k.Tracked(), k.Total())
+	}
+	for i := 0; i < 3; i++ {
+		if err := k.Add("alice"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Add("bob"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Remove("bob"); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := k.Count("alice"); c != 3 {
+		t.Fatalf("Count(alice) = %d, want 3", c)
+	}
+	if c, _ := k.Count("ghost"); c != 0 {
+		t.Fatalf("Count(ghost) = %d, want 0", c)
+	}
+	mode, ties, err := k.Mode()
+	if err != nil || mode.Key != "alice" || mode.Frequency != 3 || ties != 1 {
+		t.Fatalf("Mode = (%+v, %d, %v)", mode, ties, err)
+	}
+	if e, err := k.KthLargest(1); err != nil || e.Frequency != 3 {
+		t.Fatalf("KthLargest(1) = (%+v, %v)", e, err)
+	}
+	top := k.TopK(1)
+	if len(top) != 1 || top[0].Key != "alice" {
+		t.Fatalf("TopK = %+v", top)
+	}
+	bottom := k.BottomK(1)
+	if len(bottom) != 1 || bottom[0].Frequency != 0 {
+		t.Fatalf("BottomK = %+v", bottom)
+	}
+	if _, _, err := k.Min(); err != nil {
+		t.Fatalf("Min: %v", err)
+	}
+	if _, _, err := k.Majority(); err != nil {
+		t.Fatalf("Majority: %v", err)
+	}
+	if k.Tracked() != 2 || k.Total() != 3 {
+		t.Fatalf("tracked=%d total=%d", k.Tracked(), k.Total())
+	}
+	if err := k.Remove("never-added"); !errors.Is(err, sprofile.ErrUnknownKey) {
+		t.Fatalf("Remove of unknown key = %v, want ErrUnknownKey", err)
+	}
+	if err := k.Apply("alice", sprofile.Action(99)); err == nil {
+		t.Fatalf("invalid action accepted")
+	}
+}
+
+func TestBuildKeyedRecycling(t *testing.T) {
+	// One shard makes eviction deterministic: the single stripe holds every
+	// key, so per-stripe recycling behaves exactly like Keyed's global one.
+	k, err := sprofile.BuildKeyed[string](2, sprofile.WithSharding(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdd := func(key string) {
+		t.Helper()
+		if err := k.Add(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd("a")
+	mustAdd("b")
+	// Full, no idle key: the third key cannot enter.
+	if err := k.Add("c"); !errors.Is(err, sprofile.ErrKeyedFull) {
+		t.Fatalf("Add at capacity = %v, want ErrKeyedFull", err)
+	}
+	// Dropping b to zero makes its id recyclable; c then takes it over.
+	if err := k.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd("c")
+	if k.Tracked() != 2 {
+		t.Fatalf("Tracked after recycle = %d, want 2", k.Tracked())
+	}
+	if c, _ := k.Count("b"); c != 0 {
+		t.Fatalf("Count(b) after eviction = %d, want 0", c)
+	}
+	if c, _ := k.Count("c"); c != 1 {
+		t.Fatalf("Count(c) = %d, want 1", c)
+	}
+	// b lost its id; adding it back recycles again only if something is idle.
+	if err := k.Add("b"); !errors.Is(err, sprofile.ErrKeyedFull) {
+		t.Fatalf("Add(b) with no idle ids = %v, want ErrKeyedFull", err)
+	}
+	// A re-add of an idle key must leave the idle set, not be evicted later.
+	if err := k.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd("a")
+	if err := k.Add("d"); !errors.Is(err, sprofile.ErrKeyedFull) {
+		t.Fatalf("Add(d) after a's re-add = %v, want ErrKeyedFull (a is busy again)", err)
+	}
+}
+
+func TestBuildKeyedTrack(t *testing.T) {
+	k := sprofile.MustBuildKeyed[string](4, sprofile.WithSharding(1))
+	if err := k.Track("idle"); err != nil {
+		t.Fatal(err)
+	}
+	if k.Tracked() != 1 || k.Total() != 0 {
+		t.Fatalf("tracked=%d total=%d after Track", k.Tracked(), k.Total())
+	}
+	// A tracked key is an eviction candidate: fill the rest, then overflow.
+	for _, key := range []string{"a", "b", "c"} {
+		if err := k.Add(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Add("d"); err != nil {
+		t.Fatalf("Add(d) should have evicted the idle tracked key: %v", err)
+	}
+	if k.Tracked() != 4 {
+		t.Fatalf("Tracked = %d, want 4", k.Tracked())
+	}
+	if c, _ := k.Count("idle"); c != 0 {
+		t.Fatalf("Count(idle) = %d", c)
+	}
+}
+
+func TestBuildKeyedWithoutRecycling(t *testing.T) {
+	k, err := sprofile.BuildKeyed[string](2, sprofile.WithSharding(1), sprofile.WithoutKeyRecycling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Add("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Negative frequencies are allowed without recycling.
+	if err := k.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Remove("a"); err != nil {
+		t.Fatalf("Remove below zero without recycling = %v, want nil", err)
+	}
+	if c, _ := k.Count("a"); c != -1 {
+		t.Fatalf("Count(a) = %d, want -1", c)
+	}
+	// No recycling: an idle id is never reclaimed.
+	if err := k.Add("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Add("c"); !errors.Is(err, sprofile.ErrKeyedFull) {
+		t.Fatalf("Add over capacity without recycling = %v, want ErrKeyedFull", err)
+	}
+}
+
+func TestBuildKeyedConfigErrors(t *testing.T) {
+	if _, err := sprofile.BuildKeyed[string](8, sprofile.Windowed(4)); !errors.Is(err, sprofile.ErrBuildConfig) {
+		t.Fatalf("BuildKeyed with Windowed = %v, want ErrBuildConfig", err)
+	}
+	if _, err := sprofile.BuildKeyed[string](8, sprofile.WithSharding(0)); !errors.Is(err, sprofile.ErrBuildConfig) {
+		t.Fatalf("BuildKeyed with zero shards = %v, want ErrBuildConfig", err)
+	}
+	if _, err := sprofile.BuildKeyed[int](8, sprofile.WithWAL("x.wal")); !errors.Is(err, sprofile.ErrBuildConfig) {
+		t.Fatalf("BuildKeyed[int] with WAL = %v, want ErrBuildConfig", err)
+	}
+	if _, err := sprofile.Build(8, sprofile.WithoutKeyRecycling()); !errors.Is(err, sprofile.ErrBuildConfig) {
+		t.Fatalf("Build with WithoutKeyRecycling = %v, want ErrBuildConfig", err)
+	}
+}
+
+func TestBuildKeyedWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keyed.wal")
+
+	k1, err := sprofile.BuildKeyed[string](16, sprofile.WithSharding(4), sprofile.WithWAL(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.Replayed() != 0 {
+		t.Fatalf("fresh WAL replayed %d records", k1.Replayed())
+	}
+	for i := 0; i < 3; i++ {
+		if err := k1.Add("x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k1.Add("y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k1.Remove("y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	k2, err := sprofile.BuildKeyed[string](16, sprofile.WithSharding(4), sprofile.WithWAL(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k2.Close()
+	if k2.Replayed() != 5 {
+		t.Fatalf("replayed %d records, want 5", k2.Replayed())
+	}
+	if c, _ := k2.Count("x"); c != 3 {
+		t.Fatalf("Count(x) after replay = %d, want 3", c)
+	}
+	if c, _ := k2.Count("y"); c != 0 {
+		t.Fatalf("Count(y) after replay = %d, want 0", c)
+	}
+}
+
+// TestBuildKeyedWALReplayWithEviction pins down replay determinism: stripe
+// assignment is seeded per process, so a log whose writing run recycled ids
+// at capacity cannot rely on the same per-stripe eviction decisions when it
+// is replayed. Replay must fall back to evicting an idle key from any
+// stripe, so a server always restarts from a log it wrote itself. The WAL is
+// written directly and the build repeated, covering many hash layouts.
+func TestBuildKeyedWALReplayWithEviction(t *testing.T) {
+	dir := t.TempDir()
+	records := []wal.Record{
+		{Key: "a", Action: sprofile.ActionAdd},
+		{Key: "b", Action: sprofile.ActionAdd},
+		{Key: "a", Action: sprofile.ActionRemove},
+		// At capacity 2 this add must evict the idle "a", wherever "c" and
+		// "a" hash.
+		{Key: "c", Action: sprofile.ActionAdd},
+		{Key: "c", Action: sprofile.ActionRemove},
+		// And "a" must be able to come back after "c" goes idle.
+		{Key: "a", Action: sprofile.ActionAdd},
+	}
+	for round := 0; round < 20; round++ {
+		path := filepath.Join(dir, fmt.Sprintf("evict-%d.wal", round))
+		log, err := wal.Open(path, wal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range records {
+			if err := log.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := log.Close(); err != nil {
+			t.Fatal(err)
+		}
+		k, err := sprofile.BuildKeyed[string](2, sprofile.WithSharding(2), sprofile.WithWAL(path))
+		if err != nil {
+			t.Fatalf("round %d: replay failed: %v", round, err)
+		}
+		if k.Replayed() != len(records) {
+			t.Fatalf("round %d: replayed %d records, want %d", round, k.Replayed(), len(records))
+		}
+		if c, _ := k.Count("a"); c != 1 {
+			t.Fatalf("round %d: Count(a) = %d, want 1", round, c)
+		}
+		if c, _ := k.Count("b"); c != 1 {
+			t.Fatalf("round %d: Count(b) = %d, want 1", round, c)
+		}
+		if err := k.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBuildKeyedWALSyncEvery drives the WithWALSyncEvery path: records must
+// reach stable storage without an explicit Sync once the threshold passes.
+func TestBuildKeyedWALSyncEvery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "syncevery.wal")
+	k, err := sprofile.BuildKeyed[string](8, sprofile.WithSharding(2),
+		sprofile.WithWAL(path), sprofile.WithWALSyncEvery(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := k.Add(fmt.Sprintf("k%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Without Close or Sync, at least the first 4 records (two threshold
+	// crossings) are already durable; replay through a second build sees
+	// them even though the first handle is still open.
+	replayed := 0
+	if _, err := wal.Replay(path, func(wal.Record) error { replayed++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if replayed < 4 {
+		t.Fatalf("replayed %d records before close, want >= 4", replayed)
+	}
+	if err := k.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKeyedConcurrentExactCounts has goroutines ingest disjoint key sets and
+// verifies every frequency afterwards: with no contention on keys, the
+// striped pipeline must lose or double-count nothing.
+func TestKeyedConcurrentExactCounts(t *testing.T) {
+	const workers = 8
+	const keysPerWorker = 50
+	k := sprofile.MustBuildKeyed[string](workers*keysPerWorker, sprofile.WithSharding(8))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keysPerWorker; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				// Key i gets i+1 net adds, with some add/remove churn mixed in.
+				for c := 0; c <= i; c++ {
+					if err := k.Add(key); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if err := k.Add(key); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := k.Remove(key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var wantTotal int64
+	for w := 0; w < workers; w++ {
+		for i := 0; i < keysPerWorker; i++ {
+			key := fmt.Sprintf("w%d-k%d", w, i)
+			got, err := k.Count(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != int64(i+1) {
+				t.Fatalf("Count(%s) = %d, want %d", key, got, i+1)
+			}
+			wantTotal += int64(i + 1)
+		}
+	}
+	if k.Total() != wantTotal {
+		t.Fatalf("Total = %d, want %d", k.Total(), wantTotal)
+	}
+	if k.Tracked() != workers*keysPerWorker {
+		t.Fatalf("Tracked = %d, want %d", k.Tracked(), workers*keysPerWorker)
+	}
+}
+
+// TestKeyedConcurrentChurnStress forces recycling collisions: many goroutines
+// add/remove/query over a key pool far larger than the capacity, so ids are
+// constantly evicted and reacquired. Run with -race this is the conformance
+// test for the striped eviction protocol.
+func TestKeyedConcurrentChurnStress(t *testing.T) {
+	const capacity = 16
+	const workers = 8
+	const iters = 3000
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			k := sprofile.MustBuildKeyed[string](capacity, sprofile.WithSharding(shards))
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						key := fmt.Sprintf("key-%d", (w*31+i*7)%(capacity*4))
+						err := k.Add(key)
+						if errors.Is(err, sprofile.ErrKeyedFull) {
+							// The key's stripe had no idle id; legal under
+							// per-stripe recycling.
+							continue
+						}
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						switch i % 5 {
+						case 0:
+							if _, err := k.Count(key); err != nil {
+								t.Error(err)
+								return
+							}
+						case 1:
+							if _, _, err := k.Mode(); err != nil {
+								t.Error(err)
+								return
+							}
+						case 2:
+							k.TopK(3)
+						case 3:
+							k.Distribution()
+						case 4:
+							if err := k.Track(fmt.Sprintf("tracked-%d-%d", w, i%8)); err != nil && !errors.Is(err, sprofile.ErrKeyedFull) {
+								t.Error(err)
+								return
+							}
+						}
+						// Every successful add is paired with a remove, so the
+						// stream nets to zero.
+						if err := k.Remove(key); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			if k.Total() != 0 {
+				t.Fatalf("Total after paired churn = %d, want 0", k.Total())
+			}
+			if k.Tracked() > capacity {
+				t.Fatalf("Tracked = %d > capacity %d", k.Tracked(), capacity)
+			}
+			sum := k.Summarize()
+			if sum.Negative != 0 {
+				t.Fatalf("strict profile reports %d negative frequencies", sum.Negative)
+			}
+			// All surviving keys are idle; capacity many fresh keys must fit
+			// (each stripe recycles its own idle ids).
+			freed := 0
+			for i := 0; i < capacity*4 && freed < capacity; i++ {
+				if err := k.Add(fmt.Sprintf("fresh-%d", i)); err == nil {
+					freed++
+				}
+			}
+			if freed < capacity/2 {
+				t.Fatalf("only %d fresh keys fit after churn", freed)
+			}
+		})
+	}
+}
