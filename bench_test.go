@@ -585,3 +585,74 @@ func BenchmarkCoreQueries(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkRecovery measures cold-start time of a durable keyed profile at
+// 1M ingested events: rebuilding from a full, never-checkpointed log (every
+// event replayed) versus from a checkpoint snapshot taken at 900k events
+// plus the 100k-event tail. The second path is what the checkpoint subsystem
+// buys: recovery bounded by the checkpoint cadence instead of the ingest
+// history. cmd/sprofile-bench's "recovery" experiment records the same
+// comparison in wall-clock form (BENCH_recovery.json).
+func BenchmarkRecovery(b *testing.B) {
+	const (
+		m            = 100_000
+		n            = 1_000_000
+		checkpointAt = n * 9 / 10
+	)
+	keys := make([]string, m)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("object-%08d", i)
+	}
+	buildDir := func(b *testing.B, checkpointed bool) string {
+		b.Helper()
+		dir := filepath.Join(b.TempDir(), "wal")
+		k, err := sprofile.BuildKeyed[string](m, sprofile.WithWAL(dir))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := stream.NewRNG(20190326)
+		for i := 0; i < n; i++ {
+			if checkpointed && i == checkpointAt {
+				if err := k.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := k.Add(keys[rng.Intn(m)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := k.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	coldStart := func(b *testing.B, dir string, wantTail bool) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k, err := sprofile.BuildKeyed[string](m, sprofile.WithWAL(dir))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if wantTail && k.Replayed() != n-checkpointAt {
+				b.Fatalf("replayed %d tail records, want %d", k.Replayed(), n-checkpointAt)
+			}
+			if !wantTail && k.Replayed() != n {
+				b.Fatalf("replayed %d records, want %d", k.Replayed(), n)
+			}
+			if err := k.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+	b.Run("full-log", func(b *testing.B) {
+		dir := buildDir(b, false)
+		coldStart(b, dir, false)
+	})
+	b.Run("snapshot-tail", func(b *testing.B) {
+		dir := buildDir(b, true)
+		coldStart(b, dir, true)
+	})
+}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
+	"sprofile/internal/checkpoint"
 	"sprofile/internal/wal"
 )
 
@@ -25,6 +27,8 @@ type buildConfig struct {
 	spanSet      bool
 	walPath      string
 	walSyncEvery int
+	ckpt         CheckpointPolicy
+	ckptSet      bool
 	profileOpts  []Option
 	noKeyRecycle bool
 }
@@ -63,9 +67,12 @@ func TimeWindowed(span time.Duration) BuildOption {
 }
 
 // WithWAL makes ingestion durable: every applied update is appended to a
-// write-ahead log at path, and any events already in the log are replayed
-// into the profile when Build runs. The built profiler is a *Durable; close
-// it (or call Sync) to flush buffered records to stable storage.
+// write-ahead log, and the log's existing contents are replayed into the
+// profile when Build runs. path names a directory of rotating log segments
+// (plus checkpoint snapshots, when WithCheckpoints is also given); a legacy
+// single-file log left by an earlier version at the same path is migrated
+// into the directory layout automatically. The built profiler is a *Durable;
+// close it (or call Sync) to flush buffered records to stable storage.
 func WithWAL(path string) BuildOption {
 	return func(c *buildConfig) { c.walPath = path }
 }
@@ -75,6 +82,62 @@ func WithWAL(path string) BuildOption {
 // meaningful together with WithWAL.
 func WithWALSyncEvery(n int) BuildOption {
 	return func(c *buildConfig) { c.walSyncEvery = n }
+}
+
+// CheckpointPolicy says when a durable profile writes a snapshot and
+// truncates its log. Either trigger (or both) may be set; the zero policy
+// disables automatic checkpointing, leaving only explicit Checkpoint calls.
+type CheckpointPolicy struct {
+	// Every checkpoints once this much time has passed since the previous
+	// checkpoint and at least one event has been journaled since.
+	Every time.Duration
+	// EveryBytes checkpoints once the log tail (the records not yet covered
+	// by a snapshot) grows past this many bytes.
+	EveryBytes int64
+}
+
+// Enabled reports whether the policy triggers automatic checkpoints.
+func (p CheckpointPolicy) Enabled() bool { return p.Every > 0 || p.EveryBytes > 0 }
+
+// WithCheckpoints bounds recovery time and disk use: the profile
+// periodically writes an atomic snapshot of its full state into the WAL
+// directory and deletes the log segments the snapshot covers, so a restart
+// loads the snapshot and replays only the tail written after it. Requires
+// WithWAL; incompatible with Windowed and TimeWindowed (a window's ring of
+// in-flight tuples is not captured by a frequency snapshot). A manual
+// checkpoint can always be taken with (*Durable).Checkpoint or
+// (*KeyedConcurrent).Checkpoint, with or without this option.
+func WithCheckpoints(p CheckpointPolicy) BuildOption {
+	return func(c *buildConfig) { c.ckpt = p; c.ckptSet = true }
+}
+
+// RecoveryStats describes how a durable profile was rebuilt at startup:
+// what the snapshot restored outright and how much log tail had to be
+// replayed on top of it.
+type RecoveryStats struct {
+	// SnapshotSeq is the sequence number of the snapshot recovery loaded
+	// (zero when the directory held none).
+	SnapshotSeq uint64
+	// SnapshotObjects is how many keys (or nonzero dense slots) the
+	// snapshot restored without replay.
+	SnapshotObjects int
+	// SnapshotEvents is the number of add/remove events the snapshot
+	// covers — history that did not need replaying.
+	SnapshotEvents uint64
+	// TailSegments and TailRecords count the log segments newer than the
+	// snapshot and the records replayed from them.
+	TailSegments int
+	TailRecords  int
+}
+
+func recoveryStats(s checkpoint.RecoveryStats) RecoveryStats {
+	return RecoveryStats{
+		SnapshotSeq:     s.SnapshotSeq,
+		SnapshotObjects: s.SnapshotObjects,
+		SnapshotEvents:  s.SnapshotEvents,
+		TailSegments:    s.TailSegments,
+		TailRecords:     s.TailRecords,
+	}
 }
 
 // WithOptions forwards profile options (WithStrictNonNegative,
@@ -152,6 +215,14 @@ func Build(m int, opts ...BuildOption) (Profiler, error) {
 	if cfg.spanSet && cfg.walPath != "" {
 		return nil, fmt.Errorf("%w: WithWAL cannot restore a TimeWindowed profile (the log has no event timestamps)", ErrBuildConfig)
 	}
+	if cfg.ckptSet {
+		if cfg.walPath == "" {
+			return nil, fmt.Errorf("%w: WithCheckpoints requires WithWAL", ErrBuildConfig)
+		}
+		if cfg.windowSet || cfg.spanSet {
+			return nil, fmt.Errorf("%w: a frequency snapshot cannot capture a window's in-flight tuples; WithCheckpoints does not compose with Windowed or TimeWindowed", ErrBuildConfig)
+		}
+	}
 
 	var (
 		p   Profiler
@@ -182,7 +253,7 @@ func Build(m int, opts ...BuildOption) (Profiler, error) {
 	}
 
 	if cfg.walPath != "" {
-		return NewDurable(p, cfg.walPath, cfg.walSyncEvery)
+		return newDurable(p, cfg.walPath, cfg.walSyncEvery, cfg.ckpt)
 	}
 	return p, nil
 }
@@ -198,31 +269,66 @@ func MustBuild(m int, opts ...BuildOption) Profiler {
 }
 
 // Durable wraps any Profiler with a write-ahead log: every successful update
-// is appended to the log, and NewDurable replays the log's existing records
-// into the profiler first, so the profile survives process restarts. Queries
-// pass straight through.
+// is appended to the log, and construction replays the log's existing
+// contents into the profiler first, so the profile survives process
+// restarts. Queries pass straight through. The log is a directory of
+// rotating segments; with checkpointing (WithCheckpoints or explicit
+// Checkpoint calls) the directory also holds atomic snapshots, recovery
+// loads the latest snapshot and replays only the tail segments, and covered
+// segments are deleted — bounding both restart time and disk use.
 //
 // Records are buffered; they reach stable storage on Sync, Close, at the end
 // of every ApplyAll batch, and every n records when built with
-// WithWALSyncEvery(n). Durable serialises nothing itself — use a Concurrent
-// or Sharded inner profiler behind a single ingesting goroutine, or guard
-// updates externally, when producers are concurrent.
+// WithWALSyncEvery(n). Updates serialise on an internal mutex (checkpoint
+// capture needs a precise cut between profile state and log position), so a
+// Durable over a concurrency-safe inner profiler is itself safe for
+// concurrent updates; fsyncs run outside the mutex with group commit.
 type Durable struct {
 	inner Profiler
-	log   *wal.Log
-	// replayed is the number of records restored from the log at build time.
+	store *checkpoint.Store
+	// mu serialises updates with each other and with checkpoint capture, so
+	// a snapshot covers exactly the events journaled before its rotation.
+	mu sync.Mutex
+	// replayed is the number of tail records replayed at build time.
 	replayed int
+	stats    RecoveryStats
+	ckpt     *checkpoint.Checkpointer
 }
 
-// NewDurable opens (or creates) the write-ahead log at path, replays any
-// existing records into p, and returns the journaling wrapper. syncEvery
-// fsyncs after that many appends; zero syncs only on batch boundaries, Sync
-// and Close.
+// NewDurable opens (or creates) the write-ahead log directory at path,
+// restores the latest checkpoint snapshot (if one exists), replays the tail
+// records into p, and returns the journaling wrapper. syncEvery fsyncs after
+// that many appends; zero syncs only on batch boundaries, Sync and Close.
 func NewDurable(p Profiler, path string, syncEvery int) (*Durable, error) {
+	return newDurable(p, path, syncEvery, CheckpointPolicy{})
+}
+
+func newDurable(p Profiler, path string, syncEvery int, policy CheckpointPolicy) (*Durable, error) {
 	if p == nil {
 		return nil, errors.New("sprofile: nil profiler")
 	}
-	replayed, err := wal.Replay(path, func(rec wal.Record) error {
+	store, err := checkpoint.Open(path, checkpoint.Options{SyncEvery: syncEvery})
+	if err != nil {
+		return nil, fmt.Errorf("sprofile: opening WAL %s: %w", path, err)
+	}
+	if st := store.TakeState(); st != nil {
+		if st.Keyed {
+			return nil, fmt.Errorf("sprofile: WAL %s holds a keyed snapshot; open it with BuildKeyed", path)
+		}
+		loader, ok := p.(FrequencyLoader)
+		if !ok {
+			return nil, fmt.Errorf("sprofile: WAL %s holds a snapshot but %T cannot restore one (no FrequencyLoader capability)", path, p)
+		}
+		freqs := st.Dense.Frequencies(nil)
+		if len(freqs) != p.Cap() {
+			return nil, fmt.Errorf("sprofile: snapshot in %s holds %d object slots but the profile has %d", path, len(freqs), p.Cap())
+		}
+		adds, removes := st.Dense.Events()
+		if err := loader.LoadFrequencies(freqs, adds, removes); err != nil {
+			return nil, fmt.Errorf("sprofile: restoring snapshot from %s: %w", path, err)
+		}
+	}
+	replayed, err := store.ReplayTail(func(rec wal.Record) error {
 		x, convErr := strconv.Atoi(rec.Key)
 		if convErr != nil {
 			return fmt.Errorf("sprofile: WAL record key %q is not a dense object id: %w", rec.Key, convErr)
@@ -232,62 +338,114 @@ func NewDurable(p Profiler, path string, syncEvery int) (*Durable, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sprofile: replaying WAL %s: %w", path, err)
 	}
-	log, err := wal.Open(path, wal.Options{SyncEvery: syncEvery})
-	if err != nil {
-		return nil, fmt.Errorf("sprofile: opening WAL %s: %w", path, err)
+	d := &Durable{inner: p, store: store, replayed: replayed, stats: recoveryStats(store.Stats())}
+	if policy.Enabled() {
+		if _, ok := p.(Snapshotter); !ok {
+			return nil, fmt.Errorf("%w: WithCheckpoints needs a snapshottable profiler, got %T", ErrBuildConfig, p)
+		}
+		d.ckpt = checkpoint.Start(checkpoint.Policy{Every: policy.Every, EveryBytes: policy.EveryBytes},
+			d.Checkpoint, store.TailBytes)
 	}
-	return &Durable{inner: p, log: log, replayed: replayed}, nil
+	return d, nil
 }
 
-// Replayed returns the number of WAL records replayed into the profile when
-// the Durable was built.
+// Replayed returns the number of WAL tail records replayed into the profile
+// when the Durable was built — with checkpointing, only the records after
+// the last snapshot, not the full ingest history.
 func (d *Durable) Replayed() int { return d.replayed }
+
+// Recovery returns the full recovery breakdown: what the snapshot restored
+// and what the tail replay added.
+func (d *Durable) Recovery() RecoveryStats { return d.stats }
 
 // Unwrap returns the journaled inner profiler. Updating it directly bypasses
 // the log and must be avoided.
 func (d *Durable) Unwrap() Profiler { return d.inner }
 
 // Sync flushes buffered log records to stable storage.
-func (d *Durable) Sync() error { return d.log.Sync() }
+func (d *Durable) Sync() error { return d.store.Sync() }
 
-// Close flushes and closes the write-ahead log. The inner profiler remains
-// usable, but further updates through the Durable will fail.
-func (d *Durable) Close() error { return d.log.Close() }
+// Close stops background checkpointing, then flushes and closes the
+// write-ahead log. The inner profiler remains usable, but further updates
+// through the Durable will fail.
+func (d *Durable) Close() error {
+	if d.ckpt != nil {
+		d.ckpt.Stop()
+	}
+	return d.store.Close()
+}
 
-// append journals one applied tuple.
-func (d *Durable) append(x int, a Action) error {
-	return d.log.Append(wal.Record{Key: strconv.Itoa(x), Action: a})
+// CheckpointError returns the outcome of the most recent background
+// checkpoint (always nil without WithCheckpoints, or while none has run).
+func (d *Durable) CheckpointError() error {
+	if d.ckpt == nil {
+		return nil
+	}
+	return d.ckpt.LastError()
+}
+
+// Checkpoint writes an atomic snapshot of the profile's current state into
+// the WAL directory and deletes the log segments it covers. The inner
+// profiler must offer the Snapshotter capability (every non-window variant
+// does). Updates are paused only while the log rotates and the in-memory
+// state is captured; serialisation and fsync of the snapshot happen outside
+// the update path. One checkpoint runs at a time.
+func (d *Durable) Checkpoint() error {
+	snapper, ok := d.inner.(Snapshotter)
+	if !ok {
+		return fmt.Errorf("sprofile: %T cannot be checkpointed (no Snapshotter capability)", d.inner)
+	}
+	return d.store.Checkpoint(func() (*checkpoint.State, uint64, error) {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		sealed, err := d.store.Rotate()
+		if err != nil {
+			return nil, 0, err
+		}
+		snap, err := snapper.Snapshot()
+		if err != nil {
+			return nil, 0, err
+		}
+		return &checkpoint.State{Dense: snap}, sealed, nil
+	})
+}
+
+// append journals one applied tuple; the caller holds d.mu.
+func (d *Durable) append(x int, a Action) (syncDue bool, err error) {
+	return d.store.Append(wal.Record{Key: strconv.Itoa(x), Action: a})
 }
 
 // Add increments the frequency of object x and journals the event. A
 // journaling failure after a successful update is reported as an error even
 // though the in-memory profile changed (the same write-behind contract the
 // HTTP server uses); Sync/Close errors surface the same divergence.
-func (d *Durable) Add(x int) error {
-	if err := d.inner.Add(x); err != nil {
-		return err
-	}
-	return d.append(x, ActionAdd)
-}
+func (d *Durable) Add(x int) error { return d.update(x, ActionAdd) }
 
 // Remove decrements the frequency of object x and journals the event.
-func (d *Durable) Remove(x int) error {
-	if err := d.inner.Remove(x); err != nil {
+func (d *Durable) Remove(x int) error { return d.update(x, ActionRemove) }
+
+func (d *Durable) update(x int, a Action) error {
+	d.mu.Lock()
+	err := d.inner.Apply(Tuple{Object: x, Action: a})
+	var syncDue bool
+	if err == nil {
+		syncDue, err = d.append(x, a)
+	}
+	d.mu.Unlock()
+	if err != nil || !syncDue {
 		return err
 	}
-	return d.append(x, ActionRemove)
+	// The WithWALSyncEvery fsync runs outside the update mutex (group
+	// commit), so concurrent producers keep appending while the disk works.
+	return d.store.Sync()
 }
 
 // Apply applies one log tuple and journals it.
 func (d *Durable) Apply(t Tuple) error {
-	switch t.Action {
-	case ActionAdd:
-		return d.Add(t.Object)
-	case ActionRemove:
-		return d.Remove(t.Object)
-	default:
+	if !t.Action.Valid() {
 		return fmt.Errorf("sprofile: invalid action %d", t.Action)
 	}
+	return d.update(t.Object, t.Action)
 }
 
 // ApplyAll applies tuples through the inner profiler's own batched ApplyAll
@@ -297,16 +455,19 @@ func (d *Durable) Apply(t Tuple) error {
 // fails partway, the error reports how many of the applied tuples reached the
 // log.
 func (d *Durable) ApplyAll(tuples []Tuple) (int, error) {
+	d.mu.Lock()
 	n, applyErr := d.inner.ApplyAll(tuples)
 	for i := 0; i < n; i++ {
-		if err := d.append(tuples[i].Object, tuples[i].Action); err != nil {
-			if syncErr := d.log.Sync(); syncErr != nil {
+		if _, err := d.append(tuples[i].Object, tuples[i].Action); err != nil {
+			d.mu.Unlock()
+			if syncErr := d.store.Sync(); syncErr != nil {
 				return n, fmt.Errorf("sprofile: %d events applied but only %d journaled: %w (and WAL sync failed: %v)", n, i, err, syncErr)
 			}
 			return n, fmt.Errorf("sprofile: %d events applied but only %d journaled: %w", n, i, err)
 		}
 	}
-	if err := d.log.Sync(); err != nil {
+	d.mu.Unlock()
+	if err := d.store.Sync(); err != nil {
 		if applyErr != nil {
 			// Keep the apply error inspectable (errors.Is still matches it)
 			// alongside the sync failure.

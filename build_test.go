@@ -2,11 +2,14 @@ package sprofile_test
 
 import (
 	"errors"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"sprofile"
+	"sprofile/internal/wal"
 )
 
 func TestBuildVariantTypes(t *testing.T) {
@@ -203,5 +206,218 @@ func TestDurableComposesWithSharding(t *testing.T) {
 	defer p2.(*sprofile.Durable).Close()
 	if got := p2.Total(); got != 64 {
 		t.Fatalf("recovered sharded Total = %d, want 64", got)
+	}
+}
+
+// TestDurableCheckpointRoundTrip: checkpoint a dense durable profile, append
+// a tail, and require recovery to restore the snapshot and replay only the
+// tail — with the historical event counters intact.
+func TestDurableCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.wal")
+	opts := []sprofile.BuildOption{sprofile.WithSharding(3), sprofile.WithWAL(path)}
+
+	p1, err := sprofile.Build(32, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := p1.(*sprofile.Durable)
+	for _, x := range []int{3, 3, 7, 11} {
+		if err := d1.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d1.Remove(11); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []int{7, 19} {
+		if err := d1.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := sprofile.Build(32, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := p2.(*sprofile.Durable)
+	defer d2.Close()
+	if d2.Replayed() != 2 {
+		t.Fatalf("Replayed = %d, want 2 (only the post-checkpoint tail)", d2.Replayed())
+	}
+	rec := d2.Recovery()
+	if rec.SnapshotSeq != 1 || rec.SnapshotEvents != 5 || rec.TailRecords != 2 {
+		t.Fatalf("Recovery = %+v, want snapshot 1 covering 5 events plus 2 tail records", rec)
+	}
+	for _, c := range []struct {
+		object int
+		want   int64
+	}{{3, 2}, {7, 2}, {11, 0}, {19, 1}} {
+		if got, _ := d2.Count(c.object); got != c.want {
+			t.Errorf("recovered Count(%d) = %d, want %d", c.object, got, c.want)
+		}
+	}
+	sum := d2.Summarize()
+	if sum.Adds != 6 || sum.Removes != 1 {
+		t.Errorf("recovered adds/removes = %d/%d, want 6/1", sum.Adds, sum.Removes)
+	}
+
+	// A second checkpoint covering the whole state leaves nothing to replay.
+	if err := d2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p3, err := sprofile.Build(32, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3 := p3.(*sprofile.Durable)
+	defer d3.Close()
+	if d3.Replayed() != 0 {
+		t.Fatalf("after full checkpoint, Replayed = %d, want 0", d3.Replayed())
+	}
+	if got := d3.Total(); got != 5 {
+		t.Fatalf("recovered Total = %d, want 5", got)
+	}
+}
+
+// TestDurableLegacyWALMigration: a single-file log written by the previous
+// layout must open, replay, and keep accepting appends under the new
+// directory layout.
+func TestDurableLegacyWALMigration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.wal")
+	log, err := wal.Open(path, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"1", "2", "1"} {
+		if err := log.Append(wal.Record{Key: key, Action: sprofile.ActionAdd}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := sprofile.Build(8, sprofile.WithWAL(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.(*sprofile.Durable)
+	if d.Replayed() != 3 {
+		t.Fatalf("migrated log replayed %d records, want 3", d.Replayed())
+	}
+	if got, _ := d.Count(1); got != 2 {
+		t.Fatalf("Count(1) = %d, want 2", got)
+	}
+	if err := d.Add(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := sprofile.Build(8, sprofile.WithWAL(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := p2.(*sprofile.Durable)
+	defer d2.Close()
+	if d2.Replayed() != 0 || d2.Total() != 4 {
+		t.Fatalf("post-migration checkpoint recovery: replayed=%d total=%d, want 0/4", d2.Replayed(), d2.Total())
+	}
+}
+
+func TestWithCheckpointsConfigErrors(t *testing.T) {
+	policy := sprofile.CheckpointPolicy{Every: time.Minute}
+	if _, err := sprofile.Build(8, sprofile.WithCheckpoints(policy)); !errors.Is(err, sprofile.ErrBuildConfig) {
+		t.Fatalf("WithCheckpoints without WithWAL = %v, want ErrBuildConfig", err)
+	}
+	path := filepath.Join(t.TempDir(), "w.wal")
+	if _, err := sprofile.Build(8, sprofile.Windowed(4), sprofile.WithWAL(path),
+		sprofile.WithCheckpoints(policy)); !errors.Is(err, sprofile.ErrBuildConfig) {
+		t.Fatalf("WithCheckpoints with Windowed = %v, want ErrBuildConfig", err)
+	}
+	if _, err := sprofile.BuildKeyed[string](8, sprofile.WithCheckpoints(policy)); !errors.Is(err, sprofile.ErrBuildConfig) {
+		t.Fatalf("BuildKeyed WithCheckpoints without WithWAL = %v, want ErrBuildConfig", err)
+	}
+	// A count-window WAL profile still builds, but cannot be checkpointed.
+	p, err := sprofile.Build(8, sprofile.Windowed(4), sprofile.WithWAL(filepath.Join(t.TempDir(), "win.wal")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.(*sprofile.Durable)
+	defer d.Close()
+	if err := d.Checkpoint(); err == nil {
+		t.Fatalf("checkpointing a windowed profile succeeded; a frequency snapshot cannot capture the window ring")
+	}
+}
+
+// TestDurableCheckpointTimeTrigger exercises the interval-based background
+// checkpointer end to end on a dense durable profile.
+func TestDurableCheckpointTimeTrigger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.wal")
+	p, err := sprofile.Build(8, sprofile.WithSharding(2), sprofile.WithWAL(path),
+		sprofile.WithCheckpoints(sprofile.CheckpointPolicy{Every: 50 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.(*sprofile.Durable)
+	defer d.Close()
+	for x := 0; x < 8; x++ {
+		if err := d.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := d.CheckpointError(); err != nil {
+			t.Fatalf("background checkpoint failed: %v", err)
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "snap-") && strings.HasSuffix(e.Name(), ".sks") {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no background checkpoint after 5s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := sprofile.Build(8, sprofile.WithSharding(2), sprofile.WithWAL(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := p2.(*sprofile.Durable)
+	defer d2.Close()
+	if d2.Recovery().SnapshotSeq == 0 {
+		t.Fatalf("recovery loaded no snapshot: %+v", d2.Recovery())
+	}
+	if got := d2.Total(); got != 8 {
+		t.Fatalf("recovered Total = %d, want 8", got)
 	}
 }

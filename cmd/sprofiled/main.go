@@ -27,21 +27,25 @@ import (
 func main() {
 	fs := flag.NewFlagSet("sprofiled", flag.ExitOnError)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address")
-		capacity = fs.Int("capacity", 1_000_000, "maximum number of concurrently tracked objects")
-		shards   = fs.Int("shards", 0, "split the profile across this many lock shards (0 = one per CPU)")
-		maxBatch = fs.Int("max-batch", 10_000, "maximum number of events per POST")
-		walPath  = fs.String("wal", "", "write-ahead log path; events are replayed from it on startup")
-		walSync  = fs.Int("wal-sync-every", 0, "fsync the WAL after this many events (0 = once per batch)")
+		addr      = fs.String("addr", ":8080", "listen address")
+		capacity  = fs.Int("capacity", 1_000_000, "maximum number of concurrently tracked objects")
+		shards    = fs.Int("shards", 0, "split the profile across this many lock shards (0 = one per CPU)")
+		maxBatch  = fs.Int("max-batch", 10_000, "maximum number of events per POST")
+		walPath   = fs.String("wal", "", "write-ahead log directory; state is recovered from it on startup (a legacy single-file log at this path is migrated automatically)")
+		walSync   = fs.Int("wal-sync-every", 0, "fsync the WAL after this many events (0 = once per batch)")
+		ckptEvery = fs.Duration("checkpoint-every", 0, "snapshot the profile and truncate the WAL on this cadence (0 = disabled; requires -wal)")
+		ckptBytes = fs.Int64("checkpoint-bytes", 0, "additionally checkpoint once the WAL tail exceeds this many bytes (0 = disabled; requires -wal)")
 	)
 	fs.Parse(os.Args[1:])
 
 	srv, err := server.New(server.Config{
-		Capacity:     *capacity,
-		Shards:       *shards,
-		MaxBatch:     *maxBatch,
-		WALPath:      *walPath,
-		WALSyncEvery: *walSync,
+		Capacity:        *capacity,
+		Shards:          *shards,
+		MaxBatch:        *maxBatch,
+		WALPath:         *walPath,
+		WALSyncEvery:    *walSync,
+		CheckpointEvery: *ckptEvery,
+		CheckpointBytes: *ckptBytes,
 	})
 	if err != nil {
 		log.Fatalf("sprofiled: %v", err)
@@ -52,7 +56,13 @@ func main() {
 		}
 	}()
 	if *walPath != "" {
-		log.Printf("sprofiled: replayed %d events from %s", srv.Replayed(), *walPath)
+		rec := srv.Recovery()
+		if rec.SnapshotSeq > 0 {
+			log.Printf("sprofiled: restored %d objects (%d events) from snapshot %d, replayed %d tail events from %d segments in %s",
+				rec.SnapshotObjects, rec.SnapshotEvents, rec.SnapshotSeq, rec.TailRecords, rec.TailSegments, *walPath)
+		} else {
+			log.Printf("sprofiled: replayed %d events from %s", srv.Replayed(), *walPath)
+		}
 	}
 
 	httpServer := &http.Server{

@@ -173,3 +173,13 @@ func (c *Concurrent) Snapshot() (*Profile, error) {
 	defer c.mu.RUnlock()
 	return c.p.Clone(), nil
 }
+
+// LoadFrequencies replaces the profile's entire state under the write lock:
+// object x ends at frequency freqs[x] with the adds/removes counters set to
+// the given totals. It is the restore half of the FrequencyLoader capability
+// checkpoint recovery uses.
+func (c *Concurrent) LoadFrequencies(freqs []int64, adds, removes uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.p.LoadFrequencies(freqs, adds, removes)
+}

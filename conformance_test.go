@@ -229,3 +229,266 @@ func (a *keyedAdapter) Distribution() []sprofile.FreqCount { return a.k.Distribu
 func (a *keyedAdapter) Summarize() sprofile.Summary        { return a.k.Summarize() }
 func (a *keyedAdapter) Cap() int                           { return a.k.Cap() }
 func (a *keyedAdapter) Total() int64                       { return a.k.Total() }
+
+// TestRestoredProfilerConformance holds checkpoint recovery to the full
+// conformance battery: every query is answered by a profile rebuilt from
+// disk — alternating between snapshot-restored (checkpoint, close, reopen)
+// and tail-replayed (close, reopen) recovery — and must agree exactly with
+// the in-memory reference.
+func TestRestoredProfilerConformance(t *testing.T) {
+	restoredDir := t.TempDir()
+	restoredSeq := 0
+	profilertest.Run(t, "Durable-Restored", func(m int, opts ...sprofile.Option) (sprofile.Profiler, error) {
+		restoredSeq++
+		path := filepath.Join(restoredDir, fmt.Sprintf("dense-%d.wal", restoredSeq))
+		build := func() (sprofile.Profiler, error) {
+			return sprofile.Build(m, sprofile.WithSharding(3), sprofile.WithWAL(path), sprofile.WithOptions(opts...))
+		}
+		cur, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return &restoredProfiler{cur: cur, reopen: func(cur sprofile.Profiler, cycle int) (sprofile.Profiler, error) {
+			d := cur.(*sprofile.Durable)
+			if cycle%2 == 0 {
+				if err := d.Checkpoint(); err != nil {
+					return nil, err
+				}
+			}
+			if err := d.Close(); err != nil {
+				return nil, err
+			}
+			return build()
+		}}, nil
+	})
+
+	profilertest.Run(t, "BuildKeyed-Restored", func(m int, opts ...sprofile.Option) (sprofile.Profiler, error) {
+		restoredSeq++
+		path := filepath.Join(restoredDir, fmt.Sprintf("keyed-%d.wal", restoredSeq))
+		var keyed *sprofile.KeyedConcurrent[string]
+		build := func() (sprofile.Profiler, error) {
+			k, err := sprofile.BuildKeyed[string](m,
+				sprofile.WithSharding(2),
+				sprofile.WithoutKeyRecycling(),
+				sprofile.WithWAL(path),
+				sprofile.WithOptions(opts...))
+			if err != nil {
+				return nil, err
+			}
+			keyed = k
+			return newKeyedAdapter(intStringKeyed{k}, m)
+		}
+		cur, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return &restoredProfiler{cur: cur, reopen: func(_ sprofile.Profiler, cycle int) (sprofile.Profiler, error) {
+			if cycle%2 == 0 {
+				if err := keyed.Checkpoint(); err != nil {
+					return nil, err
+				}
+			}
+			if err := keyed.Close(); err != nil {
+				return nil, err
+			}
+			return build()
+		}}, nil
+	})
+}
+
+// restoredProfiler routes every query through a profile recovered from
+// disk: after any update, the next query first hands the current profiler to
+// reopen, which persists it (checkpointing on alternating cycles), tears it
+// down, and rebuilds it from the snapshot and/or log tail.
+type restoredProfiler struct {
+	reopen func(cur sprofile.Profiler, cycle int) (sprofile.Profiler, error)
+	cur    sprofile.Profiler
+	cycle  int
+	dirty  bool
+}
+
+func (r *restoredProfiler) refresh() {
+	if !r.dirty {
+		return
+	}
+	p, err := r.reopen(r.cur, r.cycle)
+	if err != nil {
+		panic(fmt.Sprintf("restoredProfiler: recovery failed: %v", err))
+	}
+	r.cur = p
+	r.cycle++
+	r.dirty = false
+}
+
+func (r *restoredProfiler) Add(x int) error {
+	r.dirty = true
+	return r.cur.Add(x)
+}
+
+func (r *restoredProfiler) Remove(x int) error {
+	r.dirty = true
+	return r.cur.Remove(x)
+}
+
+func (r *restoredProfiler) Apply(t sprofile.Tuple) error {
+	r.dirty = true
+	return r.cur.Apply(t)
+}
+
+func (r *restoredProfiler) ApplyAll(tuples []sprofile.Tuple) (int, error) {
+	r.dirty = true
+	return r.cur.ApplyAll(tuples)
+}
+
+func (r *restoredProfiler) Count(x int) (int64, error) {
+	r.refresh()
+	return r.cur.Count(x)
+}
+
+func (r *restoredProfiler) Mode() (sprofile.Entry, int, error) {
+	r.refresh()
+	return r.cur.Mode()
+}
+
+func (r *restoredProfiler) Min() (sprofile.Entry, int, error) {
+	r.refresh()
+	return r.cur.Min()
+}
+
+func (r *restoredProfiler) TopK(k int) []sprofile.Entry {
+	r.refresh()
+	return r.cur.TopK(k)
+}
+
+func (r *restoredProfiler) BottomK(k int) []sprofile.Entry {
+	r.refresh()
+	return r.cur.BottomK(k)
+}
+
+func (r *restoredProfiler) KthLargest(k int) (sprofile.Entry, error) {
+	r.refresh()
+	return r.cur.KthLargest(k)
+}
+
+func (r *restoredProfiler) Median() (sprofile.Entry, error) {
+	r.refresh()
+	return r.cur.Median()
+}
+
+func (r *restoredProfiler) Quantile(q float64) (sprofile.Entry, error) {
+	r.refresh()
+	return r.cur.Quantile(q)
+}
+
+func (r *restoredProfiler) Majority() (sprofile.Entry, bool, error) {
+	r.refresh()
+	return r.cur.Majority()
+}
+
+func (r *restoredProfiler) Distribution() []sprofile.FreqCount {
+	r.refresh()
+	return r.cur.Distribution()
+}
+
+func (r *restoredProfiler) Summarize() sprofile.Summary {
+	r.refresh()
+	return r.cur.Summarize()
+}
+
+func (r *restoredProfiler) Cap() int {
+	r.refresh()
+	return r.cur.Cap()
+}
+
+func (r *restoredProfiler) Total() int64 {
+	r.refresh()
+	return r.cur.Total()
+}
+
+// intStringKeyed adapts a string-keyed profile to the int-keyed interface
+// the conformance adapter wants, so the WAL-backed KeyedConcurrent (whose
+// log stores string keys) can run the dense-id battery.
+type intStringKeyed struct {
+	k *sprofile.KeyedConcurrent[string]
+}
+
+func intKey(x int) string { return fmt.Sprintf("%d", x) }
+
+func stringEntryToInt(e sprofile.KeyedEntry[string]) sprofile.KeyedEntry[int] {
+	var key int
+	fmt.Sscanf(e.Key, "%d", &key)
+	return sprofile.KeyedEntry[int]{Key: key, Frequency: e.Frequency}
+}
+
+func (v intStringKeyed) Add(x int) error                      { return v.k.Add(intKey(x)) }
+func (v intStringKeyed) Remove(x int) error                   { return v.k.Remove(intKey(x)) }
+func (v intStringKeyed) Apply(x int, a sprofile.Action) error { return v.k.Apply(intKey(x), a) }
+func (v intStringKeyed) Track(x int) error                    { return v.k.Track(intKey(x)) }
+func (v intStringKeyed) Count(x int) (int64, error)           { return v.k.Count(intKey(x)) }
+func (v intStringKeyed) Distribution() []sprofile.FreqCount   { return v.k.Distribution() }
+func (v intStringKeyed) Summarize() sprofile.Summary          { return v.k.Summarize() }
+func (v intStringKeyed) Cap() int                             { return v.k.Cap() }
+func (v intStringKeyed) Tracked() int                         { return v.k.Tracked() }
+func (v intStringKeyed) Total() int64                         { return v.k.Total() }
+func (v intStringKeyed) Profile() sprofile.Profiler           { return v.k.Profile() }
+
+func (v intStringKeyed) Mode() (sprofile.KeyedEntry[int], int, error) {
+	e, ties, err := v.k.Mode()
+	return stringEntryToInt(e), ties, err
+}
+
+func (v intStringKeyed) Min() (sprofile.KeyedEntry[int], int, error) {
+	e, ties, err := v.k.Min()
+	return stringEntryToInt(e), ties, err
+}
+
+func (v intStringKeyed) TopK(k int) []sprofile.KeyedEntry[int] {
+	return stringEntriesToInt(v.k.TopK(k))
+}
+
+func (v intStringKeyed) BottomK(k int) []sprofile.KeyedEntry[int] {
+	return stringEntriesToInt(v.k.BottomK(k))
+}
+
+func stringEntriesToInt(entries []sprofile.KeyedEntry[string]) []sprofile.KeyedEntry[int] {
+	if entries == nil {
+		return nil
+	}
+	out := make([]sprofile.KeyedEntry[int], len(entries))
+	for i, e := range entries {
+		out[i] = stringEntryToInt(e)
+	}
+	return out
+}
+
+func (v intStringKeyed) KthLargest(k int) (sprofile.KeyedEntry[int], error) {
+	e, err := v.k.KthLargest(k)
+	return stringEntryToInt(e), err
+}
+
+func (v intStringKeyed) Median() (sprofile.KeyedEntry[int], error) {
+	e, err := v.k.Median()
+	return stringEntryToInt(e), err
+}
+
+func (v intStringKeyed) Quantile(q float64) (sprofile.KeyedEntry[int], error) {
+	e, err := v.k.Quantile(q)
+	return stringEntryToInt(e), err
+}
+
+func (v intStringKeyed) Majority() (sprofile.KeyedEntry[int], bool, error) {
+	e, ok, err := v.k.Majority()
+	return stringEntryToInt(e), ok, err
+}
+
+func (v intStringKeyed) KeyOf(id int) (int, bool) {
+	s, ok := v.k.KeyOf(id)
+	if !ok {
+		return 0, false
+	}
+	var key int
+	fmt.Sscanf(s, "%d", &key)
+	return key, true
+}
+
+var _ sprofile.KeyedProfiler[int] = intStringKeyed{}

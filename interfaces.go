@@ -84,6 +84,16 @@ type Snapshotter interface {
 	Snapshot() (*Profile, error)
 }
 
+// FrequencyLoader is the optional capability of replacing a profile's whole
+// state in one O(m log m) operation: object x ends at frequency freqs[x] and
+// the adds/removes counters at the given historical totals. It is the
+// restore half of checkpointing — Snapshotter captures an image, a
+// FrequencyLoader reinstates one — and is satisfied by *Profile, *Concurrent
+// and *Sharded.
+type FrequencyLoader interface {
+	LoadFrequencies(freqs []int64, adds, removes uint64) error
+}
+
 // KeyedProfiler is the key-addressed counterpart of Profiler: the same
 // ingestion and query surface, addressed by arbitrary comparable keys
 // instead of dense ids. Both Keyed (single-goroutine, global recycling) and
@@ -151,6 +161,10 @@ var (
 	_ Snapshotter = (*Profile)(nil)
 	_ Snapshotter = (*Concurrent)(nil)
 	_ Snapshotter = (*Sharded)(nil)
+
+	_ FrequencyLoader = (*Profile)(nil)
+	_ FrequencyLoader = (*Concurrent)(nil)
+	_ FrequencyLoader = (*Sharded)(nil)
 
 	_ KeyedProfiler[string] = (*Keyed[string])(nil)
 	_ KeyedProfiler[string] = (*KeyedConcurrent[string])(nil)

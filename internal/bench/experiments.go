@@ -202,7 +202,7 @@ func ExperimentIDs() []string {
 		"figure3", "figure4", "figure5", "figure6",
 		"ablation-treekind", "ablation-fenwick", "ablation-blockhint",
 		"ablation-workloads", "graph-shaving", "sliding-window", "variants",
-		"keyed-parallel",
+		"keyed-parallel", "recovery",
 	}
 }
 
@@ -290,6 +290,12 @@ func Run(id string, scale Scale) ([]*Result, error) {
 		return []*Result{r}, nil
 	case "keyed-parallel":
 		r, err := KeyedParallel(scale)
+		if err != nil {
+			return nil, err
+		}
+		return []*Result{r}, nil
+	case "recovery":
+		r, err := Recovery(scale)
 		if err != nil {
 			return nil, err
 		}

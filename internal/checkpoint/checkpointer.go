@@ -1,0 +1,111 @@
+package checkpoint
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Policy configures automatic checkpoint triggering.
+type Policy struct {
+	// Every triggers a checkpoint once this much time has passed since the
+	// previous one (and at least one record has been appended since). Zero
+	// disables the timer.
+	Every time.Duration
+	// EveryBytes triggers a checkpoint once the WAL tail grows past this
+	// many bytes. Zero disables the size trigger.
+	EveryBytes int64
+}
+
+// Enabled reports whether the policy triggers anything.
+func (p Policy) Enabled() bool { return p.Every > 0 || p.EveryBytes > 0 }
+
+// Checkpointer runs checkpoints in the background on a Policy's cadence. At
+// most one checkpoint is in flight at a time (run is invoked from a single
+// goroutine, and the Store serialises against manual checkpoints anyway).
+type Checkpointer struct {
+	pol       Policy
+	run       func() error
+	tailBytes func() int64
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	lastErr  atomic.Value // errBox
+}
+
+type errBox struct{ err error }
+
+// Start launches the background loop. run performs one checkpoint;
+// tailBytes reports the WAL tail size for the byte trigger (and gates the
+// time trigger, so an idle profile is not re-snapshotted forever).
+func Start(pol Policy, run func() error, tailBytes func() int64) *Checkpointer {
+	c := &Checkpointer{
+		pol:       pol,
+		run:       run,
+		tailBytes: tailBytes,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	go c.loop()
+	return c
+}
+
+func (c *Checkpointer) loop() {
+	defer close(c.done)
+	// The size trigger needs polling; a tenth of a second keeps it
+	// responsive at negligible cost (one atomic read per tick).
+	const bytePoll = 100 * time.Millisecond
+	poll := c.pol.Every
+	if poll <= 0 || (c.pol.EveryBytes > 0 && poll > bytePoll) {
+		poll = bytePoll
+	}
+	// After a failed checkpoint (full disk, usually), hold off before
+	// retrying: each attempt rotates the log first, so retrying on every
+	// poll tick would spray near-empty segment files while making the
+	// disk-pressure failure worse.
+	const failureBackoff = 5 * time.Second
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	last := time.Now()
+	var notBefore time.Time
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		if time.Now().Before(notBefore) {
+			continue
+		}
+		grown := c.tailBytes() > 0
+		due := c.pol.Every > 0 && grown && time.Since(last) >= c.pol.Every
+		if c.pol.EveryBytes > 0 && c.tailBytes() >= c.pol.EveryBytes {
+			due = true
+		}
+		if !due {
+			continue
+		}
+		err := c.run()
+		c.lastErr.Store(errBox{err: err})
+		last = time.Now()
+		if err != nil {
+			notBefore = last.Add(failureBackoff)
+		}
+	}
+}
+
+// LastError returns the outcome of the most recent background checkpoint
+// (nil if none has run, or the last one succeeded).
+func (c *Checkpointer) LastError() error {
+	if v, ok := c.lastErr.Load().(errBox); ok {
+		return v.err
+	}
+	return nil
+}
+
+// Stop terminates the loop and waits for an in-flight checkpoint to finish.
+func (c *Checkpointer) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}

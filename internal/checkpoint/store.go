@@ -1,0 +1,375 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sprofile/internal/wal"
+)
+
+// Options configures a Store.
+type Options struct {
+	// SyncEvery asks for an fsync after this many appended records; zero
+	// syncs only on explicit Sync/Close calls and at rotation.
+	SyncEvery int
+}
+
+// RecoveryStats describes how a profile was rebuilt when its store opened.
+type RecoveryStats struct {
+	// SnapshotSeq is the sequence number of the snapshot recovery loaded
+	// (zero when no snapshot existed).
+	SnapshotSeq uint64
+	// SnapshotObjects is how many keys (or nonzero dense slots) the snapshot
+	// restored without replay.
+	SnapshotObjects int
+	// SnapshotEvents is the number of add/remove events the snapshot covers
+	// — events that did not need replaying.
+	SnapshotEvents uint64
+	// TailSegments and TailRecords count what was replayed after the
+	// snapshot: the WAL segments newer than the one it sealed and the
+	// records inside them.
+	TailSegments int
+	TailRecords  int
+}
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".sks"
+	tmpSuffix  = ".tmp"
+)
+
+// snapName returns the file name of snapshot seq.
+func snapName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix)
+}
+
+// parseSnapName extracts the sequence number from a snapshot file name.
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+	if len(hexPart) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Store owns one checkpointed log directory: the WAL append head, the latest
+// snapshot, and the checkpoint protocol that replaces covered segments with
+// a new snapshot. Opening happens in two phases — Open scans the directory
+// and decodes the snapshot, the caller restores its profile from TakeState,
+// then ReplayTail rolls the profile forward and switches the store into
+// append mode.
+type Store struct {
+	dir  string
+	opts Options
+
+	state     *State // decoded recovery snapshot, until TakeState
+	seq       uint64 // latest snapshot sequence (0 = none)
+	sealedSeg uint64 // last segment covered by that snapshot
+	tail      []wal.SegmentInfo
+	stats     RecoveryStats
+
+	log *wal.Dir // nil until ReplayTail
+
+	// ckptMu admits one checkpoint at a time.
+	ckptMu sync.Mutex
+	// tailBase is the AppendedBytes baseline of the current tail: TailBytes
+	// reports bytes appended past it. Negative at open (crediting the tail
+	// segments already on disk), reset at each successful checkpoint.
+	tailBase    atomic.Int64
+	pendingBase int64 // AppendedBytes at the in-flight checkpoint's rotation
+}
+
+// Open scans (creating if needed) the checkpointed log directory at path,
+// migrating a legacy single-file WAL at the same path first. It decodes the
+// newest snapshot whose checksum verifies — an unreadable newer snapshot is
+// skipped, falling back to its predecessor — and plans the tail replay, but
+// replays nothing: the caller restores its profile from TakeState, then
+// calls ReplayTail.
+func Open(path string, opts Options) (*Store, error) {
+	if err := wal.MigrateLegacy(path); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: path, opts: opts}
+
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	var snapSeqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSnapName(e.Name()); ok && !e.IsDir() {
+			snapSeqs = append(snapSeqs, seq)
+		}
+	}
+	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] > snapSeqs[j] })
+	for _, seq := range snapSeqs {
+		data, err := os.ReadFile(filepath.Join(path, snapName(seq)))
+		if err != nil {
+			continue
+		}
+		st, err := decodeState(data)
+		if err != nil || st.Seq != seq {
+			continue // damaged snapshot: fall back to the previous one
+		}
+		s.state = st
+		s.seq = seq
+		s.sealedSeg = st.SealedSeg
+		break
+	}
+
+	segs, err := wal.ListSegments(path)
+	if err != nil {
+		return nil, err
+	}
+	for i, sg := range segs {
+		if sg.Torn && i != len(segs)-1 {
+			return nil, fmt.Errorf("%w: segment %s has no readable header but is not the tail", wal.ErrCorrupt, sg.Path)
+		}
+		if sg.ID > s.sealedSeg {
+			s.tail = append(s.tail, sg)
+		}
+	}
+	// The tail must be a contiguous run, starting right after the sealed
+	// segment when a snapshot exists; a gap means segments were lost.
+	// (Without a snapshot the log may legitimately start at any id — a
+	// migrated legacy file is always segment 1.)
+	for i, sg := range s.tail {
+		want := sg.ID
+		if i > 0 {
+			want = s.tail[i-1].ID + 1
+		} else if s.seq > 0 {
+			want = s.sealedSeg + 1
+		}
+		if sg.ID != want {
+			return nil, fmt.Errorf("%w: segment %d missing (found %d)", wal.ErrCorrupt, want, sg.ID)
+		}
+	}
+	// The oldest surviving segment must not postdate the snapshot recovery
+	// chose: its header records the snapshot sequence current when it was
+	// created, so a higher value means a checkpoint already deleted the
+	// segments before it and its snapshot is now missing or unreadable.
+	// Replaying just the tail would silently drop everything that snapshot
+	// covered — fail loudly instead and leave the directory untouched for
+	// forensics. (A checkpoint that failed *before* publishing its snapshot
+	// never deletes anything, so the oldest segment then still carries the
+	// previous sequence and this check stays quiet.)
+	if len(s.tail) > 0 && !s.tail[0].Torn && s.tail[0].SnapSeq > s.seq {
+		return nil, fmt.Errorf("%w: segment %d requires snapshot %d, which is missing or unreadable",
+			wal.ErrCorrupt, s.tail[0].ID, s.tail[0].SnapSeq)
+	}
+
+	if s.state != nil {
+		s.stats.SnapshotSeq = s.seq
+		s.stats.SnapshotObjects = s.state.Objects()
+		s.stats.SnapshotEvents = s.state.Adds + s.state.Removes
+	}
+	return s, nil
+}
+
+// TakeState hands over the decoded recovery snapshot (nil when none was
+// found) and releases the store's reference so the image can be collected
+// after the caller restores from it.
+func (s *Store) TakeState() *State {
+	st := s.state
+	s.state = nil
+	return st
+}
+
+// Stats returns what recovery loaded and replayed.
+func (s *Store) Stats() RecoveryStats { return s.stats }
+
+// Seq returns the sequence number of the latest snapshot.
+func (s *Store) Seq() uint64 { return s.seq }
+
+// Dir returns the directory the store manages.
+func (s *Store) Dir() string { return s.dir }
+
+// ReplayTail replays every record appended after the recovery snapshot,
+// invoking fn for each, then opens the log for appending and prunes files
+// made redundant by the snapshot (covered segments, superseded snapshots,
+// leftover temp files). It returns the number of records replayed.
+func (s *Store) ReplayTail(fn func(wal.Record) error) (int, error) {
+	if s.log != nil {
+		return 0, errors.New("checkpoint: tail already replayed")
+	}
+	records := 0
+	segments := 0
+	for i, sg := range s.tail {
+		if sg.Torn {
+			continue // recreated by OpenDir below; holds no records
+		}
+		// Only the final segment may legitimately end mid-record (a crash
+		// mid-append); sealed segments were fsynced whole.
+		n, err := wal.ReplaySegment(sg.Path, i == len(s.tail)-1, fn)
+		records += n
+		if err != nil {
+			return records, err
+		}
+		segments++
+	}
+
+	var tailSeg *wal.SegmentInfo
+	nextID := s.sealedSeg + 1
+	if len(s.tail) > 0 {
+		t := s.tail[len(s.tail)-1]
+		tailSeg = &t
+		nextID = t.ID
+	}
+	log, err := wal.OpenDir(s.dir, wal.Options{SyncEvery: s.opts.SyncEvery}, tailSeg, nextID, s.seq)
+	if err != nil {
+		return records, err
+	}
+	s.log = log
+	s.tailBase.Store(log.AppendedBytes() - tailBytesOnDisk(s.tail))
+	s.stats.TailSegments = segments
+	s.stats.TailRecords = records
+	s.prune()
+	s.tail = nil
+	return records, nil
+}
+
+// tailBytesOnDisk sums the record bytes sitting in the tail segments.
+func tailBytesOnDisk(tail []wal.SegmentInfo) int64 {
+	var n int64
+	for _, sg := range tail {
+		n += sg.Size
+	}
+	return n
+}
+
+// prune deletes covered segments, superseded or damaged snapshots, and
+// leftover temp files. Best-effort: a file that cannot be removed today is
+// removed by the next successful checkpoint or restart.
+func (s *Store) prune() {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	if s.log != nil {
+		_ = s.log.DropThrough(s.sealedSeg)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		if seq, ok := parseSnapName(name); ok && seq != s.seq {
+			os.Remove(filepath.Join(s.dir, name))
+		}
+	}
+}
+
+// Append adds one record to the log. syncDue asks the caller to run Sync
+// once it is outside its own locks (the SyncEvery contract).
+func (s *Store) Append(rec wal.Record) (syncDue bool, err error) {
+	return s.log.Append(rec)
+}
+
+// Appended returns the number of records appended through this store.
+func (s *Store) Appended() uint64 { return s.log.Appended() }
+
+// Sync makes every appended record durable (group commit; see wal.Dir.Sync).
+func (s *Store) Sync() error { return s.log.Sync() }
+
+// TailBytes returns the approximate size of the log tail not yet covered by
+// a snapshot — the input to a size-based checkpoint trigger.
+func (s *Store) TailBytes() int64 {
+	if s.log == nil {
+		return tailBytesOnDisk(s.tail)
+	}
+	return s.log.AppendedBytes() - s.tailBase.Load()
+}
+
+// Rotate seals the current segment and opens the next one, stamping it with
+// the sequence the in-flight checkpoint will get. Call it only from inside a
+// Checkpoint capture function, under whatever exclusion the owner's
+// concurrency model requires.
+func (s *Store) Rotate() (sealed uint64, err error) {
+	sealed, err = s.log.Rotate(s.seq + 1)
+	if err == nil {
+		s.pendingBase = s.log.AppendedBytes()
+	}
+	return sealed, err
+}
+
+// Checkpoint runs one checkpoint cycle. capture must rotate the log (via
+// Rotate) and return the profile image that covers everything up to the
+// sealed segment, under the owner's write exclusion; Checkpoint then
+// serialises the image to a temp file, fsyncs it, atomically renames it into
+// place, and deletes the covered segments and the superseded snapshot. Only
+// one checkpoint runs at a time; concurrent calls queue.
+func (s *Store) Checkpoint(capture func() (*State, uint64, error)) error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	if s.log == nil {
+		return errors.New("checkpoint: store is not open for appending")
+	}
+	st, sealed, err := capture()
+	if err != nil {
+		return err
+	}
+	seq := s.seq + 1
+	st.Seq = seq
+	st.SealedSeg = sealed
+
+	final := filepath.Join(s.dir, snapName(seq))
+	tmp := final + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := encodeState(f, st); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := wal.SyncDir(s.dir); err != nil {
+		return err
+	}
+	// The snapshot is durable and visible: the checkpoint has happened.
+	// Everything after this point is space reclamation.
+	s.seq = seq
+	s.sealedSeg = sealed
+	s.tailBase.Store(s.pendingBase)
+	s.prune()
+	return nil
+}
+
+// Close flushes and closes the log. The store must not be used afterwards.
+func (s *Store) Close() error {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Close()
+}

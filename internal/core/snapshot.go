@@ -5,7 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 )
 
 // Snapshot format:
@@ -144,20 +144,61 @@ func FromFrequencies(freqs []int64, opts ...Option) (*Profile, error) {
 	return p, nil
 }
 
+// StrictNonNegative reports whether the profile was built with
+// WithStrictNonNegative.
+func (p *Profile) StrictNonNegative() bool { return p.opts.StrictNonNegative }
+
+// LoadFrequencies replaces the profile's entire state: object x ends at
+// frequency freqs[x] and the adds/removes counters are set to the given
+// historical totals (they must net out to the summed frequencies). It is the
+// restore half of checkpointing — unlike FromFrequencies it preserves the
+// original event bookkeeping instead of synthesising a minimal one — and
+// costs O(m log m). Validation happens before any mutation, so a failed load
+// leaves the profile untouched.
+func (p *Profile) LoadFrequencies(freqs []int64, adds, removes uint64) error {
+	if len(freqs) != int(p.m) {
+		return fmt.Errorf("%w: %d frequencies for capacity %d", ErrBadSnapshot, len(freqs), p.m)
+	}
+	var net int64
+	for x, f := range freqs {
+		if f < 0 && p.opts.StrictNonNegative {
+			return fmt.Errorf("%w: object %d has frequency %d", ErrNegativeFrequency, x, f)
+		}
+		net += f
+	}
+	if int64(adds)-int64(removes) != net {
+		return fmt.Errorf("%w: %d adds - %d removes does not net to total %d",
+			ErrBadSnapshot, adds, removes, net)
+	}
+	p.loadFrequencies(freqs)
+	p.adds = adds
+	p.removes = removes
+	return nil
+}
+
 // loadFrequencies overwrites the profile's state so that object x has
 // frequency freqs[x]; len(freqs) must equal p.m.
 func (p *Profile) loadFrequencies(freqs []int64) {
 	m := int(p.m)
-	order := make([]int32, m)
-	for i := range order {
-		order[i] = int32(i)
+	// Sort packed (frequency, id) pairs rather than ids with an indirect
+	// comparator: restore sorts hundreds of thousands of entries, and the
+	// contiguous layout keeps the comparisons out of random memory.
+	type freqID struct {
+		f  int64
+		id int32
 	}
-	sort.Slice(order, func(i, j int) bool {
-		fi, fj := freqs[order[i]], freqs[order[j]]
-		if fi != fj {
-			return fi < fj
+	order := make([]freqID, m)
+	for i := range order {
+		order[i] = freqID{f: freqs[i], id: int32(i)}
+	}
+	slices.SortFunc(order, func(a, b freqID) int {
+		if a.f != b.f {
+			if a.f < b.f {
+				return -1
+			}
+			return 1
 		}
-		return order[i] < order[j]
+		return int(a.id - b.id)
 	})
 
 	p.arena.reset()
@@ -165,14 +206,14 @@ func (p *Profile) loadFrequencies(freqs []int64) {
 	p.active = 0
 	p.negative = 0
 	for r := 0; r < m; r++ {
-		x := order[r]
+		x := order[r].id
 		p.tToF[r] = x
 		p.fToT[x] = int32(r)
 	}
 	for r := 0; r < m; {
-		f := freqs[order[r]]
+		f := order[r].f
 		end := r
-		for end+1 < m && freqs[order[end+1]] == f {
+		for end+1 < m && order[end+1].f == f {
 			end++
 		}
 		h := p.arena.alloc(int32(r), int32(end), f)

@@ -168,3 +168,60 @@ func TestClone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLoadFrequencies(t *testing.T) {
+	p := MustNew(5)
+	// Build a reference history: object 1 has 3 adds and 1 remove (net 2).
+	freqs := []int64{0, 2, -1, 4, 0}
+	// Historical counters: synthetic minimum is adds=6, removes=1; two extra
+	// cancelled pairs on top must be preserved verbatim.
+	if err := p.LoadFrequencies(freqs, 8, 3); err != nil {
+		t.Fatal(err)
+	}
+	for x, want := range freqs {
+		if got, _ := p.Count(x); got != want {
+			t.Fatalf("Count(%d) = %d, want %d", x, got, want)
+		}
+	}
+	adds, removes := p.Events()
+	if adds != 8 || removes != 3 {
+		t.Fatalf("events = %d/%d, want 8/3", adds, removes)
+	}
+	if got := p.Total(); got != 5 {
+		t.Fatalf("Total = %d, want 5", got)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after load: %v", err)
+	}
+
+	// Reloading replaces the state rather than accumulating.
+	if err := p.LoadFrequencies([]int64{1, 1, 1, 1, 1}, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Total(); got != 5 {
+		t.Fatalf("Total after reload = %d, want 5", got)
+	}
+
+	// Length mismatch.
+	if err := p.LoadFrequencies([]int64{1}, 1, 0); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("short load = %v, want ErrBadSnapshot", err)
+	}
+	// Counters that do not net to the frequencies.
+	if err := p.LoadFrequencies([]int64{1, 0, 0, 0, 0}, 2, 0); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("inconsistent counters = %v, want ErrBadSnapshot", err)
+	}
+	// Strict profiles reject negative loads, without mutating.
+	strict := MustNew(2, WithStrictNonNegative())
+	if err := strict.Add(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := strict.LoadFrequencies([]int64{1, -1}, 1, 1); !errors.Is(err, ErrNegativeFrequency) {
+		t.Fatalf("strict negative load = %v, want ErrNegativeFrequency", err)
+	}
+	if got, _ := strict.Count(0); got != 1 {
+		t.Fatalf("failed load mutated the profile: Count(0) = %d, want 1", got)
+	}
+	if !strict.StrictNonNegative() {
+		t.Fatal("StrictNonNegative accessor = false on a strict profile")
+	}
+}

@@ -335,6 +335,56 @@ func (s *Striped[K]) Keys() []K {
 	return out
 }
 
+// Reserve pre-sizes each stripe's key table for about n upcoming keys, so a
+// bulk load (snapshot restore) does not pay repeated map growth. Stripes
+// already holding keys are left alone.
+func (s *Striped[K]) Reserve(n int) {
+	per := n/len(s.stripes) + 1
+	for i := range s.stripes {
+		ms := &s.stripes[i]
+		ms.mu.Lock()
+		if len(ms.toDense) == 0 {
+			ms.toDense = make(map[K]int, per)
+		}
+		ms.mu.Unlock()
+	}
+}
+
+// Quiesce acquires every map-stripe lock (in index order), runs fn, and
+// releases them. While fn runs, no Acquire, DenseID, Release, Contains,
+// Keys, Range or *Func call can make progress, so fn observes — and can let
+// a caller capture — a globally consistent mapping together with any
+// per-stripe state layered on top of it. fn must not call back into the
+// Striped except through RangeLocked, or it will self-deadlock.
+//
+// This is the write-exclusion barrier checkpointing uses: queries against
+// other structures proceed, while every keyed update (all of which take a
+// stripe lock first) waits for fn to finish.
+func (s *Striped[K]) Quiesce(fn func()) {
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+	}
+	defer func() {
+		for i := range s.stripes {
+			s.stripes[i].mu.Unlock()
+		}
+	}()
+	fn()
+}
+
+// RangeLocked is Range for callers already inside Quiesce: it visits every
+// (key, dense id) pair without taking any locks. Calling it anywhere else is
+// a data race.
+func (s *Striped[K]) RangeLocked(fn func(key K, id int) bool) {
+	for i := range s.stripes {
+		for k, id := range s.stripes[i].toDense {
+			if !fn(k, id) {
+				return
+			}
+		}
+	}
+}
+
 // Range calls fn for every (key, dense id) pair until fn returns false, with
 // the same per-stripe consistency as Keys. fn runs with the current stripe's
 // lock held and must not call back into the Striped.

@@ -272,3 +272,55 @@ func TestStripedConcurrentChurn(t *testing.T) {
 		}
 	}
 }
+
+// TestQuiesceSeesConsistentMapping: RangeLocked inside Quiesce must visit
+// every mapped pair exactly once, while concurrent writers are held off (the
+// race detector guards the exclusion claim).
+func TestQuiesceSeesConsistentMapping(t *testing.T) {
+	s := MustNewStriped[int](128, 4)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := w*32 + i%32
+				if _, _, err := s.Acquire(key); err != nil {
+					t.Errorf("Acquire(%d): %v", key, err)
+					return
+				}
+				if i%3 == 0 {
+					s.Release(key)
+				}
+			}
+		}(w)
+	}
+	for round := 0; round < 50; round++ {
+		s.Quiesce(func() {
+			seen := make(map[int]bool)
+			ids := make(map[int]bool)
+			s.RangeLocked(func(key, id int) bool {
+				if seen[key] {
+					t.Errorf("key %d visited twice", key)
+				}
+				if ids[id] {
+					t.Errorf("id %d bound to two keys", id)
+				}
+				seen[key] = true
+				ids[id] = true
+				return true
+			})
+			if len(seen) != s.Len() {
+				t.Errorf("RangeLocked saw %d pairs, Len reports %d", len(seen), s.Len())
+			}
+		})
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -8,6 +8,7 @@
 // The API is deliberately small and JSON-only:
 //
 //	POST /v1/events              one event or a batch of events
+//	POST /v1/admin/checkpoint    snapshot the profile and truncate the WAL
 //	GET  /v1/stats/mode          most frequent object
 //	GET  /v1/stats/top?k=10      top-K objects
 //	GET  /v1/stats/min           least frequent slot
@@ -37,6 +38,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"sprofile"
 )
@@ -54,12 +56,22 @@ type Config struct {
 	// default of 10 000.
 	MaxBatch int
 	// WALPath, when non-empty, makes ingested events durable: they are
-	// appended to a write-ahead log at this path and replayed into the
-	// profile when the server starts.
+	// appended to a write-ahead log directory at this path and replayed
+	// into the profile when the server starts. A legacy single-file log at
+	// the same path is migrated into the directory layout automatically.
 	WALPath string
 	// WALSyncEvery fsyncs the log after this many events; zero syncs once
 	// per accepted batch.
 	WALSyncEvery int
+	// CheckpointEvery, when positive, checkpoints the profile on that
+	// cadence: a snapshot is written into the WAL directory and the log
+	// segments it covers are deleted, bounding restart time and disk use.
+	// Requires WALPath. Zero disables time-triggered checkpoints; manual
+	// ones via POST /v1/admin/checkpoint always work.
+	CheckpointEvery time.Duration
+	// CheckpointBytes, when positive, additionally checkpoints whenever the
+	// WAL tail grows past this many bytes. Requires WALPath.
+	CheckpointBytes int64
 }
 
 // Server is the HTTP facade over a concurrent keyed profile. It is safe for
@@ -96,6 +108,15 @@ func New(cfg Config) (*Server, error) {
 			sprofile.WithWAL(cfg.WALPath),
 			sprofile.WithWALSyncEvery(cfg.WALSyncEvery))
 	}
+	if cfg.CheckpointEvery > 0 || cfg.CheckpointBytes > 0 {
+		if cfg.WALPath == "" {
+			return nil, fmt.Errorf("server: checkpointing requires a WAL path")
+		}
+		buildOpts = append(buildOpts, sprofile.WithCheckpoints(sprofile.CheckpointPolicy{
+			Every:      cfg.CheckpointEvery,
+			EveryBytes: cfg.CheckpointBytes,
+		}))
+	}
 	keyed, err := sprofile.BuildKeyed[string](cfg.Capacity, buildOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -109,10 +130,16 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Replayed returns the number of WAL records replayed at startup.
+// Replayed returns the number of WAL tail records replayed at startup —
+// with checkpointing, only the records after the last snapshot.
 func (s *Server) Replayed() int { return s.profile.Replayed() }
 
-// Close flushes and closes the write-ahead log, if one is configured.
+// Recovery returns the startup recovery breakdown: how much state the
+// checkpoint snapshot restored outright and how much log tail was replayed.
+func (s *Server) Recovery() sprofile.RecoveryStats { return s.profile.Recovery() }
+
+// Close stops background checkpointing and closes the write-ahead log, if
+// one is configured.
 func (s *Server) Close() error { return s.profile.Close() }
 
 // ServeHTTP implements http.Handler.
@@ -121,6 +148,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) routes() {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/events", s.handleEvents)
+	s.mux.HandleFunc("/v1/admin/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("/v1/stats/mode", s.handleMode)
 	s.mux.HandleFunc("/v1/stats/top", s.handleTop)
 	s.mux.HandleFunc("/v1/stats/min", s.handleMin)
@@ -182,7 +210,29 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := map[string]string{"status": "ok"}
+	if err := s.profile.CheckpointError(); err != nil {
+		// The server keeps serving — the profile and the unreclaimed log
+		// tail are intact — but the operator should know the last background
+		// checkpoint failed (e.g. a full disk).
+		resp["checkpoint_error"] = err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCheckpoint snapshots the profile into the WAL directory and deletes
+// the log segments the snapshot covers. Readers are never blocked; writers
+// pause only while the in-memory state is captured.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if err := s.profile.Checkpoint(); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "checkpoint failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"checkpointed": true})
 }
 
 // decodeEvents accepts either a single {object, action} event or a JSON

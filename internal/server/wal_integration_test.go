@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestServerWALRecovery(t *testing.T) {
@@ -119,5 +120,120 @@ func TestServerWALCorruptLogFailsStartup(t *testing.T) {
 	}
 	if _, err := New(Config{Capacity: 10, WALPath: walPath}); err == nil {
 		t.Fatalf("startup succeeded with a corrupt WAL")
+	}
+}
+
+// TestServerCheckpointEndpoint drives the admin checkpoint across a restart:
+// after POST /v1/admin/checkpoint, a new server lifetime must restore from
+// the snapshot and replay only the events ingested after it.
+func TestServerCheckpointEndpoint(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "events.wal")
+
+	s1, err := New(Config{Capacity: 100, WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1)
+	if resp, out := postEvents(t, ts1, `[
+		{"object":"video-1","action":"add"},
+		{"object":"video-1","action":"add"},
+		{"object":"video-2","action":"add"}
+	]`); resp.StatusCode != http.StatusOK || out.Applied != 3 {
+		t.Fatalf("ingest = %d %+v", resp.StatusCode, out)
+	}
+
+	resp, err := http.Post(ts1.URL+"/v1/admin/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint status = %d", resp.StatusCode)
+	}
+	// GET must be rejected.
+	getResp, err := http.Get(ts1.URL + "/v1/admin/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET checkpoint status = %d, want 405", getResp.StatusCode)
+	}
+
+	if resp, out := postEvents(t, ts1, `{"object":"video-3","action":"add"}`); resp.StatusCode != http.StatusOK || out.Applied != 1 {
+		t.Fatalf("tail ingest = %d %+v", resp.StatusCode, out)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{Capacity: 100, WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Replayed() != 1 {
+		t.Fatalf("second lifetime replayed %d records, want 1 (only video-3)", s2.Replayed())
+	}
+	rec := s2.Recovery()
+	if rec.SnapshotSeq != 1 || rec.SnapshotObjects != 2 || rec.SnapshotEvents != 3 {
+		t.Fatalf("Recovery = %+v, want snapshot 1 with 2 objects / 3 events", rec)
+	}
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	var count entryResponse
+	if resp := getJSON(t, ts2, "/v1/stats/count?object=video-1", &count); resp.StatusCode != http.StatusOK {
+		t.Fatalf("count status = %d", resp.StatusCode)
+	}
+	if count.Frequency != 2 {
+		t.Fatalf("recovered count(video-1) = %d, want 2", count.Frequency)
+	}
+	var summary map[string]any
+	getJSON(t, ts2, "/v1/stats/summary", &summary)
+	if got := summary["total"].(float64); got != 4 {
+		t.Fatalf("recovered total = %v, want 4", got)
+	}
+}
+
+// TestServerCheckpointConfigValidation: checkpoint cadences without a WAL
+// must be rejected at construction.
+func TestServerCheckpointConfigValidation(t *testing.T) {
+	if _, err := New(Config{Capacity: 10, CheckpointEvery: time.Minute}); err == nil {
+		t.Fatal("CheckpointEvery without WALPath accepted")
+	}
+	if _, err := New(Config{Capacity: 10, CheckpointBytes: 1024}); err == nil {
+		t.Fatal("CheckpointBytes without WALPath accepted")
+	}
+	s, err := New(Config{
+		Capacity:        10,
+		WALPath:         filepath.Join(t.TempDir(), "w.wal"),
+		CheckpointEvery: time.Minute,
+		CheckpointBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerCheckpointWithoutWAL: the admin endpoint on a WAL-less server
+// reports a client error instead of crashing.
+func TestServerCheckpointWithoutWAL(t *testing.T) {
+	s, err := New(Config{Capacity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/admin/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("checkpoint without WAL status = %d, want 422", resp.StatusCode)
 	}
 }

@@ -1,0 +1,631 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the segmented WAL layout: instead of one unbounded
+// file, the log is a directory of fixed-order segment files
+//
+//	wal-<id, 16 hex digits>.seg
+//
+// with monotonically increasing ids. Each segment starts with a header
+//
+//	magic   [4]byte  "SWL2"
+//	id      uvarint  (must match the filename)
+//	snapSeq uvarint  (the snapshot sequence current when the segment opened)
+//
+// followed by the same record stream the legacy format uses. A migrated
+// legacy file keeps its "SWL1" header and is read as segment id 1 with
+// snapSeq 0; records append to it unchanged, since the record codec is
+// identical.
+//
+// Only the highest-id segment is ever written, so a crash can tear at most
+// that segment's tail; sealed segments are fsynced before rotation completes
+// and are immutable afterwards. The checkpoint subsystem deletes segments
+// once a snapshot covers them, which is what bounds recovery time and disk
+// use.
+
+var segmentMagic = [4]byte{'S', 'W', 'L', '2'}
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+)
+
+// SegmentInfo describes one segment file found in a log directory.
+type SegmentInfo struct {
+	// ID is the segment's position in the log order (1-based, monotonic).
+	ID uint64
+	// SnapSeq is the snapshot sequence recorded in the header: the id of the
+	// last checkpoint taken before this segment opened (0 = none).
+	SnapSeq uint64
+	// Legacy marks a migrated single-file log readable as a segment.
+	Legacy bool
+	// Torn marks a segment whose header could not be read — the result of a
+	// crash during segment creation. Only valid as the final segment; it
+	// holds no records and is recreated when the directory reopens.
+	Torn bool
+	Path string
+	Size int64
+}
+
+// SegmentName returns the file name of segment id.
+func SegmentName(id uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, id, segSuffix)
+}
+
+// parseSegmentName extracts the segment id from a file name, reporting
+// whether the name is a segment name at all.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	if len(hexPart) != 16 {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return id, true
+}
+
+// readSegmentHeader consumes the header from br, reporting the recorded id
+// and snapshot sequence (legacy headers carry neither). errTornTail marks a
+// header cut short by a crash during segment creation.
+func readSegmentHeader(br *bufio.Reader) (id, snapSeq uint64, legacy bool, err error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, 0, false, errTornTail
+		}
+		return 0, 0, false, err
+	}
+	switch magic {
+	case fileMagic:
+		return 0, 0, true, nil
+	case segmentMagic:
+	default:
+		return 0, 0, false, fmt.Errorf("%w: bad segment magic %q", ErrCorrupt, magic[:])
+	}
+	id, err = binary.ReadUvarint(br)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, 0, false, errTornTail
+		}
+		return 0, 0, false, fmt.Errorf("%w: segment header: %v", ErrCorrupt, err)
+	}
+	snapSeq, err = binary.ReadUvarint(br)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, 0, false, errTornTail
+		}
+		return 0, 0, false, fmt.Errorf("%w: segment header: %v", ErrCorrupt, err)
+	}
+	return id, snapSeq, false, nil
+}
+
+// writeSegmentHeader emits the SWL2 header for segment id.
+func writeSegmentHeader(w io.Writer, id, snapSeq uint64) error {
+	var buf [4 + 2*binary.MaxVarintLen64]byte
+	copy(buf[:4], segmentMagic[:])
+	n := 4
+	n += binary.PutUvarint(buf[n:], id)
+	n += binary.PutUvarint(buf[n:], snapSeq)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// ListSegments returns the segments of dir sorted by id, reading each header.
+// A segment whose header is unreadable is reported with Torn set; anything
+// else undecodable fails with ErrCorrupt.
+func ListSegments(dir string) ([]SegmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var infos []SegmentInfo
+	for _, e := range entries {
+		id, ok := parseSegmentName(e.Name())
+		if !ok || e.IsDir() {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		info := SegmentInfo{ID: id, Path: filepath.Join(dir, e.Name()), Size: fi.Size()}
+		f, err := os.Open(info.Path)
+		if err != nil {
+			return nil, err
+		}
+		hdrID, snapSeq, legacy, err := readSegmentHeader(bufio.NewReader(f))
+		f.Close()
+		switch {
+		case errors.Is(err, errTornTail):
+			info.Torn = true
+		case err != nil:
+			return nil, fmt.Errorf("%s: %w", info.Path, err)
+		case legacy:
+			info.Legacy = true
+		case hdrID != id:
+			return nil, fmt.Errorf("%w: segment %s header claims id %d", ErrCorrupt, info.Path, hdrID)
+		default:
+			info.SnapSeq = snapSeq
+		}
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return infos, nil
+}
+
+// ReplaySegment reads every record of one segment file, invoking fn for each.
+// A torn final record (or torn header) stops the replay cleanly when
+// tolerateTorn is set — correct only for the log's final segment, since
+// sealed segments are fsynced whole — and fails with ErrCorrupt otherwise.
+func ReplaySegment(path string, tolerateTorn bool, fn func(Record) error) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if _, _, _, err := readSegmentHeader(br); err != nil {
+		if errors.Is(err, errTornTail) {
+			if tolerateTorn {
+				return 0, nil
+			}
+			return 0, fmt.Errorf("%w: %s: truncated segment header", ErrCorrupt, path)
+		}
+		return 0, err
+	}
+	replayed := 0
+	for {
+		rec, err := readRecord(br)
+		if errors.Is(err, io.EOF) {
+			return replayed, nil
+		}
+		if errors.Is(err, errTornTail) {
+			if tolerateTorn {
+				return replayed, nil
+			}
+			return replayed, fmt.Errorf("%w: %s: torn record in sealed segment", ErrCorrupt, path)
+		}
+		if err != nil {
+			return replayed, fmt.Errorf("%s: %w", path, err)
+		}
+		if err := fn(rec); err != nil {
+			return replayed, err
+		}
+		replayed++
+	}
+}
+
+// ReplayDir replays every record of every segment in a log directory in id
+// order, tolerating a torn tail only in the final segment, and returns the
+// record count. It is snapshot-oblivious — segments already covered by a
+// checkpoint snapshot replay too — so use the checkpoint package for real
+// recovery; this is the raw-log view (tests, tooling, full audits).
+func ReplayDir(dir string, fn func(Record) error) (int, error) {
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for i, sg := range segs {
+		if sg.Torn {
+			if i != len(segs)-1 {
+				return total, fmt.Errorf("%w: segment %s has no readable header but is not the tail", ErrCorrupt, sg.Path)
+			}
+			continue
+		}
+		n, err := ReplaySegment(sg.Path, i == len(segs)-1, fn)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// countingReader counts the bytes its wrapped reader hands out, so a bufio
+// consumer can compute how far into the file the decoded prefix reaches.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// scanValidEnd reads f from the start and returns the byte offset just past
+// the last complete record — the truncation point that removes a torn tail
+// before the segment is appended to again.
+func scanValidEnd(f *os.File) (validEnd int64, err error) {
+	cr := &countingReader{r: f}
+	br := bufio.NewReader(cr)
+	if _, _, _, err := readSegmentHeader(br); err != nil {
+		if errors.Is(err, errTornTail) {
+			return 0, err // caller recreates the segment
+		}
+		return 0, err
+	}
+	validEnd = cr.n - int64(br.Buffered())
+	for {
+		rec, err := readRecord(br)
+		if errors.Is(err, io.EOF) || errors.Is(err, errTornTail) {
+			return validEnd, nil
+		}
+		if err != nil {
+			return validEnd, err
+		}
+		_ = rec
+		validEnd = cr.n - int64(br.Buffered())
+	}
+}
+
+// Dir is the append head of a segmented write-ahead log directory. Unlike
+// the legacy Log it is safe for concurrent use: appends serialise on an
+// internal mutex while Sync runs the fsync outside it with a group-commit
+// watermark, so concurrent producers' batches are persisted collectively by
+// whichever fsync lands after their records were flushed.
+type Dir struct {
+	dir  string
+	opts Options
+
+	// mu guards the buffer, the current segment and the counters.
+	mu sync.Mutex
+	// syncMu serialises fsyncs only; the fsync itself runs without mu, so
+	// appends proceed while the disk works.
+	syncMu    sync.Mutex
+	f         *os.File
+	w         *bufio.Writer
+	segID     uint64
+	snapSeq   uint64
+	appended  uint64
+	bytes     int64
+	sinceSync int
+	closed    bool
+	// synced is the appended-count watermark covered by the last completed
+	// fsync; a Sync whose records are already covered returns without
+	// touching the disk.
+	synced atomic.Uint64
+}
+
+// OpenDir opens the append head of a segment directory. When tail is
+// non-nil, that segment is opened for appending — a torn final record left
+// by a crash is truncated away first, and a segment whose header never made
+// it to disk (tail.Torn) is recreated in place. Otherwise a fresh segment
+// with id nextID is created, its header recording snapSeq.
+func OpenDir(dir string, opts Options, tail *SegmentInfo, nextID, snapSeq uint64) (*Dir, error) {
+	d := &Dir{dir: dir, opts: opts}
+	if tail != nil && tail.Torn {
+		// The crash happened between creating the file and persisting its
+		// header; it holds nothing recoverable.
+		if err := os.Remove(tail.Path); err != nil {
+			return nil, err
+		}
+		nextID = tail.ID
+		tail = nil
+	}
+	if tail != nil {
+		f, err := os.OpenFile(tail.Path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		validEnd, err := scanValidEnd(f)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%s: %w", tail.Path, err)
+		}
+		if validEnd < tail.Size {
+			if err := f.Truncate(validEnd); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		d.f = f
+		d.segID = tail.ID
+		d.snapSeq = tail.SnapSeq
+		d.bytes = validEnd
+	} else {
+		f, err := createSegment(dir, nextID, snapSeq)
+		if err != nil {
+			return nil, err
+		}
+		d.f = f
+		d.segID = nextID
+		d.snapSeq = snapSeq
+	}
+	d.w = bufio.NewWriter(d.f)
+	return d, nil
+}
+
+// createSegment creates segment nextID with a durable header.
+func createSegment(dir string, id, snapSeq uint64) (*os.File, error) {
+	path := filepath.Join(dir, SegmentName(id))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeSegmentHeader(f, id, snapSeq); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := SyncDir(dir); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return f, nil
+}
+
+// SyncDir fsyncs a directory so renames and file creations inside it are
+// durable. Shared with the checkpoint layer, which publishes snapshots into
+// the same directory.
+func SyncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// Append adds one record to the current segment. syncDue reports that the
+// SyncEvery threshold has been crossed; the caller runs Sync outside its own
+// locks, which is what keeps fsyncs off the append path.
+func (d *Dir) Append(rec Record) (syncDue bool, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false, ErrClosed
+	}
+	n, err := appendRecord(d.w, rec)
+	if err != nil {
+		return false, err
+	}
+	d.appended++
+	d.bytes += int64(n)
+	if d.opts.SyncEvery > 0 {
+		d.sinceSync++
+		if d.sinceSync >= d.opts.SyncEvery {
+			d.sinceSync = 0
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Appended returns the number of records appended through this handle.
+func (d *Dir) Appended() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.appended
+}
+
+// AppendedBytes returns the record bytes appended through this handle plus
+// the bytes already in the segment it opened on — the input to a size-based
+// checkpoint trigger.
+func (d *Dir) AppendedBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytes
+}
+
+// SegmentID returns the id of the segment currently open for appending.
+func (d *Dir) SegmentID() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.segID
+}
+
+// Sync makes every appended record durable, with group commit: the buffer is
+// flushed under the append mutex, the fsync runs outside it, and a Sync
+// whose records were already covered by a concurrent fsync (or a rotation)
+// returns without touching the disk.
+func (d *Dir) Sync() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	target := d.appended
+	if d.synced.Load() >= target {
+		d.mu.Unlock()
+		return nil
+	}
+	err := d.w.Flush()
+	f := d.f
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	d.syncMu.Lock()
+	defer d.syncMu.Unlock()
+	if d.synced.Load() >= target {
+		// Another batch's fsync — or a rotation, which seals with an fsync —
+		// covered our records. f may already be a sealed, closed segment;
+		// either way there is nothing left to persist.
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if d.synced.Load() < target {
+		d.synced.Store(target)
+	}
+	return nil
+}
+
+// Rotate seals the current segment — flush, fsync, close — and opens the
+// next one, whose header records newSnapSeq. It returns the sealed segment's
+// id. Rotation excludes appends and in-flight fsyncs for its (short)
+// duration; a failure to open the new segment leaves the old one writable.
+func (d *Dir) Rotate(newSnapSeq uint64) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	if err := d.w.Flush(); err != nil {
+		return 0, err
+	}
+	d.syncMu.Lock()
+	defer d.syncMu.Unlock()
+	if err := d.f.Sync(); err != nil {
+		return 0, err
+	}
+	sealed := d.segID
+	nf, err := createSegment(d.dir, sealed+1, newSnapSeq)
+	if err != nil {
+		return 0, err
+	}
+	old := d.f
+	d.f = nf
+	d.w.Reset(nf)
+	d.segID = sealed + 1
+	d.snapSeq = newSnapSeq
+	d.sinceSync = 0
+	// Everything appended so far is durable in the sealed segment.
+	d.synced.Store(d.appended)
+	old.Close()
+	return sealed, nil
+}
+
+// DropThrough deletes every segment file with id at most segID, except the
+// segment currently open for appending. Used after a checkpoint has made
+// those segments redundant.
+func (d *Dir) DropThrough(segID uint64) error {
+	d.mu.Lock()
+	cur := d.segID
+	dir := d.dir
+	d.mu.Unlock()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, e := range entries {
+		id, ok := parseSegmentName(e.Name())
+		if !ok || id > segID || id == cur {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := SyncDir(dir); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Close flushes, fsyncs and closes the current segment.
+func (d *Dir) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	flushErr := d.w.Flush()
+	d.syncMu.Lock()
+	defer d.syncMu.Unlock()
+	if flushErr != nil {
+		d.f.Close()
+		return flushErr
+	}
+	if err := d.f.Sync(); err != nil {
+		d.f.Close()
+		return err
+	}
+	// Everything appended is durable; advance the watermark so a Sync that
+	// raced past the closed check returns success instead of fsyncing the
+	// closed fd and reporting a spurious failure.
+	d.synced.Store(d.appended)
+	return d.f.Close()
+}
+
+// MigrateLegacy converts a single-file SWL1 log at path, if one exists, into
+// the segmented directory layout: the file becomes segment 1 — byte for
+// byte, since the segment reader still understands the legacy header —
+// inside a new directory at the same path. Calling it on a path that is
+// already a directory, or does not exist, is a no-op. A migration
+// interrupted by a crash resumes on the next call.
+func MigrateLegacy(path string) error {
+	staging := path + ".legacy"
+	if _, err := os.Stat(staging); err == nil {
+		// A previous migration moved the file aside and crashed; finish it.
+		return completeMigration(path, staging)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	fi, err := os.Stat(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if fi.IsDir() {
+		return nil
+	}
+	if fi.Size() == 0 {
+		// An empty file (crash before the legacy header was written) holds
+		// nothing; replace it with a fresh directory.
+		return os.Remove(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	var magic [4]byte
+	_, readErr := io.ReadFull(f, magic[:])
+	f.Close()
+	if readErr != nil || magic != fileMagic {
+		return fmt.Errorf("%w: %s is not a write-ahead log", ErrCorrupt, path)
+	}
+	if err := os.Rename(path, staging); err != nil {
+		return err
+	}
+	return completeMigration(path, staging)
+}
+
+// completeMigration turns the staged legacy file into segment 1 of a
+// directory at path.
+func completeMigration(path, staging string) error {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return err
+	}
+	if err := os.Rename(staging, filepath.Join(path, SegmentName(1))); err != nil {
+		return err
+	}
+	return SyncDir(path)
+}

@@ -1,16 +1,26 @@
-// Package wal implements a minimal write-ahead log for keyed profiling
-// events, so that an ingest service built on S-Profile (cmd/sprofiled) can
-// recover its profile after a restart by replaying the log.
+// Package wal implements the write-ahead log for keyed profiling events, so
+// that an ingest service built on S-Profile (cmd/sprofiled) can recover its
+// profile after a restart by replaying the log.
 //
 // The profile itself is an in-memory structure; what makes it durable is the
-// stream that built it. Because every event is two small fields, the log
-// format is a length-prefixed binary record stream:
+// stream that built it. Because every event is two small fields, the record
+// format is a length-prefixed binary stream:
 //
-//	magic   [4]byte  "SWL1"                       (file header)
 //	record  repeated:
 //	          keyLen  uvarint
 //	          key     keyLen bytes (UTF-8)
 //	          action  1 byte: 0 = add, 1 = remove
+//
+// Two containers carry that record stream:
+//
+//   - Log is the legacy layout: one unbounded file with an "SWL1" magic
+//     header. Its recovery time and disk footprint grow with the entire
+//     ingest history.
+//   - Dir is the segmented layout (see segment.go): a directory of rotating
+//     "SWL2" segment files with monotonic ids, which the checkpoint subsystem
+//     (internal/checkpoint) combines with snapshots so recovery replays only
+//     the tail written since the last checkpoint. A legacy single-file log is
+//     migrated into the directory layout automatically (MigrateLegacy).
 //
 // Records are buffered and flushed either explicitly (Sync) or every
 // SyncEvery appends. A torn final record — the normal result of a crash mid
@@ -51,9 +61,14 @@ type Options struct {
 	SyncEvery int
 }
 
-// Log is an append-only write-ahead log backed by a single file. It is not
-// safe for concurrent use; serialise access in the caller (the HTTP server
-// already holds its own mutex around profile updates).
+// Log is an append-only write-ahead log backed by a single file in the
+// legacy SWL1 layout. It is not safe for concurrent use; callers serialise
+// access themselves. The HTTP server's concurrent front end holds a small
+// append mutex around Append/Flush (each append runs under the event's
+// stripe lock, keeping per-key log order equal to apply order) and runs the
+// fsync outside all locks via SyncFile, so concurrent batches group-commit
+// on one fsync. Dir implements that append-mutex + group-commit-fsync
+// discipline internally and is what new code should use.
 type Log struct {
 	f        *os.File
 	w        *bufio.Writer
@@ -94,30 +109,91 @@ func Open(path string, opts Options) (*Log, error) {
 	return &Log{f: f, w: bufio.NewWriter(f), opts: opts}, nil
 }
 
-// Append adds one record to the log.
-func (l *Log) Append(rec Record) error {
-	if l.closed {
-		return ErrClosed
-	}
+// maxKeyLen bounds the key length a record may carry; longer lengths in a
+// file indicate corruption rather than a legitimate record.
+const maxKeyLen = 1 << 20
+
+// errTornTail is the internal sentinel for a record cut short by a crash at
+// the end of a file; replay paths translate it into a clean stop.
+var errTornTail = errors.New("wal: torn record at tail")
+
+// appendRecord encodes one record into w, returning the encoded byte count.
+// Shared by the legacy Log and the segmented Dir.
+func appendRecord(w *bufio.Writer, rec Record) (int, error) {
 	if rec.Key == "" {
-		return errors.New("wal: empty key")
+		return 0, errors.New("wal: empty key")
 	}
 	if !rec.Action.Valid() {
-		return fmt.Errorf("wal: invalid action %d", rec.Action)
+		return 0, fmt.Errorf("wal: invalid action %d", rec.Action)
 	}
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], uint64(len(rec.Key)))
-	if _, err := l.w.Write(buf[:n]); err != nil {
-		return err
+	if _, err := w.Write(buf[:n]); err != nil {
+		return 0, err
 	}
-	if _, err := l.w.WriteString(rec.Key); err != nil {
-		return err
+	if _, err := w.WriteString(rec.Key); err != nil {
+		return 0, err
 	}
 	actionByte := byte(0)
 	if rec.Action == core.ActionRemove {
 		actionByte = 1
 	}
-	if err := l.w.WriteByte(actionByte); err != nil {
+	if err := w.WriteByte(actionByte); err != nil {
+		return 0, err
+	}
+	return n + len(rec.Key) + 1, nil
+}
+
+// readRecord decodes one record from br. io.EOF marks a clean end of the
+// stream, errTornTail a record cut short by a crash; any other failure wraps
+// ErrCorrupt.
+func readRecord(br *bufio.Reader) (Record, error) {
+	keyLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		// A varint cut short by a crash reads as unexpected EOF.
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Record{}, errTornTail
+		}
+		return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if keyLen == 0 || keyLen > maxKeyLen {
+		return Record{}, fmt.Errorf("%w: key length %d", ErrCorrupt, keyLen)
+	}
+	key := make([]byte, keyLen)
+	if _, err := io.ReadFull(br, key); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Record{}, errTornTail
+		}
+		return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	actionByte, err := br.ReadByte()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, errTornTail
+		}
+		return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	var action core.Action
+	switch actionByte {
+	case 0:
+		action = core.ActionAdd
+	case 1:
+		action = core.ActionRemove
+	default:
+		return Record{}, fmt.Errorf("%w: action byte %d", ErrCorrupt, actionByte)
+	}
+	return Record{Key: string(key), Action: action}, nil
+}
+
+// Append adds one record to the log.
+func (l *Log) Append(rec Record) error {
+	if l.closed {
+		return ErrClosed
+	}
+	if _, err := appendRecord(l.w, rec); err != nil {
 		return err
 	}
 	l.appended++
@@ -207,44 +283,14 @@ func Replay(path string, fn func(Record) error) (int, error) {
 
 	replayed := 0
 	for {
-		keyLen, err := binary.ReadUvarint(br)
-		if errors.Is(err, io.EOF) {
+		rec, err := readRecord(br)
+		if errors.Is(err, io.EOF) || errors.Is(err, errTornTail) {
 			return replayed, nil
 		}
 		if err != nil {
-			// A varint cut short by a crash reads as unexpected EOF.
-			if errors.Is(err, io.ErrUnexpectedEOF) {
-				return replayed, nil
-			}
-			return replayed, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return replayed, err
 		}
-		if keyLen == 0 || keyLen > 1<<20 {
-			return replayed, fmt.Errorf("%w: key length %d", ErrCorrupt, keyLen)
-		}
-		key := make([]byte, keyLen)
-		if _, err := io.ReadFull(br, key); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return replayed, nil // torn record at the tail
-			}
-			return replayed, fmt.Errorf("%w: %v", ErrCorrupt, err)
-		}
-		actionByte, err := br.ReadByte()
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				return replayed, nil // torn record at the tail
-			}
-			return replayed, fmt.Errorf("%w: %v", ErrCorrupt, err)
-		}
-		var action core.Action
-		switch actionByte {
-		case 0:
-			action = core.ActionAdd
-		case 1:
-			action = core.ActionRemove
-		default:
-			return replayed, fmt.Errorf("%w: action byte %d", ErrCorrupt, actionByte)
-		}
-		if err := fn(Record{Key: string(key), Action: action}); err != nil {
+		if err := fn(rec); err != nil {
 			return replayed, err
 		}
 		replayed++

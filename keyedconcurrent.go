@@ -3,9 +3,8 @@ package sprofile
 import (
 	"errors"
 	"fmt"
-	"sync"
-	"sync/atomic"
 
+	"sprofile/internal/checkpoint"
 	"sprofile/internal/idmap"
 	"sprofile/internal/wal"
 )
@@ -64,8 +63,17 @@ type KeyedConcurrent[K comparable] struct {
 	// eviction candidates; zeros[i] is guarded by stripe i's lock.
 	zeros []zeroSet[K]
 
-	log      *keyedLog
+	// store is the checkpointed write-ahead log (nil without WithWAL). The
+	// store's internal append mutex serialises journal writes; each append
+	// happens while the event's stripe lock is held, which keeps every key's
+	// add/remove order in the log identical to its apply order (the property
+	// strict replay depends on). Events of different keys interleave in
+	// whatever order their stripes reach the log, which replay is
+	// insensitive to. Fsyncs run outside all locks with group commit.
+	store    *checkpoint.Store
+	ckpt     *checkpoint.Checkpointer
 	replayed int
+	stats    RecoveryStats
 }
 
 // zeroSet is an O(1) insert/delete/pop set of idle keys.
@@ -108,89 +116,6 @@ func (z *zeroSet[K]) pop() (K, bool) {
 	return key, true
 }
 
-// keyedLog is a write-ahead log shared by concurrent appenders: the wal.Log
-// itself is single-writer, so a small mutex serialises appends and syncs.
-// Appends happen while the event's stripe lock is held, which keeps each
-// key's add/remove order in the log identical to its apply order (the
-// property strict replay depends on); events of different keys interleave in
-// whatever order their stripes reach the log, which replay is insensitive to.
-type keyedLog struct {
-	// mu guards appends and buffer flushes (the wal.Log is single-writer).
-	mu sync.Mutex
-	// syncMu serialises fsyncs only: the fsync itself runs without mu, so
-	// appends — and therefore other producers' whole batches — proceed while
-	// the disk works.
-	syncMu sync.Mutex
-	log    *wal.Log
-	// synced is the Appended() watermark covered by the last completed
-	// fsync. A sync request whose records are already covered returns
-	// without touching the disk — group commit: concurrent batches that
-	// queued behind one fsync are persisted by it collectively.
-	synced atomic.Uint64
-	// syncEvery > 0 requests a sync after that many appends (WithWALSyncEvery);
-	// append reports when the threshold is crossed and the caller runs the
-	// lock-free sync path outside the stripe lock.
-	syncEvery int
-	sinceSync int
-}
-
-// append journals one record and reports whether the WithWALSyncEvery
-// threshold asks for a sync. The sync itself is the caller's job, outside
-// every profile lock.
-func (l *keyedLog) append(key string, a Action) (syncDue bool, err error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.log.Append(wal.Record{Key: key, Action: a}); err != nil {
-		return false, err
-	}
-	if l.syncEvery > 0 {
-		l.sinceSync++
-		if l.sinceSync >= l.syncEvery {
-			l.sinceSync = 0
-			return true, nil
-		}
-	}
-	return false, nil
-}
-
-func (l *keyedLog) sync() error {
-	l.mu.Lock()
-	target := l.log.Appended()
-	if l.synced.Load() >= target {
-		l.mu.Unlock()
-		return nil
-	}
-	err := l.log.Flush()
-	l.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	l.syncMu.Lock()
-	defer l.syncMu.Unlock()
-	if l.synced.Load() >= target {
-		// Another batch's fsync completed after our flush and covered our
-		// records.
-		return nil
-	}
-	if err := l.log.SyncFile(); err != nil {
-		return err
-	}
-	// Everything flushed before the fsync is durable, which is at least our
-	// own records; claiming only target keeps the watermark conservative.
-	if l.synced.Load() < target {
-		l.synced.Store(target)
-	}
-	return nil
-}
-
-func (l *keyedLog) close() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.syncMu.Lock()
-	defer l.syncMu.Unlock()
-	return l.log.Close()
-}
-
 // BuildKeyed assembles a concurrent key-addressed profile able to track up
 // to m keys at once, from the same capability options Build accepts:
 //
@@ -220,6 +145,9 @@ func BuildKeyed[K comparable](m int, opts ...BuildOption) (*KeyedConcurrent[K], 
 	}
 	if cfg.shardsSet && cfg.shards <= 0 {
 		return nil, fmt.Errorf("%w: shard count must be positive, got %d", ErrBuildConfig, cfg.shards)
+	}
+	if cfg.ckptSet && cfg.walPath == "" {
+		return nil, fmt.Errorf("%w: WithCheckpoints requires WithWAL", ErrBuildConfig)
 	}
 	if cfg.walPath != "" {
 		var zero K
@@ -273,13 +201,24 @@ func BuildKeyed[K comparable](m int, opts ...BuildOption) (*KeyedConcurrent[K], 
 		kc.freqs = make([]int64, m)
 	}
 	if cfg.walPath != "" {
-		replayed, err := wal.Replay(cfg.walPath, func(rec wal.Record) error {
+		store, err := checkpoint.Open(cfg.walPath, checkpoint.Options{SyncEvery: cfg.walSyncEvery})
+		if err != nil {
+			return nil, fmt.Errorf("sprofile: opening WAL %s: %w", cfg.walPath, err)
+		}
+		if st := store.TakeState(); st != nil {
+			if err := kc.restore(st); err != nil {
+				return nil, fmt.Errorf("sprofile: restoring snapshot from %s: %w", cfg.walPath, err)
+			}
+		}
+		replayed, err := store.ReplayTail(func(rec wal.Record) error {
 			// Stripe assignment is seeded per process, so the per-stripe
 			// eviction decisions of the writing run cannot be reproduced
 			// here. Replay is single-goroutine, so it may fall back to
 			// evicting an idle key from any stripe: the log guarantees the
 			// live (frequency > 0) key set never exceeded capacity, hence an
 			// idle victim always exists when an Add finds the mapper full.
+			// kc.store is still nil here, so Apply rebuilds state without
+			// re-journaling the records being replayed.
 			key := any(rec.Key).(K)
 			err := kc.Apply(key, rec.Action)
 			if errors.Is(err, idmap.ErrFull) && kc.evictIdleAny() {
@@ -290,18 +229,52 @@ func BuildKeyed[K comparable](m int, opts ...BuildOption) (*KeyedConcurrent[K], 
 		if err != nil {
 			return nil, fmt.Errorf("sprofile: replaying WAL %s: %w", cfg.walPath, err)
 		}
-		// SyncEvery is handled here rather than inside wal.Log: the log's own
-		// per-append syncing would fsync while the append mutex (and the
-		// event's stripe lock) are held, which is exactly what the
-		// group-commit split avoids.
-		log, err := wal.Open(cfg.walPath, wal.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("sprofile: opening WAL %s: %w", cfg.walPath, err)
-		}
 		kc.replayed = replayed
-		kc.log = &keyedLog{log: log, syncEvery: cfg.walSyncEvery}
+		kc.stats = recoveryStats(store.Stats())
+		kc.store = store
+		if cfg.ckptSet && cfg.ckpt.Enabled() {
+			kc.ckpt = checkpoint.Start(checkpoint.Policy{Every: cfg.ckpt.Every, EveryBytes: cfg.ckpt.EveryBytes},
+				kc.Checkpoint, store.TailBytes)
+		}
 	}
 	return kc, nil
+}
+
+// restore reinstates a checkpoint snapshot: every snapshotted key re-acquires
+// a dense id (ids are reassigned — stripe hashing is seeded per process, so
+// the original ids are meaningless here), the dense profile is loaded with
+// the frequencies in one O(m log m) step, and the recycling bookkeeping is
+// rebuilt. Runs before any concurrent access exists.
+func (k *KeyedConcurrent[K]) restore(st *checkpoint.State) error {
+	if !st.Keyed {
+		return errors.New("this WAL holds a dense-id snapshot; open it with Build, not BuildKeyed")
+	}
+	m := k.profile.Cap()
+	if len(st.Keys) > m {
+		return fmt.Errorf("snapshot tracks %d keys but the profile has capacity %d", len(st.Keys), m)
+	}
+	loader, ok := k.profile.(FrequencyLoader)
+	if !ok {
+		return fmt.Errorf("%T cannot restore a snapshot (no FrequencyLoader capability)", k.profile)
+	}
+	k.ids.Reserve(len(st.Keys))
+	freqs := make([]int64, m)
+	for i, sk := range st.Keys {
+		key := any(sk).(K) // BuildKeyed only opens a WAL for K = string
+		id, _, err := k.ids.Acquire(key)
+		if err != nil {
+			return err
+		}
+		f := st.Freqs[i]
+		freqs[id] = f
+		if k.recycle {
+			k.freqs[id] = f
+			if f == 0 {
+				k.zeros[k.ids.StripeOf(key)].add(key)
+			}
+		}
+	}
+	return loader.LoadFrequencies(freqs, st.Adds, st.Removes)
 }
 
 // MustBuildKeyed is BuildKeyed for callers with a known-good configuration;
@@ -317,33 +290,111 @@ func MustBuildKeyed[K comparable](m int, opts ...BuildOption) *KeyedConcurrent[K
 // Tracked returns the number of keys currently holding a dense id.
 func (k *KeyedConcurrent[K]) Tracked() int { return k.ids.Len() }
 
-// Replayed returns the number of WAL records replayed when the profile was
-// built (zero without WithWAL).
+// Replayed returns the number of WAL tail records replayed when the profile
+// was built (zero without WithWAL) — with checkpointing, only the records
+// after the last snapshot, not the full ingest history.
 func (k *KeyedConcurrent[K]) Replayed() int { return k.replayed }
+
+// Recovery returns the full recovery breakdown: what the snapshot restored
+// and what the tail replay added.
+func (k *KeyedConcurrent[K]) Recovery() RecoveryStats { return k.stats }
 
 // Sync flushes buffered write-ahead-log records to stable storage. Without
 // WithWAL it is a no-op.
 func (k *KeyedConcurrent[K]) Sync() error {
-	if k.log == nil {
+	if k.store == nil {
 		return nil
 	}
-	return k.log.sync()
+	return k.store.Sync()
 }
 
-// Close flushes and closes the write-ahead log, if one is configured. The
-// profile stays queryable, but further updates will fail to journal.
+// Close stops background checkpointing and closes the write-ahead log, if
+// one is configured. The profile stays queryable, but further updates will
+// fail to journal.
 func (k *KeyedConcurrent[K]) Close() error {
-	if k.log == nil {
+	if k.store == nil {
 		return nil
 	}
-	return k.log.close()
+	if k.ckpt != nil {
+		k.ckpt.Stop()
+	}
+	return k.store.Close()
+}
+
+// CheckpointError returns the outcome of the most recent background
+// checkpoint (always nil without WithCheckpoints, or while none has run).
+func (k *KeyedConcurrent[K]) CheckpointError() error {
+	if k.ckpt == nil {
+		return nil
+	}
+	return k.ckpt.LastError()
+}
+
+// Checkpoint writes an atomic snapshot — key table, frequencies and event
+// counters — into the WAL directory and deletes the log segments it covers,
+// so the next restart loads the snapshot and replays only what follows it.
+//
+// The capture quiesces writers by holding every mapper stripe lock (each
+// update path takes one first), which yields an exact cut: the snapshot
+// covers precisely the events journaled before the rotation it performs.
+// Readers are never blocked — queries synchronise only on the profile's
+// shard locks, which the capture holds just long enough to clone the dense
+// state. Serialisation and fsync of the snapshot happen entirely outside the
+// update path, and one checkpoint runs at a time.
+func (k *KeyedConcurrent[K]) Checkpoint() error {
+	if k.store == nil {
+		return errors.New("sprofile: profile has no write-ahead log to checkpoint (build with WithWAL)")
+	}
+	snapper, ok := k.profile.(Snapshotter)
+	if !ok {
+		return fmt.Errorf("sprofile: %T cannot be checkpointed (no Snapshotter capability)", k.profile)
+	}
+	return k.store.Checkpoint(func() (st *checkpoint.State, sealed uint64, err error) {
+		k.ids.Quiesce(func() {
+			sealed, err = k.store.Rotate()
+			if err != nil {
+				return
+			}
+			var snap *Profile
+			snap, err = snapper.Snapshot()
+			if err != nil {
+				return
+			}
+			adds, removes := snap.Events()
+			n := k.ids.Len()
+			keys := make([]string, 0, n)
+			freqs := make([]int64, 0, n)
+			k.ids.RangeLocked(func(key K, id int) bool {
+				f, cerr := snap.Count(id)
+				if cerr != nil {
+					err = cerr
+					return false
+				}
+				keys = append(keys, any(key).(string))
+				freqs = append(freqs, f)
+				return true
+			})
+			if err != nil {
+				return
+			}
+			st = &checkpoint.State{
+				Keyed:    true,
+				Capacity: k.profile.Cap(),
+				Adds:     adds,
+				Removes:  removes,
+				Keys:     keys,
+				Freqs:    freqs,
+			}
+		})
+		return st, sealed, err
+	})
 }
 
 // journal appends one applied event to the WAL; key is string by the
 // BuildKeyed construction check. syncDue asks the caller to run Sync once
 // the stripe lock is released.
 func (k *KeyedConcurrent[K]) journal(key K, a Action) (syncDue bool, err error) {
-	syncDue, err = k.log.append(any(key).(string), a)
+	syncDue, err = k.store.Append(wal.Record{Key: any(key).(string), Action: a})
 	if err != nil {
 		return false, fmt.Errorf("%w: %v", ErrWALAppend, err)
 	}
@@ -393,7 +444,7 @@ func (k *KeyedConcurrent[K]) Add(key K) error {
 				k.zeros[k.ids.StripeOf(key)].remove(key)
 			}
 		}
-		if k.log != nil {
+		if k.store != nil {
 			// Journal failures must not roll back the applied update (the
 			// mapping and profile would then disagree), so the error is
 			// carried out-of-band and wrapped in ErrWALAppend.
@@ -413,7 +464,7 @@ func (k *KeyedConcurrent[K]) finishJournal(syncDue bool, journalErr error) error
 	if journalErr != nil || !syncDue {
 		return journalErr
 	}
-	if err := k.log.sync(); err != nil {
+	if err := k.store.Sync(); err != nil {
 		return fmt.Errorf("%w: sync: %v", ErrWALAppend, err)
 	}
 	return nil
@@ -435,7 +486,7 @@ func (k *KeyedConcurrent[K]) Remove(key K) error {
 				k.zeros[k.ids.StripeOf(key)].add(key)
 			}
 		}
-		if k.log != nil {
+		if k.store != nil {
 			syncDue, journalErr = k.journal(key, ActionRemove)
 		}
 		return nil

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"sprofile"
 	"sprofile/internal/wal"
@@ -296,7 +297,7 @@ func TestBuildKeyedWALSyncEvery(t *testing.T) {
 	// crossings) are already durable; replay through a second build sees
 	// them even though the first handle is still open.
 	replayed := 0
-	if _, err := wal.Replay(path, func(wal.Record) error { replayed++; return nil }); err != nil {
+	if _, err := wal.ReplayDir(path, func(wal.Record) error { replayed++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if replayed < 4 {
@@ -446,5 +447,258 @@ func TestKeyedConcurrentChurnStress(t *testing.T) {
 				t.Fatalf("only %d fresh keys fit after churn", freed)
 			}
 		})
+	}
+}
+
+// TestKeyedCheckpointRoundTrip is the checkpoint round trip for the keyed
+// pipeline, with forced key recycling in the history: snapshot → restore must
+// preserve every query and the key↔dense-id mapping even though dense ids are
+// reassigned on restore. WithSharding(1) makes eviction deterministic (one
+// stripe owns every key), so the recycled history is identical on every run.
+func TestKeyedCheckpointRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	opts := []sprofile.BuildOption{sprofile.WithSharding(1), sprofile.WithWAL(dir)}
+
+	k1, err := sprofile.BuildKeyed[string](3, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"a", "a", "b", "c"} {
+		if err := k1.Add(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k1.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	// The profile is full and "b" is idle: this add must recycle b's id.
+	if err := k1.Add("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Tail events on top of the snapshot.
+	for _, ev := range []struct {
+		key string
+		act sprofile.Action
+	}{{"d", sprofile.ActionAdd}, {"a", sprofile.ActionRemove}, {"c", sprofile.ActionAdd}} {
+		if err := k1.Apply(ev.key, ev.act); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	k2, err := sprofile.BuildKeyed[string](3, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k2.Close()
+	if k2.Replayed() != 3 {
+		t.Fatalf("Replayed = %d, want 3 (only the tail)", k2.Replayed())
+	}
+	rec := k2.Recovery()
+	if rec.SnapshotSeq != 1 || rec.SnapshotObjects != 3 || rec.SnapshotEvents != 6 || rec.TailRecords != 3 {
+		t.Fatalf("Recovery = %+v, want snapshot 1 with 3 keys / 6 events plus 3 tail records", rec)
+	}
+	// Final state: a=1, c=2, d=2; b recycled away.
+	for _, c := range []struct {
+		key  string
+		want int64
+	}{{"a", 1}, {"b", 0}, {"c", 2}, {"d", 2}} {
+		got, err := k2.Count(c.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("recovered Count(%s) = %d, want %d", c.key, got, c.want)
+		}
+	}
+	if got := k2.Tracked(); got != 3 {
+		t.Errorf("Tracked = %d, want 3", got)
+	}
+	if got := k2.Total(); got != 5 {
+		t.Errorf("Total = %d, want 5", got)
+	}
+	mode, ties, err := k2.Mode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode.Frequency != 2 || ties != 2 {
+		t.Errorf("Mode = %+v ties %d, want frequency 2 with 2 ties", mode, ties)
+	}
+	top := k2.TopK(2)
+	if len(top) != 2 || top[0].Frequency != 2 || top[1].Frequency != 2 {
+		t.Errorf("TopK(2) = %+v, want two frequency-2 entries", top)
+	}
+	med, err := k2.Median()
+	if err != nil || med.Frequency != 2 {
+		t.Errorf("Median = %+v (%v), want frequency 2", med, err)
+	}
+	q, err := k2.Quantile(0)
+	if err != nil || q.Frequency != 1 {
+		t.Errorf("Quantile(0) = %+v (%v), want frequency 1", q, err)
+	}
+	sum := k2.Summarize()
+	if sum.Adds != 7 || sum.Removes != 2 {
+		t.Errorf("Summarize adds/removes = %d/%d, want 7/2 (historical counters preserved)", sum.Adds, sum.Removes)
+	}
+
+	// The restored mapping must keep working: recycling still sound.
+	if err := k2.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.Add("e"); err != nil { // evicts the now-idle a
+		t.Fatal(err)
+	}
+	if got, _ := k2.Count("e"); got != 1 {
+		t.Errorf("Count(e) after post-restore recycling = %d, want 1", got)
+	}
+
+	// Second generation: checkpoint the restored profile and recover again.
+	if err := k2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	k3, err := sprofile.BuildKeyed[string](3, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k3.Close()
+	if k3.Replayed() != 0 {
+		t.Fatalf("second-generation Replayed = %d, want 0 (checkpoint covered everything)", k3.Replayed())
+	}
+	if got := k3.Total(); got != 5 {
+		t.Errorf("second-generation Total = %d, want 5", got)
+	}
+	if got, _ := k3.Count("e"); got != 1 {
+		t.Errorf("second-generation Count(e) = %d, want 1", got)
+	}
+}
+
+// TestKeyedCheckpointBytesTrigger drives the size-based background trigger:
+// once the tail outgrows EveryBytes, a checkpoint must happen on its own and
+// truncate the log.
+func TestKeyedCheckpointBytesTrigger(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	k, err := sprofile.BuildKeyed[string](64,
+		sprofile.WithSharding(2),
+		sprofile.WithWAL(dir),
+		sprofile.WithCheckpoints(sprofile.CheckpointPolicy{EveryBytes: 256}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Close()
+	for i := 0; i < 64; i++ {
+		if err := k.Add(fmt.Sprintf("object-%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := k.CheckpointError(); err != nil {
+			t.Fatalf("background checkpoint failed: %v", err)
+		}
+		segs, err := wal.ListSegments(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A background checkpoint happened once the original segment 1 is
+		// gone (rotated past and then covered by a snapshot).
+		if len(segs) > 0 && segs[0].ID > 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no background checkpoint after 5s; segments: %+v", segs)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The truncated log plus the snapshot must still recover everything.
+	if err := k.Close(); err != nil {
+		t.Fatal(err)
+	}
+	k2, err := sprofile.BuildKeyed[string](64, sprofile.WithSharding(2), sprofile.WithWAL(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k2.Close()
+	if got := k2.Total(); got != 64 {
+		t.Fatalf("recovered Total = %d, want 64", got)
+	}
+	if k2.Recovery().SnapshotSeq == 0 {
+		t.Fatalf("recovery loaded no snapshot: %+v", k2.Recovery())
+	}
+}
+
+// TestKeyedCheckpointUnderConcurrentIngest checkpoints repeatedly while
+// producers ingest and sync: the quiesce barrier, the log rotation and the
+// group-commit fsync must compose without races or lost events, and the
+// final recovery must account for every applied add.
+func TestKeyedCheckpointUnderConcurrentIngest(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	const workers = 4
+	const perWorker = 200
+	k, err := sprofile.BuildKeyed[string](workers*perWorker,
+		sprofile.WithSharding(4), sprofile.WithWAL(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := k.Add(fmt.Sprintf("w%d-%d", w, i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%32 == 0 {
+					if err := k.Sync(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			if err := k.Checkpoint(); err != nil {
+				t.Errorf("checkpoint %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if err := k.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	k2, err := sprofile.BuildKeyed[string](workers*perWorker,
+		sprofile.WithSharding(4), sprofile.WithWAL(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k2.Close()
+	if got := k2.Total(); got != workers*perWorker {
+		t.Fatalf("recovered Total = %d, want %d", got, workers*perWorker)
+	}
+	if k2.Replayed() != 0 {
+		t.Fatalf("final checkpoint left %d records to replay", k2.Replayed())
 	}
 }

@@ -494,15 +494,97 @@ func (s *Sharded) BottomK(k int) []Entry {
 
 // Snapshot merges every shard into one consistent standalone Profile (cost
 // O(m log m)); use it when a burst of rank queries must see a single state.
+// The snapshot preserves the true adds/removes counters and the strict-mode
+// flag, so it is also a faithful checkpoint image, not just a query view.
 func (s *Sharded) Snapshot() (*Profile, error) {
 	unlock := s.lockAll()
 	defer unlock()
 
 	freqs := make([]int64, s.m)
+	var adds, removes uint64
 	for i := range s.shards {
 		sh := &s.shards[i]
 		local := sh.p.Frequencies(nil)
 		copy(freqs[sh.base:sh.base+len(local)], local)
+		a, r := sh.p.Events()
+		adds += a
+		removes += r
 	}
-	return core.FromFrequencies(freqs)
+	var opts []Option
+	if s.shards[0].p.StrictNonNegative() {
+		opts = append(opts, WithStrictNonNegative())
+	}
+	p, err := core.New(s.m, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.LoadFrequencies(freqs, adds, removes); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// lockAllWrite takes every shard's write lock (in index order); the returned
+// function releases them.
+func (s *Sharded) lockAllWrite() func() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	return func() {
+		for i := range s.shards {
+			s.shards[i].mu.Unlock()
+		}
+	}
+}
+
+// LoadFrequencies replaces the whole sharded state: object x ends at
+// frequency freqs[x] and the global adds/removes counters at the given
+// totals. Each shard receives its id range plus the minimal event counts
+// that produce it; the surplus of the historical counters over that minimum
+// is attributed to shard 0, so Summarize sums back to exactly the totals
+// given. Validation runs before any shard is mutated.
+func (s *Sharded) LoadFrequencies(freqs []int64, adds, removes uint64) error {
+	if len(freqs) != s.m {
+		return fmt.Errorf("%w: %d frequencies for capacity %d", core.ErrBadSnapshot, len(freqs), s.m)
+	}
+	strict := s.shards[0].p.StrictNonNegative()
+	synthAdds := make([]uint64, len(s.shards))
+	synthRemoves := make([]uint64, len(s.shards))
+	var totalAdds, totalRemoves uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for x, f := range freqs[sh.base : sh.base+sh.p.Cap()] {
+			switch {
+			case f > 0:
+				synthAdds[i] += uint64(f)
+			case f < 0:
+				if strict {
+					return fmt.Errorf("%w: object %d has frequency %d", core.ErrNegativeFrequency, sh.base+x, f)
+				}
+				synthRemoves[i] += uint64(-f)
+			}
+		}
+		totalAdds += synthAdds[i]
+		totalRemoves += synthRemoves[i]
+	}
+	// Historical counters can only exceed the minimal ones (extra add/remove
+	// pairs that cancelled out), and must net to the same total.
+	if adds < totalAdds || removes < totalRemoves || adds-totalAdds != removes-totalRemoves {
+		return fmt.Errorf("%w: %d adds - %d removes does not produce the loaded frequencies",
+			core.ErrBadSnapshot, adds, removes)
+	}
+	unlock := s.lockAllWrite()
+	defer unlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		a, r := synthAdds[i], synthRemoves[i]
+		if i == 0 {
+			a += adds - totalAdds
+			r += removes - totalRemoves
+		}
+		if err := sh.p.LoadFrequencies(freqs[sh.base:sh.base+sh.p.Cap()], a, r); err != nil {
+			return err
+		}
+	}
+	return nil
 }

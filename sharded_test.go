@@ -346,3 +346,84 @@ func TestShardedPropertyMatchesReference(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestShardedSnapshotPreservesBookkeeping: the merged snapshot must carry
+// the true adds/removes counters and the strict flag, not just frequencies,
+// so it doubles as a checkpoint image.
+func TestShardedSnapshotPreservesBookkeeping(t *testing.T) {
+	s := sprofile.MustNewSharded(10, 3, sprofile.WithStrictNonNegative())
+	for _, x := range []int{1, 1, 4, 9, 4, 1} {
+		if err := s.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Remove(4); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adds, removes := snap.Events()
+	if adds != 6 || removes != 1 {
+		t.Fatalf("snapshot events = %d/%d, want 6/1", adds, removes)
+	}
+	if !snap.StrictNonNegative() {
+		t.Fatal("snapshot lost the strict flag")
+	}
+	if got, _ := snap.Count(1); got != 3 {
+		t.Fatalf("snapshot Count(1) = %d, want 3", got)
+	}
+	if snapSum, shardedSum := snap.Summarize(), s.Summarize(); snapSum != shardedSum {
+		t.Fatalf("snapshot summary %+v != sharded summary %+v", snapSum, shardedSum)
+	}
+}
+
+// TestShardedLoadFrequencies round-trips Snapshot → LoadFrequencies into a
+// fresh sharded profile with a different shard count.
+func TestShardedLoadFrequencies(t *testing.T) {
+	src := sprofile.MustNewSharded(12, 4)
+	for _, x := range []int{0, 0, 5, 11, 5, 0, 7} {
+		if err := src.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, x := range []int{7, 7} { // drive 7 negative: non-strict history
+		if err := src.Remove(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adds, removes := snap.Events()
+
+	dst := sprofile.MustNewSharded(12, 5)
+	if err := dst.LoadFrequencies(snap.Frequencies(nil), adds, removes); err != nil {
+		t.Fatal(err)
+	}
+	if srcSum, dstSum := src.Summarize(), dst.Summarize(); srcSum != dstSum {
+		t.Fatalf("loaded summary %+v != source summary %+v", dstSum, srcSum)
+	}
+	for x := 0; x < 12; x++ {
+		want, _ := src.Count(x)
+		got, _ := dst.Count(x)
+		if got != want {
+			t.Fatalf("Count(%d) = %d, want %d", x, got, want)
+		}
+	}
+
+	// Inconsistent counters and wrong lengths are rejected.
+	if err := dst.LoadFrequencies(snap.Frequencies(nil), adds+1, removes); err == nil {
+		t.Fatal("inconsistent counters accepted")
+	}
+	if err := dst.LoadFrequencies([]int64{1, 2}, 3, 0); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	// Strict targets reject negative loads before mutating any shard.
+	strict := sprofile.MustNewSharded(12, 3, sprofile.WithStrictNonNegative())
+	if err := strict.LoadFrequencies(snap.Frequencies(nil), adds, removes); err == nil {
+		t.Fatal("negative frequencies loaded into a strict sharded profile")
+	}
+}
