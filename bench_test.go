@@ -390,6 +390,118 @@ func BenchmarkApplyAll(b *testing.B) {
 	}
 }
 
+// BenchmarkApplyDeltas measures the delta-batched ingestion fast path
+// against per-event ApplyAll on a zipf(1.5)-skewed 64k-event batch: hot-key
+// traffic where the same objects repeat many times per batch, which the
+// coalescer folds into one net delta and one block-boundary walk each (the
+// 64k events here touch only a few thousand distinct objects).
+func BenchmarkApplyDeltas(b *testing.B) {
+	const m = 100_000
+	const batchSize = 65_536
+	pos, err := stream.NewZipf(m, 1.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	neg, err := stream.NewZipf(m, 1.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := stream.NewGenerator(stream.Config{
+		M: m, AddProb: stream.DefaultAddProb, PosPDF: pos, NegPDF: neg, Seed: 7, Name: "zipf-1.5",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuples := stream.Take(w, batchSize)
+	b.Run("per-event", func(b *testing.B) {
+		p := sprofile.MustNew(m)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.ApplyAll(tuples); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batchSize, "ns/event")
+	})
+	b.Run("delta-batched", func(b *testing.B) {
+		p := sprofile.MustNew(m)
+		c, err := sprofile.NewCoalescer(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			deltas, err := c.Coalesce(tuples)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.ApplyDeltas(deltas); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batchSize, "ns/event")
+	})
+}
+
+// BenchmarkKeyedApplyBatch measures the keyed batched-resolve path against
+// per-event keyed ingestion from one producer at shards=4 — the
+// configuration whose per-event striping overhead BENCH_keyed.json recorded.
+// The zipf variant is hot-key traffic, where coalescing folds most of the
+// batch away; the uniform variant has almost no repeats, so it shows the
+// overhead the coalescing index costs when it cannot win.
+func BenchmarkKeyedApplyBatch(b *testing.B) {
+	const m = 100_000
+	const shards = 4
+	const batchSize = 1024
+	keys := make([]string, m)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("object-%08d", i)
+	}
+	for _, skew := range []string{"zipf", "uniform"} {
+		var dist stream.Distribution
+		var err error
+		if skew == "zipf" {
+			dist, err = stream.NewZipf(m, 1.5)
+		} else {
+			dist, err = stream.NewUniform(m)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := stream.NewRNG(11)
+		batch := make([]sprofile.KeyedTuple[string], batchSize)
+		for i := range batch {
+			batch[i] = sprofile.KeyedTuple[string]{Key: keys[dist.Sample(rng)], Action: sprofile.ActionAdd}
+		}
+		b.Run(skew+"/per-event", func(b *testing.B) {
+			k := sprofile.MustBuildKeyed[string](m, sprofile.WithSharding(shards))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := k.Add(batch[i%batchSize].Key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(skew+"/batched", func(b *testing.B) {
+			k := sprofile.MustBuildKeyed[string](m, sprofile.WithSharding(shards))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for applied := 0; applied < b.N; applied += batchSize {
+				events := batch
+				if remaining := b.N - applied; remaining < batchSize {
+					events = batch[:remaining]
+				}
+				if _, err := k.ApplyBatch(events); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkKeyedParallel compares the two keyed ingestion paths under
 // parallel producers: the single-mutex wrapper around the serial Keyed (the
 // shape of the HTTP server's hot path before it moved to KeyedConcurrent)

@@ -162,10 +162,18 @@ func WithoutKeyRecycling() BuildOption {
 }
 
 // defaultShards is the shard (and mapper stripe) count BuildKeyed uses when
-// WithSharding is not given: one per CPU, the point where parallel ingestion
-// stops gaining from further splitting.
+// WithSharding is not given: one per unit of real parallelism, the point
+// where parallel ingestion stops gaining from further splitting. The count
+// is min(GOMAXPROCS, NumCPU): splitting beyond either bound buys no
+// parallelism but still pays the per-event striping overhead (PR 2 measured
+// ~100ns/op on one core), so a single-core host — GOMAXPROCS=1, or a
+// quota-limited container where the runtime sees one usable CPU — gets one
+// stripe and one shard and ingests at the unstriped rate.
 func defaultShards() int {
 	n := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c < n {
+		n = c
+	}
 	if n < 1 {
 		n = 1
 	}
@@ -293,6 +301,9 @@ type Durable struct {
 	replayed int
 	stats    RecoveryStats
 	ckpt     *checkpoint.Checkpointer
+	// entries is the reusable WAL batch-record scratch of ApplyDeltas;
+	// guarded by mu.
+	entries []wal.BatchEntry
 }
 
 // NewDurable opens (or creates) the write-ahead log directory at path,
@@ -332,6 +343,26 @@ func newDurable(p Profiler, path string, syncEvery int, policy CheckpointPolicy)
 		x, convErr := strconv.Atoi(rec.Key)
 		if convErr != nil {
 			return fmt.Errorf("sprofile: WAL record key %q is not a dense object id: %w", rec.Key, convErr)
+		}
+		if rec.Batch {
+			dl := Delta{Object: x, Delta: int64(rec.Adds) - int64(rec.Removes), Adds: rec.Adds, Removes: rec.Removes}
+			if du, ok := p.(DeltaUpdater); ok {
+				return du.ApplyDelta(dl)
+			}
+			// Batch records are only journaled through the DeltaUpdater fast
+			// path, so this expansion runs only when a log is reopened with a
+			// profiler weaker than the one that wrote it.
+			for i := uint64(0); i < rec.Adds; i++ {
+				if err := p.Add(x); err != nil {
+					return err
+				}
+			}
+			for i := uint64(0); i < rec.Removes; i++ {
+				if err := p.Remove(x); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
 		return p.Apply(Tuple{Object: x, Action: rec.Action})
 	})
@@ -438,6 +469,121 @@ func (d *Durable) update(x int, a Action) error {
 	// The WithWALSyncEvery fsync runs outside the update mutex (group
 	// commit), so concurrent producers keep appending while the disk works.
 	return d.store.Sync()
+}
+
+// AddN raises the frequency of object x by k in one step and journals the
+// coalesced event count.
+func (d *Durable) AddN(x int, k int64) error {
+	if k < 0 {
+		return fmt.Errorf("sprofile: negative add count %d for object %d", k, x)
+	}
+	return d.ApplyDelta(Delta{Object: x, Delta: k})
+}
+
+// RemoveN lowers the frequency of object x by k in one step and journals the
+// coalesced event count.
+func (d *Durable) RemoveN(x int, k int64) error {
+	if k < 0 {
+		return fmt.Errorf("sprofile: negative remove count %d for object %d", k, x)
+	}
+	return d.ApplyDelta(Delta{Object: x, Delta: -k})
+}
+
+// ApplyDelta applies one coalesced delta and journals it as a one-entry
+// batch record, syncing per the WithWALSyncEvery contract.
+func (d *Durable) ApplyDelta(dl Delta) error {
+	if dl.Object < 0 || dl.Object >= d.inner.Cap() {
+		// Checked here so a no-op delta rejects bad ids exactly like the
+		// other DeltaUpdater implementations.
+		return fmt.Errorf("%w: id %d, capacity %d", ErrObjectRange, dl.Object, d.inner.Cap())
+	}
+	adds, removes := dl.Gross()
+	if adds == 0 && removes == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	err := d.applyDeltaLocked(dl)
+	var syncDue bool
+	if err == nil {
+		d.entries = append(d.entries[:0], wal.BatchEntry{Key: strconv.Itoa(dl.Object), Adds: adds, Removes: removes})
+		syncDue, err = d.store.AppendBatch(d.entries)
+	}
+	d.mu.Unlock()
+	if err != nil || !syncDue {
+		return err
+	}
+	return d.store.Sync()
+}
+
+// applyDeltaLocked applies one delta to the inner profiler; the caller holds
+// d.mu. A profiler without the DeltaUpdater capability (a window adapter,
+// which must observe every individual tuple to expire it later) is rejected
+// rather than silently expanded: a coalesced delta has already lost the
+// intra-batch order a window's ring depends on.
+func (d *Durable) applyDeltaLocked(dl Delta) error {
+	du, ok := d.inner.(DeltaUpdater)
+	if !ok {
+		return fmt.Errorf("%w: %T cannot apply coalesced deltas; use the per-event Apply path", ErrBuildConfig, d.inner)
+	}
+	return du.ApplyDelta(dl)
+}
+
+// ApplyDeltas applies a coalesced batch, stopping at the first error, and
+// journals the applied prefix as ONE physical write-ahead-log record
+// (batches beyond the log's 2^26-entry frame limit span several records,
+// each atomic on its own; see wal.Dir.AppendBatch) followed by ONE
+// group-commit fsync — the whole point of the bulk path: a 64k-event batch
+// that coalesces to a few thousand deltas costs a few thousand block walks,
+// one log write and one fsync, instead of 64k of each. It returns the
+// number of deltas applied.
+//
+// Deltas are applied one at a time rather than through the inner profiler's
+// own ApplyDeltas: a sharded inner applies a failing batch shard by shard
+// (not as a prefix), and the journal must record exactly what was applied.
+// The per-delta shard locks this costs are uncontended noise next to the
+// fsync; the update mutex serialises durable updates regardless.
+func (d *Durable) ApplyDeltas(deltas []Delta) (int, error) {
+	d.mu.Lock()
+	n := 0
+	var applyErr error
+	d.entries = d.entries[:0]
+	for i := range deltas {
+		dl := deltas[i]
+		if dl.Object < 0 || dl.Object >= d.inner.Cap() {
+			// Range-checked before the no-op skip, matching ApplyDelta and
+			// the other DeltaUpdater implementations.
+			applyErr = fmt.Errorf("%w: id %d, capacity %d", ErrObjectRange, dl.Object, d.inner.Cap())
+			break
+		}
+		adds, removes := dl.Gross()
+		if adds == 0 && removes == 0 {
+			n++
+			continue
+		}
+		if applyErr = d.applyDeltaLocked(dl); applyErr != nil {
+			break
+		}
+		n++
+		d.entries = append(d.entries, wal.BatchEntry{Key: strconv.Itoa(dl.Object), Adds: adds, Removes: removes})
+	}
+	var journalErr error
+	if len(d.entries) > 0 {
+		_, journalErr = d.store.AppendBatch(d.entries)
+	}
+	d.mu.Unlock()
+	if journalErr != nil {
+		if syncErr := d.store.Sync(); syncErr != nil {
+			return n, fmt.Errorf("sprofile: %d deltas applied but none journaled: %w (and WAL sync failed: %v)", n, journalErr, syncErr)
+		}
+		return n, fmt.Errorf("sprofile: %d deltas applied but none journaled: %w", n, journalErr)
+	}
+	if err := d.store.Sync(); err != nil {
+		if applyErr != nil {
+			return n, fmt.Errorf("sprofile: deltas applied but WAL sync failed: %v (batch stopped early: %w)", err, applyErr)
+		}
+		return n, fmt.Errorf("sprofile: deltas applied but WAL sync failed: %w", err)
+	}
+	return n, applyErr
 }
 
 // Apply applies one log tuple and journals it.

@@ -16,6 +16,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	// Registers the profiling handlers on http.DefaultServeMux, which only
+	// the optional -pprof listener serves; the API mux stays clean.
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,8 +38,20 @@ func main() {
 		walSync   = fs.Int("wal-sync-every", 0, "fsync the WAL after this many events (0 = once per batch)")
 		ckptEvery = fs.Duration("checkpoint-every", 0, "snapshot the profile and truncate the WAL on this cadence (0 = disabled; requires -wal)")
 		ckptBytes = fs.Int64("checkpoint-bytes", 0, "additionally checkpoint once the WAL tail exceeds this many bytes (0 = disabled; requires -wal)")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) on a listener separate from the API, so hot-path regressions can be profiled in production; empty disables")
 	)
 	fs.Parse(os.Args[1:])
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("sprofiled: pprof listening on %s", *pprofAddr)
+			// DefaultServeMux carries only the net/http/pprof handlers; a
+			// failure here (port in use, say) must not take the API down.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("sprofiled: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	srv, err := server.New(server.Config{
 		Capacity:        *capacity,

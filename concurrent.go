@@ -70,6 +70,37 @@ func (c *Concurrent) ApplyAll(tuples []Tuple) (int, error) {
 	return c.p.ApplyAll(tuples)
 }
 
+// AddN raises the frequency of object x by k in one step under one lock
+// acquisition.
+func (c *Concurrent) AddN(x int, k int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.p.AddN(x, k)
+}
+
+// RemoveN lowers the frequency of object x by k in one step under one lock
+// acquisition.
+func (c *Concurrent) RemoveN(x int, k int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.p.RemoveN(x, k)
+}
+
+// ApplyDelta applies one coalesced delta.
+func (c *Concurrent) ApplyDelta(d Delta) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.p.ApplyDelta(d)
+}
+
+// ApplyDeltas applies a coalesced batch, holding the write lock once for the
+// whole batch; it returns the number of deltas applied and the first error.
+func (c *Concurrent) ApplyDeltas(deltas []Delta) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.p.ApplyDeltas(deltas)
+}
+
 // Count returns the current frequency of object x.
 func (c *Concurrent) Count(x int) (int64, error) {
 	c.mu.RLock()

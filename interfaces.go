@@ -84,6 +84,34 @@ type Snapshotter interface {
 	Snapshot() (*Profile, error)
 }
 
+// DeltaUpdater is the optional capability of applying coalesced batches:
+// moving an object by a net delta in one block-boundary walk (cost O(blocks
+// crossed) instead of O(|delta|) repeated single steps) and applying a whole
+// []Delta batch at once. It is the ingestion fast path for skewed traffic,
+// where the same hot objects repeat many times per batch: coalesce the batch
+// with a Coalescer, then hand the net deltas to ApplyDeltas.
+//
+// Strict-mode semantics differ from the per-event path in one documented
+// way: the non-negativity check applies to each delta's net result, so a
+// batch whose net effect is valid succeeds even if some per-event
+// interleaving of it would have failed mid-way. *Profile, *Concurrent,
+// *Sharded and *Durable satisfy the capability; the window adapters do not
+// (a window must observe every individual tuple to expire it later).
+type DeltaUpdater interface {
+	// AddN raises the frequency of object x by k (k >= 0) in one step.
+	AddN(x int, k int64) error
+	// RemoveN lowers the frequency of object x by k (k >= 0) in one step;
+	// strict profiles reject a net-negative result.
+	RemoveN(x int, k int64) error
+	// ApplyDelta applies one coalesced delta, preserving the gross
+	// adds/removes counters it records.
+	ApplyDelta(d Delta) error
+	// ApplyDeltas applies a coalesced batch and reports how many deltas were
+	// applied. Implementations may partition the batch across their lock
+	// domains; see each implementation for its error semantics.
+	ApplyDeltas(deltas []Delta) (int, error)
+}
+
 // FrequencyLoader is the optional capability of replacing a profile's whole
 // state in one O(m log m) operation: object x ends at frequency freqs[x] and
 // the adds/removes counters at the given historical totals. It is the
@@ -165,6 +193,11 @@ var (
 	_ FrequencyLoader = (*Profile)(nil)
 	_ FrequencyLoader = (*Concurrent)(nil)
 	_ FrequencyLoader = (*Sharded)(nil)
+
+	_ DeltaUpdater = (*Profile)(nil)
+	_ DeltaUpdater = (*Concurrent)(nil)
+	_ DeltaUpdater = (*Sharded)(nil)
+	_ DeltaUpdater = (*Durable)(nil)
 
 	_ KeyedProfiler[string] = (*Keyed[string])(nil)
 	_ KeyedProfiler[string] = (*KeyedConcurrent[string])(nil)

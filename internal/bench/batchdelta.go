@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sprofile"
+	"sprofile/internal/stream"
+)
+
+// The batch-delta experiment's methods: the per-event ingest path (one block
+// operation, and for keyed profiles one stripe lock plus one map lookup, per
+// event) against the delta-batched fast path (coalesce each batch into net
+// per-object deltas, then one block-boundary walk per distinct object — and
+// for keyed profiles one stripe-lock acquisition per stripe per batch).
+const (
+	MethodPerEvent      Method = "per-event"
+	MethodDeltaBatched  Method = "delta-batched"
+	MethodKeyedPerEvent Method = "keyed-per-event"
+	MethodKeyedBatched  Method = "keyed-batched"
+)
+
+// batchDeltaSizes is the batch-size sweep: a small producer buffer, a
+// typical HTTP batch, and a bulk-load chunk.
+var batchDeltaSizes = []int{64, 1024, 65536}
+
+// batchSizesFor clamps the sweep to the stream length.
+func batchSizesFor(n int) []int {
+	var out []int
+	for _, s := range batchDeltaSizes {
+		if s <= n {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{n}
+	}
+	return out
+}
+
+// batchDeltaZipfS is the exponent of the skewed panel: hot-key traffic
+// where the head of the popularity curve dominates each batch (a 64k-draw
+// batch over 100k objects touches only a few thousand distinct objects), the
+// regime the coalescer exists for. The uniform panel is the opposite
+// extreme — almost no repeats, so it bounds the overhead coalescing costs
+// when it cannot win.
+const batchDeltaZipfS = 1.5
+
+// batchDeltaStream materialises the n-tuple dense workload of one skew.
+func batchDeltaStream(skew string, m, n int, seed uint64) ([]sprofile.Tuple, error) {
+	var (
+		pos, neg stream.Distribution
+		err      error
+	)
+	if skew == "zipf" {
+		if pos, err = stream.NewZipf(m, batchDeltaZipfS); err != nil {
+			return nil, err
+		}
+		if neg, err = stream.NewZipf(m, batchDeltaZipfS); err != nil {
+			return nil, err
+		}
+	} else {
+		if pos, err = stream.NewUniform(m); err != nil {
+			return nil, err
+		}
+		if neg, err = stream.NewUniform(m); err != nil {
+			return nil, err
+		}
+	}
+	w, err := stream.NewGenerator(stream.Config{
+		M: m, AddProb: stream.DefaultAddProb, PosPDF: pos, NegPDF: neg, Seed: seed, Name: skew,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return stream.Take(w, n), nil
+}
+
+// measureDenseBatch ingests the tuple stream in batches of the given size
+// through one method and returns the wall-clock seconds. Construction is
+// included, mirroring Measure's protocol.
+func measureDenseBatch(method Method, m, batch int, tuples []sprofile.Tuple) (float64, error) {
+	start := time.Now()
+	p, err := sprofile.New(m)
+	if err != nil {
+		return 0, err
+	}
+	switch method {
+	case MethodPerEvent:
+		for i := 0; i < len(tuples); i += batch {
+			end := min(i+batch, len(tuples))
+			if _, err := p.ApplyAll(tuples[i:end]); err != nil {
+				return 0, err
+			}
+		}
+	case MethodDeltaBatched:
+		c, err := sprofile.NewCoalescer(m)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < len(tuples); i += batch {
+			end := min(i+batch, len(tuples))
+			deltas, err := c.Coalesce(tuples[i:end])
+			if err != nil {
+				return 0, err
+			}
+			if _, err := p.ApplyDeltas(deltas); err != nil {
+				return 0, err
+			}
+		}
+	default:
+		return 0, fmt.Errorf("bench: unknown dense batch method %q", method)
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// measureKeyedBatch ingests n keyed add events drawn from dist, in batches
+// of the given size, through the full key→id→profile pipeline at the given
+// shard count, from a single producer (the per-core cost both methods pay).
+func measureKeyedBatch(method Method, m, shards, batch, n int, keys []string, dist stream.Distribution, seed uint64) (float64, error) {
+	start := time.Now()
+	k, err := sprofile.BuildKeyed[string](m, sprofile.WithSharding(shards))
+	if err != nil {
+		return 0, err
+	}
+	rng := stream.NewRNG(seed)
+	switch method {
+	case MethodKeyedPerEvent:
+		for i := 0; i < n; i++ {
+			if err := k.Add(keys[dist.Sample(rng)]); err != nil {
+				return 0, err
+			}
+		}
+	case MethodKeyedBatched:
+		buf := make([]sprofile.KeyedTuple[string], 0, batch)
+		for done := 0; done < n; {
+			size := min(batch, n-done)
+			buf = buf[:0]
+			for j := 0; j < size; j++ {
+				buf = append(buf, sprofile.KeyedTuple[string]{Key: keys[dist.Sample(rng)], Action: sprofile.ActionAdd})
+			}
+			if _, err := k.ApplyBatch(buf); err != nil {
+				return 0, err
+			}
+			done += size
+		}
+	default:
+		return 0, fmt.Errorf("bench: unknown keyed batch method %q", method)
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// BatchDelta measures the delta-batched ingestion fast path against the
+// per-event path as a function of batch size: two dense panels (zipf-skewed
+// traffic, where hot objects coalesce heavily, and uniform traffic, the
+// worst case for coalescing) plus a keyed panel at shards=4, where the
+// batched resolve amortises the striping overhead BENCH_keyed.json recorded.
+func BatchDelta(scale Scale) ([]*Result, error) {
+	n := scale.Figure4N
+	m := scale.Figure6M
+	sizes := batchSizesFor(n)
+	var out []*Result
+
+	for _, skew := range []string{"zipf", "uniform"} {
+		tuples, err := batchDeltaStream(skew, m, n, scale.Seed)
+		if err != nil {
+			return nil, err
+		}
+		methods := []Method{MethodPerEvent, MethodDeltaBatched}
+		res := &Result{
+			ID:      "batch-delta-" + skew,
+			Title:   fmt.Sprintf("delta-batched vs per-event dense ingestion, %s stream, n=%d, m=%d", skew, n, m),
+			XLabel:  "batch size",
+			Methods: methods,
+		}
+		for _, batch := range sizes {
+			point := Point{X: int64(batch), Seconds: make(map[Method]float64, len(methods))}
+			for _, method := range methods {
+				secs, err := measureDenseBatch(method, m, batch, tuples)
+				if err != nil {
+					return nil, fmt.Errorf("batch-delta-%s: batch=%d method=%s: %w", skew, batch, method, err)
+				}
+				point.Seconds[method] = secs
+			}
+			res.Points = append(res.Points, point)
+		}
+		sortPoints(res.Points)
+		out = append(out, res)
+	}
+
+	keys := make([]string, m)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("object-%08d", i)
+	}
+	shards := min(4, m)
+	methods := []Method{MethodKeyedPerEvent, MethodKeyedBatched}
+	for _, skew := range []string{"zipf", "uniform"} {
+		var (
+			dist stream.Distribution
+			err  error
+		)
+		if skew == "zipf" {
+			dist, err = stream.NewZipf(m, batchDeltaZipfS)
+		} else {
+			dist, err = stream.NewUniform(m)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{
+			ID:      "batch-delta-keyed-" + skew,
+			Title:   fmt.Sprintf("batched vs per-event keyed ingestion, %s keys, shards=%d, n=%d, m=%d, 1 producer", skew, shards, n, m),
+			XLabel:  "batch size",
+			Methods: methods,
+		}
+		// The per-event path never sees the batch size, so its baseline is
+		// measured once per skew and reused across the sweep.
+		perEventSecs := -1.0
+		for _, batch := range sizes {
+			point := Point{X: int64(batch), Seconds: make(map[Method]float64, len(methods))}
+			for _, method := range methods {
+				if method == MethodKeyedPerEvent && perEventSecs >= 0 {
+					point.Seconds[method] = perEventSecs
+					continue
+				}
+				secs, err := measureKeyedBatch(method, m, shards, batch, n, keys, dist, scale.Seed)
+				if err != nil {
+					return nil, fmt.Errorf("batch-delta-keyed-%s: batch=%d method=%s: %w", skew, batch, method, err)
+				}
+				if method == MethodKeyedPerEvent {
+					perEventSecs = secs
+				}
+				point.Seconds[method] = secs
+			}
+			res.Points = append(res.Points, point)
+		}
+		sortPoints(res.Points)
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -283,8 +283,17 @@ func (s *Store) Append(rec wal.Record) (syncDue bool, err error) {
 	return s.log.Append(rec)
 }
 
+// AppendBatch adds a whole coalesced batch to the log as one physical
+// record; see wal.Dir.AppendBatch.
+func (s *Store) AppendBatch(entries []wal.BatchEntry) (syncDue bool, err error) {
+	return s.log.AppendBatch(entries)
+}
+
 // Appended returns the number of records appended through this store.
 func (s *Store) Appended() uint64 { return s.log.Appended() }
+
+// Fsyncs returns how many record-durability fsyncs the log has issued.
+func (s *Store) Fsyncs() uint64 { return s.log.Fsyncs() }
 
 // Sync makes every appended record durable (group commit; see wal.Dir.Sync).
 func (s *Store) Sync() error { return s.log.Sync() }

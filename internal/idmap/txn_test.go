@@ -1,0 +1,111 @@
+package idmap
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestBatchFuncResolvesUnderOneLock(t *testing.T) {
+	s := MustNewStriped[string](8, 2)
+	keys := []string{"a", "b", "c", "d"}
+	// Group keys by stripe the way a batching caller would.
+	groups := make(map[int][]string)
+	for _, key := range keys {
+		si := s.StripeOf(key)
+		groups[si] = append(groups[si], key)
+	}
+	ids := map[string]int{}
+	for si, group := range groups {
+		err := s.BatchFunc(si, func(txn StripeTxn[string]) error {
+			for _, key := range group {
+				if _, ok := txn.Get(key); ok {
+					t.Errorf("key %s mapped before acquisition", key)
+				}
+				id, isNew, err := txn.Acquire(key, nil)
+				if err != nil || !isNew {
+					return err
+				}
+				ids[key] = id
+				// A second acquisition inside the same txn is a lookup.
+				again, isNew2, err := txn.Acquire(key, nil)
+				if err != nil || isNew2 || again != id {
+					t.Errorf("re-acquire of %s: id %d->%d isNew=%v err=%v", key, id, again, isNew2, err)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != len(keys) {
+		t.Fatalf("mapped %d keys, want %d", s.Len(), len(keys))
+	}
+	for _, key := range keys {
+		id, err := s.DenseID(key)
+		if err != nil || id != ids[key] {
+			t.Fatalf("key %s resolves to %d (%v), txn assigned %d", key, id, err, ids[key])
+		}
+	}
+}
+
+func TestBatchFuncRollback(t *testing.T) {
+	s := MustNewStriped[string](4, 1)
+	err := s.BatchFunc(0, func(txn StripeTxn[string]) error {
+		id, isNew, err := txn.Acquire("doomed", nil)
+		if err != nil || !isNew {
+			t.Fatalf("acquire: id=%d isNew=%v err=%v", id, isNew, err)
+		}
+		txn.Rollback("doomed", id)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("rollback left %d keys mapped", s.Len())
+	}
+	if s.Contains("doomed") {
+		t.Fatal("rolled-back key still mapped")
+	}
+	// The freed id must be reusable.
+	for i := 0; i < 4; i++ {
+		if _, _, err := s.Acquire(string(rune('a' + i))); err != nil {
+			t.Fatalf("acquire after rollback: %v", err)
+		}
+	}
+}
+
+func TestBatchFuncEviction(t *testing.T) {
+	s := MustNewStriped[string](2, 1)
+	for _, key := range []string{"idle", "busy"} {
+		if _, _, err := s.Acquire(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evict := func(stripe int) (string, bool) { return "idle", true }
+	err := s.BatchFunc(0, func(txn StripeTxn[string]) error {
+		id, isNew, err := txn.Acquire("fresh", evict)
+		if err != nil || !isNew {
+			t.Fatalf("evicting acquire: id=%d isNew=%v err=%v", id, isNew, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains("idle") {
+		t.Fatal("victim still mapped")
+	}
+	if !s.Contains("fresh") || !s.Contains("busy") {
+		t.Fatal("survivor set wrong")
+	}
+	// With no evictable key the stripe reports ErrFull.
+	err = s.BatchFunc(0, func(txn StripeTxn[string]) error {
+		_, _, err := txn.Acquire("overflow", nil)
+		return err
+	})
+	if !errors.Is(err, ErrFull) {
+		t.Fatalf("full stripe: %v", err)
+	}
+}

@@ -8,6 +8,7 @@
 // The API is deliberately small and JSON-only:
 //
 //	POST /v1/events              one event or a batch of events
+//	POST /v1/events/bulk         NDJSON stream of events (batch fast path)
 //	POST /v1/admin/checkpoint    snapshot the profile and truncate the WAL
 //	GET  /v1/stats/mode          most frequent object
 //	GET  /v1/stats/top?k=10      top-K objects
@@ -31,6 +32,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"errors"
@@ -38,9 +40,11 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"sprofile"
+	"sprofile/internal/wal"
 )
 
 // Config parameterises a Server.
@@ -148,6 +152,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) routes() {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/events", s.handleEvents)
+	s.mux.HandleFunc("/v1/events/bulk", s.handleBulk)
 	s.mux.HandleFunc("/v1/admin/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("/v1/stats/mode", s.handleMode)
 	s.mux.HandleFunc("/v1/stats/top", s.handleTop)
@@ -291,8 +296,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	applied := 0
 	for _, e := range events {
-		if e.Object == "" {
-			writeJSON(w, http.StatusBadRequest, eventsResponse{Applied: applied, Error: "event with empty object"})
+		if err := checkObject(e.Object); err != nil {
+			writeJSON(w, http.StatusBadRequest, eventsResponse{Applied: applied, Error: err.Error()})
 			return
 		}
 		action, err := parseAction(e.Action)
@@ -326,6 +331,131 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, eventsResponse{Applied: applied})
+}
+
+// bulkScratch is the pooled per-request buffer set of the bulk endpoint:
+// the line scanner's initial buffer and the event chunk handed to
+// ApplyBatch. Pooling keeps the streaming decode free of per-event
+// allocations (the decoded key strings themselves are the only per-event
+// cost, and only new keys are retained by the profile).
+type bulkScratch struct {
+	line   []byte
+	events []sprofile.KeyedTuple[string]
+}
+
+var bulkPool = sync.Pool{
+	New: func() any { return &bulkScratch{line: make([]byte, 64<<10)} },
+}
+
+// maxBulkLine bounds one NDJSON line. It is deliberately larger than the
+// per-object limit so an oversized key is reported as a per-line 400 (with
+// its line number) instead of an opaque scanner failure; checkObject
+// enforces the real bound.
+const maxBulkLine = 4 << 20
+
+// checkObject rejects object keys the write-ahead log could not journal —
+// appending one would fail after the in-memory update and report a
+// divergence, so the front door refuses it outright (whether or not a WAL
+// is configured, for consistency).
+func checkObject(object string) error {
+	if object == "" {
+		return fmt.Errorf("event with empty object")
+	}
+	if len(object) > wal.MaxKeyLen {
+		return fmt.Errorf("object of %d bytes exceeds the %d-byte limit", len(object), wal.MaxKeyLen)
+	}
+	return nil
+}
+
+// handleBulk ingests an NDJSON stream — one {"object", "action"} event per
+// line — through the profile's delta-batched fast path: events are decoded
+// into chunks of at most MaxBatch, each chunk is coalesced into net
+// per-key deltas, applied with one stripe-lock acquisition per stripe and
+// one block walk per distinct key, and (with a WAL) journaled as one batch
+// record per stripe with one group-commit fsync per chunk. Blank lines are
+// skipped. The response reports how many events were applied; on a decode
+// error it also names the failing line. A bad line rejects its own pending
+// chunk (those events are never applied), while chunks flushed earlier in
+// the stream stay applied — the Applied count is always accurate.
+func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	sc := bulkPool.Get().(*bulkScratch)
+	defer func() {
+		// Zero the full backing array, not just the live prefix — flush()
+		// truncates after each chunk, so the pooled capacity would otherwise
+		// keep pinning the last flushed chunk's key strings.
+		clear(sc.events[:cap(sc.events)])
+		sc.events = sc.events[:0]
+		bulkPool.Put(sc)
+	}()
+	scanner := bufio.NewScanner(r.Body)
+	scanner.Buffer(sc.line, maxBulkLine)
+
+	applied := 0
+	lineNo := 0
+	flush := func() error {
+		n, err := s.profile.ApplyBatch(sc.events)
+		applied += n
+		sc.events = sc.events[:0]
+		return err
+	}
+	fail := func(status int, format string, args ...any) {
+		writeJSON(w, status, eventsResponse{Applied: applied, Error: fmt.Sprintf(format, args...)})
+	}
+	for scanner.Scan() {
+		lineNo++
+		data := bytes.TrimSpace(scanner.Bytes())
+		if len(data) == 0 {
+			continue
+		}
+		var e Event
+		if err := strictDecode(data, &e); err != nil {
+			fail(http.StatusBadRequest, "line %d: %v", lineNo, err)
+			return
+		}
+		if err := checkObject(e.Object); err != nil {
+			fail(http.StatusBadRequest, "line %d: %v", lineNo, err)
+			return
+		}
+		action, err := parseAction(e.Action)
+		if err != nil {
+			fail(http.StatusBadRequest, "line %d: %v", lineNo, err)
+			return
+		}
+		sc.events = append(sc.events, sprofile.KeyedTuple[string]{Key: e.Object, Action: action})
+		if len(sc.events) >= s.maxBatch {
+			if err := flush(); err != nil {
+				s.writeBulkApplyError(w, applied, err)
+				return
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		// Apply nothing further: the partial chunk may be mid-stream garbage.
+		fail(http.StatusBadRequest, "reading stream at line %d: %v", lineNo, err)
+		return
+	}
+	if err := flush(); err != nil {
+		s.writeBulkApplyError(w, applied, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, eventsResponse{Applied: applied})
+}
+
+// writeBulkApplyError maps an ApplyBatch failure onto the same statuses the
+// per-event endpoint uses.
+func (s *Server) writeBulkApplyError(w http.ResponseWriter, applied int, err error) {
+	status := http.StatusUnprocessableEntity
+	switch {
+	case errors.Is(err, sprofile.ErrWALAppend):
+		status = http.StatusInternalServerError
+	case errors.Is(err, sprofile.ErrKeyedFull):
+		status = http.StatusInsufficientStorage
+	}
+	writeJSON(w, status, eventsResponse{Applied: applied, Error: err.Error()})
 }
 
 func (s *Server) handleMode(w http.ResponseWriter, r *http.Request) {

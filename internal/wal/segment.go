@@ -193,8 +193,9 @@ func ReplaySegment(path string, tolerateTorn bool, fn func(Record) error) (int, 
 		return 0, err
 	}
 	replayed := 0
+	var scratch []Record
 	for {
-		rec, err := readRecord(br)
+		recs, err := readPhysicalRecord(br, scratch, true)
 		if errors.Is(err, io.EOF) {
 			return replayed, nil
 		}
@@ -207,10 +208,13 @@ func ReplaySegment(path string, tolerateTorn bool, fn func(Record) error) (int, 
 		if err != nil {
 			return replayed, fmt.Errorf("%s: %w", path, err)
 		}
-		if err := fn(rec); err != nil {
-			return replayed, err
+		scratch = recs
+		for _, rec := range recs {
+			if err := fn(rec); err != nil {
+				return replayed, err
+			}
+			replayed++
 		}
-		replayed++
 	}
 }
 
@@ -267,15 +271,16 @@ func scanValidEnd(f *os.File) (validEnd int64, err error) {
 		return 0, err
 	}
 	validEnd = cr.n - int64(br.Buffered())
+	var scratch []Record
 	for {
-		rec, err := readRecord(br)
+		recs, err := readPhysicalRecord(br, scratch, true)
 		if errors.Is(err, io.EOF) || errors.Is(err, errTornTail) {
 			return validEnd, nil
 		}
 		if err != nil {
 			return validEnd, err
 		}
-		_ = rec
+		scratch = recs
 		validEnd = cr.n - int64(br.Buffered())
 	}
 }
@@ -306,6 +311,10 @@ type Dir struct {
 	// fsync; a Sync whose records are already covered returns without
 	// touching the disk.
 	synced atomic.Uint64
+	// fsyncs counts the fsyncs actually issued for record durability (Sync,
+	// Rotate, Close) — the observable behind the one-fsync-per-batch
+	// group-commit contract.
+	fsyncs atomic.Uint64
 }
 
 // OpenDir opens the append head of a segment directory. When tail is
@@ -423,6 +432,51 @@ func (d *Dir) Append(rec Record) (syncDue bool, err error) {
 	return false, nil
 }
 
+// AppendBatch adds a whole coalesced batch to the current segment as one
+// physical record under one acquisition of the append mutex. Replay treats
+// each record atomically: either every entry is recovered or — after a
+// crash that tears it — none. A batch larger than the frame's entry-count
+// limit spans several records (still under the one mutex hold), so no write
+// can ever produce a record the read side would reject as corrupt. syncDue
+// follows the Append contract, counting each entry as one record against
+// the SyncEvery threshold.
+func (d *Dir) AppendBatch(entries []BatchEntry) (syncDue bool, err error) {
+	if len(entries) == 0 {
+		return false, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false, ErrClosed
+	}
+	for rest := entries; len(rest) > 0; {
+		chunk := rest
+		if len(chunk) > maxBatchEntries {
+			chunk = rest[:maxBatchEntries]
+		}
+		n, err := appendBatchRecord(d.w, chunk)
+		if err != nil {
+			return false, err
+		}
+		d.bytes += int64(n)
+		rest = rest[len(chunk):]
+	}
+	d.appended += uint64(len(entries))
+	if d.opts.SyncEvery > 0 {
+		d.sinceSync += len(entries)
+		if d.sinceSync >= d.opts.SyncEvery {
+			d.sinceSync = 0
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Fsyncs returns how many record-durability fsyncs this handle has issued.
+// Group commit keeps it far below the number of Sync calls under load; tests
+// use it to pin the one-fsync-per-batch contract.
+func (d *Dir) Fsyncs() uint64 { return d.fsyncs.Load() }
+
 // Appended returns the number of records appended through this handle.
 func (d *Dir) Appended() uint64 {
 	d.mu.Lock()
@@ -478,6 +532,7 @@ func (d *Dir) Sync() error {
 	if err := f.Sync(); err != nil {
 		return err
 	}
+	d.fsyncs.Add(1)
 	if d.synced.Load() < target {
 		d.synced.Store(target)
 	}
@@ -502,6 +557,7 @@ func (d *Dir) Rotate(newSnapSeq uint64) (uint64, error) {
 	if err := d.f.Sync(); err != nil {
 		return 0, err
 	}
+	d.fsyncs.Add(1)
 	sealed := d.segID
 	nf, err := createSegment(d.dir, sealed+1, newSnapSeq)
 	if err != nil {
@@ -566,6 +622,7 @@ func (d *Dir) Close() error {
 		d.f.Close()
 		return err
 	}
+	d.fsyncs.Add(1)
 	// Everything appended is durable; advance the watermark so a Sync that
 	// raced past the closed check returns success instead of fsyncing the
 	// closed fd and reporting a spurious failure.

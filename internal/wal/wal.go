@@ -11,6 +11,19 @@
 //	          key     keyLen bytes (UTF-8)
 //	          action  1 byte: 0 = add, 1 = remove
 //
+// A leading keyLen of zero — invalid as a single-event record — marks the
+// batch framing the delta-batched ingestion path appends: one physical
+// record carrying a whole coalesced batch, replayed atomically (a record
+// torn mid-batch is dropped whole):
+//
+//	batch   0 uvarint (marker)
+//	        count   uvarint
+//	        entry   repeated count times:
+//	          keyLen  uvarint (> 0)
+//	          key     keyLen bytes (UTF-8)
+//	          adds    uvarint  gross add events coalesced for the key
+//	          removes uvarint  gross remove events coalesced for the key
+//
 // Two containers carry that record stream:
 //
 //   - Log is the legacy layout: one unbounded file with an "SWL1" magic
@@ -48,10 +61,23 @@ var ErrClosed = errors.New("wal: log is closed")
 
 var fileMagic = [4]byte{'S', 'W', 'L', '1'}
 
-// Record is one durable event: a string object key and an action.
+// Record is one durable event: a string object key and an action. Records
+// decoded from a batch frame instead carry the coalesced gross counts: Batch
+// is set, Adds-Removes is the net frequency delta, and Action is meaningless.
 type Record struct {
-	Key    string
-	Action core.Action
+	Key     string
+	Action  core.Action
+	Batch   bool
+	Adds    uint64
+	Removes uint64
+}
+
+// BatchEntry is one coalesced (key, gross adds, gross removes) element of a
+// batch record. At least one of the counts must be nonzero; a pair of equal
+// counts is a valid record of events that cancelled out.
+type BatchEntry struct {
+	Key           string
+	Adds, Removes uint64
 }
 
 // Options configures a Log.
@@ -109,9 +135,13 @@ func Open(path string, opts Options) (*Log, error) {
 	return &Log{f: f, w: bufio.NewWriter(f), opts: opts}, nil
 }
 
-// maxKeyLen bounds the key length a record may carry; longer lengths in a
-// file indicate corruption rather than a legitimate record.
-const maxKeyLen = 1 << 20
+// MaxKeyLen bounds the key length a record may carry, enforced on BOTH
+// sides of the log: the append paths reject longer keys (journaling one
+// would poison the log — every later replay would abort on it), and the
+// read paths treat longer lengths in a file as corruption rather than a
+// legitimate record. Ingest front ends should reject longer keys before
+// applying them anywhere.
+const MaxKeyLen = 1 << 20
 
 // errTornTail is the internal sentinel for a record cut short by a crash at
 // the end of a file; replay paths translate it into a clean stop.
@@ -122,6 +152,9 @@ var errTornTail = errors.New("wal: torn record at tail")
 func appendRecord(w *bufio.Writer, rec Record) (int, error) {
 	if rec.Key == "" {
 		return 0, errors.New("wal: empty key")
+	}
+	if len(rec.Key) > MaxKeyLen {
+		return 0, fmt.Errorf("wal: key of %d bytes exceeds the %d-byte record limit", len(rec.Key), MaxKeyLen)
 	}
 	if !rec.Action.Valid() {
 		return 0, fmt.Errorf("wal: invalid action %d", rec.Action)
@@ -144,37 +177,109 @@ func appendRecord(w *bufio.Writer, rec Record) (int, error) {
 	return n + len(rec.Key) + 1, nil
 }
 
-// readRecord decodes one record from br. io.EOF marks a clean end of the
-// stream, errTornTail a record cut short by a crash; any other failure wraps
-// ErrCorrupt.
-func readRecord(br *bufio.Reader) (Record, error) {
-	keyLen, err := binary.ReadUvarint(br)
+// maxBatchEntries bounds how many entries one batch record may carry; larger
+// counts in a file indicate corruption rather than a legitimate record.
+const maxBatchEntries = 1 << 26
+
+// readUvarintTorn reads a uvarint, translating any end-of-file — even a
+// clean one, since the caller knows it sits mid-record — into errTornTail.
+func readUvarintTorn(br *bufio.Reader) (uint64, error) {
+	v, err := binary.ReadUvarint(br)
 	if err != nil {
-		if errors.Is(err, io.EOF) {
-			return Record{}, io.EOF
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, errTornTail
 		}
-		// A varint cut short by a crash reads as unexpected EOF.
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return Record{}, errTornTail
-		}
-		return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	if keyLen == 0 || keyLen > maxKeyLen {
-		return Record{}, fmt.Errorf("%w: key length %d", ErrCorrupt, keyLen)
+	return v, nil
+}
+
+// readKeyTorn reads a length-prefixed key mid-record.
+func readKeyTorn(br *bufio.Reader, keyLen uint64) (string, error) {
+	if keyLen == 0 || keyLen > MaxKeyLen {
+		return "", fmt.Errorf("%w: key length %d", ErrCorrupt, keyLen)
 	}
 	key := make([]byte, keyLen)
 	if _, err := io.ReadFull(br, key); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return Record{}, errTornTail
+			return "", errTornTail
 		}
-		return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return "", fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return string(key), nil
+}
+
+// readPhysicalRecord decodes one physical record from br into scratch[:0]: a
+// single-event record yields one Record, a batch record one Record per
+// entry. A batch is atomic — a record torn anywhere inside it yields
+// errTornTail and no Records. io.EOF marks a clean end of the stream,
+// errTornTail a record cut short by a crash; any other failure wraps
+// ErrCorrupt.
+//
+// allowBatch says whether the stream may carry batch framing. It is false
+// only for a standalone legacy SWL1 file (Replay): no writer ever appends
+// batch records there, so a zero keyLen keeps its historical meaning of
+// corruption instead of decoding garbage as a phantom batch. A legacy file
+// migrated into a segment directory does accept batch appends, so the
+// segment paths always allow them.
+func readPhysicalRecord(br *bufio.Reader, scratch []Record, allowBatch bool) ([]Record, error) {
+	first, err := binary.ReadUvarint(br)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		// A varint cut short by a crash reads as unexpected EOF.
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, errTornTail
+		}
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	scratch = scratch[:0]
+	if first == 0 {
+		if !allowBatch {
+			return nil, fmt.Errorf("%w: key length 0", ErrCorrupt)
+		}
+		count, err := readUvarintTorn(br)
+		if err != nil {
+			return nil, err
+		}
+		if count == 0 || count > maxBatchEntries {
+			return nil, fmt.Errorf("%w: batch of %d entries", ErrCorrupt, count)
+		}
+		for i := uint64(0); i < count; i++ {
+			keyLen, err := readUvarintTorn(br)
+			if err != nil {
+				return nil, err
+			}
+			key, err := readKeyTorn(br, keyLen)
+			if err != nil {
+				return nil, err
+			}
+			adds, err := readUvarintTorn(br)
+			if err != nil {
+				return nil, err
+			}
+			removes, err := readUvarintTorn(br)
+			if err != nil {
+				return nil, err
+			}
+			if adds == 0 && removes == 0 {
+				return nil, fmt.Errorf("%w: empty batch entry for key %q", ErrCorrupt, key)
+			}
+			scratch = append(scratch, Record{Key: key, Batch: true, Adds: adds, Removes: removes})
+		}
+		return scratch, nil
+	}
+	key, err := readKeyTorn(br, first)
+	if err != nil {
+		return nil, err
 	}
 	actionByte, err := br.ReadByte()
 	if err != nil {
 		if errors.Is(err, io.EOF) {
-			return Record{}, errTornTail
+			return nil, errTornTail
 		}
-		return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	var action core.Action
 	switch actionByte {
@@ -183,9 +288,62 @@ func readRecord(br *bufio.Reader) (Record, error) {
 	case 1:
 		action = core.ActionRemove
 	default:
-		return Record{}, fmt.Errorf("%w: action byte %d", ErrCorrupt, actionByte)
+		return nil, fmt.Errorf("%w: action byte %d", ErrCorrupt, actionByte)
 	}
-	return Record{Key: string(key), Action: action}, nil
+	return append(scratch, Record{Key: key, Action: action}), nil
+}
+
+// appendBatchRecord encodes a whole coalesced batch as one physical record,
+// returning the encoded byte count. Entries are validated before the first
+// byte is written, so a rejected batch leaves the stream clean. The caller
+// (Dir.AppendBatch) splits batches over maxBatchEntries; the check here is
+// the write-side mirror of the read-side corruption bound.
+func appendBatchRecord(w *bufio.Writer, entries []BatchEntry) (int, error) {
+	if len(entries) > maxBatchEntries {
+		return 0, fmt.Errorf("wal: batch of %d entries exceeds the %d-entry record limit", len(entries), maxBatchEntries)
+	}
+	for i := range entries {
+		if entries[i].Key == "" {
+			return 0, errors.New("wal: empty key")
+		}
+		if len(entries[i].Key) > MaxKeyLen {
+			return 0, fmt.Errorf("wal: key of %d bytes exceeds the %d-byte record limit", len(entries[i].Key), MaxKeyLen)
+		}
+		if entries[i].Adds == 0 && entries[i].Removes == 0 {
+			return 0, fmt.Errorf("wal: batch entry for key %q records no events", entries[i].Key)
+		}
+	}
+	var buf [binary.MaxVarintLen64]byte
+	total := 0
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		total += n
+		_, err := w.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(0); err != nil {
+		return 0, err
+	}
+	if err := writeUvarint(uint64(len(entries))); err != nil {
+		return 0, err
+	}
+	for i := range entries {
+		e := &entries[i]
+		if err := writeUvarint(uint64(len(e.Key))); err != nil {
+			return 0, err
+		}
+		if _, err := w.WriteString(e.Key); err != nil {
+			return 0, err
+		}
+		total += len(e.Key)
+		if err := writeUvarint(e.Adds); err != nil {
+			return 0, err
+		}
+		if err := writeUvarint(e.Removes); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
 }
 
 // Append adds one record to the log.
@@ -282,17 +440,21 @@ func Replay(path string, fn func(Record) error) (int, error) {
 	}
 
 	replayed := 0
+	var scratch []Record
 	for {
-		rec, err := readRecord(br)
+		recs, err := readPhysicalRecord(br, scratch, false)
 		if errors.Is(err, io.EOF) || errors.Is(err, errTornTail) {
 			return replayed, nil
 		}
 		if err != nil {
 			return replayed, err
 		}
-		if err := fn(rec); err != nil {
-			return replayed, err
+		scratch = recs
+		for _, rec := range recs {
+			if err := fn(rec); err != nil {
+				return replayed, err
+			}
+			replayed++
 		}
-		replayed++
 	}
 }

@@ -176,15 +176,35 @@ func TestCorruptHeaderAndRecords(t *testing.T) {
 	l.Append(Record{Key: "fine", Action: core.ActionAdd})
 	l.Close()
 	f, _ := os.OpenFile(badRecord, os.O_APPEND|os.O_WRONLY, 0o644)
-	// keyLen uvarint = 0 (invalid), followed by junk so it is not EOF.
-	f.Write([]byte{0, 'x', 'y', 'z', 0})
+	// keyLen uvarint far beyond maxKeyLen.
+	f.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
 	f.Close()
 	n, err := Replay(badRecord, func(Record) error { return nil })
 	if !errors.Is(err, ErrCorrupt) {
-		t.Fatalf("zero key length error %v", err)
+		t.Fatalf("absurd key length error %v", err)
 	}
 	if n != 1 {
 		t.Fatalf("replayed %d records before corruption, want 1", n)
+	}
+
+	// A standalone legacy file can never legitimately contain batch framing
+	// (no writer appends batches to one), so a zero keyLen keeps its
+	// historical meaning there: corruption, not a phantom batch — even when
+	// the following bytes would decode as a well-formed batch record.
+	legacyBatch := filepath.Join(dir, "legacybatch.wal")
+	l, _ = Open(legacyBatch, Options{})
+	l.Append(Record{Key: "fine", Action: core.ActionAdd})
+	l.Close()
+	f, _ = os.OpenFile(legacyBatch, os.O_APPEND|os.O_WRONLY, 0o644)
+	// batch marker, 1 entry: ("x", 3 adds, 0 removes).
+	f.Write([]byte{0, 1, 1, 'x', 3, 0})
+	f.Close()
+	n, err = Replay(legacyBatch, func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("batch framing in a legacy file: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d records before the corrupt marker, want 1", n)
 	}
 }
 

@@ -3,6 +3,7 @@ package sprofile
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"sprofile/internal/checkpoint"
 	"sprofile/internal/idmap"
@@ -55,6 +56,12 @@ type KeyedConcurrent[K comparable] struct {
 	keyedQueries[K]
 	ids     *idmap.Striped[K]
 	recycle bool
+	// deltas is the dense profile's DeltaUpdater capability (always present
+	// for the Sharded/Concurrent profiles BuildKeyed constructs); the batch
+	// paths use it to move a key by its net delta in one block walk.
+	deltas DeltaUpdater
+	// batches recycles the coalescing scratch of ApplyBatch.
+	batches sync.Pool
 	// freqs mirrors each id's frequency; entry i is guarded by the stripe
 	// lock of the key currently holding id i (free ids hold zero and are
 	// handed over through the mapper's alloc locks).
@@ -197,6 +204,7 @@ func BuildKeyed[K comparable](m int, opts ...BuildOption) (*KeyedConcurrent[K], 
 		recycle:      recycle,
 		zeros:        make([]zeroSet[K], ids.NumStripes()),
 	}
+	kc.deltas, _ = inner.(DeltaUpdater)
 	if recycle {
 		kc.freqs = make([]int64, m)
 	}
@@ -217,12 +225,18 @@ func BuildKeyed[K comparable](m int, opts ...BuildOption) (*KeyedConcurrent[K], 
 			// evicting an idle key from any stripe: the log guarantees the
 			// live (frequency > 0) key set never exceeded capacity, hence an
 			// idle victim always exists when an Add finds the mapper full.
-			// kc.store is still nil here, so Apply rebuilds state without
-			// re-journaling the records being replayed.
+			// kc.store is still nil here, so the apply paths rebuild state
+			// without re-journaling the records being replayed.
 			key := any(rec.Key).(K)
-			err := kc.Apply(key, rec.Action)
+			apply := func() error {
+				if rec.Batch {
+					return kc.ApplyDelta(key, rec.Adds, rec.Removes)
+				}
+				return kc.Apply(key, rec.Action)
+			}
+			err := apply()
 			if errors.Is(err, idmap.ErrFull) && kc.evictIdleAny() {
-				err = kc.Apply(key, rec.Action)
+				err = apply()
 			}
 			return err
 		})
@@ -390,6 +404,20 @@ func (k *KeyedConcurrent[K]) Checkpoint() error {
 	})
 }
 
+// checkJournalableKey rejects keys the write-ahead log cannot record.
+// The batch paths validate before applying anything: a batch record is
+// appended (and validated) wholesale per stripe, so one bad key would
+// otherwise void journaling for every entry sharing its record.
+func checkJournalableKey(key string) error {
+	if key == "" {
+		return errors.New("sprofile: empty key")
+	}
+	if len(key) > wal.MaxKeyLen {
+		return fmt.Errorf("sprofile: key of %d bytes exceeds the write-ahead log's %d-byte record limit", len(key), wal.MaxKeyLen)
+	}
+	return nil
+}
+
 // journal appends one applied event to the WAL; key is string by the
 // BuildKeyed construction check. syncDue asks the caller to run Sync once
 // the stripe lock is released.
@@ -507,6 +535,309 @@ func (k *KeyedConcurrent[K]) Apply(key K, action Action) error {
 	default:
 		return fmt.Errorf("sprofile: invalid action %d", action)
 	}
+}
+
+// KeyedTuple is one keyed log event — the key-addressed counterpart of
+// Tuple, and the element type of ApplyBatch.
+type KeyedTuple[K comparable] struct {
+	Key    K
+	Action Action
+}
+
+// keyedDelta is one coalesced per-key delta inside an ApplyBatch call.
+// Entries whose keys collide on the 64-bit coalescing hash are chained
+// through next. firstIsAdd records whether the key's first event in the
+// batch was an add — the per-event path acquires an unknown key exactly
+// then, so the batch path preserves that decision.
+type keyedDelta[K comparable] struct {
+	key           K
+	adds, removes uint64
+	stripe        int32
+	next          int32
+	firstIsAdd    bool
+}
+
+// keyedBatch is the reusable scratch of ApplyBatch: the coalescing index,
+// the per-stripe counting sort and the write-ahead-log record buffer. It is
+// pooled so steady-state batch ingestion allocates nothing beyond the keys
+// themselves. The index is keyed by the mapper's 64-bit key hash — computed
+// once per event and reused for stripe selection — because an integer-keyed
+// map is markedly cheaper than re-hashing arbitrary K inside a generic map.
+type keyedBatch[K comparable] struct {
+	index   map[uint64]int32
+	entries []keyedDelta[K]
+	counts  []int32
+	offsets []int32
+	order   []int32
+	wrecs   []wal.BatchEntry
+}
+
+// growInt32 returns s resized to n elements, reallocating only on growth.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// ApplyBatch ingests a whole batch of keyed events through the delta fast
+// path:
+//
+//  1. the batch is coalesced into one net delta per distinct key (so a hot
+//     key repeated many times costs one update, not many);
+//  2. the deltas are grouped by mapper stripe and each stripe's group is
+//     resolved under a single stripe-lock acquisition, amortising the
+//     per-event striping overhead of the id mapping;
+//  3. each key moves by its net delta in one block-boundary walk of the
+//     dense profile;
+//  4. with a write-ahead log, each stripe's group is journaled as one batch
+//     record (appended while the stripe lock is held, preserving per-key
+//     log order) and the whole batch is made durable by ONE group-commit
+//     fsync.
+//
+// It returns the number of events whose effect is in the profile. Semantics
+// match applying the events one by one except in two documented ways shared
+// with the rest of the delta path: strict non-negativity applies to each
+// key's net delta, and on an error the other keys of the batch may already
+// be applied (an invalid action anywhere, however, rejects the whole batch
+// before anything is applied). A journaling failure is reported as
+// ErrWALAppend after the batch has been applied in memory.
+func (k *KeyedConcurrent[K]) ApplyBatch(events []KeyedTuple[K]) (int, error) {
+	if len(events) == 0 {
+		return 0, nil
+	}
+	if k.deltas == nil {
+		// The dense profile cannot apply deltas (impossible for BuildKeyed's
+		// own constructions); fall back to the per-event path.
+		for i, e := range events {
+			if err := k.Apply(e.Key, e.Action); err != nil {
+				return i, err
+			}
+		}
+		return len(events), nil
+	}
+
+	b, _ := k.batches.Get().(*keyedBatch[K])
+	if b == nil {
+		b = &keyedBatch[K]{index: make(map[uint64]int32)}
+	}
+	defer func() {
+		clear(b.index)
+		// Zero the full backing arrays before truncating so pooled scratch
+		// does not pin the batch's key strings past the call (wrecs is
+		// truncated per stripe, so its live prefix alone is not enough).
+		clear(b.entries)
+		b.entries = b.entries[:0]
+		clear(b.wrecs[:cap(b.wrecs)])
+		b.wrecs = b.wrecs[:0]
+		k.batches.Put(b)
+	}()
+
+	// Coalesce, deduplicating keys through their stripe hash (hash
+	// collisions chain and simply yield one entry per distinct key).
+	// Validation happens here, before anything is applied, so an invalid
+	// action — or, with a WAL, a key the log could not journal — rejects the
+	// batch whole instead of leaving applied-but-unjournaled state behind.
+	ns := k.ids.NumStripes()
+	for _, e := range events {
+		if !e.Action.Valid() {
+			return 0, fmt.Errorf("sprofile: invalid action %d", e.Action)
+		}
+		if k.store != nil {
+			if err := checkJournalableKey(any(e.Key).(string)); err != nil {
+				return 0, err
+			}
+		}
+		h := k.ids.Hash(e.Key)
+		first := e.Action == ActionAdd
+		j, ok := b.index[h]
+		if ok {
+			for b.entries[j].key != e.Key {
+				if b.entries[j].next < 0 {
+					nj := int32(len(b.entries))
+					b.entries = append(b.entries, keyedDelta[K]{key: e.Key, stripe: int32(h % uint64(ns)), next: -1, firstIsAdd: first})
+					b.entries[j].next = nj
+					j = nj
+					break
+				}
+				j = b.entries[j].next
+			}
+		} else {
+			j = int32(len(b.entries))
+			b.index[h] = j
+			b.entries = append(b.entries, keyedDelta[K]{key: e.Key, stripe: int32(h % uint64(ns)), next: -1, firstIsAdd: first})
+		}
+		if e.Action == ActionAdd {
+			b.entries[j].adds++
+		} else {
+			b.entries[j].removes++
+		}
+	}
+
+	// Group by stripe with a counting sort over the reusable buffers.
+	b.counts = growInt32(b.counts, ns)
+	for i := range b.counts {
+		b.counts[i] = 0
+	}
+	for i := range b.entries {
+		b.counts[b.entries[i].stripe]++
+	}
+	b.offsets = growInt32(b.offsets, ns)
+	sum := int32(0)
+	for i := 0; i < ns; i++ {
+		b.offsets[i] = sum
+		sum += b.counts[i]
+	}
+	b.order = growInt32(b.order, len(b.entries))
+	for i := range b.entries {
+		si := b.entries[i].stripe
+		b.order[b.offsets[si]] = int32(i)
+		b.offsets[si]++
+	}
+
+	// Apply stripe by stripe: one stripe-lock acquisition, one profile
+	// delta per distinct key, one log record per stripe group.
+	applied := 0
+	var journalErr error
+	var entryErr error
+	for si := 0; si < ns && entryErr == nil && journalErr == nil; si++ {
+		cnt := int(b.counts[si])
+		if cnt == 0 {
+			continue
+		}
+		idxs := b.order[int(b.offsets[si])-cnt : b.offsets[si]]
+		_ = k.ids.BatchFunc(si, func(t idmap.StripeTxn[K]) error {
+			b.wrecs = b.wrecs[:0]
+			for _, j := range idxs {
+				en := &b.entries[j]
+				if entryErr = k.applyEntryLocked(t, si, en.key, en.adds, en.removes, en.firstIsAdd); entryErr != nil {
+					break
+				}
+				applied += int(en.adds + en.removes)
+				if k.store != nil {
+					b.wrecs = append(b.wrecs, wal.BatchEntry{Key: any(en.key).(string), Adds: en.adds, Removes: en.removes})
+				}
+			}
+			// The applied prefix of the stripe is journaled even when a later
+			// entry failed: the in-memory updates happened, so the log must
+			// carry them.
+			if k.store != nil && len(b.wrecs) > 0 {
+				if _, jerr := k.store.AppendBatch(b.wrecs); jerr != nil {
+					journalErr = fmt.Errorf("%w: %v", ErrWALAppend, jerr)
+				}
+			}
+			return nil
+		})
+	}
+
+	// One group-commit fsync covers every stripe's record.
+	if k.store != nil && journalErr == nil {
+		if err := k.store.Sync(); err != nil {
+			journalErr = fmt.Errorf("%w: sync: %v", ErrWALAppend, err)
+		}
+	}
+	if journalErr != nil {
+		return applied, journalErr
+	}
+	return applied, entryErr
+}
+
+// ApplyDelta applies a coalesced run of events for one key: adds gross add
+// events and removes gross remove events, moving the key's frequency by
+// adds-removes in one step. A key whose events cancel out is still acquired
+// (and left idle), exactly as the per-event sequence would. A key unknown
+// to the profile is acquired only when the delta records at least one add
+// event; otherwise it fails like Remove.
+func (k *KeyedConcurrent[K]) ApplyDelta(key K, adds, removes uint64) error {
+	if adds == 0 && removes == 0 {
+		return nil
+	}
+	if k.deltas == nil {
+		for i := uint64(0); i < adds; i++ {
+			if err := k.Add(key); err != nil {
+				return err
+			}
+		}
+		for i := uint64(0); i < removes; i++ {
+			if err := k.Remove(key); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if k.store != nil {
+		if err := checkJournalableKey(any(key).(string)); err != nil {
+			return err
+		}
+	}
+	si := k.ids.StripeOf(key)
+	var syncDue bool
+	var journalErr error
+	err := k.ids.BatchFunc(si, func(t idmap.StripeTxn[K]) error {
+		if err := k.applyEntryLocked(t, si, key, adds, removes, adds > 0); err != nil {
+			return err
+		}
+		if k.store != nil {
+			rec := [1]wal.BatchEntry{{Key: any(key).(string), Adds: adds, Removes: removes}}
+			var jerr error
+			syncDue, jerr = k.store.AppendBatch(rec[:])
+			if jerr != nil {
+				journalErr = fmt.Errorf("%w: %v", ErrWALAppend, jerr)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return k.finishJournal(syncDue, journalErr)
+}
+
+// applyEntryLocked applies one coalesced (key, gross adds, gross removes)
+// delta while the key's stripe transaction is open: id resolution (with
+// in-stripe eviction for new keys), the dense-profile delta and the
+// recycling bookkeeping all happen as one atomic step under the stripe
+// lock. acquire says whether an unknown key may be assigned an id — true
+// exactly when the per-event path would have acquired it, i.e. when the
+// key's first event was an add; an unknown key without it fails like
+// Remove does.
+func (k *KeyedConcurrent[K]) applyEntryLocked(t idmap.StripeTxn[K], si int, key K, adds, removes uint64, acquire bool) error {
+	net := int64(adds) - int64(removes)
+	var id int
+	var isNew bool
+	if acquire {
+		var err error
+		id, isNew, err = t.Acquire(key, k.evictFn())
+		if err != nil {
+			return err
+		}
+	} else {
+		var ok bool
+		id, ok = t.Get(key)
+		if !ok {
+			return fmt.Errorf("%w: %v", idmap.ErrUnknownKey, key)
+		}
+	}
+	if err := k.deltas.ApplyDelta(Delta{Object: id, Delta: net, Adds: adds, Removes: removes}); err != nil {
+		if isNew {
+			t.Rollback(key, id)
+		}
+		return err
+	}
+	if k.recycle {
+		old := k.freqs[id]
+		now := old + net
+		k.freqs[id] = now
+		switch {
+		case isNew && now == 0:
+			k.zeros[si].add(key)
+		case !isNew && old == 0 && now != 0:
+			k.zeros[si].remove(key)
+		case old != 0 && now == 0:
+			k.zeros[si].add(key)
+		}
+	}
+	return nil
 }
 
 // Track assigns key a dense id without counting anything, so a catalogue can

@@ -2,6 +2,7 @@ package sprofile
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -23,6 +24,18 @@ type Sharded struct {
 	shards    []shardedShard
 	shardSize int
 	m         int
+
+	// batches recycles the per-shard partition scratch of ApplyDeltas, so
+	// steady-state batch ingestion allocates nothing.
+	batches sync.Pool
+}
+
+// shardedBatch is the reusable partition scratch of one ApplyDeltas call.
+type shardedBatch struct {
+	groups  [][]core.Delta
+	touched []int
+	counts  []int
+	errs    []error
 }
 
 type shardedShard struct {
@@ -175,6 +188,139 @@ func (s *Sharded) ApplyAll(tuples []Tuple) (int, error) {
 		sh.mu.Unlock()
 	}
 	return len(tuples), nil
+}
+
+// AddN raises the frequency of object x by k in one step under its shard's
+// lock.
+func (s *Sharded) AddN(x int, k int64) error {
+	sh, local, err := s.locate(x)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.p.AddN(local, k)
+}
+
+// RemoveN lowers the frequency of object x by k in one step under its
+// shard's lock.
+func (s *Sharded) RemoveN(x int, k int64) error {
+	sh, local, err := s.locate(x)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.p.RemoveN(local, k)
+}
+
+// ApplyDelta applies one coalesced delta under its shard's lock.
+func (s *Sharded) ApplyDelta(d Delta) error {
+	sh, local, err := s.locate(d.Object)
+	if err != nil {
+		return err
+	}
+	d.Object = local
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.p.ApplyDelta(d)
+}
+
+// ApplyDeltas partitions a coalesced batch by shard and applies each shard's
+// share under a single lock acquisition — on multi-core hosts the touched
+// shards run in parallel. It returns how many deltas were applied in total.
+//
+// Error semantics: deltas for different shards are independent, so on an
+// error (an out-of-range object, a strict-mode violation) every *other*
+// shard's share is still attempted; within the failing shard the deltas
+// before the bad one are applied. The first error encountered is returned.
+// This mirrors the partial application the per-event path has always had, at
+// shard granularity.
+func (s *Sharded) ApplyDeltas(deltas []Delta) (int, error) {
+	switch len(deltas) {
+	case 0:
+		return 0, nil
+	case 1:
+		// Fast path for the single-object batches keyed ingestion issues.
+		if err := s.ApplyDelta(deltas[0]); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+
+	b, _ := s.batches.Get().(*shardedBatch)
+	if b == nil {
+		b = &shardedBatch{groups: make([][]core.Delta, len(s.shards))}
+	}
+	defer func() {
+		for _, idx := range b.touched {
+			b.groups[idx] = b.groups[idx][:0]
+		}
+		b.touched = b.touched[:0]
+		s.batches.Put(b)
+	}()
+
+	applied := 0
+	var firstErr error
+	for _, d := range deltas {
+		if d.Object < 0 || d.Object >= s.m {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: id %d, capacity %d", ErrObjectRange, d.Object, s.m)
+			}
+			continue
+		}
+		idx := d.Object / s.shardSize
+		d.Object -= s.shards[idx].base
+		if len(b.groups[idx]) == 0 {
+			b.touched = append(b.touched, idx)
+		}
+		b.groups[idx] = append(b.groups[idx], d)
+	}
+
+	// Parallel application must buy more than the goroutine spawns and the
+	// WaitGroup barrier cost; small batches take the sequential loop below.
+	const parallelMin = 256
+	if len(b.touched) > 1 && len(deltas) >= parallelMin && runtime.GOMAXPROCS(0) > 1 {
+		if cap(b.counts) < len(b.touched) {
+			b.counts = make([]int, len(b.touched))
+			b.errs = make([]error, len(b.touched))
+		}
+		counts := b.counts[:len(b.touched)]
+		errs := b.errs[:len(b.touched)]
+		clear(counts)
+		clear(errs)
+		var wg sync.WaitGroup
+		for i, idx := range b.touched {
+			wg.Add(1)
+			go func(i, idx int) {
+				defer wg.Done()
+				sh := &s.shards[idx]
+				sh.mu.Lock()
+				counts[i], errs[i] = sh.p.ApplyDeltas(b.groups[idx])
+				sh.mu.Unlock()
+			}(i, idx)
+		}
+		wg.Wait()
+		for i := range b.touched {
+			applied += counts[i]
+			if errs[i] != nil && firstErr == nil {
+				firstErr = errs[i]
+			}
+		}
+		return applied, firstErr
+	}
+
+	for _, idx := range b.touched {
+		sh := &s.shards[idx]
+		sh.mu.Lock()
+		n, err := sh.p.ApplyDeltas(b.groups[idx])
+		sh.mu.Unlock()
+		applied += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return applied, firstErr
 }
 
 // Count returns the current frequency of object x.

@@ -67,6 +67,19 @@ type Entry = core.Entry
 // FreqCount is one histogram bucket of the frequency distribution.
 type FreqCount = core.FreqCount
 
+// Delta is the net effect of a coalesced run of events on one object: the
+// net frequency change plus the gross add/remove counts it folds together.
+// See DeltaUpdater for the profiles that can apply one.
+type Delta = core.Delta
+
+// Coalescer folds a tuple batch into net per-object deltas with reusable,
+// allocation-free scratch buffers; pair it with a DeltaUpdater's ApplyDeltas
+// for the batch ingestion fast path.
+type Coalescer = core.Coalescer
+
+// NewCoalescer returns a Coalescer for object ids in [0, m).
+func NewCoalescer(m int) (*Coalescer, error) { return core.NewCoalescer(m) }
+
 // Summary is a snapshot of a profile's aggregate statistics.
 type Summary = core.Summary
 
