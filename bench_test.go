@@ -20,6 +20,7 @@
 package sprofile_test
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -38,6 +39,10 @@ import (
 
 // benchSink prevents dead-code elimination of per-tuple query results.
 var benchSink int64
+
+// queryResultSink forces composite-vs-individual benchmark results to escape
+// identically.
+var queryResultSink sprofile.QueryResult
 
 // pregenerate materialises up to limit tuples of a workload; the benchmark
 // loop cycles through them so stream generation stays out of the timed path.
@@ -694,6 +699,162 @@ func BenchmarkCoreQueries(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e, _ := p.Quantile(0.99)
 			benchSink += e.Frequency
+		}
+	})
+}
+
+// BenchmarkQueryComposite measures the query plane's selling point: ONE
+// composite Query{Mode, TopK(10), Quantile(.99), Summary} against the
+// equivalent sequence of four individual getter calls, on each concurrency
+// variant. The composite pays one lock acquisition (Concurrent), one
+// lock-all plus one merged distribution (Sharded), or one quiesce
+// (KeyedConcurrent) where the sequence pays four of each — and only the
+// composite's answers are guaranteed to come from one cut.
+func BenchmarkQueryComposite(b *testing.B) {
+	const m = 100_000
+	q := sprofile.Query{Mode: true, TopK: 10, Quantiles: []float64{0.99}, Summary: true}
+	// Both paths hand their materialised result off (as a dashboard renderer
+	// or JSON encoder would), so escape analysis treats them alike.
+	publish := func(res sprofile.QueryResult) {
+		queryResultSink = res
+		benchSink += res.Mode.Frequency + res.Summary.Total
+	}
+
+	fill := func(b *testing.B, p sprofile.Profiler) {
+		b.Helper()
+		g := paperStream(b, 1, m)
+		for i := 0; i < 500_000; i++ {
+			if err := p.Apply(g.Next()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	composite := func(b *testing.B, p sprofile.Profiler) {
+		b.Helper()
+		qr := p.(sprofile.Querier)
+		for i := 0; i < b.N; i++ {
+			res, err := qr.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			publish(res)
+		}
+	}
+	// individual issues the equivalent sequence of getter calls and
+	// materialises the same QueryResult the composite returns (a dashboard
+	// needs the values in hand either way) — N lock round-trips instead of
+	// one, and no one-cut guarantee.
+	individual := func(b *testing.B, p sprofile.Profiler) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			var res sprofile.QueryResult
+			e, ties, err := p.Mode()
+			if err != nil {
+				b.Fatal(err)
+			}
+			res.Mode = &sprofile.Extreme{Entry: e, Ties: ties}
+			res.TopK = p.TopK(10)
+			qe, err := p.Quantile(0.99)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res.Quantiles = []sprofile.QuantileEntry{{Q: 0.99, Entry: qe}}
+			s := p.Summarize()
+			res.Summary = &s
+			publish(res)
+		}
+	}
+	// withIngest runs fn while writer goroutines hammer the profile — the
+	// scenario the query plane exists for. Fewer lock round-trips per
+	// dashboard read means fewer waits behind writers holding (or queueing
+	// for) the write lock.
+	withIngest := func(b *testing.B, p sprofile.Profiler, fn func(*testing.B, sprofile.Profiler)) {
+		b.Helper()
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; !stop.Load(); i++ {
+					_ = p.Add((i*2 + g) % m)
+				}
+			}(g)
+		}
+		b.ResetTimer()
+		fn(b, p)
+		b.StopTimer()
+		stop.Store(true)
+		wg.Wait()
+	}
+	run := func(name string, p sprofile.Profiler) {
+		fillOnce := sync.OnceFunc(func() { fill(b, p) })
+		b.Run(name+"/composite", func(b *testing.B) {
+			fillOnce()
+			b.ResetTimer()
+			composite(b, p)
+		})
+		b.Run(name+"/individual", func(b *testing.B) {
+			fillOnce()
+			b.ResetTimer()
+			individual(b, p)
+		})
+		b.Run(name+"/composite-under-ingest", func(b *testing.B) {
+			fillOnce()
+			withIngest(b, p, composite)
+		})
+		b.Run(name+"/individual-under-ingest", func(b *testing.B) {
+			fillOnce()
+			withIngest(b, p, individual)
+		})
+	}
+	run("Concurrent", sprofile.MustNewConcurrent(m))
+	run("Sharded-8", sprofile.MustNewSharded(m, 8))
+
+	// The keyed variant goes through QueryKeys (one quiesced cut) versus the
+	// keyed getters.
+	keyed := sprofile.MustBuildKeyed[int64](m, sprofile.WithSharding(8))
+	kq := sprofile.KeyedQuery[int64]{Mode: true, TopK: 10, Quantiles: []float64{0.99}, Summary: true}
+	keyedFill := sync.OnceFunc(func() {
+		g := paperStream(b, 1, m)
+		for i := 0; i < 500_000; i++ {
+			t := g.Next()
+			var err error
+			if t.Action == sprofile.ActionAdd {
+				err = keyed.Add(int64(t.Object))
+			} else if err = keyed.Remove(int64(t.Object)); errors.Is(err, sprofile.ErrUnknownKey) ||
+				errors.Is(err, sprofile.ErrStrictViolation) {
+				err = nil // the raw stream can remove before adding; skip
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("KeyedConcurrent-8/composite", func(b *testing.B) {
+		keyedFill()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := keyed.QueryKeys(kq)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink += res.Mode.Frequency + res.Summary.Total
+		}
+	})
+	b.Run("KeyedConcurrent-8/individual", func(b *testing.B) {
+		keyedFill()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, _, err := keyed.Mode()
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSink += int64(len(keyed.TopK(10)))
+			if _, err := keyed.Quantile(0.99); err != nil {
+				b.Fatal(err)
+			}
+			benchSink += e.Frequency + keyed.Summarize().Total
 		}
 	})
 }

@@ -475,7 +475,7 @@ func (d *Durable) update(x int, a Action) error {
 // coalesced event count.
 func (d *Durable) AddN(x int, k int64) error {
 	if k < 0 {
-		return fmt.Errorf("sprofile: negative add count %d for object %d", k, x)
+		return fmt.Errorf("%w: negative add count %d for object %d", ErrOutOfRange, k, x)
 	}
 	return d.ApplyDelta(Delta{Object: x, Delta: k})
 }
@@ -484,7 +484,7 @@ func (d *Durable) AddN(x int, k int64) error {
 // coalesced event count.
 func (d *Durable) RemoveN(x int, k int64) error {
 	if k < 0 {
-		return fmt.Errorf("sprofile: negative remove count %d for object %d", k, x)
+		return fmt.Errorf("%w: negative remove count %d for object %d", ErrOutOfRange, k, x)
 	}
 	return d.ApplyDelta(Delta{Object: x, Delta: -k})
 }
@@ -589,7 +589,7 @@ func (d *Durable) ApplyDeltas(deltas []Delta) (int, error) {
 // Apply applies one log tuple and journals it.
 func (d *Durable) Apply(t Tuple) error {
 	if !t.Action.Valid() {
-		return fmt.Errorf("sprofile: invalid action %d", t.Action)
+		return errInvalidAction(t.Action)
 	}
 	return d.update(t.Object, t.Action)
 }
@@ -659,6 +659,12 @@ func (d *Durable) Distribution() []FreqCount { return d.inner.Distribution() }
 
 // Summarize returns aggregate statistics of the profile.
 func (d *Durable) Summarize() Summary { return d.inner.Summarize() }
+
+// Query answers a composite query by delegating to the inner profiler's own
+// cut-pinning Querier capability (falling back to a snapshot-based cut for
+// inner profilers that lack it — see QueryProfiler). The write-ahead log is
+// not involved: queries read only in-memory state.
+func (d *Durable) Query(q Query) (QueryResult, error) { return QueryProfiler(d.inner, q) }
 
 // Cap returns the number of object slots.
 func (d *Durable) Cap() int { return d.inner.Cap() }

@@ -1,0 +1,389 @@
+// Package client is the typed Go SDK for the sprofile HTTP server
+// (internal/server, run as cmd/sprofiled). It covers the whole wire surface:
+// single-event and batched ingestion, the streaming NDJSON bulk path,
+// every single-statistic endpoint, and the composite POST /v1/query
+// endpoint that answers an atomic multi-statistic sprofile.KeyedQuery.
+//
+// Errors mirror the library's taxonomy across the wire: the server tags
+// every error response with a machine-readable code, and the client maps it
+// back, so
+//
+//	_, err := c.Count(ctx, "ghost")
+//	if errors.Is(err, sprofile.ErrUnknownKey) { ... }
+//
+// works against a remote profile exactly as against a local one at the
+// class level (ErrOutOfRange, ErrStrictViolation, ErrCapExceeded, ...); the
+// wire carries one code per response, so sentinels finer than a class
+// (ErrObjectRange vs ErrBadRank) do not survive the round trip. The full
+// *APIError (HTTP status, code, server message) stays available via
+// errors.As.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"sprofile"
+)
+
+// Event is the JSON wire form of one log event, matching the server's
+// POST /v1/events document.
+type Event struct {
+	Object string `json:"object"`
+	Action string `json:"action"`
+}
+
+// Wire action strings accepted by the server.
+const (
+	ActionAdd    = "add"
+	ActionRemove = "remove"
+)
+
+// Summary is the document served by GET /v1/stats/summary: the profile's
+// aggregate counters plus the number of currently tracked keys.
+type Summary struct {
+	Capacity            int    `json:"capacity"`
+	Tracked             int    `json:"tracked"`
+	Total               int64  `json:"total"`
+	Active              int    `json:"active"`
+	DistinctFrequencies int    `json:"distinct_frequencies"`
+	MaxFrequency        int64  `json:"max_frequency"`
+	MinFrequency        int64  `json:"min_frequency"`
+	Adds                uint64 `json:"adds"`
+	Removes             uint64 `json:"removes"`
+}
+
+// APIError is an error response from the server: the HTTP status, the
+// machine-readable taxonomy code and the server's message. Its Unwrap maps
+// the code back onto the sprofile error taxonomy, so errors.Is against
+// sentinels like sprofile.ErrUnknownKey works across the wire.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+	// Applied reports how many events of an ingest request took effect
+	// before the failure (zero for non-ingest requests).
+	Applied int
+}
+
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("sprofile client: %s (http %d, code %s)", e.Message, e.StatusCode, e.Code)
+	}
+	return fmt.Sprintf("sprofile client: %s (http %d)", e.Message, e.StatusCode)
+}
+
+// codeToErr maps wire error codes back onto the library's taxonomy roots.
+// The wire carries one code per response, so only the class survives the
+// round trip: fine-grained sentinels below a class (ErrObjectRange vs
+// ErrBadRank under ErrOutOfRange) cannot be distinguished remotely.
+// invalid_query maps to both of its classes because Query validation always
+// wraps an out-of-range argument alongside ErrInvalidQuery.
+var codeToErr = map[string]error{
+	"out_of_range":     sprofile.ErrOutOfRange,
+	"unknown_key":      sprofile.ErrUnknownKey,
+	"strict_violation": sprofile.ErrStrictViolation,
+	"empty_profile":    sprofile.ErrEmptyProfile,
+	"cap_exceeded":     sprofile.ErrCapExceeded,
+	"invalid_action":   sprofile.ErrInvalidAction,
+	"invalid_query":    errors.Join(sprofile.ErrInvalidQuery, sprofile.ErrOutOfRange),
+	"wal_append":       sprofile.ErrWALAppend,
+}
+
+// Unwrap resolves the wire code to its sprofile taxonomy class (nil for
+// request-level codes like bad_request, which have no library counterpart).
+func (e *APIError) Unwrap() error { return codeToErr[e.Code] }
+
+// Client is a typed HTTP client for one sprofile server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient uses hc for every request instead of http.DefaultClient;
+// set timeouts and transports there.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("sprofile client: invalid base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("sprofile client: base URL %q needs a scheme and host", baseURL)
+	}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// wireError is the shape of every server error document (the ingest variant
+// adds applied).
+type wireError struct {
+	Error   string `json:"error"`
+	Code    string `json:"code"`
+	Applied int    `json:"applied"`
+}
+
+// do issues one request and decodes a JSON answer into out (when non-nil).
+// Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, contentType string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var we wireError
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if jsonErr := json.Unmarshal(data, &we); jsonErr != nil || we.Error == "" {
+			we.Error = strings.TrimSpace(string(data))
+			if we.Error == "" {
+				we.Error = resp.Status
+			}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Code: we.Code, Message: we.Error, Applied: we.Applied}
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, path, bytes.NewReader(data), "application/json", out)
+}
+
+// appliedResponse mirrors the server's ingest answer.
+type appliedResponse struct {
+	Applied int `json:"applied"`
+}
+
+// Add ingests one add event for object.
+func (c *Client) Add(ctx context.Context, object string) error {
+	_, err := c.SendEvents(ctx, []Event{{Object: object, Action: ActionAdd}})
+	return err
+}
+
+// Remove ingests one remove event for object.
+func (c *Client) Remove(ctx context.Context, object string) error {
+	_, err := c.SendEvents(ctx, []Event{{Object: object, Action: ActionRemove}})
+	return err
+}
+
+// SendEvents posts a batch of events to /v1/events and returns how many were
+// applied. On failure the returned count comes from the server's partial
+// answer (also available as APIError.Applied).
+func (c *Client) SendEvents(ctx context.Context, events []Event) (int, error) {
+	var out appliedResponse
+	err := c.postJSON(ctx, "/v1/events", events, &out)
+	if err != nil {
+		var ae *APIError
+		if errors.As(err, &ae) {
+			return ae.Applied, err
+		}
+		return 0, err
+	}
+	return out.Applied, nil
+}
+
+// BulkIngest streams events to /v1/events/bulk as NDJSON — the server's
+// delta-batched fast path — and returns how many were applied. The event
+// slice is encoded incrementally, so arbitrarily large batches stream
+// without buffering the whole document.
+func (c *Client) BulkIngest(ctx context.Context, events []Event) (int, error) {
+	pr, pw := io.Pipe()
+	go func() {
+		enc := json.NewEncoder(pw)
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.Close()
+	}()
+	return c.bulk(ctx, pr)
+}
+
+// BulkIngestReader streams raw NDJSON (one {"object","action"} document per
+// line) from r to /v1/events/bulk; use it to pipe a prepared event log
+// without re-encoding.
+func (c *Client) BulkIngestReader(ctx context.Context, r io.Reader) (int, error) {
+	return c.bulk(ctx, r)
+}
+
+func (c *Client) bulk(ctx context.Context, r io.Reader) (int, error) {
+	var out appliedResponse
+	err := c.do(ctx, http.MethodPost, "/v1/events/bulk", r, "application/x-ndjson", &out)
+	if err != nil {
+		var ae *APIError
+		if errors.As(err, &ae) {
+			return ae.Applied, err
+		}
+		return 0, err
+	}
+	return out.Applied, nil
+}
+
+// Query executes ONE composite, atomic multi-statistic query via
+// POST /v1/query: every statistic the KeyedQuery selects is answered from a
+// single consistent cut of the server's profile. Prefer it over sequences of
+// single-statistic calls — one round trip, one lock acquisition server-side,
+// and no torn reads under concurrent ingest.
+func (c *Client) Query(ctx context.Context, q sprofile.KeyedQuery[string]) (sprofile.KeyedQueryResult[string], error) {
+	var out sprofile.KeyedQueryResult[string]
+	err := c.postJSON(ctx, "/v1/query", q, &out)
+	return out, err
+}
+
+// entryResponse mirrors the single-statistic wire form.
+type entryResponse struct {
+	Object    string `json:"object"`
+	Frequency int64  `json:"frequency"`
+	Ties      int    `json:"ties"`
+}
+
+func (e entryResponse) keyed() sprofile.KeyedEntry[string] {
+	return sprofile.KeyedEntry[string]{Key: e.Object, Frequency: e.Frequency}
+}
+
+// Mode returns the most frequent object, its frequency, and how many objects
+// tie with it.
+func (c *Client) Mode(ctx context.Context) (sprofile.KeyedEntry[string], int, error) {
+	var out entryResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats/mode", nil, "", &out)
+	return out.keyed(), out.Ties, err
+}
+
+// Min returns the least frequent slot, its frequency, and how many slots tie
+// with it.
+func (c *Client) Min(ctx context.Context) (sprofile.KeyedEntry[string], int, error) {
+	var out entryResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats/min", nil, "", &out)
+	return out.keyed(), out.Ties, err
+}
+
+// Count returns the current frequency of object (zero when unknown).
+func (c *Client) Count(ctx context.Context, object string) (int64, error) {
+	var out entryResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats/count?object="+url.QueryEscape(object), nil, "", &out)
+	return out.Frequency, err
+}
+
+func (c *Client) kList(ctx context.Context, path string, k int) ([]sprofile.KeyedEntry[string], error) {
+	var out []entryResponse
+	err := c.do(ctx, http.MethodGet, path+"?k="+strconv.Itoa(k), nil, "", &out)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]sprofile.KeyedEntry[string], len(out))
+	for i, e := range out {
+		entries[i] = e.keyed()
+	}
+	return entries, nil
+}
+
+// TopK returns the k most frequent objects in non-increasing frequency order.
+func (c *Client) TopK(ctx context.Context, k int) ([]sprofile.KeyedEntry[string], error) {
+	return c.kList(ctx, "/v1/stats/top", k)
+}
+
+// BottomK returns the k least frequent slots in non-decreasing frequency
+// order.
+func (c *Client) BottomK(ctx context.Context, k int) ([]sprofile.KeyedEntry[string], error) {
+	return c.kList(ctx, "/v1/stats/bottom", k)
+}
+
+// Median returns the lower-median entry of the frequency multiset.
+func (c *Client) Median(ctx context.Context) (sprofile.KeyedEntry[string], error) {
+	var out entryResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats/median", nil, "", &out)
+	return out.keyed(), err
+}
+
+// Quantile returns the entry at quantile q in [0, 1].
+func (c *Client) Quantile(ctx context.Context, q float64) (sprofile.KeyedEntry[string], error) {
+	var out entryResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats/quantile?q="+strconv.FormatFloat(q, 'g', -1, 64), nil, "", &out)
+	return out.keyed(), err
+}
+
+// majorityResponse mirrors the majority wire form.
+type majorityResponse struct {
+	Object    string `json:"object"`
+	Frequency int64  `json:"frequency"`
+	Majority  bool   `json:"majority"`
+}
+
+// Majority returns the object holding a strict majority of the total count,
+// if one exists.
+func (c *Client) Majority(ctx context.Context) (sprofile.KeyedEntry[string], bool, error) {
+	var out majorityResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats/majority", nil, "", &out)
+	return sprofile.KeyedEntry[string]{Key: out.Object, Frequency: out.Frequency}, out.Majority, err
+}
+
+// Distribution returns the full frequency histogram in ascending frequency
+// order.
+func (c *Client) Distribution(ctx context.Context) ([]sprofile.FreqCount, error) {
+	var out []sprofile.FreqCount
+	err := c.do(ctx, http.MethodGet, "/v1/stats/distribution", nil, "", &out)
+	return out, err
+}
+
+// Summary returns the profile's aggregate counters.
+func (c *Client) Summary(ctx context.Context) (Summary, error) {
+	var out Summary
+	err := c.do(ctx, http.MethodGet, "/v1/stats/summary", nil, "", &out)
+	return out, err
+}
+
+// Checkpoint asks the server to snapshot its profile and truncate the
+// write-ahead log (POST /v1/admin/checkpoint).
+func (c *Client) Checkpoint(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/v1/admin/checkpoint", nil, "", nil)
+}
+
+// Health probes GET /healthz; a non-nil CheckpointError field surfaces the
+// server's last background-checkpoint failure without failing the probe.
+type Health struct {
+	Status          string `json:"status"`
+	CheckpointError string `json:"checkpoint_error"`
+}
+
+// Healthz returns the server's liveness document.
+func (c *Client) Healthz(ctx context.Context) (Health, error) {
+	var out Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, "", &out)
+	return out, err
+}

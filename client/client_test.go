@@ -1,0 +1,226 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sprofile"
+	"sprofile/internal/server"
+)
+
+func newClient(t *testing.T, capacity int) *Client {
+	t.Helper()
+	s, err := server.New(server.Config{Capacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidatesURL(t *testing.T) {
+	if _, err := New("not a url"); err == nil {
+		t.Fatal("New accepted a garbage URL")
+	}
+	if _, err := New("/just/a/path"); err == nil {
+		t.Fatal("New accepted a URL without a host")
+	}
+}
+
+func TestIngestAndSingleStats(t *testing.T) {
+	c := newClient(t, 16)
+	ctx := context.Background()
+
+	applied, err := c.SendEvents(ctx, []Event{
+		{Object: "a", Action: ActionAdd},
+		{Object: "a", Action: ActionAdd},
+		{Object: "b", Action: ActionAdd},
+	})
+	if err != nil || applied != 3 {
+		t.Fatalf("SendEvents = (%d, %v)", applied, err)
+	}
+	if err := c.Add(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+
+	mode, ties, err := c.Mode(ctx)
+	if err != nil || mode.Key != "a" || mode.Frequency != 3 || ties != 1 {
+		t.Fatalf("Mode = (%+v, %d, %v)", mode, ties, err)
+	}
+	if f, err := c.Count(ctx, "a"); err != nil || f != 3 {
+		t.Fatalf("Count(a) = (%d, %v)", f, err)
+	}
+	if f, err := c.Count(ctx, "ghost"); err != nil || f != 0 {
+		t.Fatalf("Count(ghost) = (%d, %v)", f, err)
+	}
+	top, err := c.TopK(ctx, 2)
+	if err != nil || len(top) != 2 || top[0].Key != "a" {
+		t.Fatalf("TopK = (%+v, %v)", top, err)
+	}
+	if _, _, err := c.Min(ctx); err != nil {
+		t.Fatalf("Min: %v", err)
+	}
+	if _, err := c.Median(ctx); err != nil {
+		t.Fatalf("Median: %v", err)
+	}
+	if e, err := c.Quantile(ctx, 1); err != nil || e.Frequency != 3 {
+		t.Fatalf("Quantile(1) = (%+v, %v)", e, err)
+	}
+	if _, _, err := c.Majority(ctx); err != nil {
+		t.Fatalf("Majority: %v", err)
+	}
+	dist, err := c.Distribution(ctx)
+	if err != nil || len(dist) == 0 {
+		t.Fatalf("Distribution = (%+v, %v)", dist, err)
+	}
+	sum, err := c.Summary(ctx)
+	if err != nil || sum.Total != 3 || sum.Tracked != 2 {
+		t.Fatalf("Summary = (%+v, %v)", sum, err)
+	}
+	if h, err := c.Healthz(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("Healthz = (%+v, %v)", h, err)
+	}
+}
+
+func TestBulkIngest(t *testing.T) {
+	c := newClient(t, 64)
+	ctx := context.Background()
+
+	events := make([]Event, 0, 300)
+	for i := 0; i < 100; i++ {
+		events = append(events,
+			Event{Object: "hot", Action: ActionAdd},
+			Event{Object: "warm", Action: ActionAdd},
+			Event{Object: "hot", Action: ActionAdd})
+	}
+	applied, err := c.BulkIngest(ctx, events)
+	if err != nil || applied != 300 {
+		t.Fatalf("BulkIngest = (%d, %v)", applied, err)
+	}
+	if f, err := c.Count(ctx, "hot"); err != nil || f != 200 {
+		t.Fatalf("Count(hot) = (%d, %v)", f, err)
+	}
+
+	applied, err = c.BulkIngestReader(ctx, strings.NewReader(
+		"{\"object\":\"cool\",\"action\":\"add\"}\n\n{\"object\":\"cool\",\"action\":\"add\"}\n"))
+	if err != nil || applied != 2 {
+		t.Fatalf("BulkIngestReader = (%d, %v)", applied, err)
+	}
+}
+
+func TestCompositeQuery(t *testing.T) {
+	c := newClient(t, 16)
+	ctx := context.Background()
+
+	if _, err := c.BulkIngest(ctx, []Event{
+		{Object: "a", Action: ActionAdd}, {Object: "a", Action: ActionAdd}, {Object: "a", Action: ActionAdd},
+		{Object: "b", Action: ActionAdd}, {Object: "b", Action: ActionAdd},
+		{Object: "c", Action: ActionAdd},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.Query(ctx, sprofile.KeyedQuery[string]{
+		Count:     []string{"a", "nobody"},
+		Mode:      true,
+		TopK:      2,
+		Quantiles: []float64{0.5, 1},
+		Summary:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode == nil || res.Mode.Key != "a" || res.Mode.Frequency != 3 {
+		t.Fatalf("mode = %+v", res.Mode)
+	}
+	if len(res.Counts) != 2 || res.Counts[0].Frequency != 3 || res.Counts[1].Frequency != 0 {
+		t.Fatalf("counts = %+v", res.Counts)
+	}
+	if len(res.TopK) != 2 || res.TopK[0].Key != "a" || res.TopK[1].Key != "b" {
+		t.Fatalf("top_k = %+v", res.TopK)
+	}
+	if len(res.Quantiles) != 2 || res.Quantiles[1].Frequency != 3 {
+		t.Fatalf("quantiles = %+v", res.Quantiles)
+	}
+	if res.Summary == nil || res.Summary.Total != 6 {
+		t.Fatalf("summary = %+v", res.Summary)
+	}
+	if res.Min != nil || res.Median != nil || res.Majority != nil || res.Distribution != nil {
+		t.Fatalf("unrequested fields were filled: %+v", res)
+	}
+}
+
+// TestErrorTaxonomyAcrossTheWire pins that errors.Is against the sprofile
+// taxonomy works on client-side errors, and that the full APIError stays
+// inspectable.
+func TestErrorTaxonomyAcrossTheWire(t *testing.T) {
+	c := newClient(t, 4)
+	ctx := context.Background()
+
+	// Removing an unknown key → ErrUnknownKey via the wire code.
+	err := c.Remove(ctx, "ghost")
+	if !errors.Is(err, sprofile.ErrUnknownKey) {
+		t.Fatalf("Remove(ghost) = %v, want errors.Is ErrUnknownKey", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != 404 || ae.Code != "unknown_key" {
+		t.Fatalf("APIError = %+v", ae)
+	}
+
+	// Removing a known key at frequency zero → ErrStrictViolation.
+	if err := c.Add(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	err = c.Remove(ctx, "a")
+	if !errors.Is(err, sprofile.ErrStrictViolation) {
+		t.Fatalf("strict remove = %v, want errors.Is ErrStrictViolation", err)
+	}
+
+	// A malformed composite query resolves to both of its classes, exactly
+	// like the local error does (Query validation always wraps an
+	// out-of-range argument alongside ErrInvalidQuery).
+	_, err = c.Query(ctx, sprofile.KeyedQuery[string]{KthLargest: []int{99}})
+	if !errors.Is(err, sprofile.ErrInvalidQuery) || !errors.Is(err, sprofile.ErrOutOfRange) {
+		t.Fatalf("bad query = %v, want errors.Is ErrInvalidQuery and ErrOutOfRange", err)
+	}
+
+	// Overflowing the key capacity → ErrCapExceeded. A fresh server with no
+	// idle keys guarantees nothing can be recycled, whatever the stripe
+	// geometry.
+	full := newClient(t, 2)
+	for _, k := range []string{"k1", "k2"} {
+		if err := full.Add(ctx, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = full.Add(ctx, "k3")
+	if !errors.Is(err, sprofile.ErrCapExceeded) {
+		t.Fatalf("overflow add = %v, want errors.Is ErrCapExceeded", err)
+	}
+
+	// Partial batches surface the applied prefix on the APIError.
+	applied, err := c.SendEvents(ctx, []Event{
+		{Object: "k1", Action: ActionAdd},
+		{Object: "k2", Action: "bogus"},
+	})
+	if err == nil || applied != 1 {
+		t.Fatalf("partial batch = (%d, %v), want 1 applied and an error", applied, err)
+	}
+	if !errors.Is(err, sprofile.ErrInvalidAction) {
+		t.Fatalf("bogus action = %v, want errors.Is ErrInvalidAction", err)
+	}
+}

@@ -1,0 +1,161 @@
+// Command sprofile-query runs composite, atomic multi-statistic queries
+// against a running sprofiled server through the typed client SDK: one
+// invocation is ONE POST /v1/query, so every printed statistic comes from
+// the same consistent cut of the server's profile.
+//
+// Usage:
+//
+//	sprofile-query -addr http://localhost:8080 -mode -top 10 -quantiles 0.5,0.99 -summary
+//	sprofile-query -count alice,bob -majority
+//	sprofile-query -mode -summary -json
+//
+// With no statistic flags it asks for mode, top 10 and the summary — the
+// dashboard staples. -json prints the raw KeyedQueryResult document instead
+// of the human-readable report.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sprofile"
+	"sprofile/client"
+)
+
+func main() {
+	fs := flag.NewFlagSet("sprofile-query", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "http://localhost:8080", "base URL of the sprofiled server")
+		timeout   = fs.Duration("timeout", 10*time.Second, "request timeout")
+		asJSON    = fs.Bool("json", false, "print the raw JSON result document")
+		mode      = fs.Bool("mode", false, "most frequent object")
+		minStat   = fs.Bool("min", false, "least frequent slot")
+		top       = fs.Int("top", 0, "top-K objects")
+		bottom    = fs.Int("bottom", 0, "bottom-K slots")
+		kth       = fs.String("kth", "", "comma-separated 1-based ranks, e.g. 1,2,10")
+		median    = fs.Bool("median", false, "median frequency")
+		quantiles = fs.String("quantiles", "", "comma-separated quantiles in [0,1], e.g. 0.5,0.99")
+		majority  = fs.Bool("majority", false, "strict-majority object, if any")
+		dist      = fs.Bool("distribution", false, "full frequency histogram")
+		summary   = fs.Bool("summary", false, "aggregate counters")
+		count     = fs.String("count", "", "comma-separated object keys to count")
+	)
+	fs.Parse(os.Args[1:])
+
+	q := sprofile.KeyedQuery[string]{
+		Mode:         *mode,
+		Min:          *minStat,
+		TopK:         *top,
+		BottomK:      *bottom,
+		Median:       *median,
+		Majority:     *majority,
+		Distribution: *dist,
+		Summary:      *summary,
+	}
+	if *count != "" {
+		q.Count = strings.Split(*count, ",")
+	}
+	if *kth != "" {
+		for _, s := range strings.Split(*kth, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("sprofile-query: bad -kth entry %q: %v", s, err)
+			}
+			q.KthLargest = append(q.KthLargest, k)
+		}
+	}
+	if *quantiles != "" {
+		for _, s := range strings.Split(*quantiles, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				log.Fatalf("sprofile-query: bad -quantiles entry %q: %v", s, err)
+			}
+			q.Quantiles = append(q.Quantiles, v)
+		}
+	}
+	// No statistic selected: ask for the dashboard staples.
+	if !q.Mode && !q.Min && q.TopK == 0 && q.BottomK == 0 && len(q.KthLargest) == 0 &&
+		!q.Median && len(q.Quantiles) == 0 && !q.Majority && !q.Distribution && !q.Summary &&
+		len(q.Count) == 0 {
+		q.Mode, q.TopK, q.Summary = true, 10, true
+	}
+
+	c, err := client.New(*addr)
+	if err != nil {
+		log.Fatalf("sprofile-query: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	res, err := c.Query(ctx, q)
+	if err != nil {
+		log.Fatalf("sprofile-query: %v", err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	printResult(res)
+}
+
+func printResult(res sprofile.KeyedQueryResult[string]) {
+	if len(res.Counts) > 0 {
+		fmt.Println("counts:")
+		for _, e := range res.Counts {
+			fmt.Printf("  %-24q %d\n", e.Key, e.Frequency)
+		}
+	}
+	if res.Mode != nil {
+		fmt.Printf("mode:       %q frequency %d (%d tied)\n", res.Mode.Key, res.Mode.Frequency, res.Mode.Ties)
+	}
+	if res.Min != nil {
+		fmt.Printf("min:        %q frequency %d (%d tied)\n", res.Min.Key, res.Min.Frequency, res.Min.Ties)
+	}
+	printEntries := func(label string, entries []sprofile.KeyedEntry[string]) {
+		if len(entries) == 0 {
+			return
+		}
+		fmt.Printf("%s:\n", label)
+		for i, e := range entries {
+			fmt.Printf("  #%-3d %-24q %d\n", i+1, e.Key, e.Frequency)
+		}
+	}
+	printEntries("top", res.TopK)
+	printEntries("bottom", res.BottomK)
+	printEntries("kth-largest", res.KthLargest)
+	if res.Median != nil {
+		fmt.Printf("median:     frequency %d (%q)\n", res.Median.Frequency, res.Median.Key)
+	}
+	for _, qe := range res.Quantiles {
+		fmt.Printf("q=%-6g    frequency %d (%q)\n", qe.Q, qe.Frequency, qe.Key)
+	}
+	if res.Majority != nil {
+		if res.Majority.Majority {
+			fmt.Printf("majority:   %q with frequency %d\n", res.Majority.Key, res.Majority.Frequency)
+		} else {
+			fmt.Println("majority:   none")
+		}
+	}
+	if len(res.Distribution) > 0 {
+		fmt.Println("distribution (freq: objects):")
+		for _, fc := range res.Distribution {
+			fmt.Printf("  %8d: %d\n", fc.Freq, fc.Count)
+		}
+	}
+	if res.Summary != nil {
+		s := res.Summary
+		fmt.Printf("summary:    capacity=%d total=%d active=%d distinct-freqs=%d max=%d min=%d adds=%d removes=%d\n",
+			s.Capacity, s.Total, s.Active, s.DistinctFrequencies, s.MaxFrequency, s.MinFrequency, s.Adds, s.Removes)
+	}
+}

@@ -196,6 +196,17 @@ func (c *Concurrent) Total() int64 {
 	return c.p.Total()
 }
 
+// Query answers a composite query atomically: the read lock is held once
+// across the whole evaluation, so every selected statistic — Mode, TopK,
+// quantiles, the distribution, the summary — comes from the same cut of the
+// profile, and a composite costs one lock round-trip instead of one per
+// statistic.
+func (c *Concurrent) Query(q Query) (QueryResult, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return core.EvalQuery(c.p, q)
+}
+
 // Snapshot returns a point-in-time deep copy of the profile that can be
 // queried without any further locking. The error is always nil; the signature
 // matches the Snapshotter capability shared with Sharded.

@@ -481,6 +481,61 @@ func (v intStringKeyed) Majority() (sprofile.KeyedEntry[int], bool, error) {
 	return stringEntryToInt(e), ok, err
 }
 
+func (v intStringKeyed) QueryKeys(q sprofile.KeyedQuery[int]) (sprofile.KeyedQueryResult[int], error) {
+	sq := sprofile.KeyedQuery[string]{
+		Mode:         q.Mode,
+		Min:          q.Min,
+		TopK:         q.TopK,
+		BottomK:      q.BottomK,
+		KthLargest:   q.KthLargest,
+		Median:       q.Median,
+		Quantiles:    q.Quantiles,
+		Majority:     q.Majority,
+		Distribution: q.Distribution,
+		Summary:      q.Summary,
+	}
+	for _, key := range q.Count {
+		sq.Count = append(sq.Count, intKey(key))
+	}
+	sres, err := v.k.QueryKeys(sq)
+	if err != nil {
+		return sprofile.KeyedQueryResult[int]{}, err
+	}
+	out := sprofile.KeyedQueryResult[int]{
+		TopK:         stringEntriesToInt(sres.TopK),
+		BottomK:      stringEntriesToInt(sres.BottomK),
+		KthLargest:   stringEntriesToInt(sres.KthLargest),
+		Distribution: sres.Distribution,
+		Summary:      sres.Summary,
+	}
+	if len(sres.Counts) > 0 {
+		out.Counts = make([]sprofile.KeyedEntry[int], len(sres.Counts))
+		for i, e := range sres.Counts {
+			out.Counts[i] = stringEntryToInt(e)
+		}
+	}
+	if sres.Mode != nil {
+		out.Mode = &sprofile.KeyedExtreme[int]{KeyedEntry: stringEntryToInt(sres.Mode.KeyedEntry), Ties: sres.Mode.Ties}
+	}
+	if sres.Min != nil {
+		out.Min = &sprofile.KeyedExtreme[int]{KeyedEntry: stringEntryToInt(sres.Min.KeyedEntry), Ties: sres.Min.Ties}
+	}
+	if sres.Median != nil {
+		e := stringEntryToInt(*sres.Median)
+		out.Median = &e
+	}
+	if len(sres.Quantiles) > 0 {
+		out.Quantiles = make([]sprofile.KeyedQuantile[int], len(sres.Quantiles))
+		for i, qe := range sres.Quantiles {
+			out.Quantiles[i] = sprofile.KeyedQuantile[int]{Q: qe.Q, KeyedEntry: stringEntryToInt(qe.KeyedEntry)}
+		}
+	}
+	if sres.Majority != nil {
+		out.Majority = &sprofile.KeyedMajority[int]{KeyedEntry: stringEntryToInt(sres.Majority.KeyedEntry), Majority: sres.Majority.Majority}
+	}
+	return out, nil
+}
+
 func (v intStringKeyed) KeyOf(id int) (int, bool) {
 	s, ok := v.k.KeyOf(id)
 	if !ok {

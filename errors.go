@@ -1,0 +1,101 @@
+package sprofile
+
+import (
+	"errors"
+	"fmt"
+
+	"sprofile/internal/core"
+	"sprofile/internal/idmap"
+)
+
+// errInvalidAction wraps ErrInvalidAction with the offending value; every
+// variant's action-validation path returns it, so the message is uniform.
+func errInvalidAction(a Action) error {
+	return fmt.Errorf("%w %d", ErrInvalidAction, a)
+}
+
+// This file is the package's error taxonomy: every operational error any
+// variant returns resolves, via errors.Is, to one of the class roots below,
+// and usually also to a more specific sentinel. Callers branch on the closed
+// set of classes; the HTTP server maps the same classes onto status codes
+// and wire error codes, and the client SDK maps those codes back, so
+// errors.Is works identically against a local profile and a remote one.
+//
+// Class roots (coarse):
+//
+//	ErrOutOfRange      — an argument outside its domain (object id, rank,
+//	                     K parameter, NaN quantile, negative delta count)
+//	ErrStrictViolation — an update a strict non-negative profile refused
+//	ErrCapExceeded     — more concurrently tracked objects than slots
+//	ErrEmptyProfile    — a statistic that needs at least one object slot
+//	ErrUnknownKey      — a keyed operation on a key with no dense id
+//	ErrInvalidAction   — a log tuple that is neither add nor remove
+//	ErrInvalidQuery    — a malformed composite Query
+//	ErrReadOnly        — an update through a read-only view
+//	ErrWALAppend       — applied in memory but not journaled (divergence)
+//
+// Specific sentinels (fine; each resolves to its class):
+//
+//	ErrObjectRange       → ErrOutOfRange
+//	ErrBadRank           → ErrOutOfRange
+//	ErrNegativeFrequency → ErrStrictViolation
+//	ErrKeyedFull         → ErrCapExceeded
+var (
+	// ErrOutOfRange classifies every argument outside its domain: object ids
+	// outside [0, m), ranks and K parameters outside [1, m], NaN quantiles,
+	// negative AddN/RemoveN counts.
+	ErrOutOfRange = core.ErrOutOfRange
+
+	// ErrStrictViolation classifies updates a profile built with
+	// WithStrictNonNegative (or with keyed recycling) must refuse because a
+	// frequency would drop below zero.
+	ErrStrictViolation = core.ErrStrictViolation
+
+	// ErrCapExceeded classifies requests that need more concurrently tracked
+	// objects than the profile has slots.
+	ErrCapExceeded = core.ErrCapExceeded
+
+	// ErrInvalidAction reports a log tuple whose action is neither ActionAdd
+	// nor ActionRemove.
+	ErrInvalidAction = core.ErrInvalidAction
+
+	// ErrInvalidQuery reports a malformed composite Query; the offending
+	// argument's class (usually ErrOutOfRange) is wrapped alongside it.
+	ErrInvalidQuery = core.ErrInvalidQuery
+
+	// ErrReadOnly reports an update attempted through a read-only profiler
+	// view, such as the one Keyed.Profile returns.
+	ErrReadOnly = errors.New("sprofile: profiler view is read-only")
+)
+
+// Specific sentinels. Test with errors.Is; each also matches its class root.
+var (
+	// ErrObjectRange reports an object id outside [0, m). Resolves to
+	// ErrOutOfRange.
+	ErrObjectRange = core.ErrObjectRange
+
+	// ErrNegativeFrequency reports a strict-mode removal that would drive a
+	// frequency below zero. Resolves to ErrStrictViolation.
+	ErrNegativeFrequency = core.ErrNegativeFrequency
+
+	// ErrEmptyProfile reports a statistical query on a profile with no slots.
+	ErrEmptyProfile = core.ErrEmptyProfile
+
+	// ErrBadRank reports an out-of-range rank, K or quantile parameter.
+	// Resolves to ErrOutOfRange.
+	ErrBadRank = core.ErrBadRank
+
+	// ErrBadSnapshot reports a corrupt or incompatible snapshot.
+	ErrBadSnapshot = core.ErrBadSnapshot
+
+	// ErrCapacity reports an invalid capacity passed to New.
+	ErrCapacity = core.ErrCapacity
+
+	// ErrKeyedFull is returned by keyed Add when every dense id is occupied
+	// by a live key and no id can be recycled. Resolves to ErrCapExceeded.
+	ErrKeyedFull = idmap.ErrFull
+
+	// ErrUnknownKey is returned by keyed operations on keys that were never
+	// added (or whose id has been recycled).
+	ErrUnknownKey = idmap.ErrUnknownKey
+)

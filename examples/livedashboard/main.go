@@ -65,23 +65,28 @@ func main() {
 		}(w)
 	}
 
-	// Reporter: after every completed batch, print a dashboard line. Queries
-	// run concurrently with the producers' updates.
+	// Reporter: after every completed batch, print a dashboard line. The
+	// whole line is ONE composite query answered under one lock acquisition,
+	// so the mode, both quantiles and the summary always describe the same
+	// instant — with individual getters, each would be a separate lock
+	// round-trip and the line could mix four different states of the stream.
+	dashboard := sprofile.Query{
+		Mode:      true,
+		Quantiles: []float64{0.50, 0.99},
+		Summary:   true,
+	}
 	reporterDone := make(chan struct{})
 	go func() {
 		defer close(reporterDone)
 		for i := 0; i < producers*batchesPerWorker; i++ {
 			worker := <-batchDone
-			mode, ties, err := profile.Mode()
+			res, err := sprofile.QueryProfiler(profile, dashboard)
 			if err != nil {
 				log.Fatal(err)
 			}
-			p50, _ := profile.Quantile(0.50)
-			p99, _ := profile.Quantile(0.99)
-			summary := profile.Summarize()
 			fmt.Printf("batch %2d (worker %d): events=%d mode=obj%-5d freq=%-6d ties=%-4d p50=%-4d p99=%-5d distinct-freqs=%d\n",
-				i+1, worker, summary.Adds+summary.Removes, mode.Object, mode.Frequency, ties,
-				p50.Frequency, p99.Frequency, summary.DistinctFrequencies)
+				i+1, worker, res.Summary.Adds+res.Summary.Removes, res.Mode.Object, res.Mode.Frequency, res.Mode.Ties,
+				res.Quantiles[0].Frequency, res.Quantiles[1].Frequency, res.Summary.DistinctFrequencies)
 		}
 	}()
 

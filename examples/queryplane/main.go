@@ -1,0 +1,107 @@
+// Query plane end to end: an in-process sprofile server, the typed client
+// SDK, bulk NDJSON ingestion, and one atomic composite query.
+//
+// Run with:
+//
+//	go run ./examples/queryplane
+//
+// The example stands up the same HTTP server cmd/sprofiled runs (on an
+// ephemeral port), streams a skewed click stream into it through the
+// client's bulk fast path, and then renders a small dashboard from ONE
+// POST /v1/query — every statistic in it taken from the same consistent cut
+// of the server's profile. It also shows the error taxonomy surviving the
+// wire: errors.Is against sprofile sentinels works on client-side errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http/httptest"
+
+	"sprofile"
+	"sprofile/client"
+	"sprofile/internal/server"
+)
+
+const (
+	capacity = 10_000
+	events   = 200_000
+)
+
+func main() {
+	// The server side: exactly what cmd/sprofiled serves.
+	srv, err := server.New(server.Config{Capacity: capacity})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c, err := client.New(ts.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Ingest a skewed stream through the bulk NDJSON fast path: the server
+	// coalesces each chunk into net per-key deltas, so the hot keys cost one
+	// block walk per chunk instead of one per event.
+	rng := rand.New(rand.NewSource(1))
+	batch := make([]client.Event, 0, events)
+	for i := 0; i < events; i++ {
+		var key string
+		if rng.Float64() < 0.4 {
+			key = fmt.Sprintf("hot-%d", rng.Intn(20))
+		} else {
+			key = fmt.Sprintf("page-%d", rng.Intn(capacity-20))
+		}
+		batch = append(batch, client.Event{Object: key, Action: client.ActionAdd})
+	}
+	applied, err := c.BulkIngest(ctx, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d events through /v1/events/bulk\n\n", applied)
+
+	// One composite query = one consistent dashboard. All of these come from
+	// a single quiesced cut of the server's profile; a sequence of GETs could
+	// interleave with concurrent producers and disagree with itself.
+	res, err := c.Query(ctx, sprofile.KeyedQuery[string]{
+		Count:     []string{"hot-0", "page-1", "never-seen"},
+		Mode:      true,
+		TopK:      5,
+		Median:    true,
+		Quantiles: []float64{0.9, 0.99},
+		Summary:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mode: %q with frequency %d (%d tied)\n", res.Mode.Key, res.Mode.Frequency, res.Mode.Ties)
+	fmt.Println("top 5:")
+	for i, e := range res.TopK {
+		fmt.Printf("  #%d %-8q %d\n", i+1, e.Key, e.Frequency)
+	}
+	fmt.Printf("median frequency: %d, p90: %d, p99: %d\n",
+		res.Median.Frequency, res.Quantiles[0].Frequency, res.Quantiles[1].Frequency)
+	for _, e := range res.Counts {
+		fmt.Printf("count %-12q = %d\n", e.Key, e.Frequency)
+	}
+	fmt.Printf("summary: %d events over %d active keys\n\n", res.Summary.Total, res.Summary.Active)
+
+	// The error taxonomy crosses the wire: a remove of an unknown key is a
+	// 404 whose code resolves back to sprofile.ErrUnknownKey.
+	err = c.Remove(ctx, "never-seen")
+	switch {
+	case errors.Is(err, sprofile.ErrUnknownKey):
+		fmt.Println("removing an unknown key fails with sprofile.ErrUnknownKey, as it would locally")
+	case err == nil:
+		log.Fatal("remove of an unknown key unexpectedly succeeded")
+	default:
+		log.Fatalf("unexpected error class: %v", err)
+	}
+}

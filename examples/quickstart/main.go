@@ -67,4 +67,20 @@ func main() {
 	} else {
 		fmt.Printf("\nno object holds a strict majority (total count %d)\n", profile.Total())
 	}
+
+	// Composite queries: any subset of the statistics above can be answered
+	// in ONE atomic request — one lock acquisition on the concurrency
+	// variants — instead of one call per statistic.
+	res, err := sprofile.QueryProfiler(profile, sprofile.Query{
+		Mode:      true,
+		TopK:      3,
+		Quantiles: []float64{0.5, 0.99},
+		Summary:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncomposite query: mode=obj%d(freq %d) top=%v p50=%d p99=%d total=%d\n",
+		res.Mode.Object, res.Mode.Frequency, res.TopK,
+		res.Quantiles[0].Frequency, res.Quantiles[1].Frequency, res.Summary.Total)
 }

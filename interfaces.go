@@ -172,8 +172,11 @@ type KeyedProfiler[K comparable] interface {
 	Total() int64
 	// KeyOf resolves a dense id back to its key, when one is assigned.
 	KeyOf(id int) (K, bool)
+	// QueryKeys answers a composite multi-statistic query atomically; see
+	// KeyedQuery and the KeyedQuerier capability.
+	QueryKeys(q KeyedQuery[K]) (KeyedQueryResult[K], error)
 	// Profile exposes the underlying dense-id profiler for advanced
-	// queries; mutating it directly is not allowed.
+	// queries as a read-only view; updates through it return ErrReadOnly.
 	Profile() Profiler
 }
 
@@ -185,6 +188,18 @@ var (
 	_ Profiler = (*Window)(nil)
 	_ Profiler = (*TimeWindow)(nil)
 	_ Profiler = (*Durable)(nil)
+	_ Profiler = (*ReadOnlyProfiler)(nil)
+
+	_ Querier = (*Profile)(nil)
+	_ Querier = (*Concurrent)(nil)
+	_ Querier = (*Sharded)(nil)
+	_ Querier = (*Window)(nil)
+	_ Querier = (*TimeWindow)(nil)
+	_ Querier = (*Durable)(nil)
+	_ Querier = (*ReadOnlyProfiler)(nil)
+
+	_ KeyedQuerier[string] = (*Keyed[string])(nil)
+	_ KeyedQuerier[string] = (*KeyedConcurrent[string])(nil)
 
 	_ Snapshotter = (*Profile)(nil)
 	_ Snapshotter = (*Concurrent)(nil)

@@ -51,7 +51,7 @@ func (p *Profile) AddN(x int, k int64) error {
 		return errObjectRange(x, int(p.m))
 	}
 	if k < 0 {
-		return fmt.Errorf("core: negative add count %d for object %d", k, x)
+		return fmt.Errorf("%w: negative add count %d for object %d", ErrOutOfRange, k, x)
 	}
 	if k == 0 {
 		return nil
@@ -70,7 +70,7 @@ func (p *Profile) RemoveN(x int, k int64) error {
 		return errObjectRange(x, int(p.m))
 	}
 	if k < 0 {
-		return fmt.Errorf("core: negative remove count %d for object %d", k, x)
+		return fmt.Errorf("%w: negative remove count %d for object %d", ErrOutOfRange, k, x)
 	}
 	if k == 0 {
 		return nil

@@ -5,22 +5,70 @@ import (
 	"fmt"
 )
 
+// Taxonomy roots. Every operational error a profile can return resolves, via
+// errors.Is, to exactly one of these classes (the root package re-exports
+// them), so callers — and the HTTP layer mapping errors onto status codes —
+// branch on a closed set instead of matching message strings.
+var (
+	// ErrOutOfRange classifies every argument outside its domain: object
+	// ids outside [0, m), ranks and K parameters outside [1, m], NaN
+	// quantiles. ErrObjectRange and ErrBadRank both resolve to it.
+	ErrOutOfRange = errors.New("sprofile: argument out of range")
+
+	// ErrStrictViolation classifies updates a strict non-negative profile
+	// must refuse. ErrNegativeFrequency resolves to it.
+	ErrStrictViolation = errors.New("sprofile: strict non-negativity violated")
+
+	// ErrCapExceeded classifies requests that need more object slots than
+	// the profile has; the keyed mappers' full condition resolves to it.
+	ErrCapExceeded = errors.New("sprofile: capacity exceeded")
+
+	// ErrInvalidAction reports a log tuple whose action is neither add nor
+	// remove.
+	ErrInvalidAction = errors.New("sprofile: invalid action")
+
+	// ErrInvalidQuery reports a malformed composite Query; the specific
+	// offence is wrapped alongside it (usually an ErrOutOfRange argument),
+	// so errors.Is matches both.
+	ErrInvalidQuery = errors.New("sprofile: invalid query")
+)
+
+// Tagged returns a sentinel error with its own message that errors.Is also
+// matches class. It is how the package's concrete sentinels (and those of
+// sibling packages such as idmap) are filed under the taxonomy roots above
+// without contorting their messages.
+func Tagged(class error, msg string) error {
+	return &taggedError{msg: msg, class: class}
+}
+
+type taggedError struct {
+	msg   string
+	class error
+}
+
+func (e *taggedError) Error() string { return e.msg }
+func (e *taggedError) Unwrap() error { return e.class }
+
 // Sentinel errors returned by Profile operations. They are wrapped with
-// contextual detail; use errors.Is to test for them.
+// contextual detail; use errors.Is to test for them (or for the taxonomy
+// roots they resolve to).
 var (
 	// ErrObjectRange is returned when an object id lies outside [0, m).
-	ErrObjectRange = errors.New("core: object id out of range")
+	// Resolves to ErrOutOfRange.
+	ErrObjectRange = Tagged(ErrOutOfRange, "core: object id out of range")
 
 	// ErrNegativeFrequency is returned by Remove in strict mode when the
-	// removal would drive an object's frequency below zero.
-	ErrNegativeFrequency = errors.New("core: frequency would become negative")
+	// removal would drive an object's frequency below zero. Resolves to
+	// ErrStrictViolation.
+	ErrNegativeFrequency = Tagged(ErrStrictViolation, "core: frequency would become negative")
 
 	// ErrEmptyProfile is returned when a query needs at least one object
 	// slot but the profile was built with m == 0.
 	ErrEmptyProfile = errors.New("core: profile has no object slots")
 
-	// ErrBadRank is returned when a rank or K parameter is out of range.
-	ErrBadRank = errors.New("core: rank out of range")
+	// ErrBadRank is returned when a rank or K parameter is out of range
+	// (including NaN quantiles). Resolves to ErrOutOfRange.
+	ErrBadRank = Tagged(ErrOutOfRange, "core: rank out of range")
 
 	// ErrBadSnapshot is returned when decoding a snapshot that is
 	// truncated, corrupt, or produced by an incompatible version.
@@ -37,4 +85,8 @@ func errObjectRange(x, m int) error {
 
 func errBadRank(k, m int) error {
 	return fmt.Errorf("%w: k %d, capacity %d", ErrBadRank, k, m)
+}
+
+func errInvalidAction(a Action) error {
+	return fmt.Errorf("%w %d", ErrInvalidAction, a)
 }

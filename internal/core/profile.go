@@ -255,7 +255,7 @@ func (p *Profile) Apply(t Tuple) error {
 	case ActionRemove:
 		return p.Remove(t.Object)
 	default:
-		return fmt.Errorf("core: invalid action %d", t.Action)
+		return errInvalidAction(t.Action)
 	}
 }
 

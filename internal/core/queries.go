@@ -1,19 +1,22 @@
 package core
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Entry pairs an object id with its frequency; query results are reported as
-// entries.
+// entries. The JSON form is the one the composite-query wire format uses.
 type Entry struct {
-	Object    int
-	Frequency int64
+	Object    int   `json:"object"`
+	Frequency int64 `json:"frequency"`
 }
 
 // FreqCount is one point of the frequency distribution: Count objects
 // currently have frequency Freq.
 type FreqCount struct {
-	Freq  int64
-	Count int
+	Freq  int64 `json:"freq"`
+	Count int   `json:"count"`
 }
 
 // Mode returns one object with the maximum frequency, that frequency, and
@@ -165,12 +168,27 @@ func QuantileRank(q float64, m int) int {
 	return int(math.Round(q * float64(m-1)))
 }
 
+// CheckQuantile rejects quantile arguments no rank can be derived from. NaN
+// is the only such value: finite arguments outside [0, 1] are clamped by
+// QuantileRank (q = -0.3 answers like q = 0, q = 1.7 like q = 1), a contract
+// every variant shares and the conformance suite pins.
+func CheckQuantile(q float64) error {
+	if math.IsNaN(q) {
+		return fmt.Errorf("%w: quantile is NaN", ErrBadRank)
+	}
+	return nil
+}
+
 // Quantile returns the entry at quantile q in [0, 1] of the frequency
 // multiset (q=0 minimum, q=0.5 median, q=1 maximum), using the
-// nearest-rank definition of QuantileRank.
+// nearest-rank definition of QuantileRank. Finite q outside [0, 1] is
+// clamped; NaN is an error (see CheckQuantile).
 func (p *Profile) Quantile(q float64) (Entry, error) {
 	if p.m == 0 {
 		return Entry{}, ErrEmptyProfile
+	}
+	if err := CheckQuantile(q); err != nil {
+		return Entry{}, err
 	}
 	return p.AtRank(QuantileRank(q, int(p.m)))
 }
@@ -258,16 +276,17 @@ func (p *Profile) CountWithFrequencyInRange(lo, hi int64) int {
 func (p *Profile) DistinctFrequencies() int { return p.arena.liveBlocks() }
 
 // Snapshot of summary statistics; cheap to produce and useful for logging.
+// The JSON form is the one the composite-query wire format uses.
 type Summary struct {
-	Capacity            int
-	Total               int64
-	Active              int
-	Negative            int
-	DistinctFrequencies int
-	MaxFrequency        int64
-	MinFrequency        int64
-	Adds                uint64
-	Removes             uint64
+	Capacity            int    `json:"capacity"`
+	Total               int64  `json:"total"`
+	Active              int    `json:"active"`
+	Negative            int    `json:"negative"`
+	DistinctFrequencies int    `json:"distinct_frequencies"`
+	MaxFrequency        int64  `json:"max_frequency"`
+	MinFrequency        int64  `json:"min_frequency"`
+	Adds                uint64 `json:"adds"`
+	Removes             uint64 `json:"removes"`
 }
 
 // Summarize returns the current summary statistics of the profile.

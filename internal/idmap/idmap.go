@@ -18,10 +18,13 @@ package idmap
 import (
 	"errors"
 	"fmt"
+
+	"sprofile/internal/core"
 )
 
-// ErrFull is returned by Acquire when every dense id is in use.
-var ErrFull = errors.New("idmap: all dense ids are in use")
+// ErrFull is returned by Acquire when every dense id is in use. It resolves
+// to the taxonomy root core.ErrCapExceeded via errors.Is.
+var ErrFull = core.Tagged(core.ErrCapExceeded, "idmap: all dense ids are in use")
 
 // ErrUnknownKey is returned by Release and DenseID when the key has no
 // mapping.

@@ -452,6 +452,14 @@ func (s *Striped[K]) Quiesce(fn func()) {
 	fn()
 }
 
+// LookupLocked is DenseID for callers already inside Quiesce: it resolves
+// key without taking any map-stripe lock. Calling it anywhere else is a data
+// race.
+func (s *Striped[K]) LookupLocked(key K) (int, bool) {
+	id, ok := s.stripes[s.StripeOf(key)].toDense[key]
+	return id, ok
+}
+
 // RangeLocked is Range for callers already inside Quiesce: it visits every
 // (key, dense id) pair without taking any locks. Calling it anywhere else is
 // a data race.

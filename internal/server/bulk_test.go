@@ -131,8 +131,8 @@ func TestBulkRejectsBadLines(t *testing.T) {
 func TestBulkRemoveUnknownKey(t *testing.T) {
 	ts := newTestServer(t, 100)
 	resp, out := postBulk(t, ts, `{"object":"ghost","action":"remove"}`)
-	if resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Fatalf("status %d, want 422 (%s)", resp.StatusCode, out.Error)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404 (%s)", resp.StatusCode, out.Error)
 	}
 }
 

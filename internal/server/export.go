@@ -2,7 +2,6 @@ package server
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 
@@ -101,11 +100,7 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 		}
 		for i := int64(0); i < e.Frequency; i++ {
 			if err := s.profile.Add(e.Object); err != nil {
-				status := http.StatusUnprocessableEntity
-				if errors.Is(err, sprofile.ErrKeyedFull) {
-					status = http.StatusInsufficientStorage
-				}
-				writeError(w, status, "importing %q: %v", e.Object, err)
+				writeProfileError(w, fmt.Errorf("importing %q: %w", e.Object, err))
 				return
 			}
 		}
@@ -127,9 +122,16 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing object parameter")
 		return
 	}
+	m := s.profile.Cap()
+	if m == 0 {
+		// Unreachable today (server.New rejects Capacity <= 0), but kept on
+		// the taxonomy funnel so the contract holds if that ever changes.
+		writeProfileError(w, sprofile.ErrEmptyProfile)
+		return
+	}
 	f, err := s.profile.Count(object)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeProfileError(w, err)
 		return
 	}
 	// The histogram walk costs O(#distinct frequencies) but works against any
@@ -139,11 +141,6 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		if fc.Freq >= f {
 			atLeast += fc.Count
 		}
-	}
-	m := s.profile.Cap()
-	if m == 0 {
-		writeError(w, http.StatusUnprocessableEntity, "%v", fmt.Errorf("profile has no object slots"))
-		return
 	}
 	writeJSON(w, http.StatusOK, rankResponse{
 		Object:     object,

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"sprofile"
+)
+
+// queryLimit bounds the per-request list arguments of a composite query so a
+// single POST cannot ask for an unbounded amount of work; it reuses the
+// server's batch bound.
+func (s *Server) queryLimit() int { return s.maxBatch }
+
+// handleQuery answers POST /v1/query: ONE composite, atomic multi-statistic
+// query per request. The body is a sprofile.KeyedQuery in JSON — any subset
+// of count/mode/min/top_k/bottom_k/kth_largest/median/quantiles/majority/
+// distribution/summary — and the response is the matching
+// sprofile.KeyedQueryResult, every statistic answered from one quiesced cut
+// of the profile (see KeyedConcurrent.QueryKeys). A dashboard that used to
+// issue N GETs — and could observe N different profiles under concurrent
+// ingest — issues one POST and gets one consistent answer.
+//
+// Errors follow the taxonomy mapping of errorCode: a malformed selection is
+// 400 invalid_query, an unanswerable statistic on an empty profile is 422
+// empty_profile.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var q sprofile.KeyedQuery[string]
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid query document: %v", err)
+		return
+	}
+	if limit := s.queryLimit(); len(q.Count) > limit || len(q.Quantiles) > limit || len(q.KthLargest) > limit {
+		writeError(w, http.StatusBadRequest, "query lists are bounded to %d entries each", limit)
+		return
+	}
+	res, err := s.profile.QueryKeys(q)
+	if err != nil {
+		writeProfileError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

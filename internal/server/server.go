@@ -9,6 +9,8 @@
 //
 //	POST /v1/events              one event or a batch of events
 //	POST /v1/events/bulk         NDJSON stream of events (batch fast path)
+//	POST /v1/query               one composite multi-statistic query,
+//	                             answered atomically from one cut
 //	POST /v1/admin/checkpoint    snapshot the profile and truncate the WAL
 //	GET  /v1/stats/mode          most frequent object
 //	GET  /v1/stats/top?k=10      top-K objects
@@ -153,6 +155,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/events", s.handleEvents)
 	s.mux.HandleFunc("/v1/events/bulk", s.handleBulk)
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/admin/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("/v1/stats/mode", s.handleMode)
 	s.mux.HandleFunc("/v1/stats/top", s.handleTop)
@@ -177,6 +180,7 @@ type Event struct {
 type eventsResponse struct {
 	Applied int    `json:"applied"`
 	Error   string `json:"error,omitempty"`
+	Code    string `json:"code,omitempty"`
 }
 
 // entryResponse is the wire form of a single statistics answer.
@@ -196,6 +200,10 @@ type majorityResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code is the machine-readable error class; see errorCode for the
+	// closed set. The Go client SDK maps it back onto the sprofile error
+	// taxonomy, so errors.Is works across the wire.
+	Code string `json:"code,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -206,8 +214,65 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// errorCode maps an error returned by the profile onto the HTTP status and
+// the wire error code of its taxonomy class. Every handler funnels profile
+// errors through this one mapping, so the same errors.Is class always yields
+// the same status:
+//
+//	invalid_query, invalid_action, out_of_range → 400 Bad Request
+//	unknown_key                                 → 404 Not Found
+//	strict_violation                            → 409 Conflict
+//	empty_profile                               → 422 Unprocessable Entity
+//	cap_exceeded                                → 507 Insufficient Storage
+//	wal_append (applied but not journaled)      → 500 Internal Server Error
+func errorCode(err error) (int, string) {
+	switch {
+	case errors.Is(err, sprofile.ErrWALAppend):
+		return http.StatusInternalServerError, "wal_append"
+	case errors.Is(err, sprofile.ErrCapExceeded):
+		return http.StatusInsufficientStorage, "cap_exceeded"
+	case errors.Is(err, sprofile.ErrUnknownKey):
+		return http.StatusNotFound, "unknown_key"
+	case errors.Is(err, sprofile.ErrInvalidQuery):
+		return http.StatusBadRequest, "invalid_query"
+	case errors.Is(err, sprofile.ErrInvalidAction):
+		return http.StatusBadRequest, "invalid_action"
+	case errors.Is(err, sprofile.ErrOutOfRange):
+		return http.StatusBadRequest, "out_of_range"
+	case errors.Is(err, sprofile.ErrStrictViolation):
+		return http.StatusConflict, "strict_violation"
+	case errors.Is(err, sprofile.ErrEmptyProfile):
+		return http.StatusUnprocessableEntity, "empty_profile"
+	default:
+		return http.StatusUnprocessableEntity, "unprocessable"
+	}
+}
+
+// statusCode names the request-level (non-taxonomy) error classes by status.
+func statusCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusInternalServerError:
+		return "internal"
+	default:
+		return "unprocessable"
+	}
+}
+
+// writeError reports a request-level failure (malformed body, bad parameter,
+// wrong method) whose class is implied by the status code.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Code: statusCode(status)})
+}
+
+// writeProfileError reports a profile operation failure through the taxonomy
+// mapping of errorCode.
+func writeProfileError(w http.ResponseWriter, err error) {
+	status, code := errorCode(err)
+	writeJSON(w, status, errorResponse{Error: err.Error(), Code: code})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -297,28 +362,22 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	applied := 0
 	for _, e := range events {
 		if err := checkObject(e.Object); err != nil {
-			writeJSON(w, http.StatusBadRequest, eventsResponse{Applied: applied, Error: err.Error()})
+			writeJSON(w, http.StatusBadRequest, eventsResponse{Applied: applied, Error: err.Error(), Code: "bad_request"})
 			return
 		}
 		action, err := parseAction(e.Action)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, eventsResponse{Applied: applied, Error: err.Error()})
+			writeJSON(w, http.StatusBadRequest, eventsResponse{Applied: applied, Error: err.Error(), Code: "invalid_action"})
 			return
 		}
 		if err := s.profile.Apply(e.Object, action); err != nil {
+			status, code := errorCode(err)
+			resp := eventsResponse{Applied: applied, Error: err.Error(), Code: code}
 			if errors.Is(err, sprofile.ErrWALAppend) {
 				// The update is in the profile but not in the log.
-				writeJSON(w, http.StatusInternalServerError, eventsResponse{
-					Applied: applied + 1,
-					Error:   err.Error(),
-				})
-				return
+				resp.Applied++
 			}
-			status := http.StatusUnprocessableEntity
-			if errors.Is(err, sprofile.ErrKeyedFull) {
-				status = http.StatusInsufficientStorage
-			}
-			writeJSON(w, status, eventsResponse{Applied: applied, Error: err.Error()})
+			writeJSON(w, status, resp)
 			return
 		}
 		applied++
@@ -327,6 +386,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, eventsResponse{
 			Applied: applied,
 			Error:   fmt.Sprintf("events applied but log sync failed: %v", err),
+			Code:    "wal_append",
 		})
 		return
 	}
@@ -403,7 +463,7 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 		return err
 	}
 	fail := func(status int, format string, args ...any) {
-		writeJSON(w, status, eventsResponse{Applied: applied, Error: fmt.Sprintf(format, args...)})
+		writeJSON(w, status, eventsResponse{Applied: applied, Error: fmt.Sprintf(format, args...), Code: statusCode(status)})
 	}
 	for scanner.Scan() {
 		lineNo++
@@ -445,17 +505,11 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, eventsResponse{Applied: applied})
 }
 
-// writeBulkApplyError maps an ApplyBatch failure onto the same statuses the
-// per-event endpoint uses.
+// writeBulkApplyError maps an ApplyBatch failure onto the same taxonomy
+// statuses and codes the per-event endpoint uses.
 func (s *Server) writeBulkApplyError(w http.ResponseWriter, applied int, err error) {
-	status := http.StatusUnprocessableEntity
-	switch {
-	case errors.Is(err, sprofile.ErrWALAppend):
-		status = http.StatusInternalServerError
-	case errors.Is(err, sprofile.ErrKeyedFull):
-		status = http.StatusInsufficientStorage
-	}
-	writeJSON(w, status, eventsResponse{Applied: applied, Error: err.Error()})
+	status, code := errorCode(err)
+	writeJSON(w, status, eventsResponse{Applied: applied, Error: err.Error(), Code: code})
 }
 
 func (s *Server) handleMode(w http.ResponseWriter, r *http.Request) {
@@ -465,7 +519,7 @@ func (s *Server) handleMode(w http.ResponseWriter, r *http.Request) {
 	}
 	entry, ties, err := s.profile.Mode()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeProfileError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, entryResponse{Object: entry.Key, Frequency: entry.Frequency, Ties: ties})
@@ -478,7 +532,7 @@ func (s *Server) handleMin(w http.ResponseWriter, r *http.Request) {
 	}
 	entry, ties, err := s.profile.Min()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeProfileError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, entryResponse{Object: entry.Key, Frequency: entry.Frequency, Ties: ties})
@@ -546,7 +600,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	}
 	f, err := s.profile.Count(object)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeProfileError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, entryResponse{Object: object, Frequency: f})
@@ -559,7 +613,7 @@ func (s *Server) handleMedian(w http.ResponseWriter, r *http.Request) {
 	}
 	entry, err := s.profile.Median()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeProfileError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, entryResponse{Object: entry.Key, Frequency: entry.Frequency})
@@ -578,7 +632,7 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 	}
 	entry, err := s.profile.Quantile(q)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeProfileError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, entryResponse{Object: entry.Key, Frequency: entry.Frequency})
@@ -591,7 +645,7 @@ func (s *Server) handleMajority(w http.ResponseWriter, r *http.Request) {
 	}
 	entry, ok, err := s.profile.Majority()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeProfileError(w, err)
 		return
 	}
 	if !ok {

@@ -159,9 +159,10 @@ func TestIngestValidation(t *testing.T) {
 		t.Fatalf("bad action accepted: %d %+v", resp.StatusCode, out)
 	}
 
-	// Removing an object that was never added is a strict-mode violation.
+	// Removing an object that was never added resolves to ErrUnknownKey:
+	// 404 with the unknown_key taxonomy code.
 	resp, out = postEvents(t, ts, `[{"object":"ghost","action":"remove"}]`)
-	if resp.StatusCode != http.StatusUnprocessableEntity {
+	if resp.StatusCode != http.StatusNotFound || out.Code != "unknown_key" {
 		t.Fatalf("remove of unknown object: %d %+v", resp.StatusCode, out)
 	}
 

@@ -2,24 +2,16 @@ package sprofile
 
 import (
 	"errors"
-	"fmt"
 
 	"sprofile/internal/core"
 	"sprofile/internal/idmap"
 )
 
-// ErrKeyedFull is returned by Keyed.Add when every dense id is occupied by a
-// live key and no id can be recycled.
-var ErrKeyedFull = idmap.ErrFull
-
-// ErrUnknownKey is returned by Keyed queries about keys that were never added
-// (or whose id has been recycled).
-var ErrUnknownKey = idmap.ErrUnknownKey
-
-// KeyedEntry pairs a caller key with its frequency.
+// KeyedEntry pairs a caller key with its frequency. The JSON form is the one
+// the keyed composite-query wire format uses.
 type KeyedEntry[K comparable] struct {
-	Key       K
-	Frequency int64
+	Key       K     `json:"key"`
+	Frequency int64 `json:"frequency"`
 }
 
 // Keyed profiles objects identified by arbitrary comparable keys (user names,
@@ -167,9 +159,56 @@ func (q *keyedQueries[K]) Distribution() []FreqCount { return q.profile.Distribu
 func (q *keyedQueries[K]) Summarize() Summary { return q.profile.Summarize() }
 
 // Profile exposes the underlying dense-id profiler for advanced queries
-// (rank lookups, snapshots via the Snapshotter capability). Mutating it
-// directly desynchronises the key mapping and must be avoided.
-func (q *keyedQueries[K]) Profile() Profiler { return q.profile }
+// (rank lookups, composite queries, snapshots via the Snapshotter
+// capability) as a read-only view: updates through it return ErrReadOnly,
+// because mutating the dense profile behind the mapper's back
+// desynchronises the key mapping and the recycling bookkeeping. Callers
+// that accept that hazard can get the writable profiler back with
+// (*ReadOnlyProfiler).Unwrap.
+func (q *keyedQueries[K]) Profile() Profiler { return NewReadOnly(q.profile) }
+
+// translateQueryResult resolves every dense id in a composite query answer
+// back to its key through the resolver. The caller guarantees the resolver
+// cannot change between the statistics and the translation (single
+// goroutine for Keyed, a quiesced mapper for KeyedConcurrent).
+func (q *keyedQueries[K]) translateQueryResult(dr QueryResult) KeyedQueryResult[K] {
+	var out KeyedQueryResult[K]
+	if dr.Mode != nil {
+		out.Mode = &KeyedExtreme[K]{KeyedEntry: q.entryToKeyed(dr.Mode.Entry), Ties: dr.Mode.Ties}
+	}
+	if dr.Min != nil {
+		out.Min = &KeyedExtreme[K]{KeyedEntry: q.entryToKeyed(dr.Min.Entry), Ties: dr.Min.Ties}
+	}
+	out.TopK = q.translate(dr.TopK)
+	out.BottomK = q.translate(dr.BottomK)
+	out.KthLargest = q.translate(dr.KthLargest)
+	if dr.Median != nil {
+		e := q.entryToKeyed(*dr.Median)
+		out.Median = &e
+	}
+	if len(dr.Quantiles) > 0 {
+		out.Quantiles = make([]KeyedQuantile[K], len(dr.Quantiles))
+		for i, qe := range dr.Quantiles {
+			out.Quantiles[i] = KeyedQuantile[K]{Q: qe.Q, KeyedEntry: q.entryToKeyed(qe.Entry)}
+		}
+	}
+	if dr.Majority != nil {
+		out.Majority = &KeyedMajority[K]{Majority: dr.Majority.Majority}
+		if dr.Majority.Majority {
+			out.Majority.KeyedEntry = q.entryToKeyed(dr.Majority.Entry)
+		}
+	}
+	out.Distribution = dr.Distribution
+	out.Summary = dr.Summary
+	return out
+}
+
+// queryDense answers the dense half of a keyed composite query through the
+// inner profiler's own Querier capability when present (it always is for the
+// profiles NewKeyed and BuildKeyed construct).
+func (q *keyedQueries[K]) queryDense(dq Query) (QueryResult, error) {
+	return QueryProfiler(q.profile, dq)
+}
 
 // KeyOf resolves a dense id back to its key, when one is assigned.
 func (q *keyedQueries[K]) KeyOf(id int) (K, bool) { return q.resolver.Key(id) }
@@ -320,8 +359,33 @@ func (k *Keyed[K]) Apply(key K, action Action) error {
 	case ActionRemove:
 		return k.Remove(key)
 	default:
-		return fmt.Errorf("sprofile: invalid action %d", action)
+		return errInvalidAction(action)
 	}
+}
+
+// QueryKeys answers a keyed composite query: the dense statistics are read
+// through the inner profiler's Querier capability, requested per-key counts
+// are resolved through the id mapping (unknown keys count as zero, like the
+// Count getter), and every dense id in the answer is translated back to its
+// key. A Keyed profile is single-goroutine, so the whole sequence is one
+// consistent cut by construction.
+func (k *Keyed[K]) QueryKeys(q KeyedQuery[K]) (KeyedQueryResult[K], error) {
+	dres, err := k.queryDense(q.dense())
+	if err != nil {
+		return KeyedQueryResult[K]{}, err
+	}
+	out := k.translateQueryResult(dres)
+	if len(q.Count) > 0 {
+		out.Counts = make([]KeyedEntry[K], len(q.Count))
+		for i, key := range q.Count {
+			f, err := k.Count(key)
+			if err != nil {
+				return KeyedQueryResult[K]{}, err
+			}
+			out.Counts[i] = KeyedEntry[K]{Key: key, Frequency: f}
+		}
+	}
+	return out, nil
 }
 
 // Count returns the current frequency of key (zero for unknown keys).

@@ -164,11 +164,16 @@ func TestKeyedMedianMajorityDistribution(t *testing.T) {
 	if k.Profile() == nil {
 		t.Fatalf("Profile() returned nil")
 	}
-	// The inner profiler of a NewKeyed profile is a plain Profile; advanced
-	// per-object queries like Rank stay reachable through a type assertion.
-	inner, ok := k.Profile().(*sprofile.Profile)
+	// Profile() is a read-only view; the writable inner profiler of a
+	// NewKeyed profile is a plain Profile, and advanced per-object queries
+	// like Rank stay reachable through the explicit Unwrap escape hatch.
+	view, ok := k.Profile().(*sprofile.ReadOnlyProfiler)
 	if !ok {
-		t.Fatalf("Profile() = %T, want *sprofile.Profile", k.Profile())
+		t.Fatalf("Profile() = %T, want *sprofile.ReadOnlyProfiler", k.Profile())
+	}
+	inner, ok := view.Unwrap().(*sprofile.Profile)
+	if !ok {
+		t.Fatalf("Profile().Unwrap() = %T, want *sprofile.Profile", view.Unwrap())
 	}
 	id, err := inner.Rank(0)
 	if err != nil {

@@ -533,8 +533,49 @@ func (k *KeyedConcurrent[K]) Apply(key K, action Action) error {
 	case ActionRemove:
 		return k.Remove(key)
 	default:
-		return fmt.Errorf("sprofile: invalid action %d", action)
+		return errInvalidAction(action)
 	}
+}
+
+// QueryKeys answers a keyed composite query from ONE quiesced cut: every
+// mapper stripe lock is held for the duration (writers wait, readers of
+// other structures proceed), so the dense statistics, the per-key counts and
+// the id→key translation all describe the same instant — a translated key
+// can never have been recycled between a statistic and its resolution, which
+// the individual getters cannot promise under concurrent ingest.
+//
+// The dense evaluation itself runs through the inner profile's own Querier
+// (one lock acquisition on Concurrent, one merged cut on Sharded); with
+// writers quiesced those locks are uncontended.
+func (k *KeyedConcurrent[K]) QueryKeys(q KeyedQuery[K]) (KeyedQueryResult[K], error) {
+	var out KeyedQueryResult[K]
+	var err error
+	k.ids.Quiesce(func() {
+		var dres QueryResult
+		dres, err = k.queryDense(q.dense())
+		if err != nil {
+			return
+		}
+		out = k.translateQueryResult(dres)
+		if len(q.Count) == 0 {
+			return
+		}
+		out.Counts = make([]KeyedEntry[K], len(q.Count))
+		for i, key := range q.Count {
+			var f int64
+			// LookupLocked, not DenseID: the stripe locks are already held.
+			if id, ok := k.ids.LookupLocked(key); ok {
+				if f, err = k.profile.Count(id); err != nil {
+					return
+				}
+			}
+			out.Counts[i] = KeyedEntry[K]{Key: key, Frequency: f}
+		}
+	})
+	if err != nil {
+		return KeyedQueryResult[K]{}, err
+	}
+	return out, nil
 }
 
 // KeyedTuple is one keyed log event — the key-addressed counterpart of
@@ -641,7 +682,7 @@ func (k *KeyedConcurrent[K]) ApplyBatch(events []KeyedTuple[K]) (int, error) {
 	ns := k.ids.NumStripes()
 	for _, e := range events {
 		if !e.Action.Valid() {
-			return 0, fmt.Errorf("sprofile: invalid action %d", e.Action)
+			return 0, errInvalidAction(e.Action)
 		}
 		if k.store != nil {
 			if err := checkJournalableKey(any(e.Key).(string)); err != nil {

@@ -19,6 +19,7 @@ package profilertest
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"sprofile"
@@ -34,8 +35,10 @@ type Factory func(m int, opts ...sprofile.Option) (sprofile.Profiler, error)
 func Run(t *testing.T, name string, factory Factory) {
 	t.Helper()
 	t.Run(name+"/ErrorSemantics", func(t *testing.T) { testErrorSemantics(t, factory) })
+	t.Run(name+"/ArgValidation", func(t *testing.T) { testArgValidation(t, factory) })
 	t.Run(name+"/StrictMode", func(t *testing.T) { testStrictMode(t, factory) })
 	t.Run(name+"/MatchesReference", func(t *testing.T) { testMatchesReference(t, factory) })
+	t.Run(name+"/Query", func(t *testing.T) { testQuery(t, factory) })
 	t.Run(name+"/ApplyAll", func(t *testing.T) { testApplyAll(t, factory) })
 }
 
@@ -97,6 +100,218 @@ func testErrorSemantics(t *testing.T, factory Factory) {
 	}
 	if _, _, err := empty.Majority(); !errors.Is(err, sprofile.ErrEmptyProfile) {
 		t.Errorf("Majority on empty profile = %v, want ErrEmptyProfile", err)
+	}
+}
+
+// testArgValidation pins the unified argument contract every variant shares:
+//
+//   - Quantile: NaN is an error resolving to ErrOutOfRange; finite arguments
+//     outside [0, 1] are clamped to the endpoints, never an error;
+//   - KthLargest: k outside [1, m] is ErrBadRank, which resolves to
+//     ErrOutOfRange;
+//   - TopK/BottomK: k <= 0 yields nil, k > m truncates to m entries;
+//   - object ids outside [0, m) resolve to ErrOutOfRange.
+func testArgValidation(t *testing.T, factory Factory) {
+	p, err := factory(9)
+	if err != nil {
+		t.Fatalf("factory(9): %v", err)
+	}
+	for x := 0; x < 9; x++ {
+		for i := 0; i <= x; i++ {
+			if err := p.Add(x); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	if _, err := p.Quantile(math.NaN()); !errors.Is(err, sprofile.ErrOutOfRange) {
+		t.Errorf("Quantile(NaN) = %v, want ErrOutOfRange", err)
+	}
+	lo, err := p.Quantile(0)
+	if err != nil {
+		t.Fatalf("Quantile(0): %v", err)
+	}
+	hi, err := p.Quantile(1)
+	if err != nil {
+		t.Fatalf("Quantile(1): %v", err)
+	}
+	for q, want := range map[float64]int64{
+		-0.3:         lo.Frequency,
+		1.7:          hi.Frequency,
+		math.Inf(-1): lo.Frequency,
+		math.Inf(1):  hi.Frequency,
+	} {
+		got, err := p.Quantile(q)
+		if err != nil {
+			t.Errorf("Quantile(%g) = %v, want clamped answer", q, err)
+			continue
+		}
+		if got.Frequency != want {
+			t.Errorf("Quantile(%g) frequency = %d, want clamp to %d", q, got.Frequency, want)
+		}
+	}
+
+	for _, k := range []int{0, -1, 10, 1 << 20} {
+		if _, err := p.KthLargest(k); !errors.Is(err, sprofile.ErrBadRank) || !errors.Is(err, sprofile.ErrOutOfRange) {
+			t.Errorf("KthLargest(%d) = %v, want ErrBadRank (ErrOutOfRange)", k, err)
+		}
+	}
+	if got := p.TopK(0); got != nil {
+		t.Errorf("TopK(0) = %v, want nil", got)
+	}
+	if got := p.BottomK(-3); got != nil {
+		t.Errorf("BottomK(-3) = %v, want nil", got)
+	}
+	if got := p.TopK(1 << 20); len(got) != 9 {
+		t.Errorf("TopK(huge) returned %d entries, want 9", len(got))
+	}
+	if _, err := p.Count(9); !errors.Is(err, sprofile.ErrOutOfRange) {
+		t.Errorf("Count(9) = %v, want ErrOutOfRange", err)
+	}
+}
+
+// testQuery requires composite Query answers to be field-for-field identical
+// to the individual getters, and pins the all-or-nothing validation
+// semantics of malformed queries.
+func testQuery(t *testing.T, factory Factory) {
+	for _, m := range []int{1, 11, 40} {
+		p, err := factory(m)
+		if err != nil {
+			t.Fatalf("factory(%d): %v", m, err)
+		}
+		rng := stream.NewRNG(uint64(m))
+		for i := 0; i < 300; i++ {
+			x := rng.Intn(m)
+			action := sprofile.ActionAdd
+			if rng.Bernoulli(0.3) {
+				action = sprofile.ActionRemove
+			}
+			if err := p.Apply(sprofile.Tuple{Object: x, Action: action}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		q := sprofile.Query{
+			Count:        []int{0, m - 1},
+			Mode:         true,
+			Min:          true,
+			TopK:         3,
+			BottomK:      2,
+			KthLargest:   []int{1, m},
+			Median:       true,
+			Quantiles:    []float64{0, 0.5, 0.65, 1, -0.3, 1.7},
+			Majority:     true,
+			Distribution: true,
+			Summary:      true,
+		}
+		res, err := sprofile.QueryProfiler(p, q)
+		if err != nil {
+			t.Fatalf("m=%d Query: %v", m, err)
+		}
+
+		for i, x := range q.Count {
+			want, _ := p.Count(x)
+			if res.Counts[i].Object != x || res.Counts[i].Frequency != want {
+				t.Errorf("m=%d Counts[%d] = %+v, want object %d frequency %d", m, i, res.Counts[i], x, want)
+			}
+		}
+		mode, ties, _ := p.Mode()
+		if res.Mode == nil || res.Mode.Frequency != mode.Frequency || res.Mode.Ties != ties {
+			t.Errorf("m=%d Mode = %+v, want (%+v, %d)", m, res.Mode, mode, ties)
+		}
+		minE, minTies, _ := p.Min()
+		if res.Min == nil || res.Min.Frequency != minE.Frequency || res.Min.Ties != minTies {
+			t.Errorf("m=%d Min = %+v, want (%+v, %d)", m, res.Min, minE, minTies)
+		}
+		wantTop := p.TopK(3)
+		if len(res.TopK) != len(wantTop) {
+			t.Errorf("m=%d TopK length %d, want %d", m, len(res.TopK), len(wantTop))
+		} else {
+			for i := range wantTop {
+				if res.TopK[i].Frequency != wantTop[i].Frequency {
+					t.Errorf("m=%d TopK[%d] = %+v, want frequency %d", m, i, res.TopK[i], wantTop[i].Frequency)
+				}
+			}
+		}
+		wantBottom := p.BottomK(2)
+		if len(res.BottomK) != len(wantBottom) {
+			t.Errorf("m=%d BottomK length %d, want %d", m, len(res.BottomK), len(wantBottom))
+		}
+		for i, k := range q.KthLargest {
+			want, _ := p.KthLargest(k)
+			if res.KthLargest[i].Frequency != want.Frequency {
+				t.Errorf("m=%d KthLargest[%d]=k%d = %+v, want frequency %d", m, i, k, res.KthLargest[i], want.Frequency)
+			}
+		}
+		wantMed, _ := p.Median()
+		if res.Median == nil || res.Median.Frequency != wantMed.Frequency {
+			t.Errorf("m=%d Median = %+v, want frequency %d", m, res.Median, wantMed.Frequency)
+		}
+		for i, qq := range q.Quantiles {
+			want, _ := p.Quantile(qq)
+			if res.Quantiles[i].Q != qq || res.Quantiles[i].Frequency != want.Frequency {
+				t.Errorf("m=%d Quantiles[%d]=%g = %+v, want frequency %d", m, i, qq, res.Quantiles[i], want.Frequency)
+			}
+		}
+		wantMaj, wantOK, _ := p.Majority()
+		if res.Majority == nil || res.Majority.Majority != wantOK || (wantOK && res.Majority.Frequency != wantMaj.Frequency) {
+			t.Errorf("m=%d Majority = %+v, want (%+v, %v)", m, res.Majority, wantMaj, wantOK)
+		}
+		wantDist := p.Distribution()
+		if len(res.Distribution) != len(wantDist) {
+			t.Errorf("m=%d Distribution length %d, want %d", m, len(res.Distribution), len(wantDist))
+		} else {
+			for i := range wantDist {
+				if res.Distribution[i] != wantDist[i] {
+					t.Errorf("m=%d Distribution[%d] = %+v, want %+v", m, i, res.Distribution[i], wantDist[i])
+				}
+			}
+		}
+		if res.Summary == nil || *res.Summary != p.Summarize() {
+			t.Errorf("m=%d Summary = %+v, want %+v", m, res.Summary, p.Summarize())
+		}
+
+		// Unrequested statistics stay nil.
+		empty, err := sprofile.QueryProfiler(p, sprofile.Query{})
+		if err != nil {
+			t.Fatalf("empty query: %v", err)
+		}
+		if empty.Mode != nil || empty.TopK != nil || empty.Summary != nil || empty.Counts != nil {
+			t.Errorf("m=%d empty query filled fields: %+v", m, empty)
+		}
+
+		// Malformed selections fail whole with ErrInvalidQuery plus the
+		// offending argument's class; nothing is evaluated.
+		for _, bad := range []sprofile.Query{
+			{TopK: -1},
+			{BottomK: -2},
+			{KthLargest: []int{0}},
+			{KthLargest: []int{m + 1}},
+			{Quantiles: []float64{math.NaN()}},
+			{Count: []int{m}},
+			{Count: []int{-1}},
+		} {
+			if _, err := sprofile.QueryProfiler(p, bad); !errors.Is(err, sprofile.ErrInvalidQuery) || !errors.Is(err, sprofile.ErrOutOfRange) {
+				t.Errorf("m=%d Query(%+v) = %v, want ErrInvalidQuery wrapping ErrOutOfRange", m, bad, err)
+			}
+		}
+	}
+
+	// Statistics that need at least one slot fail with ErrEmptyProfile on an
+	// empty profile, exactly like the getters.
+	empty, err := factory(0)
+	if err != nil {
+		t.Fatalf("factory(0): %v", err)
+	}
+	for _, q := range []sprofile.Query{{Mode: true}, {Min: true}, {Median: true}, {Quantiles: []float64{0.5}}, {Majority: true}} {
+		if _, err := sprofile.QueryProfiler(empty, q); !errors.Is(err, sprofile.ErrEmptyProfile) {
+			t.Errorf("empty Query(%+v) = %v, want ErrEmptyProfile", q, err)
+		}
+	}
+	if res, err := sprofile.QueryProfiler(empty, sprofile.Query{Summary: true, Distribution: true, TopK: 5}); err != nil {
+		t.Errorf("empty Query(summary) = %v, want nil", err)
+	} else if res.Summary == nil || len(res.TopK) != 0 {
+		t.Errorf("empty Query(summary) = %+v", res)
 	}
 }
 

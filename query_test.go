@@ -1,0 +1,291 @@
+package sprofile_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sprofile"
+)
+
+// TestErrorTaxonomy pins the errors.Is relationships of the typed error
+// taxonomy: every specific sentinel resolves to its class root.
+func TestErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		name     string
+		err      error
+		resolves []error
+	}{
+		{"ObjectRange", sprofile.ErrObjectRange, []error{sprofile.ErrOutOfRange}},
+		{"BadRank", sprofile.ErrBadRank, []error{sprofile.ErrOutOfRange}},
+		{"NegativeFrequency", sprofile.ErrNegativeFrequency, []error{sprofile.ErrStrictViolation}},
+		{"KeyedFull", sprofile.ErrKeyedFull, []error{sprofile.ErrCapExceeded}},
+	}
+	for _, c := range cases {
+		for _, root := range c.resolves {
+			if !errors.Is(c.err, root) {
+				t.Errorf("%s: errors.Is(%v, %v) = false", c.name, c.err, root)
+			}
+		}
+	}
+
+	// The classes stay distinct from each other.
+	if errors.Is(sprofile.ErrObjectRange, sprofile.ErrStrictViolation) {
+		t.Error("ErrObjectRange resolves to ErrStrictViolation")
+	}
+	if errors.Is(sprofile.ErrKeyedFull, sprofile.ErrOutOfRange) {
+		t.Error("ErrKeyedFull resolves to ErrOutOfRange")
+	}
+
+	// Live errors carry the taxonomy end to end.
+	p := sprofile.MustNew(4, sprofile.WithStrictNonNegative())
+	if err := p.Add(99); !errors.Is(err, sprofile.ErrOutOfRange) {
+		t.Errorf("Add(99) = %v, want ErrOutOfRange", err)
+	}
+	if err := p.Remove(1); !errors.Is(err, sprofile.ErrStrictViolation) {
+		t.Errorf("strict Remove = %v, want ErrStrictViolation", err)
+	}
+	if err := p.Apply(sprofile.Tuple{Object: 0, Action: sprofile.Action(9)}); !errors.Is(err, sprofile.ErrInvalidAction) {
+		t.Errorf("invalid action = %v, want ErrInvalidAction", err)
+	}
+	k := sprofile.MustNewKeyed[string](1)
+	if err := k.Add("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Add("b"); !errors.Is(err, sprofile.ErrCapExceeded) {
+		t.Errorf("keyed overflow = %v, want ErrCapExceeded", err)
+	}
+	if err := k.Remove("ghost"); !errors.Is(err, sprofile.ErrUnknownKey) {
+		t.Errorf("keyed unknown remove = %v, want ErrUnknownKey", err)
+	}
+}
+
+// TestReadOnlyProfileView pins the Keyed.Profile contract: the view answers
+// queries and passes capabilities through, but refuses every update with
+// ErrReadOnly, so the Query fallback (or any caller) cannot desynchronise
+// the keyed id mapping through it.
+func TestReadOnlyProfileView(t *testing.T) {
+	k := sprofile.MustNewKeyed[string](8)
+	for _, key := range []string{"a", "a", "b"} {
+		if err := k.Add(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	view := k.Profile()
+
+	if err := view.Add(0); !errors.Is(err, sprofile.ErrReadOnly) {
+		t.Errorf("view.Add = %v, want ErrReadOnly", err)
+	}
+	if err := view.Remove(0); !errors.Is(err, sprofile.ErrReadOnly) {
+		t.Errorf("view.Remove = %v, want ErrReadOnly", err)
+	}
+	if err := view.Apply(sprofile.Tuple{Object: 0, Action: sprofile.ActionAdd}); !errors.Is(err, sprofile.ErrReadOnly) {
+		t.Errorf("view.Apply = %v, want ErrReadOnly", err)
+	}
+	if n, err := view.ApplyAll([]sprofile.Tuple{{Object: 0, Action: sprofile.ActionAdd}}); n != 0 || !errors.Is(err, sprofile.ErrReadOnly) {
+		t.Errorf("view.ApplyAll = (%d, %v), want (0, ErrReadOnly)", n, err)
+	}
+	if k.Total() != 3 {
+		t.Fatalf("refused updates leaked into the profile: total %d", k.Total())
+	}
+
+	// Reads and composite queries flow through.
+	if total := view.Total(); total != 3 {
+		t.Errorf("view.Total = %d, want 3", total)
+	}
+	res, err := sprofile.QueryProfiler(view, sprofile.Query{Mode: true, Summary: true})
+	if err != nil {
+		t.Fatalf("view query: %v", err)
+	}
+	if res.Mode.Frequency != 2 || res.Summary.Total != 3 {
+		t.Errorf("view query = %+v", res)
+	}
+
+	// The Snapshotter capability passes through, and Unwrap reaches the
+	// writable profiler for callers that accept the hazard.
+	ro, ok := view.(*sprofile.ReadOnlyProfiler)
+	if !ok {
+		t.Fatalf("Profile() = %T, want *ReadOnlyProfiler", view)
+	}
+	if snap, err := ro.Snapshot(); err != nil || snap.Total() != 3 {
+		t.Errorf("view.Snapshot = (%v, %v)", snap, err)
+	}
+	if _, ok := ro.Unwrap().(*sprofile.Profile); !ok {
+		t.Errorf("Unwrap = %T, want *sprofile.Profile", ro.Unwrap())
+	}
+}
+
+// queryInvariants checks the cross-statistic invariants that hold inside ANY
+// single consistent cut, whatever the interleaving with concurrent ingest:
+// the mode equals the summary's maximum and the top-1 and q=1 entries, the
+// min equals the summary's minimum, and the distribution sums to the
+// summary's total. Individual getters issued back to back violate these
+// under load; an atomic Query must never.
+func queryInvariants(t *testing.T, res sprofile.QueryResult) {
+	t.Helper()
+	if res.Mode.Frequency != res.Summary.MaxFrequency {
+		t.Fatalf("torn cut: mode %d != summary max %d", res.Mode.Frequency, res.Summary.MaxFrequency)
+	}
+	if res.Min.Frequency != res.Summary.MinFrequency {
+		t.Fatalf("torn cut: min %d != summary min %d", res.Min.Frequency, res.Summary.MinFrequency)
+	}
+	if res.TopK[0].Frequency != res.Mode.Frequency {
+		t.Fatalf("torn cut: top-1 %d != mode %d", res.TopK[0].Frequency, res.Mode.Frequency)
+	}
+	if res.Quantiles[0].Frequency != res.Summary.MaxFrequency {
+		t.Fatalf("torn cut: q=1 %d != summary max %d", res.Quantiles[0].Frequency, res.Summary.MaxFrequency)
+	}
+	var total int64
+	for _, fc := range res.Distribution {
+		total += fc.Freq * int64(fc.Count)
+	}
+	if total != res.Summary.Total {
+		t.Fatalf("torn cut: distribution sums to %d, summary total %d", total, res.Summary.Total)
+	}
+}
+
+// runAtomicQueryTest hammers p with concurrent single-object adds while a
+// reader issues composite queries and checks the one-cut invariants.
+func runAtomicQueryTest(t *testing.T, p sprofile.Profiler, queries int) {
+	q := sprofile.Query{
+		Mode:         true,
+		Min:          true,
+		TopK:         1,
+		Quantiles:    []float64{1},
+		Distribution: true,
+		Summary:      true,
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	m := p.Cap()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				if err := p.Add((i + g) % m); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	qr := p.(sprofile.Querier)
+	for i := 0; i < queries; i++ {
+		res, err := qr.Query(q)
+		if err != nil {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatal(err)
+		}
+		queryInvariants(t, res)
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestQueryAtomicConcurrent pins that a composite query on Concurrent is one
+// cut under concurrent ingest (run with -race).
+func TestQueryAtomicConcurrent(t *testing.T) {
+	runAtomicQueryTest(t, sprofile.MustNewConcurrent(64), 300)
+}
+
+// TestQueryAtomicSharded pins that a composite query on Sharded is one
+// merged cut across all shard locks under concurrent ingest.
+func TestQueryAtomicSharded(t *testing.T) {
+	runAtomicQueryTest(t, sprofile.MustNewSharded(64, 8), 300)
+}
+
+// TestQueryAtomicKeyedConcurrent pins that QueryKeys on KeyedConcurrent is
+// one quiesced cut under concurrent keyed ingest: beyond the dense
+// invariants, a single-writer key's mode must equal the total (only adds of
+// tracked keys ever happen), which individual Mode()+Summarize() calls can
+// tear.
+func TestQueryAtomicKeyedConcurrent(t *testing.T) {
+	k := sprofile.MustBuildKeyed[string](64, sprofile.WithSharding(4))
+	keys := []string{"alpha", "beta", "gamma", "delta"}
+	q := sprofile.KeyedQuery[string]{
+		Count:        keys,
+		Mode:         true,
+		Min:          true,
+		TopK:         1,
+		Quantiles:    []float64{1},
+		Distribution: true,
+		Summary:      true,
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				if err := k.Add(keys[(i+g)%len(keys)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 300; i++ {
+		res, err := k.QueryKeys(q)
+		if err != nil {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatal(err)
+		}
+		if res.Mode.Frequency != res.Summary.MaxFrequency {
+			t.Fatalf("torn cut: mode %d != summary max %d", res.Mode.Frequency, res.Summary.MaxFrequency)
+		}
+		if res.TopK[0].Frequency != res.Mode.Frequency {
+			t.Fatalf("torn cut: top-1 %d != mode %d", res.TopK[0].Frequency, res.Mode.Frequency)
+		}
+		if res.Quantiles[0].Frequency != res.Summary.MaxFrequency {
+			t.Fatalf("torn cut: q=1 %d != summary max %d", res.Quantiles[0].Frequency, res.Summary.MaxFrequency)
+		}
+		var total int64
+		for _, fc := range res.Distribution {
+			total += fc.Freq * int64(fc.Count)
+		}
+		if total != res.Summary.Total {
+			t.Fatalf("torn cut: distribution sums to %d, summary total %d", total, res.Summary.Total)
+		}
+		// Per-key counts come from the same cut: with adds only, the four
+		// counts must sum to exactly the total.
+		var keySum int64
+		for _, e := range res.Counts {
+			keySum += e.Frequency
+		}
+		if keySum != res.Summary.Total {
+			t.Fatalf("torn cut: key counts sum to %d, summary total %d", keySum, res.Summary.Total)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestTimeWindowQueryAt pins that QueryAt runs the expiry sweep before
+// answering: events pushed at t0 vanish from a query asked about t0+2·span.
+func TestTimeWindowQueryAt(t *testing.T) {
+	p := sprofile.MustNew(8)
+	w, err := sprofile.NewTimeWindow(p, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		if err := w.PushAt(sprofile.Tuple{Object: 1, Action: sprofile.ActionAdd}, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := w.Query(sprofile.Query{Summary: true})
+	if err != nil || res.Summary.Total != 5 {
+		t.Fatalf("in-window query = (%+v, %v), want total 5", res.Summary, err)
+	}
+	res, err = w.QueryAt(time.Unix(2000, 0), sprofile.Query{Summary: true})
+	if err != nil || res.Summary.Total != 0 {
+		t.Fatalf("post-expiry query = (%+v, %v), want total 0", res.Summary, err)
+	}
+}

@@ -137,7 +137,7 @@ func (s *Sharded) Apply(t Tuple) error {
 	case ActionRemove:
 		return s.Remove(t.Object)
 	default:
-		return fmt.Errorf("sprofile: invalid action %d", t.Action)
+		return errInvalidAction(t.Action)
 	}
 }
 
@@ -151,7 +151,7 @@ func (s *Sharded) ApplyAll(tuples []Tuple) (int, error) {
 	for i < len(tuples) {
 		t := tuples[i]
 		if !t.Action.Valid() {
-			return i, fmt.Errorf("sprofile: invalid action %d", t.Action)
+			return i, errInvalidAction(t.Action)
 		}
 		sh, _, err := s.locate(t.Object)
 		if err != nil {
@@ -367,7 +367,10 @@ func (s *Sharded) Mode() (Entry, int, error) {
 	}
 	unlock := s.lockAll()
 	defer unlock()
+	return s.modeLocked()
+}
 
+func (s *Sharded) modeLocked() (Entry, int, error) {
 	var best Entry
 	ties := 0
 	found := false
@@ -401,7 +404,10 @@ func (s *Sharded) Min() (Entry, int, error) {
 	}
 	unlock := s.lockAll()
 	defer unlock()
+	return s.minLocked()
+}
 
+func (s *Sharded) minLocked() (Entry, int, error) {
 	var best Entry
 	ties := 0
 	found := false
@@ -459,9 +465,14 @@ func (s *Sharded) AtRank(r int) (Entry, error) {
 	}
 	unlock := s.lockAll()
 	defer unlock()
+	return s.atRankLocked(r, s.distributionLocked())
+}
 
+// atRankLocked answers a rank lookup from an already-merged distribution, so
+// a composite query resolving many ranks (median, several quantiles, several
+// k-th largest) merges the shard histograms once and shares the result.
+func (s *Sharded) atRankLocked(r int, dist []FreqCount) (Entry, error) {
 	// Find the frequency occupying global rank r.
-	dist := s.distributionLocked()
 	remaining := r
 	var targetFreq int64
 	for _, fc := range dist {
@@ -507,10 +518,14 @@ func (s *Sharded) Median() (Entry, error) {
 // Quantile returns the entry at quantile q in [0, 1] of the global frequency
 // multiset. The rank is computed by core.QuantileRank, the same nearest-rank
 // mapping Profile.Quantile uses, so a sharded profile and a plain profile
-// over the same stream always answer identically.
+// over the same stream always answer identically. Finite q outside [0, 1] is
+// clamped; NaN is an error.
 func (s *Sharded) Quantile(q float64) (Entry, error) {
 	if s.m == 0 {
 		return Entry{}, ErrEmptyProfile
+	}
+	if err := core.CheckQuantile(q); err != nil {
+		return Entry{}, err
 	}
 	return s.AtRank(core.QuantileRank(q, s.m))
 }
@@ -524,7 +539,10 @@ func (s *Sharded) Majority() (Entry, bool, error) {
 	}
 	unlock := s.lockAll()
 	defer unlock()
+	return s.majorityLocked()
+}
 
+func (s *Sharded) majorityLocked() (Entry, bool, error) {
 	var best Entry
 	var total int64
 	found := false
@@ -554,7 +572,12 @@ func (s *Sharded) Majority() (Entry, bool, error) {
 func (s *Sharded) Summarize() Summary {
 	unlock := s.lockAll()
 	defer unlock()
+	return s.summarizeLocked(s.distributionLocked())
+}
 
+// summarizeLocked merges the shard summaries against an already-merged
+// distribution (needed only for the distinct-frequency count).
+func (s *Sharded) summarizeLocked(dist []FreqCount) Summary {
 	sum := Summary{Capacity: s.m}
 	for i := range s.shards {
 		shardSum := s.shards[i].p.Summarize()
@@ -572,7 +595,7 @@ func (s *Sharded) Summarize() Summary {
 	}
 	// Distinct frequencies must be counted globally: two shards holding the
 	// same frequency contribute one distinct value, not two.
-	sum.DistinctFrequencies = len(s.distributionLocked())
+	sum.DistinctFrequencies = len(dist)
 	return sum
 }
 
@@ -582,12 +605,18 @@ func (s *Sharded) TopK(k int) []Entry {
 	if k <= 0 || s.m == 0 {
 		return nil
 	}
+	unlock := s.lockAll()
+	defer unlock()
+	return s.topKLocked(k)
+}
+
+func (s *Sharded) topKLocked(k int) []Entry {
+	if k <= 0 || s.m == 0 {
+		return nil
+	}
 	if k > s.m {
 		k = s.m
 	}
-	unlock := s.lockAll()
-	defer unlock()
-
 	candidates := make([]Entry, 0, k*len(s.shards))
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -613,12 +642,18 @@ func (s *Sharded) BottomK(k int) []Entry {
 	if k <= 0 || s.m == 0 {
 		return nil
 	}
+	unlock := s.lockAll()
+	defer unlock()
+	return s.bottomKLocked(k)
+}
+
+func (s *Sharded) bottomKLocked(k int) []Entry {
+	if k <= 0 || s.m == 0 {
+		return nil
+	}
 	if k > s.m {
 		k = s.m
 	}
-	unlock := s.lockAll()
-	defer unlock()
-
 	candidates := make([]Entry, 0, k*len(s.shards))
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -636,6 +671,105 @@ func (s *Sharded) BottomK(k int) []Entry {
 		candidates = candidates[:k]
 	}
 	return candidates
+}
+
+// Query answers a composite query atomically from one merged cut: every
+// shard's read lock is held once across the whole evaluation, and every rank
+// statistic the query selects — median, quantiles, k-th largest, the
+// distribution itself, the summary's distinct-frequency count — is answered
+// from ONE merged frequency histogram instead of re-merging per call. A
+// composite with R rank statistics therefore costs one lock round-trip and
+// one O(total distinct frequencies) merge, where R individual getters cost R
+// of each.
+func (s *Sharded) Query(q Query) (QueryResult, error) {
+	var res QueryResult
+	if err := q.Validate(s.m); err != nil {
+		return res, err
+	}
+	unlock := s.lockAll()
+	defer unlock()
+
+	var dist []FreqCount
+	if q.NeedsDistribution() {
+		dist = s.distributionLocked()
+	}
+	if len(q.Count) > 0 {
+		res.Counts = make([]Entry, len(q.Count))
+		for i, x := range q.Count {
+			// Validate range-checked x, so locate cannot fail.
+			sh, local, err := s.locate(x)
+			if err != nil {
+				return QueryResult{}, err
+			}
+			f, err := sh.p.Count(local)
+			if err != nil {
+				return QueryResult{}, err
+			}
+			res.Counts[i] = Entry{Object: x, Frequency: f}
+		}
+	}
+	if q.Mode {
+		e, ties, err := s.modeLocked()
+		if err != nil {
+			return QueryResult{}, err
+		}
+		res.Mode = &Extreme{Entry: e, Ties: ties}
+	}
+	if q.Min {
+		e, ties, err := s.minLocked()
+		if err != nil {
+			return QueryResult{}, err
+		}
+		res.Min = &Extreme{Entry: e, Ties: ties}
+	}
+	if q.TopK > 0 {
+		res.TopK = s.topKLocked(q.TopK)
+	}
+	if q.BottomK > 0 {
+		res.BottomK = s.bottomKLocked(q.BottomK)
+	}
+	if len(q.KthLargest) > 0 {
+		res.KthLargest = make([]Entry, len(q.KthLargest))
+		for i, k := range q.KthLargest {
+			e, err := s.atRankLocked(s.m-k, dist)
+			if err != nil {
+				return QueryResult{}, err
+			}
+			res.KthLargest[i] = e
+		}
+	}
+	if q.Median {
+		e, err := s.atRankLocked((s.m-1)/2, dist)
+		if err != nil {
+			return QueryResult{}, err
+		}
+		res.Median = &e
+	}
+	if len(q.Quantiles) > 0 {
+		res.Quantiles = make([]QuantileEntry, len(q.Quantiles))
+		for i, qq := range q.Quantiles {
+			e, err := s.atRankLocked(core.QuantileRank(qq, s.m), dist)
+			if err != nil {
+				return QueryResult{}, err
+			}
+			res.Quantiles[i] = QuantileEntry{Q: qq, Entry: e}
+		}
+	}
+	if q.Majority {
+		e, ok, err := s.majorityLocked()
+		if err != nil {
+			return QueryResult{}, err
+		}
+		res.Majority = &MajorityEntry{Entry: e, Majority: ok}
+	}
+	if q.Distribution {
+		res.Distribution = dist
+	}
+	if q.Summary {
+		sum := s.summarizeLocked(dist)
+		res.Summary = &sum
+	}
+	return res, nil
 }
 
 // Snapshot merges every shard into one consistent standalone Profile (cost

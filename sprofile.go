@@ -23,6 +23,13 @@
 //	p, err := sprofile.Build(m, sprofile.Windowed(100_000))
 //	p, err := sprofile.Build(m, sprofile.WithWAL("events.wal"))
 //
+// Composite reads go through the query plane: one Query selects any subset
+// of the statistics and every variant answers it atomically from a single
+// consistent cut (see Querier, KeyedQuery and QueryProfiler), and all
+// operational errors resolve via errors.Is to a typed taxonomy (see the
+// error sentinels in errors.go). The same plane is served over HTTP by
+// internal/server's POST /v1/query and consumed by the sprofile/client SDK.
+//
 // Code written against Profiler never changes when the representation does.
 // The concrete constructors remain for callers that need a variant's extra
 // methods: New for the raw dense-id profile (object ids are integers in
@@ -100,23 +107,6 @@ func WithStrictNonNegative() Option { return core.WithStrictNonNegative() }
 // WithBlockHint pre-sizes the internal block slab; useful when the number of
 // distinct frequency values is roughly known in advance.
 func WithBlockHint(hint int) Option { return core.WithBlockHint(hint) }
-
-// Sentinel errors returned by profiles; test with errors.Is.
-var (
-	// ErrObjectRange reports an object id outside [0, m).
-	ErrObjectRange = core.ErrObjectRange
-	// ErrNegativeFrequency reports a strict-mode removal that would drive a
-	// frequency below zero.
-	ErrNegativeFrequency = core.ErrNegativeFrequency
-	// ErrEmptyProfile reports a statistical query on a profile with no slots.
-	ErrEmptyProfile = core.ErrEmptyProfile
-	// ErrBadRank reports an out-of-range rank or K parameter.
-	ErrBadRank = core.ErrBadRank
-	// ErrBadSnapshot reports a corrupt or incompatible snapshot.
-	ErrBadSnapshot = core.ErrBadSnapshot
-	// ErrCapacity reports an invalid capacity passed to New.
-	ErrCapacity = core.ErrCapacity
-)
 
 // New returns an S-Profile over m dense object ids (0..m-1), all starting at
 // frequency zero. Updates cost O(1) worst case; memory is O(m).

@@ -55,6 +55,13 @@ func (r windowReader) Distribution() []FreqCount { return r.p.Distribution() }
 // Summarize returns aggregate statistics of the windowed profile.
 func (r windowReader) Summarize() Summary { return r.p.Summarize() }
 
+// Query answers a composite query in one pass over the windowed profile,
+// which reflects exactly the expiry sweep of the newest push: every selected
+// statistic describes the same window contents. Window adapters are
+// single-goroutine, so no locking is involved; a TimeWindow whose newest
+// push is old can run an explicit expiry sweep first via QueryAt.
+func (r windowReader) Query(q Query) (QueryResult, error) { return r.p.Query(q) }
+
 // Cap returns the number of object slots.
 func (r windowReader) Cap() int { return r.p.Cap() }
 
@@ -194,6 +201,18 @@ func (w *TimeWindow) ApplyAll(tuples []Tuple) (int, error) {
 		}
 	}
 	return len(tuples), nil
+}
+
+// QueryAt advances the window's logical time to now — expiring everything
+// that falls out of the span, exactly like AdvanceTo — and then answers the
+// composite query, so every selected statistic describes the window ending
+// at now. It is the "one expiry sweep, then one cut" form of Query for
+// callers whose newest push is older than the moment they are asking about.
+func (w *TimeWindow) QueryAt(now time.Time, q Query) (QueryResult, error) {
+	if err := w.inner.AdvanceTo(now); err != nil {
+		return QueryResult{}, err
+	}
+	return w.windowReader.Query(q)
 }
 
 // Span returns the window length.
