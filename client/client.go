@@ -26,10 +26,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"sprofile"
 )
@@ -96,16 +100,68 @@ var codeToErr = map[string]error{
 	"invalid_action":   sprofile.ErrInvalidAction,
 	"invalid_query":    errors.Join(sprofile.ErrInvalidQuery, sprofile.ErrOutOfRange),
 	"wal_append":       sprofile.ErrWALAppend,
+	"read_only":        sprofile.ErrReadOnly,
+	"stale_read":       sprofile.ErrStaleRead,
 }
 
 // Unwrap resolves the wire code to its sprofile taxonomy class (nil for
 // request-level codes like bad_request, which have no library counterpart).
 func (e *APIError) Unwrap() error { return codeToErr[e.Code] }
 
-// Client is a typed HTTP client for one sprofile server.
+// Client is a typed HTTP client for one sprofile server — or, with
+// WithFollowers, for a replicated deployment: writes always go to the leader,
+// reads round-robin across the followers and fall back to the leader when the
+// chosen follower is unreachable, too stale, or otherwise failing.
 type Client struct {
 	base string
 	hc   *http.Client
+
+	retry        RetryPolicy
+	retryOn      bool
+	followers    []string
+	next         atomic.Uint32 // round-robin cursor over followers
+	maxStaleness time.Duration // >0: demanded on every read via header
+}
+
+// HeaderMaxStaleness is the request header carrying a read's freshness
+// demand in milliseconds; it mirrors the server-side constant.
+const HeaderMaxStaleness = "X-Sprofile-Max-Staleness-Ms"
+
+// RetryPolicy bounds the automatic retries of WithRetry. Zero fields select
+// the defaults noted on each.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per target (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 50ms);
+	// it doubles per attempt with 50–100% jitter.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 2s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return 3
+}
+
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << attempt
+	if d > max || d <= 0 {
+		d = max
+	}
+	// Full jitter over the upper half: uniform in [d/2, d). Decorrelates
+	// client herds without ever collapsing the backoff to zero.
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // Option configures a Client.
@@ -115,6 +171,37 @@ type Option func(*Client)
 // set timeouts and transports there.
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetry retries transiently failing requests with jittered exponential
+// backoff. Reads retry on connection errors and on 502/503/504 answers
+// (except read_only and stale_read, which a same-node retry cannot heal —
+// those trigger leader fallback instead when followers are configured).
+// Writes retry only on connection-refused, where the request provably never
+// reached a server — anything later and a non-idempotent ingest could be
+// applied twice. Context cancellation always stops the retry loop.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry, c.retryOn = p, true }
+}
+
+// WithFollowers routes reads across the given follower base URLs
+// round-robin; the construction-time base URL remains the leader, serving
+// every write and the fallback for reads whose follower failed. Statistics
+// read from a follower may trail the leader by its replication lag — demand a
+// bound with WithMaxStaleness when it matters.
+func WithFollowers(urls ...string) Option {
+	return func(c *Client) {
+		for _, u := range urls {
+			c.followers = append(c.followers, strings.TrimRight(u, "/"))
+		}
+	}
+}
+
+// WithMaxStaleness attaches a freshness demand to every read: a follower
+// whose staleness watermark exceeds d refuses with sprofile.ErrStaleRead
+// (and the client falls back to the leader, which always satisfies it).
+func WithMaxStaleness(d time.Duration) Option {
+	return func(c *Client) { c.maxStaleness = d }
 }
 
 // New returns a client for the server at baseURL (e.g.
@@ -142,15 +229,19 @@ type wireError struct {
 	Applied int    `json:"applied"`
 }
 
-// do issues one request and decodes a JSON answer into out (when non-nil).
-// Non-2xx responses become *APIError.
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader, contentType string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+// sendOnce issues one request against one base URL and decodes a JSON answer
+// into out (when non-nil). Non-2xx responses become *APIError. Reads carry
+// the client's max-staleness demand.
+func (c *Client) sendOnce(ctx context.Context, method, base, path string, body io.Reader, contentType string, read bool, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, base+path, body)
 	if err != nil {
 		return err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if read && c.maxStaleness > 0 {
+		req.Header.Set(HeaderMaxStaleness, strconv.FormatInt(c.maxStaleness.Milliseconds(), 10))
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -175,12 +266,118 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, co
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// transportFailure reports a request that died in transit (as opposed to a
+// server answer or the caller's own context expiring).
+func transportFailure(err error) bool {
+	var ue *url.Error
+	return errors.As(err, &ue) &&
+		!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// readRetryable classifies errors a repeat of the same idempotent read could
+// heal: transport failures and gateway-ish 5xx answers. read_only and
+// stale_read are excluded — the same node will keep giving the same answer;
+// they are grounds for leader fallback, not same-node retry.
+func readRetryable(err error) bool {
+	if transportFailure(err) {
+		return true
+	}
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Code != "read_only" && ae.Code != "stale_read" {
+		switch ae.StatusCode {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+	}
+	return false
+}
+
+// writeRetryable is deliberately narrow: only connection-refused, where the
+// request provably never reached a server. A write that failed any later
+// could have been applied — retrying a non-idempotent ingest would double it.
+func writeRetryable(err error) bool {
+	var ue *url.Error
+	return errors.As(err, &ue) && errors.Is(ue.Err, syscall.ECONNREFUSED)
+}
+
+// withRetry runs fn under the configured retry policy, backing off with
+// jittered exponential delays between attempts while retryable(err) holds.
+// Without WithRetry it runs fn exactly once.
+func (c *Client) withRetry(ctx context.Context, retryable func(error) bool, fn func() error) error {
+	attempts := 1
+	if c.retryOn {
+		attempts = c.retry.attempts()
+	}
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(c.retry.delay(a - 1)):
+			}
+		}
+		if err = fn(); err == nil || !retryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// doRead routes one idempotent read: round-robin follower first (when
+// configured), leader as fallback. Each target gets the full retry budget;
+// any follower failure that is not the caller's own fault (4xx) falls
+// through to the leader.
+func (c *Client) doRead(ctx context.Context, method, path string, body []byte, contentType string, out any) error {
+	targets := []string{c.base}
+	if len(c.followers) > 0 {
+		i := int(c.next.Add(1)-1) % len(c.followers)
+		targets = []string{c.followers[i], c.base}
+	}
+	var err error
+	for ti, base := range targets {
+		err = c.withRetry(ctx, readRetryable, func() error {
+			var r io.Reader
+			if body != nil {
+				r = bytes.NewReader(body)
+			}
+			return c.sendOnce(ctx, method, base, path, r, contentType, true, out)
+		})
+		if err == nil {
+			return nil
+		}
+		if ti == len(targets)-1 || ctx.Err() != nil {
+			return err
+		}
+		var ae *APIError
+		if errors.As(err, &ae) && ae.StatusCode < http.StatusInternalServerError {
+			return err // the request itself is bad; the leader would agree
+		}
+	}
+	return err
+}
+
+// doWrite sends one mutating request to the leader.
+func (c *Client) doWrite(ctx context.Context, method, path string, body []byte, contentType string, out any) error {
+	return c.withRetry(ctx, writeRetryable, func() error {
+		var r io.Reader
+		if body != nil {
+			r = bytes.NewReader(body)
+		}
+		return c.sendOnce(ctx, method, c.base, path, r, contentType, false, out)
+	})
+}
+
+func (c *Client) getRead(ctx context.Context, path string, out any) error {
+	return c.doRead(ctx, http.MethodGet, path, nil, "", out)
+}
+
 func (c *Client) postJSON(ctx context.Context, path string, body, out any) error {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	return c.do(ctx, http.MethodPost, path, bytes.NewReader(data), "application/json", out)
+	return c.doWrite(ctx, http.MethodPost, path, data, "application/json", out)
 }
 
 // appliedResponse mirrors the server's ingest answer.
@@ -244,7 +441,7 @@ func (c *Client) BulkIngestReader(ctx context.Context, r io.Reader) (int, error)
 
 func (c *Client) bulk(ctx context.Context, r io.Reader) (int, error) {
 	var out appliedResponse
-	err := c.do(ctx, http.MethodPost, "/v1/events/bulk", r, "application/x-ndjson", &out)
+	err := c.sendOnce(ctx, http.MethodPost, c.base, "/v1/events/bulk", r, "application/x-ndjson", false, &out)
 	if err != nil {
 		var ae *APIError
 		if errors.As(err, &ae) {
@@ -260,9 +457,17 @@ func (c *Client) bulk(ctx context.Context, r io.Reader) (int, error) {
 // single consistent cut of the server's profile. Prefer it over sequences of
 // single-statistic calls — one round trip, one lock acquisition server-side,
 // and no torn reads under concurrent ingest.
+//
+// Query is a read: with WithFollowers it is routed to a follower (falling
+// back to the leader), and the result's Replication field reports which
+// node's cut answered and how stale it may be.
 func (c *Client) Query(ctx context.Context, q sprofile.KeyedQuery[string]) (sprofile.KeyedQueryResult[string], error) {
 	var out sprofile.KeyedQueryResult[string]
-	err := c.postJSON(ctx, "/v1/query", q, &out)
+	data, err := json.Marshal(q)
+	if err != nil {
+		return out, err
+	}
+	err = c.doRead(ctx, http.MethodPost, "/v1/query", data, "application/json", &out)
 	return out, err
 }
 
@@ -281,7 +486,7 @@ func (e entryResponse) keyed() sprofile.KeyedEntry[string] {
 // tie with it.
 func (c *Client) Mode(ctx context.Context) (sprofile.KeyedEntry[string], int, error) {
 	var out entryResponse
-	err := c.do(ctx, http.MethodGet, "/v1/stats/mode", nil, "", &out)
+	err := c.getRead(ctx, "/v1/stats/mode", &out)
 	return out.keyed(), out.Ties, err
 }
 
@@ -289,20 +494,20 @@ func (c *Client) Mode(ctx context.Context) (sprofile.KeyedEntry[string], int, er
 // with it.
 func (c *Client) Min(ctx context.Context) (sprofile.KeyedEntry[string], int, error) {
 	var out entryResponse
-	err := c.do(ctx, http.MethodGet, "/v1/stats/min", nil, "", &out)
+	err := c.getRead(ctx, "/v1/stats/min", &out)
 	return out.keyed(), out.Ties, err
 }
 
 // Count returns the current frequency of object (zero when unknown).
 func (c *Client) Count(ctx context.Context, object string) (int64, error) {
 	var out entryResponse
-	err := c.do(ctx, http.MethodGet, "/v1/stats/count?object="+url.QueryEscape(object), nil, "", &out)
+	err := c.getRead(ctx, "/v1/stats/count?object="+url.QueryEscape(object), &out)
 	return out.Frequency, err
 }
 
 func (c *Client) kList(ctx context.Context, path string, k int) ([]sprofile.KeyedEntry[string], error) {
 	var out []entryResponse
-	err := c.do(ctx, http.MethodGet, path+"?k="+strconv.Itoa(k), nil, "", &out)
+	err := c.getRead(ctx, path+"?k="+strconv.Itoa(k), &out)
 	if err != nil {
 		return nil, err
 	}
@@ -327,14 +532,14 @@ func (c *Client) BottomK(ctx context.Context, k int) ([]sprofile.KeyedEntry[stri
 // Median returns the lower-median entry of the frequency multiset.
 func (c *Client) Median(ctx context.Context) (sprofile.KeyedEntry[string], error) {
 	var out entryResponse
-	err := c.do(ctx, http.MethodGet, "/v1/stats/median", nil, "", &out)
+	err := c.getRead(ctx, "/v1/stats/median", &out)
 	return out.keyed(), err
 }
 
 // Quantile returns the entry at quantile q in [0, 1].
 func (c *Client) Quantile(ctx context.Context, q float64) (sprofile.KeyedEntry[string], error) {
 	var out entryResponse
-	err := c.do(ctx, http.MethodGet, "/v1/stats/quantile?q="+strconv.FormatFloat(q, 'g', -1, 64), nil, "", &out)
+	err := c.getRead(ctx, "/v1/stats/quantile?q="+strconv.FormatFloat(q, 'g', -1, 64), &out)
 	return out.keyed(), err
 }
 
@@ -349,7 +554,7 @@ type majorityResponse struct {
 // if one exists.
 func (c *Client) Majority(ctx context.Context) (sprofile.KeyedEntry[string], bool, error) {
 	var out majorityResponse
-	err := c.do(ctx, http.MethodGet, "/v1/stats/majority", nil, "", &out)
+	err := c.getRead(ctx, "/v1/stats/majority", &out)
 	return sprofile.KeyedEntry[string]{Key: out.Object, Frequency: out.Frequency}, out.Majority, err
 }
 
@@ -357,33 +562,66 @@ func (c *Client) Majority(ctx context.Context) (sprofile.KeyedEntry[string], boo
 // order.
 func (c *Client) Distribution(ctx context.Context) ([]sprofile.FreqCount, error) {
 	var out []sprofile.FreqCount
-	err := c.do(ctx, http.MethodGet, "/v1/stats/distribution", nil, "", &out)
+	err := c.getRead(ctx, "/v1/stats/distribution", &out)
 	return out, err
 }
 
 // Summary returns the profile's aggregate counters.
 func (c *Client) Summary(ctx context.Context) (Summary, error) {
 	var out Summary
-	err := c.do(ctx, http.MethodGet, "/v1/stats/summary", nil, "", &out)
+	err := c.getRead(ctx, "/v1/stats/summary", &out)
 	return out, err
 }
 
 // Checkpoint asks the server to snapshot its profile and truncate the
 // write-ahead log (POST /v1/admin/checkpoint).
 func (c *Client) Checkpoint(ctx context.Context) error {
-	return c.do(ctx, http.MethodPost, "/v1/admin/checkpoint", nil, "", nil)
+	return c.doWrite(ctx, http.MethodPost, "/v1/admin/checkpoint", nil, "", nil)
 }
 
-// Health probes GET /healthz; a non-nil CheckpointError field surfaces the
-// server's last background-checkpoint failure without failing the probe.
+// WALHealth mirrors the "wal" section of /healthz: the durable log's append
+// position and the observability counters behind it.
+type WALHealth struct {
+	Segment             uint64 `json:"segment"`
+	Offset              int64  `json:"offset"`
+	Segments            int    `json:"segments"`
+	Fsyncs              uint64 `json:"fsyncs"`
+	TailBytes           int64  `json:"tail_bytes"`
+	SnapshotSeq         uint64 `json:"snapshot_seq"`
+	LastCheckpointAgeMs int64  `json:"last_checkpoint_age_ms"` // -1 = never checkpointed
+}
+
+// Health probes GET /healthz; a non-empty CheckpointError or ReplicationError
+// surfaces a background failure without failing the probe. WAL and
+// Replication are nil on nodes that have neither.
 type Health struct {
-	Status          string `json:"status"`
-	CheckpointError string `json:"checkpoint_error"`
+	Status           string                      `json:"status"`
+	Role             string                      `json:"role"`
+	CheckpointError  string                      `json:"checkpoint_error"`
+	ReplicationError string                      `json:"replication_error"`
+	WAL              *WALHealth                  `json:"wal"`
+	Replication      *sprofile.ReplicationStatus `json:"replication"`
 }
 
-// Healthz returns the server's liveness document.
+// Healthz returns the server's liveness document. It probes the configured
+// base URL only — point a dedicated Client at each node to monitor a fleet.
 func (c *Client) Healthz(ctx context.Context) (Health, error) {
 	var out Health
-	err := c.do(ctx, http.MethodGet, "/healthz", nil, "", &out)
+	err := c.sendOnce(ctx, http.MethodGet, c.base, "/healthz", nil, "", false, &out)
 	return out, err
+}
+
+// Promote asks the node at the client's base URL to stop following and become
+// the leader (POST /v1/admin/promote). It reports whether this call performed
+// the transition: false with a nil error means the node already was (or
+// always had been) a leader, so orchestrators can fire-and-retry safely.
+func (c *Client) Promote(ctx context.Context) (bool, error) {
+	var out struct {
+		Promoted bool   `json:"promoted"`
+		Role     string `json:"role"`
+	}
+	if err := c.doWrite(ctx, http.MethodPost, "/v1/admin/promote", nil, "", &out); err != nil {
+		return false, err
+	}
+	return out.Promoted, nil
 }

@@ -38,6 +38,8 @@ func main() {
 		walSync   = fs.Int("wal-sync-every", 0, "fsync the WAL after this many events (0 = once per batch)")
 		ckptEvery = fs.Duration("checkpoint-every", 0, "snapshot the profile and truncate the WAL on this cadence (0 = disabled; requires -wal)")
 		ckptBytes = fs.Int64("checkpoint-bytes", 0, "additionally checkpoint once the WAL tail exceeds this many bytes (0 = disabled; requires -wal)")
+		follow    = fs.String("follow", "", "run as a read-only follower of the leader at this base URL; -wal names the local mirror directory (required). Writes are refused with the leader's address until POST /v1/admin/promote")
+		pollWait  = fs.Duration("follow-poll", 0, "long-poll wait per WAL tail fetch in follower mode (0 = 20s default)")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) on a listener separate from the API, so hot-path regressions can be profiled in production; empty disables")
 	)
 	fs.Parse(os.Args[1:])
@@ -61,6 +63,8 @@ func main() {
 		WALSyncEvery:    *walSync,
 		CheckpointEvery: *ckptEvery,
 		CheckpointBytes: *ckptBytes,
+		Follow:          *follow,
+		FollowPoll:      *pollWait,
 	})
 	if err != nil {
 		log.Fatalf("sprofiled: %v", err)
@@ -70,7 +74,9 @@ func main() {
 			log.Printf("sprofiled: closing WAL: %v", err)
 		}
 	}()
-	if *walPath != "" {
+	if *follow != "" {
+		log.Printf("sprofiled: following %s (mirror %s); writes are refused until promoted", *follow, *walPath)
+	} else if *walPath != "" {
 		rec := srv.Recovery()
 		if rec.SnapshotSeq > 0 {
 			log.Printf("sprofiled: restored %d objects (%d events) from snapshot %d, replayed %d tail events from %d segments in %s",

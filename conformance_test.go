@@ -1,7 +1,10 @@
 package sprofile_test
 
 import (
+	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
@@ -296,15 +299,110 @@ func TestRestoredProfilerConformance(t *testing.T) {
 	})
 }
 
+// TestFollowerReplicatedConformance holds the replication pipeline to the
+// full conformance battery: every update is journaled by a WAL-backed leader
+// and every query is answered by a follower that bootstrapped over HTTP and
+// caught up on the leader's log — the replica must agree with the in-memory
+// reference exactly, update for update.
+func TestFollowerReplicatedConformance(t *testing.T) {
+	dir := t.TempDir()
+	seq := 0
+	profilertest.Run(t, "Follower-Replicated", func(m int, opts ...sprofile.Option) (sprofile.Profiler, error) {
+		seq++
+		// A capacity-0 profile has nothing to replicate (followers require a
+		// positive capacity); the battery only probes its empty-profile error
+		// semantics, which the leader alone answers.
+		if m == 0 {
+			k, err := sprofile.BuildKeyed[string](m, sprofile.WithoutKeyRecycling(), sprofile.WithOptions(opts...))
+			if err != nil {
+				return nil, err
+			}
+			return newKeyedAdapter(intStringKeyed{k}, m)
+		}
+		leader, err := sprofile.BuildKeyed[string](m,
+			sprofile.WithSharding(2),
+			sprofile.WithoutKeyRecycling(),
+			sprofile.WithWAL(filepath.Join(dir, fmt.Sprintf("leader-%d", seq))),
+			sprofile.WithOptions(opts...))
+		if err != nil {
+			return nil, err
+		}
+		t.Cleanup(func() { leader.Close() })
+		feed := leader.ReplicationHandler()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/v1/replication/snapshot", feed.ServeSnapshot)
+		mux.HandleFunc("/v1/replication/wal", feed.ServeWAL)
+		ts := httptest.NewServer(mux)
+		t.Cleanup(ts.Close)
+
+		kf, err := sprofile.NewKeyedFollower(sprofile.FollowerConfig{
+			Capacity: m,
+			Leader:   ts.URL,
+			Dir:      filepath.Join(dir, fmt.Sprintf("mirror-%d", seq)),
+			Build: []sprofile.BuildOption{
+				sprofile.WithSharding(2),
+				sprofile.WithoutKeyRecycling(),
+				sprofile.WithOptions(opts...),
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Cleanup(func() { kf.Close() })
+
+		// catchUp converges the replica on everything the leader has journaled
+		// and wraps its profile for the battery; pre-tracking the full key
+		// space is a replica-local freq-0 id assignment, needed because keys
+		// the stream never touched are not replicated yet must answer queries.
+		catchUp := func() (sprofile.Profiler, error) {
+			// Library-level updates buffer in the leader's WAL until a sync;
+			// the replication feed only ships flushed bytes (the HTTP server
+			// syncs per batch, making every acked write fetchable).
+			if err := leader.Sync(); err != nil {
+				return nil, err
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := kf.CatchUp(ctx); err != nil {
+				return nil, err
+			}
+			return newKeyedAdapter(intStringKeyed{kf.Profile()}, m)
+		}
+		writer, err := newKeyedAdapter(intStringKeyed{leader}, m)
+		if err != nil {
+			return nil, err
+		}
+		cur, err := catchUp()
+		if err != nil {
+			return nil, err
+		}
+		return &restoredProfiler{cur: cur, writer: writer, reopen: func(sprofile.Profiler, int) (sprofile.Profiler, error) {
+			return catchUp()
+		}}, nil
+	})
+}
+
 // restoredProfiler routes every query through a profile recovered from
 // disk: after any update, the next query first hands the current profiler to
 // reopen, which persists it (checkpointing on alternating cycles), tears it
-// down, and rebuilds it from the snapshot and/or log tail.
+// down, and rebuilds it from the snapshot and/or log tail. When writer is
+// non-nil the updates go there instead of cur — the replication factory uses
+// this to write through a leader while every query is answered by a replica.
 type restoredProfiler struct {
 	reopen func(cur sprofile.Profiler, cycle int) (sprofile.Profiler, error)
 	cur    sprofile.Profiler
+	writer sprofile.Profiler
 	cycle  int
 	dirty  bool
+}
+
+// sink is where updates land: the leader when the reads are replicated,
+// otherwise the current profile itself.
+func (r *restoredProfiler) sink() sprofile.Profiler {
+	if r.writer != nil {
+		return r.writer
+	}
+	return r.cur
 }
 
 func (r *restoredProfiler) refresh() {
@@ -322,22 +420,22 @@ func (r *restoredProfiler) refresh() {
 
 func (r *restoredProfiler) Add(x int) error {
 	r.dirty = true
-	return r.cur.Add(x)
+	return r.sink().Add(x)
 }
 
 func (r *restoredProfiler) Remove(x int) error {
 	r.dirty = true
-	return r.cur.Remove(x)
+	return r.sink().Remove(x)
 }
 
 func (r *restoredProfiler) Apply(t sprofile.Tuple) error {
 	r.dirty = true
-	return r.cur.Apply(t)
+	return r.sink().Apply(t)
 }
 
 func (r *restoredProfiler) ApplyAll(tuples []sprofile.Tuple) (int, error) {
 	r.dirty = true
-	return r.cur.ApplyAll(tuples)
+	return r.sink().ApplyAll(tuples)
 }
 
 func (r *restoredProfiler) Count(x int) (int64, error) {

@@ -64,8 +64,14 @@ var (
 	ErrInvalidQuery = core.ErrInvalidQuery
 
 	// ErrReadOnly reports an update attempted through a read-only profiler
-	// view, such as the one Keyed.Profile returns.
+	// view, such as the one Keyed.Profile returns, or a write sent to a
+	// replication follower (which can only be driven by its leader's WAL).
 	ErrReadOnly = errors.New("sprofile: profiler view is read-only")
+
+	// ErrStaleRead reports a read refused because the answering follower
+	// could not meet the caller's max-staleness bound; retry against the
+	// leader or loosen the bound.
+	ErrStaleRead = errors.New("sprofile: follower is too stale for this read")
 )
 
 // Specific sentinels. Test with errors.Is; each also matches its class root.

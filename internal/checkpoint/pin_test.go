@@ -1,0 +1,128 @@
+package checkpoint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sprofile/internal/checkpoint"
+	"sprofile/internal/wal"
+)
+
+func hasFile(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPinRetainsSnapshotAndSegments: a live lease must hold the pinned
+// snapshot and the segments after its sealed watermark across checkpoints;
+// once released, the next checkpoint reclaims them.
+func TestPinRetainsSnapshotAndSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, f, _ := reopen(t, dir)
+	defer s.Close()
+
+	appendN(t, s, f, "a", "b", "a")
+	doCheckpoint(t, s, f) // snapshot 1, seals segment 1
+
+	ps := s.PinSnapshot(time.Hour)
+	if ps.Seq != 1 || ps.Path == "" {
+		t.Fatalf("PinSnapshot = %+v, want seq 1 with a path", ps)
+	}
+	if filepath.Base(ps.Path) != checkpoint.SnapshotName(1) {
+		t.Fatalf("pinned path %q, want %q", ps.Path, checkpoint.SnapshotName(1))
+	}
+
+	appendN(t, s, f, "c")
+	doCheckpoint(t, s, f) // snapshot 2 would normally prune snapshot 1 + segment 2
+
+	files := listFiles(t, dir)
+	if !hasFile(files, checkpoint.SnapshotName(1)) {
+		t.Fatalf("pinned snapshot 1 was pruned; files: %v", files)
+	}
+	if !hasFile(files, wal.SegmentName(ps.SealedSeg+1)) {
+		t.Fatalf("pinned segment %d was pruned; files: %v", ps.SealedSeg+1, files)
+	}
+
+	if !s.RefreshPin(ps.Pin, time.Hour) {
+		t.Fatal("RefreshPin lost a live lease")
+	}
+	s.Unpin(ps.Pin)
+	appendN(t, s, f, "d")
+	doCheckpoint(t, s, f)
+	files = listFiles(t, dir)
+	if hasFile(files, checkpoint.SnapshotName(1)) || hasFile(files, checkpoint.SnapshotName(2)) {
+		t.Fatalf("released lease did not let superseded snapshots go; files: %v", files)
+	}
+	if s.RefreshPin(ps.Pin, time.Hour) {
+		t.Fatal("RefreshPin revived a released lease")
+	}
+}
+
+// TestPinExpires: an expired lease holds nothing.
+func TestPinExpires(t *testing.T) {
+	dir := t.TempDir()
+	s, f, _ := reopen(t, dir)
+	defer s.Close()
+
+	appendN(t, s, f, "a")
+	doCheckpoint(t, s, f)
+	ps := s.PinSnapshot(-time.Second) // born expired
+	appendN(t, s, f, "b")
+	doCheckpoint(t, s, f)
+	if files := listFiles(t, dir); hasFile(files, checkpoint.SnapshotName(ps.Seq)) {
+		t.Fatalf("expired lease retained snapshot %d; files: %v", ps.Seq, files)
+	}
+	if s.RefreshPin(ps.Pin, time.Hour) {
+		t.Fatal("RefreshPin revived an expired lease")
+	}
+}
+
+// TestReplayTailReadOnly: the read-only recovery path must rebuild the same
+// state as ReplayTail, report the byte-exact replica position, and leave the
+// directory untouched (no pruning, no truncation, no append head).
+func TestReplayTailReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	s, f, _ := reopen(t, dir)
+	appendN(t, s, f, "a", "b")
+	doCheckpoint(t, s, f)
+	appendN(t, s, f, "c", "c")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := listFiles(t, dir)
+
+	ro, err := checkpoint.Open(dir, checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newFake()
+	if st := ro.TakeState(); st != nil {
+		g.restore(st)
+	}
+	n, pos, err := ro.ReplayTailReadOnly(g.apply)
+	if err != nil {
+		t.Fatalf("ReplayTailReadOnly: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("replayed %d tail records, want 2", n)
+	}
+	wantCounts(t, g, map[string]int64{"a": 1, "b": 1, "c": 2})
+
+	fi, err := os.Stat(filepath.Join(dir, wal.SegmentName(pos.Segment)))
+	if err != nil {
+		t.Fatalf("replica position names segment %d: %v", pos.Segment, err)
+	}
+	if pos.Offset != fi.Size() {
+		t.Fatalf("replica position offset %d, want full segment size %d", pos.Offset, fi.Size())
+	}
+	after := listFiles(t, dir)
+	if len(after) != len(before) {
+		t.Fatalf("read-only replay changed the directory: before %v, after %v", before, after)
+	}
+}

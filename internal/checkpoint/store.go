@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sprofile/internal/wal"
 )
@@ -91,6 +92,27 @@ type Store struct {
 	// segments already on disk), reset at each successful checkpoint.
 	tailBase    atomic.Int64
 	pendingBase int64 // AppendedBytes at the in-flight checkpoint's rotation
+
+	// metaMu lets goroutines outside the checkpoint path (replication
+	// handlers, health probes) read seq/sealedSeg/lastCkpt consistently;
+	// the checkpoint path also writes them under it.
+	metaMu   sync.Mutex
+	lastCkpt time.Time
+
+	// pinMu guards the TTL leases bootstrapping followers hold on the
+	// current snapshot and the segments after it. prune honours live leases;
+	// expired ones are collected lazily.
+	pinMu   sync.Mutex
+	pins    map[uint64]pinLease
+	nextPin uint64
+}
+
+// pinLease is one follower's retention lease: keep snapshot seq and every
+// segment above sealedSeg until the lease expires or is released.
+type pinLease struct {
+	seq       uint64
+	sealedSeg uint64
+	expires   time.Time
 }
 
 // Open scans (creating if needed) the checkpointed log directory at path,
@@ -131,6 +153,9 @@ func Open(path string, opts Options) (*Store, error) {
 		s.state = st
 		s.seq = seq
 		s.sealedSeg = st.SealedSeg
+		if fi, err := os.Stat(filepath.Join(path, snapName(seq))); err == nil {
+			s.lastCkpt = fi.ModTime()
+		}
 		break
 	}
 
@@ -262,8 +287,13 @@ func (s *Store) prune() {
 	if err != nil {
 		return
 	}
+	keepSeq, minSealed := s.pinnedRetention()
+	drop := s.sealedSeg
+	if minSealed < drop {
+		drop = minSealed
+	}
 	if s.log != nil {
-		_ = s.log.DropThrough(s.sealedSeg)
+		_ = s.log.DropThrough(drop)
 	}
 	for _, e := range entries {
 		name := e.Name()
@@ -271,10 +301,36 @@ func (s *Store) prune() {
 			os.Remove(filepath.Join(s.dir, name))
 			continue
 		}
-		if seq, ok := parseSnapName(name); ok && seq != s.seq {
+		if seq, ok := parseSnapName(name); ok && seq != s.seq && !keepSeq[seq] {
 			os.Remove(filepath.Join(s.dir, name))
 		}
 	}
+}
+
+// pinnedRetention folds the live leases into retention bounds — the snapshot
+// sequences that must survive and the lowest sealed-segment watermark a
+// lease still needs the tail of — collecting expired leases on the way.
+func (s *Store) pinnedRetention() (keepSeq map[uint64]bool, minSealed uint64) {
+	minSealed = ^uint64(0)
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	now := time.Now()
+	for id, p := range s.pins {
+		if now.After(p.expires) {
+			delete(s.pins, id)
+			continue
+		}
+		if p.seq > 0 {
+			if keepSeq == nil {
+				keepSeq = make(map[uint64]bool)
+			}
+			keepSeq[p.seq] = true
+		}
+		if p.sealedSeg < minSealed {
+			minSealed = p.sealedSeg
+		}
+	}
+	return keepSeq, minSealed
 }
 
 // Append adds one record to the log. syncDue asks the caller to run Sync
@@ -368,8 +424,11 @@ func (s *Store) Checkpoint(capture func() (*State, uint64, error)) error {
 	}
 	// The snapshot is durable and visible: the checkpoint has happened.
 	// Everything after this point is space reclamation.
+	s.metaMu.Lock()
 	s.seq = seq
 	s.sealedSeg = sealed
+	s.lastCkpt = time.Now()
+	s.metaMu.Unlock()
 	s.tailBase.Store(s.pendingBase)
 	s.prune()
 	return nil
@@ -381,4 +440,193 @@ func (s *Store) Close() error {
 		return nil
 	}
 	return s.log.Close()
+}
+
+// SnapshotName returns the file name snapshot seq lives under — exported so
+// the replication layer can mirror snapshot files byte-for-byte.
+func SnapshotName(seq uint64) string { return snapName(seq) }
+
+// PinnedSnapshot identifies a snapshot held by a retention lease.
+type PinnedSnapshot struct {
+	Pin       uint64 // lease id, for RefreshPin/Unpin
+	Seq       uint64 // pinned snapshot sequence (0 = no snapshot yet)
+	SealedSeg uint64 // last segment that snapshot covers
+	Path      string // snapshot file path, empty when Seq is 0
+}
+
+// PinSnapshot leases the current snapshot and every segment after the one it
+// sealed for ttl, so a bootstrapping follower can fetch the snapshot and then
+// the uncovered tail without a concurrent checkpoint pruning either from
+// under it. The lease expires on its own; callers extend it with RefreshPin
+// while the bootstrap is still in flight and may drop it early with Unpin.
+func (s *Store) PinSnapshot(ttl time.Duration) PinnedSnapshot {
+	// Taking pinMu before reading the metadata closes the race with a
+	// concurrent Checkpoint: either we observe the new snapshot, or prune
+	// blocks on pinMu until our lease for the old one is registered.
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	s.metaMu.Lock()
+	seq, sealed := s.seq, s.sealedSeg
+	s.metaMu.Unlock()
+	if s.pins == nil {
+		s.pins = make(map[uint64]pinLease)
+	}
+	s.nextPin++
+	ps := PinnedSnapshot{Pin: s.nextPin, Seq: seq, SealedSeg: sealed}
+	if seq > 0 {
+		ps.Path = filepath.Join(s.dir, snapName(seq))
+	}
+	s.pins[ps.Pin] = pinLease{seq: seq, sealedSeg: sealed, expires: time.Now().Add(ttl)}
+	return ps
+}
+
+// RefreshPin extends lease id by ttl from now. It reports whether the lease
+// was still live; an expired or unknown lease cannot be revived — the caller
+// must pin again (and re-validate what it was fetching).
+func (s *Store) RefreshPin(id uint64, ttl time.Duration) bool {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	p, ok := s.pins[id]
+	if !ok || time.Now().After(p.expires) {
+		delete(s.pins, id)
+		return false
+	}
+	p.expires = time.Now().Add(ttl)
+	s.pins[id] = p
+	return true
+}
+
+// Unpin releases lease id. Releasing an expired or unknown lease is a no-op.
+func (s *Store) Unpin(id uint64) {
+	s.pinMu.Lock()
+	delete(s.pins, id)
+	s.pinMu.Unlock()
+}
+
+// PinTail leases every segment at or above seg for ttl, without pinning any
+// snapshot. It is the steady-state lease of a caught-up follower: as long as
+// it is refreshed, checkpoints will not prune the bytes the follower has yet
+// to fetch.
+func (s *Store) PinTail(seg uint64, ttl time.Duration) uint64 {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	if s.pins == nil {
+		s.pins = make(map[uint64]pinLease)
+	}
+	s.nextPin++
+	var sealed uint64
+	if seg > 0 {
+		sealed = seg - 1
+	}
+	s.pins[s.nextPin] = pinLease{sealedSeg: sealed, expires: time.Now().Add(ttl)}
+	return s.nextPin
+}
+
+// AdvancePin moves lease id forward so it only retains segments at or above
+// seg, drops any snapshot retention it carried (the follower fetching WAL at
+// seg has durably restored its snapshot already), and extends it by ttl. The
+// watermark never regresses. It reports whether the lease was still live.
+func (s *Store) AdvancePin(id, seg uint64, ttl time.Duration) bool {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	p, ok := s.pins[id]
+	if !ok || time.Now().After(p.expires) {
+		delete(s.pins, id)
+		return false
+	}
+	p.seq = 0
+	if seg > 0 && seg-1 > p.sealedSeg {
+		p.sealedSeg = seg - 1
+	}
+	p.expires = time.Now().Add(ttl)
+	s.pins[id] = p
+	return true
+}
+
+// SnapshotMeta returns the current snapshot sequence and the last segment it
+// covers, consistently with each other.
+func (s *Store) SnapshotMeta() (seq, sealedSeg uint64) {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	return s.seq, s.sealedSeg
+}
+
+// LastCheckpoint returns when the current snapshot was published (the zero
+// time when none exists). For a freshly opened store this is the snapshot
+// file's modification time.
+func (s *Store) LastCheckpoint() time.Time {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	return s.lastCkpt
+}
+
+// AppendSegmentID returns the id of the segment currently open for
+// appending.
+func (s *Store) AppendSegmentID() uint64 { return s.log.SegmentID() }
+
+// AppendPosition reports the append head's position: the current segment and
+// its size on disk (bytes flushed so far). Every acknowledged record lies at
+// or below it; a reader that has mirrored up to this position has everything
+// the leader has made durable.
+func (s *Store) AppendPosition() wal.Position {
+	seg := s.log.SegmentID()
+	pos := wal.Position{Segment: seg}
+	if fi, err := os.Stat(filepath.Join(s.dir, wal.SegmentName(seg))); err == nil {
+		pos.Offset = fi.Size()
+	}
+	return pos
+}
+
+// SegmentCount counts the WAL segment files currently in the directory — an
+// observability figure, racing benignly with rotation and pruning.
+func (s *Store) SegmentCount() int {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
+			n++
+		}
+	}
+	return n
+}
+
+// ReplayTailReadOnly replays every record appended after the recovery
+// snapshot, like ReplayTail, but leaves the directory exactly as it found it:
+// no append head is opened, nothing is truncated or pruned, and the store can
+// never append afterwards. It returns the number of records replayed and the
+// replica position — the byte boundary just past the last complete record,
+// where a follower mirroring this directory resumes fetching. A torn tail is
+// tolerated (mirroring overwrites it); the position stops before it.
+func (s *Store) ReplayTailReadOnly(fn func(wal.Record) error) (int, wal.Position, error) {
+	if s.log != nil {
+		return 0, wal.Position{}, errors.New("checkpoint: store is already open for appending")
+	}
+	pos := wal.Position{Segment: s.sealedSeg + 1}
+	if len(s.tail) > 0 {
+		pos = wal.Position{Segment: s.tail[0].ID}
+	}
+	records := 0
+	segments := 0
+	for i, sg := range s.tail {
+		if sg.Torn {
+			// Header never made it to disk: nothing recoverable, and the
+			// mirror restarts this segment from byte 0.
+			pos = wal.Position{Segment: sg.ID}
+			continue
+		}
+		n, end, err := wal.ReplaySegmentValid(sg.Path, i == len(s.tail)-1, fn)
+		records += n
+		if err != nil {
+			return records, pos, err
+		}
+		pos = wal.Position{Segment: sg.ID, Offset: end}
+		segments++
+	}
+	s.stats.TailSegments = segments
+	s.stats.TailRecords = records
+	s.tail = nil
+	return records, pos, nil
 }

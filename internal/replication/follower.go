@@ -1,0 +1,539 @@
+package replication
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"sprofile/internal/checkpoint"
+	"sprofile/internal/wal"
+)
+
+// ErrSnapshotRequired reports that the leader no longer has the bytes the
+// follower needs (the segment was pruned, or the histories diverged): the
+// mirror cannot be rolled forward and must be rebuilt from a fresh snapshot.
+var ErrSnapshotRequired = errors.New("replication: leader cannot serve this position; bootstrap from a snapshot")
+
+// Config configures a Follower.
+type Config struct {
+	// Leader is the leader's base URL (scheme://host[:port]).
+	Leader string
+	// Dir is the local mirror directory — a valid checkpointed log directory
+	// at every instant.
+	Dir string
+	// Start is where mirroring resumes: the end of the last complete record
+	// on local disk (checkpoint.Store.ReplayTailReadOnly reports it).
+	Start wal.Position
+	// Apply is called for every decoded record, in log order, from the
+	// polling goroutine only.
+	Apply func(wal.Record) error
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+	// ChunkBytes caps one fetch; 0 means DefaultChunkBytes.
+	ChunkBytes int
+	// LongPoll is the wait the follower asks of the leader when it is caught
+	// up; 0 means no server-side wait (pure polling).
+	LongPoll time.Duration
+	// Pin is a lease id to present on WAL fetches (empty = none). The leader
+	// advances the lease to the follower's position on every fetch and grants
+	// a fresh one when none is presented, so a live follower always holds a
+	// moving lease that keeps its unfetched bytes from being pruned; Close
+	// releases it.
+	Pin string
+	// LocalSnapSeq is the sequence of the snapshot already in Dir (0 =
+	// none); newer leader snapshots are mirrored to keep Dir bounded.
+	LocalSnapSeq uint64
+}
+
+// Status is a point-in-time picture of the mirror.
+type Status struct {
+	Written     wal.Position // bytes durably mirrored (fetch position)
+	Applied     wal.Position // last complete-record boundary applied
+	Leader      wal.Position // leader's append position, as of LastContact
+	CaughtUp    bool         // mirror covered the leader's position at FreshAsOf
+	FreshAsOf   time.Time    // last instant the mirror provably held every acknowledged write
+	LastContact time.Time    // last successful exchange with the leader
+	Records     uint64       // records applied since this Follower started
+}
+
+// Follower incrementally mirrors a leader's WAL directory and applies each
+// complete record through Config.Apply. One goroutine drives Poll/CatchUp;
+// Status may be read from any goroutine.
+type Follower struct {
+	cfg     Config
+	hc      *http.Client
+	walURL  string
+	snapURL string
+
+	// The polling goroutine owns everything below; status copies are handed
+	// out under mu.
+	mu      chan struct{} // 1-slot semaphore (works as a mutex that Close can take too)
+	file    *os.File
+	dec     wal.StreamDecoder
+	status  Status
+	pin     string
+	snapSeq uint64
+}
+
+// NewFollower opens the mirror at cfg.Start. If the local tail file holds
+// torn bytes past Start they are truncated away, restoring the invariant
+// that the file ends exactly at the fetch position.
+func NewFollower(cfg Config) (*Follower, error) {
+	if cfg.Apply == nil {
+		return nil, errors.New("replication: Config.Apply is required")
+	}
+	base, err := url.Parse(cfg.Leader)
+	if err != nil || base.Scheme == "" || base.Host == "" {
+		return nil, fmt.Errorf("replication: leader URL %q: %v", cfg.Leader, err)
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	f := &Follower{
+		cfg:     cfg,
+		hc:      hc,
+		walURL:  strings.TrimSuffix(cfg.Leader, "/") + "/v1/replication/wal",
+		snapURL: strings.TrimSuffix(cfg.Leader, "/") + "/v1/replication/snapshot",
+		mu:      make(chan struct{}, 1),
+		pin:     cfg.Pin,
+		snapSeq: cfg.LocalSnapSeq,
+	}
+	f.status.Written = cfg.Start
+	f.status.Applied = cfg.Start
+	f.status.FreshAsOf = time.Now() // pessimistic: staleness counts from birth
+	path := filepath.Join(cfg.Dir, wal.SegmentName(cfg.Start.Segment))
+	fi, err := os.Stat(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		if cfg.Start.Offset != 0 {
+			return nil, fmt.Errorf("replication: mirror resumes at %v but %s is missing", cfg.Start, path)
+		}
+	case err != nil:
+		return nil, err
+	default:
+		if fi.Size() < cfg.Start.Offset {
+			return nil, fmt.Errorf("replication: mirror resumes at %v but %s holds only %d bytes",
+				cfg.Start, path, fi.Size())
+		}
+		file, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		if fi.Size() > cfg.Start.Offset {
+			if err := file.Truncate(cfg.Start.Offset); err != nil {
+				file.Close()
+				return nil, err
+			}
+		}
+		if _, err := file.Seek(cfg.Start.Offset, io.SeekStart); err != nil {
+			file.Close()
+			return nil, err
+		}
+		f.file = file
+	}
+	if cfg.Start.Offset > 0 {
+		f.dec.MarkHeaderDone()
+	}
+	return f, nil
+}
+
+func (f *Follower) lock()   { f.mu <- struct{}{} }
+func (f *Follower) unlock() { <-f.mu }
+
+// Status returns a copy of the mirror's current state.
+func (f *Follower) Status() Status {
+	f.lock()
+	defer f.unlock()
+	return f.status
+}
+
+// Close fsyncs and closes the mirror file and hands the retention lease back
+// to the leader (best-effort — the TTL covers followers that die without
+// saying goodbye). The polling goroutine must have stopped.
+func (f *Follower) Close() error {
+	f.lock()
+	pin := f.pin
+	f.pin = ""
+	var err error
+	if f.file != nil {
+		err = f.file.Sync()
+		if cerr := f.file.Close(); err == nil {
+			err = cerr
+		}
+		f.file = nil
+	}
+	f.unlock()
+	if pin != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		u := f.walURL + "?unpin=" + url.QueryEscape(pin)
+		if req, rerr := http.NewRequestWithContext(ctx, http.MethodGet, u, nil); rerr == nil {
+			if resp, derr := f.hc.Do(req); derr == nil {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+				resp.Body.Close()
+			}
+		}
+	}
+	return err
+}
+
+// Poll performs one exchange with the leader: fetch bytes at the mirror's
+// position (waiting up to cfg.LongPoll server-side), append them to the
+// mirror, and apply every record that completed. A nil return means the
+// exchange succeeded, whether or not bytes arrived. ErrSnapshotRequired
+// means the mirror is beyond repair — rebuild via Bootstrap.
+func (f *Follower) Poll(ctx context.Context) error {
+	return f.poll(ctx, f.cfg.LongPoll)
+}
+
+// CatchUp polls without waiting until the mirror covers the leader's append
+// position as of the final exchange.
+func (f *Follower) CatchUp(ctx context.Context) error {
+	for {
+		if err := f.poll(ctx, 0); err != nil {
+			return err
+		}
+		f.lock()
+		caught := f.status.CaughtUp
+		f.unlock()
+		if caught {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+}
+
+func (f *Follower) poll(ctx context.Context, wait time.Duration) error {
+	f.lock()
+	pos := f.status.Written
+	pin := f.pin
+	f.unlock()
+
+	u := f.walURL + "?after=" + url.QueryEscape(pos.String())
+	if wait > 0 {
+		u += "&wait_ms=" + strconv.FormatInt(wait.Milliseconds(), 10)
+	}
+	if pin != "" {
+		u += "&pin=" + url.QueryEscape(pin)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	started := time.Now()
+	resp, err := f.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		chunkBytes := f.cfg.ChunkBytes
+		if chunkBytes <= 0 {
+			chunkBytes = DefaultChunkBytes
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, int64(chunkBytes)+1))
+		if err != nil {
+			return fmt.Errorf("replication: read wal chunk: %w", err)
+		}
+		seg, err1 := strconv.ParseUint(resp.Header.Get(HeaderSegment), 10, 64)
+		off, err2 := strconv.ParseInt(resp.Header.Get(HeaderOffset), 10, 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("replication: leader sent malformed chunk headers")
+		}
+		leaderPos, _ := wal.ParsePosition(resp.Header.Get(HeaderLeaderPos))
+		f.adoptPin(resp)
+		if err := f.ingest(seg, off, data, leaderPos, started); err != nil {
+			return err
+		}
+		return f.maybeMirrorSnapshot(ctx, resp)
+	case http.StatusNoContent:
+		leaderPos, err := wal.ParsePosition(resp.Header.Get(HeaderLeaderPos))
+		if err != nil {
+			return fmt.Errorf("replication: leader sent malformed position: %v", err)
+		}
+		f.adoptPin(resp)
+		f.lock()
+		f.status.Leader = leaderPos
+		f.status.LastContact = started
+		if !f.status.Written.Less(leaderPos) {
+			f.status.CaughtUp = true
+			f.status.FreshAsOf = started
+		}
+		f.unlock()
+		return f.maybeMirrorSnapshot(ctx, resp)
+	case http.StatusGone, http.StatusRequestedRangeNotSatisfiable:
+		// 410: pruned behind us. 416: we hold bytes the leader never wrote
+		// (divergent history). Either way the mirror restarts from a
+		// snapshot; resetting to the applied boundary cannot help because
+		// applied state beyond the leader's history cannot be unapplied.
+		return fmt.Errorf("%w (leader said %d for %v)", ErrSnapshotRequired, resp.StatusCode, pos)
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("replication: leader returned %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+}
+
+// ingest appends one chunk to the mirror and applies the records it
+// completed. Called only from the polling goroutine.
+func (f *Follower) ingest(seg uint64, off int64, data []byte, leaderPos wal.Position, started time.Time) error {
+	f.lock()
+	defer f.unlock()
+	switch {
+	case seg == f.status.Written.Segment && off == f.status.Written.Offset:
+		// Contiguous bytes of the current segment.
+	case seg == f.status.Written.Segment+1 && off == 0:
+		// The previous segment was consumed whole and is sealed; its bytes
+		// are immutable, so fsync and move on. A torn record buffered at a
+		// segment boundary would mean the log itself is corrupt.
+		if f.dec.Buffered() != 0 {
+			return fmt.Errorf("%w: segment %d ended mid-record", wal.ErrCorrupt, f.status.Written.Segment)
+		}
+		if f.file != nil {
+			if err := f.file.Sync(); err != nil {
+				return err
+			}
+			if err := f.file.Close(); err != nil {
+				return err
+			}
+			f.file = nil
+		}
+		f.status.Written = wal.Position{Segment: seg}
+		f.dec.Reset()
+	default:
+		return fmt.Errorf("%w: leader served segment %d offset %d to a mirror at %v",
+			ErrSnapshotRequired, seg, off, f.status.Written)
+	}
+	if f.file == nil {
+		path := filepath.Join(f.cfg.Dir, wal.SegmentName(seg))
+		file, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		f.file = file
+	}
+	if _, err := f.file.Write(data); err != nil {
+		return err
+	}
+	// One fsync per chunk keeps the mirror's durable state equal to its
+	// applied state, so a follower crash recovers without re-fetching more
+	// than the in-flight chunk.
+	if err := f.file.Sync(); err != nil {
+		return err
+	}
+	f.status.Written.Offset += int64(len(data))
+	if err := f.dec.Feed(data, func(rec wal.Record) error {
+		if err := f.cfg.Apply(rec); err != nil {
+			return err
+		}
+		f.status.Records++
+		return nil
+	}); err != nil {
+		return err
+	}
+	f.status.Applied = wal.Position{
+		Segment: f.status.Written.Segment,
+		Offset:  f.status.Written.Offset - int64(f.dec.Buffered()),
+	}
+	f.status.Leader = leaderPos
+	f.status.LastContact = started
+	if !f.status.Written.Less(leaderPos) {
+		f.status.CaughtUp = true
+		f.status.FreshAsOf = started
+	} else {
+		f.status.CaughtUp = false
+	}
+	return nil
+}
+
+// adoptPin records the lease id the leader echoed or granted on a WAL
+// response, replacing an expired one transparently.
+func (f *Follower) adoptPin(resp *http.Response) {
+	if id := resp.Header.Get(HeaderPin); id != "" {
+		f.lock()
+		f.pin = id
+		f.unlock()
+	}
+}
+
+// maybeMirrorSnapshot keeps the mirror directory bounded: when the leader
+// advertises a snapshot newer than the local one AND the mirror has already
+// applied past the segment it seals, fetch it and drop the covered local
+// segments — the local equivalent of the leader's own checkpoint prune.
+func (f *Follower) maybeMirrorSnapshot(ctx context.Context, resp *http.Response) error {
+	seq, err1 := strconv.ParseUint(resp.Header.Get(HeaderSnapshotSeq), 10, 64)
+	seals, err2 := strconv.ParseUint(resp.Header.Get(HeaderSnapshotSeals), 10, 64)
+	if err1 != nil || err2 != nil || seq == 0 {
+		return nil
+	}
+	f.lock()
+	needed := seq > f.snapSeq && f.status.Applied.Segment > seals
+	f.unlock()
+	if !needed {
+		return nil
+	}
+	got, gotSeals, err := fetchSnapshot(ctx, f.hc, f.snapURL, f.cfg.Dir)
+	if err != nil || got == 0 {
+		return nil // best-effort: the mirror just keeps more segments for now
+	}
+	f.lock()
+	defer f.unlock()
+	if got <= f.snapSeq || gotSeals >= f.status.Applied.Segment {
+		return nil
+	}
+	prev := f.snapSeq
+	f.snapSeq = got
+	// Drop the covered segments and the superseded snapshot.
+	for id := gotSeals; id > 0; id-- {
+		path := filepath.Join(f.cfg.Dir, wal.SegmentName(id))
+		if err := os.Remove(path); err != nil {
+			break // older ones are already gone
+		}
+	}
+	if prev > 0 && prev != got {
+		os.Remove(filepath.Join(f.cfg.Dir, checkpoint.SnapshotName(prev)))
+	}
+	return nil
+}
+
+// BootstrapInfo describes what Bootstrap fetched.
+type BootstrapInfo struct {
+	Pin       string // lease id to carry on WAL fetches (refreshed until caught up)
+	SnapSeq   uint64 // 0 when the leader had no snapshot
+	SealedSeg uint64
+}
+
+// Bootstrap fetches the leader's latest snapshot into dir (durably:
+// tmp → fsync → rename → dir fsync) and returns the pin lease protecting the
+// snapshot's tail from pruning while the follower starts mirroring. When the
+// leader has no snapshot yet, no file is written and SnapSeq is 0.
+func Bootstrap(ctx context.Context, hc *http.Client, leader, dir string) (BootstrapInfo, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return BootstrapInfo{}, err
+	}
+	snapURL := strings.TrimSuffix(leader, "/") + "/v1/replication/snapshot"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, snapURL, nil)
+	if err != nil {
+		return BootstrapInfo{}, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return BootstrapInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return BootstrapInfo{}, fmt.Errorf("replication: snapshot fetch returned %d: %s",
+			resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	info := BootstrapInfo{Pin: resp.Header.Get(HeaderPin)}
+	info.SnapSeq, _ = strconv.ParseUint(resp.Header.Get(HeaderSnapshotSeq), 10, 64)
+	info.SealedSeg, _ = strconv.ParseUint(resp.Header.Get(HeaderSnapshotSeals), 10, 64)
+	if resp.StatusCode == http.StatusNoContent || info.SnapSeq == 0 {
+		return info, nil
+	}
+	if err := writeSnapshotFile(dir, info.SnapSeq, resp.Body); err != nil {
+		return BootstrapInfo{}, err
+	}
+	return info, nil
+}
+
+// fetchSnapshot downloads the leader's current snapshot into dir and returns
+// its sequence and sealed segment (0 when the leader has none).
+func fetchSnapshot(ctx context.Context, hc *http.Client, snapURL, dir string) (seq, seals uint64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, snapURL, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return 0, 0, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("replication: snapshot fetch returned %d", resp.StatusCode)
+	}
+	seq, _ = strconv.ParseUint(resp.Header.Get(HeaderSnapshotSeq), 10, 64)
+	seals, _ = strconv.ParseUint(resp.Header.Get(HeaderSnapshotSeals), 10, 64)
+	if seq == 0 {
+		return 0, 0, nil
+	}
+	if err := writeSnapshotFile(dir, seq, resp.Body); err != nil {
+		return 0, 0, err
+	}
+	return seq, seals, nil
+}
+
+// writeSnapshotFile lands body as dir's snapshot seq with the same
+// durability protocol the checkpointer uses.
+func writeSnapshotFile(dir string, seq uint64, body io.Reader) error {
+	final := filepath.Join(dir, checkpoint.SnapshotName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, body); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return wal.SyncDir(dir)
+}
+
+// WipeMirror removes every snapshot and segment file from dir, preparing a
+// re-bootstrap after ErrSnapshotRequired.
+func WipeMirror(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		isSeg := strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg")
+		isSnap := strings.HasPrefix(name, "snap-") && (strings.HasSuffix(name, ".sks") || strings.HasSuffix(name, ".sks.tmp"))
+		if isSeg || isSnap {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return wal.SyncDir(dir)
+}

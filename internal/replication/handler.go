@@ -1,0 +1,218 @@
+package replication
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"sprofile/internal/wal"
+)
+
+// Wire protocol, all under the leader's /v1/replication/ prefix:
+//
+//	GET snapshot
+//	    200 — body is the latest SKS1 snapshot file verbatim; headers carry
+//	          its sequence, the segment it seals, and a fresh pin lease id.
+//	    204 — the leader has no snapshot yet (follow from the earliest
+//	          segment); a pin lease id is still issued to hold pruning off.
+//	GET wal?after=<segment>:<offset>[&wait_ms=N][&pin=ID]
+//	    200 — body is raw segment bytes; headers say which segment/offset the
+//	          bytes sit at, whether that segment is sealed, the leader's
+//	          append position, and the latest snapshot's metadata. The bytes
+//	          always continue the follower's position: same segment at that
+//	          offset, or the next segment from 0 when the previous one was
+//	          consumed whole.
+//	    204 — nothing new within the wait window; leader-position headers
+//	          still update the follower's staleness watermark.
+//	    410 — the requested segment was pruned; re-bootstrap from snapshot.
+//	    416 — the requested offset is past the end of a sealed segment; the
+//	          follower is on a divergent history (e.g. the leader was
+//	          restored) and must re-bootstrap.
+//
+// Positions and ids are decimal; header names are constants below.
+const (
+	HeaderSegment       = "X-Sprofile-Segment"
+	HeaderOffset        = "X-Sprofile-Offset"
+	HeaderSealed        = "X-Sprofile-Sealed"
+	HeaderLeaderPos     = "X-Sprofile-Leader-Position" // "<segment>:<offset>"
+	HeaderSnapshotSeq   = "X-Sprofile-Snapshot-Seq"
+	HeaderSnapshotSeals = "X-Sprofile-Snapshot-Seals"
+	HeaderPin           = "X-Sprofile-Pin"
+	HeaderLeader        = "X-Sprofile-Leader" // leader hint on follower 503s
+)
+
+// MaxWait caps the long-poll window a follower may ask for.
+const MaxWait = 30 * time.Second
+
+// tailPoll is how often a long-polling WAL request re-checks the log for new
+// bytes. The appender does not signal readers; 20ms keeps follower lag small
+// at negligible cost.
+const tailPoll = 20 * time.Millisecond
+
+// Handler serves the leader side of the protocol.
+type Handler struct {
+	src *Source
+	// ChunkBytes bounds one WAL response body; 0 means DefaultChunkBytes.
+	ChunkBytes int
+	// PinTTL overrides DefaultPinTTL (tests shrink it).
+	PinTTL time.Duration
+}
+
+// NewHandler returns a handler serving src.
+func NewHandler(src *Source) *Handler { return &Handler{src: src} }
+
+// Register mounts the two endpoints on mux.
+func (h *Handler) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/replication/snapshot", h.ServeSnapshot)
+	mux.HandleFunc("/v1/replication/wal", h.ServeWAL)
+}
+
+func (h *Handler) pinTTL() time.Duration {
+	if h.PinTTL > 0 {
+		return h.PinTTL
+	}
+	return DefaultPinTTL
+}
+
+func (h *Handler) chunkBytes() int {
+	if h.ChunkBytes > 0 {
+		return h.ChunkBytes
+	}
+	return DefaultChunkBytes
+}
+
+func replError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (h *Handler) setLeaderHeaders(w http.ResponseWriter) {
+	w.Header().Set(HeaderLeaderPos, h.src.Position().String())
+	seq, seals := h.src.SnapshotMeta()
+	w.Header().Set(HeaderSnapshotSeq, strconv.FormatUint(seq, 10))
+	w.Header().Set(HeaderSnapshotSeals, strconv.FormatUint(seals, 10))
+}
+
+// ServeSnapshot streams the latest snapshot file and issues a pin lease that
+// keeps the snapshot's tail fetchable while the follower restores from it.
+func (h *Handler) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		replError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	ps := h.src.Pin(h.pinTTL())
+	w.Header().Set(HeaderPin, strconv.FormatUint(ps.Pin, 10))
+	w.Header().Set(HeaderSnapshotSeq, strconv.FormatUint(ps.Seq, 10))
+	w.Header().Set(HeaderSnapshotSeals, strconv.FormatUint(ps.SealedSeg, 10))
+	w.Header().Set(HeaderLeaderPos, h.src.Position().String())
+	if ps.Seq == 0 {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	f, err := os.Open(ps.Path)
+	if err != nil {
+		h.src.Unpin(ps.Pin)
+		replError(w, http.StatusInternalServerError, "open snapshot: %v", err)
+		return
+	}
+	defer f.Close()
+	if fi, err := f.Stat(); err == nil {
+		w.Header().Set("Content-Length", strconv.FormatInt(fi.Size(), 10))
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	io.Copy(w, f)
+}
+
+// ServeWAL serves one chunk of raw segment bytes at the follower's position,
+// long-polling up to wait_ms for new data.
+func (h *Handler) ServeWAL(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		replError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	q := r.URL.Query()
+	if unpinStr := q.Get("unpin"); unpinStr != "" {
+		// A closing follower releases its lease; the TTL is only the backstop
+		// for followers that die without saying goodbye.
+		if id, err := strconv.ParseUint(unpinStr, 10, 64); err == nil {
+			h.src.Unpin(id)
+		}
+		if q.Get("after") == "" { // pure release request
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+	}
+	pos, err := wal.ParsePosition(q.Get("after"))
+	if err != nil {
+		replError(w, http.StatusBadRequest, "after: %v", err)
+		return
+	}
+	// Every fetch holds a moving lease covering the follower's position: the
+	// presented lease is advanced to pos.Segment (never regressed), or a fresh
+	// one is granted when none was presented or it already expired. Prune can
+	// therefore never delete bytes an active follower has yet to fetch; dead
+	// followers stop refreshing and their lease ages out.
+	var leaseID uint64
+	if pinStr := q.Get("pin"); pinStr != "" {
+		if id, err := strconv.ParseUint(pinStr, 10, 64); err == nil && h.src.AdvancePin(id, pos.Segment, h.pinTTL()) {
+			leaseID = id
+		}
+	}
+	if leaseID == 0 {
+		leaseID = h.src.PinTail(pos.Segment, h.pinTTL())
+	}
+	w.Header().Set(HeaderPin, strconv.FormatUint(leaseID, 10))
+	var wait time.Duration
+	if ms := q.Get("wait_ms"); ms != "" {
+		n, err := strconv.ParseInt(ms, 10, 64)
+		if err != nil || n < 0 {
+			replError(w, http.StatusBadRequest, "wait_ms: %q", ms)
+			return
+		}
+		wait = time.Duration(n) * time.Millisecond
+		if wait > MaxWait {
+			wait = MaxWait
+		}
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		chunk, err := h.src.Chunk(pos, h.chunkBytes())
+		switch {
+		case errors.Is(err, wal.ErrSegmentMissing):
+			replError(w, http.StatusGone, "%v", err)
+			return
+		case errors.Is(err, wal.ErrOffsetBeyondEnd):
+			replError(w, http.StatusRequestedRangeNotSatisfiable, "%v", err)
+			return
+		case err != nil:
+			replError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if len(chunk.Data) > 0 {
+			h.setLeaderHeaders(w)
+			w.Header().Set(HeaderSegment, strconv.FormatUint(chunk.Segment, 10))
+			w.Header().Set(HeaderOffset, strconv.FormatInt(chunk.Offset, 10))
+			w.Header().Set(HeaderSealed, strconv.FormatBool(chunk.Sealed))
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", strconv.Itoa(len(chunk.Data)))
+			w.Write(chunk.Data)
+			return
+		}
+		if !time.Now().Before(deadline) {
+			h.setLeaderHeaders(w)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(tailPoll):
+		}
+	}
+}

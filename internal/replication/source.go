@@ -1,0 +1,72 @@
+// Package replication ships a checkpointed segmented WAL from a leader to
+// followers over HTTP, byte-for-byte. The leader side (Source, Handler)
+// serves the latest SKS1 snapshot and raw SWL2 segment bytes; the follower
+// side (Follower, Bootstrap) mirrors them into a local directory that is at
+// every instant a valid checkpointed log directory — so a follower promotes
+// to leader by simply running the ordinary recovery path over its mirror.
+//
+// The protocol leans on one WAL invariant: segment N+1 is only created after
+// segment N was flushed and fsynced whole, so the existence of a higher
+// segment id proves a segment is complete and its bytes immutable. Raw bytes
+// of the current append segment may end mid-record at any moment (a buffered
+// flush lands a prefix); the follower's stream decoder buffers such torn
+// tails until the rest arrives, and only acts on complete records.
+package replication
+
+import (
+	"time"
+
+	"sprofile/internal/checkpoint"
+	"sprofile/internal/wal"
+)
+
+// DefaultChunkBytes bounds one WAL response body.
+const DefaultChunkBytes = 1 << 20
+
+// DefaultPinTTL is how long a snapshot lease taken on behalf of a follower
+// lives without a refresh. Followers refresh on every WAL fetch while they
+// still depend on the lease, so the TTL only has to outlast one fetch cycle.
+const DefaultPinTTL = time.Minute
+
+// Source adapts a checkpoint.Store into a replication feed. It is safe for
+// concurrent use by many followers; reads race benignly with the appending
+// owner (segment files only grow, and pruning is lease-gated).
+type Source struct {
+	store *checkpoint.Store
+}
+
+// NewSource wraps the store backing a leader profile.
+func NewSource(store *checkpoint.Store) *Source { return &Source{store: store} }
+
+// Position returns the leader's append position: everything at or below it
+// is on disk, which includes every acknowledged write.
+func (s *Source) Position() wal.Position { return s.store.AppendPosition() }
+
+// Chunk reads raw log bytes at pos; see wal.ReadChunk.
+func (s *Source) Chunk(pos wal.Position, maxBytes int) (wal.Chunk, error) {
+	return wal.ReadChunk(s.store.Dir(), pos, s.store.AppendSegmentID(), maxBytes)
+}
+
+// Pin leases the current snapshot for a bootstrapping follower.
+func (s *Source) Pin(ttl time.Duration) checkpoint.PinnedSnapshot {
+	return s.store.PinSnapshot(ttl)
+}
+
+// PinTail grants a fresh moving lease covering segments at or above seg.
+func (s *Source) PinTail(seg uint64, ttl time.Duration) uint64 {
+	return s.store.PinTail(seg, ttl)
+}
+
+// AdvancePin moves a live lease to cover segments at or above seg and
+// extends it; see checkpoint.Store.AdvancePin.
+func (s *Source) AdvancePin(id, seg uint64, ttl time.Duration) bool {
+	return s.store.AdvancePin(id, seg, ttl)
+}
+
+// Unpin releases a lease early.
+func (s *Source) Unpin(id uint64) { s.store.Unpin(id) }
+
+// SnapshotMeta returns the current snapshot sequence and the last segment it
+// covers — advertised to followers so they can mirror newer snapshots and
+// prune their own copies of covered segments.
+func (s *Source) SnapshotMeta() (seq, sealedSeg uint64) { return s.store.SnapshotMeta() }

@@ -48,8 +48,8 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	doc := exportDoc{Capacity: s.profile.Cap()}
-	var p sprofile.Reader = s.profile.Profile()
+	doc := exportDoc{Capacity: s.prof().Cap()}
+	var p sprofile.Reader = s.prof().Profile()
 	if snapper, ok := p.(sprofile.Snapshotter); ok {
 		snap, err := snapper.Snapshot()
 		if err != nil {
@@ -65,7 +65,7 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 		if err != nil || entry.Frequency <= 0 {
 			break
 		}
-		key, tracked := s.profile.KeyOf(entry.Object)
+		key, tracked := s.prof().KeyOf(entry.Object)
 		if !tracked {
 			continue
 		}
@@ -80,6 +80,9 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.rejectReadOnly(w) {
 		return
 	}
 	var doc exportDoc
@@ -99,7 +102,7 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		for i := int64(0); i < e.Frequency; i++ {
-			if err := s.profile.Add(e.Object); err != nil {
+			if err := s.prof().Add(e.Object); err != nil {
 				writeProfileError(w, fmt.Errorf("importing %q: %w", e.Object, err))
 				return
 			}
@@ -122,14 +125,14 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing object parameter")
 		return
 	}
-	m := s.profile.Cap()
+	m := s.prof().Cap()
 	if m == 0 {
 		// Unreachable today (server.New rejects Capacity <= 0), but kept on
 		// the taxonomy funnel so the contract holds if that ever changes.
 		writeProfileError(w, sprofile.ErrEmptyProfile)
 		return
 	}
-	f, err := s.profile.Count(object)
+	f, err := s.prof().Count(object)
 	if err != nil {
 		writeProfileError(w, err)
 		return
@@ -137,7 +140,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	// The histogram walk costs O(#distinct frequencies) but works against any
 	// sprofile.Profiler representation, sharded included.
 	atLeast := 0
-	for _, fc := range s.profile.Distribution() {
+	for _, fc := range s.prof().Distribution() {
 		if fc.Freq >= f {
 			atLeast += fc.Count
 		}

@@ -40,10 +40,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "query lists are bounded to %d entries each", limit)
 		return
 	}
-	res, err := s.profile.QueryKeys(q)
+	res, err := s.prof().QueryKeys(q)
 	if err != nil {
 		writeProfileError(w, err)
 		return
 	}
+	// On replicated deployments the answer carries the staleness watermark of
+	// the node that produced it, so the caller can judge it against a
+	// freshness budget after the fact (or demand one upfront via the
+	// X-Sprofile-Max-Staleness-Ms header).
+	res.Replication = s.replicationStatus()
 	writeJSON(w, http.StatusOK, res)
 }

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"net/http"
+
+	"sprofile"
+)
+
+// registerReplicationRoutes mounts the leader-side replication feed and the
+// follower-side promote endpoint; called from routes(). Both resolve the
+// node's role per request, because it changes at runtime: a follower starts
+// serving the feed the moment it is promoted (its mirror becomes the log it
+// appends to), without any re-routing.
+func (s *Server) registerReplicationRoutes() {
+	s.mux.HandleFunc("/v1/replication/snapshot", s.handleReplicationSnapshot)
+	s.mux.HandleFunc("/v1/replication/wal", s.handleReplicationWAL)
+	s.mux.HandleFunc("/v1/admin/promote", s.handlePromote)
+}
+
+// replicationHandler resolves the current profile's replication feed, or nil
+// when this node has nothing to serve (no WAL, or an unpromoted follower —
+// chained replication off a follower's mirror is not supported).
+func (s *Server) replicationHandler() *replicationFeed {
+	if s.readOnly() {
+		return nil
+	}
+	h := s.prof().ReplicationHandler()
+	if h == nil {
+		return nil
+	}
+	return &replicationFeed{h}
+}
+
+// replicationFeed narrows the internal handler to the two methods the routes
+// need, keeping the server package's dependency surface explicit.
+type replicationFeed struct {
+	h interface {
+		ServeSnapshot(w http.ResponseWriter, r *http.Request)
+		ServeWAL(w http.ResponseWriter, r *http.Request)
+	}
+}
+
+func (s *Server) handleReplicationSnapshot(w http.ResponseWriter, r *http.Request) {
+	feed := s.replicationHandler()
+	if feed == nil {
+		writeError(w, http.StatusNotFound, "this node does not serve replication (no WAL, or it is itself a follower)")
+		return
+	}
+	feed.h.ServeSnapshot(w, r)
+}
+
+func (s *Server) handleReplicationWAL(w http.ResponseWriter, r *http.Request) {
+	feed := s.replicationHandler()
+	if feed == nil {
+		writeError(w, http.StatusNotFound, "this node does not serve replication (no WAL, or it is itself a follower)")
+		return
+	}
+	feed.h.ServeWAL(w, r)
+}
+
+// promoteResponse answers POST /v1/admin/promote.
+type promoteResponse struct {
+	Promoted bool   `json:"promoted"`
+	Role     string `json:"role"`
+}
+
+// handlePromote turns a follower into a leader: replication stops, the mirror
+// is closed cleanly, and the profile is rebuilt over it through the ordinary
+// recovery path with an append head — every byte the follower had durably
+// mirrored survives. Idempotent: promoting a leader (or twice) reports the
+// current role without error, so an orchestrator can fire-and-retry.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.follower == nil {
+		writeJSON(w, http.StatusOK, promoteResponse{Promoted: false, Role: s.role()})
+		return
+	}
+	already := s.follower.Promoted()
+	if _, err := s.follower.Promote(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{
+			Error: "promote failed: " + err.Error(),
+			Code:  "internal",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, promoteResponse{Promoted: !already, Role: "leader"})
+}
+
+// Promote is the programmatic form of POST /v1/admin/promote, for embedders
+// and tests. It is a no-op returning false on a non-follower.
+func (s *Server) Promote() (bool, error) {
+	if s.follower == nil {
+		return false, nil
+	}
+	already := s.follower.Promoted()
+	if _, err := s.follower.Promote(); err != nil {
+		return false, err
+	}
+	return !already, nil
+}
+
+// Follower exposes the underlying replica (nil in leader mode) so embedders
+// can inspect its status; the HTTP surface reports the same through /healthz.
+func (s *Server) Follower() *sprofile.KeyedFollower { return s.follower }

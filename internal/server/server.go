@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"sprofile"
+	"sprofile/internal/replication"
 	"sprofile/internal/wal"
 )
 
@@ -78,6 +79,16 @@ type Config struct {
 	// CheckpointBytes, when positive, additionally checkpoints whenever the
 	// WAL tail grows past this many bytes. Requires WALPath.
 	CheckpointBytes int64
+	// Follow, when non-empty, starts the server as a read-only follower of
+	// the leader at this base URL: WALPath becomes the local mirror directory
+	// (bootstrapped from the leader's snapshot, then tailed continuously),
+	// reads are served locally with a staleness watermark, and writes are
+	// refused with 503 + a leader hint until POST /v1/admin/promote turns the
+	// replica into a leader. Requires WALPath.
+	Follow string
+	// FollowPoll is the long-poll wait asked of the leader per tail fetch;
+	// zero selects the sprofile default (20s).
+	FollowPoll time.Duration
 }
 
 // Server is the HTTP facade over a concurrent keyed profile. It is safe for
@@ -86,8 +97,29 @@ type Config struct {
 // never serialise on each other.
 type Server struct {
 	profile  *sprofile.KeyedConcurrent[string]
+	follower *sprofile.KeyedFollower // non-nil in follower mode (stays set after promote)
+	leader   string                  // leader base URL (follower mode)
+	walPath  string
 	maxBatch int
 	mux      *http.ServeMux
+}
+
+// prof resolves the profile serving this request. In leader mode it is fixed;
+// in follower mode it is the replica behind an atomic pointer, which swaps on
+// rebootstrap and on promote — handlers therefore resolve it per request and
+// never cache it across requests.
+func (s *Server) prof() *sprofile.KeyedConcurrent[string] {
+	if s.follower != nil {
+		return s.follower.Profile()
+	}
+	return s.profile
+}
+
+// readOnly reports whether this server must refuse writes (an unpromoted
+// follower: its profile is driven by the leader's WAL, and a local write
+// would silently diverge from it).
+func (s *Server) readOnly() bool {
+	return s.follower != nil && !s.follower.Promoted()
 }
 
 // New returns a Server with the given configuration. When Config.WALPath is
@@ -109,6 +141,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Shards > 0 {
 		buildOpts = append(buildOpts, sprofile.WithSharding(cfg.Shards))
 	}
+	if cfg.Follow != "" {
+		return newFollowerServer(cfg, buildOpts, maxBatch)
+	}
 	if cfg.WALPath != "" {
 		buildOpts = append(buildOpts,
 			sprofile.WithWAL(cfg.WALPath),
@@ -129,6 +164,45 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		profile:  keyed,
+		walPath:  cfg.WALPath,
+		maxBatch: maxBatch,
+		mux:      http.NewServeMux(),
+	}
+	s.routes()
+	return s, nil
+}
+
+// newFollowerServer builds the read-only replica variant of New: the profile
+// is a KeyedFollower continuously mirroring cfg.Follow into cfg.WALPath.
+func newFollowerServer(cfg Config, buildOpts []sprofile.BuildOption, maxBatch int) (*Server, error) {
+	if cfg.WALPath == "" {
+		return nil, fmt.Errorf("server: follower mode requires a WAL path for the local mirror")
+	}
+	// Checkpoint and sync-cadence options only make sense on a leader; they
+	// take effect when (if) this follower is promoted.
+	promoteOpts := []sprofile.BuildOption{sprofile.WithWALSyncEvery(cfg.WALSyncEvery)}
+	if cfg.CheckpointEvery > 0 || cfg.CheckpointBytes > 0 {
+		promoteOpts = append(promoteOpts, sprofile.WithCheckpoints(sprofile.CheckpointPolicy{
+			Every:      cfg.CheckpointEvery,
+			EveryBytes: cfg.CheckpointBytes,
+		}))
+	}
+	kf, err := sprofile.NewKeyedFollower(sprofile.FollowerConfig{
+		Capacity: cfg.Capacity,
+		Leader:   cfg.Follow,
+		Dir:      cfg.WALPath,
+		LongPoll: cfg.FollowPoll,
+		Build:    buildOpts,
+		Promote:  promoteOpts,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	kf.Start()
+	s := &Server{
+		follower: kf,
+		leader:   cfg.Follow,
+		walPath:  cfg.WALPath,
 		maxBatch: maxBatch,
 		mux:      http.NewServeMux(),
 	}
@@ -138,18 +212,51 @@ func New(cfg Config) (*Server, error) {
 
 // Replayed returns the number of WAL tail records replayed at startup —
 // with checkpointing, only the records after the last snapshot.
-func (s *Server) Replayed() int { return s.profile.Replayed() }
+func (s *Server) Replayed() int { return s.prof().Replayed() }
 
 // Recovery returns the startup recovery breakdown: how much state the
 // checkpoint snapshot restored outright and how much log tail was replayed.
-func (s *Server) Recovery() sprofile.RecoveryStats { return s.profile.Recovery() }
+func (s *Server) Recovery() sprofile.RecoveryStats { return s.prof().Recovery() }
 
 // Close stops background checkpointing and closes the write-ahead log, if
-// one is configured.
-func (s *Server) Close() error { return s.profile.Close() }
+// one is configured. In follower mode it stops the replication loop and
+// closes the mirror.
+func (s *Server) Close() error {
+	if s.follower != nil {
+		return s.follower.Close()
+	}
+	return s.prof().Close()
+}
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// HeaderMaxStaleness is the request header a reader sets to demand freshness:
+// a follower whose staleness watermark exceeds this many milliseconds refuses
+// the read with 503 stale_read instead of answering from stale state. Leaders
+// always satisfy any bound.
+const HeaderMaxStaleness = "X-Sprofile-Max-Staleness-Ms"
+
+// ServeHTTP implements http.Handler. A max-staleness demand is enforced here,
+// before routing, so it guards every read endpoint uniformly.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if raw := r.Header.Get(HeaderMaxStaleness); raw != "" {
+		bound, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || bound < 0 {
+			writeError(w, http.StatusBadRequest, "%s must be a non-negative integer, got %q", HeaderMaxStaleness, raw)
+			return
+		}
+		if s.readOnly() {
+			if st := s.follower.Status(); st.StalenessMs > bound {
+				w.Header().Set("Retry-After", "1")
+				w.Header().Set(replication.HeaderLeader, s.leader)
+				writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+					Error: fmt.Sprintf("%v: %dms behind, caller demands %dms", sprofile.ErrStaleRead, st.StalenessMs, bound),
+					Code:  "stale_read",
+				})
+				return
+			}
+		}
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
@@ -168,6 +275,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/stats/distribution", s.handleDistribution)
 	s.mux.HandleFunc("/v1/stats/summary", s.handleSummary)
 	s.registerExportRoutes()
+	s.registerReplicationRoutes()
 }
 
 // Event is the JSON wire form of one log tuple.
@@ -225,8 +333,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 //	empty_profile                               → 422 Unprocessable Entity
 //	cap_exceeded                                → 507 Insufficient Storage
 //	wal_append (applied but not journaled)      → 500 Internal Server Error
+//	read_only, stale_read (replication)         → 503 Service Unavailable
 func errorCode(err error) (int, string) {
 	switch {
+	case errors.Is(err, sprofile.ErrReadOnly):
+		return http.StatusServiceUnavailable, "read_only"
+	case errors.Is(err, sprofile.ErrStaleRead):
+		return http.StatusServiceUnavailable, "stale_read"
 	case errors.Is(err, sprofile.ErrWALAppend):
 		return http.StatusInternalServerError, "wal_append"
 	case errors.Is(err, sprofile.ErrCapExceeded):
@@ -275,18 +388,103 @@ func writeProfileError(w http.ResponseWriter, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error(), Code: code})
 }
 
+// rejectReadOnly refuses a write on an unpromoted follower: 503 with a
+// Retry-After and the leader's URL in X-Sprofile-Leader, so a client can fail
+// over immediately instead of waiting out the retry.
+func (s *Server) rejectReadOnly(w http.ResponseWriter) bool {
+	if !s.readOnly() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set(replication.HeaderLeader, s.leader)
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		Error: fmt.Sprintf("%v; this is a follower of %s", sprofile.ErrReadOnly, s.leader),
+		Code:  "read_only",
+	})
+	return true
+}
+
+// role names what this node currently is: "standalone" (no WAL), "leader"
+// (WAL-backed, writable), or "follower" (read-only replica).
+func (s *Server) role() string {
+	if s.readOnly() {
+		return "follower"
+	}
+	if _, ok := s.prof().WALStats(); ok {
+		return "leader"
+	}
+	return "standalone"
+}
+
+// replicationStatus returns the staleness watermark this node attaches to
+// answers, or nil when it is standalone.
+func (s *Server) replicationStatus() *sprofile.ReplicationStatus {
+	if s.follower != nil {
+		st := s.follower.Status()
+		return &st
+	}
+	if st, ok := s.prof().LeaderReplicationStatus(); ok {
+		return &st
+	}
+	return nil
+}
+
+// healthWAL is the wal object inside the /healthz document.
+type healthWAL struct {
+	Segment             uint64 `json:"segment"`
+	Offset              int64  `json:"offset"`
+	Segments            int    `json:"segments"`
+	Fsyncs              uint64 `json:"fsyncs"`
+	TailBytes           int64  `json:"tail_bytes"`
+	SnapshotSeq         uint64 `json:"snapshot_seq"`
+	LastCheckpointAgeMs int64  `json:"last_checkpoint_age_ms"` // -1 = never checkpointed
+}
+
+// healthResponse is the full /healthz document; see the README for the
+// schema. WAL and Replication are omitted on nodes that have neither.
+type healthResponse struct {
+	Status          string                      `json:"status"`
+	Role            string                      `json:"role"`
+	CheckpointError string                      `json:"checkpoint_error,omitempty"`
+	ReplicationErr  string                      `json:"replication_error,omitempty"`
+	WAL             *healthWAL                  `json:"wal,omitempty"`
+	Replication     *sprofile.ReplicationStatus `json:"replication,omitempty"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	resp := map[string]string{"status": "ok"}
-	if err := s.profile.CheckpointError(); err != nil {
+	resp := healthResponse{Status: "ok", Role: s.role()}
+	p := s.prof()
+	if err := p.CheckpointError(); err != nil {
 		// The server keeps serving — the profile and the unreclaimed log
 		// tail are intact — but the operator should know the last background
 		// checkpoint failed (e.g. a full disk).
-		resp["checkpoint_error"] = err.Error()
+		resp.CheckpointError = err.Error()
 	}
+	if s.follower != nil {
+		if err := s.follower.LastError(); err != nil {
+			resp.ReplicationErr = err.Error()
+		}
+	}
+	if ws, ok := p.WALStats(); ok {
+		hw := &healthWAL{
+			Segment:             ws.Segment,
+			Offset:              ws.Offset,
+			Segments:            ws.Segments,
+			Fsyncs:              ws.Fsyncs,
+			TailBytes:           ws.TailBytes,
+			SnapshotSeq:         ws.SnapshotSeq,
+			LastCheckpointAgeMs: -1,
+		}
+		if !ws.LastCheckpoint.IsZero() {
+			hw.LastCheckpointAgeMs = time.Since(ws.LastCheckpoint).Milliseconds()
+		}
+		resp.WAL = hw
+	}
+	resp.Replication = s.replicationStatus()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -298,7 +496,10 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
-	if err := s.profile.Checkpoint(); err != nil {
+	if s.rejectReadOnly(w) {
+		return
+	}
+	if err := s.prof().Checkpoint(); err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "checkpoint failed: %v", err)
 		return
 	}
@@ -354,6 +555,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	if s.rejectReadOnly(w) {
+		return
+	}
 	events, err := decodeEvents(r, s.maxBatch)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -370,7 +574,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, eventsResponse{Applied: applied, Error: err.Error(), Code: "invalid_action"})
 			return
 		}
-		if err := s.profile.Apply(e.Object, action); err != nil {
+		if err := s.prof().Apply(e.Object, action); err != nil {
 			status, code := errorCode(err)
 			resp := eventsResponse{Applied: applied, Error: err.Error(), Code: code}
 			if errors.Is(err, sprofile.ErrWALAppend) {
@@ -382,7 +586,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		applied++
 	}
-	if err := s.profile.Sync(); err != nil {
+	if err := s.prof().Sync(); err != nil {
 		writeJSON(w, http.StatusInternalServerError, eventsResponse{
 			Applied: applied,
 			Error:   fmt.Sprintf("events applied but log sync failed: %v", err),
@@ -442,6 +646,9 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	if s.rejectReadOnly(w) {
+		return
+	}
 	sc := bulkPool.Get().(*bulkScratch)
 	defer func() {
 		// Zero the full backing array, not just the live prefix — flush()
@@ -457,7 +664,7 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 	applied := 0
 	lineNo := 0
 	flush := func() error {
-		n, err := s.profile.ApplyBatch(sc.events)
+		n, err := s.prof().ApplyBatch(sc.events)
 		applied += n
 		sc.events = sc.events[:0]
 		return err
@@ -517,7 +724,7 @@ func (s *Server) handleMode(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	entry, ties, err := s.profile.Mode()
+	entry, ties, err := s.prof().Mode()
 	if err != nil {
 		writeProfileError(w, err)
 		return
@@ -530,7 +737,7 @@ func (s *Server) handleMin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	entry, ties, err := s.profile.Min()
+	entry, ties, err := s.prof().Min()
 	if err != nil {
 		writeProfileError(w, err)
 		return
@@ -563,7 +770,7 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	entries := s.profile.TopK(k)
+	entries := s.prof().TopK(k)
 	out := make([]entryResponse, len(entries))
 	for i, e := range entries {
 		out[i] = entryResponse{Object: e.Key, Frequency: e.Frequency}
@@ -580,7 +787,7 @@ func (s *Server) handleBottom(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	entries := s.profile.BottomK(k)
+	entries := s.prof().BottomK(k)
 	out := make([]entryResponse, len(entries))
 	for i, e := range entries {
 		out[i] = entryResponse{Object: e.Key, Frequency: e.Frequency}
@@ -598,7 +805,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing object parameter")
 		return
 	}
-	f, err := s.profile.Count(object)
+	f, err := s.prof().Count(object)
 	if err != nil {
 		writeProfileError(w, err)
 		return
@@ -611,7 +818,7 @@ func (s *Server) handleMedian(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	entry, err := s.profile.Median()
+	entry, err := s.prof().Median()
 	if err != nil {
 		writeProfileError(w, err)
 		return
@@ -630,7 +837,7 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "q must be a number in [0,1], got %q", raw)
 		return
 	}
-	entry, err := s.profile.Quantile(q)
+	entry, err := s.prof().Quantile(q)
 	if err != nil {
 		writeProfileError(w, err)
 		return
@@ -643,7 +850,7 @@ func (s *Server) handleMajority(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	entry, ok, err := s.profile.Majority()
+	entry, ok, err := s.prof().Majority()
 	if err != nil {
 		writeProfileError(w, err)
 		return
@@ -660,7 +867,7 @@ func (s *Server) handleDistribution(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.profile.Distribution())
+	writeJSON(w, http.StatusOK, s.prof().Distribution())
 }
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
@@ -668,8 +875,8 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	summary := s.profile.Summarize()
-	tracked := s.profile.Tracked()
+	summary := s.prof().Summarize()
+	tracked := s.prof().Tracked()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"capacity":             summary.Capacity,
 		"tracked":              tracked,

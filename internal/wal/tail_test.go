@@ -1,0 +1,267 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sprofile/internal/core"
+	"testing"
+)
+
+// tailRecord renders a record compactly so sequences compare with plain ==.
+func tailRecord(rec Record) string {
+	if rec.Batch {
+		return fmt.Sprintf("batch:%s:+%d-%d", rec.Key, rec.Adds, rec.Removes)
+	}
+	return fmt.Sprintf("act%d:%s", rec.Action, rec.Key)
+}
+
+// drain reads chunks from dir starting at pos until the reader is caught up
+// with the append head, feeding every byte through dec and collecting the
+// decoded records. It mirrors a follower's ingest loop, including the
+// sealed-segment advance.
+func drain(t *testing.T, dir string, d *Dir, pos Position, dec *StreamDecoder) ([]string, Position) {
+	t.Helper()
+	var got []string
+	for {
+		chunk, err := ReadChunk(dir, pos, d.SegmentID(), 64) // small chunks to cross record boundaries
+		if err != nil {
+			t.Fatalf("ReadChunk(%v): %v", pos, err)
+		}
+		if len(chunk.Data) == 0 && !chunk.Sealed {
+			return got, pos
+		}
+		if chunk.Segment != pos.Segment {
+			if chunk.Segment != pos.Segment+1 || chunk.Offset != 0 {
+				t.Fatalf("reader at %v jumped to segment %d offset %d", pos, chunk.Segment, chunk.Offset)
+			}
+			if dec.Buffered() != 0 {
+				t.Fatalf("segment advance with %d bytes of a torn record buffered", dec.Buffered())
+			}
+			dec.Reset()
+		}
+		if err := dec.Feed(chunk.Data, func(rec Record) error {
+			got = append(got, tailRecord(rec))
+			return nil
+		}); err != nil {
+			t.Fatalf("Feed: %v", err)
+		}
+		pos = chunk.End()
+	}
+}
+
+// TestTailRotationBoundary drives a reader across a Rotate: positioned at the
+// end of segment N it must pick up segment N+1 at offset 0, with no record
+// skipped or delivered twice.
+func TestTailRotationBoundary(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir, Options{}, nil, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	var want []string
+	acts := []core.Action{core.ActionAdd, core.ActionRemove}
+	appendOne := func(key string, action core.Action) {
+		t.Helper()
+		if _, err := d.Append(Record{Key: key, Action: action}); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, fmt.Sprintf("act%d:%s", action, key))
+	}
+	for i := 0; i < 7; i++ {
+		appendOne(fmt.Sprintf("seg1-key-%02d", i), acts[i%2])
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	var dec StreamDecoder
+	got, pos := drain(t, dir, d, Position{Segment: 1}, &dec)
+	if len(got) != 7 {
+		t.Fatalf("pre-rotation drain: got %d records, want 7", len(got))
+	}
+
+	// The reader now sits exactly at the end of segment 1. Rotate and append
+	// into segment 2; the next drain must deliver only the new records.
+	if _, err := d.Rotate(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		appendOne(fmt.Sprintf("seg2-key-%02d", i), core.ActionAdd)
+	}
+	if _, err := d.AppendBatch([]BatchEntry{{Key: "seg2-batch", Adds: 3, Removes: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, "batch:seg2-batch:+3-1")
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	more, pos := drain(t, dir, d, pos, &dec)
+	got = append(got, more...)
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// A second rotation while the reader is mid-segment: drain must still see
+	// every record exactly once, in order.
+	appendOne("seg2-late", core.ActionRemove)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Rotate(2); err != nil {
+		t.Fatal(err)
+	}
+	appendOne("seg3-first", core.ActionAdd)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	more, pos = drain(t, dir, d, pos, &dec)
+	got = append(got, more...)
+	if pos.Segment != 3 {
+		t.Fatalf("reader ended on segment %d, want 3", pos.Segment)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("after second rotation: got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadChunkErrors(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir, Options{}, nil, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Append(Record{Key: "k", Action: core.ActionAdd}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Rotate(1); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ReadChunk(dir, Position{Segment: 7}, d.SegmentID(), 0); !errors.Is(err, ErrSegmentMissing) {
+		t.Fatalf("missing segment: got %v, want ErrSegmentMissing", err)
+	}
+	if _, err := ReadChunk(dir, Position{Segment: 1, Offset: 1 << 30}, d.SegmentID(), 0); !errors.Is(err, ErrOffsetBeyondEnd) {
+		t.Fatalf("beyond end: got %v, want ErrOffsetBeyondEnd", err)
+	}
+	if err := d.DropThrough(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadChunk(dir, Position{Segment: 1}, d.SegmentID(), 0); !errors.Is(err, ErrSegmentMissing) {
+		t.Fatalf("pruned segment: got %v, want ErrSegmentMissing", err)
+	}
+}
+
+// TestStreamDecoderByteAtATime feeds a whole segment one byte at a time: the
+// header and every record must survive arbitrary chunk boundaries, and each
+// record must be emitted exactly once.
+func TestStreamDecoderByteAtATime(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir, Options{}, nil, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts2 := []core.Action{core.ActionAdd, core.ActionRemove}
+	var want []string
+	for i := 0; i < 4; i++ {
+		rec := Record{Key: fmt.Sprintf("key-%d", i), Action: acts2[i%2]}
+		if _, err := d.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, tailRecord(rec))
+	}
+	if _, err := d.AppendBatch([]BatchEntry{{Key: "b1", Adds: 2}, {Key: "b2", Removes: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, "batch:b1:+2-0", "batch:b2:+0-5")
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, SegmentName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec StreamDecoder
+	var got []string
+	for i := range data {
+		if err := dec.Feed(data[i:i+1], func(rec Record) error {
+			got = append(got, tailRecord(rec))
+			return nil
+		}); err != nil {
+			t.Fatalf("Feed byte %d: %v", i, err)
+		}
+	}
+	if dec.Buffered() != 0 {
+		t.Fatalf("decoder holds %d bytes after a complete segment", dec.Buffered())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReplaySegmentValid checks the valid-end bookkeeping against a torn
+// tail: the reported offset must cover exactly the complete records.
+func TestReplaySegmentValid(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir, Options{}, nil, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := d.Append(Record{Key: fmt.Sprintf("key-%d", i), Action: core.ActionAdd}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, SegmentName(1))
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, end, err := ReplaySegmentValid(path, true, func(Record) error { return nil })
+	if err != nil || n != 3 || end != int64(len(full)) {
+		t.Fatalf("intact segment: n=%d end=%d err=%v, want 3, %d, nil", n, end, err, len(full))
+	}
+
+	// Tear the last record: append a fresh copy missing its final byte.
+	if err := os.WriteFile(path, full[:len(full)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, end, err = ReplaySegmentValid(path, true, func(Record) error { return nil })
+	if err != nil || n != 2 {
+		t.Fatalf("torn segment: n=%d err=%v, want 2, nil", n, err)
+	}
+	if end >= int64(len(full)-1) || end <= 0 {
+		t.Fatalf("torn segment validEnd %d outside (0, %d)", end, len(full)-1)
+	}
+	if _, _, err := ReplaySegmentValid(path, false, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("strict torn replay: got %v, want ErrCorrupt", err)
+	}
+}

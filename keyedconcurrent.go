@@ -218,28 +218,7 @@ func BuildKeyed[K comparable](m int, opts ...BuildOption) (*KeyedConcurrent[K], 
 				return nil, fmt.Errorf("sprofile: restoring snapshot from %s: %w", cfg.walPath, err)
 			}
 		}
-		replayed, err := store.ReplayTail(func(rec wal.Record) error {
-			// Stripe assignment is seeded per process, so the per-stripe
-			// eviction decisions of the writing run cannot be reproduced
-			// here. Replay is single-goroutine, so it may fall back to
-			// evicting an idle key from any stripe: the log guarantees the
-			// live (frequency > 0) key set never exceeded capacity, hence an
-			// idle victim always exists when an Add finds the mapper full.
-			// kc.store is still nil here, so the apply paths rebuild state
-			// without re-journaling the records being replayed.
-			key := any(rec.Key).(K)
-			apply := func() error {
-				if rec.Batch {
-					return kc.ApplyDelta(key, rec.Adds, rec.Removes)
-				}
-				return kc.Apply(key, rec.Action)
-			}
-			err := apply()
-			if errors.Is(err, idmap.ErrFull) && kc.evictIdleAny() {
-				err = apply()
-			}
-			return err
-		})
+		replayed, err := store.ReplayTail(kc.applyWALRecord)
 		if err != nil {
 			return nil, fmt.Errorf("sprofile: replaying WAL %s: %w", cfg.walPath, err)
 		}
@@ -252,6 +231,30 @@ func BuildKeyed[K comparable](m int, opts ...BuildOption) (*KeyedConcurrent[K], 
 		}
 	}
 	return kc, nil
+}
+
+// applyWALRecord replays one durable record into the profile. Stripe
+// assignment is seeded per process, so the per-stripe eviction decisions of
+// the writing run cannot be reproduced here. Replay is single-goroutine (the
+// recovery loop or a follower's polling goroutine), so it may fall back to
+// evicting an idle key from any stripe: the log guarantees the live
+// (frequency > 0) key set never exceeded capacity, hence an idle victim
+// always exists when an Add finds the mapper full. The profile's store must
+// be nil (recovery, or a follower without an append head), so the apply
+// paths rebuild state without re-journaling the records being replayed.
+func (k *KeyedConcurrent[K]) applyWALRecord(rec wal.Record) error {
+	key := any(rec.Key).(K)
+	apply := func() error {
+		if rec.Batch {
+			return k.ApplyDelta(key, rec.Adds, rec.Removes)
+		}
+		return k.Apply(key, rec.Action)
+	}
+	err := apply()
+	if errors.Is(err, idmap.ErrFull) && k.evictIdleAny() {
+		err = apply()
+	}
+	return err
 }
 
 // restore reinstates a checkpoint snapshot: every snapshotted key re-acquires

@@ -121,6 +121,12 @@ type KeyedQueryResult[K comparable] struct {
 	Majority     *KeyedMajority[K]  `json:"majority,omitempty"`
 	Distribution []FreqCount        `json:"distribution,omitempty"`
 	Summary      *Summary           `json:"summary,omitempty"`
+
+	// Replication, when the query was answered by a replicated server,
+	// carries the staleness watermark of the node that answered: the WAL
+	// position it had applied and a wall-clock bound on how far behind the
+	// leader the answer may be. Nil outside a replicated deployment.
+	Replication *ReplicationStatus `json:"replication,omitempty"`
 }
 
 // KeyedQuerier is the keyed counterpart of the Querier capability; both
