@@ -1,0 +1,360 @@
+package sprofile_test
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sprofile"
+)
+
+// TestAsyncStress runs the full plane under the race detector: several
+// producers hammering tiny mailboxes (so the block-mode backpressure path
+// is exercised constantly), while readers verify one-cut invariants on
+// epoch snapshots and other goroutines interleave Flush and Checkpoint.
+// Add-only traffic makes the final totals exactly checkable.
+func TestAsyncStress(t *testing.T) {
+	const (
+		producers   = 4
+		perProducer = 5_000
+		m           = 64
+	)
+	path := filepath.Join(t.TempDir(), "stress.wal")
+	p, err := sprofile.Build(m,
+		sprofile.WithSharding(4),
+		sprofile.WithWAL(path),
+		sprofile.WithAsyncIngest(sprofile.AsyncPolicy{
+			MailboxDepth:    8, // tiny: forces the backpressure wait path
+			PublishEvents:   64,
+			PublishInterval: time.Millisecond,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.(*sprofile.Async)
+
+	var wg sync.WaitGroup
+	var readersWg sync.WaitGroup
+	stopReaders := make(chan struct{})
+
+	// Readers: every answer must be one consistent cut of SOME epoch —
+	// the distribution, the summary and the mode all agree internally even
+	// while ingestion runs full tilt.
+	readerErr := make(chan error, 8)
+	for r := 0; r < 2; r++ {
+		readersWg.Add(1)
+		go func() {
+			defer readersWg.Done()
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				res, err := a.Query(sprofile.Query{Summary: true, Distribution: true, TopK: 1})
+				if err != nil {
+					readerErr <- fmt.Errorf("Query: %w", err)
+					return
+				}
+				var distTotal int64
+				var distMax int64
+				for _, fc := range res.Distribution {
+					distTotal += fc.Freq * int64(fc.Count)
+					if fc.Freq > distMax {
+						distMax = fc.Freq
+					}
+				}
+				if distTotal != res.Summary.Total {
+					readerErr <- fmt.Errorf("torn epoch: distribution sums to %d, summary total %d", distTotal, res.Summary.Total)
+					return
+				}
+				if distMax != res.Summary.MaxFrequency {
+					readerErr <- fmt.Errorf("torn epoch: distribution max %d, summary max %d", distMax, res.Summary.MaxFrequency)
+					return
+				}
+				if len(res.TopK) > 0 && res.TopK[0].Frequency != res.Summary.MaxFrequency {
+					readerErr <- fmt.Errorf("torn epoch: top-1 frequency %d, summary max %d", res.TopK[0].Frequency, res.Summary.MaxFrequency)
+					return
+				}
+			}
+		}()
+	}
+
+	// Flushers and a checkpointer, concurrent with everything.
+	var flushErrs atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := a.Flush(); err != nil {
+				flushErrs.Add(1)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := a.Checkpoint(); err != nil {
+				readerErr <- fmt.Errorf("Checkpoint: %w", err)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// Producers: dedicated handles, add-only, uniform over all objects.
+	prodErr := make(chan error, producers)
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			h, err := a.Producer()
+			if err != nil {
+				prodErr <- err
+				return
+			}
+			defer h.Close()
+			for i := 0; i < perProducer; i++ {
+				if err := h.Add((seed*31 + i) % m); err != nil {
+					prodErr <- fmt.Errorf("producer %d event %d: %w", seed, i, err)
+					return
+				}
+			}
+		}(pr)
+	}
+
+	// Wait for producers, then stop the readers and join everyone.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case err := <-readerErr:
+		t.Fatal(err)
+	case err := <-prodErr:
+		t.Fatal(err)
+	case <-time.After(120 * time.Second):
+		t.Fatalf("stress run wedged; stats: %+v", a.Stats())
+	}
+	close(stopReaders)
+	readersWg.Wait()
+	select {
+	case err := <-readerErr:
+		t.Fatal(err)
+	default:
+	}
+
+	if err := a.Flush(); err != nil {
+		t.Fatalf("final Flush: %v", err)
+	}
+	const want = producers * perProducer
+	if got := a.Total(); got != want {
+		t.Fatalf("Total = %d, want %d", got, want)
+	}
+	st := a.Stats()
+	if st.Applied != want || st.Queued != 0 {
+		t.Fatalf("Stats = %+v, want %d applied, 0 queued", st, want)
+	}
+	if flushErrs.Load() != 0 {
+		t.Fatalf("%d concurrent flushes returned errors on an add-only stream", flushErrs.Load())
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Recovery: the WAL (tail + checkpoints taken mid-flight) must rebuild
+	// the exact same profile.
+	p2, err := sprofile.Build(m, sprofile.WithSharding(4), sprofile.WithWAL(path))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got := p2.Total(); got != want {
+		t.Fatalf("restored Total = %d, want %d", got, want)
+	}
+	for x := 0; x < m; x++ {
+		wantC, _ := a.Count(x) // final published epoch
+		gotC, _ := p2.Count(x)
+		if wantC != gotC {
+			t.Fatalf("restored Count(%d) = %d, want %d", x, gotC, wantC)
+		}
+	}
+}
+
+// TestAsyncKeyedStress runs the keyed plane under the race detector:
+// producers over a shared key space (stripe routing, id assignment and
+// recycling bookkeeping all live), concurrent keyed composite queries,
+// Flush/Checkpoint interleaved, then an exact final count per key.
+func TestAsyncKeyedStress(t *testing.T) {
+	const (
+		producers   = 4
+		perProducer = 4_000
+		keys        = 40
+	)
+	path := filepath.Join(t.TempDir(), "keyed-stress.wal")
+	ak, err := sprofile.BuildKeyedAsync[string](keys, sprofile.AsyncPolicy{
+		MailboxDepth:    8,
+		PublishEvents:   64,
+		PublishInterval: time.Millisecond,
+	}, sprofile.WithSharding(4), sprofile.WithWAL(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var readersWg sync.WaitGroup
+	stopReaders := make(chan struct{})
+	readerErr := make(chan error, 8)
+	readersWg.Add(1)
+	go func() {
+		defer readersWg.Done()
+		for {
+			select {
+			case <-stopReaders:
+				return
+			default:
+			}
+			res, err := ak.QueryKeys(sprofile.KeyedQuery[string]{Summary: true, Distribution: true})
+			if err != nil {
+				readerErr <- fmt.Errorf("QueryKeys: %w", err)
+				return
+			}
+			var distTotal int64
+			for _, fc := range res.Distribution {
+				distTotal += fc.Freq * int64(fc.Count)
+			}
+			if distTotal != res.Summary.Total {
+				readerErr <- fmt.Errorf("torn keyed epoch: distribution sums to %d, summary total %d", distTotal, res.Summary.Total)
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			ak.Flush()
+			if err := ak.Checkpoint(); err != nil {
+				readerErr <- fmt.Errorf("Checkpoint: %w", err)
+				return
+			}
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+
+	prodErr := make(chan error, producers)
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			h, err := ak.Producer()
+			if err != nil {
+				prodErr <- err
+				return
+			}
+			defer h.Close()
+			for i := 0; i < perProducer; i++ {
+				if err := h.Add(fmt.Sprintf("key-%d", (seed*17+i)%keys)); err != nil {
+					prodErr <- fmt.Errorf("producer %d event %d: %w", seed, i, err)
+					return
+				}
+			}
+		}(pr)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case err := <-readerErr:
+		t.Fatal(err)
+	case err := <-prodErr:
+		t.Fatal(err)
+	case <-time.After(120 * time.Second):
+		t.Fatalf("keyed stress run wedged; stats: %+v", ak.Stats())
+	}
+	close(stopReaders)
+	readersWg.Wait()
+	select {
+	case err := <-readerErr:
+		t.Fatal(err)
+	default:
+	}
+
+	if err := ak.Flush(); err != nil {
+		t.Fatalf("final Flush: %v", err)
+	}
+	const want = producers * perProducer
+	if got := ak.Total(); got != want {
+		t.Fatalf("Total = %d, want %d", got, want)
+	}
+	// Uniform traffic: every key got exactly want/keys adds.
+	for k := 0; k < keys; k++ {
+		c, err := ak.Count(fmt.Sprintf("key-%d", k))
+		if err != nil || c != want/keys {
+			t.Fatalf("Count(key-%d) = %d, %v; want %d, nil", k, c, err, want/keys)
+		}
+	}
+	if err := ak.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestAsyncBackpressureErrorConcurrent verifies the fail-fast mode under
+// contention: rejected events are never applied, so the flushed total
+// equals successes exactly.
+func TestAsyncBackpressureErrorConcurrent(t *testing.T) {
+	p, err := sprofile.Build(16, sprofile.WithSharding(2),
+		sprofile.WithAsyncIngest(sprofile.AsyncPolicy{
+			MailboxDepth: 4,
+			Backpressure: sprofile.BackpressureError,
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.(*sprofile.Async)
+	defer a.Close()
+
+	const producers = 3
+	var accepted atomic.Int64
+	var rejected atomic.Int64
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := a.Producer()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer h.Close()
+			for i := 0; i < 20_000; i++ {
+				switch err := h.Add(i % 16); {
+				case err == nil:
+					accepted.Add(1)
+				case errors.Is(err, sprofile.ErrBackpressure):
+					rejected.Add(1)
+				default:
+					t.Errorf("Add = %v, want nil or ErrBackpressure", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := a.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := a.Total(); got != accepted.Load() {
+		t.Fatalf("Total = %d, want %d accepted (%d rejected)", got, accepted.Load(), rejected.Load())
+	}
+	if st := a.Stats(); st.Drops != uint64(rejected.Load()) {
+		t.Fatalf("Stats.Drops = %d, want %d", st.Drops, rejected.Load())
+	}
+}

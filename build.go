@@ -31,6 +31,8 @@ type buildConfig struct {
 	ckptSet      bool
 	profileOpts  []Option
 	noKeyRecycle bool
+	async        AsyncPolicy
+	asyncSet     bool
 }
 
 // BuildOption declares one capability of the profile Build assembles.
@@ -161,6 +163,22 @@ func WithoutKeyRecycling() BuildOption {
 	return func(c *buildConfig) { c.noKeyRecycle = true }
 }
 
+// WithAsyncIngest wraps the assembled profile with the shared-nothing async
+// ingest plane (see Async): updates are enqueued to per-producer, per-shard
+// SPSC mailboxes and applied by one goroutine per shard; reads answer from
+// epoch-published snapshots under the bounded-staleness contract. A zero
+// AsyncPolicy means all defaults. It composes with Synchronized,
+// WithSharding and WithWAL; window adapters are rejected (they are
+// single-goroutine and lack the delta capability the appliers batch
+// through). BuildKeyed rejects it — use BuildKeyedAsync instead, which
+// returns the concrete *AsyncKeyed.
+func WithAsyncIngest(p AsyncPolicy) BuildOption {
+	return func(c *buildConfig) {
+		c.async = p
+		c.asyncSet = true
+	}
+}
+
 // defaultShards is the shard (and mapper stripe) count BuildKeyed uses when
 // WithSharding is not given: one per unit of real parallelism, the point
 // where parallel ingestion stops gaining from further splitting. The count
@@ -231,6 +249,9 @@ func Build(m int, opts ...BuildOption) (Profiler, error) {
 			return nil, fmt.Errorf("%w: a frequency snapshot cannot capture a window's in-flight tuples; WithCheckpoints does not compose with Windowed or TimeWindowed", ErrBuildConfig)
 		}
 	}
+	if cfg.asyncSet && (cfg.windowSet || cfg.spanSet) {
+		return nil, fmt.Errorf("%w: window adapters are single-goroutine and have no delta capability; WithAsyncIngest does not compose with Windowed or TimeWindowed", ErrBuildConfig)
+	}
 
 	var (
 		p   Profiler
@@ -261,7 +282,13 @@ func Build(m int, opts ...BuildOption) (Profiler, error) {
 	}
 
 	if cfg.walPath != "" {
-		return newDurable(p, cfg.walPath, cfg.walSyncEvery, cfg.ckpt)
+		p, err = newDurable(p, cfg.walPath, cfg.walSyncEvery, cfg.ckpt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.asyncSet {
+		return NewAsync(p, cfg.async)
 	}
 	return p, nil
 }

@@ -102,6 +102,7 @@ var codeToErr = map[string]error{
 	"wal_append":       sprofile.ErrWALAppend,
 	"read_only":        sprofile.ErrReadOnly,
 	"stale_read":       sprofile.ErrStaleRead,
+	"backpressure":     sprofile.ErrBackpressure,
 }
 
 // Unwrap resolves the wire code to its sprofile taxonomy class (nil for
@@ -579,6 +580,15 @@ func (c *Client) Checkpoint(ctx context.Context) error {
 	return c.doWrite(ctx, http.MethodPost, "/v1/admin/checkpoint", nil, "", nil)
 }
 
+// Flush asks the server to drain its async ingest plane (POST
+// /v1/admin/flush): when it returns nil, every previously acknowledged event
+// is applied and visible to reads, and any deferred apply error has been
+// surfaced (it comes back with its taxonomy class, so errors.Is works). On a
+// synchronous server it degrades to a WAL sync.
+func (c *Client) Flush(ctx context.Context) error {
+	return c.doWrite(ctx, http.MethodPost, "/v1/admin/flush", nil, "", nil)
+}
+
 // WALHealth mirrors the "wal" section of /healthz: the durable log's append
 // position and the observability counters behind it.
 type WALHealth struct {
@@ -601,6 +611,7 @@ type Health struct {
 	ReplicationError string                      `json:"replication_error"`
 	WAL              *WALHealth                  `json:"wal"`
 	Replication      *sprofile.ReplicationStatus `json:"replication"`
+	Async            *sprofile.AsyncStats        `json:"async"`
 }
 
 // Healthz returns the server's liveness document. It probes the configured

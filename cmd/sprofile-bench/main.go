@@ -92,11 +92,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *jsonPath != "" {
 		doc := jsonDoc{
-			GOOS:    runtime.GOOS,
-			GOARCH:  runtime.GOARCH,
-			CPUs:    runtime.NumCPU(),
-			Full:    *full,
-			Results: all,
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			CPUs:       runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Full:       *full,
+			Results:    all,
 		}
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
@@ -114,9 +115,10 @@ func run(args []string, stdout io.Writer) error {
 // produced the numbers plus every result panel of the run, so later PRs can
 // diff throughput against a committed baseline.
 type jsonDoc struct {
-	GOOS    string          `json:"goos"`
-	GOARCH  string          `json:"goarch"`
-	CPUs    int             `json:"cpus"`
-	Full    bool            `json:"full"`
-	Results []*bench.Result `json:"results"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	CPUs       int             `json:"cpus"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Full       bool            `json:"full"`
+	Results    []*bench.Result `json:"results"`
 }

@@ -30,17 +30,20 @@ import (
 func main() {
 	fs := flag.NewFlagSet("sprofiled", flag.ExitOnError)
 	var (
-		addr      = fs.String("addr", ":8080", "listen address")
-		capacity  = fs.Int("capacity", 1_000_000, "maximum number of concurrently tracked objects")
-		shards    = fs.Int("shards", 0, "split the profile across this many lock shards (0 = one per CPU)")
-		maxBatch  = fs.Int("max-batch", 10_000, "maximum number of events per POST")
-		walPath   = fs.String("wal", "", "write-ahead log directory; state is recovered from it on startup (a legacy single-file log at this path is migrated automatically)")
-		walSync   = fs.Int("wal-sync-every", 0, "fsync the WAL after this many events (0 = once per batch)")
-		ckptEvery = fs.Duration("checkpoint-every", 0, "snapshot the profile and truncate the WAL on this cadence (0 = disabled; requires -wal)")
-		ckptBytes = fs.Int64("checkpoint-bytes", 0, "additionally checkpoint once the WAL tail exceeds this many bytes (0 = disabled; requires -wal)")
-		follow    = fs.String("follow", "", "run as a read-only follower of the leader at this base URL; -wal names the local mirror directory (required). Writes are refused with the leader's address until POST /v1/admin/promote")
-		pollWait  = fs.Duration("follow-poll", 0, "long-poll wait per WAL tail fetch in follower mode (0 = 20s default)")
-		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) on a listener separate from the API, so hot-path regressions can be profiled in production; empty disables")
+		addr        = fs.String("addr", ":8080", "listen address")
+		capacity    = fs.Int("capacity", 1_000_000, "maximum number of concurrently tracked objects")
+		shards      = fs.Int("shards", 0, "split the profile across this many lock shards (0 = one per CPU)")
+		maxBatch    = fs.Int("max-batch", 10_000, "maximum number of events per POST")
+		walPath     = fs.String("wal", "", "write-ahead log directory; state is recovered from it on startup (a legacy single-file log at this path is migrated automatically)")
+		walSync     = fs.Int("wal-sync-every", 0, "fsync the WAL after this many events (0 = once per batch)")
+		ckptEvery   = fs.Duration("checkpoint-every", 0, "snapshot the profile and truncate the WAL on this cadence (0 = disabled; requires -wal)")
+		ckptBytes   = fs.Int64("checkpoint-bytes", 0, "additionally checkpoint once the WAL tail exceeds this many bytes (0 = disabled; requires -wal)")
+		follow      = fs.String("follow", "", "run as a read-only follower of the leader at this base URL; -wal names the local mirror directory (required). Writes are refused with the leader's address until POST /v1/admin/promote")
+		pollWait    = fs.Duration("follow-poll", 0, "long-poll wait per WAL tail fetch in follower mode (0 = 20s default)")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) on a listener separate from the API, so hot-path regressions can be profiled in production; empty disables")
+		asyncIngest = fs.Bool("async-ingest", false, "route ingestion through the shared-nothing async plane: per-shard mailboxes, one applier per shard, epoch-snapshot reads (bounded staleness; POST /v1/admin/flush forces read-your-write). Full mailboxes return 429")
+		asyncFlush  = fs.Duration("async-flush-us", 0, "snapshot publish cadence (the read staleness bound) with -async-ingest; 0 = 2ms default")
+		asyncDepth  = fs.Int("async-mailbox-depth", 0, "per-producer per-shard mailbox capacity with -async-ingest; 0 = 1024 default")
 	)
 	fs.Parse(os.Args[1:])
 
@@ -56,15 +59,18 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Capacity:        *capacity,
-		Shards:          *shards,
-		MaxBatch:        *maxBatch,
-		WALPath:         *walPath,
-		WALSyncEvery:    *walSync,
-		CheckpointEvery: *ckptEvery,
-		CheckpointBytes: *ckptBytes,
-		Follow:          *follow,
-		FollowPoll:      *pollWait,
+		Capacity:           *capacity,
+		Shards:             *shards,
+		MaxBatch:           *maxBatch,
+		WALPath:            *walPath,
+		WALSyncEvery:       *walSync,
+		CheckpointEvery:    *ckptEvery,
+		CheckpointBytes:    *ckptBytes,
+		Follow:             *follow,
+		FollowPoll:         *pollWait,
+		AsyncIngest:        *asyncIngest,
+		AsyncFlushInterval: *asyncFlush,
+		AsyncMailboxDepth:  *asyncDepth,
 	})
 	if err != nil {
 		log.Fatalf("sprofiled: %v", err)

@@ -1,0 +1,183 @@
+package sprofile
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// pathSpy records which ingestion path ApplyCoalesced picked.
+type pathSpy struct {
+	*Profile
+	applyAllCalls   int
+	applyDeltaCalls int
+}
+
+func (s *pathSpy) ApplyAll(tuples []Tuple) (int, error) {
+	s.applyAllCalls++
+	return s.Profile.ApplyAll(tuples)
+}
+
+func (s *pathSpy) ApplyDeltas(deltas []Delta) (int, error) {
+	s.applyDeltaCalls++
+	return s.Profile.ApplyDeltas(deltas)
+}
+
+// TestApplyCoalescedPathSelection pins the adaptive routing: skewed batches
+// (hot keys repeat, deltas ≪ tuples) take the delta path; uniform batches
+// (every tuple a distinct object, no dedup) fall back to per-event ApplyAll
+// — the fix for the 0.53–0.59x uniform-dense regression BENCH_batch.json
+// recorded.
+func TestApplyCoalescedPathSelection(t *testing.T) {
+	const m = 1024
+	newSpy := func() (*pathSpy, *Coalescer) {
+		p, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewCoalescer(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &pathSpy{Profile: p}, c
+	}
+
+	t.Run("skewed takes delta path", func(t *testing.T) {
+		spy, c := newSpy()
+		// 1000 tuples over 10 hot objects: 100x dedup.
+		batch := make([]Tuple, 1000)
+		for i := range batch {
+			batch[i] = Tuple{Object: i % 10, Action: ActionAdd}
+		}
+		n, err := ApplyCoalesced(spy, c, batch)
+		if err != nil || n != len(batch) {
+			t.Fatalf("ApplyCoalesced = %d, %v; want %d, nil", n, err, len(batch))
+		}
+		if spy.applyDeltaCalls != 1 || spy.applyAllCalls != 0 {
+			t.Fatalf("path = %d delta / %d all calls, want 1 / 0", spy.applyDeltaCalls, spy.applyAllCalls)
+		}
+	})
+
+	t.Run("uniform falls back to ApplyAll", func(t *testing.T) {
+		spy, c := newSpy()
+		// Every tuple a distinct object: coalescing buys nothing.
+		batch := make([]Tuple, m)
+		for i := range batch {
+			batch[i] = Tuple{Object: i, Action: ActionAdd}
+		}
+		n, err := ApplyCoalesced(spy, c, batch)
+		if err != nil || n != len(batch) {
+			t.Fatalf("ApplyCoalesced = %d, %v; want %d, nil", n, err, len(batch))
+		}
+		if spy.applyAllCalls != 1 || spy.applyDeltaCalls != 0 {
+			t.Fatalf("path = %d delta / %d all calls, want 0 / 1", spy.applyDeltaCalls, spy.applyAllCalls)
+		}
+	})
+
+	t.Run("threshold boundary", func(t *testing.T) {
+		// 10 tuples → 9 deltas deduplicates exactly 10%: worth it.
+		if !coalesceWorthIt(9, 10) {
+			t.Error("coalesceWorthIt(9, 10) = false, want true")
+		}
+		// 10 tuples → 10 deltas (pure uniform): not worth it.
+		if coalesceWorthIt(10, 10) {
+			t.Error("coalesceWorthIt(10, 10) = true, want false")
+		}
+		if !coalesceWorthIt(0, 0) {
+			t.Error("coalesceWorthIt(0, 0) = false, want true")
+		}
+	})
+
+	t.Run("invalid batch keeps exact prefix semantics", func(t *testing.T) {
+		spy, c := newSpy()
+		batch := []Tuple{
+			{Object: 1, Action: ActionAdd},
+			{Object: m + 5, Action: ActionAdd}, // out of range
+			{Object: 2, Action: ActionAdd},
+		}
+		n, err := ApplyCoalesced(spy, c, batch)
+		if !errors.Is(err, ErrObjectRange) {
+			t.Fatalf("err = %v, want ErrObjectRange", err)
+		}
+		if n != 1 {
+			t.Fatalf("applied prefix = %d, want 1", n)
+		}
+		if spy.applyAllCalls != 1 {
+			t.Fatalf("invalid batch must route through ApplyAll for prefix exactness; %d calls", spy.applyAllCalls)
+		}
+	})
+
+	t.Run("no delta capability falls back", func(t *testing.T) {
+		p, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWindow(p, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := NewCoalescer(m)
+		n, err := ApplyCoalesced(w, c, []Tuple{{Object: 3, Action: ActionAdd}})
+		if err != nil || n != 1 {
+			t.Fatalf("ApplyCoalesced(window) = %d, %v; want 1, nil", n, err)
+		}
+		if got, _ := w.Count(3); got != 1 {
+			t.Fatalf("Count(3) = %d, want 1", got)
+		}
+	})
+}
+
+// BenchmarkApplyCoalesced pins the parity acceptance of the fallback: on
+// uniform batches ApplyCoalesced must track plain per-event ApplyAll within
+// a few percent (it pays one wasted Coalesce pass, amortised over the
+// batch), while on skewed batches it keeps the delta path's win. Compare:
+//
+//	go test -bench 'ApplyCoalesced|ApplyAllBaseline' -benchtime 2s
+func BenchmarkApplyCoalesced(b *testing.B) {
+	const m = 1 << 16
+	shapes := []struct {
+		name string
+		mk   func() []Tuple
+	}{
+		{"uniform-64k", func() []Tuple {
+			batch := make([]Tuple, m)
+			for i := range batch {
+				batch[i] = Tuple{Object: i, Action: ActionAdd}
+			}
+			return batch
+		}},
+		{"skewed-64k-256hot", func() []Tuple {
+			// 256 hot objects repeating throughout (as real skew does), so
+			// the dedup is visible within the decision sample.
+			batch := make([]Tuple, m)
+			for i := range batch {
+				batch[i] = Tuple{Object: i % 256, Action: ActionAdd}
+			}
+			return batch
+		}},
+	}
+	for _, shape := range shapes {
+		batch := shape.mk()
+		b.Run(fmt.Sprintf("coalesced/%s", shape.name), func(b *testing.B) {
+			p, _ := New(m)
+			c, _ := NewCoalescer(m)
+			b.SetBytes(int64(len(batch)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ApplyCoalesced(p, c, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("applyall/%s", shape.name), func(b *testing.B) {
+			p, _ := New(m)
+			b.SetBytes(int64(len(batch)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.ApplyAll(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -189,6 +189,7 @@ var (
 	_ Profiler = (*TimeWindow)(nil)
 	_ Profiler = (*Durable)(nil)
 	_ Profiler = (*ReadOnlyProfiler)(nil)
+	_ Profiler = (*Async)(nil)
 
 	_ Querier = (*Profile)(nil)
 	_ Querier = (*Concurrent)(nil)
@@ -197,6 +198,7 @@ var (
 	_ Querier = (*TimeWindow)(nil)
 	_ Querier = (*Durable)(nil)
 	_ Querier = (*ReadOnlyProfiler)(nil)
+	_ Querier = (*Async)(nil)
 
 	_ KeyedQuerier[string] = (*Keyed[string])(nil)
 	_ KeyedQuerier[string] = (*KeyedConcurrent[string])(nil)
@@ -216,6 +218,8 @@ var (
 
 	_ KeyedProfiler[string] = (*Keyed[string])(nil)
 	_ KeyedProfiler[string] = (*KeyedConcurrent[string])(nil)
+	_ KeyedProfiler[string] = (*AsyncKeyed[string])(nil)
 	_ KeyedProfiler[int64]  = (*Keyed[int64])(nil)
 	_ KeyedProfiler[int64]  = (*KeyedConcurrent[int64])(nil)
+	_ KeyedProfiler[int64]  = (*AsyncKeyed[int64])(nil)
 )

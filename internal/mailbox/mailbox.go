@@ -1,0 +1,181 @@
+// Package mailbox provides the cache-line-padded single-producer
+// single-consumer ring buffer underneath the async ingest plane: each
+// producer goroutine owns one Ring per shard applier, so the hot enqueue
+// path is two atomic loads, one store of the element and one atomic store —
+// no locks, no compare-and-swap loops, no contended cache lines.
+//
+// The design is the classic bounded SPSC queue with free-running indices:
+//
+//   - capacity is a power of two; head and tail are uint64 counters that
+//     only ever increase and are masked (& (cap-1)) for slot addressing, so
+//     full/empty never needs a wasted slot and wrap-around is free;
+//   - the producer owns tail (plain read, atomic Release store) and keeps a
+//     cached copy of head, refreshing it from the consumer side only when
+//     the ring looks full; the consumer mirrors this with tail. In steady
+//     state neither side touches the other's cache line;
+//   - head and tail live on separate padded cache lines so producer and
+//     consumer never false-share.
+//
+// A Ring is safe for exactly one concurrent producer and one concurrent
+// consumer; the async plane enforces that pairing structurally (one ring per
+// producer×shard, one applier goroutine per shard).
+package mailbox
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+)
+
+// cacheLine is the amd64/arm64 cache-line size the pads below assume;
+// over-padding on other architectures is harmless.
+const cacheLine = 64
+
+// Ring is a bounded lock-free SPSC queue of T.
+type Ring[T any] struct {
+	buf  []T
+	mask uint64
+	// clearSlots is set when T holds pointers: consumed slots must then be
+	// zeroed so the ring does not pin element memory (keyed tuples hold key
+	// strings) past consumption. Pointer-free elements skip the extra pass.
+	clearSlots bool
+
+	_    [cacheLine]byte
+	head atomic.Uint64 // next slot to pop; owned by the consumer
+	// cachedTail is the consumer's last observed tail; consumer-private.
+	cachedTail uint64
+
+	_    [cacheLine]byte
+	tail atomic.Uint64 // next slot to push; owned by the producer
+	// cachedHead is the producer's last observed head; producer-private.
+	cachedHead uint64
+
+	_ [cacheLine]byte
+}
+
+// New returns a ring holding up to capacity elements. Capacity is rounded up
+// to the next power of two; the minimum is 2.
+func New[T any](capacity int) *Ring[T] {
+	if capacity < 2 {
+		capacity = 2
+	}
+	capacity = ceilPow2(capacity)
+	return &Ring[T]{
+		buf:        make([]T, capacity),
+		mask:       uint64(capacity - 1),
+		clearSlots: HoldsPointers[T](),
+	}
+}
+
+// HoldsPointers reports whether values of T contain pointers (directly or in
+// a nested field), i.e. whether buffered copies of T can keep other memory
+// alive. The async plane uses it to decide whether drained batches need
+// zeroing.
+func HoldsPointers[T any]() bool {
+	return typeHoldsPointers(reflect.TypeFor[T]())
+}
+
+func typeHoldsPointers(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return false
+	case reflect.Array:
+		return t.Len() > 0 && typeHoldsPointers(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if typeHoldsPointers(t.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	default:
+		// String, Slice, Map, Chan, Func, Interface, Pointer, UnsafePointer —
+		// and anything unanticipated errs on the safe side.
+		return true
+	}
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+		if p <= 0 {
+			panic(fmt.Sprintf("mailbox: capacity %d overflows", n))
+		}
+	}
+	return p
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of buffered elements. It is exact for the two
+// owning goroutines and a point-in-time estimate for anyone else (the health
+// endpoint reading queue depths).
+func (r *Ring[T]) Len() int {
+	t := r.tail.Load()
+	h := r.head.Load()
+	if t < h { // torn read by a third-party observer
+		return 0
+	}
+	return int(t - h)
+}
+
+// Push enqueues v. It returns false when the ring is full — the producer
+// then applies its backpressure policy (block and retry, or surface
+// ErrBackpressure). Only the owning producer may call Push.
+func (r *Ring[T]) Push(v T) bool {
+	t := r.tail.Load()
+	if t-r.cachedHead >= uint64(len(r.buf)) {
+		// Looks full against the stale head; refresh from the consumer.
+		r.cachedHead = r.head.Load()
+		if t-r.cachedHead >= uint64(len(r.buf)) {
+			return false
+		}
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1) // release: publishes buf[t] to the consumer
+	return true
+}
+
+// Pop dequeues up to len(dst) elements into dst and returns how many it
+// moved. Batched consumption is the applier's amortisation lever: one pair
+// of atomic operations covers the whole run. Only the owning consumer may
+// call Pop.
+func (r *Ring[T]) Pop(dst []T) int {
+	h := r.head.Load()
+	if h == r.cachedTail {
+		r.cachedTail = r.tail.Load()
+		if h == r.cachedTail {
+			return 0
+		}
+	}
+	n := int(r.cachedTail - h)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	// The occupied run is contiguous modulo the mask: at most two memmoves
+	// instead of a per-element loop.
+	lo := int(h & r.mask)
+	first := len(r.buf) - lo
+	if first > n {
+		first = n
+	}
+	copy(dst[:first], r.buf[lo:lo+first])
+	copy(dst[first:n], r.buf[:n-first])
+	if r.clearSlots {
+		clear(r.buf[lo : lo+first])
+		clear(r.buf[:n-first])
+	}
+	r.head.Store(h + uint64(n)) // release: frees the slots to the producer
+	return n
+}
+
+// Pushed returns the total number of elements ever pushed — the producer's
+// free-running tail counter. The async plane's Flush compares it against the
+// applied counter it keeps per ring.
+func (r *Ring[T]) Pushed() uint64 { return r.tail.Load() }

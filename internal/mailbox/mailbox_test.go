@@ -1,0 +1,170 @@
+package mailbox
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestPushPopOrder(t *testing.T) {
+	r := New[int](8)
+	if r.Cap() != 8 {
+		t.Fatalf("Cap = %d, want 8", r.Cap())
+	}
+	for i := 0; i < 8; i++ {
+		if !r.Push(i) {
+			t.Fatalf("Push(%d) on non-full ring failed", i)
+		}
+	}
+	if r.Push(99) {
+		t.Fatal("Push on full ring succeeded")
+	}
+	if r.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", r.Len())
+	}
+	dst := make([]int, 3)
+	got := 0
+	for {
+		n := r.Pop(dst)
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if dst[i] != got {
+				t.Fatalf("popped %d, want %d", dst[i], got)
+			}
+			got++
+		}
+	}
+	if got != 8 {
+		t.Fatalf("popped %d elements, want 8", got)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", r.Len())
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {1000, 1024},
+	} {
+		if got := New[int](tc.in).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestWrapAround pushes far past the capacity so the masked indices wrap
+// many times, interleaving partial pops.
+func TestWrapAround(t *testing.T) {
+	r := New[int](4)
+	dst := make([]int, 3)
+	next := 0
+	popped := 0
+	for i := 0; i < 1000; i++ {
+		for r.Push(next) {
+			next++
+		}
+		n := r.Pop(dst)
+		for j := 0; j < n; j++ {
+			if dst[j] != popped {
+				t.Fatalf("popped %d, want %d", dst[j], popped)
+			}
+			popped++
+		}
+	}
+	if r.Pushed() != uint64(next) {
+		t.Fatalf("Pushed = %d, want %d", r.Pushed(), next)
+	}
+}
+
+// TestConcurrentSPSC hammers one producer against one consumer under the
+// race detector: every pushed value must come out exactly once, in order.
+func TestConcurrentSPSC(t *testing.T) {
+	const total = 200_000
+	r := New[uint64](64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < total; {
+			if r.Push(i) {
+				i++
+			} else {
+				// Yield so the consumer makes progress on a single CPU.
+				runtime.Gosched()
+			}
+		}
+	}()
+	dst := make([]uint64, 64)
+	want := uint64(0)
+	for want < total {
+		n := r.Pop(dst)
+		if n == 0 {
+			runtime.Gosched()
+		}
+		for i := 0; i < n; i++ {
+			if dst[i] != want {
+				t.Fatalf("popped %d, want %d", dst[i], want)
+			}
+			want++
+		}
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", r.Len())
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	r := New[int](1024)
+	dst := make([]int, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !r.Push(i) {
+			r.Pop(dst)
+			r.Push(i)
+		}
+	}
+}
+
+// TestHoldsPointers pins the clearing decision: pointer-free element types
+// skip slot zeroing, pointer-bearing ones must not.
+func TestHoldsPointers(t *testing.T) {
+	type dense struct{ A, B int64 }
+	type keyed struct {
+		K string
+		A int64
+	}
+	type nested struct{ D [4]dense }
+	if HoldsPointers[dense]() || HoldsPointers[int]() || HoldsPointers[nested]() {
+		t.Fatal("pointer-free types reported as holding pointers")
+	}
+	if !HoldsPointers[keyed]() || !HoldsPointers[*int]() || !HoldsPointers[[]byte]() {
+		t.Fatal("pointer-bearing types reported as pointer-free")
+	}
+	if New[dense](4).clearSlots {
+		t.Fatal("dense ring clears slots")
+	}
+	if !New[keyed](4).clearSlots {
+		t.Fatal("keyed ring does not clear slots")
+	}
+}
+
+// TestPopClearsPointerSlots verifies consumed slots of a pointer-bearing ring
+// are zeroed so the ring does not pin element memory past consumption.
+func TestPopClearsPointerSlots(t *testing.T) {
+	r := New[string](4)
+	for i := 0; i < 3; i++ {
+		r.Push("pinned")
+	}
+	dst := make([]string, 4)
+	if n := r.Pop(dst); n != 3 {
+		t.Fatalf("Pop = %d, want 3", n)
+	}
+	for i, s := range r.buf {
+		if s != "" {
+			t.Fatalf("buf[%d] = %q, want cleared", i, s)
+		}
+	}
+}

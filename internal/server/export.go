@@ -48,8 +48,8 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	doc := exportDoc{Capacity: s.prof().Cap()}
-	var p sprofile.Reader = s.prof().Profile()
+	doc := exportDoc{Capacity: s.keyed().Cap()}
+	var p sprofile.Reader = s.keyed().Profile()
 	if snapper, ok := p.(sprofile.Snapshotter); ok {
 		snap, err := snapper.Snapshot()
 		if err != nil {
@@ -65,7 +65,7 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 		if err != nil || entry.Frequency <= 0 {
 			break
 		}
-		key, tracked := s.prof().KeyOf(entry.Object)
+		key, tracked := s.keyed().KeyOf(entry.Object)
 		if !tracked {
 			continue
 		}
@@ -102,12 +102,21 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		for i := int64(0); i < e.Frequency; i++ {
-			if err := s.prof().Add(e.Object); err != nil {
+			if err := s.keyed().Add(e.Object); err != nil {
 				writeProfileError(w, fmt.Errorf("importing %q: %w", e.Object, err))
 				return
 			}
 		}
 		imported++
+	}
+	if s.async != nil {
+		// An import must report capacity exhaustion synchronously, so drain
+		// the plane and surface any deferred apply error here rather than on
+		// a later flush.
+		if err := s.async.Flush(); err != nil {
+			writeProfileError(w, err)
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"imported": imported})
 }
@@ -125,14 +134,14 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing object parameter")
 		return
 	}
-	m := s.prof().Cap()
+	m := s.keyed().Cap()
 	if m == 0 {
 		// Unreachable today (server.New rejects Capacity <= 0), but kept on
 		// the taxonomy funnel so the contract holds if that ever changes.
 		writeProfileError(w, sprofile.ErrEmptyProfile)
 		return
 	}
-	f, err := s.prof().Count(object)
+	f, err := s.keyed().Count(object)
 	if err != nil {
 		writeProfileError(w, err)
 		return
@@ -140,7 +149,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	// The histogram walk costs O(#distinct frequencies) but works against any
 	// sprofile.Profiler representation, sharded included.
 	atLeast := 0
-	for _, fc := range s.prof().Distribution() {
+	for _, fc := range s.keyed().Distribution() {
 		if fc.Freq >= f {
 			atLeast += fc.Count
 		}

@@ -40,7 +40,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "query lists are bounded to %d entries each", limit)
 		return
 	}
-	res, err := s.prof().QueryKeys(q)
+	res, err := s.keyed().QueryKeys(q)
 	if err != nil {
 		writeProfileError(w, err)
 		return

@@ -12,6 +12,8 @@
 //	POST /v1/query               one composite multi-statistic query,
 //	                             answered atomically from one cut
 //	POST /v1/admin/checkpoint    snapshot the profile and truncate the WAL
+//	POST /v1/admin/flush         drain the async ingest plane (visibility +
+//	                             durability barrier; WAL sync when sync)
 //	GET  /v1/stats/mode          most frequent object
 //	GET  /v1/stats/top?k=10      top-K objects
 //	GET  /v1/stats/min           least frequent slot
@@ -89,6 +91,19 @@ type Config struct {
 	// FollowPoll is the long-poll wait asked of the leader per tail fetch;
 	// zero selects the sprofile default (20s).
 	FollowPoll time.Duration
+	// AsyncIngest routes ingestion through the shared-nothing async plane:
+	// events are enqueued to per-shard SPSC mailboxes and applied by one
+	// goroutine per shard, and reads answer from epoch-published snapshots
+	// (bounded staleness; POST /v1/admin/flush forces read-your-write).
+	// Full mailboxes are reported as 429 backpressure with a Retry-After
+	// hint. Incompatible with Follow (a follower ingests nothing locally).
+	AsyncIngest bool
+	// AsyncFlushInterval is the snapshot publish cadence (the staleness
+	// bound) in async mode; zero selects the sprofile default (2ms).
+	AsyncFlushInterval time.Duration
+	// AsyncMailboxDepth is the per-producer, per-shard mailbox capacity in
+	// async mode; zero selects the sprofile default (1024).
+	AsyncMailboxDepth int
 }
 
 // Server is the HTTP facade over a concurrent keyed profile. It is safe for
@@ -97,8 +112,9 @@ type Config struct {
 // never serialise on each other.
 type Server struct {
 	profile  *sprofile.KeyedConcurrent[string]
-	follower *sprofile.KeyedFollower // non-nil in follower mode (stays set after promote)
-	leader   string                  // leader base URL (follower mode)
+	async    *sprofile.AsyncKeyed[string] // non-nil with Config.AsyncIngest
+	follower *sprofile.KeyedFollower      // non-nil in follower mode (stays set after promote)
+	leader   string                       // leader base URL (follower mode)
 	walPath  string
 	maxBatch int
 	mux      *http.ServeMux
@@ -113,6 +129,25 @@ func (s *Server) prof() *sprofile.KeyedConcurrent[string] {
 		return s.follower.Profile()
 	}
 	return s.profile
+}
+
+// keyed resolves the profiler surface handlers read and write through: the
+// async plane when configured (lock-free enqueues, epoch-snapshot reads),
+// otherwise the synchronous profile itself.
+func (s *Server) keyed() sprofile.KeyedProfiler[string] {
+	if s.async != nil {
+		return s.async
+	}
+	return s.prof()
+}
+
+// applyBatch routes one decoded bulk chunk through whichever batch path is
+// configured.
+func (s *Server) applyBatch(events []sprofile.KeyedTuple[string]) (int, error) {
+	if s.async != nil {
+		return s.async.ApplyBatch(events)
+	}
+	return s.prof().ApplyBatch(events)
 }
 
 // readOnly reports whether this server must refuse writes (an unpromoted
@@ -142,6 +177,9 @@ func New(cfg Config) (*Server, error) {
 		buildOpts = append(buildOpts, sprofile.WithSharding(cfg.Shards))
 	}
 	if cfg.Follow != "" {
+		if cfg.AsyncIngest {
+			return nil, fmt.Errorf("server: async ingest is incompatible with follower mode (a follower ingests nothing locally)")
+		}
 		return newFollowerServer(cfg, buildOpts, maxBatch)
 	}
 	if cfg.WALPath != "" {
@@ -167,6 +205,21 @@ func New(cfg Config) (*Server, error) {
 		walPath:  cfg.WALPath,
 		maxBatch: maxBatch,
 		mux:      http.NewServeMux(),
+	}
+	if cfg.AsyncIngest {
+		// Error-mode backpressure: a full mailbox becomes a 429 the caller
+		// can retry, instead of a handler goroutine blocking inside the
+		// profile while holding the connection.
+		async, err := sprofile.NewAsyncKeyed(keyed, sprofile.AsyncPolicy{
+			MailboxDepth:    cfg.AsyncMailboxDepth,
+			PublishInterval: cfg.AsyncFlushInterval,
+			Backpressure:    sprofile.BackpressureError,
+		})
+		if err != nil {
+			keyed.Close()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.async = async
 	}
 	s.routes()
 	return s, nil
@@ -225,7 +278,21 @@ func (s *Server) Close() error {
 	if s.follower != nil {
 		return s.follower.Close()
 	}
+	if s.async != nil {
+		// Drains the mailboxes, stops the appliers, then closes the wrapped
+		// keyed profile (WAL flush + checkpointer stop).
+		return s.async.Close()
+	}
 	return s.prof().Close()
+}
+
+// Flush drains the async ingest plane and republishes the read snapshots,
+// returning the first deferred apply error; a no-op without async ingest.
+func (s *Server) Flush() error {
+	if s.async == nil {
+		return nil
+	}
+	return s.async.Flush()
 }
 
 // HeaderMaxStaleness is the request header a reader sets to demand freshness:
@@ -264,6 +331,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/events/bulk", s.handleBulk)
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
 	s.mux.HandleFunc("/v1/admin/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("/v1/admin/flush", s.handleFlush)
 	s.mux.HandleFunc("/v1/stats/mode", s.handleMode)
 	s.mux.HandleFunc("/v1/stats/top", s.handleTop)
 	s.mux.HandleFunc("/v1/stats/min", s.handleMin)
@@ -334,8 +402,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 //	cap_exceeded                                → 507 Insufficient Storage
 //	wal_append (applied but not journaled)      → 500 Internal Server Error
 //	read_only, stale_read (replication)         → 503 Service Unavailable
+//	backpressure (async mailbox full)           → 429 Too Many Requests
 func errorCode(err error) (int, string) {
 	switch {
+	case errors.Is(err, sprofile.ErrBackpressure):
+		return http.StatusTooManyRequests, "backpressure"
 	case errors.Is(err, sprofile.ErrReadOnly):
 		return http.StatusServiceUnavailable, "read_only"
 	case errors.Is(err, sprofile.ErrStaleRead):
@@ -381,10 +452,20 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...), Code: statusCode(status)})
 }
 
+// setRetryHint attaches a Retry-After to transient rejections: async
+// backpressure clears as soon as the appliers drain a mailbox slot, so the
+// hint is the minimum expressible (one second).
+func setRetryHint(w http.ResponseWriter, err error) {
+	if errors.Is(err, sprofile.ErrBackpressure) {
+		w.Header().Set("Retry-After", "1")
+	}
+}
+
 // writeProfileError reports a profile operation failure through the taxonomy
 // mapping of errorCode.
 func writeProfileError(w http.ResponseWriter, err error) {
 	status, code := errorCode(err)
+	setRetryHint(w, err)
 	writeJSON(w, status, errorResponse{Error: err.Error(), Code: code})
 }
 
@@ -449,6 +530,7 @@ type healthResponse struct {
 	ReplicationErr  string                      `json:"replication_error,omitempty"`
 	WAL             *healthWAL                  `json:"wal,omitempty"`
 	Replication     *sprofile.ReplicationStatus `json:"replication,omitempty"`
+	Async           *sprofile.AsyncStats        `json:"async,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -485,6 +567,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		resp.WAL = hw
 	}
 	resp.Replication = s.replicationStatus()
+	if s.async != nil {
+		st := s.async.Stats()
+		resp.Async = &st
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -499,11 +585,45 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if s.rejectReadOnly(w) {
 		return
 	}
+	if s.async != nil {
+		// Drain the mailboxes first so the snapshot covers everything the
+		// server has acknowledged, not just what the appliers got to.
+		if err := s.async.Flush(); err != nil {
+			writeProfileError(w, err)
+			return
+		}
+	}
 	if err := s.prof().Checkpoint(); err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "checkpoint failed: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"checkpointed": true})
+}
+
+// handleFlush drains the async ingest plane: every event acknowledged before
+// the POST is applied and visible to reads when it returns, and any deferred
+// apply error (unknown key on remove, capacity exhaustion, strict violation)
+// is reported here through the usual taxonomy. Without async ingest it
+// degrades to a WAL sync, so callers can use it unconditionally as a
+// durability+visibility barrier.
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.rejectReadOnly(w) {
+		return
+	}
+	if s.async != nil {
+		if err := s.async.Flush(); err != nil {
+			writeProfileError(w, err)
+			return
+		}
+	} else if err := s.prof().Sync(); err != nil {
+		writeProfileError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"flushed": true})
 }
 
 // decodeEvents accepts either a single {object, action} event or a JSON
@@ -574,25 +694,31 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, eventsResponse{Applied: applied, Error: err.Error(), Code: "invalid_action"})
 			return
 		}
-		if err := s.prof().Apply(e.Object, action); err != nil {
+		if err := s.keyed().Apply(e.Object, action); err != nil {
 			status, code := errorCode(err)
 			resp := eventsResponse{Applied: applied, Error: err.Error(), Code: code}
 			if errors.Is(err, sprofile.ErrWALAppend) {
 				// The update is in the profile but not in the log.
 				resp.Applied++
 			}
+			setRetryHint(w, err)
 			writeJSON(w, status, resp)
 			return
 		}
 		applied++
 	}
-	if err := s.prof().Sync(); err != nil {
-		writeJSON(w, http.StatusInternalServerError, eventsResponse{
-			Applied: applied,
-			Error:   fmt.Sprintf("events applied but log sync failed: %v", err),
-			Code:    "wal_append",
-		})
-		return
+	// In async mode Applied means accepted-and-enqueued: the appliers fsync
+	// per drained batch, and stream-dependent errors surface on
+	// POST /v1/admin/flush instead of here.
+	if s.async == nil {
+		if err := s.prof().Sync(); err != nil {
+			writeJSON(w, http.StatusInternalServerError, eventsResponse{
+				Applied: applied,
+				Error:   fmt.Sprintf("events applied but log sync failed: %v", err),
+				Code:    "wal_append",
+			})
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, eventsResponse{Applied: applied})
 }
@@ -664,7 +790,7 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 	applied := 0
 	lineNo := 0
 	flush := func() error {
-		n, err := s.prof().ApplyBatch(sc.events)
+		n, err := s.applyBatch(sc.events)
 		applied += n
 		sc.events = sc.events[:0]
 		return err
@@ -716,6 +842,7 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 // statuses and codes the per-event endpoint uses.
 func (s *Server) writeBulkApplyError(w http.ResponseWriter, applied int, err error) {
 	status, code := errorCode(err)
+	setRetryHint(w, err)
 	writeJSON(w, status, eventsResponse{Applied: applied, Error: err.Error(), Code: code})
 }
 
@@ -724,7 +851,7 @@ func (s *Server) handleMode(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	entry, ties, err := s.prof().Mode()
+	entry, ties, err := s.keyed().Mode()
 	if err != nil {
 		writeProfileError(w, err)
 		return
@@ -737,7 +864,7 @@ func (s *Server) handleMin(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	entry, ties, err := s.prof().Min()
+	entry, ties, err := s.keyed().Min()
 	if err != nil {
 		writeProfileError(w, err)
 		return
@@ -770,7 +897,7 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	entries := s.prof().TopK(k)
+	entries := s.keyed().TopK(k)
 	out := make([]entryResponse, len(entries))
 	for i, e := range entries {
 		out[i] = entryResponse{Object: e.Key, Frequency: e.Frequency}
@@ -787,7 +914,7 @@ func (s *Server) handleBottom(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	entries := s.prof().BottomK(k)
+	entries := s.keyed().BottomK(k)
 	out := make([]entryResponse, len(entries))
 	for i, e := range entries {
 		out[i] = entryResponse{Object: e.Key, Frequency: e.Frequency}
@@ -805,7 +932,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing object parameter")
 		return
 	}
-	f, err := s.prof().Count(object)
+	f, err := s.keyed().Count(object)
 	if err != nil {
 		writeProfileError(w, err)
 		return
@@ -818,7 +945,7 @@ func (s *Server) handleMedian(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	entry, err := s.prof().Median()
+	entry, err := s.keyed().Median()
 	if err != nil {
 		writeProfileError(w, err)
 		return
@@ -837,7 +964,7 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "q must be a number in [0,1], got %q", raw)
 		return
 	}
-	entry, err := s.prof().Quantile(q)
+	entry, err := s.keyed().Quantile(q)
 	if err != nil {
 		writeProfileError(w, err)
 		return
@@ -850,7 +977,7 @@ func (s *Server) handleMajority(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	entry, ok, err := s.prof().Majority()
+	entry, ok, err := s.keyed().Majority()
 	if err != nil {
 		writeProfileError(w, err)
 		return
@@ -867,7 +994,7 @@ func (s *Server) handleDistribution(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.prof().Distribution())
+	writeJSON(w, http.StatusOK, s.keyed().Distribution())
 }
 
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
@@ -875,8 +1002,8 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	summary := s.prof().Summarize()
-	tracked := s.prof().Tracked()
+	summary := s.keyed().Summarize()
+	tracked := s.keyed().Tracked()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"capacity":             summary.Capacity,
 		"tracked":              tracked,

@@ -150,6 +150,9 @@ func BuildKeyed[K comparable](m int, opts ...BuildOption) (*KeyedConcurrent[K], 
 	if cfg.windowSet || cfg.spanSet {
 		return nil, fmt.Errorf("%w: window adapters are single-goroutine; BuildKeyed cannot maintain them concurrently", ErrBuildConfig)
 	}
+	if cfg.asyncSet {
+		return nil, fmt.Errorf("%w: BuildKeyed returns the concrete *KeyedConcurrent; use BuildKeyedAsync for the async ingest plane", ErrBuildConfig)
+	}
 	if cfg.shardsSet && cfg.shards <= 0 {
 		return nil, fmt.Errorf("%w: shard count must be positive, got %d", ErrBuildConfig, cfg.shards)
 	}
