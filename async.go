@@ -1,8 +1,10 @@
 package sprofile
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -251,6 +253,9 @@ type asyncPlane[T any] struct {
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+
+	// unregister removes this plane from the metrics scrape aggregation.
+	unregister func()
 }
 
 func newAsyncPlane[T any](nshards int, policy AsyncPolicy,
@@ -279,13 +284,17 @@ func newAsyncPlane[T any](nshards int, policy AsyncPolicy,
 			scratch: make([]T, batch),
 		}
 	}
+	pl.unregister = registerAsyncPlane(pl.stats)
 	return pl
 }
 
 func (pl *asyncPlane[T]) start() {
 	for _, a := range pl.appliers {
 		pl.wg.Add(1)
-		go a.run()
+		a := a
+		go pprof.Do(context.Background(), pprof.Labels("sprofile_plane", "applier"), func(context.Context) {
+			a.run()
+		})
 	}
 }
 
@@ -368,6 +377,9 @@ func (a *asyncApplier[T]) drain() int {
 			f.r.applied.Add(uint64(f.n))
 		}
 		a.appliedEvents.Add(uint64(fill))
+		mAsyncAppliedEvents.Add(uint64(fill))
+		mAsyncApplierBatches.Inc()
+		mAsyncBatchEvents.Observe(float64(fill))
 		a.sincePublish += fill
 		total += fill
 		if a.sincePublish >= a.plane.policy.PublishEvents {
@@ -397,6 +409,7 @@ func (a *asyncApplier[T]) publishNow() {
 	pl.epoch.Add(1)
 	pl.lastPublish.Store(time.Now().UnixNano())
 	pl.publishMu.Unlock()
+	mAsyncPublishes.Inc()
 	a.published.Store(v)
 	a.force.Store(false)
 	a.sincePublish = 0
@@ -588,9 +601,11 @@ func (p *asyncProducer[T]) push(shard int, v T) error {
 	a.nudge()
 	if pl.policy.Backpressure == BackpressureError {
 		pl.drops.Add(1)
+		mAsyncDrops.Inc()
 		return ErrBackpressure
 	}
 	pl.waits.Add(1)
+	mAsyncWaits.Inc()
 	for spins := 0; ; spins++ {
 		if pl.closed.Load() {
 			return fmt.Errorf("%w: async ingest plane is closed", ErrReadOnly)
@@ -654,6 +669,7 @@ func (pl *asyncPlane[T]) flush() error {
 				pl.epoch.Add(1)
 				pl.lastPublish.Store(time.Now().UnixNano())
 				pl.publishMu.Unlock()
+				mAsyncPublishes.Inc()
 				a.published.Store(v)
 				break
 			}
@@ -678,6 +694,7 @@ func (pl *asyncPlane[T]) close() error {
 		}
 		pl.wg.Wait()
 		pl.stopped.Store(true)
+		pl.unregister()
 	})
 	return err
 }

@@ -606,6 +606,9 @@ type WALHealth struct {
 // Replication are nil on nodes that have neither.
 type Health struct {
 	Status           string                      `json:"status"`
+	UptimeSeconds    float64                     `json:"uptime_seconds"`
+	Version          string                      `json:"version"`
+	Commit           string                      `json:"commit"`
 	Role             string                      `json:"role"`
 	CheckpointError  string                      `json:"checkpoint_error"`
 	ReplicationError string                      `json:"replication_error"`
@@ -620,6 +623,31 @@ func (c *Client) Healthz(ctx context.Context) (Health, error) {
 	var out Health
 	err := c.sendOnce(ctx, http.MethodGet, c.base, "/healthz", nil, "", false, &out)
 	return out, err
+}
+
+// Metrics fetches the raw Prometheus text exposition from GET /metrics on
+// the client's base URL, for tooling that relays or archives scrapes. The
+// node answers from its own registry (metrics are per-process, never proxied
+// to the leader), so fleet monitors should point one Client at each node,
+// exactly as with Healthz.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	return string(data), nil
 }
 
 // Promote asks the node at the client's base URL to stop following and become

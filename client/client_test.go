@@ -268,3 +268,24 @@ func TestAsyncServerFlushAndBackpressure(t *testing.T) {
 		t.Fatal("wire code backpressure does not unwrap to ErrBackpressure")
 	}
 }
+
+func TestMetricsScrape(t *testing.T) {
+	c := newClient(t, 16)
+	ctx := context.Background()
+	if err := c.Add(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	body, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"sprofile_http_requests_total",
+		"sprofile_ingest_events_total",
+		"sprofile_build_info",
+	} {
+		if !strings.Contains(body, "# TYPE "+family+" ") {
+			t.Fatalf("scrape missing family %s", family)
+		}
+	}
+}

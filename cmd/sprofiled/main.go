@@ -14,18 +14,62 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	// Registers the profiling handlers on http.DefaultServeMux, which only
 	// the optional -pprof listener serves; the API mux stays clean.
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"sprofile"
 	"sprofile/internal/server"
 )
+
+// newLogger builds the process logger from the -log-format / -log-level
+// flags. JSON output is what log shippers want; text is for humans at a
+// terminal. An unknown level or format falls back to info/text with a
+// warning rather than refusing to start.
+func newLogger(format, level string) *slog.Logger {
+	var lvl slog.Level
+	badLevel := false
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		lvl = slog.LevelInfo
+		badLevel = true
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	badFormat := false
+	switch strings.ToLower(format) {
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	case "", "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	default:
+		h = slog.NewTextHandler(os.Stderr, opts)
+		badFormat = true
+	}
+	logger := slog.New(h)
+	if badLevel {
+		logger.Warn("unknown -log-level, using info", "level", level)
+	}
+	if badFormat {
+		logger.Warn("unknown -log-format, using text", "format", format)
+	}
+	return logger
+}
 
 func main() {
 	fs := flag.NewFlagSet("sprofiled", flag.ExitOnError)
@@ -44,16 +88,22 @@ func main() {
 		asyncIngest = fs.Bool("async-ingest", false, "route ingestion through the shared-nothing async plane: per-shard mailboxes, one applier per shard, epoch-snapshot reads (bounded staleness; POST /v1/admin/flush forces read-your-write). Full mailboxes return 429")
 		asyncFlush  = fs.Duration("async-flush-us", 0, "snapshot publish cadence (the read staleness bound) with -async-ingest; 0 = 2ms default")
 		asyncDepth  = fs.Int("async-mailbox-depth", 0, "per-producer per-shard mailbox capacity with -async-ingest; 0 = 1024 default")
+		logFormat   = fs.String("log-format", "text", "log output format: text or json")
+		logLevel    = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	fs.Parse(os.Args[1:])
 
+	logger := newLogger(*logFormat, *logLevel)
+	slog.SetDefault(logger)
+	logger.Info("starting", "version", sprofile.Version, "commit", sprofile.Commit)
+
 	if *pprofAddr != "" {
 		go func() {
-			log.Printf("sprofiled: pprof listening on %s", *pprofAddr)
+			logger.Info("pprof listening", "addr", *pprofAddr)
 			// DefaultServeMux carries only the net/http/pprof handlers; a
 			// failure here (port in use, say) must not take the API down.
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("sprofiled: pprof listener: %v", err)
+				logger.Error("pprof listener failed", "addr", *pprofAddr, "err", err)
 			}
 		}()
 	}
@@ -73,22 +123,29 @@ func main() {
 		AsyncMailboxDepth:  *asyncDepth,
 	})
 	if err != nil {
-		log.Fatalf("sprofiled: %v", err)
+		logger.Error("startup failed", "err", err)
+		os.Exit(1)
 	}
 	defer func() {
 		if err := srv.Close(); err != nil {
-			log.Printf("sprofiled: closing WAL: %v", err)
+			logger.Error("closing WAL", "err", err)
 		}
 	}()
 	if *follow != "" {
-		log.Printf("sprofiled: following %s (mirror %s); writes are refused until promoted", *follow, *walPath)
+		logger.Info("following leader; writes are refused until promoted",
+			"leader", *follow, "mirror", *walPath)
 	} else if *walPath != "" {
 		rec := srv.Recovery()
 		if rec.SnapshotSeq > 0 {
-			log.Printf("sprofiled: restored %d objects (%d events) from snapshot %d, replayed %d tail events from %d segments in %s",
-				rec.SnapshotObjects, rec.SnapshotEvents, rec.SnapshotSeq, rec.TailRecords, rec.TailSegments, *walPath)
+			logger.Info("recovered from checkpoint",
+				"wal", *walPath,
+				"snapshot_seq", rec.SnapshotSeq,
+				"snapshot_objects", rec.SnapshotObjects,
+				"snapshot_events", rec.SnapshotEvents,
+				"tail_records", rec.TailRecords,
+				"tail_segments", rec.TailSegments)
 		} else {
-			log.Printf("sprofiled: replayed %d events from %s", srv.Replayed(), *walPath)
+			logger.Info("replayed WAL", "wal", *walPath, "events", srv.Replayed())
 		}
 	}
 
@@ -103,7 +160,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("sprofiled: listening on %s (capacity %d)", *addr, *capacity)
+		logger.Info("listening", "addr", *addr, "capacity", *capacity)
 		errCh <- httpServer.ListenAndServe()
 	}()
 
@@ -112,12 +169,13 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpServer.Shutdown(shutdownCtx); err != nil {
-			log.Printf("sprofiled: shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
 		}
-		log.Println("sprofiled: stopped")
+		logger.Info("stopped")
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("sprofiled: %v", err)
+			logger.Error("serve failed", "err", err)
+			os.Exit(1)
 		}
 	}
 	fmt.Println()

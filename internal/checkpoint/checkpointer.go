@@ -1,6 +1,8 @@
 package checkpoint
 
 import (
+	"context"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,7 +49,9 @@ func Start(pol Policy, run func() error, tailBytes func() int64) *Checkpointer {
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
-	go c.loop()
+	go pprof.Do(context.Background(), pprof.Labels("sprofile_plane", "checkpointer"), func(context.Context) {
+		c.loop()
+	})
 	return c
 }
 

@@ -204,6 +204,8 @@ func Open(path string, opts Options) (*Store, error) {
 		s.stats.SnapshotSeq = s.seq
 		s.stats.SnapshotObjects = s.state.Objects()
 		s.stats.SnapshotEvents = s.state.Adds + s.state.Removes
+		mRecoverySnapshotEvents.Add(s.stats.SnapshotEvents)
+		mSnapshotSeq.Set(float64(s.seq))
 	}
 	return s, nil
 }
@@ -265,6 +267,7 @@ func (s *Store) ReplayTail(fn func(wal.Record) error) (int, error) {
 	s.tailBase.Store(log.AppendedBytes() - tailBytesOnDisk(s.tail))
 	s.stats.TailSegments = segments
 	s.stats.TailRecords = records
+	mRecoveryReplayed.Add(uint64(records))
 	s.prune()
 	s.tail = nil
 	return records, nil
@@ -382,6 +385,19 @@ func (s *Store) Rotate() (sealed uint64, err error) {
 // place, and deletes the covered segments and the superseded snapshot. Only
 // one checkpoint runs at a time; concurrent calls queue.
 func (s *Store) Checkpoint(capture func() (*State, uint64, error)) error {
+	start := time.Now()
+	err := s.checkpoint(capture)
+	if err == nil {
+		mCheckpointsOK.Inc()
+		mCheckpointSeconds.ObserveSince(start)
+		mLastCheckpointUnix.Set(float64(time.Now().Unix()))
+	} else {
+		mCheckpointsErr.Inc()
+	}
+	return err
+}
+
+func (s *Store) checkpoint(capture func() (*State, uint64, error)) error {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 	if s.log == nil {
@@ -429,6 +445,7 @@ func (s *Store) Checkpoint(capture func() (*State, uint64, error)) error {
 	s.sealedSeg = sealed
 	s.lastCkpt = time.Now()
 	s.metaMu.Unlock()
+	mSnapshotSeq.Set(float64(seq))
 	s.tailBase.Store(s.pendingBase)
 	s.prune()
 	return nil

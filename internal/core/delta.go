@@ -133,9 +133,11 @@ func (p *Profile) ApplyDelta(d Delta) error {
 func (p *Profile) ApplyDeltas(deltas []Delta) (int, error) {
 	for i := range deltas {
 		if err := p.ApplyDelta(deltas[i]); err != nil {
+			countApplied(i, err)
 			return i, err
 		}
 	}
+	countApplied(len(deltas), nil)
 	return len(deltas), nil
 }
 
@@ -323,5 +325,7 @@ func (c *Coalescer) Coalesce(tuples []Tuple) ([]Delta, error) {
 			return nil, fmt.Errorf("core: invalid action %d", t.Action)
 		}
 	}
+	mCoalesceEvents.Add(uint64(len(tuples)))
+	mCoalescedDeltas.Add(uint64(len(c.deltas)))
 	return c.deltas, nil
 }

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"errors"
+
+	"sprofile/internal/metrics"
+)
+
+// Ingest-plane metric families, updated at batch granularity only: one or two
+// atomic adds per coalesce/apply batch, never per event, so the paper's O(1)
+// per-event hot path stays untouched. The coalesce pair exposes the
+// coalescing ratio (events in over deltas out) directly in PromQL:
+// rate(events)/rate(deltas).
+var (
+	mCoalesceEvents = metrics.Default().Counter("sprofile_ingest_coalesce_events_total",
+		"Tuples folded by Coalesce batches (the gross event count).")
+	mCoalescedDeltas = metrics.Default().Counter("sprofile_ingest_coalesced_deltas_total",
+		"Net per-object deltas Coalesce produced (the post-coalescing count).")
+	mAppliedDeltas = metrics.Default().Counter("sprofile_ingest_applied_deltas_total",
+		"Coalesced deltas applied to profiles via the batch path.")
+	mStrictViolations = metrics.Default().Counter("sprofile_ingest_strict_violations_total",
+		"Batch applies rejected by strict non-negative mode.")
+)
+
+// countApplied is the ApplyDeltas epilogue: n deltas landed, and err (if any)
+// is classified. Split out so the loop above it stays branch-free.
+func countApplied(n int, err error) {
+	mAppliedDeltas.Add(uint64(n))
+	if err != nil && errors.Is(err, ErrNegativeFrequency) {
+		mStrictViolations.Inc()
+	}
+}

@@ -1,0 +1,261 @@
+// Package metrics is a zero-dependency instrumentation library for the
+// S-Profile planes: atomic counters and gauges, fixed-bucket histograms with
+// lock-free observation, labeled families with bounded cardinality, and a
+// Registry that renders the Prometheus text exposition format (v0.0.4), so
+// every runtime statistic the profiler maintains is scrapeable by stock
+// monitoring tooling.
+//
+// Design constraints, in order:
+//
+//   - The write side must be cheap enough for ingest hot paths: every update
+//     is one or two atomic adds (a histogram observation is a binary search
+//     over at most a few dozen bounds plus one bucket add and one CAS-loop
+//     sum add), with no locks and no allocation.
+//   - Instrumentation must be removable at runtime: SetEnabled(false) turns
+//     every update into a single atomic load and branch, so a benchmark can
+//     pin the uninstrumented baseline without rebuilding (see
+//     BenchmarkApplyDeltas's metrics-off variant).
+//   - Registration is idempotent by family name, so independent packages can
+//     attach to the same family (the registry hands back the existing metric)
+//     and repeated construction in tests cannot double-register.
+//
+// Metric naming follows the Prometheus conventions the repo's CI lints:
+// every family is prefixed sprofile_, counters end in _total, and families
+// measuring seconds or bytes say so in the name.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// enabled is the global instrumentation switch. Updates on every metric in
+// the process check it first; render always works (values freeze while
+// disabled). Default on.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// Enabled reports whether metric updates are currently recorded. Call sites
+// with expensive-to-compute observations (label building, time.Since) should
+// check it before doing that work; the metric types check it again
+// internally, so cheap call sites need not bother.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled turns metric recording on or off process-wide.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Counter is a monotonically increasing uint64, safe for concurrent use.
+// The zero value is NOT usable — obtain counters from a Registry so they
+// render.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if enabled.Load() {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Counters are monotonic; callers must not pass values that
+// would require decrementing.
+func (c *Counter) Add(n uint64) {
+	if enabled.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down, safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if enabled.Load() {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds d (negative to subtract) with a CAS loop.
+func (g *Gauge) Add(d float64) {
+	if !enabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with lock-free observation: each
+// Observe is one binary search over the (immutable) bucket bounds, one
+// atomic bucket increment and one CAS-loop sum add. Bucket counts are stored
+// non-cumulatively and accumulated at render time, so concurrent observers
+// never contend on more than their own bucket.
+type Histogram struct {
+	// upper holds the inclusive upper bounds of the finite buckets, sorted
+	// ascending; counts has one extra slot at the end for +Inf.
+	upper   []float64
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	b := make([]float64, len(buckets))
+	copy(b, buckets)
+	sort.Float64s(b)
+	// Drop duplicate bounds so the rendered le labels are unique.
+	uniq := b[:0]
+	for i, v := range b {
+		if i == 0 || v != b[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	return &Histogram{upper: uniq, counts: make([]atomic.Uint64, len(uniq)+1)}
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	// Binary search for the first bound >= v; misses land in +Inf.
+	lo, hi := 0, len(h.upper)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.upper[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if enabled.Load() {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// snapshot returns cumulative bucket counts (aligned with upper, then +Inf),
+// the total count and the sum, each internally consistent per slot. A
+// concurrent Observe may straddle the reads — standard for Prometheus
+// histograms, where bucket/total skew of in-flight observations is accepted.
+func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
+	cum = make([]uint64, len(h.counts))
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	return cum, run, h.Sum()
+}
+
+// Quantile estimates quantile q (in [0,1]) from the bucket counts with
+// linear interpolation inside the bucket, the same estimate Prometheus's
+// histogram_quantile computes. It returns the highest finite bound when the
+// quantile lands in the +Inf bucket, and 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum, count, _ := h.snapshot()
+	if count == 0 || len(h.upper) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(count)
+	for i, c := range cum {
+		if float64(c) >= rank {
+			if i >= len(h.upper) {
+				return h.upper[len(h.upper)-1]
+			}
+			lower := 0.0
+			var below uint64
+			if i > 0 {
+				lower = h.upper[i-1]
+				below = cum[i-1]
+			}
+			width := h.upper[i] - lower
+			inBucket := float64(c - below)
+			if inBucket == 0 {
+				return h.upper[i]
+			}
+			return lower + width*((rank-float64(below))/inBucket)
+		}
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// ExpBuckets returns count bucket bounds growing exponentially from start by
+// factor: start, start*factor, start*factor².., for histograms whose
+// observations span orders of magnitude (latencies, sizes).
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("metrics: ExpBuckets requires start > 0, factor > 1, count >= 1")
+	}
+	b := make([]float64, count)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// LinearBuckets returns count bucket bounds from start spaced width apart.
+func LinearBuckets(start, width float64, count int) []float64 {
+	if count < 1 {
+		panic("metrics: LinearBuckets requires count >= 1")
+	}
+	b := make([]float64, count)
+	for i := range b {
+		b[i] = start + float64(i)*width
+	}
+	return b
+}
+
+// LatencyBuckets is the default bound set for operation latencies in
+// seconds: 100µs to ~1.6s, doubling.
+func LatencyBuckets() []float64 { return ExpBuckets(100e-6, 2, 15) }
+
+// SizeBuckets is the default bound set for batch/event-count histograms:
+// 1 to ~260k, quadrupling.
+func SizeBuckets() []float64 { return ExpBuckets(1, 4, 10) }

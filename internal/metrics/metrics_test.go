@@ -1,0 +1,254 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	// Idempotent registration hands back the same metric.
+	if r.Counter("test_ops_total", "ops") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(3.5)
+	g.Add(-1)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestRegisterKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("test_x_total", "x")
+}
+
+func TestHistogramInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.02, 0.02, 0.5, 5} {
+		h.Observe(v)
+	}
+	cum, count, sum := h.snapshot()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if want := 0.005 + 0.02 + 0.02 + 0.5 + 5; math.Abs(sum-want) > 1e-12 {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+	wantCum := []uint64{1, 3, 4, 5}
+	for i, w := range wantCum {
+		if cum[i] != w {
+			t.Fatalf("cum[%d] = %d, want %d (%v)", i, cum[i], w, cum)
+		}
+	}
+	// Cumulative counts never decrease.
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("bucket counts decrease at %d: %v", i, cum)
+		}
+	}
+	// An exact-boundary observation lands in its bucket (le is inclusive).
+	h2 := r.Histogram("test_edge_seconds", "edge", []float64{1, 2})
+	h2.Observe(1)
+	cum2, _, _ := h2.snapshot()
+	if cum2[0] != 1 {
+		t.Fatalf("boundary observation missed its bucket: %v", cum2)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_q_seconds", "q", LinearBuckets(0.1, 0.1, 10))
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%10)/10 + 0.05)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0.3 || p50 > 0.7 {
+		t.Fatalf("p50 = %v, want ~0.5", p50)
+	}
+	if q := h.Quantile(1); q > 1.0 {
+		t.Fatalf("p100 = %v beyond highest bound", q)
+	}
+	var empty Histogram
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestVecCardinalityBound(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_labeled_total", "labeled", "who")
+	for i := 0; i < MaxCardinality+50; i++ {
+		cv.With(fmt.Sprintf("client-%d", i)).Inc()
+	}
+	var buf strings.Builder
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `who="overflow"`) {
+		t.Fatal("overflow child missing after cardinality bound")
+	}
+	// The overflow child accumulated everything past the bound (the bound
+	// itself spends one slot on the overflow child).
+	over := cv.With("anything-else")
+	if over.Value() < 50 {
+		t.Fatalf("overflow child = %d, want >= 50", over.Value())
+	}
+	// The bound admits MaxCardinality ordinary children plus the one
+	// overflow child everything else collapses into.
+	if lines := strings.Count(out, "test_labeled_total{"); lines > MaxCardinality+1 {
+		t.Fatalf("rendered %d children, bound is %d", lines, MaxCardinality)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "Total events.")
+	c.Add(7)
+	g := r.Gauge("test_queue_depth", "Depth with \"quotes\" and \\ slashes\nnewline.")
+	g.Set(1.5)
+	h := r.Histogram("test_dur_seconds", "Durations.", []float64{0.5})
+	h.Observe(0.25)
+	cv := r.CounterVec("test_by_route_total", "By route.", "route", "method")
+	cv.With(`/v1/events`, "POST").Add(3)
+
+	var buf strings.Builder
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP test_events_total Total events.\n",
+		"# TYPE test_events_total counter\n",
+		"test_events_total 7\n",
+		"# TYPE test_queue_depth gauge\n",
+		"test_queue_depth 1.5\n",
+		"# TYPE test_dur_seconds histogram\n",
+		`test_dur_seconds_bucket{le="0.5"} 1`,
+		`test_dur_seconds_bucket{le="+Inf"} 1`,
+		"test_dur_seconds_sum 0.25\n",
+		"test_dur_seconds_count 1\n",
+		`test_by_route_total{route="/v1/events",method="POST"} 3`,
+		// HELP escapes only backslash and newline; quotes stay literal.
+		`Depth with "quotes" and \\ slashes\nnewline.`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families render sorted by name.
+	if strings.Index(out, "test_by_route_total") > strings.Index(out, "test_events_total") {
+		t.Fatal("families not sorted by name")
+	}
+}
+
+func TestSetEnabledFreezesUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_frozen_total", "frozen")
+	h := r.Histogram("test_frozen_seconds", "frozen", []float64{1})
+	c.Inc()
+	h.Observe(0.5)
+	SetEnabled(false)
+	defer SetEnabled(true)
+	c.Inc()
+	c.Add(100)
+	h.Observe(0.5)
+	if c.Value() != 1 {
+		t.Fatalf("disabled counter moved: %d", c.Value())
+	}
+	if h.Count() != 1 {
+		t.Fatalf("disabled histogram moved: %d", h.Count())
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_conc_seconds", "conc", ExpBuckets(0.001, 2, 10))
+	c := r.Counter("test_conc_total", "conc")
+	var wg sync.WaitGroup
+	const G, per = 8, 10_000
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(seed*i%1000) / 1000)
+				c.Inc()
+			}
+		}(g + 1)
+	}
+	wg.Wait()
+	if got := c.Value(); got != G*per {
+		t.Fatalf("counter = %d, want %d", got, G*per)
+	}
+	if got := h.Count(); got != G*per {
+		t.Fatalf("histogram count = %d, want %d", got, G*per)
+	}
+}
+
+func TestOnScrapeCancel(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_hooked", "hooked")
+	n := 0
+	cancel := r.OnScrape(func() { n++; g.Set(float64(n)) })
+	var buf strings.Builder
+	_ = r.Write(&buf)
+	if n != 1 || g.Value() != 1 {
+		t.Fatalf("hook did not run: n=%d g=%v", n, g.Value())
+	}
+	cancel()
+	_ = r.Write(&buf)
+	if n != 1 {
+		t.Fatal("hook ran after cancel")
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "bench")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "bench", LatencyBuckets())
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i%1000) / 1e5)
+			i++
+		}
+	})
+}
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_off_total", "bench")
+	SetEnabled(false)
+	defer SetEnabled(true)
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// processStart anchors the uptime gauge; recorded at package init, which for
+// any real process is indistinguishable from process start.
+var processStart = time.Now()
+
+// memStats is the per-scrape runtime.MemStats snapshot: the scrape hook
+// refreshes it once, and every runtime family renders from the same copy —
+// one stop-the-world per scrape instead of one per family.
+var memStats atomic.Pointer[runtime.MemStats]
+
+func readMemStats() *runtime.MemStats {
+	if ms := memStats.Load(); ms != nil {
+		return ms
+	}
+	return &runtime.MemStats{}
+}
+
+// init registers the Go runtime families on the default registry, so every
+// scrape carries scheduler and memory health next to the plane metrics.
+func init() {
+	r := Default()
+	r.OnScrape(func() {
+		ms := new(runtime.MemStats)
+		runtime.ReadMemStats(ms)
+		memStats.Store(ms)
+	})
+	r.GaugeFunc("sprofile_go_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("sprofile_go_gomaxprocs",
+		"GOMAXPROCS: the scheduler's processor parallelism.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.GaugeFunc("sprofile_process_uptime_seconds",
+		"Seconds since the process started.",
+		func() float64 { return time.Since(processStart).Seconds() })
+	r.GaugeFunc("sprofile_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 { return float64(readMemStats().HeapAlloc) })
+	r.GaugeFunc("sprofile_go_heap_sys_bytes",
+		"Bytes of heap memory obtained from the OS (runtime.MemStats.HeapSys).",
+		func() float64 { return float64(readMemStats().HeapSys) })
+	r.GaugeFunc("sprofile_go_heap_objects",
+		"Number of allocated heap objects.",
+		func() float64 { return float64(readMemStats().HeapObjects) })
+	r.GaugeFunc("sprofile_go_gc_next_target_bytes",
+		"Heap size at which the next GC cycle triggers.",
+		func() float64 { return float64(readMemStats().NextGC) })
+	r.CounterFunc("sprofile_go_gcs_total",
+		"Completed GC cycles since process start.",
+		func() float64 { return float64(readMemStats().NumGC) })
+	r.CounterFunc("sprofile_go_gc_pause_seconds_total",
+		"Cumulative seconds of GC stop-the-world pauses.",
+		func() float64 { return float64(readMemStats().PauseTotalNs) / 1e9 })
+}

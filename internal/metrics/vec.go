@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MaxCardinality bounds how many distinct label-value combinations one
+// labeled family will track. The bound keeps a mistake — or an adversarial
+// client — from turning a label like "route" into an unbounded allocation:
+// once a family is full, every new combination collapses into a single
+// overflow child whose label values are all "overflow".
+const MaxCardinality = 256
+
+// vec is the shared machinery of the labeled family types: an RWMutex-guarded
+// map from the rendered label body to the child metric. Lookups on the hot
+// path take the read lock only.
+type vec struct {
+	labels []string
+	newFn  func() any
+
+	mu       sync.RWMutex
+	children map[string]*child
+	overflow *child // lazily created once MaxCardinality is hit
+}
+
+type child struct {
+	labelStr string // pre-rendered `k1="v1",k2="v2"` body
+	metric   any
+}
+
+func newVec(labels []string, newFn func() any) *vec {
+	return &vec{labels: labels, newFn: newFn, children: make(map[string]*child)}
+}
+
+// labelBody renders the label pairs for the given values, escaping values.
+func (v *vec) labelBody(values []string) string {
+	var b strings.Builder
+	for i, name := range v.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// with returns the child metric for the given label values, creating it if
+// the family is under its cardinality bound and collapsing into the overflow
+// child otherwise.
+func (v *vec) with(values ...string) any {
+	if len(values) != len(v.labels) {
+		panic("metrics: wrong number of label values")
+	}
+	key := v.labelBody(values)
+	v.mu.RLock()
+	ch, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return ch.metric
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ch, ok = v.children[key]; ok {
+		return ch.metric
+	}
+	if len(v.children) >= MaxCardinality {
+		if v.overflow == nil {
+			vals := make([]string, len(v.labels))
+			for i := range vals {
+				vals[i] = "overflow"
+			}
+			v.overflow = &child{labelStr: v.labelBody(vals), metric: v.newFn()}
+			v.children[v.overflow.labelStr] = v.overflow
+		}
+		return v.overflow.metric
+	}
+	ch = &child{labelStr: key, metric: v.newFn()}
+	v.children[key] = ch
+	return ch.metric
+}
+
+// sortedChildren returns the children ordered by label body, for
+// deterministic rendering.
+func (v *vec) sortedChildren() []*child {
+	v.mu.RLock()
+	out := make([]*child, 0, len(v.children))
+	for _, ch := range v.children {
+		out = append(out, ch)
+	}
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].labelStr < out[j].labelStr })
+	return out
+}
+
+// CounterVec is a family of counters sharing a name and label names.
+type CounterVec struct{ v *vec }
+
+// With returns the counter for the given label values (order matches the
+// label names at registration). Hot paths should resolve children once and
+// hold the *Counter rather than calling With per operation.
+func (cv *CounterVec) With(values ...string) *Counter { return cv.v.with(values...).(*Counter) }
+
+// GaugeVec is a family of gauges sharing a name and label names.
+type GaugeVec struct{ v *vec }
+
+// With returns the gauge for the given label values.
+func (gv *GaugeVec) With(values ...string) *Gauge { return gv.v.with(values...).(*Gauge) }
+
+// HistogramVec is a family of histograms sharing a name, label names and
+// bucket bounds.
+type HistogramVec struct{ v *vec }
+
+// With returns the histogram for the given label values.
+func (hv *HistogramVec) With(values ...string) *Histogram { return hv.v.with(values...).(*Histogram) }

@@ -234,6 +234,7 @@ func (f *Follower) poll(ctx context.Context, wait time.Duration) error {
 	started := time.Now()
 	resp, err := f.hc.Do(req)
 	if err != nil {
+		mFetchesError.Inc()
 		return err
 	}
 	defer func() {
@@ -249,8 +250,11 @@ func (f *Follower) poll(ctx context.Context, wait time.Duration) error {
 		}
 		data, err := io.ReadAll(io.LimitReader(resp.Body, int64(chunkBytes)+1))
 		if err != nil {
+			mFetchesError.Inc()
 			return fmt.Errorf("replication: read wal chunk: %w", err)
 		}
+		mFetchesData.Inc()
+		mFetchedBytes.Add(uint64(len(data)))
 		seg, err1 := strconv.ParseUint(resp.Header.Get(HeaderSegment), 10, 64)
 		off, err2 := strconv.ParseInt(resp.Header.Get(HeaderOffset), 10, 64)
 		if err1 != nil || err2 != nil {
@@ -263,6 +267,7 @@ func (f *Follower) poll(ctx context.Context, wait time.Duration) error {
 		}
 		return f.maybeMirrorSnapshot(ctx, resp)
 	case http.StatusNoContent:
+		mFetchesEmpty.Inc()
 		leaderPos, err := wal.ParsePosition(resp.Header.Get(HeaderLeaderPos))
 		if err != nil {
 			return fmt.Errorf("replication: leader sent malformed position: %v", err)
@@ -282,8 +287,10 @@ func (f *Follower) poll(ctx context.Context, wait time.Duration) error {
 		// (divergent history). Either way the mirror restarts from a
 		// snapshot; resetting to the applied boundary cannot help because
 		// applied state beyond the leader's history cannot be unapplied.
+		mFetchesSnapReq.Inc()
 		return fmt.Errorf("%w (leader said %d for %v)", ErrSnapshotRequired, resp.StatusCode, pos)
 	default:
+		mFetchesError.Inc()
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("replication: leader returned %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
 	}
@@ -342,6 +349,7 @@ func (f *Follower) ingest(seg uint64, off int64, data []byte, leaderPos wal.Posi
 			return err
 		}
 		f.status.Records++
+		mAppliedRecords.Inc()
 		return nil
 	}); err != nil {
 		return err
@@ -512,7 +520,11 @@ func writeSnapshotFile(dir string, seq uint64, body io.Reader) error {
 		os.Remove(tmp)
 		return err
 	}
-	return wal.SyncDir(dir)
+	if err := wal.SyncDir(dir); err != nil {
+		return err
+	}
+	mSnapshotsFetched.Inc()
+	return nil
 }
 
 // WipeMirror removes every snapshot and segment file from dir, preparing a

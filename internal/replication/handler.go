@@ -107,6 +107,7 @@ func (h *Handler) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ps := h.src.Pin(h.pinTTL())
+	mPinsIssued.Inc()
 	w.Header().Set(HeaderPin, strconv.FormatUint(ps.Pin, 10))
 	w.Header().Set(HeaderSnapshotSeq, strconv.FormatUint(ps.Seq, 10))
 	w.Header().Set(HeaderSnapshotSeals, strconv.FormatUint(ps.SealedSeg, 10))
@@ -126,7 +127,9 @@ func (h *Handler) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Length", strconv.FormatInt(fi.Size(), 10))
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	io.Copy(w, f)
+	if _, err := io.Copy(w, f); err == nil {
+		mSnapshotsServed.Inc()
+	}
 }
 
 // ServeWAL serves one chunk of raw segment bytes at the follower's position,
@@ -162,10 +165,12 @@ func (h *Handler) ServeWAL(w http.ResponseWriter, r *http.Request) {
 	if pinStr := q.Get("pin"); pinStr != "" {
 		if id, err := strconv.ParseUint(pinStr, 10, 64); err == nil && h.src.AdvancePin(id, pos.Segment, h.pinTTL()) {
 			leaseID = id
+			mPinRenewals.Inc()
 		}
 	}
 	if leaseID == 0 {
 		leaseID = h.src.PinTail(pos.Segment, h.pinTTL())
+		mPinsIssued.Inc()
 	}
 	w.Header().Set(HeaderPin, strconv.FormatUint(leaseID, 10))
 	var wait time.Duration

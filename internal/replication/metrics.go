@@ -1,0 +1,32 @@
+package replication
+
+import (
+	"sprofile/internal/metrics"
+)
+
+// Replication metric families. The follower side classifies every poll
+// exchange; the leader side counts the retention-lease traffic that keeps
+// bootstrapping and tailing followers safe from pruning. Lag and staleness
+// gauges live with the embedding KeyedFollower, which owns the Status they
+// derive from.
+var (
+	mFetches = metrics.Default().CounterVec("sprofile_replication_fetches_total",
+		"Follower WAL poll exchanges by outcome.", "result")
+	mFetchesData    = mFetches.With("data")
+	mFetchesEmpty   = mFetches.With("empty")
+	mFetchesError   = mFetches.With("error")
+	mFetchesSnapReq = mFetches.With("snapshot_required")
+	mFetchedBytes   = metrics.Default().Counter("sprofile_replication_fetched_bytes_total",
+		"Raw WAL bytes fetched from the leader and appended to the mirror.")
+	mAppliedRecords = metrics.Default().Counter("sprofile_replication_applied_records_total",
+		"WAL records decoded from the mirror and applied to the replica.")
+	mSnapshotsFetched = metrics.Default().Counter("sprofile_replication_snapshots_fetched_total",
+		"Leader snapshots mirrored locally (bootstrap and steady-state pruning).")
+
+	mSnapshotsServed = metrics.Default().Counter("sprofile_replication_snapshots_served_total",
+		"Snapshot bodies this leader streamed to bootstrapping followers.")
+	mPinsIssued = metrics.Default().Counter("sprofile_replication_pins_issued_total",
+		"Fresh retention leases granted to followers.")
+	mPinRenewals = metrics.Default().Counter("sprofile_replication_pin_renewals_total",
+		"Retention leases advanced or refreshed on follower fetches.")
+)

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"time"
 
 	"sprofile"
 )
@@ -40,11 +41,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "query lists are bounded to %d entries each", limit)
 		return
 	}
+	start := time.Now()
 	res, err := s.keyed().QueryKeys(q)
 	if err != nil {
 		writeProfileError(w, err)
 		return
 	}
+	observeQuery(q, start)
 	// On replicated deployments the answer carries the staleness watermark of
 	// the node that produced it, so the caller can judge it against a
 	// freshness budget after the fact (or demand one upfront via the

@@ -301,9 +301,15 @@ func (s *Server) Flush() error {
 // always satisfy any bound.
 const HeaderMaxStaleness = "X-Sprofile-Max-Staleness-Ms"
 
-// ServeHTTP implements http.Handler. A max-staleness demand is enforced here,
-// before routing, so it guards every read endpoint uniformly.
+// ServeHTTP implements http.Handler. Every request passes through the metrics
+// middleware (request counter + latency histogram by route); a max-staleness
+// demand is enforced before routing, so it guards every read endpoint
+// uniformly.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.instrument(http.HandlerFunc(s.serveRouted), w, r)
+}
+
+func (s *Server) serveRouted(w http.ResponseWriter, r *http.Request) {
 	if raw := r.Header.Get(HeaderMaxStaleness); raw != "" {
 		bound, err := strconv.ParseInt(raw, 10, 64)
 		if err != nil || bound < 0 {
@@ -327,6 +333,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.Handle("/metrics", sprofile.MetricsHandler())
 	s.mux.HandleFunc("/v1/events", s.handleEvents)
 	s.mux.HandleFunc("/v1/events/bulk", s.handleBulk)
 	s.mux.HandleFunc("/v1/query", s.handleQuery)
@@ -526,6 +533,9 @@ type healthWAL struct {
 type healthResponse struct {
 	Status          string                      `json:"status"`
 	Role            string                      `json:"role"`
+	UptimeSeconds   float64                     `json:"uptime_seconds"`
+	Version         string                      `json:"version"`
+	Commit          string                      `json:"commit"`
 	CheckpointError string                      `json:"checkpoint_error,omitempty"`
 	ReplicationErr  string                      `json:"replication_error,omitempty"`
 	WAL             *healthWAL                  `json:"wal,omitempty"`
@@ -538,7 +548,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	resp := healthResponse{Status: "ok", Role: s.role()}
+	resp := healthResponse{
+		Status:        "ok",
+		Role:          s.role(),
+		UptimeSeconds: time.Since(serverStart).Seconds(),
+		Version:       sprofile.Version,
+		Commit:        sprofile.Commit,
+	}
 	p := s.prof()
 	if err := p.CheckpointError(); err != nil {
 		// The server keeps serving — the profile and the unreclaimed log

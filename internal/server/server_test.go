@@ -59,10 +59,16 @@ func TestNewValidatesConfig(t *testing.T) {
 
 func TestHealthz(t *testing.T) {
 	ts := newTestServer(t, 10)
-	var out map[string]string
+	var out map[string]any
 	resp := getJSON(t, ts, "/healthz", &out)
 	if resp.StatusCode != http.StatusOK || out["status"] != "ok" {
 		t.Fatalf("healthz = %d %+v", resp.StatusCode, out)
+	}
+	if _, ok := out["uptime_seconds"].(float64); !ok {
+		t.Fatalf("healthz missing uptime_seconds: %+v", out)
+	}
+	if v, ok := out["version"].(string); !ok || v == "" {
+		t.Fatalf("healthz missing version: %+v", out)
 	}
 }
 

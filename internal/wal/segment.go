@@ -193,6 +193,7 @@ func ReplaySegment(path string, tolerateTorn bool, fn func(Record) error) (int, 
 		return 0, err
 	}
 	replayed := 0
+	defer func() { mReplayed.Add(uint64(replayed)) }()
 	var scratch []Record
 	for {
 		recs, err := readPhysicalRecord(br, scratch, true)
@@ -422,6 +423,8 @@ func (d *Dir) Append(rec Record) (syncDue bool, err error) {
 	}
 	d.appended++
 	d.bytes += int64(n)
+	mAppends.Inc()
+	mAppendedBytes.Add(uint64(n))
 	if d.opts.SyncEvery > 0 {
 		d.sinceSync++
 		if d.sinceSync >= d.opts.SyncEvery {
@@ -459,9 +462,11 @@ func (d *Dir) AppendBatch(entries []BatchEntry) (syncDue bool, err error) {
 			return false, err
 		}
 		d.bytes += int64(n)
+		mAppendedBytes.Add(uint64(n))
 		rest = rest[len(chunk):]
 	}
 	d.appended += uint64(len(entries))
+	mAppends.Add(uint64(len(entries)))
 	if d.opts.SyncEvery > 0 {
 		d.sinceSync += len(entries)
 		if d.sinceSync >= d.opts.SyncEvery {
@@ -529,7 +534,7 @@ func (d *Dir) Sync() error {
 		// either way there is nothing left to persist.
 		return nil
 	}
-	if err := f.Sync(); err != nil {
+	if err := syncTimed(f.Sync); err != nil {
 		return err
 	}
 	d.fsyncs.Add(1)
@@ -554,10 +559,11 @@ func (d *Dir) Rotate(newSnapSeq uint64) (uint64, error) {
 	}
 	d.syncMu.Lock()
 	defer d.syncMu.Unlock()
-	if err := d.f.Sync(); err != nil {
+	if err := syncTimed(d.f.Sync); err != nil {
 		return 0, err
 	}
 	d.fsyncs.Add(1)
+	mRotations.Inc()
 	sealed := d.segID
 	nf, err := createSegment(d.dir, sealed+1, newSnapSeq)
 	if err != nil {
@@ -618,7 +624,7 @@ func (d *Dir) Close() error {
 		d.f.Close()
 		return flushErr
 	}
-	if err := d.f.Sync(); err != nil {
+	if err := syncTimed(d.f.Sync); err != nil {
 		d.f.Close()
 		return err
 	}

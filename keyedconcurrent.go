@@ -489,6 +489,7 @@ func (k *KeyedConcurrent[K]) Add(key K) error {
 	if err != nil {
 		return err
 	}
+	mIngestEventsSingle.Inc()
 	return k.finishJournal(syncDue, journalErr)
 }
 
@@ -528,6 +529,7 @@ func (k *KeyedConcurrent[K]) Remove(key K) error {
 	if err != nil {
 		return err
 	}
+	mIngestEventsSingle.Inc()
 	return k.finishJournal(syncDue, journalErr)
 }
 
@@ -720,6 +722,10 @@ func (k *KeyedConcurrent[K]) ApplyBatch(events []KeyedTuple[K]) (int, error) {
 			b.entries[j].removes++
 		}
 	}
+
+	mIngestEventsBatch.Add(uint64(len(events)))
+	mIngestBatchEvents.Observe(float64(len(events)))
+	mIngestBatchKeys.Add(uint64(len(b.entries)))
 
 	// Group by stripe with a counting sort over the reusable buffers.
 	b.counts = growInt32(b.counts, ns)

@@ -1,0 +1,212 @@
+package sprofile
+
+import (
+	"io"
+	"net/http"
+	"sync"
+
+	"sprofile/internal/metrics"
+)
+
+// Build identity, stamped by the linker:
+//
+//	go build -ldflags "-X sprofile.Version=v1.2.3 -X sprofile.Commit=abc1234"
+//
+// Unstamped builds report "dev"/"unknown" — still a valid build_info series,
+// so dashboards can tell stamped deployments from ad-hoc binaries.
+var (
+	Version = "dev"
+	Commit  = "unknown"
+)
+
+// MetricsContentType is the Content-Type of WriteMetrics' output (Prometheus
+// text exposition format v0.0.4).
+const MetricsContentType = metrics.ContentType
+
+// WriteMetrics renders every registered metric family — ingest, WAL,
+// checkpoint, replication, async plane, query plane, HTTP server and Go
+// runtime — in Prometheus text exposition format. Embedders mount it wherever
+// their scrape endpoint lives; the bundled server serves it at GET /metrics.
+func WriteMetrics(w io.Writer) error { return metrics.Default().Write(w) }
+
+// MetricsHandler returns an http.Handler serving WriteMetrics with the right
+// Content-Type — a ready-made GET /metrics endpoint for embedders that run
+// their own mux.
+func MetricsHandler() http.Handler { return metrics.Default().Handler() }
+
+// SetMetricsEnabled switches every instrumentation point in the library on or
+// off at runtime. Disabled, each would-be update is one atomic load and a
+// branch; collected values freeze rather than reset.
+func SetMetricsEnabled(on bool) { metrics.SetEnabled(on) }
+
+// MetricsEnabled reports whether instrumentation points currently record.
+func MetricsEnabled() bool { return metrics.Enabled() }
+
+// Async ingest plane families. Counters are package-global (summed across
+// planes); the gauges are recomputed per scrape from every live plane's
+// stats, so tests that build and close many planes never leave stale values
+// behind.
+var (
+	mAsyncAppliedEvents = metrics.Default().Counter("sprofile_async_applied_events_total",
+		"Events drained from mailboxes and applied by shard appliers.")
+	mAsyncApplierBatches = metrics.Default().Counter("sprofile_async_applier_batches_total",
+		"Drain batches shard appliers ran (each is one coalescing window).")
+	mAsyncBatchEvents = metrics.Default().Histogram("sprofile_async_applier_batch_events",
+		"Events per applier drain batch — the realized coalescing window.",
+		metrics.SizeBuckets())
+	mAsyncPublishes = metrics.Default().Counter("sprofile_async_publishes_total",
+		"Epoch snapshot publishes across all shards and planes.")
+	mAsyncWaits = metrics.Default().Counter("sprofile_async_backpressure_waits_total",
+		"Enqueues that blocked on a full mailbox (BackpressureBlock).")
+	mAsyncDrops = metrics.Default().Counter("sprofile_async_backpressure_errors_total",
+		"Enqueues refused with ErrBackpressure (BackpressureError).")
+	mAsyncMailboxDepth = metrics.Default().Gauge("sprofile_async_mailbox_depth",
+		"Enqueued-but-unapplied events across every live async plane.")
+	mAsyncProducers = metrics.Default().Gauge("sprofile_async_producers",
+		"Live producer handles across every async plane.")
+	mAsyncPublishLag = metrics.Default().Gauge("sprofile_async_publish_lag_seconds",
+		"Age of the stalest live plane's newest epoch publish.")
+)
+
+// Keyed ingest families. The batch path records at batch granularity; the
+// single-event paths count inside stripe locks they already hold, so the
+// lock-free hot paths never gain an instrumentation branch beyond one atomic.
+var (
+	mIngestEvents = metrics.Default().CounterVec("sprofile_ingest_events_total",
+		"Keyed events accepted, by ingest path.", "path")
+	mIngestEventsSingle = mIngestEvents.With("keyed_event")
+	mIngestEventsBatch  = mIngestEvents.With("keyed_batch")
+	mIngestBatchEvents  = metrics.Default().Histogram("sprofile_ingest_batch_events",
+		"Events per keyed ApplyBatch call (pre-coalescing).", metrics.SizeBuckets())
+	mIngestBatchKeys = metrics.Default().Counter("sprofile_ingest_batch_distinct_keys_total",
+		"Distinct keys per keyed batch, summed — rate against events for the keyed coalescing ratio.")
+)
+
+// Replica-side replication families. The counters live in
+// internal/replication next to the code that moves the bytes; these gauges
+// need the KeyedFollower's Status (lag arithmetic, promote handling), so they
+// aggregate over live followers per scrape, same pattern as the async planes.
+var (
+	mReplRebootstraps = metrics.Default().Counter("sprofile_replication_rebootstraps_total",
+		"Replica rebuilds from a fresh leader snapshot (mirror wiped and re-bootstrapped).")
+	mReplLagBytes = metrics.Default().Gauge("sprofile_replication_lag_bytes",
+		"Worst byte lag across live followers; -1 means one or more whole segments behind.")
+	mReplStaleness = metrics.Default().Gauge("sprofile_replication_staleness_seconds",
+		"Worst staleness bound across live followers (doubt, not confirmed lag).")
+	mReplCaughtUp = metrics.Default().Gauge("sprofile_replication_caught_up",
+		"1 when every live follower covers the leader's append position, else 0.")
+)
+
+// followerLive tracks every open KeyedFollower for the scrape hook above.
+var followerLive struct {
+	sync.Mutex
+	next uint64
+	set  map[uint64]func() ReplicationStatus
+}
+
+func registerFollower(status func() ReplicationStatus) (unregister func()) {
+	followerLive.Lock()
+	defer followerLive.Unlock()
+	if followerLive.set == nil {
+		followerLive.set = make(map[uint64]func() ReplicationStatus)
+	}
+	followerLive.next++
+	id := followerLive.next
+	followerLive.set[id] = status
+	return func() {
+		followerLive.Lock()
+		delete(followerLive.set, id)
+		followerLive.Unlock()
+	}
+}
+
+func scrapeFollowers() {
+	followerLive.Lock()
+	status := make([]func() ReplicationStatus, 0, len(followerLive.set))
+	for _, f := range followerLive.set {
+		status = append(status, f)
+	}
+	followerLive.Unlock()
+	if len(status) == 0 {
+		return // leave the gauges at their last values; no follower to report
+	}
+	var lag, staleMs int64
+	caughtUp := true
+	for _, f := range status {
+		st := f()
+		if st.Role == "leader" { // promoted: permanently caught up
+			continue
+		}
+		if st.LagBytes < 0 || lag < 0 {
+			lag = -1 // whole segments behind dominates any byte figure
+		} else if st.LagBytes > lag {
+			lag = st.LagBytes
+		}
+		if st.StalenessMs > staleMs {
+			staleMs = st.StalenessMs
+		}
+		if !st.CaughtUp {
+			caughtUp = false
+		}
+	}
+	mReplLagBytes.Set(float64(lag))
+	mReplStaleness.Set(float64(staleMs) / 1e3)
+	if caughtUp {
+		mReplCaughtUp.Set(1)
+	} else {
+		mReplCaughtUp.Set(0)
+	}
+}
+
+// asyncLive tracks every open async plane so one scrape hook can aggregate
+// their point-in-time gauges. Planes register at construction and unregister
+// on close.
+var asyncLive struct {
+	sync.Mutex
+	next uint64
+	set  map[uint64]func() AsyncStats
+}
+
+func registerAsyncPlane(stats func() AsyncStats) (unregister func()) {
+	asyncLive.Lock()
+	defer asyncLive.Unlock()
+	if asyncLive.set == nil {
+		asyncLive.set = make(map[uint64]func() AsyncStats)
+	}
+	asyncLive.next++
+	id := asyncLive.next
+	asyncLive.set[id] = stats
+	return func() {
+		asyncLive.Lock()
+		delete(asyncLive.set, id)
+		asyncLive.Unlock()
+	}
+}
+
+func init() {
+	metrics.Default().OnScrape(scrapeFollowers)
+	metrics.Default().OnScrape(func() {
+		asyncLive.Lock()
+		stats := make([]func() AsyncStats, 0, len(asyncLive.set))
+		for _, f := range asyncLive.set {
+			stats = append(stats, f)
+		}
+		asyncLive.Unlock()
+		var depth, producers int
+		var lagMs float64
+		for _, f := range stats {
+			st := f()
+			depth += st.Queued
+			producers += st.Producers
+			if st.PublishLagMs > lagMs {
+				lagMs = st.PublishLagMs
+			}
+		}
+		mAsyncMailboxDepth.Set(float64(depth))
+		mAsyncProducers.Set(float64(producers))
+		mAsyncPublishLag.Set(lagMs / 1e3)
+	})
+	metrics.Default().GaugeVec("sprofile_build_info",
+		"Build identity; the value is always 1, the labels carry it.",
+		"version", "commit").With(Version, Commit).Set(1)
+}

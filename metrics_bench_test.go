@@ -1,0 +1,60 @@
+package sprofile_test
+
+import (
+	"testing"
+
+	"sprofile"
+	"sprofile/internal/stream"
+)
+
+// BenchmarkApplyDeltasMetrics pins the instrumentation overhead on the
+// ingest fast path: the same zipf-skewed coalesce+apply workload as
+// BenchmarkApplyDeltas, once with metrics enabled (the default) and once
+// with the whole plane gated off via SetMetricsEnabled(false), which turns
+// every observation into a single atomic load. Instrumentation on this path
+// is batch-granular — a handful of atomic adds per 64k-event batch — so the
+// two sub-benchmarks must stay within noise of each other (<5%).
+func BenchmarkApplyDeltasMetrics(b *testing.B) {
+	const m = 100_000
+	const batchSize = 65_536
+	pos, err := stream.NewZipf(m, 1.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	neg, err := stream.NewZipf(m, 1.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := stream.NewGenerator(stream.Config{
+		M: m, AddProb: stream.DefaultAddProb, PosPDF: pos, NegPDF: neg, Seed: 7, Name: "zipf-1.5",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuples := stream.Take(w, batchSize)
+
+	run := func(b *testing.B, enabled bool) {
+		prev := sprofile.MetricsEnabled()
+		sprofile.SetMetricsEnabled(enabled)
+		defer sprofile.SetMetricsEnabled(prev)
+		p := sprofile.MustNew(m)
+		c, err := sprofile.NewCoalescer(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			deltas, err := c.Coalesce(tuples)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.ApplyDeltas(deltas); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/batchSize, "ns/event")
+	}
+	b.Run("metrics-enabled", func(b *testing.B) { run(b, true) })
+	b.Run("metrics-disabled", func(b *testing.B) { run(b, false) })
+}

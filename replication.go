@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -153,6 +154,10 @@ type KeyedFollower struct {
 	done      chan struct{}
 
 	lastErr atomic.Pointer[followerErr]
+
+	// unregMetrics removes this follower from the scrape-time gauge
+	// aggregation; set at construction, run once by Close.
+	unregMetrics func()
 }
 
 type followerErr struct{ err error }
@@ -175,6 +180,7 @@ func NewKeyedFollower(cfg FollowerConfig) (*KeyedFollower, error) {
 	if err := kf.buildReplica(context.Background(), false); err != nil {
 		return nil, err
 	}
+	kf.unregMetrics = registerFollower(kf.Status)
 	return kf, nil
 }
 
@@ -191,6 +197,7 @@ func (kf *KeyedFollower) buildReplica(ctx context.Context, wipe bool) error {
 		if err := replication.WipeMirror(kf.cfg.Dir); err != nil {
 			return err
 		}
+		mReplRebootstraps.Inc()
 	}
 	if err := os.MkdirAll(kf.cfg.Dir, 0o755); err != nil {
 		return err
@@ -362,7 +369,10 @@ func (kf *KeyedFollower) Start() {
 	ctx, cancel := context.WithCancel(context.Background())
 	kf.cancel = cancel
 	kf.done = make(chan struct{})
-	go kf.loop(ctx, kf.done)
+	done := kf.done
+	go pprof.Do(ctx, pprof.Labels("sprofile_plane", "follower"), func(ctx context.Context) {
+		kf.loop(ctx, done)
+	})
 }
 
 func (kf *KeyedFollower) loop(ctx context.Context, done chan struct{}) {
@@ -465,6 +475,10 @@ func (kf *KeyedFollower) Close() error {
 	kf.Stop()
 	kf.lifecycle.Lock()
 	defer kf.lifecycle.Unlock()
+	if kf.unregMetrics != nil {
+		kf.unregMetrics()
+		kf.unregMetrics = nil
+	}
 	if kf.follower != nil {
 		if err := kf.follower.Close(); err != nil {
 			return err
