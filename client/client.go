@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"sprofile"
+	"sprofile/internal/failpoint"
 )
 
 // Event is the JSON wire form of one log event, matching the server's
@@ -76,6 +77,10 @@ type APIError struct {
 	// Applied reports how many events of an ingest request took effect
 	// before the failure (zero for non-ingest requests).
 	Applied int
+	// RetryAfter is the server's Retry-After hint (zero when absent). With
+	// WithRetry the client honors it: the backoff before the next attempt is
+	// at least this long, still capped by RetryPolicy.MaxDelay.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -103,6 +108,8 @@ var codeToErr = map[string]error{
 	"read_only":        sprofile.ErrReadOnly,
 	"stale_read":       sprofile.ErrStaleRead,
 	"backpressure":     sprofile.ErrBackpressure,
+	"degraded":         sprofile.ErrDegraded,
+	"shed":             sprofile.ErrShed,
 }
 
 // Unwrap resolves the wire code to its sprofile taxonomy class (nil for
@@ -147,15 +154,19 @@ func (p RetryPolicy) attempts() int {
 	return 3
 }
 
+func (p RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return 2 * time.Second
+}
+
 func (p RetryPolicy) delay(attempt int) time.Duration {
 	base := p.BaseDelay
 	if base <= 0 {
 		base = 50 * time.Millisecond
 	}
-	max := p.MaxDelay
-	if max <= 0 {
-		max = 2 * time.Second
-	}
+	max := p.maxDelay()
 	d := base << attempt
 	if d > max || d <= 0 {
 		d = max
@@ -175,12 +186,16 @@ func WithHTTPClient(hc *http.Client) Option {
 }
 
 // WithRetry retries transiently failing requests with jittered exponential
-// backoff. Reads retry on connection errors and on 502/503/504 answers
+// backoff. Reads retry on connection errors and on 429/502/503/504 answers
 // (except read_only and stale_read, which a same-node retry cannot heal —
-// those trigger leader fallback instead when followers are configured).
-// Writes retry only on connection-refused, where the request provably never
-// reached a server — anything later and a non-idempotent ingest could be
-// applied twice. Context cancellation always stops the retry loop.
+// those trigger leader fallback instead when followers are configured; the
+// degraded and shed codes ARE read-retryable). Writes retry only on
+// connection-refused, where the request provably never reached a server —
+// anything later and a non-idempotent ingest could be applied twice, and a
+// degraded node may refuse writes indefinitely. A server Retry-After hint
+// (429 backpressure, 503 shed/degraded) raises the backoff to at least the
+// hinted wait, capped by RetryPolicy.MaxDelay. Context cancellation always
+// stops the retry loop.
 func WithRetry(p RetryPolicy) Option {
 	return func(c *Client) { c.retry, c.retryOn = p, true }
 }
@@ -215,7 +230,13 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	if u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("sprofile client: base URL %q needs a scheme and host", baseURL)
 	}
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	// The default transport carries the "client.http" failpoint seam: a
+	// no-op (one atomic load per request) until armed, at which point chaos
+	// rigs inject latency, connection drops, truncated bodies and 5xx bursts
+	// without a proxy. WithHTTPClient replaces it wholesale.
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{
+		Transport: failpoint.RoundTripper("client.http", nil),
+	}}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -258,7 +279,11 @@ func (c *Client) sendOnce(ctx context.Context, method, base, path string, body i
 				we.Error = resp.Status
 			}
 		}
-		return &APIError{StatusCode: resp.StatusCode, Code: we.Code, Message: we.Error, Applied: we.Applied}
+		ae := &APIError{StatusCode: resp.StatusCode, Code: we.Code, Message: we.Error, Applied: we.Applied}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return ae
 	}
 	if out == nil {
 		_, _ = io.Copy(io.Discard, resp.Body)
@@ -276,9 +301,13 @@ func transportFailure(err error) bool {
 }
 
 // readRetryable classifies errors a repeat of the same idempotent read could
-// heal: transport failures and gateway-ish 5xx answers. read_only and
-// stale_read are excluded — the same node will keep giving the same answer;
-// they are grounds for leader fallback, not same-node retry.
+// heal: transport failures, 429 backpressure, and gateway-ish 5xx answers —
+// including "shed" (a slot frees as soon as any request finishes) and
+// "degraded" (reads are never refused on a degraded node, so seeing the code
+// at all means a proxy or a mid-transition race; a retry is safe and cheap
+// for an idempotent read). read_only and stale_read are excluded — the same
+// node will keep giving the same answer; they are grounds for leader
+// fallback, not same-node retry.
 func readRetryable(err error) bool {
 	if transportFailure(err) {
 		return true
@@ -286,7 +315,8 @@ func readRetryable(err error) bool {
 	var ae *APIError
 	if errors.As(err, &ae) && ae.Code != "read_only" && ae.Code != "stale_read" {
 		switch ae.StatusCode {
-		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 			return true
 		}
 	}
@@ -296,6 +326,9 @@ func readRetryable(err error) bool {
 // writeRetryable is deliberately narrow: only connection-refused, where the
 // request provably never reached a server. A write that failed any later
 // could have been applied — retrying a non-idempotent ingest would double it.
+// In particular "degraded" (503) is NOT write-retryable: the node may stay
+// degraded indefinitely, and nothing was applied — callers should fail over
+// or surface the error; only reads treat degraded as transient.
 func writeRetryable(err error) bool {
 	var ue *url.Error
 	return errors.As(err, &ue) && errors.Is(ue.Err, syscall.ECONNREFUSED)
@@ -303,6 +336,8 @@ func writeRetryable(err error) bool {
 
 // withRetry runs fn under the configured retry policy, backing off with
 // jittered exponential delays between attempts while retryable(err) holds.
+// A server Retry-After hint (429 backpressure, 503 shed/degraded) raises the
+// backoff to at least the hinted wait, still capped by the policy's MaxDelay.
 // Without WithRetry it runs fn exactly once.
 func (c *Client) withRetry(ctx context.Context, retryable func(error) bool, fn func() error) error {
 	attempts := 1
@@ -315,7 +350,7 @@ func (c *Client) withRetry(ctx context.Context, retryable func(error) bool, fn f
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(c.retry.delay(a - 1)):
+			case <-time.After(c.retry.nextDelay(a-1, err)):
 			}
 		}
 		if err = fn(); err == nil || !retryable(err) {
@@ -323,6 +358,22 @@ func (c *Client) withRetry(ctx context.Context, retryable func(error) bool, fn f
 		}
 	}
 	return err
+}
+
+// nextDelay is the backoff before retrying after err: the policy's jittered
+// exponential delay, raised to the server's Retry-After hint when err carries
+// a longer one, and always capped by the policy's MaxDelay (a server cannot
+// park a client beyond what the caller configured).
+func (p RetryPolicy) nextDelay(attempt int, err error) time.Duration {
+	d := p.delay(attempt)
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfter > d {
+		d = ae.RetryAfter
+		if max := p.maxDelay(); d > max {
+			d = max
+		}
+	}
+	return d
 }
 
 // doRead routes one idempotent read: round-robin follower first (when
@@ -610,6 +661,8 @@ type Health struct {
 	Version          string                      `json:"version"`
 	Commit           string                      `json:"commit"`
 	Role             string                      `json:"role"`
+	Degraded         bool                        `json:"degraded"`
+	WALError         string                      `json:"wal_error"`
 	CheckpointError  string                      `json:"checkpoint_error"`
 	ReplicationError string                      `json:"replication_error"`
 	WAL              *WALHealth                  `json:"wal"`

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"sprofile"
+	"sprofile/internal/failpoint"
 	"sprofile/internal/server"
 )
 
@@ -90,12 +91,27 @@ func main() {
 		asyncDepth  = fs.Int("async-mailbox-depth", 0, "per-producer per-shard mailbox capacity with -async-ingest; 0 = 1024 default")
 		logFormat   = fs.String("log-format", "text", "log output format: text or json")
 		logLevel    = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		maxInFlight = fs.Int("max-in-flight", 0, "shed requests beyond this many in flight with 503 (0 = 1024 default, negative disables; /healthz and /metrics are exempt)")
+		reqTimeout  = fs.Duration("request-timeout", 0, "per-route response deadline; lapsed requests answer 503 code \"deadline\" (0 = 15s default, negative disables; streaming routes are never bounded)")
+		debugFaults = fs.Bool("debug-failpoints", false, "register POST /v1/admin/failpoint for runtime fault injection (chaos rigs and tests only; NEVER in production)")
+		drainWait   = fs.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests to drain before the data plane is settled (flush, final checkpoint, WAL close)")
 	)
 	fs.Parse(os.Args[1:])
 
 	logger := newLogger(*logFormat, *logLevel)
 	slog.SetDefault(logger)
 	logger.Info("starting", "version", sprofile.Version, "commit", sprofile.Commit)
+
+	// Failpoints armed from the environment work in any build, debug surface
+	// or not — the chaos harness and crash-recovery rigs start faulty
+	// processes this way.
+	if env := os.Getenv(failpoint.EnvVar); env != "" {
+		if err := failpoint.ParseEnv(env); err != nil {
+			logger.Error("invalid "+failpoint.EnvVar, "err", err)
+			os.Exit(1)
+		}
+		logger.Warn("failpoints armed from environment", "spec", env)
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -121,16 +137,14 @@ func main() {
 		AsyncIngest:        *asyncIngest,
 		AsyncFlushInterval: *asyncFlush,
 		AsyncMailboxDepth:  *asyncDepth,
+		MaxInFlight:        *maxInFlight,
+		RequestTimeout:     *reqTimeout,
+		DebugFailpoints:    *debugFaults,
 	})
 	if err != nil {
 		logger.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
-	defer func() {
-		if err := srv.Close(); err != nil {
-			logger.Error("closing WAL", "err", err)
-		}
-	}()
 	if *follow != "" {
 		logger.Info("following leader; writes are refused until promoted",
 			"leader", *follow, "mirror", *walPath)
@@ -166,15 +180,29 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Drain-ordered shutdown: stop accepting and drain in-flight
+		// requests (with a bound, so a stuck client cannot hold the process
+		// hostage), then settle the data plane — flush the async ingest
+		// plane, take a final checkpoint, close the WAL. Order matters: the
+		// final checkpoint must cover everything the drained requests
+		// acknowledged.
+		logger.Info("draining", "timeout", *drainWait)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		if err := httpServer.Shutdown(shutdownCtx); err != nil {
+			logger.Error("drain incomplete; settling the data plane anyway", "err", err)
+		}
+		if err := srv.Shutdown(shutdownCtx); err != nil {
 			logger.Error("shutdown", "err", err)
+			os.Exit(1)
 		}
 		logger.Info("stopped")
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			logger.Error("serve failed", "err", err)
+			if cerr := srv.Close(); cerr != nil {
+				logger.Error("closing WAL", "err", cerr)
+			}
 			os.Exit(1)
 		}
 	}

@@ -83,6 +83,21 @@ var (
 	// Requests with a Retry-After header, and the client SDK maps that back
 	// so errors.Is(err, ErrBackpressure) works against a remote profile.
 	ErrBackpressure = errors.New("sprofile: async ingest mailbox full")
+
+	// ErrDegraded reports a write refused because the node is in degraded
+	// read-only mode: its write-ahead log hit a persistent I/O failure
+	// (failed fsync, ENOSPC) and the server is refusing writes fast — the
+	// event was NOT applied — while a background probe tries to roll the log
+	// onto a fresh segment. Reads keep serving throughout. The HTTP server
+	// maps it to 503 with code "degraded" and a Retry-After; the client SDK
+	// maps that back, treating it as retryable for reads only (a write may
+	// land on a node that stays degraded — fail over instead).
+	ErrDegraded = errors.New("sprofile: node is degraded (write-ahead log I/O failure); writes refused")
+
+	// ErrShed reports a request refused at admission because the server was
+	// at its concurrent-request limit (load shedding, wire code "shed",
+	// HTTP 503 with Retry-After). Nothing was applied; back off and retry.
+	ErrShed = errors.New("sprofile: server at max in-flight requests")
 )
 
 // Specific sentinels. Test with errors.Is; each also matches its class root.

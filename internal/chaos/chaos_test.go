@@ -1,0 +1,479 @@
+// Package chaos subjects a leader/follower pair to a seeded, randomized
+// fault schedule — WAL fsync failures and ENOSPC, slow I/O, replication-link
+// 5xx bursts, torn response bodies and dropped connections, checkpoint
+// failures — while ingest and queries keep running, and then proves the
+// robustness contract end to end:
+//
+//   - no acknowledged write is ever lost: reopening the leader's directory
+//     replays exactly the acknowledged multiset;
+//   - the follower's mirror converges byte-for-byte with the leader's log;
+//   - reads keep answering throughout, including while the node is degraded;
+//   - the node returns to full health (writes accepted, sprofile_degraded 0)
+//     within five seconds of the faults clearing.
+//
+// The schedule is driven by a PRNG seeded from SPROFILE_CHAOS_SEED (default
+// 1); the seed is logged so any failure reproduces.
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sprofile/internal/failpoint"
+	"sprofile/internal/server"
+)
+
+// chaosKeys is the closed key universe; counts over it are the invariant the
+// harness checks at every boundary.
+var chaosKeys = []string{
+	"alpha", "beta", "gamma", "delta", "epsilon", "zeta",
+	"eta", "theta", "iota", "kappa", "lambda", "mu",
+}
+
+func chaosSeed(t *testing.T) int64 {
+	seed := int64(1)
+	if s := os.Getenv("SPROFILE_CHAOS_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("SPROFILE_CHAOS_SEED=%q: %v", s, err)
+		}
+		seed = n
+	}
+	t.Logf("chaos seed %d (rerun with SPROFILE_CHAOS_SEED=%d)", seed, seed)
+	return seed
+}
+
+type harness struct {
+	t        *testing.T
+	rng      *rand.Rand
+	leader   *server.Server
+	lts      *httptest.Server
+	follower *server.Server
+	fts      *httptest.Server
+	acked    map[string]int64
+	// failedApplied counts writes that surfaced the WAL fault itself (500
+	// wal_append): the event was applied to the queryable state before the
+	// fsync failed, so Roll salvages it into the fresh segment and it becomes
+	// durable-but-unacknowledged — the ordinary indeterminate outcome of an
+	// errored write. Degraded rejections (503) are never applied.
+	failedApplied map[string]int64
+}
+
+type eventOut struct {
+	Applied int    `json:"applied"`
+	Error   string `json:"error"`
+	Code    string `json:"code"`
+}
+
+type healthDoc struct {
+	Status   string `json:"status"`
+	Degraded bool   `json:"degraded"`
+	WALError string `json:"wal_error"`
+	WAL      *struct {
+		Segment uint64 `json:"segment"`
+		Offset  int64  `json:"offset"`
+	} `json:"wal"`
+	Replication *struct {
+		CaughtUp bool   `json:"caught_up"`
+		Segment  uint64 `json:"segment"`
+		Offset   int64  `json:"offset"`
+	} `json:"replication"`
+}
+
+// write posts one event for key and returns the HTTP status and wire code.
+// A 200 is an acknowledgement: the record is durable and must survive
+// anything the schedule does afterwards.
+func (h *harness) write(key string) (int, string) {
+	h.t.Helper()
+	body := fmt.Sprintf(`[{"object":%q,"action":"add"}]`, key)
+	resp, err := http.Post(h.lts.URL+"/v1/events", "application/json", strings.NewReader(body))
+	if err != nil {
+		h.t.Fatalf("write %s: %v", key, err)
+	}
+	var out eventOut
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if out.Applied != 1 {
+			h.t.Fatalf("write %s acked with applied=%d", key, out.Applied)
+		}
+		h.acked[key]++
+	}
+	if resp.StatusCode == http.StatusInternalServerError && out.Code == "wal_append" {
+		h.failedApplied[key]++
+	}
+	return resp.StatusCode, out.Code
+}
+
+// writeRand writes a random key, asserting the status is one of the shapes
+// the robustness contract allows under faults: acked, the initial fault
+// surfacing (500 wal_append), or the degraded rejection (503 degraded).
+func (h *harness) writeRand() (int, string) {
+	h.t.Helper()
+	status, code := h.write(chaosKeys[h.rng.Intn(len(chaosKeys))])
+	switch {
+	case status == http.StatusOK:
+	case status == http.StatusInternalServerError && code == "wal_append":
+	case status == http.StatusServiceUnavailable && code == "degraded":
+	default:
+		h.t.Fatalf("write returned %d %q; not an allowed outcome under faults", status, code)
+	}
+	return status, code
+}
+
+// readCount asserts the read plane answers 200 — degraded or not — and
+// returns the count. Reads failing under WAL faults would break the
+// degraded-mode contract.
+func (h *harness) readCount(ts *httptest.Server, key string) int64 {
+	h.t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats/count?object=" + key)
+	if err != nil {
+		h.t.Fatalf("count %s: %v", key, err)
+	}
+	var out struct {
+		Frequency int64 `json:"frequency"`
+	}
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		h.t.Fatalf("read of %s returned %d; reads must keep serving under faults", key, resp.StatusCode)
+	}
+	return out.Frequency
+}
+
+func (h *harness) counts(ts *httptest.Server) map[string]int64 {
+	h.t.Helper()
+	m := make(map[string]int64, len(chaosKeys))
+	for _, k := range chaosKeys {
+		m[k] = h.readCount(ts, k)
+	}
+	return m
+}
+
+func (h *harness) health(ts *httptest.Server) healthDoc {
+	h.t.Helper()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	var doc healthDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		h.t.Fatal(err)
+	}
+	resp.Body.Close()
+	return doc
+}
+
+func (h *harness) metric(ts *httptest.Server, name string) string {
+	h.t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, name+" ") || strings.HasPrefix(line, name+"{") {
+			return line
+		}
+	}
+	return ""
+}
+
+// waitHealthy polls until the leader accepts a write and reports undegraded
+// health, failing after the contract's five-second recovery bound.
+func (h *harness) waitHealthy(bound time.Duration) {
+	h.t.Helper()
+	deadline := time.Now().Add(bound)
+	for time.Now().Before(deadline) {
+		if status, _ := h.writeRand(); status == http.StatusOK {
+			if doc := h.health(h.lts); !doc.Degraded {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	h.t.Fatalf("leader did not return to health within %s of faults clearing: %+v",
+		bound, h.health(h.lts))
+}
+
+// waitFollowerCaughtUp polls until the follower reports caught-up at the
+// leader's durable position.
+func (h *harness) waitFollowerCaughtUp() {
+	h.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		ld := h.health(h.lts)
+		fd := h.health(h.fts)
+		if ld.WAL != nil && fd.Replication != nil && fd.Replication.CaughtUp &&
+			fd.Replication.Segment == ld.WAL.Segment && fd.Replication.Offset == ld.WAL.Offset {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	h.t.Fatalf("follower never converged: leader=%+v follower=%+v",
+		h.health(h.lts).WAL, h.health(h.fts).Replication)
+}
+
+func arm(t *testing.T, site, spec string) {
+	t.Helper()
+	if err := failpoint.Enable(site, spec); err != nil {
+		t.Fatalf("arm %s=%s: %v", site, spec, err)
+	}
+}
+
+// TestChaosSchedule is the chaos harness: a seeded fault schedule across
+// every injectable seam, with the no-loss / convergence / recovery
+// assertions at the end. Run it under -race; the CI chaos-smoke job does.
+func TestChaosSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(chaosSeed(t)))
+	t.Cleanup(failpoint.DisableAll)
+
+	leaderDir := filepath.Join(t.TempDir(), "leader-wal")
+	followerDir := filepath.Join(t.TempDir(), "follower-wal")
+
+	leader, err := server.New(server.Config{Capacity: 4096, WALPath: leaderDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lts := httptest.NewServer(leader)
+
+	follower, err := server.New(server.Config{
+		Capacity:   4096,
+		WALPath:    followerDir,
+		Follow:     lts.URL,
+		FollowPoll: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fts := httptest.NewServer(follower)
+	defer fts.Close()
+
+	h := &harness{t: t, rng: rng, leader: leader, lts: lts,
+		follower: follower, fts: fts,
+		acked: make(map[string]int64), failedApplied: make(map[string]int64)}
+
+	triggersBefore := failpoint.TriggeredTotal()
+
+	// Phase A — slow I/O everywhere, full throughput. Every write's fsync and
+	// every follower fetch triggers a delay fault; nothing fails, so this
+	// phase banks the bulk of the ≥1000 injected faults the harness must
+	// demonstrate while proving delays alone never surface as errors.
+	arm(t, "wal.sync", "delay(100us)")
+	arm(t, "replication.fetch", "delay(1ms)")
+	phaseAWrites := 1000 + rng.Intn(200)
+	for i := 0; i < phaseAWrites; i++ {
+		if status, code := h.writeRand(); status != http.StatusOK {
+			t.Fatalf("write under pure-delay faults failed: %d %q", status, code)
+		}
+		if i%97 == 0 {
+			h.readCount(h.lts, chaosKeys[rng.Intn(len(chaosKeys))])
+		}
+	}
+	failpoint.Disable("wal.sync")
+	failpoint.Disable("replication.fetch")
+
+	// Phase B — repeated disk-failure rounds. Each round arms a bounded
+	// ENOSPC/EIO burst against WAL fsync: the first failing write poisons the
+	// log, subsequent writes see the degraded rejection while reads keep
+	// answering, and once the burst's trigger budget is exhausted the degrade
+	// watcher's Roll probe proves the disk and restores write service — all
+	// without any operator action. Every round must complete the full
+	// poison → degraded → recovered cycle within the 5s bound.
+	rounds := 8 + rng.Intn(5)
+	for round := 0; round < rounds; round++ {
+		kind := "enospc"
+		if rng.Intn(2) == 0 {
+			kind = "eio"
+		}
+		burst := 1 + rng.Intn(3)
+		arm(t, "wal.sync", fmt.Sprintf("error(%s):count=%d", kind, burst))
+
+		status, code := h.writeRand()
+		if status != http.StatusInternalServerError || code != "wal_append" {
+			t.Fatalf("round %d: poisoned write = %d %q, want 500 wal_append", round, status, code)
+		}
+		// While degraded: writes rejected with the retryable 503 shape (unless
+		// the probe already recovered), reads and health keep serving.
+		if status, code := h.writeRand(); status == http.StatusServiceUnavailable {
+			if code != "degraded" {
+				t.Fatalf("round %d: degraded rejection code = %q", round, code)
+			}
+		}
+		h.readCount(h.lts, chaosKeys[rng.Intn(len(chaosKeys))])
+		h.waitHealthy(5 * time.Second)
+	}
+	failpoint.Disable("wal.sync")
+	if line := h.metric(h.lts, "sprofile_wal_rolls_total"); line == "" {
+		t.Fatal("sprofile_wal_rolls_total not exported after recovery rounds")
+	}
+
+	// Phase C — a hostile replication link: 5xx bursts, torn response
+	// bodies, dropped connections. The follower must treat each as a
+	// transient fetch failure and converge once the link heals.
+	for _, spec := range []string{
+		fmt.Sprintf("http(503):count=%d", 3+rng.Intn(4)),
+		fmt.Sprintf("torn:count=%d", 3+rng.Intn(4)),
+		fmt.Sprintf("drop:count=%d", 3+rng.Intn(4)),
+	} {
+		arm(t, "replication.fetch", spec)
+		for i := 0; i < 30; i++ {
+			if status, code := h.writeRand(); status != http.StatusOK {
+				t.Fatalf("leader write failed under replication faults: %d %q", status, code)
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	failpoint.Disable("replication.fetch")
+
+	// Phase D — checkpoint failures: the snapshot protocol's temp-file
+	// writes hit ENOSPC. The admin endpoint surfaces the failure, the log
+	// keeps appending, and a later attempt succeeds once space returns.
+	arm(t, "checkpoint.snap.write", "error(enospc):count=2")
+	cpResp, err := http.Post(lts.URL+"/v1/admin/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpResp.Body.Close()
+	if cpResp.StatusCode == http.StatusOK {
+		t.Fatal("checkpoint under injected ENOSPC reported success")
+	}
+	for i := 0; i < 20; i++ {
+		if status, code := h.writeRand(); status != http.StatusOK {
+			t.Fatalf("write after failed checkpoint = %d %q", status, code)
+		}
+	}
+	failpoint.Disable("checkpoint.snap.write")
+	cpResp, err = http.Post(lts.URL+"/v1/admin/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpResp.Body.Close()
+	if cpResp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint after faults cleared = %d", cpResp.StatusCode)
+	}
+
+	// Faults over. The node must be fully healthy within the bound, and the
+	// schedule must have actually exercised the seams it claims to.
+	failpoint.DisableAll()
+	h.waitHealthy(5 * time.Second)
+	if delta := failpoint.TriggeredTotal() - triggersBefore; delta < 1000 {
+		t.Fatalf("schedule injected only %d faults, want >= 1000", delta)
+	}
+	if line := h.metric(h.lts, "sprofile_degraded"); !strings.HasSuffix(line, " 0") {
+		t.Fatalf("sprofile_degraded after recovery = %q, want 0", line)
+	}
+
+	// A final burst of clean traffic, then the convergence checks.
+	for i := 0; i < 50; i++ {
+		if status, code := h.writeRand(); status != http.StatusOK {
+			t.Fatalf("post-recovery write = %d %q", status, code)
+		}
+	}
+	h.waitFollowerCaughtUp()
+
+	// Expected counts: every acknowledged write, plus the writes that
+	// surfaced the fault itself (applied before the fsync failed, salvaged
+	// into the fresh segment by Roll). Nothing less — no acked-write loss —
+	// and nothing more.
+	expected := func(k string) int64 { return h.acked[k] + h.failedApplied[k] }
+	leaderCounts := h.counts(h.lts)
+	followerCounts := h.counts(h.fts)
+	for _, k := range chaosKeys {
+		if leaderCounts[k] < h.acked[k] {
+			t.Errorf("leader count(%s) = %d < acked %d: acked-write loss", k, leaderCounts[k], h.acked[k])
+		}
+		if leaderCounts[k] != expected(k) {
+			t.Errorf("leader count(%s) = %d, want acked %d + salvaged %d",
+				k, leaderCounts[k], h.acked[k], h.failedApplied[k])
+		}
+		if followerCounts[k] != leaderCounts[k] {
+			t.Errorf("follower count(%s) = %d, leader has %d: replicas diverged",
+				k, followerCounts[k], leaderCounts[k])
+		}
+	}
+
+	// Byte-for-byte: every segment file present in both directories is
+	// identical. The feed serves only fsynced bytes, so not even a
+	// truncating post-fault Roll may have let the mirror diverge.
+	compareSegments(t, leaderDir, followerDir)
+
+	// Stop both planes, then reopen the leader's directory cold: recovery
+	// must replay exactly the acknowledged multiset — acked writes survived
+	// every fault, and nothing the faults rejected leaked back in.
+	fts.Close()
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lts.Close()
+	if err := leader.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reborn, err := server.New(server.Config{Capacity: 4096, WALPath: leaderDir})
+	if err != nil {
+		t.Fatalf("reopen after chaos: %v", err)
+	}
+	rts := httptest.NewServer(reborn)
+	defer rts.Close()
+	defer reborn.Close()
+	rebornCounts := h.counts(rts)
+	for _, k := range chaosKeys {
+		if rebornCounts[k] < h.acked[k] {
+			t.Errorf("reopened count(%s) = %d < acked %d: acked-write loss",
+				k, rebornCounts[k], h.acked[k])
+		}
+		if rebornCounts[k] != expected(k) {
+			t.Errorf("reopened count(%s) = %d, want acked %d + salvaged %d",
+				k, rebornCounts[k], h.acked[k], h.failedApplied[k])
+		}
+	}
+}
+
+// compareSegments asserts every WAL segment file present in both dirs holds
+// identical bytes. The mirror may hold fewer files (bootstrap skipped pruned
+// history) but never different ones.
+func compareSegments(t *testing.T, leaderDir, followerDir string) {
+	t.Helper()
+	entries, err := os.ReadDir(leaderDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compared := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		fb, err := os.ReadFile(filepath.Join(followerDir, name))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := os.ReadFile(filepath.Join(leaderDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(lb, fb) {
+			t.Errorf("segment %s diverged: leader %d bytes, follower %d bytes", name, len(lb), len(fb))
+		}
+		compared++
+	}
+	if compared == 0 {
+		t.Fatal("no common segment files to compare; harness lost the mirror entirely")
+	}
+	t.Logf("compared %d common segment files byte-for-byte", compared)
+}

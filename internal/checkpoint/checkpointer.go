@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"context"
+	"math/rand/v2"
 	"runtime/pprof"
 	"sync"
 	"sync/atomic"
@@ -64,15 +65,11 @@ func (c *Checkpointer) loop() {
 	if poll <= 0 || (c.pol.EveryBytes > 0 && poll > bytePoll) {
 		poll = bytePoll
 	}
-	// After a failed checkpoint (full disk, usually), hold off before
-	// retrying: each attempt rotates the log first, so retrying on every
-	// poll tick would spray near-empty segment files while making the
-	// disk-pressure failure worse.
-	const failureBackoff = 5 * time.Second
 	ticker := time.NewTicker(poll)
 	defer ticker.Stop()
 	last := time.Now()
 	var notBefore time.Time
+	failures := 0
 	for {
 		select {
 		case <-c.stop:
@@ -94,9 +91,35 @@ func (c *Checkpointer) loop() {
 		c.lastErr.Store(errBox{err: err})
 		last = time.Now()
 		if err != nil {
-			notBefore = last.Add(failureBackoff)
+			failures++
+			notBefore = last.Add(retryBackoff(failures))
+		} else {
+			failures = 0
 		}
 	}
+}
+
+// Retry backoff after failed checkpoints (full or failing disk, usually).
+// Each attempt rotates the log first, so retrying on every poll tick would
+// spray near-empty segment files while making the disk-pressure failure
+// worse. The delay doubles per consecutive failure from retryBase up to
+// retryCap, jittered into [d/2, d) so a fleet of nodes that all hit the same
+// fault does not retry in lockstep.
+const (
+	retryBase = 1 * time.Second
+	retryCap  = 30 * time.Second
+)
+
+func retryBackoff(failures int) time.Duration {
+	d := retryBase
+	for i := 1; i < failures && d < retryCap; i++ {
+		d *= 2
+	}
+	if d > retryCap {
+		d = retryCap
+	}
+	half := d / 2
+	return half + rand.N(d-half)
 }
 
 // LastError returns the outcome of the most recent background checkpoint

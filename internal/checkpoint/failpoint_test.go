@@ -1,0 +1,146 @@
+package checkpoint_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"sprofile/internal/checkpoint"
+	"sprofile/internal/failpoint"
+)
+
+// tryCheckpoint runs one checkpoint and returns its error instead of failing
+// the test — the fault-injection tests assert on the failure.
+func tryCheckpoint(s *checkpoint.Store, f *fakeProfile) error {
+	return s.Checkpoint(func() (*checkpoint.State, uint64, error) {
+		sealed, err := s.Rotate()
+		if err != nil {
+			return nil, 0, err
+		}
+		return f.state(), sealed, nil
+	})
+}
+
+func listTmp(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tmp []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			tmp = append(tmp, e.Name())
+		}
+	}
+	return tmp
+}
+
+// failedCheckpointScenario drives the shared shape of the snapshot-protocol
+// fault tests: checkpoint once cleanly, append more, arm the given failpoint,
+// assert the next checkpoint fails with wantErr (when non-nil) while leaving
+// no .tmp debris and keeping the previous snapshot authoritative, then prove
+// recovery still reproduces every acknowledged record and the next checkpoint
+// succeeds.
+func failedCheckpointScenario(t *testing.T, site, spec string, wantErr error) {
+	t.Cleanup(failpoint.DisableAll)
+	dir := filepath.Join(t.TempDir(), "store")
+	s, f, _ := reopen(t, dir)
+	appendN(t, s, f, "a", "b", "a")
+	doCheckpoint(t, s, f)
+	seqBefore, _ := s.SnapshotMeta()
+	appendN(t, s, f, "c", "a")
+
+	if err := failpoint.Enable(site, spec); err != nil {
+		t.Fatal(err)
+	}
+	err := tryCheckpoint(s, f)
+	if err == nil {
+		t.Fatalf("checkpoint with %s=%s reported success", site, spec)
+	}
+	if wantErr != nil && !errors.Is(err, wantErr) {
+		t.Fatalf("checkpoint error = %v, want %v", err, wantErr)
+	}
+	failpoint.DisableAll()
+
+	// The failed attempt must leave no .tmp debris and must not have
+	// advanced (or damaged) the published snapshot.
+	if tmp := listTmp(t, dir); len(tmp) != 0 {
+		t.Fatalf(".tmp debris after failed checkpoint: %v", tmp)
+	}
+	if seq, _ := s.SnapshotMeta(); seq != seqBefore {
+		t.Fatalf("snapshot seq advanced to %d across a failed checkpoint (was %d)", seq, seqBefore)
+	}
+
+	// The store keeps appending and a later checkpoint succeeds.
+	appendN(t, s, f, "d")
+	doCheckpoint(t, s, f)
+	if seq, _ := s.SnapshotMeta(); seq != seqBefore+1 {
+		t.Fatalf("snapshot seq after retry = %d, want %d", seq, seqBefore+1)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery: the newest checksum-valid snapshot plus the WAL tail must
+	// reproduce every acknowledged record, fault or no fault.
+	s2, f2, _ := reopen(t, dir)
+	defer s2.Close()
+	wantCounts(t, f2, map[string]int64{"a": 3, "b": 1, "c": 1, "d": 1})
+}
+
+func TestCheckpointENOSPCOnSnapshotWrite(t *testing.T) {
+	failedCheckpointScenario(t, "checkpoint.snap.write", "error(enospc)", syscall.ENOSPC)
+}
+
+func TestCheckpointENOSPCOnSnapshotSync(t *testing.T) {
+	failedCheckpointScenario(t, "checkpoint.snap.sync", "error(enospc):count=1", syscall.ENOSPC)
+}
+
+func TestCheckpointTornSnapshotWrite(t *testing.T) {
+	// The torn write persists half the snapshot bytes before erroring; the
+	// protocol must treat it like any failure — remove the temp file, keep
+	// the previous snapshot authoritative.
+	failedCheckpointScenario(t, "checkpoint.snap.write", "torn:count=1", syscall.EIO)
+}
+
+func TestCheckpointRenameFailure(t *testing.T) {
+	failedCheckpointScenario(t, "checkpoint.rename", "error(eio):count=1", syscall.EIO)
+}
+
+func TestCheckpointOpenFailure(t *testing.T) {
+	failedCheckpointScenario(t, "checkpoint.snap.open", "error(enospc):count=1", syscall.ENOSPC)
+}
+
+// TestCrashDebrisTmpIsReaped simulates the crash window a failpoint cannot
+// reach in-process — the process dying between writing the temp file and the
+// error-path cleanup — and proves recovery reaps the orphaned .tmp while
+// ignoring it for snapshot selection (it never counts as a snapshot).
+func TestCrashDebrisTmpIsReaped(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s, f, _ := reopen(t, dir)
+	appendN(t, s, f, "a", "b")
+	doCheckpoint(t, s, f)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A half-written snapshot temp file, as a crash mid-checkpoint leaves it.
+	debris := filepath.Join(dir, checkpoint.SnapshotName(99)+".tmp")
+	if err := os.WriteFile(debris, []byte("half a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, f2, _ := reopen(t, dir)
+	defer s2.Close()
+	wantCounts(t, f2, map[string]int64{"a": 1, "b": 1})
+	if seq, _ := s2.SnapshotMeta(); seq != 1 {
+		t.Fatalf("snapshot seq = %d, want 1 (debris must not count as a snapshot)", seq)
+	}
+	if tmp := listTmp(t, dir); len(tmp) != 0 {
+		t.Fatalf(".tmp debris survived recovery: %v", tmp)
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sprofile/internal/failpoint"
+	"sprofile/internal/failpoint/failfs"
 	"sprofile/internal/wal"
 )
 
@@ -357,6 +359,25 @@ func (s *Store) Fsyncs() uint64 { return s.log.Fsyncs() }
 // Sync makes every appended record durable (group commit; see wal.Dir.Sync).
 func (s *Store) Sync() error { return s.log.Sync() }
 
+// SyncError returns the sticky I/O error poisoning the WAL append head, or
+// nil while it is healthy (or not yet open); see wal.Dir.SyncError.
+func (s *Store) SyncError() error {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.SyncError()
+}
+
+// Roll recovers a poisoned WAL append head onto a fresh segment, restoring
+// append service once the disk accepts writes again; see wal.Dir.Roll. On a
+// healthy log it is a no-op.
+func (s *Store) Roll() error {
+	if s.log == nil {
+		return errors.New("checkpoint: store is not open for appending")
+	}
+	return s.log.Roll()
+}
+
 // TailBytes returns the approximate size of the log tail not yet covered by
 // a snapshot — the input to a size-based checkpoint trigger.
 func (s *Store) TailBytes() int64 {
@@ -413,7 +434,10 @@ func (s *Store) checkpoint(capture func() (*State, uint64, error)) error {
 
 	final := filepath.Join(s.dir, snapName(seq))
 	tmp := final + tmpSuffix
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	// The temp file runs through failfs so chaos tests can inject ENOSPC,
+	// torn writes and fsync failures into every step of the temp + fsync +
+	// rename publication protocol.
+	f, err := failfs.OpenFile("checkpoint.snap", tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -428,6 +452,10 @@ func (s *Store) checkpoint(capture func() (*State, uint64, error)) error {
 		return err
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := failpoint.Inject("checkpoint.rename"); err != nil {
 		os.Remove(tmp)
 		return err
 	}
@@ -581,17 +609,13 @@ func (s *Store) LastCheckpoint() time.Time {
 // appending.
 func (s *Store) AppendSegmentID() uint64 { return s.log.SegmentID() }
 
-// AppendPosition reports the append head's position: the current segment and
-// its size on disk (bytes flushed so far). Every acknowledged record lies at
-// or below it; a reader that has mirrored up to this position has everything
-// the leader has made durable.
+// AppendPosition reports the durable append position: the current segment
+// and the byte offset covered by the last completed fsync. A reader that has
+// mirrored up to this position has everything the leader has made durable —
+// and nothing more, so a post-failure Roll (which truncates the segment back
+// to this offset) can never invalidate bytes a reader already fetched.
 func (s *Store) AppendPosition() wal.Position {
-	seg := s.log.SegmentID()
-	pos := wal.Position{Segment: seg}
-	if fi, err := os.Stat(filepath.Join(s.dir, wal.SegmentName(seg))); err == nil {
-		pos.Offset = fi.Size()
-	}
-	return pos
+	return s.log.SyncedPosition()
 }
 
 // SegmentCount counts the WAL segment files currently in the directory — an

@@ -1,0 +1,81 @@
+// Package failfs wraps *os.File behind failpoint injection sites so the WAL
+// and checkpoint layers can have disk faults — fsync errors, ENOSPC, short
+// (torn) writes, slow I/O — injected without touching a real flaky disk.
+//
+// Every wrapper carries a site prefix; operations evaluate derived sites:
+//
+//	<prefix>.open    OpenFile / Create
+//	<prefix>.write   Write / WriteAt
+//	<prefix>.sync    Sync
+//
+// When no failpoint is armed the wrappers cost one atomic load per call and
+// delegate straight to the os package.
+package failfs
+
+import (
+	"io/fs"
+	"os"
+
+	"sprofile/internal/failpoint"
+)
+
+// File is the subset of *os.File the WAL and checkpoint layers use. Both a
+// raw *os.File and the failpoint-injecting wrapper satisfy it.
+type File interface {
+	Read(p []byte) (int, error)
+	ReadAt(p []byte, off int64) (int, error)
+	Write(p []byte) (int, error)
+	Seek(offset int64, whence int) (int64, error)
+	Sync() error
+	Close() error
+	Truncate(size int64) error
+	Stat() (fs.FileInfo, error)
+	Name() string
+}
+
+// file wraps an *os.File with injection at the prefix-derived sites.
+type file struct {
+	*os.File
+	writeSite string
+	syncSite  string
+}
+
+// OpenFile is os.OpenFile with injection at <prefix>.open, returning a File
+// whose writes and syncs evaluate <prefix>.write and <prefix>.sync.
+func OpenFile(prefix, name string, flag int, perm os.FileMode) (File, error) {
+	if err := failpoint.Inject(prefix + ".open"); err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(prefix, f), nil
+}
+
+// Wrap places an already-open *os.File behind <prefix>.write / <prefix>.sync
+// injection.
+func Wrap(prefix string, f *os.File) File {
+	return &file{File: f, writeSite: prefix + ".write", syncSite: prefix + ".sync"}
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	n, inj := failpoint.InjectWrite(f.writeSite, len(p))
+	if inj != nil {
+		// A torn write persists the surviving prefix for real before the
+		// error surfaces, so the bytes on disk look like a crashed write.
+		written := 0
+		if n > 0 {
+			written, _ = f.File.Write(p[:n])
+		}
+		return written, &os.PathError{Op: "write", Path: f.File.Name(), Err: inj}
+	}
+	return f.File.Write(p)
+}
+
+func (f *file) Sync() error {
+	if err := failpoint.Inject(f.syncSite); err != nil {
+		return &os.PathError{Op: "sync", Path: f.File.Name(), Err: err}
+	}
+	return f.File.Sync()
+}

@@ -1,0 +1,391 @@
+// Package failpoint is the fault-injection registry behind sprofile's
+// robustness testing: named injection sites threaded through every I/O layer
+// (WAL appends and fsyncs, checkpoint snapshot writes, replication fetches,
+// client requests) that normally do nothing, but can be armed at runtime
+// with a policy — return an error, inject ENOSPC, delay, tear a write,
+// synthesize an HTTP failure, or panic — for a bounded number of triggers.
+//
+// The cardinal constraint is zero overhead when disabled: an unarmed
+// process pays ONE atomic load per site evaluation (the global armed
+// counter), no map lookup, no allocation, no lock. Production binaries keep
+// the sites compiled in; they are inert until armed.
+//
+// Arming happens three ways:
+//
+//   - tests call Enable/Disable directly;
+//   - the SPROFILE_FAILPOINTS environment variable arms sites at process
+//     start ("wal.sync=error(enospc):count=3;replication.fetch=delay(50ms)");
+//   - debug builds of the server expose POST /v1/admin/failpoint (guarded by
+//     an explicit opt-in flag; see internal/server).
+//
+// Policy spec grammar (the string form used by env and HTTP activation):
+//
+//	spec     = kind [ ":" modifier ]...
+//	kind     = "error(" reason ")"      reason: enospc | eio | free text
+//	         | "delay(" duration ")"    e.g. delay(50ms)
+//	         | "torn"                   short write: half the bytes, then EIO
+//	         | "http(" status ")"       RoundTripper sites: synthesized answer
+//	         | "drop"                   RoundTripper sites: connection error
+//	         | "panic"
+//	modifier = "count=" n               trigger at most n times, then disarm
+//	         | "skip=" n                pass the first n evaluations through
+//	         | "p=" float               trigger with this probability
+//
+// Every trigger increments the sprofile_failpoint_triggered_total{site}
+// metric family, so a chaos run can assert how many faults were actually
+// injected.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"sprofile/internal/metrics"
+)
+
+// Kind enumerates what an armed site does when it triggers.
+type Kind int
+
+const (
+	// KindError makes the site return its configured error.
+	KindError Kind = iota
+	// KindDelay makes the site sleep, then proceed normally.
+	KindDelay
+	// KindTorn makes a write site persist only a prefix of the buffer and
+	// then fail with EIO — a torn write. Non-write sites treat it as EIO.
+	KindTorn
+	// KindHTTP makes a RoundTripper site synthesize a response with the
+	// configured status code instead of forwarding the request.
+	KindHTTP
+	// KindDrop makes a RoundTripper site fail with a connection error
+	// without sending anything. Non-transport sites treat it as ECONNRESET.
+	KindDrop
+	// KindPanic makes the site panic — the hammer for testing the
+	// panic-recovery middleware and crash paths.
+	KindPanic
+)
+
+// Policy is one armed site's behaviour.
+type Policy struct {
+	Kind  Kind
+	Err   error         // KindError: the injected error
+	Delay time.Duration // KindDelay: how long to sleep
+	Code  int           // KindHTTP: synthesized status code
+
+	// Skip passes the first Skip evaluations through untriggered.
+	Skip int64
+	// Count disarms the site after this many triggers (0 = unlimited).
+	Count int64
+	// P triggers with this probability per evaluation (0 or 1 = always).
+	P float64
+}
+
+// site is one armed site's live state.
+type site struct {
+	pol       Policy
+	evals     atomic.Int64 // evaluations since arming (for Skip)
+	triggered atomic.Int64 // triggers since arming (for Count)
+	rng       *rand.Rand   // non-nil only with P in (0,1)
+	rngMu     sync.Mutex
+}
+
+var (
+	// armed counts armed sites; the disabled fast path is one load of it.
+	armed atomic.Int64
+
+	mu    sync.Mutex
+	sites sync.Map // site name → *site
+
+	// triggered counts every injected fault process-wide; unlike the
+	// per-site counts it survives disarming, so a chaos run can assert its
+	// total fault volume after clearing the schedule.
+	triggered atomic.Int64
+
+	mTriggered = metrics.Default().CounterVec("sprofile_failpoint_triggered_total",
+		"Faults injected, by failpoint site.", "site")
+)
+
+// Active reports whether any site is armed. Wrappers on hot paths use it to
+// skip per-call bookkeeping entirely; it is the same single atomic load
+// Inject's fast path performs.
+func Active() bool { return armed.Load() > 0 }
+
+// ErrInjected is the base of free-text injected errors, so tests can assert
+// errors.Is(err, failpoint.ErrInjected) without matching message strings.
+var ErrInjected = errors.New("failpoint: injected fault")
+
+// injectedError tags a free-text injection under ErrInjected.
+type injectedError struct{ msg string }
+
+func (e *injectedError) Error() string { return e.msg }
+func (e *injectedError) Unwrap() error { return ErrInjected }
+
+// ParsePolicy parses the spec grammar documented on the package.
+func ParsePolicy(spec string) (Policy, error) {
+	parts := strings.Split(spec, ":")
+	var p Policy
+	kind := strings.TrimSpace(parts[0])
+	arg := ""
+	if i := strings.IndexByte(kind, '('); i >= 0 {
+		if !strings.HasSuffix(kind, ")") {
+			return p, fmt.Errorf("failpoint: malformed kind %q", kind)
+		}
+		arg = kind[i+1 : len(kind)-1]
+		kind = kind[:i]
+	}
+	switch kind {
+	case "error":
+		p.Kind = KindError
+		switch strings.ToLower(arg) {
+		case "", "eio":
+			p.Err = syscall.EIO
+		case "enospc":
+			p.Err = syscall.ENOSPC
+		default:
+			p.Err = &injectedError{msg: "failpoint: " + arg}
+		}
+	case "delay":
+		p.Kind = KindDelay
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			return p, fmt.Errorf("failpoint: delay needs a duration, got %q", arg)
+		}
+		p.Delay = d
+	case "torn":
+		p.Kind = KindTorn
+		p.Err = syscall.EIO
+	case "http":
+		p.Kind = KindHTTP
+		code, err := strconv.Atoi(arg)
+		if err != nil || code < 100 || code > 599 {
+			return p, fmt.Errorf("failpoint: http needs a status code, got %q", arg)
+		}
+		p.Code = code
+	case "drop":
+		p.Kind = KindDrop
+		p.Err = syscall.ECONNRESET
+	case "panic":
+		p.Kind = KindPanic
+	default:
+		return p, fmt.Errorf("failpoint: unknown kind %q", kind)
+	}
+	for _, mod := range parts[1:] {
+		k, v, ok := strings.Cut(strings.TrimSpace(mod), "=")
+		if !ok {
+			return p, fmt.Errorf("failpoint: malformed modifier %q", mod)
+		}
+		switch k {
+		case "count":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n <= 0 {
+				return p, fmt.Errorf("failpoint: count needs a positive integer, got %q", v)
+			}
+			p.Count = n
+		case "skip":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				return p, fmt.Errorf("failpoint: skip needs a non-negative integer, got %q", v)
+			}
+			p.Skip = n
+		case "p":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				return p, fmt.Errorf("failpoint: p needs a probability in [0,1], got %q", v)
+			}
+			p.P = f
+		default:
+			return p, fmt.Errorf("failpoint: unknown modifier %q", k)
+		}
+	}
+	return p, nil
+}
+
+// Enable arms name with the parsed spec, replacing any previous policy.
+func Enable(name, spec string) error {
+	pol, err := ParsePolicy(spec)
+	if err != nil {
+		return err
+	}
+	EnablePolicy(name, pol)
+	return nil
+}
+
+// EnablePolicy arms name with pol, replacing any previous policy.
+func EnablePolicy(name string, pol Policy) {
+	s := &site{pol: pol}
+	if pol.P > 0 && pol.P < 1 {
+		s.rng = rand.New(rand.NewSource(rand.Int63()))
+	}
+	mu.Lock()
+	_, existed := sites.Load(name)
+	sites.Store(name, s)
+	if !existed {
+		armed.Add(1)
+	}
+	mu.Unlock()
+}
+
+// Disable disarms name; disarming an unarmed site is a no-op.
+func Disable(name string) {
+	mu.Lock()
+	if _, existed := sites.Load(name); existed {
+		sites.Delete(name)
+		armed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// DisableAll disarms every site. Tests call it in cleanup so one test's
+// faults never leak into the next.
+func DisableAll() {
+	mu.Lock()
+	sites.Range(func(k, _ any) bool {
+		sites.Delete(k)
+		armed.Add(-1)
+		return true
+	})
+	mu.Unlock()
+}
+
+// List returns the armed sites and how often each has triggered, sorted by
+// name — the document behind GET /v1/admin/failpoint.
+func List() []Status {
+	var out []Status
+	sites.Range(func(k, v any) bool {
+		s := v.(*site)
+		out = append(out, Status{Site: k.(string), Triggered: s.triggered.Load()})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// Status describes one armed site.
+type Status struct {
+	Site      string `json:"site"`
+	Triggered int64  `json:"triggered"`
+}
+
+// TriggeredTotal returns how many faults this process has injected across
+// all sites since it started, including sites since disarmed. The chaos
+// harness snapshots it around a fault schedule to assert a minimum injected
+// volume; per-site counts (which reset on disarm) are in List.
+func TriggeredTotal() int64 { return triggered.Load() }
+
+// eval resolves whether site name triggers right now and with what policy.
+// The caller has already checked armed > 0.
+func eval(name string) (Policy, bool) {
+	v, ok := sites.Load(name)
+	if !ok {
+		return Policy{}, false
+	}
+	s := v.(*site)
+	if s.evals.Add(1) <= s.pol.Skip {
+		return Policy{}, false
+	}
+	if s.rng != nil {
+		s.rngMu.Lock()
+		miss := s.rng.Float64() >= s.pol.P
+		s.rngMu.Unlock()
+		if miss {
+			return Policy{}, false
+		}
+	}
+	if s.pol.Count > 0 {
+		if s.triggered.Add(1) > s.pol.Count {
+			Disable(name)
+			return Policy{}, false
+		}
+	} else {
+		s.triggered.Add(1)
+	}
+	triggered.Add(1)
+	mTriggered.With(name).Inc()
+	return s.pol, true
+}
+
+// Inject evaluates site name: nil when unarmed (the common case — one atomic
+// load), otherwise the armed policy's error after any configured delay.
+// KindTorn and KindDrop surface as their errors here; write paths that can
+// honour torn semantics properly use InjectWrite instead.
+func Inject(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	pol, ok := eval(name)
+	if !ok {
+		return nil
+	}
+	switch pol.Kind {
+	case KindDelay:
+		time.Sleep(pol.Delay)
+		return nil
+	case KindHTTP:
+		return &injectedError{msg: fmt.Sprintf("failpoint: injected http %d", pol.Code)}
+	case KindPanic:
+		panic(fmt.Sprintf("failpoint: injected panic at %s", name))
+	default:
+		return pol.Err
+	}
+}
+
+// InjectWrite evaluates a write site against a buffer of n bytes. It returns
+// how many bytes the caller should actually hand to the real write (n when
+// untriggered) and the error to report afterwards. A torn policy keeps a
+// prefix — half the buffer — so the stream ends mid-record exactly as a
+// crashed disk would leave it.
+func InjectWrite(name string, n int) (int, error) {
+	if armed.Load() == 0 {
+		return n, nil
+	}
+	pol, ok := eval(name)
+	if !ok {
+		return n, nil
+	}
+	switch pol.Kind {
+	case KindDelay:
+		time.Sleep(pol.Delay)
+		return n, nil
+	case KindTorn:
+		return n / 2, pol.Err
+	case KindPanic:
+		panic(fmt.Sprintf("failpoint: injected panic at %s", name))
+	case KindHTTP:
+		return 0, &injectedError{msg: fmt.Sprintf("failpoint: injected http %d", pol.Code)}
+	default:
+		return 0, pol.Err
+	}
+}
+
+// EnvVar names the environment variable arming failpoints at process start.
+const EnvVar = "SPROFILE_FAILPOINTS"
+
+// ParseEnv arms every site of a semicolon-separated env specification
+// ("site=spec;site=spec"). Unparseable entries are returned as one error
+// after the valid ones are armed.
+func ParseEnv(env string) error {
+	var errs []error
+	for _, entry := range strings.Split(env, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(entry, "=")
+		if !ok {
+			errs = append(errs, fmt.Errorf("failpoint: malformed entry %q", entry))
+			continue
+		}
+		if err := Enable(strings.TrimSpace(name), strings.TrimSpace(spec)); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,250 @@
+package failpoint
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    Policy
+		wantErr bool
+	}{
+		{spec: "error(enospc)", want: Policy{Kind: KindError, Err: syscall.ENOSPC}},
+		{spec: "error(eio)", want: Policy{Kind: KindError, Err: syscall.EIO}},
+		{spec: "error()", want: Policy{Kind: KindError, Err: syscall.EIO}},
+		{spec: "delay(50ms)", want: Policy{Kind: KindDelay, Delay: 50 * time.Millisecond}},
+		{spec: "torn", want: Policy{Kind: KindTorn, Err: syscall.EIO}},
+		{spec: "http(503)", want: Policy{Kind: KindHTTP, Code: 503}},
+		{spec: "drop", want: Policy{Kind: KindDrop, Err: syscall.ECONNRESET}},
+		{spec: "panic", want: Policy{Kind: KindPanic}},
+		{spec: "error(enospc):count=3:skip=2", want: Policy{Kind: KindError, Err: syscall.ENOSPC, Count: 3, Skip: 2}},
+		{spec: "error(eio):p=0.5", want: Policy{Kind: KindError, Err: syscall.EIO, P: 0.5}},
+		{spec: "bogus", wantErr: true},
+		{spec: "delay(xyz)", wantErr: true},
+		{spec: "http(9999)", wantErr: true},
+		{spec: "error(eio):count=0", wantErr: true},
+		{spec: "error(eio):p=1.5", wantErr: true},
+		{spec: "error(eio):nonsense", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := ParsePolicy(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParsePolicy(%q): want error, got %+v", tc.spec, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", tc.spec, err)
+			continue
+		}
+		if got.Kind != tc.want.Kind || got.Delay != tc.want.Delay || got.Code != tc.want.Code ||
+			got.Count != tc.want.Count || got.Skip != tc.want.Skip || got.P != tc.want.P {
+			t.Errorf("ParsePolicy(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+		if tc.want.Err != nil && !errors.Is(got.Err, tc.want.Err) {
+			t.Errorf("ParsePolicy(%q).Err = %v, want %v", tc.spec, got.Err, tc.want.Err)
+		}
+	}
+}
+
+func TestInjectDisabledIsNil(t *testing.T) {
+	DisableAll()
+	if err := Inject("never.armed"); err != nil {
+		t.Fatalf("unarmed Inject returned %v", err)
+	}
+	if Active() {
+		t.Fatal("Active() true with no sites armed")
+	}
+}
+
+func TestErrorInjectionAndCount(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("t.site", "error(enospc):count=2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := Inject("t.site"); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("trigger %d: got %v, want ENOSPC", i, err)
+		}
+	}
+	// Exhausting count disarms the site entirely.
+	if err := Inject("t.site"); err != nil {
+		t.Fatalf("after count exhausted: got %v, want nil", err)
+	}
+	if Active() {
+		t.Fatal("site should have self-disarmed after count")
+	}
+}
+
+func TestSkipModifier(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("t.skip", "error(eio):skip=3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := Inject("t.skip"); err != nil {
+			t.Fatalf("eval %d should have been skipped, got %v", i, err)
+		}
+	}
+	if err := Inject("t.skip"); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("post-skip eval: got %v, want EIO", err)
+	}
+}
+
+func TestInjectWriteTorn(t *testing.T) {
+	t.Cleanup(DisableAll)
+	if err := Enable("t.torn", "torn:count=1"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := InjectWrite("t.torn", 100)
+	if n != 50 || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("torn write: n=%d err=%v, want n=50 err=EIO", n, err)
+	}
+	n, err = InjectWrite("t.torn", 100)
+	if n != 100 || err != nil {
+		t.Fatalf("after count: n=%d err=%v, want full write", n, err)
+	}
+}
+
+func TestListAndTriggeredTotal(t *testing.T) {
+	t.Cleanup(DisableAll)
+	before := TriggeredTotal()
+	Enable("a.site", "error(eio)")
+	Enable("b.site", "error(eio)")
+	Inject("a.site")
+	Inject("a.site")
+	Inject("b.site")
+	st := List()
+	if len(st) != 2 || st[0].Site != "a.site" || st[0].Triggered != 2 || st[1].Site != "b.site" || st[1].Triggered != 1 {
+		t.Fatalf("List() = %+v", st)
+	}
+	if got := TriggeredTotal() - before; got != 3 {
+		t.Fatalf("TriggeredTotal() grew by %d, want 3", got)
+	}
+	// The total is cumulative: disarming forgets per-site counts but not the
+	// process-wide volume.
+	DisableAll()
+	if got := TriggeredTotal() - before; got != 3 {
+		t.Fatalf("TriggeredTotal() after disarm grew by %d, want 3", got)
+	}
+}
+
+func TestParseEnv(t *testing.T) {
+	t.Cleanup(DisableAll)
+	err := ParseEnv("a.env=error(enospc); b.env=delay(1ms) ;;bad-entry;c.env=bogus")
+	if err == nil {
+		t.Fatal("want error for malformed entries")
+	}
+	// Valid entries still armed despite the invalid ones.
+	if err := Inject("a.env"); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("a.env not armed: %v", err)
+	}
+	if err := Inject("b.env"); err != nil {
+		t.Fatalf("b.env delay should not error: %v", err)
+	}
+}
+
+func TestPanicPolicy(t *testing.T) {
+	t.Cleanup(DisableAll)
+	Enable("t.panic", "panic")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Inject("t.panic")
+}
+
+func TestTransportHTTPAndDrop(t *testing.T) {
+	t.Cleanup(DisableAll)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "real body")
+	}))
+	defer srv.Close()
+
+	hc := &http.Client{Transport: RoundTripper("t.rt", nil)}
+
+	// Unarmed: passes through.
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "real body" {
+		t.Fatalf("passthrough body = %q", body)
+	}
+
+	// http(503): synthesized locally.
+	Enable("t.rt", "http(503):count=1")
+	resp, err = hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("synthesized status = %d, want 503", resp.StatusCode)
+	}
+
+	// drop: connection-level error.
+	Enable("t.rt", "drop:count=1")
+	if _, err = hc.Get(srv.URL); err == nil {
+		t.Fatal("drop policy: want transport error")
+	}
+}
+
+func TestTransportTornBody(t *testing.T) {
+	t.Cleanup(DisableAll)
+	payload := strings.Repeat("x", 1024)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer srv.Close()
+
+	hc := &http.Client{Transport: RoundTripper("t.torn.rt", nil)}
+	Enable("t.torn.rt", "torn:count=1")
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn body read err = %v, want ErrUnexpectedEOF", err)
+	}
+	if len(body) >= len(payload) {
+		t.Fatalf("torn body delivered %d bytes of %d — not truncated", len(body), len(payload))
+	}
+}
+
+// BenchmarkInjectDisabled pins the acceptance criterion that an unarmed site
+// costs no more than one atomic load: the loop body must not allocate and
+// must stay in the single-nanosecond range.
+func BenchmarkInjectDisabled(b *testing.B) {
+	DisableAll()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Inject("bench.site"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInjectWriteDisabled(b *testing.B) {
+	DisableAll()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if n, err := InjectWrite("bench.site", 4096); n != 4096 || err != nil {
+			b.Fatal(n, err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package failpoint
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Transport wraps an http.RoundTripper with injection at a named site, the
+// seam the replication follower and the client SDK run their requests
+// through. Policies map onto transport behaviour:
+//
+//	error(...)   the round trip fails with the injected error (a drop
+//	             after the request may already have been sent — the
+//	             "ack lost" case clients must reason about)
+//	drop         same, with ECONNRESET specifically
+//	delay(d)     the request is held for d, then forwarded
+//	http(code)   a response with the given status is synthesized locally;
+//	             the request never reaches the wire (5xx bursts)
+//	torn         the request is forwarded but the response body is
+//	             truncated halfway (a torn body)
+//	panic        panics
+type Transport struct {
+	Site string
+	Base http.RoundTripper
+}
+
+// RoundTripper wraps base (or http.DefaultTransport when nil) with injection
+// at site.
+func RoundTripper(site string, base http.RoundTripper) *Transport {
+	return &Transport{Site: site, Base: base}
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if armed.Load() == 0 {
+		return t.base().RoundTrip(req)
+	}
+	pol, ok := eval(t.Site)
+	if !ok {
+		return t.base().RoundTrip(req)
+	}
+	switch pol.Kind {
+	case KindDelay:
+		timer := time.NewTimer(pol.Delay)
+		defer timer.Stop()
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+		return t.base().RoundTrip(req)
+	case KindHTTP:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return &http.Response{
+			StatusCode: pol.Code,
+			Status:     fmt.Sprintf("%d failpoint", pol.Code),
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"application/json"}},
+			Body:    io.NopCloser(strings.NewReader(`{"error":"injected","code":"failpoint"}`)),
+			Request: req,
+		}, nil
+	case KindTorn:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &tornBody{rc: resp.Body, remaining: tornBudget(resp.ContentLength)}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	case KindPanic:
+		panic(fmt.Sprintf("failpoint: injected panic at %s", t.Site))
+	default:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, pol.Err
+	}
+}
+
+// tornBudget picks how many response-body bytes survive a torn policy: half
+// the declared length, or a small fixed prefix when the length is unknown.
+func tornBudget(contentLength int64) int64 {
+	if contentLength > 0 {
+		return contentLength / 2
+	}
+	return 64
+}
+
+// tornBody forwards up to remaining bytes, then fails with an unexpected-EOF
+// style transport error — the reader sees a connection that died mid-body.
+type tornBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *tornBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if err == io.EOF && b.remaining <= 0 {
+		// The truncation point coincided with the real end; still report
+		// the tear so the caller exercises its torn-body handling.
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *tornBody) Close() error { return b.rc.Close() }

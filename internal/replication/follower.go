@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"sprofile/internal/checkpoint"
+	"sprofile/internal/failpoint"
 	"sprofile/internal/wal"
 )
 
@@ -96,7 +97,11 @@ func NewFollower(cfg Config) (*Follower, error) {
 	}
 	hc := cfg.HTTPClient
 	if hc == nil {
-		hc = http.DefaultClient
+		// The failpoint transport is a no-op (one atomic load) until the
+		// "replication.fetch" site is armed; chaos rigs use it to inject
+		// latency, drops, truncated bodies and 5xx bursts into the leader
+		// link without touching the network stack.
+		hc = &http.Client{Transport: failpoint.RoundTripper("replication.fetch", nil)}
 	}
 	f := &Follower{
 		cfg:     cfg,

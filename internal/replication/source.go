@@ -14,6 +14,7 @@
 package replication
 
 import (
+	"fmt"
 	"time"
 
 	"sprofile/internal/checkpoint"
@@ -38,13 +39,36 @@ type Source struct {
 // NewSource wraps the store backing a leader profile.
 func NewSource(store *checkpoint.Store) *Source { return &Source{store: store} }
 
-// Position returns the leader's append position: everything at or below it
-// is on disk, which includes every acknowledged write.
+// Position returns the leader's durable append position: everything at or
+// below it is fsynced, which includes every acknowledged write.
 func (s *Source) Position() wal.Position { return s.store.AppendPosition() }
 
-// Chunk reads raw log bytes at pos; see wal.ReadChunk.
+// Chunk reads raw log bytes at pos, capped at the durable frontier: bytes of
+// the current append segment that were flushed but not yet fsynced are never
+// served, because a WAL fault would let Roll truncate them away after a
+// follower had already mirrored them. Sealed segments are durable whole and
+// stream uncapped. A follower positioned past the frontier in the current
+// segment holds bytes this log no longer vouches for (a mirror taken before
+// a truncating roll, by an older leader build) and is told to re-bootstrap
+// via ErrOffsetBeyondEnd.
 func (s *Source) Chunk(pos wal.Position, maxBytes int) (wal.Chunk, error) {
-	return wal.ReadChunk(s.store.Dir(), pos, s.store.AppendSegmentID(), maxBytes)
+	if maxBytes <= 0 {
+		maxBytes = DefaultChunkBytes
+	}
+	durable := s.store.AppendPosition()
+	if pos.Segment == durable.Segment {
+		if pos.Offset > durable.Offset {
+			return wal.Chunk{}, fmt.Errorf("%w: offset %d past durable end %d in segment %d",
+				wal.ErrOffsetBeyondEnd, pos.Offset, durable.Offset, pos.Segment)
+		}
+		if pos.Offset == durable.Offset {
+			return wal.Chunk{Segment: pos.Segment, Offset: pos.Offset, Size: durable.Offset}, nil
+		}
+		if n := durable.Offset - pos.Offset; int64(maxBytes) > n {
+			maxBytes = int(n)
+		}
+	}
+	return wal.ReadChunk(s.store.Dir(), pos, durable.Segment, maxBytes)
 }
 
 // Pin leases the current snapshot for a bootstrapping follower.

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"sprofile"
+	"sprofile/internal/metrics"
+)
+
+// Degraded read-only mode.
+//
+// A WAL that hits a persistent I/O failure (failed fsync, ENOSPC, a torn
+// write) poisons itself: every further append and sync returns the sticky
+// error, so without intervention each write request would burn a full apply
+// just to fail with 500 wal_append. Instead the server flips into degraded
+// read-only mode: writes are refused up front with 503 code "degraded" and a
+// Retry-After, reads keep serving from the intact in-memory profile, and a
+// background probe tries to roll the log onto a fresh segment. The roll
+// writes and fsyncs a new segment header, so its success is proof the disk
+// accepts durable writes again — at which point the server restores write
+// service. Unsynced (never-acknowledged) records are dropped by the roll;
+// acknowledged ones are exactly the synced prefix the roll preserves.
+var mDegraded = metrics.Default().Gauge("sprofile_degraded",
+	"1 while the node refuses writes because of a write-ahead log I/O failure, 0 otherwise.")
+
+const (
+	// degradeProbeEvery is the recovery probe cadence. Each probe on a
+	// degraded node attempts one WAL roll (one small create+fsync), so the
+	// interval trades recovery latency against hammering a sick disk; a
+	// quarter second recovers well inside the advertised 5s bound.
+	degradeProbeEvery = 250 * time.Millisecond
+	// degradeRetryAfter is the Retry-After hint on degraded rejections,
+	// matching the probe cadence rounded up to the header's 1s granularity.
+	degradeRetryAfter = "1"
+)
+
+// startDegradeWatcher launches the probe loop on WAL-backed servers (and on
+// followers, whose mirror becomes an appending WAL after promote).
+func (s *Server) startDegradeWatcher() {
+	if s.walPath == "" {
+		return
+	}
+	s.degradeStop = make(chan struct{})
+	s.degradeDone = make(chan struct{})
+	go s.degradeWatch()
+}
+
+// stopDegradeWatcher stops the probe loop and waits for it; idempotent and a
+// no-op when no watcher was started.
+func (s *Server) stopDegradeWatcher() {
+	if s.degradeStop == nil {
+		return
+	}
+	s.degradeStopOnce.Do(func() { close(s.degradeStop) })
+	<-s.degradeDone
+}
+
+func (s *Server) degradeWatch() {
+	defer close(s.degradeDone)
+	ticker := time.NewTicker(degradeProbeEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.degradeStop:
+			return
+		case <-ticker.C:
+		}
+		// Resolve the profile per tick: in follower mode it swaps on
+		// rebootstrap and promote.
+		p := s.prof()
+		if p.WALError() == nil {
+			// Healthy (or the poisoned profile was swapped away); make sure
+			// the flag agrees.
+			s.setDegraded(false)
+			continue
+		}
+		s.setDegraded(true)
+		// Recovery probe: roll the log onto a fresh segment. Creating the
+		// segment fsyncs its header, so success proves the disk is taking
+		// durable writes again; failure leaves the log poisoned and we try
+		// again next tick.
+		if err := p.RollWAL(); err == nil && p.WALError() == nil {
+			s.setDegraded(false)
+		}
+	}
+}
+
+// setDegraded flips the degraded flag and its gauge, exactly once per
+// transition.
+func (s *Server) setDegraded(on bool) {
+	if on {
+		if s.degraded.CompareAndSwap(false, true) {
+			mDegraded.Set(1)
+		}
+	} else {
+		if s.degraded.CompareAndSwap(true, false) {
+			mDegraded.Set(0)
+		}
+	}
+}
+
+// degradedNow reports whether writes must be refused as degraded. The flag is
+// authoritative once set; before the watcher's next tick the WAL's own sticky
+// error is consulted so the very first request after a poisoning is already
+// rejected with the right code (one uncontended mutex acquisition).
+func (s *Server) degradedNow() bool {
+	if s.degraded.Load() {
+		return true
+	}
+	if s.walPath == "" {
+		return false
+	}
+	if s.prof().WALError() != nil {
+		s.setDegraded(true)
+		return true
+	}
+	return false
+}
+
+// rejectDegraded refuses a write while the node is degraded: 503 with wire
+// code "degraded" and a Retry-After, with nothing applied. Reads never pass
+// through here.
+func (s *Server) rejectDegraded(w http.ResponseWriter) bool {
+	if !s.degradedNow() {
+		return false
+	}
+	w.Header().Set("Retry-After", degradeRetryAfter)
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		Error: sprofile.ErrDegraded.Error(),
+		Code:  "degraded",
+	})
+	return true
+}

@@ -32,9 +32,11 @@ type rankResponse struct {
 // registerExportRoutes adds the export/import/rank endpoints; called from
 // routes().
 func (s *Server) registerExportRoutes() {
+	// Export and import stream whole-profile NDJSON bodies, so neither is
+	// deadline-wrapped (http.TimeoutHandler would buffer the export).
 	s.mux.HandleFunc("/v1/export", s.handleExport)
 	s.mux.HandleFunc("/v1/import", s.handleImport)
-	s.mux.HandleFunc("/v1/stats/rank", s.handleRank)
+	s.mux.Handle("/v1/stats/rank", s.deadlineFunc(s.handleRank))
 }
 
 // handleExport dumps every tracked object and its frequency. The document can
@@ -82,7 +84,7 @@ func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
-	if s.rejectReadOnly(w) {
+	if s.rejectReadOnly(w) || s.rejectDegraded(w) {
 		return
 	}
 	var doc exportDoc

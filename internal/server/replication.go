@@ -12,9 +12,13 @@ import (
 // serving the feed the moment it is promoted (its mirror becomes the log it
 // appends to), without any re-routing.
 func (s *Server) registerReplicationRoutes() {
+	// The snapshot transfer streams a whole checkpoint and must not be
+	// response-buffered by a deadline wrapper; the WAL feed long-polls, so
+	// its deadline is the long-poll window plus slack.
 	s.mux.HandleFunc("/v1/replication/snapshot", s.handleReplicationSnapshot)
-	s.mux.HandleFunc("/v1/replication/wal", s.handleReplicationWAL)
-	s.mux.HandleFunc("/v1/admin/promote", s.handlePromote)
+	s.mux.Handle("/v1/replication/wal",
+		s.withDeadline(s.replicationWALDeadline(), http.HandlerFunc(s.handleReplicationWAL)))
+	s.mux.Handle("/v1/admin/promote", s.deadlineFunc(s.handlePromote))
 }
 
 // replicationHandler resolves the current profile's replication feed, or nil

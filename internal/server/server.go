@@ -38,6 +38,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -45,6 +46,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sprofile"
@@ -104,6 +106,22 @@ type Config struct {
 	// AsyncMailboxDepth is the per-producer, per-shard mailbox capacity in
 	// async mode; zero selects the sprofile default (1024).
 	AsyncMailboxDepth int
+	// MaxInFlight bounds concurrently served requests; excess requests are
+	// shed at admission with 503 code "shed" and a Retry-After instead of
+	// queueing. Zero selects the default (1024); negative disables the gate.
+	// /healthz and /metrics are exempt so probes and scrapes still answer
+	// under overload.
+	MaxInFlight int
+	// RequestTimeout is the per-route response deadline; a lapsed route
+	// answers 503 code "deadline". Zero selects the default (15s); negative
+	// disables deadlines. Streaming routes (bulk ingest, export/import,
+	// replication transfers) are never bounded, and the replication
+	// long-poll route gets the long-poll window plus slack.
+	RequestTimeout time.Duration
+	// DebugFailpoints registers POST /v1/admin/failpoint, the runtime
+	// fault-injection surface. For chaos rigs and tests only — never enable
+	// it on a production node.
+	DebugFailpoints bool
 }
 
 // Server is the HTTP facade over a concurrent keyed profile. It is safe for
@@ -118,6 +136,34 @@ type Server struct {
 	walPath  string
 	maxBatch int
 	mux      *http.ServeMux
+
+	// Request-plane guard rails (middleware.go).
+	inflight        chan struct{} // admission gate; nil disables shedding
+	requestTimeout  time.Duration // per-route deadline; <= 0 disables
+	debugFailpoints bool          // register /v1/admin/failpoint
+
+	// Degraded read-only mode (degrade.go).
+	degraded        atomic.Bool
+	degradeStop     chan struct{}
+	degradeDone     chan struct{}
+	degradeStopOnce sync.Once
+}
+
+// initGuards sizes the admission gate and deadlines from cfg; shared by the
+// leader and follower constructors.
+func (s *Server) initGuards(cfg Config) {
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = defaultMaxInFlight
+	}
+	if maxInFlight > 0 {
+		s.inflight = make(chan struct{}, maxInFlight)
+	}
+	s.requestTimeout = cfg.RequestTimeout
+	if s.requestTimeout == 0 {
+		s.requestTimeout = defaultRequestTimeout
+	}
+	s.debugFailpoints = cfg.DebugFailpoints
 }
 
 // prof resolves the profile serving this request. In leader mode it is fixed;
@@ -221,7 +267,9 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.async = async
 	}
+	s.initGuards(cfg)
 	s.routes()
+	s.startDegradeWatcher()
 	return s, nil
 }
 
@@ -259,7 +307,9 @@ func newFollowerServer(cfg Config, buildOpts []sprofile.BuildOption, maxBatch in
 		maxBatch: maxBatch,
 		mux:      http.NewServeMux(),
 	}
+	s.initGuards(cfg)
 	s.routes()
+	s.startDegradeWatcher()
 	return s, nil
 }
 
@@ -275,6 +325,7 @@ func (s *Server) Recovery() sprofile.RecoveryStats { return s.prof().Recovery() 
 // one is configured. In follower mode it stops the replication loop and
 // closes the mirror.
 func (s *Server) Close() error {
+	s.stopDegradeWatcher()
 	if s.follower != nil {
 		return s.follower.Close()
 	}
@@ -284,6 +335,36 @@ func (s *Server) Close() error {
 		return s.async.Close()
 	}
 	return s.prof().Close()
+}
+
+// Shutdown is the drain-ordered stop. The listener half — stop accepting,
+// drain in-flight requests with a timeout — belongs to the http.Server
+// wrapping this handler (call its Shutdown first); this half then settles
+// the data plane in order: flush the async ingest plane so every
+// acknowledged event is applied, take a final checkpoint so the next start
+// replays (almost) nothing, and close the WAL. The final checkpoint is
+// skipped when ctx is already done or the node is degraded (the checkpoint
+// would only fail against the sick disk); every later step still runs. The
+// first error is returned, but an error never short-circuits the close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopDegradeWatcher()
+	if s.follower != nil {
+		return s.follower.Close()
+	}
+	var firstErr error
+	record := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.async != nil {
+		record(s.async.Flush())
+	}
+	if _, ok := s.prof().WALStats(); ok && ctx.Err() == nil && !s.degradedNow() {
+		record(s.prof().Checkpoint())
+	}
+	record(s.Close())
+	return firstErr
 }
 
 // Flush drains the async ingest plane and republishes the read snapshots,
@@ -302,11 +383,12 @@ func (s *Server) Flush() error {
 const HeaderMaxStaleness = "X-Sprofile-Max-Staleness-Ms"
 
 // ServeHTTP implements http.Handler. Every request passes through the metrics
-// middleware (request counter + latency histogram by route); a max-staleness
-// demand is enforced before routing, so it guards every read endpoint
-// uniformly.
+// middleware (request counter + latency histogram by route, outermost so shed
+// and timed-out requests are still observed), then the admission gate and
+// panic recovery (middleware.go); a max-staleness demand is enforced before
+// routing, so it guards every read endpoint uniformly.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.instrument(http.HandlerFunc(s.serveRouted), w, r)
+	s.instrument(http.HandlerFunc(s.serveAdmitted), w, r)
 }
 
 func (s *Server) serveRouted(w http.ResponseWriter, r *http.Request) {
@@ -334,21 +416,26 @@ func (s *Server) serveRouted(w http.ResponseWriter, r *http.Request) {
 func (s *Server) routes() {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.Handle("/metrics", sprofile.MetricsHandler())
-	s.mux.HandleFunc("/v1/events", s.handleEvents)
+	s.mux.Handle("/v1/events", s.deadlineFunc(s.handleEvents))
+	// Bulk ingest streams an unbounded NDJSON body; a deadline would also
+	// buffer the (tiny) response, and legitimate loads can run long.
 	s.mux.HandleFunc("/v1/events/bulk", s.handleBulk)
-	s.mux.HandleFunc("/v1/query", s.handleQuery)
-	s.mux.HandleFunc("/v1/admin/checkpoint", s.handleCheckpoint)
-	s.mux.HandleFunc("/v1/admin/flush", s.handleFlush)
-	s.mux.HandleFunc("/v1/stats/mode", s.handleMode)
-	s.mux.HandleFunc("/v1/stats/top", s.handleTop)
-	s.mux.HandleFunc("/v1/stats/min", s.handleMin)
-	s.mux.HandleFunc("/v1/stats/bottom", s.handleBottom)
-	s.mux.HandleFunc("/v1/stats/count", s.handleCount)
-	s.mux.HandleFunc("/v1/stats/median", s.handleMedian)
-	s.mux.HandleFunc("/v1/stats/quantile", s.handleQuantile)
-	s.mux.HandleFunc("/v1/stats/majority", s.handleMajority)
-	s.mux.HandleFunc("/v1/stats/distribution", s.handleDistribution)
-	s.mux.HandleFunc("/v1/stats/summary", s.handleSummary)
+	s.mux.Handle("/v1/query", s.deadlineFunc(s.handleQuery))
+	s.mux.Handle("/v1/admin/checkpoint", s.deadlineFunc(s.handleCheckpoint))
+	s.mux.Handle("/v1/admin/flush", s.deadlineFunc(s.handleFlush))
+	if s.debugFailpoints {
+		s.mux.Handle("/v1/admin/failpoint", s.deadlineFunc(s.handleFailpoint))
+	}
+	s.mux.Handle("/v1/stats/mode", s.deadlineFunc(s.handleMode))
+	s.mux.Handle("/v1/stats/top", s.deadlineFunc(s.handleTop))
+	s.mux.Handle("/v1/stats/min", s.deadlineFunc(s.handleMin))
+	s.mux.Handle("/v1/stats/bottom", s.deadlineFunc(s.handleBottom))
+	s.mux.Handle("/v1/stats/count", s.deadlineFunc(s.handleCount))
+	s.mux.Handle("/v1/stats/median", s.deadlineFunc(s.handleMedian))
+	s.mux.Handle("/v1/stats/quantile", s.deadlineFunc(s.handleQuantile))
+	s.mux.Handle("/v1/stats/majority", s.deadlineFunc(s.handleMajority))
+	s.mux.Handle("/v1/stats/distribution", s.deadlineFunc(s.handleDistribution))
+	s.mux.Handle("/v1/stats/summary", s.deadlineFunc(s.handleSummary))
 	s.registerExportRoutes()
 	s.registerReplicationRoutes()
 }
@@ -409,11 +496,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 //	cap_exceeded                                → 507 Insufficient Storage
 //	wal_append (applied but not journaled)      → 500 Internal Server Error
 //	read_only, stale_read (replication)         → 503 Service Unavailable
+//	degraded (WAL I/O failure, writes refused)  → 503 Service Unavailable
+//	shed (admission gate at max in-flight)      → 503 Service Unavailable
 //	backpressure (async mailbox full)           → 429 Too Many Requests
 func errorCode(err error) (int, string) {
 	switch {
 	case errors.Is(err, sprofile.ErrBackpressure):
 		return http.StatusTooManyRequests, "backpressure"
+	case errors.Is(err, sprofile.ErrDegraded):
+		return http.StatusServiceUnavailable, "degraded"
+	case errors.Is(err, sprofile.ErrShed):
+		return http.StatusServiceUnavailable, "shed"
 	case errors.Is(err, sprofile.ErrReadOnly):
 		return http.StatusServiceUnavailable, "read_only"
 	case errors.Is(err, sprofile.ErrStaleRead):
@@ -460,10 +553,14 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 // setRetryHint attaches a Retry-After to transient rejections: async
-// backpressure clears as soon as the appliers drain a mailbox slot, so the
-// hint is the minimum expressible (one second).
+// backpressure clears as soon as the appliers drain a mailbox slot, shedding
+// as soon as an in-flight request finishes, and degradation as soon as the
+// recovery probe rolls the log — all within the header's minimum expressible
+// hint (one second).
 func setRetryHint(w http.ResponseWriter, err error) {
-	if errors.Is(err, sprofile.ErrBackpressure) {
+	if errors.Is(err, sprofile.ErrBackpressure) ||
+		errors.Is(err, sprofile.ErrDegraded) ||
+		errors.Is(err, sprofile.ErrShed) {
 		w.Header().Set("Retry-After", "1")
 	}
 }
@@ -536,6 +633,8 @@ type healthResponse struct {
 	UptimeSeconds   float64                     `json:"uptime_seconds"`
 	Version         string                      `json:"version"`
 	Commit          string                      `json:"commit"`
+	Degraded        bool                        `json:"degraded"`
+	WALError        string                      `json:"wal_error,omitempty"`
 	CheckpointError string                      `json:"checkpoint_error,omitempty"`
 	ReplicationErr  string                      `json:"replication_error,omitempty"`
 	WAL             *healthWAL                  `json:"wal,omitempty"`
@@ -556,6 +655,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Commit:        sprofile.Commit,
 	}
 	p := s.prof()
+	if s.degradedNow() {
+		// Writes are refused (503 degraded) while the recovery probe tries
+		// to roll the log; reads keep serving, so the node stays "live" for
+		// probes but the status names the impairment.
+		resp.Status = "degraded"
+		resp.Degraded = true
+	}
+	if err := p.WALError(); err != nil {
+		resp.WALError = err.Error()
+	}
 	if err := p.CheckpointError(); err != nil {
 		// The server keeps serving — the profile and the unreclaimed log
 		// tail are intact — but the operator should know the last background
@@ -598,7 +707,10 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
-	if s.rejectReadOnly(w) {
+	if s.rejectReadOnly(w) || s.rejectDegraded(w) {
+		// Degraded: the checkpoint would rotate onto the failed log and
+		// report the WAL fault as its own; 503 degraded + Retry-After names
+		// the real condition instead of a misleading checkpoint error.
 		return
 	}
 	if s.async != nil {
@@ -627,7 +739,9 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
-	if s.rejectReadOnly(w) {
+	if s.rejectReadOnly(w) || s.rejectDegraded(w) {
+		// Degraded: the sync would just re-report the sticky WAL fault as a
+		// 500 wal_append; 503 degraded + Retry-After is the actionable truth.
 		return
 	}
 	if s.async != nil {
@@ -691,7 +805,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
-	if s.rejectReadOnly(w) {
+	if s.rejectReadOnly(w) || s.rejectDegraded(w) {
 		return
 	}
 	events, err := decodeEvents(r, s.maxBatch)
@@ -788,7 +902,7 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
-	if s.rejectReadOnly(w) {
+	if s.rejectReadOnly(w) || s.rejectDegraded(w) {
 		return
 	}
 	sc := bulkPool.Get().(*bulkScratch)

@@ -1,0 +1,262 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"syscall"
+	"testing"
+
+	"sprofile/internal/core"
+	"sprofile/internal/failpoint"
+)
+
+// TestSyncFailureFailsWholeCommitGroup pins the group-commit error contract:
+// when the fsync behind a commit group fails, EVERY writer waiting on that
+// group must see the failure — the watermark must not advance, no later Sync
+// may falsely report the records durable, and the append head must rewind to
+// the synced boundary when the log recovers via Roll.
+func TestSyncFailureFailsWholeCommitGroup(t *testing.T) {
+	t.Cleanup(failpoint.DisableAll)
+	d, dir := openTestDir(t, Options{})
+	defer d.Close()
+
+	for i := 0; i < 10; i++ {
+		if _, err := d.Append(Record{Key: "k", Action: core.ActionAdd}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every fsync fails while armed — the first Sync to reach the disk
+	// poisons the log; the rest of the group must inherit the failure.
+	if err := failpoint.Enable("wal.sync", "error(eio)"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = d.Sync()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("group member %d: Sync reported success for records the fsync never persisted", i)
+		}
+	}
+
+	// The failure is sticky: even after the disk "recovers", a Sync on the
+	// same fd must not be trusted (fsyncgate) — only Roll clears it.
+	failpoint.DisableAll()
+	if err := d.Sync(); err == nil {
+		t.Fatal("Sync on a poisoned log reported success without a Roll")
+	}
+	if _, err := d.Append(Record{Key: "k", Action: core.ActionAdd}); err == nil {
+		t.Fatal("Append on a poisoned log succeeded")
+	}
+	if _, err := d.AppendBatch([]BatchEntry{{Key: "k", Adds: 1}}); err == nil {
+		t.Fatal("AppendBatch on a poisoned log succeeded")
+	}
+	if d.SyncError() == nil {
+		t.Fatal("SyncError() nil on a poisoned log")
+	}
+
+	// Roll: fresh segment, poison cleared. The 10 records were flushed whole
+	// before the fsync failed, so Roll salvages them into the new segment —
+	// their writers were applied in memory before journaling, and dropping
+	// the bytes would leave the queryable state permanently ahead of the
+	// log. They end up durable-but-unacknowledged.
+	if err := d.Roll(); err != nil {
+		t.Fatal(err)
+	}
+	if d.SyncError() != nil {
+		t.Fatalf("SyncError() after Roll: %v", d.SyncError())
+	}
+	if got := d.Appended(); got != 10 {
+		t.Fatalf("append head after Roll = %d, want the 10 salvaged records", got)
+	}
+
+	for i := 0; i < 3; i++ {
+		if _, err := d.Append(Record{Key: "post", Action: core.ActionAdd}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The log replays the salvaged pre-fault records plus the post-roll
+	// ones — matching the in-memory state their appliers built.
+	var k, post int
+	n, err := ReplayDir(dir, func(r Record) error {
+		switch r.Key {
+		case "k":
+			k++
+		case "post":
+			post++
+		default:
+			return errors.New("unexpected record replayed: " + r.Key)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 13 || k != 10 || post != 3 {
+		t.Fatalf("replayed %d (k=%d post=%d), want 13 (10 salvaged + 3 post)", n, k, post)
+	}
+}
+
+// TestPartialSyncThenFailureKeepsSyncedPrefix covers the mixed case: some
+// records synced successfully, more appended, then the disk dies. Roll
+// truncates the poisoned segment back to the synced boundary — keeping the
+// durable prefix, so the sealed segment replays cleanly — and salvages the
+// flushed-but-unsynced records into the fresh segment, where they become
+// durable without ever having been acknowledged.
+func TestPartialSyncThenFailureKeepsSyncedPrefix(t *testing.T) {
+	t.Cleanup(failpoint.DisableAll)
+	d, dir := openTestDir(t, Options{})
+	defer d.Close()
+
+	for i := 0; i < 5; i++ {
+		if _, err := d.Append(Record{Key: "durable", Action: core.ActionAdd}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := d.Append(Record{Key: "unacked", Action: core.ActionAdd}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := failpoint.Enable("wal.sync", "error(enospc):count=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Sync = %v, want ENOSPC", err)
+	}
+	failpoint.DisableAll()
+	if err := d.Roll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Appended(); got != 12 {
+		t.Fatalf("append head after Roll = %d, want 5 synced + 7 salvaged", got)
+	}
+	if _, err := d.Append(Record{Key: "post", Action: core.ActionAdd}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var durable, unacked, post int
+	n, err := ReplayDir(dir, func(r Record) error {
+		switch r.Key {
+		case "durable":
+			durable++
+		case "unacked":
+			unacked++
+		case "post":
+			post++
+		default:
+			return errors.New("unexpected record replayed: " + r.Key)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 13 || durable != 5 || unacked != 7 || post != 1 {
+		t.Fatalf("replayed %d (durable=%d unacked=%d post=%d), want 13 (5+7+1)", n, durable, unacked, post)
+	}
+}
+
+// TestTornWriteOnFlushPoisonsAndRolls injects a short write under the bufio
+// flush, leaving a half-record on disk, and proves Roll truncates it away so
+// replay never sees the tear.
+func TestTornWriteOnFlushPoisonsAndRolls(t *testing.T) {
+	t.Cleanup(failpoint.DisableAll)
+	d, dir := openTestDir(t, Options{})
+	defer d.Close()
+
+	if _, err := d.Append(Record{Key: "torn-victim-with-a-longer-key", Action: core.ActionAdd}); err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Enable("wal.write", "torn:count=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err == nil {
+		t.Fatal("Sync over a torn flush reported success")
+	}
+	failpoint.DisableAll()
+	if err := d.Roll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Append(Record{Key: "post", Action: core.ActionAdd}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ReplayDir(dir, func(r Record) error {
+		if r.Key != "post" {
+			return errors.New("torn record replayed: " + r.Key)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d records, want 1", n)
+	}
+}
+
+// TestRollOnHealthyLogIsNoOp: the recovery probe may race a Roll against a
+// log that already recovered; rolling a healthy log must change nothing.
+func TestRollOnHealthyLogIsNoOp(t *testing.T) {
+	d, _ := openTestDir(t, Options{})
+	defer d.Close()
+	if _, err := d.Append(Record{Key: "k", Action: core.ActionAdd}); err != nil {
+		t.Fatal(err)
+	}
+	seg := d.SegmentID()
+	if err := d.Roll(); err != nil {
+		t.Fatal(err)
+	}
+	if d.SegmentID() != seg {
+		t.Fatal("Roll on a healthy log rotated the segment")
+	}
+	if d.Appended() != 1 {
+		t.Fatal("Roll on a healthy log changed the append head")
+	}
+}
+
+// TestValidationErrorDoesNotPoison: a rejected input (oversized key, empty
+// key) is the caller's bug, not a disk failure — the log must stay healthy.
+func TestValidationErrorDoesNotPoison(t *testing.T) {
+	d, _ := openTestDir(t, Options{})
+	defer d.Close()
+	if _, err := d.Append(Record{Key: "", Action: core.ActionAdd}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if _, err := d.AppendBatch([]BatchEntry{{Key: "k"}}); err == nil {
+		t.Fatal("empty batch entry accepted")
+	}
+	if d.SyncError() != nil {
+		t.Fatalf("validation failure poisoned the log: %v", d.SyncError())
+	}
+	if _, err := d.Append(Record{Key: "k", Action: core.ActionAdd}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

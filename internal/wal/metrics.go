@@ -23,6 +23,10 @@ var (
 		"Segment rotations (seal + fsync + open next).")
 	mReplayed = metrics.Default().Counter("sprofile_wal_replayed_records_total",
 		"Records replayed from segments during recovery or audits.")
+	mRolls = metrics.Default().Counter("sprofile_wal_rolls_total",
+		"Poisoned segments rolled away to recover from a persistent I/O failure.")
+	mSalvaged = metrics.Default().Counter("sprofile_wal_salvaged_records_total",
+		"Applied-but-unacknowledged records a Roll carried from a poisoned segment into its replacement.")
 )
 
 // syncTimed runs one durability fsync on f-like sync functions, recording

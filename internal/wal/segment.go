@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"sprofile/internal/failpoint/failfs"
 )
 
 // This file implements the segmented WAL layout: instead of one unbounded
@@ -262,7 +264,7 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // scanValidEnd reads f from the start and returns the byte offset just past
 // the last complete record — the truncation point that removes a torn tail
 // before the segment is appended to again.
-func scanValidEnd(f *os.File) (validEnd int64, err error) {
+func scanValidEnd(f failfs.File) (validEnd int64, err error) {
 	cr := &countingReader{r: f}
 	br := bufio.NewReader(cr)
 	if _, _, _, err := readSegmentHeader(br); err != nil {
@@ -300,7 +302,7 @@ type Dir struct {
 	// syncMu serialises fsyncs only; the fsync itself runs without mu, so
 	// appends proceed while the disk works.
 	syncMu    sync.Mutex
-	f         *os.File
+	f         failfs.File
 	w         *bufio.Writer
 	segID     uint64
 	snapSeq   uint64
@@ -308,6 +310,15 @@ type Dir struct {
 	bytes     int64
 	sinceSync int
 	closed    bool
+	// fileEnd is the byte offset in the current segment file just past the
+	// last completely appended record (whether still buffered or flushed).
+	// Captured together with appended under mu, it gives Sync the byte
+	// watermark matching its record watermark.
+	fileEnd int64
+	// syncedEnd is the fileEnd offset covered by the last completed fsync —
+	// always a record boundary, because fileEnd is only read between whole
+	// appends. Roll truncates a poisoned segment back to it.
+	syncedEnd int64
 	// synced is the appended-count watermark covered by the last completed
 	// fsync; a Sync whose records are already covered returns without
 	// touching the disk.
@@ -316,6 +327,37 @@ type Dir struct {
 	// Rotate, Close) — the observable behind the one-fsync-per-batch
 	// group-commit contract.
 	fsyncs atomic.Uint64
+
+	// errMu guards ioErr alone. It is a leaf lock — taken with mu and/or
+	// syncMu held, never the other way — so poisoning from the fsync path
+	// (under syncMu only) cannot deadlock against Rotate (mu then syncMu).
+	errMu sync.Mutex
+	// ioErr is the sticky poison. The first write, flush or fsync failure
+	// sets it and it never clears except through Roll: retrying an fsync on
+	// a failed fd can report success while the kernel has already dropped
+	// the dirty pages, so once any I/O error surfaces the only honest
+	// recovery is proving the disk healthy with a fresh segment. While set,
+	// every Append/AppendBatch/Sync/Rotate returns it, which also
+	// guarantees the group-commit contract: an fsync failure fails every
+	// write in the commit group, not just the goroutine that ran the flush.
+	ioErr error
+}
+
+// poison records the first I/O failure; later failures keep the original.
+func (d *Dir) poison(err error) {
+	d.errMu.Lock()
+	if d.ioErr == nil {
+		d.ioErr = err
+	}
+	d.errMu.Unlock()
+}
+
+// SyncError returns the sticky I/O error poisoning this log, or nil while it
+// is healthy. The server's degraded-mode probe keys off it.
+func (d *Dir) SyncError() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return d.ioErr
 }
 
 // OpenDir opens the append head of a segment directory. When tail is
@@ -335,7 +377,7 @@ func OpenDir(dir string, opts Options, tail *SegmentInfo, nextID, snapSeq uint64
 		tail = nil
 	}
 	if tail != nil {
-		f, err := os.OpenFile(tail.Path, os.O_RDWR, 0o644)
+		f, err := failfs.OpenFile("wal", tail.Path, os.O_RDWR, 0o644)
 		if err != nil {
 			return nil, err
 		}
@@ -358,42 +400,57 @@ func OpenDir(dir string, opts Options, tail *SegmentInfo, nextID, snapSeq uint64
 		d.segID = tail.ID
 		d.snapSeq = tail.SnapSeq
 		d.bytes = validEnd
+		d.fileEnd = validEnd
 	} else {
-		f, err := createSegment(dir, nextID, snapSeq)
+		f, end, err := createSegment(dir, nextID, snapSeq)
 		if err != nil {
 			return nil, err
 		}
 		d.f = f
 		d.segID = nextID
 		d.snapSeq = snapSeq
+		d.fileEnd = end
 	}
+	// Whatever the segment holds at open survived to disk already; it is the
+	// baseline a Roll may truncate back to, never below.
+	d.syncedEnd = d.fileEnd
 	d.w = bufio.NewWriter(d.f)
 	return d, nil
 }
 
-// createSegment creates segment nextID with a durable header.
-func createSegment(dir string, id, snapSeq uint64) (*os.File, error) {
+// createSegment creates segment id with a durable header, returning the open
+// file and the header length (the file's append offset).
+func createSegment(dir string, id, snapSeq uint64) (failfs.File, int64, error) {
 	path := filepath.Join(dir, SegmentName(id))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	f, err := failfs.OpenFile("wal", path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if err := writeSegmentHeader(f, id, snapSeq); err != nil {
+	var hdr countingWriter
+	if err := writeSegmentHeader(io.MultiWriter(&hdr, f), id, snapSeq); err != nil {
 		f.Close()
 		os.Remove(path)
-		return nil, err
+		return nil, 0, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(path)
-		return nil, err
+		return nil, 0, err
 	}
 	if err := SyncDir(dir); err != nil {
 		f.Close()
 		os.Remove(path)
-		return nil, err
+		return nil, 0, err
 	}
-	return f, nil
+	return f, hdr.n, nil
+}
+
+// countingWriter records how many bytes were written through it.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
 }
 
 // SyncDir fsyncs a directory so renames and file creations inside it are
@@ -412,17 +469,27 @@ func SyncDir(dir string) error {
 // SyncEvery threshold has been crossed; the caller runs Sync outside its own
 // locks, which is what keeps fsyncs off the append path.
 func (d *Dir) Append(rec Record) (syncDue bool, err error) {
+	if err := validateRecord(rec); err != nil {
+		return false, err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return false, ErrClosed
 	}
+	if err := d.SyncError(); err != nil {
+		return false, err
+	}
 	n, err := appendRecord(d.w, rec)
 	if err != nil {
+		// Validation passed above, so this is a real write failure — the
+		// stream may hold a partial record. Poison until Roll.
+		d.poison(err)
 		return false, err
 	}
 	d.appended++
 	d.bytes += int64(n)
+	d.fileEnd += int64(n)
 	mAppends.Inc()
 	mAppendedBytes.Add(uint64(n))
 	if d.opts.SyncEvery > 0 {
@@ -447,10 +514,16 @@ func (d *Dir) AppendBatch(entries []BatchEntry) (syncDue bool, err error) {
 	if len(entries) == 0 {
 		return false, nil
 	}
+	if err := validateBatch(entries); err != nil {
+		return false, err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return false, ErrClosed
+	}
+	if err := d.SyncError(); err != nil {
+		return false, err
 	}
 	for rest := entries; len(rest) > 0; {
 		chunk := rest
@@ -459,9 +532,11 @@ func (d *Dir) AppendBatch(entries []BatchEntry) (syncDue bool, err error) {
 		}
 		n, err := appendBatchRecord(d.w, chunk)
 		if err != nil {
+			d.poison(err)
 			return false, err
 		}
 		d.bytes += int64(n)
+		d.fileEnd += int64(n)
 		mAppendedBytes.Add(uint64(n))
 		rest = rest[len(chunk):]
 	}
@@ -505,6 +580,19 @@ func (d *Dir) SegmentID() uint64 {
 	return d.segID
 }
 
+// SyncedPosition returns the durable frontier: the current append segment and
+// the byte offset covered by the last completed fsync. Bytes at or below it
+// survive both a crash and a post-failure Roll (which truncates the poisoned
+// segment back to exactly this offset) — so it is the highest position a
+// replication feed may safely serve.
+func (d *Dir) SyncedPosition() Position {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.syncMu.Lock()
+	defer d.syncMu.Unlock()
+	return Position{Segment: d.segID, Offset: d.syncedEnd}
+}
+
 // Sync makes every appended record durable, with group commit: the buffer is
 // flushed under the append mutex, the fsync runs outside it, and a Sync
 // whose records were already covered by a concurrent fsync (or a rotation)
@@ -515,7 +603,12 @@ func (d *Dir) Sync() error {
 		d.mu.Unlock()
 		return ErrClosed
 	}
+	if err := d.SyncError(); err != nil {
+		d.mu.Unlock()
+		return err
+	}
 	target := d.appended
+	targetEnd := d.fileEnd
 	if d.synced.Load() >= target {
 		d.mu.Unlock()
 		return nil
@@ -524,10 +617,17 @@ func (d *Dir) Sync() error {
 	f := d.f
 	d.mu.Unlock()
 	if err != nil {
+		d.poison(err)
 		return err
 	}
 	d.syncMu.Lock()
 	defer d.syncMu.Unlock()
+	if err := d.SyncError(); err != nil {
+		// A concurrent flush or fsync failed while we queued. Our records
+		// were never covered (the watermark only advances on success), so
+		// every write in this commit group reports the failure.
+		return err
+	}
 	if d.synced.Load() >= target {
 		// Another batch's fsync — or a rotation, which seals with an fsync —
 		// covered our records. f may already be a sealed, closed segment;
@@ -535,11 +635,17 @@ func (d *Dir) Sync() error {
 		return nil
 	}
 	if err := syncTimed(f.Sync); err != nil {
+		// Do NOT retry this fd: a failed fsync may have dropped the dirty
+		// pages, and a retry can report success for data that never hit the
+		// disk. Poison; recovery means proving the disk with a fresh
+		// segment (Roll).
+		d.poison(err)
 		return err
 	}
 	d.fsyncs.Add(1)
 	if d.synced.Load() < target {
 		d.synced.Store(target)
+		d.syncedEnd = targetEnd
 	}
 	return nil
 }
@@ -554,18 +660,23 @@ func (d *Dir) Rotate(newSnapSeq uint64) (uint64, error) {
 	if d.closed {
 		return 0, ErrClosed
 	}
+	if err := d.SyncError(); err != nil {
+		return 0, err
+	}
 	if err := d.w.Flush(); err != nil {
+		d.poison(err)
 		return 0, err
 	}
 	d.syncMu.Lock()
 	defer d.syncMu.Unlock()
 	if err := syncTimed(d.f.Sync); err != nil {
+		d.poison(err)
 		return 0, err
 	}
 	d.fsyncs.Add(1)
 	mRotations.Inc()
 	sealed := d.segID
-	nf, err := createSegment(d.dir, sealed+1, newSnapSeq)
+	nf, end, err := createSegment(d.dir, sealed+1, newSnapSeq)
 	if err != nil {
 		return 0, err
 	}
@@ -575,11 +686,143 @@ func (d *Dir) Rotate(newSnapSeq uint64) (uint64, error) {
 	d.segID = sealed + 1
 	d.snapSeq = newSnapSeq
 	d.sinceSync = 0
+	d.fileEnd = end
+	d.syncedEnd = end
 	// Everything appended so far is durable in the sealed segment.
 	d.synced.Store(d.appended)
 	old.Close()
 	return sealed, nil
 }
+
+// Roll abandons the current segment after an I/O failure and restores append
+// service on a fresh one — the only recovery from a poisoned log, because a
+// failed fsync may already have dropped dirty pages and cannot be retried
+// honestly on the same fd. The sequence:
+//
+//  1. Create the next segment. Its durable header (data fsync + directory
+//     fsync) is the proof the disk accepts writes again; if this fails the
+//     log stays poisoned and nothing has changed.
+//  2. Truncate the poisoned segment back to its last fsync-covered byte — a
+//     record boundary — and fsync the cut, so the sealed segment replays
+//     cleanly with exactly the records that were acknowledged durable.
+//  3. Reset the writer onto the new segment, discarding any poisoned
+//     buffered bytes, rewind the append counters to the durable watermark,
+//     and clear the sticky error.
+//
+// Records past the durable watermark are not simply dropped: their writers
+// were told the write failed, but the in-memory state they updated cannot be
+// unapplied, so discarding their bytes would leave the queryable state
+// permanently ahead of the log (and a later checkpoint would persist that
+// divergence). Roll therefore salvages every complete record in the
+// unsynced tail into the fresh segment and fsyncs it there — the failed
+// writes become durable-but-unacknowledged, the ordinary indeterminate
+// outcome of an errored write. Only a torn trailing record, or bytes a
+// failed flush never landed, stay lost. Roll on a healthy log is a no-op.
+func (d *Dir) Roll() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	d.syncMu.Lock()
+	defer d.syncMu.Unlock()
+	if d.SyncError() == nil {
+		return nil
+	}
+	// Push whatever the writer still buffers toward the old file so its
+	// records are salvageable; on failure, salvage reads what already is on
+	// disk.
+	d.w.Flush()
+	salvaged, salvagedRecs := d.salvageTail()
+	nf, end, err := createSegment(d.dir, d.segID+1, d.snapSeq)
+	if err != nil {
+		return err
+	}
+	newPath := filepath.Join(d.dir, SegmentName(d.segID+1))
+	old := d.f
+	// Truncate before the salvage bytes land in the new segment: a crash in
+	// between loses only never-acknowledged records, while the reverse order
+	// could replay them twice.
+	if err := old.Truncate(d.syncedEnd); err != nil {
+		nf.Close()
+		os.Remove(newPath)
+		return err
+	}
+	if err := old.Sync(); err != nil {
+		nf.Close()
+		os.Remove(newPath)
+		return err
+	}
+	old.Close()
+	lostBytes := d.fileEnd - d.syncedEnd
+	d.f = nf
+	d.w.Reset(nf)
+	d.segID++
+	d.sinceSync = 0
+	d.appended = d.synced.Load()
+	d.bytes -= lostBytes
+	d.fileEnd = end
+	d.syncedEnd = end
+	mRolls.Inc()
+	if len(salvaged) > 0 {
+		// Re-append through the ordinary buffered path and make the copies
+		// durable immediately. A failure here keeps the log poisoned — the
+		// salvage bytes sit past the (unchanged) watermark of the new
+		// segment, so the next Roll attempt salvages them again.
+		if _, err := d.w.Write(salvaged); err != nil {
+			return err
+		}
+		d.appended += salvagedRecs
+		d.bytes += int64(len(salvaged))
+		d.fileEnd += int64(len(salvaged))
+		if err := d.w.Flush(); err != nil {
+			return err
+		}
+		if err := syncTimed(nf.Sync); err != nil {
+			return err
+		}
+		d.fsyncs.Add(1)
+		d.synced.Store(d.appended)
+		d.syncedEnd = d.fileEnd
+		mSalvaged.Add(salvagedRecs)
+	}
+	d.errMu.Lock()
+	d.ioErr = nil
+	d.errMu.Unlock()
+	return nil
+}
+
+// salvageTail reads the complete records sitting past the durable watermark
+// in the current segment file — the applied-but-unacknowledged writes a Roll
+// must carry into the fresh segment. Called with both mutexes held while the
+// log is poisoned. Best effort: an unreadable or undecodable tail salvages
+// nothing, which degrades to the plain truncating roll.
+func (d *Dir) salvageTail() ([]byte, uint64) {
+	fi, err := d.f.Stat()
+	if err != nil || fi.Size() <= d.syncedEnd {
+		return nil, 0
+	}
+	data := make([]byte, fi.Size()-d.syncedEnd)
+	if _, err := io.ReadFull(io.NewSectionReader(readerAtOnly{d.f}, d.syncedEnd, int64(len(data))), data); err != nil {
+		return nil, 0
+	}
+	sd := &StreamDecoder{}
+	sd.MarkHeaderDone()
+	var recs uint64
+	if err := sd.Feed(data, func(Record) error { recs++; return nil }); err != nil {
+		return nil, 0
+	}
+	valid := len(data) - sd.Buffered()
+	if valid == 0 || recs == 0 {
+		return nil, 0
+	}
+	return data[:valid], recs
+}
+
+// readerAtOnly narrows a file to io.ReaderAt for SectionReader use.
+type readerAtOnly struct{ f failfs.File }
+
+func (r readerAtOnly) ReadAt(p []byte, off int64) (int, error) { return r.f.ReadAt(p, off) }
 
 // DropThrough deletes every segment file with id at most segID, except the
 // segment currently open for appending. Used after a checkpoint has made
@@ -617,6 +860,13 @@ func (d *Dir) Close() error {
 		return nil
 	}
 	d.closed = true
+	if err := d.SyncError(); err != nil {
+		// A poisoned log must not fsync on close: the watermark has not
+		// advanced, so reporting the sticky error — not a fresh fsync that
+		// might falsely succeed — is the honest outcome.
+		d.f.Close()
+		return err
+	}
 	flushErr := d.w.Flush()
 	d.syncMu.Lock()
 	defer d.syncMu.Unlock()

@@ -147,17 +147,28 @@ const MaxKeyLen = 1 << 20
 // the end of a file; replay paths translate it into a clean stop.
 var errTornTail = errors.New("wal: torn record at tail")
 
+// validateRecord checks a record against the append-side limits without
+// touching the stream. The segmented Dir validates before writing so that
+// any later appendRecord failure is known to be a real I/O error (the
+// trigger for sticky poisoning), never a rejected input.
+func validateRecord(rec Record) error {
+	if rec.Key == "" {
+		return errors.New("wal: empty key")
+	}
+	if len(rec.Key) > MaxKeyLen {
+		return fmt.Errorf("wal: key of %d bytes exceeds the %d-byte record limit", len(rec.Key), MaxKeyLen)
+	}
+	if !rec.Action.Valid() {
+		return fmt.Errorf("wal: invalid action %d", rec.Action)
+	}
+	return nil
+}
+
 // appendRecord encodes one record into w, returning the encoded byte count.
 // Shared by the legacy Log and the segmented Dir.
 func appendRecord(w *bufio.Writer, rec Record) (int, error) {
-	if rec.Key == "" {
-		return 0, errors.New("wal: empty key")
-	}
-	if len(rec.Key) > MaxKeyLen {
-		return 0, fmt.Errorf("wal: key of %d bytes exceeds the %d-byte record limit", len(rec.Key), MaxKeyLen)
-	}
-	if !rec.Action.Valid() {
-		return 0, fmt.Errorf("wal: invalid action %d", rec.Action)
+	if err := validateRecord(rec); err != nil {
+		return 0, err
 	}
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], uint64(len(rec.Key)))
@@ -293,6 +304,24 @@ func readPhysicalRecord(br *bufio.Reader, scratch []Record, allowBatch bool) ([]
 	return append(scratch, Record{Key: key, Action: action}), nil
 }
 
+// validateBatch checks every entry of a batch against the append-side
+// limits without touching the stream; see validateRecord for why the
+// segmented Dir runs it before encoding.
+func validateBatch(entries []BatchEntry) error {
+	for i := range entries {
+		if entries[i].Key == "" {
+			return errors.New("wal: empty key")
+		}
+		if len(entries[i].Key) > MaxKeyLen {
+			return fmt.Errorf("wal: key of %d bytes exceeds the %d-byte record limit", len(entries[i].Key), MaxKeyLen)
+		}
+		if entries[i].Adds == 0 && entries[i].Removes == 0 {
+			return fmt.Errorf("wal: batch entry for key %q records no events", entries[i].Key)
+		}
+	}
+	return nil
+}
+
 // appendBatchRecord encodes a whole coalesced batch as one physical record,
 // returning the encoded byte count. Entries are validated before the first
 // byte is written, so a rejected batch leaves the stream clean. The caller
@@ -302,16 +331,8 @@ func appendBatchRecord(w *bufio.Writer, entries []BatchEntry) (int, error) {
 	if len(entries) > maxBatchEntries {
 		return 0, fmt.Errorf("wal: batch of %d entries exceeds the %d-entry record limit", len(entries), maxBatchEntries)
 	}
-	for i := range entries {
-		if entries[i].Key == "" {
-			return 0, errors.New("wal: empty key")
-		}
-		if len(entries[i].Key) > MaxKeyLen {
-			return 0, fmt.Errorf("wal: key of %d bytes exceeds the %d-byte record limit", len(entries[i].Key), MaxKeyLen)
-		}
-		if entries[i].Adds == 0 && entries[i].Removes == 0 {
-			return 0, fmt.Errorf("wal: batch entry for key %q records no events", entries[i].Key)
-		}
+	if err := validateBatch(entries); err != nil {
+		return 0, err
 	}
 	var buf [binary.MaxVarintLen64]byte
 	total := 0

@@ -328,6 +328,29 @@ func (k *KeyedConcurrent[K]) Sync() error {
 	return k.store.Sync()
 }
 
+// WALError returns the sticky I/O error poisoning the write-ahead log — nil
+// while the log is healthy, or without WithWAL. Once set, every update fails
+// fast with ErrWALAppend until RollWAL recovers the log; see wal.Dir.SyncError
+// for why a failed fsync cannot simply be retried.
+func (k *KeyedConcurrent[K]) WALError() error {
+	if k.store == nil {
+		return nil
+	}
+	return k.store.SyncError()
+}
+
+// RollWAL recovers a poisoned write-ahead log by rolling the append head onto
+// a fresh segment, restoring update service once the disk accepts writes
+// again. Records that were applied in memory but never acknowledged as
+// durable (their writers got ErrWALAppend) are dropped from the log. It is a
+// no-op on a healthy log or without WithWAL.
+func (k *KeyedConcurrent[K]) RollWAL() error {
+	if k.store == nil {
+		return nil
+	}
+	return k.store.Roll()
+}
+
 // Close stops background checkpointing and closes the write-ahead log, if
 // one is configured. The profile stays queryable, but further updates will
 // fail to journal.
