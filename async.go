@@ -968,7 +968,7 @@ func (a *Async) Checkpoint() error {
 	if d, ok := a.inner.(*Durable); ok {
 		return d.Checkpoint()
 	}
-	return fmt.Errorf("sprofile: %T has no write-ahead log to checkpoint (build with WithWAL)", a.inner)
+	return fmt.Errorf("%w (wrapped profiler is %T)", errNoWAL, a.inner)
 }
 
 // Inner returns the wrapped profiler. Updating it directly bypasses the

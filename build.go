@@ -343,7 +343,7 @@ func NewDurable(p Profiler, path string, syncEvery int) (*Durable, error) {
 
 func newDurable(p Profiler, path string, syncEvery int, policy CheckpointPolicy) (*Durable, error) {
 	if p == nil {
-		return nil, errors.New("sprofile: nil profiler")
+		return nil, errNilProfiler
 	}
 	store, err := checkpoint.Open(path, checkpoint.Options{SyncEvery: syncEvery})
 	if err != nil {
@@ -351,15 +351,15 @@ func newDurable(p Profiler, path string, syncEvery int, policy CheckpointPolicy)
 	}
 	if st := store.TakeState(); st != nil {
 		if st.Keyed {
-			return nil, fmt.Errorf("sprofile: WAL %s holds a keyed snapshot; open it with BuildKeyed", path)
+			return nil, fmt.Errorf("sprofile: WAL %s holds a keyed snapshot; open it with BuildKeyed: %w", path, ErrBadSnapshot)
 		}
 		loader, ok := p.(FrequencyLoader)
 		if !ok {
-			return nil, fmt.Errorf("sprofile: WAL %s holds a snapshot but %T cannot restore one (no FrequencyLoader capability)", path, p)
+			return nil, fmt.Errorf("sprofile: WAL %s holds a snapshot but %T cannot restore one (no FrequencyLoader capability): %w", path, p, errors.ErrUnsupported)
 		}
 		freqs := st.Dense.Frequencies(nil)
 		if len(freqs) != p.Cap() {
-			return nil, fmt.Errorf("sprofile: snapshot in %s holds %d object slots but the profile has %d", path, len(freqs), p.Cap())
+			return nil, fmt.Errorf("sprofile: snapshot in %s holds %d object slots but the profile has %d: %w", path, len(freqs), p.Cap(), ErrBadSnapshot)
 		}
 		adds, removes := st.Dense.Events()
 		if err := loader.LoadFrequencies(freqs, adds, removes); err != nil {
@@ -451,7 +451,7 @@ func (d *Durable) CheckpointError() error {
 func (d *Durable) Checkpoint() error {
 	snapper, ok := d.inner.(Snapshotter)
 	if !ok {
-		return fmt.Errorf("sprofile: %T cannot be checkpointed (no Snapshotter capability)", d.inner)
+		return fmt.Errorf("sprofile: %T cannot be checkpointed (no Snapshotter capability): %w", d.inner, errors.ErrUnsupported)
 	}
 	return d.store.Checkpoint(func() (*checkpoint.State, uint64, error) {
 		d.mu.Lock()

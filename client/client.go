@@ -92,6 +92,11 @@ func (e *APIError) Error() string {
 
 // codeToErr maps wire error codes back onto the library's taxonomy roots.
 // The wire carries one code per response, so only the class survives the
+// errConfig is the construction-time sentinel every invalid New argument or
+// option wraps, so callers can errors.Is for the whole misconfiguration
+// class. It is never produced by a round trip.
+var errConfig = errors.New("sprofile client: invalid configuration")
+
 // round trip: fine-grained sentinels below a class (ErrObjectRange vs
 // ErrBadRank under ErrOutOfRange) cannot be distinguished remotely.
 // invalid_query maps to both of its classes because Query validation always
@@ -228,7 +233,7 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		return nil, fmt.Errorf("sprofile client: invalid base URL %q: %w", baseURL, err)
 	}
 	if u.Scheme == "" || u.Host == "" {
-		return nil, fmt.Errorf("sprofile client: base URL %q needs a scheme and host", baseURL)
+		return nil, fmt.Errorf("%w: base URL %q needs a scheme and host", errConfig, baseURL)
 	}
 	// The default transport carries the "client.http" failpoint seam: a
 	// no-op (one atomic load per request) until armed, at which point chaos

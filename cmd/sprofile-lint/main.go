@@ -1,0 +1,121 @@
+// Command sprofile-lint is the module's invariant checker: a multichecker
+// running the custom analyzers in internal/lint over the packages named on
+// the command line. It exits 0 when the tree is clean, 1 when any analyzer
+// reports a finding, and 2 when analysis itself fails.
+//
+// Usage:
+//
+//	sprofile-lint [flags] [packages]
+//
+//	sprofile-lint ./...                   # whole module (the CI gate)
+//	sprofile-lint -analyzers locksafe .   # one analyzer, one package
+//	sprofile-lint -C /path/to/module ./...
+//
+// Findings can be suppressed line-by-line with an audited comment naming
+// the analyzer:
+//
+//	//lint:allow locksafe — audited: bounded buffered write under appendMu
+//
+// See the README's "Static analysis & invariants" section for each
+// analyzer's contract and the escape policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"sprofile/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		dir       = flag.String("C", ".", "change to this directory (module root or below) before analyzing")
+		analyzers = flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+		readme    = flag.String("readme", "", "document that must list every failpoint site (default: the module root's README.md)")
+		list      = flag.Bool("help-analyzers", false, "print the analyzers and their invariants, then exit")
+	)
+	flag.Parse()
+
+	all := lint.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	selected := all
+	if *analyzers != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*analyzers, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "sprofile-lint: unknown analyzer %q (see -help-analyzers)\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	lint.FailpointReadme = *readme
+	if lint.FailpointReadme == "" {
+		if root, err := moduleRoot(*dir); err == nil {
+			candidate := filepath.Join(root, "README.md")
+			if _, err := os.Stat(candidate); err == nil {
+				lint.FailpointReadme = candidate
+			}
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sprofile-lint: %v\n", err)
+		return 2
+	}
+
+	suite := &lint.Suite{Analyzers: selected}
+	diags, err := suite.Run(pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sprofile-lint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sprofile-lint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot resolves the root directory of the module containing dir.
+func moduleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", err
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("no module found from %s", dir)
+	}
+	return filepath.Dir(gomod), nil
+}

@@ -131,3 +131,22 @@ var (
 	// added (or whose id has been recycled).
 	ErrUnknownKey = idmap.ErrUnknownKey
 )
+
+// Package-internal sentinels for construction-time misuse. They are
+// programming errors, not operational ones, so they stay unexported — but
+// they are still package-level documented sentinels, as the errtaxonomy
+// analyzer requires: wire-path code never mints one-off errors.New values
+// inside a function body.
+var (
+	// errNilProfiler reports a constructor handed a nil profiler; returned
+	// by NewWindow, NewTimeWindow, NewKeyedOver and NewDurable.
+	errNilProfiler = errors.New("sprofile: nil profiler")
+
+	// errNoWAL reports a checkpoint request on a profile built without
+	// WithWAL: there is no log to rotate and no store to snapshot into.
+	errNoWAL = errors.New("sprofile: profile has no write-ahead log to checkpoint (build with WithWAL)")
+
+	// errFollowerPromoted reports a replication operation on a follower
+	// handle after Promote already turned it into a leader.
+	errFollowerPromoted = errors.New("sprofile: follower was promoted")
+)

@@ -87,7 +87,12 @@ type Store struct {
 
 	log *wal.Dir // nil until ReplayTail
 
-	// ckptMu admits one checkpoint at a time.
+	// ckptMu admits one checkpoint at a time. It is deliberately held
+	// across the whole temp + fsync + rename + prune protocol: nothing on
+	// the ingest or read fast path ever contends on it (state capture uses
+	// the profile's own locks via the capture callback, which quiesces and
+	// releases before the I/O starts).
+	//lint:allow locksafe — one-in-flight checkpoint guard, audited to never block ingest or reads
 	ckptMu sync.Mutex
 	// tailBase is the AppendedBytes baseline of the current tail: TailBytes
 	// reports bytes appended past it. Negative at open (crediting the tail

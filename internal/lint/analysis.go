@@ -1,0 +1,300 @@
+// Package lint is sprofile's static-analysis suite: a set of custom
+// analyzers that mechanically enforce the codebase's load-bearing invariants
+// — "no blocking I/O while a mutex is held", "atomic fields are never
+// accessed plainly", "wire-path errors wrap the taxonomy", "metric families
+// follow the naming contract", "failpoint sites are named once and
+// documented" — so contracts that previously lived in doc comments and
+// reviewers' heads are checked on every commit by cmd/sprofile-lint.
+//
+// The package deliberately depends only on the standard library (go/ast,
+// go/types, go/importer): it mirrors the shape of
+// golang.org/x/tools/go/analysis — an Analyzer with a Run func over a Pass —
+// but drives type checking itself from `go list -export` metadata, so the
+// module stays zero-dependency. See load.go for the driver.
+//
+// # Escape hatch
+//
+// A finding can be suppressed by an audited allow comment on the flagged
+// line or the line directly above it:
+//
+//	//lint:allow locksafe — group-commit contract: writes under appendMu are bounded, fsync runs outside
+//
+// The comment must name the analyzer and should state why the violation is
+// safe; unexplained allows are themselves a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// comments.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant, shown by
+	// sprofile-lint -help.
+	Doc string
+
+	// Run checks one package. It reports findings through the Pass and
+	// may stash cross-package facts in Pass.State (shared across every
+	// package of one Suite run).
+	Run func(*Pass) error
+
+	// Finish, if non-nil, runs once after every package has been analyzed,
+	// for module-wide invariants (e.g. failpoint site uniqueness).
+	Finish func(*Finisher) error
+}
+
+// A Pass carries one package's parsed and type-checked form to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// State is shared by every Pass of this analyzer across one Suite run,
+	// so Run can accumulate module-wide facts for Finish.
+	State map[string]any
+
+	suite *Suite
+	allow allowIndex
+}
+
+// A Finisher is handed to Analyzer.Finish after all packages ran.
+type Finisher struct {
+	Fset  *token.FileSet
+	State map[string]any
+
+	analyzer *Analyzer
+	suite    *Suite
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos unless an audited //lint:allow comment
+// for this analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow.covers(p.Analyzer.Name, position) {
+		return
+	}
+	p.suite.diags = append(p.suite.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Reportf records a module-level finding. Finish-phase findings carry a
+// position when the underlying fact has one (token.NoPos renders as "-").
+func (f *Finisher) Reportf(pos token.Pos, format string, args ...any) {
+	position := token.Position{Filename: "-"}
+	if pos.IsValid() {
+		position = f.Fset.Position(pos)
+		if f.suite.allows.covers(f.analyzer.Name, position) {
+			return
+		}
+	}
+	f.suite.diags = append(f.suite.diags, Diagnostic{
+		Analyzer: f.analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowIndex maps file → line → set of analyzer names allowed there. A
+// //lint:allow comment covers its own line and the line below it, so both
+// trailing comments and their-own-line comments work:
+//
+//	f.Sync() //lint:allow locksafe — audited: ...
+//
+//	//lint:allow locksafe — audited: ...
+//	f.Sync()
+type allowIndex map[string]map[int][]string
+
+const allowPrefix = "//lint:allow "
+
+func (ai allowIndex) addFile(fset *token.FileSet, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, allowPrefix)
+			if !ok {
+				continue
+			}
+			name, _, _ := strings.Cut(strings.TrimSpace(text), " ")
+			pos := fset.Position(c.Pos())
+			m := ai[pos.Filename]
+			if m == nil {
+				m = map[int][]string{}
+				ai[pos.Filename] = m
+			}
+			m[pos.Line] = append(m[pos.Line], name)
+			m[pos.Line+1] = append(m[pos.Line+1], name)
+		}
+	}
+}
+
+func (ai allowIndex) covers(analyzer string, pos token.Position) bool {
+	for _, name := range ai[pos.Filename][pos.Line] {
+		if name == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// A Suite runs a set of analyzers over loaded packages and collects their
+// diagnostics.
+type Suite struct {
+	Analyzers []*Analyzer
+
+	diags  []Diagnostic
+	allows allowIndex
+}
+
+// Run analyzes every package and returns the findings sorted by position.
+func (s *Suite) Run(pkgs []*Package) ([]Diagnostic, error) {
+	s.diags = nil
+	s.allows = allowIndex{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			s.allows.addFile(pkg.Fset, f)
+		}
+	}
+	for _, a := range s.Analyzers {
+		state := map[string]any{}
+		var fset *token.FileSet
+		for _, pkg := range pkgs {
+			fset = pkg.Fset
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				State:    state,
+				suite:    s,
+				allow:    s.allows,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		if a.Finish != nil && fset != nil {
+			fin := &Finisher{Fset: fset, State: state, analyzer: a, suite: s}
+			if err := a.Finish(fin); err != nil {
+				return nil, fmt.Errorf("%s: finish: %w", a.Name, err)
+			}
+		}
+	}
+	sort.Slice(s.diags, func(i, j int) bool {
+		a, b := s.diags[i], s.diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return s.diags, nil
+}
+
+// All returns every analyzer in the suite, the set cmd/sprofile-lint runs by
+// default.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Locksafe,
+		AtomicField,
+		ErrTaxonomy,
+		MetricFamily,
+		FailpointSite,
+	}
+}
+
+// ---- shared type helpers used by several analyzers ----
+
+// isPkgType reports whether t (after pointer indirection) is the named type
+// pkgPath.name.
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// namedFrom returns the named type behind t (after pointer indirection), or
+// nil.
+func namedFrom(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// calleeObj resolves the object a call expression invokes: a *types.Func for
+// method calls and package-level functions, nil for indirect calls through
+// function values.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fn.Sel] // qualified identifier pkg.Func
+	}
+	return nil
+}
+
+// calleeIsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name.
+func calleeIsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := calleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// stringLit returns the value of a (possibly parenthesized or concatenated)
+// string-literal expression, and whether it is one.
+func stringLit(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	if tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

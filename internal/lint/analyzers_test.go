@@ -1,0 +1,44 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sprofile/internal/lint"
+	"sprofile/internal/lint/linttest"
+)
+
+// Each analyzer runs over its fixture package under testdata/src; the
+// fixtures carry both flagged (// want) and allowed cases, so these tests
+// pin the positive and the negative behavior at once.
+
+func TestLocksafe(t *testing.T) {
+	linttest.Run(t, lint.Locksafe, "testdata/src/locksafe/a")
+}
+
+func TestAtomicField(t *testing.T) {
+	linttest.Run(t, lint.AtomicField, "testdata/src/atomicfield/a")
+}
+
+func TestErrTaxonomy(t *testing.T) {
+	// The taxonomy rule is scoped to wire-path packages; opt the fixture in.
+	const fixturePkg = "sprofile/internal/lint/testdata/src/errtaxonomy/a"
+	lint.ErrTaxonomyPackages[fixturePkg] = true
+	defer delete(lint.ErrTaxonomyPackages, fixturePkg)
+	linttest.Run(t, lint.ErrTaxonomy, "testdata/src/errtaxonomy/a")
+}
+
+func TestMetricFamily(t *testing.T) {
+	linttest.Run(t, lint.MetricFamily, "testdata/src/metricfamily/a")
+}
+
+func TestFailpointSite(t *testing.T) {
+	readme, err := filepath.Abs("testdata/src/failpointsite/README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := lint.FailpointReadme
+	lint.FailpointReadme = readme
+	defer func() { lint.FailpointReadme = old }()
+	linttest.Run(t, lint.FailpointSite, "testdata/src/failpointsite/a")
+}

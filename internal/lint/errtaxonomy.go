@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ErrTaxonomyPackages is the set of import paths whose errors cross the
+// wire or the public API boundary, where every error must resolve — via
+// errors.Is — to a core taxonomy root or a documented package-level
+// sentinel (see errors.go at the module root and the PR 5 query-plane
+// contract: the HTTP server maps error classes to status codes, and the
+// client SDK maps them back, so errors.Is works identically against a
+// local and a remote profile). A naked fmt.Errorf breaks that chain: the
+// server can only map it to a 500 and the client can only surface a string.
+//
+// Tests override this to point at fixture packages.
+var ErrTaxonomyPackages = map[string]bool{
+	"sprofile":                 true,
+	"sprofile/client":          true,
+	"sprofile/internal/server": true,
+}
+
+// ErrTaxonomy enforces the error-taxonomy contract in the wire-facing
+// packages: every fmt.Errorf must wrap (%w) a taxonomy root, a documented
+// sentinel, or an underlying error that already resolves to one, and
+// errors.New may only declare package-level sentinels, never construct
+// one-off errors inside a function body.
+var ErrTaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc: "flags naked fmt.Errorf (no %w) and function-local errors.New in " +
+		"wire-path packages, where every error must wrap the taxonomy",
+	Run: runErrTaxonomy,
+}
+
+func runErrTaxonomy(p *Pass) error {
+	if !ErrTaxonomyPackages[p.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case calleeIsPkgFunc(p.Info, call, "fmt", "Errorf"):
+					if len(call.Args) == 0 {
+						return true
+					}
+					format, isLit := stringLit(p.Info, call.Args[0])
+					if isLit && !strings.Contains(format, "%w") {
+						p.Reportf(call.Pos(), "fmt.Errorf without %%w on a wire path: wrap a taxonomy root or documented sentinel so errors.Is and the HTTP error-code mapping work")
+					}
+				case calleeIsPkgFunc(p.Info, call, "errors", "New"):
+					p.Reportf(call.Pos(), "function-local errors.New on a wire path: declare a package-level sentinel (documented in the taxonomy) or wrap an existing root with fmt.Errorf(...%%w...)")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// FailpointReadme is the document that must list every failpoint site (the
+// README's fault-injection table). Empty disables the documentation check;
+// cmd/sprofile-lint points it at the module's README.md, tests at a fixture.
+var FailpointReadme string
+
+// failpointPkg is the registry package; sites are declared by calling into
+// it. The package itself (and its failfs wrapper) derive site names at
+// runtime and are exempt from the literal-name rule.
+const failpointPkg = "sprofile/internal/failpoint"
+
+// FailpointSite enforces the PR 9 fault-injection contract: every failpoint
+// site is named by a string literal (so the chaos harness, the
+// SPROFILE_FAILPOINTS grammar and the docs can refer to it), each name is
+// declared at exactly one call site (two seams sharing a name would make
+// trigger counts unattributable — deliberate sharing carries an audited
+// allow comment), and every site appears in the README's site table so an
+// operator arming faults can discover what exists. failfs prefixes expand
+// to their derived <prefix>.open/.write/.sync sites.
+var FailpointSite = &Analyzer{
+	Name: "failpointsite",
+	Doc: "failpoint sites must be unique string literals documented in the " +
+		"README's fault-injection table",
+	Run:    runFailpointSite,
+	Finish: finishFailpointSite,
+}
+
+// siteDecl records one declaration of a site name.
+type siteDecl struct {
+	name    string
+	pos     token.Pos
+	allowed bool // an allow comment covers the declaration site
+}
+
+func runFailpointSite(p *Pass) error {
+	if p.Pkg.Path() == failpointPkg || strings.HasPrefix(p.Pkg.Path(), failpointPkg+"/") {
+		return nil
+	}
+	decls, _ := p.State["decls"].([]siteDecl)
+	record := func(pos token.Pos, names ...string) {
+		position := p.Fset.Position(pos)
+		for _, n := range names {
+			decls = append(decls, siteDecl{
+				name:    n,
+				pos:     pos,
+				allowed: p.allow.covers(p.Analyzer.Name, position),
+			})
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			switch {
+			case calleeIsPkgFunc(p.Info, call, failpointPkg, "Inject"),
+				calleeIsPkgFunc(p.Info, call, failpointPkg, "InjectWrite"),
+				calleeIsPkgFunc(p.Info, call, failpointPkg, "RoundTripper"):
+				name, isLit := stringLit(p.Info, call.Args[0])
+				if !isLit {
+					p.Reportf(call.Args[0].Pos(), "failpoint site name must be a string literal so the arming grammar and docs can name it")
+					return true
+				}
+				record(call.Args[0].Pos(), name)
+			case calleeIsPkgFunc(p.Info, call, failpointPkg+"/failfs", "OpenFile"):
+				prefix, isLit := stringLit(p.Info, call.Args[0])
+				if !isLit {
+					p.Reportf(call.Args[0].Pos(), "failfs site prefix must be a string literal so the derived sites can be documented")
+					return true
+				}
+				record(call.Args[0].Pos(), prefix+".open", prefix+".write", prefix+".sync")
+			case calleeIsPkgFunc(p.Info, call, failpointPkg+"/failfs", "Wrap"):
+				prefix, isLit := stringLit(p.Info, call.Args[0])
+				if !isLit {
+					p.Reportf(call.Args[0].Pos(), "failfs site prefix must be a string literal so the derived sites can be documented")
+					return true
+				}
+				record(call.Args[0].Pos(), prefix+".write", prefix+".sync")
+			}
+			return true
+		})
+	}
+	p.State["decls"] = decls
+	return nil
+}
+
+func finishFailpointSite(f *Finisher) error {
+	decls, _ := f.State["decls"].([]siteDecl)
+	if len(decls) == 0 {
+		return nil
+	}
+	sort.SliceStable(decls, func(i, j int) bool { return decls[i].pos < decls[j].pos })
+
+	// Uniqueness: the first declaration of a name owns it; every later
+	// declaration site needs an audited allow comment (e.g. the two WAL
+	// segment-open paths deliberately sharing the "wal" seam).
+	first := map[string]token.Pos{}
+	for _, d := range decls {
+		prev, seen := first[d.name]
+		if !seen {
+			first[d.name] = d.pos
+			continue
+		}
+		if d.pos == prev || d.allowed {
+			continue
+		}
+		f.Reportf(d.pos, "failpoint site %q is already declared at %s; a site name maps to one seam (share deliberately with //lint:allow failpointsite)",
+			d.name, f.Fset.Position(prev))
+	}
+
+	// Documentation: every declared site appears in the README table.
+	if FailpointReadme == "" {
+		return nil
+	}
+	doc, err := os.ReadFile(FailpointReadme)
+	if err != nil {
+		return err
+	}
+	text := string(doc)
+	names := make([]string, 0, len(first))
+	for name := range first {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !strings.Contains(text, "`"+name+"`") {
+			f.Reportf(first[name], "failpoint site %q is not documented in %s's fault-injection table", name, FailpointReadme)
+		}
+	}
+	return nil
+}

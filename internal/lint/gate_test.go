@@ -1,0 +1,127 @@
+package lint_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sprofile/internal/lint"
+)
+
+// moduleRoot resolves this module's root directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		t.Fatal("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// TestModuleClean is the same gate CI runs: the full analyzer suite over the
+// whole module must report nothing. A failure here means either a real
+// invariant violation slipped in or an analyzer regressed into a false
+// positive — both are bugs to fix before merging, not findings to allow.
+func TestModuleClean(t *testing.T) {
+	root := moduleRoot(t)
+	old := lint.FailpointReadme
+	lint.FailpointReadme = filepath.Join(root, "README.md")
+	defer func() { lint.FailpointReadme = old }()
+
+	pkgs, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	suite := &lint.Suite{Analyzers: lint.All()}
+	diags, err := suite.Run(pkgs)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("module not lint-clean: %s", d)
+	}
+}
+
+// TestSeededViolationFailsGate proves the gate has teeth: a module seeded
+// with a known locksafe violation (fsync under a held mutex) must make the
+// sprofile-lint binary exit 1 and name the analyzer.
+func TestSeededViolationFailsGate(t *testing.T) {
+	root := moduleRoot(t)
+	tmp := t.TempDir()
+
+	bin := filepath.Join(tmp, "sprofile-lint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/sprofile-lint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building sprofile-lint: %v\n%s", err, out)
+	}
+
+	seeded := filepath.Join(tmp, "seeded")
+	if err := os.Mkdir(seeded, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(seeded, "go.mod"), "module seeded\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(seeded, "seeded.go"), `package seeded
+
+import (
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (s *store) bad() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync()
+}
+`)
+
+	cmd := exec.Command(bin, "-C", seeded, "./...")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("sprofile-lint exited 0 on a seeded violation\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running sprofile-lint: %v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "locksafe") {
+		t.Fatalf("output does not name the locksafe analyzer:\n%s", out)
+	}
+}
+
+// TestCleanModulePassesBinary is the complement: the binary itself (not just
+// the in-process suite) exits 0 on this module.
+func TestCleanModulePassesBinary(t *testing.T) {
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "sprofile-lint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/sprofile-lint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building sprofile-lint: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-C", root, "./...")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("sprofile-lint on the module tree: %v\n%s", err, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

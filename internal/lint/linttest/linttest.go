@@ -1,0 +1,133 @@
+// Package linttest runs lint analyzers against fixture packages, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixture source lines
+// carry "// want" comments naming the diagnostics the analyzer must produce
+// there, and the runner fails the test on any missing or unexpected finding.
+//
+// A want comment holds one double-quoted substring per expected diagnostic
+// on that line:
+//
+//	mu.Lock()
+//	f.Sync() // want "while holding mu"
+//
+// Lines without a want comment must produce no diagnostics; every want must
+// be matched by exactly one diagnostic. Fixtures live under
+// internal/lint/testdata/src/<analyzer>/... and are real, compiling packages
+// inside this module (the testdata path keeps ./... wildcards away from
+// them), so the runner type-checks them with the same loader the production
+// binary uses.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sprofile/internal/lint"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// expectation is one "want" on one fixture line.
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// Run loads the fixture package rooted at dir (relative to the test's
+// working directory), runs exactly one analyzer over it, and compares the
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(abs, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	want := collectWants(t, pkgs)
+
+	suite := &lint.Suite{Analyzers: []*lint.Analyzer{a}}
+	diags, err := suite.Run(pkgs)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	for _, d := range diags {
+		if !matchWant(want, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", dir, d)
+		}
+	}
+	for _, w := range want {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+}
+
+// collectWants scans every fixture file for want comments.
+func collectWants(t *testing.T, pkgs []*lint.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			data, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				m := wantRE.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				substrs, err := parseWant(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: %v", name, i+1, err)
+				}
+				for _, s := range substrs {
+					wants = append(wants, &expectation{file: name, line: i + 1, substr: s})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant extracts the double-quoted substrings from a want comment's
+// payload.
+func parseWant(payload string) ([]string, error) {
+	var out []string
+	rest := strings.TrimSpace(payload)
+	for rest != "" {
+		if rest[0] != '"' {
+			return nil, fmt.Errorf("want payload must be double-quoted strings, got %q", rest)
+		}
+		end := strings.Index(rest[1:], `"`)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want string in %q", rest)
+		}
+		out = append(out, rest[1:1+end])
+		rest = strings.TrimSpace(rest[2+end:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}
+
+func matchWant(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && strings.Contains(msg, w.substr) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

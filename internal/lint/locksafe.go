@@ -1,0 +1,323 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Locksafe enforces the group-commit contract established in PR 2 and
+// relied on by the checkpoint protocol (PR 3): no blocking file or network
+// I/O — most critically fsync — while a sync.Mutex or sync.RWMutex is
+// provably held. Fsync under a lock turns the WAL's group commit into a
+// serial commit and stalls every reader behind disk latency; the audited
+// exceptions (bounded buffered writes under the WAL append mutex) carry
+// //lint:allow locksafe comments explaining why they are safe.
+//
+// The analysis is intra-procedural and deliberately conservative: a mutex
+// counts as held between an x.Lock()/x.RLock() statement and the matching
+// x.Unlock()/x.RUnlock() in the same statement sequence, or to the end of
+// the function when the unlock is deferred. Function literals are analyzed
+// independently (a goroutine does not inherit the creator's locks), and
+// branches cannot leak lock state outward — so every report is a call that
+// really can execute with the lock held on some path.
+//
+// Two escape granularities:
+//
+//   - line-level: //lint:allow locksafe on the flagged call, for one
+//     audited exception (e.g. the salvage path of wal.Dir.Roll, which
+//     truncates the poisoned segment while holding the append locks — the
+//     writers those locks guard are already failing);
+//   - declaration-level: //lint:allow locksafe on the mutex's own var or
+//     field declaration, for mutexes whose entire purpose is to be held
+//     across I/O (the checkpoint Store's one-in-flight ckptMu, the WAL's
+//     group-commit syncMu). Such a mutex never enters the held set: the
+//     invariant protects ingest/read fast-path locks, and the comment is
+//     the audit that nothing fast-path ever contends on this one.
+var Locksafe = &Analyzer{
+	Name: "locksafe",
+	Doc: "flags blocking I/O (fsync, file writes, file opens, network calls) " +
+		"while a sync mutex is provably held",
+	Run: runLocksafe,
+}
+
+func runLocksafe(p *Pass) error {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walkLocked(p, fd.Body.List, map[string]bool{})
+		}
+		// Function literals are independent execution contexts: they do not
+		// inherit the creating goroutine's locks (walkLocked skips them),
+		// but their own bodies must uphold the invariant too.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+				walkLocked(p, lit.Body.List, map[string]bool{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// walkLocked processes one statement sequence, threading the set of held
+// mutexes (keyed by the printed receiver expression) through it. Nested
+// blocks and branches get a copy: a Lock inside an if cannot leak out, and
+// an Unlock inside an early-return branch does not clear the lock on the
+// fallthrough path — both conservative in the right direction.
+func walkLocked(p *Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.ExprStmt:
+			if key, op, ok := lockOp(p, st.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[key] = true
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				continue
+			}
+		case *ast.DeferStmt:
+			if key, op, ok := lockOp(p, st.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				// Deferred unlocks release at return, so the mutex stays
+				// held for the rest of this walk — nothing to do, but do
+				// not scan the defer itself as a blocking call.
+				_ = key
+				continue
+			}
+		case *ast.BlockStmt:
+			walkLocked(p, st.List, copyHeld(held))
+			continue
+		}
+		if len(held) > 0 {
+			findBlockingCalls(p, s, held)
+		}
+		// Branch bodies run with the current set held; their own
+		// lock/unlock traffic stays local to the copy.
+		switch st := s.(type) {
+		case *ast.IfStmt:
+			walkLocked(p, st.Body.List, copyHeld(held))
+			if st.Else != nil {
+				switch e := st.Else.(type) {
+				case *ast.BlockStmt:
+					walkLocked(p, e.List, copyHeld(held))
+				case *ast.IfStmt:
+					walkLocked(p, []ast.Stmt{e}, copyHeld(held))
+				}
+			}
+		case *ast.ForStmt:
+			walkLocked(p, st.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			walkLocked(p, st.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLocked(p, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLocked(p, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkLocked(p, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.LabeledStmt:
+			walkLocked(p, []ast.Stmt{st.Stmt}, held)
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// lockOp recognizes x.Lock / x.Unlock / x.RLock / x.RUnlock calls where x is
+// a sync.Mutex or sync.RWMutex (directly, by pointer, or embedded), and
+// returns the printed receiver expression as the held-set key. Mutexes whose
+// declaration carries //lint:allow locksafe are audited to be held across
+// I/O and are not tracked at all.
+func lockOp(p *Pass, e ast.Expr) (key, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := calleeObj(p.Info, call).(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if mutexDeclAllowed(p, sel.X) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// mutexDeclAllowed reports whether the mutex expression resolves to a var or
+// field whose declaration line carries //lint:allow locksafe.
+func mutexDeclAllowed(p *Pass, mutexExpr ast.Expr) bool {
+	var obj types.Object
+	switch x := ast.Unparen(mutexExpr).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[x]
+	case *ast.SelectorExpr:
+		if v := fieldVar(p.Info, x); v != nil {
+			obj = v
+		} else {
+			obj = p.Info.Uses[x.Sel]
+		}
+	}
+	if obj == nil || !obj.Pos().IsValid() {
+		return false
+	}
+	return p.allow.covers("locksafe", p.Fset.Position(obj.Pos()))
+}
+
+// blocking-method names on file-like receivers. Sync is banned on ANY
+// receiver type: a method named Sync that is safe to call under a lock is
+// not a pattern this codebase has, and the false-positive cost of an allow
+// comment is the audit we want.
+var blockingFileMethods = map[string]bool{
+	"Write": true, "WriteAt": true, "WriteString": true,
+	"ReadAt": true, "Truncate": true, "ReadFrom": true,
+}
+
+// blocking package-level functions: path ops that hit the disk and dialers
+// that hit the network.
+var blockingPkgFuncs = map[string]map[string]bool{
+	"os": {
+		"OpenFile": true, "Open": true, "Create": true, "CreateTemp": true,
+		"Rename": true, "Remove": true, "RemoveAll": true, "Truncate": true,
+		"ReadFile": true, "WriteFile": true, "Mkdir": true, "MkdirAll": true,
+		"ReadDir": true, "Link": true, "Symlink": true,
+	},
+	"net": {
+		"Dial": true, "DialTimeout": true, "Listen": true,
+	},
+	"net/http": {
+		"Get": true, "Post": true, "PostForm": true, "Head": true,
+	},
+	"sprofile/internal/failpoint/failfs": {
+		"OpenFile": true,
+	},
+}
+
+// findBlockingCalls scans one statement (but not nested function literals)
+// for calls that block on I/O, and reports each with the held mutexes.
+func findBlockingCalls(p *Pass, s ast.Stmt, held map[string]bool) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false // independent execution context
+		case *ast.BlockStmt:
+			// Nested bodies are re-scanned by walkLocked's own recursion
+			// (with their local lock traffic applied); scanning them here
+			// too would double-report.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := blockingCall(p.Info, call); ok {
+			p.Reportf(call.Pos(), "%s while holding %s: fsync and file/network I/O must run outside all locks (group-commit contract)",
+				name, heldNames(held))
+		}
+		return true
+	})
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}
+
+// blockingCall classifies a call as blocking I/O and names it for the
+// report.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	// Package-level functions from the blocking table.
+	if fn, ok := calleeObj(info, call).(*types.Func); ok && fn.Pkg() != nil {
+		if sig, isSig := fn.Type().(*types.Signature); isSig && sig.Recv() == nil {
+			if blockingPkgFuncs[fn.Pkg().Path()][fn.Name()] {
+				return fn.Pkg().Path() + "." + fn.Name(), true
+			}
+			return "", false
+		}
+	}
+	// Method calls: Sync on anything; write-like methods on file-like
+	// receivers (os.File, failfs.File, or any type embedding them).
+	recvT := info.Types[sel.X].Type
+	if recvT == nil {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name == "Sync" {
+		return types.TypeString(recvT, nil) + ".Sync", true
+	}
+	if blockingFileMethods[name] && isFileLike(recvT) {
+		return types.TypeString(recvT, nil) + "." + name, true
+	}
+	// Outbound HTTP through a client or transport.
+	if (name == "Do" || name == "RoundTrip") && (isPkgType(recvT, "net/http", "Client") || isPkgType(recvT, "net/http", "Transport")) {
+		return "net/http request", true
+	}
+	return "", false
+}
+
+// isFileLike reports whether t is *os.File, the failfs.File seam, or a named
+// type that embeds either.
+func isFileLike(t types.Type) bool {
+	if isPkgType(t, "os", "File") || isPkgType(t, "sprofile/internal/failpoint/failfs", "File") {
+		return true
+	}
+	named := namedFrom(t)
+	if named == nil {
+		return false
+	}
+	if st, ok := named.Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Embedded() && (isPkgType(f.Type(), "os", "File") || isPkgType(f.Type(), "sprofile/internal/failpoint/failfs", "File")) {
+				return true
+			}
+		}
+	}
+	return false
+}

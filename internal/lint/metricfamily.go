@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricLabelAllowlist is the closed set of label names a sprofile_* family
+// may declare. Labels are a cardinality contract: every name here is known
+// to have a small, bounded value set (routes come from the mux table,
+// results and paths from code, site names from the failpoint table). A new
+// label means a new review of its value space — add it here in the same
+// commit, with the family that needs it.
+var MetricLabelAllowlist = map[string]bool{
+	"method": true, "route": true, "status": true, // HTTP plane
+	"stats": true, "stat": true, // query plane
+	"path": true, "result": true, // ingest + checkpoint planes
+	"site":    true,                 // failpoint registry
+	"version": true, "commit": true, // build info
+}
+
+// MetricMaxLabels caps the label dimensions a single family may declare;
+// the registry's 256-children cardinality cap assumes the cross product of
+// label values stays small, and three dimensions (method × route × status)
+// is the widest audited family.
+var MetricMaxLabels = 3
+
+var metricNameRE = regexp.MustCompile(`^sprofile_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// MetricFamily is the AST-level replacement for the shell grep that used to
+// lint metric names in CI: every family constructed anywhere in the module
+// must carry the sprofile_ prefix in lower_snake_case, counters must end in
+// _total and nothing else may, families measuring time or size must say
+// _seconds/_bytes, label sets come from a closed allowlist, and no family
+// declares more label dimensions than the registry's cardinality cap was
+// audited for. Unlike the grep, it resolves the constructor through the
+// type checker, so aliasing the registry or wrapping the constructors
+// cannot smuggle a family past the lint.
+var MetricFamily = &Analyzer{
+	Name: "metricfamily",
+	Doc: "enforces metric naming (sprofile_ prefix, _total/_seconds/_bytes " +
+		"suffix rules) and the closed label allowlist at construction sites",
+	Run: runMetricFamily,
+}
+
+// metricCtors maps constructor method names on internal/metrics.Registry to
+// whether they create counters (the _total rule) and where the label list
+// starts in the argument list (after name, help, and for histograms the
+// bucket slice).
+var metricCtors = map[string]struct {
+	counter   bool
+	labelsArg int // index of first label argument; -1 = no labels
+}{
+	"Counter":      {counter: true, labelsArg: -1},
+	"CounterFunc":  {counter: true, labelsArg: -1},
+	"CounterVec":   {counter: true, labelsArg: 2},
+	"Gauge":        {counter: false, labelsArg: -1},
+	"GaugeFunc":    {counter: false, labelsArg: -1},
+	"GaugeVec":     {counter: false, labelsArg: 2},
+	"Histogram":    {counter: false, labelsArg: -1},
+	"HistogramVec": {counter: false, labelsArg: 3},
+}
+
+func runMetricFamily(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ctor, ok := metricCtorCall(p.Info, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			name, isLit := stringLit(p.Info, call.Args[0])
+			if !isLit {
+				p.Reportf(call.Pos(), "metric family name must be a string literal so the naming lint can see it")
+				return true
+			}
+			checkMetricName(p, call, name, ctor.counter)
+			if ctor.labelsArg >= 0 {
+				labels := call.Args[ctor.labelsArg:]
+				if len(labels) > MetricMaxLabels {
+					p.Reportf(call.Pos(), "family %s declares %d label dimensions; the audited cardinality cap is %d", name, len(labels), MetricMaxLabels)
+				}
+				for _, l := range labels {
+					label, isLit := stringLit(p.Info, l)
+					if !isLit {
+						p.Reportf(l.Pos(), "family %s: label names must be string literals", name)
+						continue
+					}
+					if !MetricLabelAllowlist[label] {
+						p.Reportf(l.Pos(), "family %s declares label %q, not in the closed allowlist; new labels need a cardinality review (internal/lint/metricfamily.go)", name, label)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// metricCtorCall reports whether call constructs a metric family on the
+// sprofile metrics registry, resolving the receiver type so wrappers and
+// local aliases are still caught. Inside internal/metrics itself only the
+// exported Registry methods count (the internal helpers take already-vetted
+// names).
+func metricCtorCall(info *types.Info, call *ast.CallExpr) (struct {
+	counter   bool
+	labelsArg int
+}, bool) {
+	var zero struct {
+		counter   bool
+		labelsArg int
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return zero, false
+	}
+	ctor, ok := metricCtors[sel.Sel.Name]
+	if !ok {
+		return zero, false
+	}
+	fn, ok := calleeObj(info, call).(*types.Func)
+	if !ok {
+		return zero, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return zero, false
+	}
+	if !isPkgType(sig.Recv().Type(), "sprofile/internal/metrics", "Registry") &&
+		!metricCtorFixture(sig.Recv().Type()) {
+		return zero, false
+	}
+	return ctor, true
+}
+
+// metricCtorFixture lets the analysistest fixtures exercise the rules
+// without importing the real registry: any type literally named Registry in
+// a package under this module's lint testdata counts.
+func metricCtorFixture(t types.Type) bool {
+	named := namedFrom(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Registry" &&
+		strings.Contains(named.Obj().Pkg().Path(), "lint/testdata/")
+}
+
+func checkMetricName(p *Pass, call *ast.CallExpr, name string, counter bool) {
+	if !metricNameRE.MatchString(name) {
+		p.Reportf(call.Pos(), "metric family %q must match %s (sprofile_ prefix, lower_snake_case)", name, metricNameRE)
+		return
+	}
+	base := strings.TrimSuffix(name, "_total")
+	switch {
+	case counter && !strings.HasSuffix(name, "_total"):
+		p.Reportf(call.Pos(), "counter family %s must end in _total", name)
+	case !counter && strings.HasSuffix(name, "_total"):
+		p.Reportf(call.Pos(), "non-counter family %s must not end in _total", name)
+	}
+	if strings.Contains(base, "second") && !strings.HasSuffix(base, "_seconds") {
+		p.Reportf(call.Pos(), "time family %s must end in _seconds", name)
+	}
+	if strings.Contains(base, "bytes") && !strings.HasSuffix(base, "_bytes") {
+		p.Reportf(call.Pos(), "size family %s must end in _bytes", name)
+	}
+}

@@ -1,0 +1,58 @@
+// Package a is the atomicfield fixture: fields accessed via sync/atomic (by
+// wrapper type or by address) must never be touched plainly outside a
+// constructor.
+package a
+
+import "sync/atomic"
+
+type ring struct {
+	head atomic.Uint64
+	tail uint64 // accessed via atomic.AddUint64 below
+	n    int    // plain field, never atomic: free to use anywhere
+}
+
+func newRing(n int) *ring {
+	r := &ring{}
+	r.tail = 0 // constructors may initialize plainly
+	r.n = n
+	return r
+}
+
+func (r *ring) push() {
+	r.head.Add(1)
+	atomic.AddUint64(&r.tail, 1)
+}
+
+func (r *ring) badCopy() {
+	h := r.head // want "atomic-typed field head used as a plain value"
+	_ = h
+}
+
+func (r *ring) badPlainRead() uint64 {
+	return r.tail // want "field tail is accessed with sync/atomic elsewhere"
+}
+
+func (r *ring) badPlainWrite() {
+	r.tail = 7 // want "field tail is accessed with sync/atomic elsewhere"
+}
+
+func (r *ring) goodAllowed() uint64 {
+	return r.tail //lint:allow atomicfield — fixture: quiesced single-writer phase
+}
+
+func (r *ring) goodMethodCalls() uint64 {
+	return r.head.Load()
+}
+
+func (r *ring) goodAddressOf() *atomic.Uint64 {
+	return &r.head
+}
+
+func (r *ring) goodAtomicLoad() uint64 {
+	return atomic.LoadUint64(&r.tail)
+}
+
+func (r *ring) goodPlainField() int {
+	r.n++
+	return r.n
+}

@@ -1,0 +1,35 @@
+// Package a is the errtaxonomy fixture: in wire-path packages every
+// fmt.Errorf wraps something and errors.New appears only at package level.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errSentinel is a documented package-level sentinel: allowed.
+var errSentinel = errors.New("a: documented sentinel")
+
+func bad(id int) error {
+	return fmt.Errorf("object %d out of range", id) // want "fmt.Errorf without %w"
+}
+
+func badLocalNew() error {
+	return errors.New("one-off error") // want "function-local errors.New"
+}
+
+func goodWrapSentinel(id int) error {
+	return fmt.Errorf("object %d out of range: %w", id, errSentinel)
+}
+
+func goodReturnSentinel() error {
+	return errSentinel
+}
+
+func goodWrapUnderlying(err error) error {
+	return fmt.Errorf("decoding request: %w", err)
+}
+
+func goodAllowed() error {
+	return fmt.Errorf("internal invariant broken") //lint:allow errtaxonomy — fixture: not a wire error
+}

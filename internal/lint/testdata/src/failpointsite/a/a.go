@@ -1,0 +1,38 @@
+// Package a is the failpointsite fixture: site names are unique string
+// literals, failfs prefixes expand to derived sites, and every site appears
+// in the fixture README's table.
+package a
+
+import (
+	"net/http"
+	"os"
+
+	"sprofile/internal/failpoint"
+	"sprofile/internal/failpoint/failfs"
+)
+
+func goodSites(f *os.File) {
+	_ = failpoint.Inject("fixture.good")
+	_, _ = failpoint.InjectWrite("fixture.write", 8)
+	_ = failpoint.RoundTripper("fixture.rt", http.DefaultTransport)
+	_, _ = failfs.OpenFile("fixture.seg", "x", os.O_RDONLY, 0)
+	_ = failfs.Wrap("fixture.wrapped", f)
+}
+
+func duplicateSite() {
+	_ = failpoint.Inject("fixture.dup")
+	_ = failpoint.Inject("fixture.dup") // want "already declared"
+}
+
+func sharedSeamAllowed() {
+	_ = failpoint.Inject("fixture.shared")
+	_ = failpoint.Inject("fixture.shared") //lint:allow failpointsite — fixture: deliberate shared seam
+}
+
+func dynamicName(name string) {
+	_ = failpoint.Inject(name) // want "must be a string literal"
+}
+
+func undocumentedSite() {
+	_ = failpoint.Inject("fixture.undocumented") // want "not documented"
+}

@@ -1,0 +1,89 @@
+// Package a is the locksafe fixture: blocking I/O under held mutexes is
+// flagged; I/O after unlock, in early-unlock branches, under audited allow
+// comments, or under declaration-allowed mutexes is not.
+package a
+
+import (
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu sync.Mutex
+
+	// ioMu is audited to be held across I/O (the group-commit pattern).
+	//lint:allow locksafe — fixture: declaration-level escape
+	ioMu sync.Mutex
+
+	f *os.File
+}
+
+func (s *store) badSync() {
+	s.mu.Lock()
+	s.f.Sync() // want "while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *store) badWriteUnderDefer() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.f.Write([]byte("x")) // want "while holding s.mu"
+	return err
+}
+
+func (s *store) badPathOp() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	os.Remove("x") // want "os.Remove while holding s.mu"
+}
+
+func (s *store) badInsideBranch(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > 0 {
+		s.f.Sync() // want "while holding s.mu"
+	}
+}
+
+func (s *store) badInsideFuncLit() func() {
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.f.Sync() // want "while holding s.mu"
+	}
+}
+
+func (s *store) goodAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.f.Sync()
+}
+
+func (s *store) goodEarlyUnlockBranch(n int) {
+	s.mu.Lock()
+	if n > 0 {
+		s.mu.Unlock()
+		s.f.Sync()
+		return
+	}
+	s.mu.Unlock()
+}
+
+func (s *store) goodAllowedLine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.f.Sync() //lint:allow locksafe — fixture: audited exception
+}
+
+func (s *store) goodDeclAllowedMutex() {
+	s.ioMu.Lock()
+	defer s.ioMu.Unlock()
+	s.f.Sync()
+}
+
+func (s *store) goodLitEscapesLock() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The literal runs later, without the creator's lock.
+	return func() { s.f.Sync() }
+}

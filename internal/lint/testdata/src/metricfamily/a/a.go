@@ -1,0 +1,49 @@
+// Package a is the metricfamily fixture. The local Registry type stands in
+// for sprofile/internal/metrics.Registry (the analyzer accepts a type named
+// Registry inside lint testdata so fixtures need no real registry), with the
+// same constructor shapes.
+package a
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) int     { return 0 }
+func (r *Registry) CounterFunc(name, help string) int { return 0 }
+func (r *Registry) Gauge(name, help string) int       { return 0 }
+func (r *Registry) GaugeFunc(name, help string) int   { return 0 }
+func (r *Registry) Histogram(name, help string, buckets []float64) int {
+	return 0
+}
+func (r *Registry) CounterVec(name, help string, labels ...string) int { return 0 }
+func (r *Registry) GaugeVec(name, help string, labels ...string) int   { return 0 }
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) int {
+	return 0
+}
+
+// other has colliding method names but is not a metrics registry; its calls
+// must not be linted.
+type other struct{}
+
+func (other) Counter(name, help string) int { return 0 }
+
+func declare(r *Registry, dynamicName, dynamicLabel string) {
+	r.Counter("sprofile_events_total", "ok")
+	r.Gauge("sprofile_queue_depth", "ok")
+	r.Histogram("sprofile_flush_seconds", "ok", nil)
+	r.CounterVec("sprofile_requests_total", "ok", "method", "route", "status")
+	r.HistogramVec("sprofile_request_seconds", "ok", nil, "route")
+
+	r.Counter("sprofile_events", "x")                // want "must end in _total"
+	r.Gauge("sprofile_depth_total", "x")             // want "must not end in _total"
+	r.Counter("events_total", "x")                   // want "must match"
+	r.Counter("sprofile_Events_total", "x")          // want "must match"
+	r.Gauge("sprofile_flush_second", "x")            // want "must end in _seconds"
+	r.Counter("sprofile_heap_bytes_used_total", "x") // want "must end in _bytes"
+	r.Counter(dynamicName, "x")                      // want "must be a string literal"
+
+	r.CounterVec("sprofile_by_user_total", "x", "user_id")                        // want "not in the closed allowlist"
+	r.GaugeVec("sprofile_wide", "x", "method", "route", "status", "site")         // want "label dimensions"
+	r.CounterVec("sprofile_dyn_total", "x", dynamicLabel)                         // want "label names must be string literals"
+	r.HistogramVec("sprofile_handler_seconds", "x", []float64{0.1, 1}, "user_id") // want "not in the closed allowlist"
+	r.CounterVec("sprofile_custom_total", "x", "tenant")                          //lint:allow metricfamily — fixture: audited new label
+	_ = other{}.Counter("not_a_metric", "untouched")
+}

@@ -203,12 +203,18 @@ func (s *Server) readOnly() bool {
 	return s.follower != nil && !s.follower.Promoted()
 }
 
+// errConfig is the package's construction-time sentinel: every invalid
+// Config combination New refuses wraps it, so embedders can errors.Is for
+// the whole class. It never crosses the wire — by the time the server
+// serves, the configuration was valid.
+var errConfig = errors.New("server: invalid configuration")
+
 // New returns a Server with the given configuration. When Config.WALPath is
 // set, any events already in the log are replayed into the profile before the
 // server starts accepting requests.
 func New(cfg Config) (*Server, error) {
 	if cfg.Capacity <= 0 {
-		return nil, fmt.Errorf("server: capacity must be positive, got %d", cfg.Capacity)
+		return nil, fmt.Errorf("%w: capacity must be positive, got %d", errConfig, cfg.Capacity)
 	}
 	maxBatch := cfg.MaxBatch
 	if maxBatch <= 0 {
@@ -224,7 +230,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Follow != "" {
 		if cfg.AsyncIngest {
-			return nil, fmt.Errorf("server: async ingest is incompatible with follower mode (a follower ingests nothing locally)")
+			return nil, fmt.Errorf("%w: async ingest is incompatible with follower mode (a follower ingests nothing locally)", errConfig)
 		}
 		return newFollowerServer(cfg, buildOpts, maxBatch)
 	}
@@ -235,7 +241,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.CheckpointEvery > 0 || cfg.CheckpointBytes > 0 {
 		if cfg.WALPath == "" {
-			return nil, fmt.Errorf("server: checkpointing requires a WAL path")
+			return nil, fmt.Errorf("%w: checkpointing requires a WAL path", errConfig)
 		}
 		buildOpts = append(buildOpts, sprofile.WithCheckpoints(sprofile.CheckpointPolicy{
 			Every:      cfg.CheckpointEvery,
@@ -277,7 +283,7 @@ func New(cfg Config) (*Server, error) {
 // is a KeyedFollower continuously mirroring cfg.Follow into cfg.WALPath.
 func newFollowerServer(cfg Config, buildOpts []sprofile.BuildOption, maxBatch int) (*Server, error) {
 	if cfg.WALPath == "" {
-		return nil, fmt.Errorf("server: follower mode requires a WAL path for the local mirror")
+		return nil, fmt.Errorf("%w: follower mode requires a WAL path for the local mirror", errConfig)
 	}
 	// Checkpoint and sync-cadence options only make sense on a leader; they
 	// take effect when (if) this follower is promoted.
@@ -762,22 +768,22 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 func decodeEvents(r *http.Request, maxBatch int) ([]Event, error) {
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		return nil, fmt.Errorf("reading request body: %v", err)
+		return nil, fmt.Errorf("reading request body: %w", err)
 	}
 	trimmed := bytes.TrimLeft(body, " \t\r\n")
 	if len(trimmed) > 0 && trimmed[0] == '[' {
 		var batch []Event
 		if err := strictDecode(trimmed, &batch); err != nil {
-			return nil, fmt.Errorf("invalid event array: %v", err)
+			return nil, fmt.Errorf("invalid event array: %w", err)
 		}
 		if len(batch) > maxBatch {
-			return nil, fmt.Errorf("batch of %d events exceeds limit %d", len(batch), maxBatch)
+			return nil, fmt.Errorf("%w: batch of %d events exceeds limit %d", sprofile.ErrOutOfRange, len(batch), maxBatch)
 		}
 		return batch, nil
 	}
 	var single Event
 	if err := strictDecode(trimmed, &single); err != nil {
-		return nil, fmt.Errorf("body must be one {object, action} event or a JSON array of them: %v", err)
+		return nil, fmt.Errorf("body must be one {object, action} event or a JSON array of them: %w", err)
 	}
 	return []Event{single}, nil
 }
@@ -796,7 +802,7 @@ func parseAction(s string) (sprofile.Action, error) {
 	case "remove", "-", "-1":
 		return sprofile.ActionRemove, nil
 	default:
-		return 0, fmt.Errorf("unknown action %q (want \"add\" or \"remove\")", s)
+		return 0, fmt.Errorf("%w: unknown action %q (want \"add\" or \"remove\")", sprofile.ErrInvalidAction, s)
 	}
 }
 
@@ -879,10 +885,10 @@ const maxBulkLine = 4 << 20
 // is configured, for consistency).
 func checkObject(object string) error {
 	if object == "" {
-		return fmt.Errorf("event with empty object")
+		return fmt.Errorf("%w: event with empty object", sprofile.ErrOutOfRange)
 	}
 	if len(object) > wal.MaxKeyLen {
-		return fmt.Errorf("object of %d bytes exceeds the %d-byte limit", len(object), wal.MaxKeyLen)
+		return fmt.Errorf("object of %d bytes exceeds the %d-byte limit: %w", len(object), wal.MaxKeyLen, sprofile.ErrOutOfRange)
 	}
 	return nil
 }

@@ -254,7 +254,7 @@ func NewKeyed[K comparable](m int, opts ...KeyedOption) (*Keyed[K], error) {
 // must stop using the profiler directly afterwards.
 func NewKeyedOver[K comparable](p Profiler, opts ...KeyedOption) (*Keyed[K], error) {
 	if p == nil {
-		return nil, errors.New("sprofile: nil profiler")
+		return nil, errNilProfiler
 	}
 	o := keyedOptions{recycle: true}
 	for _, opt := range opts {

@@ -267,15 +267,15 @@ func (k *KeyedConcurrent[K]) applyWALRecord(rec wal.Record) error {
 // rebuilt. Runs before any concurrent access exists.
 func (k *KeyedConcurrent[K]) restore(st *checkpoint.State) error {
 	if !st.Keyed {
-		return errors.New("this WAL holds a dense-id snapshot; open it with Build, not BuildKeyed")
+		return fmt.Errorf("this WAL holds a dense-id snapshot; open it with Build, not BuildKeyed: %w", ErrBadSnapshot)
 	}
 	m := k.profile.Cap()
 	if len(st.Keys) > m {
-		return fmt.Errorf("snapshot tracks %d keys but the profile has capacity %d", len(st.Keys), m)
+		return fmt.Errorf("snapshot tracks %d keys but the profile has capacity %d: %w", len(st.Keys), m, ErrBadSnapshot)
 	}
 	loader, ok := k.profile.(FrequencyLoader)
 	if !ok {
-		return fmt.Errorf("%T cannot restore a snapshot (no FrequencyLoader capability)", k.profile)
+		return fmt.Errorf("%T cannot restore a snapshot (no FrequencyLoader capability): %w", k.profile, errors.ErrUnsupported)
 	}
 	k.ids.Reserve(len(st.Keys))
 	freqs := make([]int64, m)
@@ -386,11 +386,11 @@ func (k *KeyedConcurrent[K]) CheckpointError() error {
 // update path, and one checkpoint runs at a time.
 func (k *KeyedConcurrent[K]) Checkpoint() error {
 	if k.store == nil {
-		return errors.New("sprofile: profile has no write-ahead log to checkpoint (build with WithWAL)")
+		return errNoWAL
 	}
 	snapper, ok := k.profile.(Snapshotter)
 	if !ok {
-		return fmt.Errorf("sprofile: %T cannot be checkpointed (no Snapshotter capability)", k.profile)
+		return fmt.Errorf("sprofile: %T cannot be checkpointed (no Snapshotter capability): %w", k.profile, errors.ErrUnsupported)
 	}
 	return k.store.Checkpoint(func() (st *checkpoint.State, sealed uint64, err error) {
 		k.ids.Quiesce(func() {
@@ -439,10 +439,10 @@ func (k *KeyedConcurrent[K]) Checkpoint() error {
 // otherwise void journaling for every entry sharing its record.
 func checkJournalableKey(key string) error {
 	if key == "" {
-		return errors.New("sprofile: empty key")
+		return fmt.Errorf("%w: an empty key cannot be journaled", ErrOutOfRange)
 	}
 	if len(key) > wal.MaxKeyLen {
-		return fmt.Errorf("sprofile: key of %d bytes exceeds the write-ahead log's %d-byte record limit", len(key), wal.MaxKeyLen)
+		return fmt.Errorf("sprofile: key of %d bytes exceeds the write-ahead log's %d-byte record limit: %w", len(key), wal.MaxKeyLen, ErrOutOfRange)
 	}
 	return nil
 }

@@ -330,7 +330,7 @@ func (kf *KeyedFollower) CatchUp(ctx context.Context) error {
 		f, promoted := kf.follower, kf.promoted
 		kf.lifecycle.Unlock()
 		if promoted != nil {
-			return errors.New("sprofile: follower was promoted")
+			return errFollowerPromoted
 		}
 		var err error
 		if f == nil {

@@ -52,7 +52,7 @@ func NewSharded(m, numShards int, opts ...Option) (*Sharded, error) {
 		return nil, fmt.Errorf("%w: %d", ErrCapacity, m)
 	}
 	if numShards <= 0 {
-		return nil, fmt.Errorf("sprofile: number of shards must be positive, got %d", numShards)
+		return nil, fmt.Errorf("%w: number of shards must be positive, got %d", ErrCapacity, numShards)
 	}
 	if numShards > m {
 		numShards = m
@@ -496,7 +496,10 @@ func (s *Sharded) atRankLocked(r int, dist []FreqCount) (Entry, error) {
 		}
 		return Entry{Object: e.Object + sh.base, Frequency: e.Frequency}, nil
 	}
-	return Entry{}, fmt.Errorf("sprofile: internal error: no shard holds rank %d", r)
+	// An impossible state (ranks were counted from the same locked shards
+	// this walk reads): deliberately NOT part of the wire taxonomy, so it
+	// surfaces as a 500, not as a client-addressable error class.
+	return Entry{}, fmt.Errorf("sprofile: internal error: no shard holds rank %d", r) //lint:allow errtaxonomy
 }
 
 // KthLargest returns an object holding the k-th largest frequency (1-based).

@@ -1,7 +1,6 @@
 package sprofile
 
 import (
-	"errors"
 	"time"
 
 	"sprofile/internal/window"
@@ -81,7 +80,7 @@ type Window struct {
 // profile must not be updated directly while the window is in use.
 func NewWindow(p *Profile, size int) (*Window, error) {
 	if p == nil {
-		return nil, errors.New("sprofile: nil profile")
+		return nil, errNilProfiler
 	}
 	w, err := window.New(p, size)
 	if err != nil {
@@ -151,7 +150,7 @@ type TimeWindow struct {
 // p. The profile must not be updated directly while the window is in use.
 func NewTimeWindow(p *Profile, span time.Duration) (*TimeWindow, error) {
 	if p == nil {
-		return nil, errors.New("sprofile: nil profile")
+		return nil, errNilProfiler
 	}
 	w, err := window.NewTime(p, span)
 	if err != nil {
